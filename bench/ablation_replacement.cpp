@@ -1,0 +1,34 @@
+// Ablation A4 — does the paper's LRU choice (§4: "we chose a
+// least-recently-used page replacement strategy") matter?  LRU vs FIFO vs
+// random victim selection on one kernel per class.
+#include "bench_common.hpp"
+#include "kernels/livermore.hpp"
+#include "support/text_table.hpp"
+
+int main() {
+  using namespace sap;
+  bench::print_header(
+      "Ablation A4 — Cache Replacement Policy",
+      "remote read fraction at 16 PEs, ps 32, 256-element cache");
+
+  TextTable table({"kernel", "class", "LRU", "FIFO", "random"});
+  for (const char* id : {"k01_hydro", "k02_iccg", "k18_hydro2d", "k06_glr",
+                         "k08_adi", "k21_matmul"}) {
+    const auto& spec = kernel_by_id(id);
+    const CompiledProgram prog = spec.build();
+    std::vector<std::string> row{spec.id, to_string(spec.paper_class)};
+    for (const auto policy : {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+                              ReplacementPolicy::kRandom}) {
+      const Simulator sim(
+          bench::paper_config().with_pes(16).with_replacement(policy));
+      row.push_back(TextTable::pct(sim.run(prog).remote_read_fraction()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_string()
+            << "\nSD/CD loops have so much spatial locality that any policy "
+               "works; only the thrashing RD loops separate the policies "
+               "at all — consistent with the paper not dwelling on the "
+               "choice.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared output helpers for the figure/table bench binaries.
+//
+// Every binary prints: a header naming the reproduced artifact, the series
+// table, an ASCII chart of the same data, and (if SAPART_CSV_DIR is set in
+// the environment) a machine-readable CSV.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "stats/report.hpp"
+#include "support/text_table.hpp"
+
+namespace sap::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& description) {
+  std::cout << "==================================================\n"
+            << artifact << "\n"
+            << description << "\n"
+            << "==================================================\n";
+}
+
+inline void emit_series(const std::string& artifact_id,
+                        const std::vector<SweepSeries>& series,
+                        const std::string& x_header,
+                        const std::string& chart_title) {
+  std::cout << series_table(series, x_header, /*as_percent=*/false) << "\n"
+            << series_chart(series, chart_title, x_header, "% reads remote")
+            << "\n";
+  if (const char* dir = std::getenv("SAPART_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + artifact_id + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      series_csv(out, series, x_header);
+      std::cout << "[csv written to " << path << "]\n";
+    }
+  }
+}
+
+/// The paper's machine: page size 32, 256-element LRU cache, modulo
+/// partitioning (§6).
+inline MachineConfig paper_config() {
+  MachineConfig config;
+  config.page_size = 32;
+  config.cache_elements = 256;
+  return config;
+}
+
+}  // namespace sap::bench

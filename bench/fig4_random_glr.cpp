@@ -1,0 +1,27 @@
+// Figure 4 — "Random access pattern. Poor performance of RD can be
+// overcome by larger cache sizes."  General Linear Recurrence (LFK 6):
+// the B(k,i) column walk revisits far more pages than the 256-element
+// cache holds, so remote ratios stay high with or without caching.
+#include "bench_common.hpp"
+#include "kernels/livermore.hpp"
+
+int main() {
+  using namespace sap;
+  bench::print_header(
+      "Figure 4 — Random Access Pattern (General Linear Recurrence, LFK 6)",
+      "W(i) = W(i) + B(k,i)*W(i-k); the column walk thrashes the cache");
+
+  const CompiledProgram prog = build_k6_general_linear_recurrence();
+  const auto series = figure_series(prog, bench::paper_config(),
+                                    {1, 2, 4, 8, 16, 32}, {32, 64});
+  bench::emit_series("fig4", series, "PEs",
+                     "GLR: % remote reads vs PEs");
+
+  std::cout << "paper: 30-70% remote regardless of caching\n"
+            << "ours:  cache " << TextTable::num(series[0].y_at(4), 1)
+            << "-" << TextTable::num(series[0].y_at(32), 1)
+            << "%, no-cache " << TextTable::num(series[2].y_at(4), 1) << "-"
+            << TextTable::num(series[2].y_at(32), 1)
+            << "% (cache helps < 3x)\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// P1 — google-benchmark perf suite for the simulator itself: substrate
+// micro-benchmarks (partition math, cache ops, SA-store ops) and
+// whole-kernel simulation throughput in both execution modes.
+#include <benchmark/benchmark.h>
+
+#include "cache/page_cache.hpp"
+#include "core/simulator.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+#include "memory/sa_array.hpp"
+#include "partition/partitioner.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace sap;
+
+void BM_PartitionOwnerLookup(benchmark::State& state) {
+  const Partitioner part(make_partition_scheme(PartitionKind::kModulo), 32,
+                         static_cast<std::uint32_t>(state.range(0)));
+  const SaArray array(0, "A", ArrayShape::vector_1based(1 << 16));
+  std::int64_t linear = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.owner_of_element(array, linear));
+    linear = (linear + 97) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_PartitionOwnerLookup)->Arg(4)->Arg(64);
+
+void BM_PageCacheLookupInsert(benchmark::State& state) {
+  PageCache cache(256, 32,
+                  static_cast<ReplacementPolicy>(state.range(0)), 42);
+  SplitMix64 rng(7);
+  for (auto _ : state) {
+    const PageId page{0, static_cast<PageIndex>(rng.next_below(64))};
+    if (!cache.lookup(page, 0)) cache.insert(page, 0);
+  }
+}
+BENCHMARK(BM_PageCacheLookupInsert)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SaArrayWriteRead(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    SaArray array(0, "A", ArrayShape::vector_1based(4096));
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < 4096; ++i) array.write(i, 1.0);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < 4096; ++i) sum += array.read(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_SaArrayWriteRead);
+
+void BM_CountingSimulation(benchmark::State& state) {
+  const CompiledProgram prog = build_kernel("k01_hydro");
+  const Simulator sim(
+      MachineConfig{}.with_pes(static_cast<std::uint32_t>(state.range(0))));
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    const auto result = sim.run(prog, ExecutionMode::kCounting);
+    accesses = result.totals.total_reads() + result.totals.writes;
+    benchmark::DoNotOptimize(result.totals.remote_reads);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_CountingSimulation)->Arg(4)->Arg(64);
+
+void BM_DataflowSimulation(benchmark::State& state) {
+  const CompiledProgram prog = build_kernel("k01_hydro");
+  const Simulator sim(
+      MachineConfig{}.with_pes(static_cast<std::uint32_t>(state.range(0))));
+  for (auto _ : state) {
+    const auto result = sim.run(prog, ExecutionMode::kDataflow);
+    benchmark::DoNotOptimize(result.totals.remote_reads);
+  }
+}
+BENCHMARK(BM_DataflowSimulation)->Arg(4)->Arg(16);
+
+void BM_Iccg(benchmark::State& state) {
+  const CompiledProgram prog = build_kernel("k02_iccg");
+  const Simulator sim(MachineConfig{}.with_pes(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(prog).totals.remote_reads);
+  }
+}
+BENCHMARK(BM_Iccg);
+
+void BM_Hydro2dFigure5(benchmark::State& state) {
+  const CompiledProgram prog = build_k18_explicit_hydro_2d(400);
+  const Simulator sim(MachineConfig{}.with_pes(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(prog).totals.remote_reads);
+  }
+}
+BENCHMARK(BM_Hydro2dFigure5);
+
+void BM_CompileFrontend(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_kernel("k18_hydro2d").sema.arrays.size());
+  }
+}
+BENCHMARK(BM_CompileFrontend);
+
+}  // namespace
+
+BENCHMARK_MAIN();

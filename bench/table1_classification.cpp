@@ -1,0 +1,43 @@
+// Table 1 (the paper's §7.1 class assignments, presented as prose): every
+// implemented Livermore kernel with its paper class, our static
+// classification, the sweep-derived empirical classification, and the
+// measured remote fractions at 8 and 32 PEs with/without the cache.
+#include "bench_common.hpp"
+#include "core/empirical_classifier.hpp"
+#include "kernels/livermore.hpp"
+#include "support/text_table.hpp"
+
+int main() {
+  using namespace sap;
+  bench::print_header(
+      "Table 1 — Access-Class Assignments (paper §7.1)",
+      "paper class vs static classifier vs empirical classifier; remote% "
+      "at 8/32 PEs, ps 32, 256-element cache");
+
+  TextTable table({"kernel", "title", "paper", "static", "empirical",
+                   "%rem@8 (cache)", "%rem@8 (none)", "%rem@32 (cache)"});
+  int agreements = 0;
+  for (const auto& spec : livermore_kernels()) {
+    const CompiledProgram prog = spec.build();
+    const auto static_class = classify_program(prog.program, prog.sema);
+    const auto empirical = classify_empirical(prog, bench::paper_config());
+
+    const Simulator cached8(bench::paper_config().with_pes(8));
+    const Simulator nocache8(bench::paper_config().with_pes(8).with_cache(0));
+    const Simulator cached32(bench::paper_config().with_pes(32));
+
+    table.add_row({spec.id, spec.title, to_string(spec.paper_class),
+                   to_string(static_class.cls), to_string(empirical.cls),
+                   TextTable::pct(cached8.run(prog).remote_read_fraction()),
+                   TextTable::pct(nocache8.run(prog).remote_read_fraction()),
+                   TextTable::pct(cached32.run(prog).remote_read_fraction())});
+    if (static_class.cls == spec.paper_class &&
+        empirical.cls == spec.paper_class) {
+      ++agreements;
+    }
+  }
+  std::cout << table.to_string() << "\n"
+            << agreements << "/" << livermore_kernels().size()
+            << " kernels: paper = static = empirical\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The §5 automatic conversion tool, end to end: two conventional
+// (non-single-assignment) programs are converted — one by array
+// versioning, one by inserting the host-processor re-initialization
+// protocol — printed before/after, statically checked, and executed.
+#include <iostream>
+
+#include "core/reference_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "frontend/convert.hpp"
+#include "frontend/printer.hpp"
+#include "frontend/sa_check.hpp"
+#include "frontend/sema.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace {
+
+void demo(const char* title, sap::Program input) {
+  using namespace sap;
+  std::cout << "==== " << title << " ====\n\n--- before ---\n"
+            << print_program(input);
+
+  {
+    Program probe = clone(input);
+    const SemanticInfo sema = analyze(probe);
+    std::cout << "\nstatic single-assignment check:\n"
+              << check_single_assignment(probe, sema).report();
+  }
+
+  const ConversionResult converted = convert_to_single_assignment(input);
+  std::cout << "\nconversion actions:\n"
+            << converted.report() << "\n--- after ---\n"
+            << print_program(converted.program);
+
+  const CompiledProgram compiled = compile(clone(converted.program));
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  const SimulationResult result = sim.run(compiled);
+  std::cout << "\nruns clean on 4 PEs: " << result.summary() << "\n";
+  if (result.reinit_messages > 0) {
+    std::cout << "re-init protocol messages: " << result.reinit_messages
+              << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace sap;
+  // Case 1: a second top-level loop overwrites A -> fresh version A__2;
+  // the trailing consumer automatically reads the new version.
+  demo("sequential overwrite -> array versioning",
+       make_nonsa_sequential_overwrite(64));
+
+  // Case 2: a time-stepping loop rewrites A every iteration — renaming
+  // cannot help, so the converter inserts REINIT (the §5 protocol).
+  demo("time-stepped reuse -> host-processor re-initialization",
+       make_nonsa_timestep(64, 3));
+
+  std::cout << "Both inputs trap with DoubleWriteError if run unconverted — "
+               "the §3 hardware trap.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: compile a loop program from DSL source, run it on the
+// paper's abstract machine, and read off the access distribution.
+//
+//   $ ./quickstart
+//
+// covers the whole public API surface in ~40 lines: compile_source,
+// Simulator, SimulationResult, and the static classifier.
+#include <iostream>
+
+#include "core/simulator.hpp"
+#include "frontend/classifier.hpp"
+#include "stats/report.hpp"
+
+int main() {
+  using namespace sap;
+
+  // The paper's running example (§2): three 100-element arrays, four PEs,
+  // pages of 32 elements — plus its Figure-1 hydro loop.
+  const CompiledProgram program = compile_source(R"(
+PROGRAM quickstart
+ARRAY A(100) INIT NONE
+ARRAY B(100) INIT ALL
+ARRAY C(100) INIT ALL
+DO i = 1, 100
+  A(i) = B(101 - i) + C(i)
+END DO
+END PROGRAM
+)");
+
+  MachineConfig config;       // defaults = the paper's machine
+  config.num_pes = 4;         // §2's example machine
+  config.page_size = 32;
+  config.cache_elements = 256;
+
+  const Simulator simulator(config);
+  const SimulationResult result = simulator.run(program);
+
+  std::cout << result.summary() << "\n\n"
+            << "Per-PE distribution (write = always local, owner-computes):\n"
+            << per_pe_table(result) << "\n";
+
+  // What does the compiler think of this loop?
+  const auto classification =
+      classify_program(program.program, program.sema);
+  std::cout << "Static classification: " << to_string(classification.cls)
+            << "\n"
+            << classification.report() << "\n"
+            << "Note B's reversed index (101 - i): its stride runs against "
+               "the write,\nso the pages cycle — the cache absorbs most of "
+               "the remote traffic.\n";
+  return 0;
+}

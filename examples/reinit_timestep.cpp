@@ -1,0 +1,79 @@
+// The §5 host-processor re-initialization protocol in a time-stepped
+// Jacobi-style solver: two buffers are reused across steps via REINIT
+// instead of allocating a fresh version per step, demonstrating how a
+// statically-allocated single-assignment machine supports iteration.
+// Runs in both execution modes and prices the protocol.
+#include <iostream>
+
+#include "core/program_builder.hpp"
+#include "core/simulator.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+/// CUR holds the current field; each step writes NEXT from CUR's stencil,
+/// then copies NEXT back into a re-initialized CUR.  (A real compiler
+/// would swap roles per step; the copy keeps the example's loop bodies
+/// identical across steps, which is what REINIT enables.)
+sap::CompiledProgram jacobi(std::int64_t n, std::int64_t steps) {
+  using namespace sap;
+  ProgramBuilder b("jacobi_reinit");
+  b.prefix_array("CUR", {n}, n);  // initial field = init data
+  b.array("NEXT", {n});
+  b.input_array("BC", {2});  // Dirichlet boundary values
+  const Ex i = b.var("I");
+  b.begin_loop("T", 1, ex_num(static_cast<double>(steps)));
+  b.reinit("NEXT");
+  b.begin_loop("I", 2, ex_num(static_cast<double>(n - 1)));
+  b.assign("NEXT", {i},
+           0.5 * b.at("CUR", {i}) +
+               0.25 * (b.at("CUR", {i - 1}) + b.at("CUR", {i + 1})));
+  b.end_loop();
+  // Re-initialization wipes every cell, boundaries included: the new
+  // generation re-establishes them from the boundary-condition array.
+  b.reinit("CUR");
+  b.assign("CUR", {1}, b.at("BC", {1}));
+  b.assign("CUR", {ex_num(static_cast<double>(n))}, b.at("BC", {2}));
+  b.begin_loop("I", 2, ex_num(static_cast<double>(n - 1)));
+  b.assign("CUR", {i}, b.at("NEXT", {i}));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sap;
+  constexpr std::int64_t kN = 512;
+  constexpr std::int64_t kSteps = 5;
+  const CompiledProgram program = jacobi(kN, kSteps);
+
+  std::cout << "Time-stepped Jacobi smoothing, " << kN << " cells, " << kSteps
+            << " steps, arrays reused via the Section-5 protocol\n\n";
+
+  TextTable table({"PEs", "mode", "remote %", "reinit msgs", "page msgs",
+                   "generations (CUR)"});
+  for (const std::uint32_t pes : {4u, 16u}) {
+    for (const auto mode :
+         {ExecutionMode::kCounting, ExecutionMode::kDataflow}) {
+      const Simulator sim(MachineConfig{}.with_pes(pes));
+      std::unique_ptr<Machine> machine;
+      const SimulationResult result =
+          sim.run_with_machine(program, mode, machine);
+      table.add_row(
+          {std::to_string(pes), to_string(mode),
+           TextTable::pct(result.remote_read_fraction()),
+           std::to_string(result.reinit_messages),
+           std::to_string(result.network.messages - result.reinit_messages),
+           std::to_string(machine->arrays().by_name("CUR").generation())});
+    }
+  }
+  std::cout << table.to_string() << "\n"
+            << "Each REINIT costs 2(N-1) protocol messages; the generation "
+               "tags keep stale cached pages from ever serving the next "
+               "step (no coherence protocol needed).\n"
+            << "Both execution modes agree on every count — the §3 "
+               "synchronization is fully automatic.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "cache/page_cache.hpp"
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+PageCache::PageCache(std::int64_t capacity_elements, std::int64_t page_size,
+                     ReplacementPolicy policy, std::uint64_t seed)
+    : frame_count_(0), policy_(policy), rng_(seed) {
+  if (capacity_elements < 0) throw ConfigError("cache capacity negative");
+  if (page_size < 1) throw ConfigError("page size must be >= 1");
+  frame_count_ = capacity_elements / page_size;
+}
+
+bool PageCache::lookup(PageId page, std::uint64_t generation) {
+  if (!enabled()) {
+    ++stats_.misses;
+    return false;
+  }
+  auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  if (it->second.generation != generation) {
+    // Stale copy of a re-initialized array: drop it; miss.
+    order_.erase(it->second.order_pos);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return false;
+  }
+  if (policy_ == ReplacementPolicy::kLru) {
+    order_.splice(order_.end(), order_, it->second.order_pos);
+  }
+  ++stats_.hits;
+  return true;
+}
+
+void PageCache::insert(PageId page, std::uint64_t generation) {
+  if (!enabled()) return;
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    // Refresh of a stale or racing insert: update generation in place.
+    it->second.generation = generation;
+    if (policy_ == ReplacementPolicy::kLru) {
+      order_.splice(order_.end(), order_, it->second.order_pos);
+    }
+    return;
+  }
+  if (static_cast<std::int64_t>(entries_.size()) >= frame_count_) evict_one();
+  order_.push_back(page);
+  entries_.emplace(page, Entry{generation, std::prev(order_.end())});
+}
+
+void PageCache::evict_one() {
+  SAP_DCHECK(!order_.empty(), "evicting from empty cache");
+  std::list<PageId>::iterator victim;
+  if (policy_ == ReplacementPolicy::kRandom) {
+    auto idx = rng_.next_below(static_cast<std::uint64_t>(order_.size()));
+    victim = order_.begin();
+    std::advance(victim, static_cast<std::ptrdiff_t>(idx));
+  } else {
+    victim = order_.begin();  // LRU: least recent; FIFO: oldest.
+  }
+  entries_.erase(*victim);
+  order_.erase(victim);
+  ++stats_.evictions;
+}
+
+void PageCache::invalidate_array(ArrayId array) {
+  for (auto it = order_.begin(); it != order_.end();) {
+    if (it->array == array) {
+      entries_.erase(*it);
+      it = order_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  order_.clear();
+}
+
+bool PageCache::contains(PageId page, std::uint64_t generation) const {
+  auto it = entries_.find(page);
+  return it != entries_.end() && it->second.generation == generation;
+}
+
+}  // namespace sap

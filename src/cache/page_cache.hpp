@@ -1,0 +1,93 @@
+// Per-PE page cache for remotely fetched pages.
+//
+// §4: because of single assignment, "a page fetched from a remote PE and
+// cached locally will not need any further updates during the lifetime of
+// the array" — so there is no coherence protocol at all.  The cache has a
+// fixed capacity expressed in *elements* (the paper uses 256); the number
+// of page frames is capacity/page_size and therefore varies with page size
+// exactly as in §6.
+//
+// §5 reuse: entries are tagged with the array *generation* at fetch time;
+// a re-initialization invalidates by bumping the generation, making stale
+// hits impossible (tested in cache and machine suites).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/replacement.hpp"
+#include "memory/page.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+
+/// Aggregate statistics a cache accumulates over its lifetime.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class PageCache {
+ public:
+  /// capacity_elements == 0 builds a disabled cache (the "No Cache"
+  /// series of every figure): lookups always miss and inserts are ignored.
+  PageCache(std::int64_t capacity_elements, std::int64_t page_size,
+            ReplacementPolicy policy = ReplacementPolicy::kLru,
+            std::uint64_t seed = 0);
+
+  bool enabled() const noexcept { return frame_count_ > 0; }
+  std::int64_t frame_count() const noexcept { return frame_count_; }
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  ReplacementPolicy policy() const noexcept { return policy_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Lookup of (page, generation).  A hit refreshes recency under LRU.
+  /// A generation mismatch counts as a miss (stale entry is dropped).
+  bool lookup(PageId page, std::uint64_t generation);
+
+  /// Inserts after a miss (no-op when disabled or already present).
+  /// Evicts per policy when full.
+  void insert(PageId page, std::uint64_t generation);
+
+  /// Drops every entry belonging to `array` (§5 re-initialization path for
+  /// machines that prefer eager invalidation over generation tags).
+  void invalidate_array(ArrayId array);
+
+  /// Drops everything.
+  void clear();
+
+  /// True when the page is resident with the given generation (no stats
+  /// or recency side effects; for tests).
+  bool contains(PageId page, std::uint64_t generation) const;
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;
+    // Position in order_ (LRU/FIFO bookkeeping).
+    std::list<PageId>::iterator order_pos;
+  };
+
+  void evict_one();
+
+  std::int64_t frame_count_;
+  ReplacementPolicy policy_;
+  std::unordered_map<PageId, Entry> entries_;
+  // Front = next victim under LRU (least recent) and FIFO (oldest).
+  std::list<PageId> order_;
+  SplitMix64 rng_;
+  CacheStats stats_;
+};
+
+}  // namespace sap

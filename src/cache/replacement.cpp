@@ -1,0 +1,17 @@
+#include "cache/replacement.hpp"
+
+namespace sap {
+
+std::string to_string(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kFifo:
+      return "FIFO";
+    case ReplacementPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+}  // namespace sap

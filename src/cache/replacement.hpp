@@ -1,0 +1,21 @@
+// Cache replacement policies.
+//
+// §4: "The cache used will be of fixed size and thus must use some sort of
+// page replacement strategy. For our simulation, we chose a
+// least-recently-used page replacement strategy."  FIFO and Random are
+// provided for the A4 ablation (does the paper's LRU choice matter?).
+#pragma once
+
+#include <string>
+
+namespace sap {
+
+enum class ReplacementPolicy {
+  kLru,     // paper's choice
+  kFifo,    // insertion order
+  kRandom,  // uniform random victim (deterministic seed)
+};
+
+std::string to_string(ReplacementPolicy policy);
+
+}  // namespace sap

@@ -1,0 +1,54 @@
+#include "core/counting_interpreter.hpp"
+
+#include "core/executor_base.hpp"
+#include "machine/host_reinit.hpp"
+
+namespace sap {
+
+namespace {
+
+class CountingExecutor final : public SequentialExecutor {
+ public:
+  explicit CountingExecutor(Machine& machine) : machine_(machine) {}
+
+ protected:
+  PeId owner_of(const SaArray& array, std::int64_t linear) override {
+    return machine_.owner_of(array, linear);
+  }
+
+  void on_read(PeId pe, const SaArray& array, std::int64_t linear) override {
+    machine_.account_read(pe, array, linear);
+  }
+
+  void on_write(PeId pe, const SaArray& array, std::int64_t linear) override {
+    machine_.account_write(pe, array, linear);
+  }
+
+  void on_target_index_reads(
+      PeId pe, const std::vector<std::pair<const SaArray*, std::int64_t>>&
+                   reads) override {
+    for (const auto& [array, linear] : reads) {
+      machine_.account_read(pe, *array, linear);
+    }
+  }
+
+  void on_reinit(const SaArray& array) override {
+    // §5: every PE requests; the host grants on the last request (the
+    // coordinator reinitializes the array and invalidates caches).
+    for (PeId pe = 0; pe < machine_.num_pes(); ++pe) {
+      machine_.reinit().request_reinit(pe, array.id());
+    }
+  }
+
+ private:
+  Machine& machine_;
+};
+
+}  // namespace
+
+void run_counting(const CompiledProgram& compiled, Machine& machine) {
+  CountingExecutor executor(machine);
+  executor.execute(compiled, machine.arrays());
+}
+
+}  // namespace sap

@@ -1,0 +1,20 @@
+// Counting interpreter: one sequential pass over the iteration space,
+// attributing every statement instance to the PE that owns the written
+// element (owner-computes) and driving all accounting through the Machine.
+//
+// This is exact (not an approximation): caches are per-PE and mutate only
+// on that PE's own statement instances, so a single global pass produces
+// the same per-PE access streams as running the PEs concurrently.  The
+// dataflow interpreter cross-checks this claim test-side.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "machine/machine.hpp"
+
+namespace sap {
+
+/// Executes the program on the machine (arrays must be materialized).
+/// Throws DoubleWriteError / UndefinedReadError on SA violations.
+void run_counting(const CompiledProgram& compiled, Machine& machine);
+
+}  // namespace sap

@@ -1,0 +1,263 @@
+#include "core/dataflow_interpreter.hpp"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/executor_base.hpp"
+#include "machine/host_reinit.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+namespace {
+
+struct TraceInstance {
+  enum class Kind { kStatement, kAccumulate, kCommit, kReinit };
+  Kind kind = Kind::kStatement;
+  const ArrayAssign* stmt = nullptr;  // null for kReinit
+  ArrayId array = 0;                  // target array (all kinds)
+  std::int64_t target_linear = 0;
+  std::map<std::string, double> env;  // kStatement / kAccumulate only
+};
+
+/// Sequential pass that resolves control and screens instances per PE.
+/// Values are computed locally (a private registry) only to resolve
+/// indirect indices; they are discarded afterwards.
+class TraceBuilder final : public SequentialExecutor {
+ public:
+  TraceBuilder(const CompiledProgram& compiled, const Partitioner& partitioner,
+               std::uint32_t num_pes)
+      : partitioner_(partitioner), streams_(num_pes) {
+    materialize_arrays(compiled, scratch_);
+    execute(compiled, scratch_);
+  }
+
+  std::vector<std::deque<TraceInstance>> take_streams() {
+    return std::move(streams_);
+  }
+
+ protected:
+  PeId owner_of(const SaArray& array, std::int64_t linear) override {
+    return partitioner_.owner_of_element(array, linear);
+  }
+
+  void on_instance(const ArrayAssign& assign, PeId pe,
+                   std::int64_t target_linear, const EvalEnv& env,
+                   bool is_commit) override {
+    TraceInstance inst;
+    inst.stmt = &assign;
+    inst.array = scratch_.by_name(assign.array).id();
+    inst.target_linear = target_linear;
+    if (is_commit) {
+      inst.kind = TraceInstance::Kind::kCommit;
+    } else if (assign.is_reduction) {
+      inst.kind = TraceInstance::Kind::kAccumulate;
+      inst.env = env.values();
+    } else {
+      inst.kind = TraceInstance::Kind::kStatement;
+      inst.env = env.values();
+    }
+    streams_[pe].push_back(std::move(inst));
+  }
+
+  void on_reinit(const SaArray& array) override {
+    TraceInstance inst;
+    inst.kind = TraceInstance::Kind::kReinit;
+    inst.array = array.id();
+    for (auto& stream : streams_) stream.push_back(inst);
+    SequentialExecutor::on_reinit(array);  // keep scratch values coherent
+  }
+
+  bool tolerate_undefined_reads() const override {
+    // The trace pass resolves control and ownership only; values are
+    // recomputed during replay against the real I-structure store, where
+    // a read-before-write manifests as the machine-level deadlock.
+    return true;
+  }
+
+ private:
+  const Partitioner& partitioner_;
+  ArrayRegistry scratch_;
+  std::vector<std::deque<TraceInstance>> streams_;
+};
+
+/// Replays per-PE instance streams against the machine with I-structure
+/// semantics.
+class Replay {
+ public:
+  Replay(const CompiledProgram& compiled, Machine& machine,
+         std::vector<std::deque<TraceInstance>> streams)
+      : compiled_(compiled),
+        machine_(machine),
+        streams_(std::move(streams)),
+        cursors_(streams_.size(), 0),
+        reinit_state_(streams_.size()) {}
+
+  DataflowStats run() {
+    DataflowStats stats;
+    for (;;) {
+      bool progress = false;
+      bool all_done = true;
+      ++stats.scheduler_rounds;
+      for (PeId pe = 0; pe < streams_.size(); ++pe) {
+        // Run-to-block: a PE keeps going until it suspends or drains.
+        while (step(pe, stats)) progress = true;
+        if (cursors_[pe] < streams_[pe].size()) all_done = false;
+      }
+      if (all_done) return stats;
+      if (!progress) {
+        throw DeadlockError(
+            "dataflow machine quiesced with unfinished PEs: the program "
+            "reads a value before sequential order produces it (not legal "
+            "single assignment)");
+      }
+    }
+  }
+
+ private:
+  // Probe phase: is every operand defined?  Queues the PE on the first
+  // undefined cell; performs no accounting.
+  class ProbeReader final : public ArrayReader {
+   public:
+    ProbeReader(Machine& machine, PeId pe, const TraceInstance& inst)
+        : machine_(machine), pe_(pe), inst_(inst) {}
+    std::optional<double> read(
+        const std::string& array,
+        const std::vector<std::int64_t>& indices) override {
+      SaArray& a = machine_.arrays().by_name(array);
+      const std::int64_t linear = a.shape().linearize(indices);
+      if (inst_.kind == TraceInstance::Kind::kAccumulate &&
+          a.id() == inst_.array && linear == inst_.target_linear) {
+        return 0.0;  // accumulator register: always available
+      }
+      return a.read_or_defer(linear, pe_);
+    }
+
+   private:
+    Machine& machine_;
+    PeId pe_;
+    const TraceInstance& inst_;
+  };
+
+  // Execute phase: accounted reads, guaranteed defined.
+  class AccountingReader final : public ArrayReader {
+   public:
+    AccountingReader(Machine& machine, PeId pe, const TraceInstance& inst,
+                     double register_value)
+        : machine_(machine),
+          pe_(pe),
+          inst_(inst),
+          register_value_(register_value) {}
+    std::optional<double> read(
+        const std::string& array,
+        const std::vector<std::int64_t>& indices) override {
+      SaArray& a = machine_.arrays().by_name(array);
+      const std::int64_t linear = a.shape().linearize(indices);
+      if (inst_.kind == TraceInstance::Kind::kAccumulate &&
+          a.id() == inst_.array && linear == inst_.target_linear) {
+        return register_value_;
+      }
+      machine_.account_read(pe_, a, linear);
+      return a.read(linear);
+    }
+
+   private:
+    Machine& machine_;
+    PeId pe_;
+    const TraceInstance& inst_;
+    double register_value_;
+  };
+
+  bool step(PeId pe, DataflowStats& stats) {
+    auto& stream = streams_[pe];
+    std::size_t& cursor = cursors_[pe];
+    if (cursor >= stream.size()) return false;
+    TraceInstance& inst = stream[cursor];
+
+    switch (inst.kind) {
+      case TraceInstance::Kind::kStatement:
+      case TraceInstance::Kind::kAccumulate: {
+        EvalEnv env;
+        env.restore(inst.env);
+        ProbeReader probe(machine_, pe, inst);
+        if (!eval_expr(*inst.stmt->value, env, probe).has_value()) {
+          ++stats.suspensions;
+          return false;  // suspended: queued on the missing cell
+        }
+        const auto key = std::make_pair(inst.stmt, inst.target_linear);
+        const double reg =
+            inst.kind == TraceInstance::Kind::kAccumulate &&
+                    registers_.count(key)
+                ? registers_.at(key)
+                : 0.0;
+        AccountingReader reader(machine_, pe, inst, reg);
+        const auto value = eval_expr(*inst.stmt->value, env, reader);
+        SAP_CHECK(value.has_value(), "execute phase suspended after probe");
+        SaArray& array = machine_.arrays().at(inst.array);
+        if (inst.kind == TraceInstance::Kind::kAccumulate) {
+          registers_[key] = *value;
+        } else {
+          machine_.account_write(pe, array, inst.target_linear);
+          array.write(inst.target_linear, *value);
+        }
+        ++cursor;
+        return true;
+      }
+      case TraceInstance::Kind::kCommit: {
+        const auto key = std::make_pair(inst.stmt, inst.target_linear);
+        const auto reg = registers_.find(key);
+        SAP_CHECK(reg != registers_.end(),
+                  "commit without prior accumulation");
+        SaArray& array = machine_.arrays().at(inst.array);
+        machine_.account_write(pe, array, inst.target_linear);
+        array.write(inst.target_linear, reg->second);
+        registers_.erase(reg);
+        ++cursor;
+        return true;
+      }
+      case TraceInstance::Kind::kReinit: {
+        auto& state = reinit_state_[pe];
+        auto& requested = state.requested[inst.array];
+        auto& base_round = state.base_round[inst.array];
+        HostReinitCoordinator& coord = machine_.reinit();
+        if (!requested) {
+          base_round = coord.rounds_completed(inst.array);
+          coord.request_reinit(pe, inst.array);
+          requested = true;
+        }
+        if (coord.rounds_completed(inst.array) <= base_round) {
+          return false;  // waiting for the host's grant broadcast
+        }
+        requested = false;
+        ++cursor;
+        return true;
+      }
+    }
+    SAP_CHECK(false, "unknown instance kind");
+    return false;
+  }
+
+  struct ReinitState {
+    std::map<ArrayId, bool> requested;
+    std::map<ArrayId, std::uint64_t> base_round;
+  };
+
+  const CompiledProgram& compiled_;
+  Machine& machine_;
+  std::vector<std::deque<TraceInstance>> streams_;
+  std::vector<std::size_t> cursors_;
+  std::map<std::pair<const ArrayAssign*, std::int64_t>, double> registers_;
+  std::vector<ReinitState> reinit_state_;
+};
+
+}  // namespace
+
+DataflowStats run_dataflow(const CompiledProgram& compiled, Machine& machine) {
+  TraceBuilder builder(compiled, machine.partitioner(), machine.num_pes());
+  Replay replay(compiled, machine, builder.take_streams());
+  return replay.run();
+}
+
+}  // namespace sap

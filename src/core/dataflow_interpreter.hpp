@@ -1,0 +1,36 @@
+// Dataflow interpreter: faithful execution of the §3 synchronization model.
+//
+// Every PE executes its screened subsequence of statement instances
+// in order.  A read of an undefined cell *suspends* the PE (the request is
+// queued on the cell, §3/§4); the scheduler round-robins the PEs until all
+// streams drain.  A full pass with no progress means the program has a
+// read-before-write in sequential order — DeadlockError.  A second write to
+// any cell traps (DoubleWriteError), exactly the paper's "runtime error".
+//
+// Mechanically: a sequential trace pass first resolves control (loop
+// bounds, scalar arithmetic — replicated on every PE per §2, hence
+// identical and precomputable) into per-PE instance streams; the replay
+// then performs every memory access against the machine in stream order.
+// Statement instances are two-phase: a *probe* checks that every operand
+// is defined (queuing the PE otherwise, with no accounting side effects),
+// and only then the *execute* phase performs the accounted reads and the
+// write.  This guarantees each operand is accounted exactly once, in the
+// same per-PE order as the counting interpreter — the equivalence the
+// tests assert.
+#pragma once
+
+#include "core/simulator.hpp"
+#include "machine/machine.hpp"
+
+namespace sap {
+
+struct DataflowStats {
+  std::uint64_t scheduler_rounds = 0;  // full passes over the PE set
+  std::uint64_t suspensions = 0;       // probe failures (deferred reads)
+};
+
+/// Executes the program on the machine (arrays must be materialized).
+/// Throws DeadlockError when the program is not legal single assignment.
+DataflowStats run_dataflow(const CompiledProgram& compiled, Machine& machine);
+
+}  // namespace sap

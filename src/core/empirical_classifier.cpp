@@ -1,0 +1,65 @@
+#include "core/empirical_classifier.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/sweep.hpp"
+
+namespace sap {
+
+EmpiricalClassification classify_empirical(const CompiledProgram& compiled,
+                                           const MachineConfig& base) {
+  // Single-PE runs are trivially 0% remote; sweep multi-PE counts only.
+  const std::vector<std::uint32_t> pes{2, 4, 8, 16, 32};
+
+  const SweepSeries cached = sweep_pes(compiled, base, pes, "cache",
+                                       remote_read_percent());
+  const SweepSeries nocache = sweep_pes(compiled, base.with_cache(0), pes,
+                                        "nocache", remote_read_percent());
+
+  EmpiricalClassification out;
+  out.cached_min_percent = cached.min_y();
+  out.cached_max_percent = cached.max_y();
+  out.cached_first_percent = cached.points.front().y;
+  out.cached_last_percent = cached.points.back().y;
+  out.nocache_max_percent = nocache.max_y();
+
+  std::ostringstream why;
+  if (out.nocache_max_percent < 0.5 && out.cached_max_percent < 0.5) {
+    out.cls = AccessClass::kMatched;
+    why << "remote reads ~0% at every PE count";
+  } else if (out.cached_min_percent > 20.0) {
+    // §7.1.4: "RD exhibits large remote access ratios regardless of the
+    // presence or absence of caching."
+    out.cls = AccessClass::kRandom;
+    why << "cache leaves >=" << out.cached_min_percent
+        << "% remote at every PE count";
+  } else if (out.cached_last_percent <= 0.6 * out.cached_first_percent &&
+             out.cached_first_percent > 0.5) {
+    // §7.1.3: remote% "decreases ... as the number of PEs increases".
+    out.cls = AccessClass::kCyclic;
+    why << "cached remote% falls from " << out.cached_first_percent
+        << "% to " << out.cached_last_percent << "% as PEs grow";
+  } else if (out.cached_max_percent <= 12.0 &&
+             out.nocache_max_percent <= 25.0) {
+    // §7.1.2: low remote% whose no-cache penalty is just the skew cost.
+    out.cls = AccessClass::kSkewed;
+    why << "cached remote% stays low (max " << out.cached_max_percent
+        << "%) with a modest no-cache penalty";
+  } else if (out.cached_max_percent <= 12.0) {
+    // §7.1.3's other signature: "without a cache, CD displays poor
+    // performance ... with a cache the percentage of remote accesses
+    // decreases" — the cache rescues a pattern that jumps page to page.
+    out.cls = AccessClass::kCyclic;
+    why << "cache rescues a poor pattern: " << out.nocache_max_percent
+        << "% remote uncached vs " << out.cached_max_percent << "% cached";
+  } else {
+    out.cls = AccessClass::kRandom;
+    why << "cached remote% high (max " << out.cached_max_percent
+        << "%) without the cyclic decrease";
+  }
+  out.rationale = why.str();
+  return out;
+}
+
+}  // namespace sap

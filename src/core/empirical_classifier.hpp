@@ -1,0 +1,38 @@
+// Empirical access-pattern classification.
+//
+// The paper derives its four classes from simulation curves ("by examining
+// graphs produced by the simulation data, we were able to classify the
+// various loops", §7.1).  This classifier does the same mechanically from
+// a PE sweep:
+//
+//   Matched — ~0% remote with or without cache at every PE count
+//   Cyclic  — cached remote% decreases markedly as PEs grow (§7.1.3:
+//             caching becomes "nearly perfect" as each PE's share shrinks)
+//   Random  — high remote% with the cache at every PE count (§7.1.4)
+//   Skewed  — the remainder: low, roughly flat cached remote%
+//
+// Tests cross-validate this against the static classifier on the
+// Livermore suite.
+#pragma once
+
+#include <string>
+
+#include "core/simulator.hpp"
+#include "frontend/classifier.hpp"
+
+namespace sap {
+
+struct EmpiricalClassification {
+  AccessClass cls = AccessClass::kMatched;
+  double cached_min_percent = 0.0;   // min over PE counts, cache on
+  double cached_max_percent = 0.0;   // max over PE counts, cache on
+  double cached_first_percent = 0.0; // at the smallest multi-PE count
+  double cached_last_percent = 0.0;  // at the largest PE count
+  double nocache_max_percent = 0.0;
+  std::string rationale;
+};
+
+EmpiricalClassification classify_empirical(const CompiledProgram& compiled,
+                                           const MachineConfig& base);
+
+}  // namespace sap

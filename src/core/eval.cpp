@@ -1,0 +1,100 @@
+#include "core/eval.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace sap {
+
+double EvalEnv::get(const std::string& name) const {
+  const auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    throw Error("unbound variable '" + name + "' at evaluation time");
+  }
+  return it->second;
+}
+
+std::optional<double> eval_expr(const Expr& expr, const EvalEnv& env,
+                                ArrayReader& reader) {
+  return std::visit(
+      [&](const auto& node) -> std::optional<double> {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          return node.value;
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          return env.get(node.name);
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          const auto indices = eval_indices(node.indices, env, reader);
+          if (!indices) return std::nullopt;
+          return reader.read(node.name, *indices);
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          std::vector<double> args;
+          args.reserve(node.args.size());
+          for (const auto& a : node.args) {
+            const auto v = eval_expr(*a, env, reader);
+            if (!v) return std::nullopt;
+            args.push_back(*v);
+          }
+          switch (node.kind) {
+            case IntrinsicKind::kIDiv:
+              if (args[1] == 0.0) throw Error("IDIV by zero");
+              return std::trunc(args[0] / args[1]);
+            case IntrinsicKind::kMod:
+              if (args[1] == 0.0) throw Error("MOD by zero");
+              return std::fmod(args[0], args[1]);
+            case IntrinsicKind::kMin:
+              return std::min(args[0], args[1]);
+            case IntrinsicKind::kMax:
+              return std::max(args[0], args[1]);
+            case IntrinsicKind::kAbs:
+              return std::abs(args[0]);
+          }
+          throw Error("unknown intrinsic");
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          const auto v = eval_expr(*node.operand, env, reader);
+          if (!v) return std::nullopt;
+          return -*v;
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          const auto lhs = eval_expr(*node.lhs, env, reader);
+          if (!lhs) return std::nullopt;
+          const auto rhs = eval_expr(*node.rhs, env, reader);
+          if (!rhs) return std::nullopt;
+          switch (node.op) {
+            case BinaryOp::kAdd: return *lhs + *rhs;
+            case BinaryOp::kSub: return *lhs - *rhs;
+            case BinaryOp::kMul: return *lhs * *rhs;
+            case BinaryOp::kDiv:
+              if (*rhs == 0.0) throw Error("division by zero");
+              return *lhs / *rhs;
+          }
+          throw Error("unknown binary operator");
+        }
+      },
+      expr.node);
+}
+
+std::optional<std::int64_t> eval_index(const Expr& expr, const EvalEnv& env,
+                                       ArrayReader& reader) {
+  const auto v = eval_expr(expr, env, reader);
+  if (!v) return std::nullopt;
+  const double rounded = std::round(*v);
+  if (std::abs(*v - rounded) > 1e-6) {
+    throw Error("array index evaluated to non-integer " + std::to_string(*v));
+  }
+  return static_cast<std::int64_t>(rounded);
+}
+
+std::optional<std::vector<std::int64_t>> eval_indices(
+    const std::vector<ExprPtr>& indices, const EvalEnv& env,
+    ArrayReader& reader) {
+  std::vector<std::int64_t> out;
+  out.reserve(indices.size());
+  for (const auto& idx : indices) {
+    const auto v = eval_index(*idx, env, reader);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace sap

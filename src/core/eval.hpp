@@ -1,0 +1,67 @@
+// Expression evaluation shared by every interpreter.
+//
+// Evaluation is parameterized over an ArrayReader so the same walk serves:
+//   - the reference interpreter (strict reads from a plain registry),
+//   - the counting interpreter (reads accounted against the executing PE),
+//   - the dataflow interpreter (split-phase reads that may suspend).
+// A read returning nullopt aborts the evaluation with nullopt ("suspend");
+// strict readers throw instead, so nullopt never escapes them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace sap {
+
+/// Loop variables and scalars live here during execution.  Scalar control
+/// is replicated across PEs (§2: each PE runs a copy of the loop body), so
+/// the environment is never a source of communication.
+class EvalEnv {
+ public:
+  void set(const std::string& name, double value) { vars_[name] = value; }
+  double get(const std::string& name) const;
+  bool contains(const std::string& name) const {
+    return vars_.count(name) != 0;
+  }
+  void erase(const std::string& name) { vars_.erase(name); }
+
+  /// Snapshot for the dataflow trace (instances re-evaluate later).
+  const std::map<std::string, double>& values() const noexcept { return vars_; }
+  void restore(std::map<std::string, double> values) {
+    vars_ = std::move(values);
+  }
+
+ private:
+  std::map<std::string, double> vars_;
+};
+
+/// Supplies array element values during evaluation.
+class ArrayReader {
+ public:
+  virtual ~ArrayReader() = default;
+
+  /// Value of array[indices]; nullopt = suspend (dataflow probe only).
+  virtual std::optional<double> read(const std::string& array,
+                                     const std::vector<std::int64_t>& indices) = 0;
+};
+
+/// Evaluates an expression; nullopt propagates a suspended read.
+/// Throws Error on arithmetic faults (division by zero, non-integral index).
+std::optional<double> eval_expr(const Expr& expr, const EvalEnv& env,
+                                ArrayReader& reader);
+
+/// Evaluates an index expression to an integer (validates integrality).
+std::optional<std::int64_t> eval_index(const Expr& expr, const EvalEnv& env,
+                                       ArrayReader& reader);
+
+/// Evaluates every index of an array reference.
+std::optional<std::vector<std::int64_t>> eval_indices(
+    const std::vector<ExprPtr>& indices, const EvalEnv& env,
+    ArrayReader& reader);
+
+}  // namespace sap

@@ -1,0 +1,239 @@
+#include "core/executor_base.hpp"
+
+#include <variant>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+namespace {
+
+/// Reader that must never be consulted (scalar control reads no arrays;
+/// enforced by sema).
+class NoArrayReader final : public ArrayReader {
+ public:
+  std::optional<double> read(const std::string& array,
+                             const std::vector<std::int64_t>&) override {
+    throw Error("array '" + array +
+                "' read in a scalar/control context (not allowed)");
+  }
+};
+
+}  // namespace
+
+void SequentialExecutor::execute(const CompiledProgram& compiled,
+                                 ArrayRegistry& registry) {
+  compiled_ = &compiled;
+  registry_ = &registry;
+  env_ = EvalEnv{};
+  registers_.clear();
+  pending_trip_.clear();
+  pending_exit_.clear();
+
+  for (const auto& decl : compiled.program.scalars) {
+    env_.set(decl.name, decl.init);
+  }
+  for (const auto& stmt : compiled.program.body) exec_stmt(*stmt);
+  // Commit-immediately reductions are keyed on nullptr.
+  flush_commits(pending_trip_, nullptr);
+  SAP_CHECK(registers_.empty(), "unfinished reduction registers at end");
+}
+
+PeId SequentialExecutor::owner_of(const SaArray&, std::int64_t) { return 0; }
+void SequentialExecutor::on_read(PeId, const SaArray&, std::int64_t) {}
+void SequentialExecutor::on_write(PeId, const SaArray&, std::int64_t) {}
+void SequentialExecutor::on_target_index_reads(
+    PeId, const std::vector<std::pair<const SaArray*, std::int64_t>>&) {}
+void SequentialExecutor::on_instance(const ArrayAssign&, PeId, std::int64_t,
+                                     const EvalEnv&, bool) {}
+void SequentialExecutor::on_reinit(const SaArray& array) {
+  registry_->by_name(array.name()).reinitialize();
+}
+
+void SequentialExecutor::exec_stmt(const Stmt& stmt) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayAssign>) {
+          exec_assign(node);
+        } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+          NoArrayReader reader;
+          const auto v = eval_expr(*node.value, env_, reader);
+          SAP_CHECK(v.has_value(), "scalar evaluation suspended");
+          env_.set(node.name, *v);
+        } else if constexpr (std::is_same_v<T, DoLoop>) {
+          exec_loop(node);
+        } else if constexpr (std::is_same_v<T, ReinitStmt>) {
+          on_reinit(registry_->by_name(node.array));
+        }
+      },
+      stmt.node);
+}
+
+void SequentialExecutor::exec_loop(const DoLoop& loop) {
+  NoArrayReader reader;
+  const auto lo = eval_expr(*loop.lower, env_, reader);
+  const auto hi = eval_expr(*loop.upper, env_, reader);
+  double step = 1.0;
+  if (loop.step) {
+    const auto s = eval_expr(*loop.step, env_, reader);
+    SAP_CHECK(s.has_value(), "loop step suspended");
+    step = *s;
+  }
+  if (step == 0.0) throw Error("loop '" + loop.var + "' has zero step");
+  SAP_CHECK(lo && hi, "loop bounds suspended");
+
+  for (double v = *lo; step > 0 ? v <= *hi : v >= *hi; v += step) {
+    env_.set(loop.var, v);
+    for (const auto& stmt : loop.body) exec_stmt(*stmt);
+    flush_commits(pending_trip_, &loop);
+  }
+  flush_commits(pending_exit_, &loop);
+  env_.erase(loop.var);
+}
+
+void SequentialExecutor::flush_commits(
+    std::map<const DoLoop*, std::vector<PendingCommit>>& queue,
+    const DoLoop* loop) {
+  const auto it = queue.find(loop);
+  if (it == queue.end()) return;
+  for (const PendingCommit& pc : it->second) {
+    const auto key = std::make_pair(pc.stmt, pc.linear);
+    const auto reg = registers_.find(key);
+    SAP_CHECK(reg != registers_.end(), "missing reduction register");
+    const double value = reg->second;
+    registers_.erase(reg);
+
+    SaArray& array = registry_->by_name(pc.stmt->array);
+    const PeId pe = owner_of(array, pc.linear);
+    on_instance(*pc.stmt, pe, pc.linear, env_, /*is_commit=*/true);
+    on_write(pe, array, pc.linear);
+    array.write(pc.linear, value);
+  }
+  it->second.clear();
+}
+
+double SequentialExecutor::read_for_value(
+    PeId pe, const std::string& name,
+    const std::vector<std::int64_t>& indices) {
+  SaArray& array = registry_->by_name(name);
+  const std::int64_t linear = array.shape().linearize(indices);
+  on_read(pe, array, linear);
+  if (tolerate_undefined_reads() && !array.is_defined(linear)) return 0.0;
+  return array.read(linear);
+}
+
+void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
+  // Resolve the target.  Reads needed by an *indirect* write index are
+  // collected first and attributed once the owner is known.
+  std::vector<std::pair<const SaArray*, std::int64_t>> index_reads;
+  class CollectingReader final : public ArrayReader {
+   public:
+    CollectingReader(ArrayRegistry& registry,
+                     std::vector<std::pair<const SaArray*, std::int64_t>>& out,
+                     bool tolerant)
+        : registry_(registry), out_(out), tolerant_(tolerant) {}
+    std::optional<double> read(
+        const std::string& array,
+        const std::vector<std::int64_t>& indices) override {
+      SaArray& a = registry_.by_name(array);
+      const std::int64_t linear = a.shape().linearize(indices);
+      out_.emplace_back(&a, linear);
+      if (tolerant_ && !a.is_defined(linear)) return 0.0;
+      return a.read(linear);
+    }
+
+   private:
+    ArrayRegistry& registry_;
+    std::vector<std::pair<const SaArray*, std::int64_t>>& out_;
+    bool tolerant_;
+  };
+  CollectingReader target_reader(*registry_, index_reads,
+                                 tolerate_undefined_reads());
+  const auto indices = eval_indices(assign.indices, env_, target_reader);
+  SAP_CHECK(indices.has_value(), "target index evaluation suspended");
+
+  SaArray& array = registry_->by_name(assign.array);
+  const std::int64_t target_linear = array.shape().linearize(*indices);
+  const PeId pe = owner_of(array, target_linear);
+  if (!index_reads.empty()) on_target_index_reads(pe, index_reads);
+  on_instance(assign, pe, target_linear, env_, /*is_commit=*/false);
+
+  if (assign.is_reduction) {
+    // Accumulate in an owner-local register; reads of the target element
+    // come from the register and are not memory traffic.
+    const auto key = std::make_pair(&assign, target_linear);
+    const bool fresh = registers_.find(key) == registers_.end();
+    const double current = fresh ? 0.0 : registers_.at(key);
+
+    class ReductionReader final : public ArrayReader {
+     public:
+      ReductionReader(SequentialExecutor& exec, PeId pe,
+                      const std::string& target_array,
+                      std::int64_t target_linear, double register_value)
+          : exec_(exec),
+            pe_(pe),
+            target_array_(target_array),
+            target_linear_(target_linear),
+            register_value_(register_value) {}
+      std::optional<double> read(
+          const std::string& array,
+          const std::vector<std::int64_t>& indices) override {
+        SaArray& a = exec_.registry()->by_name(array);
+        const std::int64_t linear = a.shape().linearize(indices);
+        if (array == target_array_ && linear == target_linear_) {
+          return register_value_;
+        }
+        exec_.on_read(pe_, a, linear);
+        if (exec_.tolerate_undefined_reads() && !a.is_defined(linear)) {
+          return 0.0;
+        }
+        return a.read(linear);
+      }
+
+     private:
+      SequentialExecutor& exec_;
+      PeId pe_;
+      const std::string& target_array_;
+      std::int64_t target_linear_;
+      double register_value_;
+    };
+    ReductionReader reader(*this, pe, assign.array, target_linear, current);
+    const auto value = eval_expr(*assign.value, env_, reader);
+    SAP_CHECK(value.has_value(), "reduction evaluation suspended");
+    registers_[key] = *value;
+
+    if (fresh) {
+      const auto commit_it = compiled_->commit_loops.find(&assign);
+      const CommitPoint commit = commit_it != compiled_->commit_loops.end()
+                                     ? commit_it->second
+                                     : CommitPoint{};
+      auto& queue = commit.at_exit ? pending_exit_ : pending_trip_;
+      queue[commit.loop].push_back(PendingCommit{&assign, target_linear});
+      if (commit.loop == nullptr) flush_commits(pending_trip_, nullptr);
+    }
+    return;
+  }
+
+  class ValueReader final : public ArrayReader {
+   public:
+    ValueReader(SequentialExecutor& exec, PeId pe) : exec_(exec), pe_(pe) {}
+    std::optional<double> read(
+        const std::string& array,
+        const std::vector<std::int64_t>& indices) override {
+      return exec_.read_for_value(pe_, array, indices);
+    }
+
+   private:
+    SequentialExecutor& exec_;
+    PeId pe_;
+  };
+  ValueReader reader(*this, pe);
+  const auto value = eval_expr(*assign.value, env_, reader);
+  SAP_CHECK(value.has_value(), "value evaluation suspended");
+  on_write(pe, array, target_linear);
+  array.write(target_linear, *value);
+}
+
+}  // namespace sap

@@ -1,0 +1,94 @@
+// Sequential program walker shared by the reference interpreter, the
+// counting interpreter and the dataflow trace builder.
+//
+// The walker executes the program in sequential (Fortran) order against an
+// ArrayRegistry, resolving control (loops, scalar assignments) eagerly, and
+// routes every array touch through virtual hooks so subclasses can account,
+// record, or ignore accesses.  Owner-computes attribution: each array
+// assignment instance is executed "by" the PE owning the written element
+// (hook `owner_of`); reductions accumulate in registers and commit at the
+// trip end of their commit loop (§5 / DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/eval.hpp"
+#include "core/simulator.hpp"
+#include "memory/array_registry.hpp"
+#include "partition/scheme.hpp"
+
+namespace sap {
+
+class SequentialExecutor {
+ public:
+  virtual ~SequentialExecutor() = default;
+
+  /// Executes the whole program.  The registry must already contain all
+  /// declared arrays with their initialization data.
+  void execute(const CompiledProgram& compiled, ArrayRegistry& registry);
+
+ protected:
+  // ------------------------------------------------------------------ hooks
+  /// PE that executes statements writing array[linear] (default: PE 0).
+  virtual PeId owner_of(const SaArray& array, std::int64_t linear);
+
+  /// An array read performed by `pe`; called *before* the value is fetched.
+  virtual void on_read(PeId pe, const SaArray& array, std::int64_t linear);
+
+  /// An array write performed by `pe`; called *before* the store.
+  virtual void on_write(PeId pe, const SaArray& array, std::int64_t linear);
+
+  /// Reads performed while resolving an indirect *write* index: attributed
+  /// to the owner once it is known (empty for affine targets).
+  virtual void on_target_index_reads(
+      PeId pe, const std::vector<std::pair<const SaArray*, std::int64_t>>&
+                   reads);
+
+  /// Statement-instance bracket (the dataflow trace builder records here).
+  virtual void on_instance(const ArrayAssign& assign, PeId pe,
+                           std::int64_t target_linear, const EvalEnv& env,
+                           bool is_commit);
+
+  /// §5 protocol point.
+  virtual void on_reinit(const SaArray& array);
+
+  /// When true, a read of an undefined cell yields a placeholder (0.0)
+  /// instead of trapping.  Only the dataflow trace builder enables this:
+  /// it resolves control and ownership, not values — replay recomputes
+  /// every value against the real I-structure store, so an illegal
+  /// read-before-write surfaces there as the paper's machine-level
+  /// behaviour (a deadlocked PE), not as a front-end trap.  Legal
+  /// single-assignment programs never reach the placeholder path.
+  virtual bool tolerate_undefined_reads() const { return false; }
+
+  ArrayRegistry* registry() noexcept { return registry_; }
+
+ private:
+  struct PendingCommit {
+    const ArrayAssign* stmt;
+    std::int64_t linear;
+  };
+
+  void exec_stmt(const Stmt& stmt);
+  void exec_assign(const ArrayAssign& assign);
+  void exec_loop(const DoLoop& loop);
+  void flush_commits(std::map<const DoLoop*, std::vector<PendingCommit>>& queue,
+                     const DoLoop* loop);
+  double read_for_value(PeId pe, const std::string& name,
+                        const std::vector<std::int64_t>& indices);
+
+  const CompiledProgram* compiled_ = nullptr;
+  ArrayRegistry* registry_ = nullptr;
+  EvalEnv env_;
+  // (stmt, element) -> accumulated value for in-flight reductions.
+  std::map<std::pair<const ArrayAssign*, std::int64_t>, double> registers_;
+  // commit loop -> pending commits; trip-end commits flush after every
+  // iteration, exit commits flush once when the loop finishes.
+  std::map<const DoLoop*, std::vector<PendingCommit>> pending_trip_;
+  std::map<const DoLoop*, std::vector<PendingCommit>> pending_exit_;
+};
+
+}  // namespace sap

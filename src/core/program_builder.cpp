@@ -1,0 +1,208 @@
+#include "core/program_builder.hpp"
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+Ex::Ex(double value) : expr_(make_number(value)) {}
+Ex::Ex(int value) : expr_(make_number(value)) {}
+Ex::Ex(ExprPtr expr) : expr_(std::move(expr)) {}
+
+Ex::Ex(const Ex& other) : expr_(other.expr_ ? clone(*other.expr_) : nullptr) {}
+
+Ex& Ex::operator=(const Ex& other) {
+  if (this != &other) {
+    expr_ = other.expr_ ? clone(*other.expr_) : nullptr;
+  }
+  return *this;
+}
+
+ExprPtr Ex::take() {
+  SAP_CHECK(expr_ != nullptr, "expression handle already consumed");
+  return std::move(expr_);
+}
+
+ExprPtr Ex::materialize() const {
+  SAP_CHECK(expr_ != nullptr, "expression handle is empty");
+  return clone(*expr_);
+}
+
+Ex operator+(Ex lhs, Ex rhs) {
+  return Ex(make_binary(BinaryOp::kAdd, lhs.take(), rhs.take()));
+}
+Ex operator-(Ex lhs, Ex rhs) {
+  return Ex(make_binary(BinaryOp::kSub, lhs.take(), rhs.take()));
+}
+Ex operator*(Ex lhs, Ex rhs) {
+  return Ex(make_binary(BinaryOp::kMul, lhs.take(), rhs.take()));
+}
+Ex operator/(Ex lhs, Ex rhs) {
+  return Ex(make_binary(BinaryOp::kDiv, lhs.take(), rhs.take()));
+}
+Ex operator-(Ex operand) { return Ex(make_neg(operand.take())); }
+
+Ex ex_num(double value) { return Ex(make_number(value)); }
+Ex ex_var(const std::string& name) { return Ex(make_var(name)); }
+
+Ex ex_at(const std::string& array, std::vector<Ex> indices) {
+  std::vector<ExprPtr> idx;
+  idx.reserve(indices.size());
+  for (auto& e : indices) idx.push_back(e.take());
+  return Ex(make_array_ref(array, std::move(idx)));
+}
+
+namespace {
+Ex intrinsic2(IntrinsicKind kind, Ex a, Ex b) {
+  std::vector<ExprPtr> args;
+  args.push_back(a.take());
+  args.push_back(b.take());
+  return Ex(make_intrinsic(kind, std::move(args)));
+}
+}  // namespace
+
+Ex ex_idiv(Ex lhs, Ex rhs) {
+  return intrinsic2(IntrinsicKind::kIDiv, std::move(lhs), std::move(rhs));
+}
+Ex ex_mod(Ex lhs, Ex rhs) {
+  return intrinsic2(IntrinsicKind::kMod, std::move(lhs), std::move(rhs));
+}
+Ex ex_min(Ex lhs, Ex rhs) {
+  return intrinsic2(IntrinsicKind::kMin, std::move(lhs), std::move(rhs));
+}
+Ex ex_max(Ex lhs, Ex rhs) {
+  return intrinsic2(IntrinsicKind::kMax, std::move(lhs), std::move(rhs));
+}
+Ex ex_abs(Ex operand) {
+  std::vector<ExprPtr> args;
+  args.push_back(operand.take());
+  return Ex(make_intrinsic(IntrinsicKind::kAbs, std::move(args)));
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  program_.name = std::move(name);
+}
+
+ProgramBuilder& ProgramBuilder::array(const std::string& name,
+                                      std::vector<std::int64_t> extents) {
+  ArrayDecl decl;
+  decl.name = name;
+  for (const std::int64_t e : extents) decl.dims.push_back(DimBound{1, e});
+  decl.init = InitMode::kNone;
+  program_.arrays.push_back(std::move(decl));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::input_array(
+    const std::string& name, std::vector<std::int64_t> extents) {
+  ArrayDecl decl;
+  decl.name = name;
+  for (const std::int64_t e : extents) decl.dims.push_back(DimBound{1, e});
+  decl.init = InitMode::kAll;
+  program_.arrays.push_back(std::move(decl));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::prefix_array(const std::string& name,
+                                             std::vector<std::int64_t> extents,
+                                             std::int64_t prefix) {
+  ArrayDecl decl;
+  decl.name = name;
+  for (const std::int64_t e : extents) decl.dims.push_back(DimBound{1, e});
+  decl.init = InitMode::kPrefix;
+  decl.init_prefix = prefix;
+  program_.arrays.push_back(std::move(decl));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::array_decl(ArrayDecl decl) {
+  program_.arrays.push_back(std::move(decl));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::scalar(const std::string& name, double init) {
+  ScalarDecl decl;
+  decl.name = name;
+  decl.init = init;
+  program_.scalars.push_back(std::move(decl));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::custom_init(
+    const std::string& name, std::function<double(std::int64_t)> fn) {
+  custom_inits_[name] = std::move(fn);
+  return *this;
+}
+
+std::vector<StmtPtr>& ProgramBuilder::current_body() {
+  return loop_stack_.empty() ? program_.body : loop_stack_.back()->body;
+}
+
+ProgramBuilder& ProgramBuilder::begin_loop(const std::string& var, Ex lower,
+                                           Ex upper) {
+  auto stmt = std::make_unique<Stmt>();
+  DoLoop loop;
+  loop.var = var;
+  loop.lower = lower.take();
+  loop.upper = upper.take();
+  stmt->node = std::move(loop);
+  auto& body = current_body();
+  body.push_back(std::move(stmt));
+  loop_stack_.push_back(&std::get<DoLoop>(body.back()->node));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::begin_loop_step(const std::string& var,
+                                                Ex lower, Ex upper, Ex step) {
+  begin_loop(var, std::move(lower), std::move(upper));
+  loop_stack_.back()->step = step.take();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_loop() {
+  SAP_CHECK(!loop_stack_.empty(), "end_loop without begin_loop");
+  loop_stack_.pop_back();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::assign(const std::string& array,
+                                       std::vector<Ex> indices, Ex value) {
+  auto stmt = std::make_unique<Stmt>();
+  ArrayAssign node;
+  node.array = array;
+  for (auto& idx : indices) node.indices.push_back(idx.take());
+  node.value = value.take();
+  stmt->node = std::move(node);
+  current_body().push_back(std::move(stmt));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::scalar_assign(const std::string& name,
+                                              Ex value) {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = ScalarAssign{name, value.take()};
+  current_body().push_back(std::move(stmt));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::reinit(const std::string& array) {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = ReinitStmt{array};
+  current_body().push_back(std::move(stmt));
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  SAP_CHECK(loop_stack_.empty(), "unclosed loop at build()");
+  SAP_CHECK(!built_, "build() called twice");
+  built_ = true;
+  return std::move(program_);
+}
+
+CompiledProgram ProgramBuilder::compile() {
+  CompiledProgram compiled = sap::compile(build());
+  compiled.custom_inits = std::move(custom_inits_);
+  return compiled;
+}
+
+}  // namespace sap

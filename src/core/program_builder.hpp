@@ -1,0 +1,120 @@
+// Programmatic construction of loop programs.
+//
+// Kernels (src/kernels) and tests build ASTs directly instead of going
+// through DSL text.  `Ex` is a copyable expression handle with natural
+// operator overloading:
+//
+//   ProgramBuilder b("hydro");
+//   b.input_array("ZX", {1012}).array("X", {1001}).scalar("Q", 0.5);
+//   b.begin_loop("k", 1, 400);
+//   b.assign("X", {b.var("k")}, b.var("Q") + b.at("ZX", {b.var("k") + 10}));
+//   b.end_loop();
+//   CompiledProgram p = b.compile();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "frontend/ast.hpp"
+
+namespace sap {
+
+/// Value-semantic expression handle (deep-copies on copy).
+class Ex {
+ public:
+  Ex() = default;
+  /*implicit*/ Ex(double value);  // NOLINT: literals read naturally
+  /*implicit*/ Ex(int value);     // NOLINT
+  explicit Ex(ExprPtr expr);
+
+  Ex(const Ex& other);
+  Ex& operator=(const Ex& other);
+  Ex(Ex&&) noexcept = default;
+  Ex& operator=(Ex&&) noexcept = default;
+
+  bool valid() const noexcept { return expr_ != nullptr; }
+
+  /// Releases the underlying AST node (handle becomes invalid).
+  ExprPtr take();
+  /// Deep copy of the underlying node.
+  ExprPtr materialize() const;
+
+  friend Ex operator+(Ex lhs, Ex rhs);
+  friend Ex operator-(Ex lhs, Ex rhs);
+  friend Ex operator*(Ex lhs, Ex rhs);
+  friend Ex operator/(Ex lhs, Ex rhs);
+  friend Ex operator-(Ex operand);
+
+ private:
+  ExprPtr expr_;
+};
+
+/// Free-standing expression constructors.
+Ex ex_num(double value);
+Ex ex_var(const std::string& name);
+Ex ex_at(const std::string& array, std::vector<Ex> indices);
+Ex ex_idiv(Ex lhs, Ex rhs);
+Ex ex_mod(Ex lhs, Ex rhs);
+Ex ex_min(Ex lhs, Ex rhs);
+Ex ex_max(Ex lhs, Ex rhs);
+Ex ex_abs(Ex operand);
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // ------------------------------------------------------------ declarations
+  /// Output array (INIT NONE), 1-based extents.
+  ProgramBuilder& array(const std::string& name,
+                        std::vector<std::int64_t> extents);
+  /// Input array (INIT ALL).
+  ProgramBuilder& input_array(const std::string& name,
+                              std::vector<std::int64_t> extents);
+  /// Array whose first `prefix` linear cells are initialization data.
+  ProgramBuilder& prefix_array(const std::string& name,
+                               std::vector<std::int64_t> extents,
+                               std::int64_t prefix);
+  /// Fully general declaration.
+  ProgramBuilder& array_decl(ArrayDecl decl);
+  ProgramBuilder& scalar(const std::string& name, double init = 0.0);
+  /// Custom initialization data for one array (linear index -> value).
+  ProgramBuilder& custom_init(const std::string& name,
+                              std::function<double(std::int64_t)> fn);
+
+  // ------------------------------------------------------------- statements
+  ProgramBuilder& begin_loop(const std::string& var, Ex lower, Ex upper);
+  ProgramBuilder& begin_loop_step(const std::string& var, Ex lower, Ex upper,
+                                  Ex step);
+  ProgramBuilder& end_loop();
+  ProgramBuilder& assign(const std::string& array, std::vector<Ex> indices,
+                         Ex value);
+  ProgramBuilder& scalar_assign(const std::string& name, Ex value);
+  ProgramBuilder& reinit(const std::string& array);
+
+  // ------------------------------------------------------------ convenience
+  Ex var(const std::string& name) const { return ex_var(name); }
+  Ex at(const std::string& array, std::vector<Ex> indices) const {
+    return ex_at(array, std::move(indices));
+  }
+
+  /// Finalizes the AST (open loops are an error).
+  Program build();
+  /// build + semantic analysis + commit-loop precomputation.
+  CompiledProgram compile();
+
+ private:
+  std::vector<StmtPtr>& current_body();
+
+  Program program_;
+  std::map<std::string, std::function<double(std::int64_t)>, std::less<>>
+      custom_inits_;
+  /// Stack of open loops; statements append to the innermost.
+  std::vector<DoLoop*> loop_stack_;
+  std::vector<StmtPtr> pending_root_;
+  bool built_ = false;
+};
+
+}  // namespace sap

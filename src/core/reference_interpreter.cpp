@@ -1,0 +1,15 @@
+#include "core/reference_interpreter.hpp"
+
+#include "core/executor_base.hpp"
+
+namespace sap {
+
+std::unique_ptr<ArrayRegistry> run_reference(const CompiledProgram& compiled) {
+  auto registry = std::make_unique<ArrayRegistry>();
+  materialize_arrays(compiled, *registry);
+  SequentialExecutor executor;  // default hooks: no machine, no accounting
+  executor.execute(compiled, *registry);
+  return registry;
+}
+
+}  // namespace sap

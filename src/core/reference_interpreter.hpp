@@ -1,0 +1,17 @@
+// Reference interpreter: plain sequential execution with no machine, no
+// partitioning and no accounting.  Produces the ground-truth array values
+// the two machine interpreters are tested against, and traps any
+// single-assignment violation (DoubleWriteError / UndefinedReadError).
+#pragma once
+
+#include <memory>
+
+#include "core/simulator.hpp"
+#include "memory/array_registry.hpp"
+
+namespace sap {
+
+/// Runs the program sequentially; returns the registry with final values.
+std::unique_ptr<ArrayRegistry> run_reference(const CompiledProgram& compiled);
+
+}  // namespace sap

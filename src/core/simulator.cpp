@@ -1,0 +1,138 @@
+#include "core/simulator.hpp"
+
+#include "core/counting_interpreter.hpp"
+#include "core/dataflow_interpreter.hpp"
+#include "frontend/affine.hpp"
+#include "frontend/parser.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+
+CompiledProgram compile(Program program) {
+  CompiledProgram compiled;
+  compiled.sema = analyze(program);  // annotates reductions in-place
+  compiled.program = std::move(program);
+
+  for (const auto& site : compiled.sema.assign_sites) {
+    if (!site.assign->is_reduction) continue;
+    AffineContext ctx{&compiled.program, &compiled.sema, site.loops};
+    const ArrayShape shape(
+        compiled.program.arrays[compiled.sema.arrays.at(site.assign->array)]
+            .dims);
+    ArrayRefExpr target;
+    target.name = site.assign->array;
+    for (const auto& idx : site.assign->indices) {
+      target.indices.push_back(clone(*idx));
+    }
+    const AffineIndex aff = element_affine(target, shape, ctx);
+    if (!aff.affine) {
+      throw SemanticError(
+          "reduction into '" + site.assign->array +
+          "' has a non-affine target; commit point cannot be determined");
+    }
+    CommitPoint commit;
+    for (std::size_t d = site.loops.size(); d-- > 0;) {
+      const auto stride = stride_per_trip(aff, *site.loops[d], ctx);
+      if (stride && *stride != 0) {
+        commit.loop = site.loops[d];
+        commit.at_exit = false;
+        break;
+      }
+    }
+    if (commit.loop == nullptr && !site.loops.empty()) {
+      // Target invariant across the whole nest (dot product): the single
+      // write happens when the outermost loop finishes.
+      commit.loop = site.loops.front();
+      commit.at_exit = true;
+    }
+    compiled.commit_loops[site.assign] = commit;
+  }
+  return compiled;
+}
+
+CompiledProgram compile_source(std::string_view source) {
+  return compile(Parser::parse(source));
+}
+
+double synthetic_init_value(std::string_view array, std::int64_t linear) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the name
+  for (const char c : array) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  SplitMix64 rng(h ^ (static_cast<std::uint64_t>(linear) *
+                      0x9e3779b97f4a7c15ull));
+  // Positive and bounded away from zero so kernels may divide by sums of
+  // initialization data.
+  return 0.5 + rng.next_double();
+}
+
+void materialize_arrays(const CompiledProgram& compiled,
+                        ArrayRegistry& registry) {
+  for (const auto& decl : compiled.program.arrays) {
+    const ArrayId id = registry.declare(decl.name, ArrayShape(decl.dims));
+    SaArray& array = registry.at(id);
+    std::int64_t init_count = 0;
+    switch (decl.init) {
+      case InitMode::kNone:
+        init_count = 0;
+        break;
+      case InitMode::kAll:
+        init_count = array.element_count();
+        break;
+      case InitMode::kPrefix:
+        init_count = decl.init_prefix;
+        break;
+    }
+    const auto custom = compiled.custom_inits.find(decl.name);
+    for (std::int64_t i = 0; i < init_count; ++i) {
+      const double v = custom != compiled.custom_inits.end()
+                           ? custom->second(i)
+                           : synthetic_init_value(decl.name, i);
+      array.initialize(i, v);
+    }
+  }
+}
+
+void materialize_arrays(const CompiledProgram& compiled, Machine& machine) {
+  materialize_arrays(compiled, machine.arrays());
+}
+
+std::string to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kCounting:
+      return "counting";
+    case ExecutionMode::kDataflow:
+      return "dataflow";
+  }
+  return "?";
+}
+
+Simulator::Simulator(MachineConfig config) : config_(config) {
+  config_.validate();
+}
+
+SimulationResult Simulator::run(const CompiledProgram& compiled,
+                                ExecutionMode mode) const {
+  std::unique_ptr<Machine> machine;
+  return run_with_machine(compiled, mode, machine);
+}
+
+SimulationResult Simulator::run_with_machine(
+    const CompiledProgram& compiled, ExecutionMode mode,
+    std::unique_ptr<Machine>& machine_out) const {
+  machine_out = std::make_unique<Machine>(config_);
+  materialize_arrays(compiled, *machine_out);
+  switch (mode) {
+    case ExecutionMode::kCounting:
+      run_counting(compiled, *machine_out);
+      break;
+    case ExecutionMode::kDataflow:
+      run_dataflow(compiled, *machine_out);
+      break;
+  }
+  return machine_out->snapshot(compiled.name());
+}
+
+}  // namespace sap

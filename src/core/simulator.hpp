@@ -1,0 +1,90 @@
+// Compilation façade and the Simulator entry point.
+//
+// A CompiledProgram bundles the analyzed AST with its semantic facts and
+// the precomputed reduction-commit points.  Simulator::run materializes
+// the arrays on an abstract machine and executes the program under either
+// interpreter, returning the paper's access distribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+#include "machine/machine.hpp"
+#include "stats/sim_result.hpp"
+
+namespace sap {
+
+/// Where a reduction's accumulated value becomes the single write.
+struct CommitPoint {
+  const DoLoop* loop = nullptr;
+  /// false: commit at each trip end of `loop` (the written element advances
+  /// with it).  true: commit once when `loop` exits (the target is invariant
+  /// in the whole nest — dot-product style).  loop == nullptr: immediately.
+  bool at_exit = false;
+};
+
+struct CompiledProgram {
+  Program program;
+  SemanticInfo sema;
+
+  /// Reduction statement -> its commit point.
+  std::map<const ArrayAssign*, CommitPoint> commit_loops;
+
+  /// Optional per-array initial values (linear index -> value); arrays
+  /// without an entry use synthetic_init_value.  Needed by workloads whose
+  /// *data* are indices (permutation tables for the Random class).
+  std::map<std::string, std::function<double(std::int64_t)>, std::less<>>
+      custom_inits;
+
+  const std::string& name() const noexcept { return program.name; }
+};
+
+/// Analyzes a built AST (mutates it: reduction marking) and precomputes
+/// commit loops.  Throws SemanticError on invalid programs.
+CompiledProgram compile(Program program);
+
+/// Lex + parse + compile DSL source.
+CompiledProgram compile_source(std::string_view source);
+
+/// Deterministic initialization data: positive, varied, reproducible.
+double synthetic_init_value(std::string_view array, std::int64_t linear);
+
+/// Declares every array of the program in the registry and fills
+/// initialization data per its InitMode (§3).
+void materialize_arrays(const CompiledProgram& compiled,
+                        ArrayRegistry& registry);
+void materialize_arrays(const CompiledProgram& compiled, Machine& machine);
+
+/// How to execute (see DESIGN.md §5 "two interpreters, one accounting").
+enum class ExecutionMode {
+  kCounting,  // one sequential pass, owner-attributed accounting (fast)
+  kDataflow,  // per-PE streams with I-structure deferred reads (faithful)
+};
+
+std::string to_string(ExecutionMode mode);
+
+class Simulator {
+ public:
+  explicit Simulator(MachineConfig config);
+
+  const MachineConfig& config() const noexcept { return config_; }
+
+  /// Runs the program on a fresh machine; returns the access distribution.
+  SimulationResult run(const CompiledProgram& compiled,
+                       ExecutionMode mode = ExecutionMode::kCounting) const;
+
+  /// As `run`, but also hands back the machine (cache/network inspection).
+  SimulationResult run_with_machine(const CompiledProgram& compiled,
+                                    ExecutionMode mode,
+                                    std::unique_ptr<Machine>& machine_out) const;
+
+ private:
+  MachineConfig config_;
+};
+
+}  // namespace sap

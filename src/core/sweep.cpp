@@ -1,0 +1,68 @@
+#include "core/sweep.hpp"
+
+namespace sap {
+
+Metric remote_read_percent() {
+  return [](const SimulationResult& result) {
+    return result.remote_read_fraction() * 100.0;
+  };
+}
+
+SweepSeries sweep_pes(const CompiledProgram& compiled,
+                      const MachineConfig& base,
+                      const std::vector<std::uint32_t>& pe_counts,
+                      std::string label, const Metric& metric) {
+  SweepSeries series;
+  series.label = std::move(label);
+  for (const std::uint32_t pes : pe_counts) {
+    const Simulator sim(base.with_pes(pes));
+    series.add(static_cast<double>(pes), metric(sim.run(compiled)));
+  }
+  return series;
+}
+
+SweepSeries sweep_page_sizes(const CompiledProgram& compiled,
+                             const MachineConfig& base,
+                             const std::vector<std::int64_t>& page_sizes,
+                             std::string label, const Metric& metric) {
+  SweepSeries series;
+  series.label = std::move(label);
+  for (const std::int64_t ps : page_sizes) {
+    const Simulator sim(base.with_page_size(ps));
+    series.add(static_cast<double>(ps), metric(sim.run(compiled)));
+  }
+  return series;
+}
+
+SweepSeries sweep_cache_sizes(const CompiledProgram& compiled,
+                              const MachineConfig& base,
+                              const std::vector<std::int64_t>& cache_sizes,
+                              std::string label, const Metric& metric) {
+  SweepSeries series;
+  series.label = std::move(label);
+  for (const std::int64_t cache : cache_sizes) {
+    const Simulator sim(base.with_cache(cache));
+    series.add(static_cast<double>(cache), metric(sim.run(compiled)));
+  }
+  return series;
+}
+
+std::vector<SweepSeries> figure_series(
+    const CompiledProgram& compiled, const MachineConfig& base,
+    const std::vector<std::uint32_t>& pe_counts,
+    const std::vector<std::int64_t>& page_sizes) {
+  std::vector<SweepSeries> out;
+  for (const std::int64_t ps : page_sizes) {
+    out.push_back(sweep_pes(compiled, base.with_page_size(ps), pe_counts,
+                            "Cache, ps " + std::to_string(ps),
+                            remote_read_percent()));
+  }
+  for (const std::int64_t ps : page_sizes) {
+    out.push_back(sweep_pes(compiled, base.with_page_size(ps).with_cache(0),
+                            pe_counts, "No Cache, ps " + std::to_string(ps),
+                            remote_read_percent()));
+  }
+  return out;
+}
+
+}  // namespace sap

@@ -1,0 +1,46 @@
+// Parameter sweeps: the data series behind every figure and ablation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "stats/series.hpp"
+
+namespace sap {
+
+/// Any scalar pulled from a simulation result.
+using Metric = std::function<double(const SimulationResult&)>;
+
+/// The paper's headline metric, "% of Reads Remote", in percent.
+Metric remote_read_percent();
+
+/// y = metric(result) for each PE count; x = PE count.
+SweepSeries sweep_pes(const CompiledProgram& compiled,
+                      const MachineConfig& base,
+                      const std::vector<std::uint32_t>& pe_counts,
+                      std::string label, const Metric& metric);
+
+/// y = metric(result) for each page size; x = page size.
+SweepSeries sweep_page_sizes(const CompiledProgram& compiled,
+                             const MachineConfig& base,
+                             const std::vector<std::int64_t>& page_sizes,
+                             std::string label, const Metric& metric);
+
+/// y = metric(result) for each cache capacity; x = capacity in elements.
+SweepSeries sweep_cache_sizes(const CompiledProgram& compiled,
+                              const MachineConfig& base,
+                              const std::vector<std::int64_t>& cache_sizes,
+                              std::string label, const Metric& metric);
+
+/// Figures 1-4: four series ({Cache, No Cache} x page sizes) of
+/// "% reads remote" vs number of PEs.  `base.cache_elements` sizes the
+/// cache of the "Cache" series (the paper's 256).
+std::vector<SweepSeries> figure_series(
+    const CompiledProgram& compiled, const MachineConfig& base,
+    const std::vector<std::uint32_t>& pe_counts = {1, 2, 4, 8, 16, 32, 64},
+    const std::vector<std::int64_t>& page_sizes = {32, 64});
+
+}  // namespace sap

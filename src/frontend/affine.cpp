@@ -1,0 +1,251 @@
+#include "frontend/affine.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace sap {
+
+namespace {
+
+constexpr double kIntegralTolerance = 1e-9;
+
+bool is_integral(double v) {
+  return std::abs(v - std::round(v)) < kIntegralTolerance;
+}
+
+AffineIndex non_affine() { return AffineIndex{}; }
+
+AffineIndex constant_form(std::int64_t c) {
+  AffineIndex out;
+  out.affine = true;
+  out.constant = c;
+  return out;
+}
+
+AffineIndex add(const AffineIndex& a, const AffineIndex& b, bool subtract) {
+  if (!a.affine || !b.affine) return non_affine();
+  AffineIndex out = a;
+  out.constant_known = a.constant_known && b.constant_known;
+  for (const auto& [var, coeff] : b.coeffs) {
+    out.coeffs[var] += subtract ? -coeff : coeff;
+    if (out.coeffs[var] == 0) out.coeffs.erase(var);
+  }
+  out.constant += subtract ? -b.constant : b.constant;
+  return out;
+}
+
+AffineIndex scale(const AffineIndex& a, std::int64_t factor) {
+  AffineIndex out = a;
+  if (!out.affine) return out;
+  if (factor == 0) return constant_form(0);
+  for (auto& [var, coeff] : out.coeffs) coeff *= factor;
+  out.constant *= factor;
+  return out;
+}
+
+bool is_loop_var(const std::string& name, const AffineContext& ctx) {
+  for (const auto* loop : ctx.loops) {
+    if (loop->var == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AffineIndex affine_of_index(const Expr& expr, const AffineContext& ctx) {
+  SAP_CHECK(ctx.program && ctx.sema, "affine context incomplete");
+  return std::visit(
+      [&](const auto& node) -> AffineIndex {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          if (!is_integral(node.value)) return non_affine();
+          return constant_form(static_cast<std::int64_t>(
+              std::llround(node.value)));
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          if (is_loop_var(node.name, ctx)) {
+            AffineIndex out;
+            out.affine = true;
+            out.coeffs[node.name] = 1;
+            return out;
+          }
+          auto it = ctx.sema->scalars.find(node.name);
+          if (it == ctx.sema->scalars.end()) return non_affine();
+          const ScalarInfo& si = it->second;
+          if (si.is_constant()) {
+            const double v = ctx.program->scalars[si.decl_index].init;
+            if (!is_integral(v)) return non_affine();
+            return constant_form(static_cast<std::int64_t>(std::llround(v)));
+          }
+          if (si.induction_step && is_integral(*si.induction_step)) {
+            // Basic induction variable: stride exact, base unknown.
+            AffineIndex out;
+            out.affine = true;
+            out.constant_known = false;
+            out.coeffs[node.name] = 1;
+            return out;
+          }
+          return non_affine();
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          return non_affine();  // indirect addressing
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          // Constant-folding only; a live IDIV/MOD is not affine.
+          const auto v = eval_const_expr(expr, ctx);
+          if (v && is_integral(*v)) {
+            return constant_form(static_cast<std::int64_t>(std::llround(*v)));
+          }
+          return non_affine();
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          return scale(affine_of_index(*node.operand, ctx), -1);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          const AffineIndex lhs = affine_of_index(*node.lhs, ctx);
+          const AffineIndex rhs = affine_of_index(*node.rhs, ctx);
+          switch (node.op) {
+            case BinaryOp::kAdd:
+              return add(lhs, rhs, /*subtract=*/false);
+            case BinaryOp::kSub:
+              return add(lhs, rhs, /*subtract=*/true);
+            case BinaryOp::kMul:
+              if (lhs.is_constant() && lhs.constant_known) {
+                return scale(rhs, lhs.constant);
+              }
+              if (rhs.is_constant() && rhs.constant_known) {
+                return scale(lhs, rhs.constant);
+              }
+              return non_affine();
+            case BinaryOp::kDiv: {
+              // Exact division by a constant that divides every term.
+              if (!rhs.is_constant() || !rhs.constant_known ||
+                  rhs.constant == 0 || !lhs.affine) {
+                return non_affine();
+              }
+              AffineIndex out = lhs;
+              for (auto& [var, coeff] : out.coeffs) {
+                if (coeff % rhs.constant != 0) return non_affine();
+                coeff /= rhs.constant;
+              }
+              if (out.constant % rhs.constant != 0) return non_affine();
+              out.constant /= rhs.constant;
+              return out;
+            }
+          }
+          return non_affine();
+        }
+      },
+      expr.node);
+}
+
+AffineIndex element_affine(const ArrayRefExpr& ref, const ArrayShape& shape,
+                           const AffineContext& ctx) {
+  if (ref.indices.size() != shape.rank()) return non_affine();
+  AffineIndex out = constant_form(0);
+  for (std::size_t d = 0; d < shape.rank(); ++d) {
+    AffineIndex dim = affine_of_index(*ref.indices[d], ctx);
+    if (!dim.affine) return non_affine();
+    dim.constant -= shape.dims()[d].lower;
+    out = add(out, scale(dim, shape.stride(d)), /*subtract=*/false);
+    if (!out.affine) return out;
+  }
+  return out;
+}
+
+std::optional<std::int64_t> stride_per_trip(const AffineIndex& index,
+                                            const DoLoop& loop,
+                                            const AffineContext& ctx) {
+  if (!index.affine) return std::nullopt;
+  std::int64_t step = 1;
+  if (loop.step) {
+    const auto v = eval_const_expr(*loop.step, ctx);
+    if (!v || !is_integral(*v) || *v == 0.0) return std::nullopt;
+    step = static_cast<std::int64_t>(std::llround(*v));
+  }
+  std::int64_t stride = 0;
+  for (const auto& [var, coeff] : index.coeffs) {
+    if (var == loop.var) {
+      stride += coeff * step;
+      continue;
+    }
+    const auto it = ctx.sema->scalars.find(var);
+    if (it != ctx.sema->scalars.end() && it->second.induction_loop == &loop &&
+        it->second.induction_step && is_integral(*it->second.induction_step)) {
+      stride += coeff * static_cast<std::int64_t>(
+                            std::llround(*it->second.induction_step));
+    }
+  }
+  return stride;
+}
+
+std::optional<double> eval_const_expr(const Expr& expr,
+                                      const AffineContext& ctx) {
+  return std::visit(
+      [&](const auto& node) -> std::optional<double> {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          return node.value;
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          const auto it = ctx.sema->scalars.find(node.name);
+          if (it == ctx.sema->scalars.end() || !it->second.is_constant()) {
+            return std::nullopt;
+          }
+          return ctx.program->scalars[it->second.decl_index].init;
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          return std::nullopt;
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          std::vector<double> args;
+          for (const auto& a : node.args) {
+            const auto v = eval_const_expr(*a, ctx);
+            if (!v) return std::nullopt;
+            args.push_back(*v);
+          }
+          switch (node.kind) {
+            case IntrinsicKind::kIDiv:
+              if (args[1] == 0.0) return std::nullopt;
+              return std::trunc(args[0] / args[1]);
+            case IntrinsicKind::kMod:
+              if (args[1] == 0.0) return std::nullopt;
+              return std::fmod(args[0], args[1]);
+            case IntrinsicKind::kMin:
+              return std::min(args[0], args[1]);
+            case IntrinsicKind::kMax:
+              return std::max(args[0], args[1]);
+            case IntrinsicKind::kAbs:
+              return std::abs(args[0]);
+          }
+          return std::nullopt;
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          const auto v = eval_const_expr(*node.operand, ctx);
+          return v ? std::optional<double>(-*v) : std::nullopt;
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          const auto l = eval_const_expr(*node.lhs, ctx);
+          const auto r = eval_const_expr(*node.rhs, ctx);
+          if (!l || !r) return std::nullopt;
+          switch (node.op) {
+            case BinaryOp::kAdd: return *l + *r;
+            case BinaryOp::kSub: return *l - *r;
+            case BinaryOp::kMul: return *l * *r;
+            case BinaryOp::kDiv:
+              if (*r == 0.0) return std::nullopt;
+              return *l / *r;
+          }
+          return std::nullopt;
+        }
+      },
+      expr.node);
+}
+
+std::optional<std::int64_t> const_trip_count(const DoLoop& loop,
+                                             const AffineContext& ctx) {
+  const auto lo = eval_const_expr(*loop.lower, ctx);
+  const auto hi = eval_const_expr(*loop.upper, ctx);
+  if (!lo || !hi) return std::nullopt;
+  double step = 1.0;
+  if (loop.step) {
+    const auto s = eval_const_expr(*loop.step, ctx);
+    if (!s || *s == 0.0) return std::nullopt;
+    step = *s;
+  }
+  const double trips = std::floor((*hi - *lo) / step) + 1.0;
+  return trips < 0 ? 0 : static_cast<std::int64_t>(trips);
+}
+
+}  // namespace sap

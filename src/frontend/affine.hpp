@@ -1,0 +1,69 @@
+// Affine analysis of index expressions.
+//
+// An index is *affine* when it is  sum(c_v * v) + c0  over loop variables
+// and basic induction scalars.  The classifier compares, per statement, the
+// element-space stride of each read against the write's stride — that
+// single comparison is what separates the paper's Matched / Skewed / Cyclic
+// classes; anything non-affine (indirect addressing, IDIV of a live scalar)
+// falls into Random (§7.1.4: "permutation lookups").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+
+namespace sap {
+
+/// Context shared by the affine queries: the program, its semantic facts
+/// and the loop nest enclosing the expression under analysis.
+struct AffineContext {
+  const Program* program = nullptr;
+  const SemanticInfo* sema = nullptr;
+  std::vector<const DoLoop*> loops;  // outermost first
+};
+
+/// sum(coeffs[v] * v) + constant.  `constant_known` is false when the
+/// expression involves an induction scalar whose loop-entry value is not a
+/// compile-time constant (strides are still exact; only the offset isn't).
+struct AffineIndex {
+  bool affine = false;
+  bool constant_known = true;
+  std::map<std::string, std::int64_t> coeffs;
+  std::int64_t constant = 0;
+
+  bool is_constant() const noexcept { return affine && coeffs.empty(); }
+};
+
+/// Affine form of a single index expression (index space, one dimension).
+AffineIndex affine_of_index(const Expr& expr, const AffineContext& ctx);
+
+/// Affine form of a whole array reference in *element* (linearized row-major)
+/// space: per-dimension forms scaled by the array's strides and folded with
+/// its lower bounds.  Non-affine if any dimension is.
+AffineIndex element_affine(const ArrayRefExpr& ref, const ArrayShape& shape,
+                           const AffineContext& ctx);
+
+/// Element-stride of an affine form per one trip of `loop`: the loop
+/// variable's coefficient times the loop step, plus every induction scalar
+/// updated in that loop times its induction step.  nullopt when the loop
+/// step is not a compile-time constant.
+std::optional<std::int64_t> stride_per_trip(const AffineIndex& index,
+                                            const DoLoop& loop,
+                                            const AffineContext& ctx);
+
+/// Evaluates an expression to a compile-time constant: literals, constant
+/// scalars (declared init, never assigned) and arithmetic/intrinsics over
+/// them.  nullopt otherwise.
+std::optional<double> eval_const_expr(const Expr& expr,
+                                      const AffineContext& ctx);
+
+/// Constant trip count of a loop when lower/upper/step are compile-time
+/// constants; nullopt otherwise (e.g. ICCG's scalar-driven bounds).
+std::optional<std::int64_t> const_trip_count(const DoLoop& loop,
+                                             const AffineContext& ctx);
+
+}  // namespace sap

@@ -1,0 +1,236 @@
+#include "frontend/ast.hpp"
+
+#include "support/check.hpp"
+
+namespace sap {
+
+std::string to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+std::string to_string(IntrinsicKind kind) {
+  switch (kind) {
+    case IntrinsicKind::kIDiv: return "IDIV";
+    case IntrinsicKind::kMod: return "MOD";
+    case IntrinsicKind::kMin: return "MIN";
+    case IntrinsicKind::kMax: return "MAX";
+    case IntrinsicKind::kAbs: return "ABS";
+  }
+  return "?";
+}
+
+ExprPtr make_number(double value, SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = NumberLit{value};
+  return e;
+}
+
+ExprPtr make_var(std::string name, SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = VarRef{std::move(name)};
+  return e;
+}
+
+ExprPtr make_array_ref(std::string name, std::vector<ExprPtr> indices,
+                       SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = ArrayRefExpr{std::move(name), std::move(indices)};
+  return e;
+}
+
+ExprPtr make_intrinsic(IntrinsicKind kind, std::vector<ExprPtr> args,
+                       SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = IntrinsicExpr{kind, std::move(args)};
+  return e;
+}
+
+ExprPtr make_neg(ExprPtr operand, SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = UnaryNeg{std::move(operand)};
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                    SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = BinaryExpr{op, std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr clone(const Expr& expr) {
+  auto out = std::make_unique<Expr>();
+  out->loc = expr.loc;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          out->node = node;
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          out->node = node;
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          ArrayRefExpr copy;
+          copy.name = node.name;
+          for (const auto& idx : node.indices) copy.indices.push_back(clone(*idx));
+          out->node = std::move(copy);
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          IntrinsicExpr copy;
+          copy.kind = node.kind;
+          for (const auto& a : node.args) copy.args.push_back(clone(*a));
+          out->node = std::move(copy);
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          out->node = UnaryNeg{clone(*node.operand)};
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          out->node = BinaryExpr{node.op, clone(*node.lhs), clone(*node.rhs)};
+        }
+      },
+      expr.node);
+  return out;
+}
+
+StmtPtr clone(const Stmt& stmt) {
+  auto out = std::make_unique<Stmt>();
+  out->loc = stmt.loc;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayAssign>) {
+          ArrayAssign copy;
+          copy.array = node.array;
+          for (const auto& idx : node.indices) copy.indices.push_back(clone(*idx));
+          copy.value = clone(*node.value);
+          copy.is_reduction = node.is_reduction;
+          out->node = std::move(copy);
+        } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+          out->node = ScalarAssign{node.name, clone(*node.value)};
+        } else if constexpr (std::is_same_v<T, DoLoop>) {
+          DoLoop copy;
+          copy.var = node.var;
+          copy.lower = clone(*node.lower);
+          copy.upper = clone(*node.upper);
+          copy.step = node.step ? clone(*node.step) : nullptr;
+          for (const auto& s : node.body) copy.body.push_back(clone(*s));
+          out->node = std::move(copy);
+        } else if constexpr (std::is_same_v<T, ReinitStmt>) {
+          out->node = node;
+        }
+      },
+      stmt.node);
+  return out;
+}
+
+Program clone(const Program& program) {
+  Program out;
+  out.name = program.name;
+  out.arrays = program.arrays;
+  out.scalars = program.scalars;
+  for (const auto& s : program.body) out.body.push_back(clone(*s));
+  return out;
+}
+
+bool equal(const Expr& a, const Expr& b) {
+  if (a.node.index() != b.node.index()) return false;
+  return std::visit(
+      [&](const auto& na) -> bool {
+        using T = std::decay_t<decltype(na)>;
+        const auto& nb = std::get<T>(b.node);
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          return na.value == nb.value;
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          return na.name == nb.name;
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          if (na.name != nb.name || na.indices.size() != nb.indices.size()) {
+            return false;
+          }
+          for (std::size_t i = 0; i < na.indices.size(); ++i) {
+            if (!equal(*na.indices[i], *nb.indices[i])) return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          if (na.kind != nb.kind || na.args.size() != nb.args.size()) {
+            return false;
+          }
+          for (std::size_t i = 0; i < na.args.size(); ++i) {
+            if (!equal(*na.args[i], *nb.args[i])) return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          return equal(*na.operand, *nb.operand);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          return na.op == nb.op && equal(*na.lhs, *nb.lhs) &&
+                 equal(*na.rhs, *nb.rhs);
+        }
+      },
+      a.node);
+}
+
+void for_each_array_ref(const Expr& expr,
+                        const std::function<void(const ArrayRefExpr&)>& fn) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          fn(node);
+          for (const auto& idx : node.indices) for_each_array_ref(*idx, fn);
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          for (const auto& a : node.args) for_each_array_ref(*a, fn);
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          for_each_array_ref(*node.operand, fn);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          for_each_array_ref(*node.lhs, fn);
+          for_each_array_ref(*node.rhs, fn);
+        }
+      },
+      expr.node);
+}
+
+namespace {
+
+void walk_stmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  if (const auto* loop = std::get_if<DoLoop>(&stmt.node)) {
+    for (const auto& s : loop->body) walk_stmt(*s, fn);
+  }
+}
+
+}  // namespace
+
+void for_each_stmt(const Program& program,
+                   const std::function<void(const Stmt&)>& fn) {
+  for (const auto& s : program.body) walk_stmt(*s, fn);
+}
+
+void for_each_var(const Expr& expr,
+                  const std::function<void(const std::string&)>& fn) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, VarRef>) {
+          fn(node.name);
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          for (const auto& idx : node.indices) for_each_var(*idx, fn);
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          for (const auto& a : node.args) for_each_var(*a, fn);
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          for_each_var(*node.operand, fn);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          for_each_var(*node.lhs, fn);
+          for_each_var(*node.rhs, fn);
+        }
+      },
+      expr.node);
+}
+
+}  // namespace sap

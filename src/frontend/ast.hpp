@@ -1,0 +1,192 @@
+// Abstract syntax tree of the loop DSL.
+//
+// The AST doubles as the executable IR: the parser and the programmatic
+// ProgramBuilder (core/program_builder.hpp) both produce it, the semantic
+// analyzer annotates it, and the interpreters (core/) execute it directly.
+// Nodes are variant-based; traversal helpers at the bottom keep client code
+// free of std::visit boilerplate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "frontend/source_location.hpp"
+#include "memory/array_shape.hpp"
+
+namespace sap {
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+enum class IntrinsicKind { kIDiv, kMod, kMin, kMax, kAbs };
+
+std::string to_string(BinaryOp op);
+std::string to_string(IntrinsicKind kind);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Literal constant.
+struct NumberLit {
+  double value = 0.0;
+};
+
+/// Reference to a loop variable or scalar; sema distinguishes them.
+struct VarRef {
+  std::string name;
+};
+
+/// A(i, j+1) — also used as an assignment target.
+struct ArrayRefExpr {
+  std::string name;
+  std::vector<ExprPtr> indices;
+};
+
+/// IDIV(a,b), MOD(a,b), MIN(a,b), MAX(a,b), ABS(a).  IDIV is the integer
+/// division the Fortran originals perform on INTEGER scalars (II/2 in
+/// ICCG); everything else is exact in double arithmetic.
+struct IntrinsicExpr {
+  IntrinsicKind kind = IntrinsicKind::kIDiv;
+  std::vector<ExprPtr> args;
+};
+
+struct UnaryNeg {
+  ExprPtr operand;
+};
+
+struct BinaryExpr {
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Expr {
+  SourceLocation loc;
+  std::variant<NumberLit, VarRef, ArrayRefExpr, IntrinsicExpr, UnaryNeg,
+               BinaryExpr>
+      node;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A(indices) = value.  `is_reduction` is set by sema when the value
+/// expression references the identical target element (e.g. Fortran's
+/// W(i) = W(i) + ...): the converter/interpreters then treat it as an
+/// owner-local accumulation with a single final commit, preserving the
+/// element-wise single-assignment rule (§5 / DESIGN.md).
+struct ArrayAssign {
+  std::string array;
+  std::vector<ExprPtr> indices;
+  ExprPtr value;
+  bool is_reduction = false;
+};
+
+/// name = value — replicated control arithmetic (induction scalars etc.).
+struct ScalarAssign {
+  std::string name;
+  ExprPtr value;
+};
+
+/// DO var = lower, upper [, step] … END DO.  Bounds are evaluated at loop
+/// entry (Fortran semantics); `step` defaults to 1 when null.
+struct DoLoop {
+  std::string var;
+  ExprPtr lower;
+  ExprPtr upper;
+  ExprPtr step;  // may be null
+  std::vector<StmtPtr> body;
+};
+
+/// REINIT A — the §5 host-processor re-initialization protocol: every PE
+/// requests the re-init of A; when the last request reaches A's host PE,
+/// the array's cells become undefined again and caches are invalidated.
+/// Inserted by the conversion tool for in-loop array reuse.
+struct ReinitStmt {
+  std::string array;
+};
+
+struct Stmt {
+  SourceLocation loc;
+  std::variant<ArrayAssign, ScalarAssign, DoLoop, ReinitStmt> node;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations / program
+// ---------------------------------------------------------------------------
+
+/// How an array is populated before execution (§3: "an array is either
+/// undefined or filled with initialization data").
+enum class InitMode {
+  kNone,    // fully undefined; the program must produce it
+  kAll,     // input data: every cell defined before execution
+  kPrefix,  // first `init_prefix` linear cells defined (ICCG-style seed)
+};
+
+struct ArrayDecl {
+  std::string name;
+  std::vector<DimBound> dims;
+  InitMode init = InitMode::kNone;
+  std::int64_t init_prefix = 0;
+  SourceLocation loc;
+};
+
+struct ScalarDecl {
+  std::string name;
+  double init = 0.0;
+  SourceLocation loc;
+};
+
+struct Program {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  std::vector<StmtPtr> body;
+};
+
+// ---------------------------------------------------------------------------
+// Construction helpers (used by parser, builder, converter)
+// ---------------------------------------------------------------------------
+
+ExprPtr make_number(double value, SourceLocation loc = {});
+ExprPtr make_var(std::string name, SourceLocation loc = {});
+ExprPtr make_array_ref(std::string name, std::vector<ExprPtr> indices,
+                       SourceLocation loc = {});
+ExprPtr make_intrinsic(IntrinsicKind kind, std::vector<ExprPtr> args,
+                       SourceLocation loc = {});
+ExprPtr make_neg(ExprPtr operand, SourceLocation loc = {});
+ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                    SourceLocation loc = {});
+
+/// Deep copies.
+ExprPtr clone(const Expr& expr);
+StmtPtr clone(const Stmt& stmt);
+Program clone(const Program& program);
+
+/// Structural equality (used by sema's reduction detection and tests).
+bool equal(const Expr& a, const Expr& b);
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+// ---------------------------------------------------------------------------
+
+/// Calls fn on every ArrayRefExpr in an expression tree (pre-order),
+/// including refs nested inside index expressions (indirect addressing).
+void for_each_array_ref(const Expr& expr,
+                        const std::function<void(const ArrayRefExpr&)>& fn);
+
+/// Calls fn on every statement, recursing into loop bodies (pre-order).
+void for_each_stmt(const Program& program,
+                   const std::function<void(const Stmt&)>& fn);
+
+/// Calls fn on every VarRef name in an expression tree.
+void for_each_var(const Expr& expr,
+                  const std::function<void(const std::string&)>& fn);
+
+}  // namespace sap

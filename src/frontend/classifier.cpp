@@ -1,0 +1,366 @@
+#include "frontend/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sap {
+
+std::string to_string(AccessClass cls) {
+  switch (cls) {
+    case AccessClass::kMatched: return "matched";
+    case AccessClass::kSkewed: return "skewed";
+    case AccessClass::kCyclic: return "cyclic";
+    case AccessClass::kRandom: return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+AccessClass worse(AccessClass a, AccessClass b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+class Classifier {
+ public:
+  Classifier(const Program& program, const SemanticInfo& sema,
+             const ClassifierConfig& config)
+      : program_(program), sema_(sema), config_(config) {}
+
+  ProgramClassification run() {
+    // Group assignment sites by their innermost loop: statements sharing a
+    // loop body share the executing PE's cache, so stream pressure is a
+    // per-loop property (ADI only misbehaves because its three statements
+    // together overflow the frames).
+    std::map<const DoLoop*, std::vector<const AssignSite*>> groups;
+    for (const auto& site : sema_.assign_sites) {
+      const DoLoop* key = site.loops.empty() ? nullptr : site.loops.back();
+      groups[key].push_back(&site);
+    }
+
+    ProgramClassification out;
+    for (const auto& [loop, sites] : groups) {
+      out.loops.push_back(classify_group(loop, sites));
+      out.cls = worse(out.cls, out.loops.back().cls);
+    }
+    std::ostringstream why;
+    why << "program class = " << to_string(out.cls) << " over "
+        << out.loops.size() << " loop group(s)";
+    out.rationale = why.str();
+    return out;
+  }
+
+ private:
+  const ArrayShape shape_of(const std::string& array) const {
+    return ArrayShape(program_.arrays[sema_.arrays.at(array)].dims);
+  }
+
+  std::int64_t estimate_trips(const DoLoop& loop, const AffineContext& ctx,
+                              const AffineIndex& aff,
+                              const std::string& array) const {
+    if (const auto t = const_trip_count(loop, ctx)) return std::max<std::int64_t>(*t, 0);
+    // Bounds are runtime scalars (ICCG, GLR): bound the walk by how far the
+    // affine form can travel inside the array.
+    const auto stride = stride_per_trip(aff, loop, ctx);
+    const std::int64_t s = stride ? std::max<std::int64_t>(std::llabs(*stride), 1) : 1;
+    return shape_of(array).element_count() / s;
+  }
+
+  LoopClassification classify_group(const DoLoop* loop,
+                                    const std::vector<const AssignSite*>& sites) {
+    LoopClassification lc;
+    lc.loop = loop;
+    std::set<std::string> streams;
+    std::int64_t unknown_stream_id = 0;
+
+    for (const AssignSite* site : sites) {
+      AffineContext ctx{&program_, &sema_, site->loops};
+      const ArrayAssign& assign = *site->assign;
+
+      // Write side.
+      ArrayRefExpr target;
+      target.name = assign.array;
+      for (const auto& idx : assign.indices) target.indices.push_back(clone(*idx));
+      const AffineIndex write_aff =
+          element_affine(target, shape_of(assign.array), ctx);
+      if (!write_aff.affine) {
+        lc.cls = AccessClass::kRandom;
+        lc.rationale = "non-affine write index on '" + assign.array + "'";
+        continue;
+      }
+
+      // Commit loop: the innermost enclosing loop in which the written
+      // element actually advances.  For reductions the write is invariant
+      // in the accumulation loops; those become the "inner window".
+      const DoLoop* commit = nullptr;
+      std::size_t commit_depth = site->loops.size();
+      for (std::size_t d = site->loops.size(); d-- > 0;) {
+        const auto s = stride_per_trip(write_aff, *site->loops[d], ctx);
+        if (s && *s != 0) {
+          commit = site->loops[d];
+          commit_depth = d;
+          break;
+        }
+      }
+
+      for_each_array_ref(*assign.value, [&](const ArrayRefExpr& ref) {
+        // The self-accumulation ref of a reduction is an owner-local
+        // register read, not a memory access stream.
+        if (assign.is_reduction && ref.name == assign.array &&
+            ref.indices.size() == assign.indices.size()) {
+          bool same = true;
+          for (std::size_t i = 0; i < ref.indices.size(); ++i) {
+            if (!equal(*ref.indices[i], *assign.indices[i])) same = false;
+          }
+          if (same) return;
+        }
+        ReadClassification rc = classify_read(ref, write_aff, commit,
+                                              commit_depth, *site, ctx);
+        add_stream_key(streams, ref, rc, ctx, unknown_stream_id);
+        lc.cls = worse(lc.cls, rc.cls);
+        lc.reads.push_back(std::move(rc));
+      });
+    }
+
+    lc.read_stream_count = static_cast<std::int64_t>(streams.size());
+    const std::int64_t frames = config_.cache_frames();
+    if (frames > 0 && lc.read_stream_count > frames &&
+        lc.cls != AccessClass::kRandom) {
+      lc.cls = AccessClass::kRandom;
+      lc.rationale = std::to_string(lc.read_stream_count) +
+                     " concurrent read streams exceed " +
+                     std::to_string(frames) + " cache frames";
+    }
+    if (lc.rationale.empty()) {
+      lc.rationale = "dominant read class is " + to_string(lc.cls);
+    }
+    return lc;
+  }
+
+  ReadClassification classify_read(const ArrayRefExpr& ref,
+                                   const AffineIndex& write_aff,
+                                   const DoLoop* commit,
+                                   std::size_t commit_depth,
+                                   const AssignSite& site,
+                                   const AffineContext& ctx) {
+    ReadClassification rc;
+    rc.array = ref.name;
+    const AffineIndex aff = element_affine(ref, shape_of(ref.name), ctx);
+    if (!aff.affine) {
+      rc.cls = AccessClass::kRandom;
+      rc.rationale = "non-affine (indirect) index";
+      return rc;
+    }
+    const std::int64_t frames = config_.cache_frames();
+
+    // Inner accumulation window: loops inside the commit loop, or — for a
+    // target invariant across the whole nest (dot-product style) — every
+    // enclosing loop.  Whether the window hurts depends on *revisits*: a
+    // single streaming pass has sequential locality no matter its size,
+    // while a window re-walked by an outer loop must fit the cache frames
+    // (GLR's column walk and matmul's CX are the paper's Random cases).
+    const std::size_t window_start = commit ? commit_depth + 1 : 0;
+    for (std::size_t d = window_start; d < site.loops.size(); ++d) {
+      const auto sri = stride_per_trip(aff, *site.loops[d], ctx);
+      if (!sri) {
+        rc.cls = AccessClass::kRandom;
+        rc.rationale = "unresolvable inner stride";
+        return rc;
+      }
+      if (*sri == 0) continue;
+      const std::int64_t trips =
+          estimate_trips(*site.loops[d], ctx, aff, ref.name);
+      const std::int64_t span = std::llabs(*sri) * trips;
+      const std::int64_t pages =
+          span / std::max<std::int64_t>(config_.page_size, 1) + 1;
+
+      bool revisited = false;
+      for (std::size_t o = 0; o < d; ++o) {
+        const auto so = stride_per_trip(aff, *site.loops[o], ctx);
+        const auto outer_trips = const_trip_count(*site.loops[o], ctx);
+        const bool multi_trip = !outer_trips || *outer_trips > 1;
+        if (so && multi_trip && std::llabs(*so) < span) revisited = true;
+      }
+
+      if (revisited) {
+        if (frames > 0 && pages > frames) {
+          rc.cls = AccessClass::kRandom;
+          rc.rationale = "accumulation window of ~" + std::to_string(pages) +
+                         " pages is revisited but exceeds " +
+                         std::to_string(frames) + " cache frames";
+        } else {
+          rc.cls = AccessClass::kCyclic;
+          rc.rationale = "accumulation window of ~" + std::to_string(pages) +
+                         " pages revisited by outer sweeps";
+        }
+      } else if (std::llabs(*sri) <= config_.page_size) {
+        // Sequential stream consumed once per commit: without a cache the
+        // off-owner pages are all remote; with one, a single fetch serves
+        // the whole page — the cache-rescue behaviour of the cyclic class.
+        rc.cls = AccessClass::kCyclic;
+        rc.rationale =
+            "single-pass streaming accumulation read (one fetch per page)";
+      } else {
+        rc.cls = AccessClass::kRandom;
+        rc.rationale = "single-pass page-jumping read (stride " +
+                       std::to_string(*sri) + " > page size)";
+      }
+      return rc;
+    }
+
+    if (commit == nullptr) {
+      // Straight-line statement or nest-invariant write whose reads are
+      // also invariant: a single cached cell.
+      rc.cls = AccessClass::kMatched;
+      rc.rationale = "constant access";
+      return rc;
+    }
+
+    const auto sw_opt = stride_per_trip(write_aff, *commit, ctx);
+    const auto sr_opt = stride_per_trip(aff, *commit, ctx);
+    if (!sw_opt || !sr_opt) {
+      rc.cls = AccessClass::kRandom;
+      rc.rationale = "unresolvable stride";
+      return rc;
+    }
+    const std::int64_t sw = *sw_opt;
+    const std::int64_t sr = *sr_opt;
+
+    if (sr == sw) {
+      // Outer-loop strides decide between matched / skewed / cyclic.
+      bool outer_equal = true;
+      bool varying_outer = false;
+      for (std::size_t d = 0; d < commit_depth; ++d) {
+        const auto so_r = stride_per_trip(aff, *site.loops[d], ctx);
+        const auto so_w = stride_per_trip(write_aff, *site.loops[d], ctx);
+        if (!so_r || !so_w || *so_r != *so_w) outer_equal = false;
+        if (so_r && *so_r != 0) varying_outer = true;
+      }
+      if (aff.constant_known && write_aff.constant_known) {
+        const std::int64_t delta = aff.constant - write_aff.constant;
+        rc.skew = delta;
+        rc.skew_known = true;
+        if (delta == 0 && outer_equal) {
+          rc.cls = AccessClass::kMatched;
+          rc.rationale = "identical index pattern";
+          return rc;
+        }
+        if (!outer_equal) {
+          rc.cls = AccessClass::kCyclic;
+          rc.rationale = "outer-loop stride mismatch";
+          return rc;
+        }
+        if (varying_outer) {
+          rc.cls = AccessClass::kCyclic;
+          rc.rationale = "multi-dimensional skew: offset " +
+                         std::to_string(delta) +
+                         " revisited by outer sweeps";
+          return rc;
+        }
+        rc.cls = AccessClass::kSkewed;
+        rc.rationale = "constant skew of " + std::to_string(delta) +
+                       " elements";
+        return rc;
+      }
+      rc.cls = AccessClass::kSkewed;
+      rc.rationale = "matching strides, statically unknown offset";
+      return rc;
+    }
+
+    // Stride mismatch against the commit loop.
+    if (sr == 0) {
+      bool varying_outer = false;
+      for (std::size_t d = 0; d < commit_depth; ++d) {
+        const auto so = stride_per_trip(aff, *site.loops[d], ctx);
+        if (so && *so != 0) varying_outer = true;
+      }
+      if (!varying_outer) {
+        rc.cls = AccessClass::kMatched;
+        rc.rationale = "loop-invariant read (single cached page)";
+      } else {
+        rc.cls = AccessClass::kMatched;
+        rc.rationale = "inner-invariant read, advances with outer loop";
+      }
+      return rc;
+    }
+
+    if (std::llabs(sr) > config_.page_size) {
+      const std::int64_t trips = estimate_trips(*commit, ctx, aff, ref.name);
+      if (frames > 0 && trips > frames) {
+        rc.cls = AccessClass::kRandom;
+        rc.rationale = "page-jumping stride " + std::to_string(sr) +
+                       " over ~" + std::to_string(trips) +
+                       " trips exceeds cache reach";
+        return rc;
+      }
+    }
+    rc.cls = AccessClass::kCyclic;
+    rc.rationale = "stride mismatch: read advances " + std::to_string(sr) +
+                   " vs write " + std::to_string(sw) + " per iteration";
+    return rc;
+  }
+
+  void add_stream_key(std::set<std::string>& streams, const ArrayRefExpr& ref,
+                      const ReadClassification& rc, const AffineContext& ctx,
+                      std::int64_t& unknown_stream_id) {
+    // Fully matched reads stay on the writing PE and never occupy a cache
+    // frame; everything else forms a (array, strides, page-offset) stream.
+    if (rc.cls == AccessClass::kMatched && rc.skew_known && rc.skew == 0) {
+      return;
+    }
+    const AffineIndex aff = element_affine(ref, shape_of(ref.name), ctx);
+    std::ostringstream key;
+    key << ref.name << '#';
+    if (!aff.affine) {
+      key << "nonaffine#" << unknown_stream_id++;
+    } else {
+      for (const auto& [var, coeff] : aff.coeffs) {
+        key << var << '*' << coeff << ',';
+      }
+      key << '#';
+      if (aff.constant_known) {
+        const double group = static_cast<double>(aff.constant) /
+                             static_cast<double>(std::max<std::int64_t>(
+                                 config_.page_size, 1));
+        key << std::llround(group);
+      } else {
+        key << 'u' << unknown_stream_id++;
+      }
+    }
+    streams.insert(key.str());
+  }
+
+  const Program& program_;
+  const SemanticInfo& sema_;
+  ClassifierConfig config_;
+};
+
+}  // namespace
+
+std::string ProgramClassification::report() const {
+  std::ostringstream os;
+  os << rationale << '\n';
+  for (const auto& lc : loops) {
+    os << "  loop " << (lc.loop ? lc.loop->var : std::string("<top>"))
+       << ": " << to_string(lc.cls) << " (" << lc.rationale << "; "
+       << lc.read_stream_count << " stream(s))\n";
+    for (const auto& rc : lc.reads) {
+      os << "    read " << rc.array << ": " << to_string(rc.cls) << " — "
+         << rc.rationale << '\n';
+    }
+  }
+  return os.str();
+}
+
+ProgramClassification classify_program(const Program& program,
+                                       const SemanticInfo& sema,
+                                       const ClassifierConfig& config) {
+  return Classifier(program, sema, config).run();
+}
+
+}  // namespace sap

@@ -1,0 +1,85 @@
+// Static access-pattern classification (§7.1's four classes).
+//
+// Per innermost loop, every read of every array assignment is compared
+// against the write it feeds, in element (linearized) space:
+//
+//   Matched  — identical affine form (same strides in every loop, zero
+//              offset): the read always lands on the written page's PE.
+//   Skewed   — same strides, constant nonzero offset, single varying loop.
+//   Cyclic   — stride mismatch against the commit loop (ICCG: the write
+//              "changes twice as slowly as the read"), a reduction walking
+//              a bounded window, or a multi-dimensional offset access whose
+//              page set is revisited by an outer loop (2-D Hydro).
+//   Random   — non-affine indexing (indirect/permutation), reduction
+//              windows larger than the cache, page-jumping strides beyond
+//              cache reach, or too many distinct read streams for the
+//              cache frames (ADI's 12 streams vs 8 frames).
+//
+// Classification is relative to a machine configuration (page size and
+// cache capacity) because the paper's classes are behavioural: the same
+// loop can be Cyclic with a big cache and Random with a tiny one (§7.1.4).
+// The empirical classifier (core/empirical_classifier.hpp) derives the
+// class from simulation sweeps instead; tests cross-validate the two on
+// the Livermore suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/affine.hpp"
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+
+namespace sap {
+
+enum class AccessClass : int {
+  kMatched = 0,
+  kSkewed = 1,
+  kCyclic = 2,
+  kRandom = 3,
+};
+
+std::string to_string(AccessClass cls);
+
+struct ClassifierConfig {
+  std::int64_t page_size = 32;
+  std::int64_t cache_elements = 256;  // the paper's fixed cache
+
+  std::int64_t cache_frames() const noexcept {
+    return page_size > 0 ? cache_elements / page_size : 0;
+  }
+};
+
+/// Verdict for one read reference.
+struct ReadClassification {
+  std::string array;
+  AccessClass cls = AccessClass::kMatched;
+  std::int64_t skew = 0;  // element offset, meaningful for kSkewed
+  bool skew_known = false;
+  std::string rationale;
+};
+
+/// Verdict for one innermost loop (or the straight-line top level).
+struct LoopClassification {
+  const DoLoop* loop = nullptr;  // null for straight-line statements
+  AccessClass cls = AccessClass::kMatched;
+  std::int64_t read_stream_count = 0;
+  std::vector<ReadClassification> reads;
+  std::string rationale;
+};
+
+struct ProgramClassification {
+  AccessClass cls = AccessClass::kMatched;
+  std::vector<LoopClassification> loops;
+  std::string rationale;
+
+  /// Human-readable multi-line report.
+  std::string report() const;
+};
+
+ProgramClassification classify_program(const Program& program,
+                                       const SemanticInfo& sema,
+                                       const ClassifierConfig& config = {});
+
+}  // namespace sap

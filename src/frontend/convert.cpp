@@ -1,0 +1,296 @@
+#include "frontend/convert.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "frontend/affine.hpp"
+#include "frontend/sema.hpp"
+#include "support/check.hpp"
+
+namespace sap {
+
+std::string to_string(ConversionActionKind kind) {
+  switch (kind) {
+    case ConversionActionKind::kMarkedReduction: return "reduction";
+    case ConversionActionKind::kRenamedVersion: return "version";
+    case ConversionActionKind::kInsertedReinit: return "reinit";
+  }
+  return "?";
+}
+
+std::string ConversionResult::report() const {
+  if (actions.empty()) {
+    return "conversion: program was already in single-assignment form\n";
+  }
+  std::ostringstream os;
+  for (const auto& a : actions) {
+    os << to_string(a.kind) << " [" << a.array << "]: " << a.detail << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+void rename_reads_in_expr(Expr& expr, const std::string& from,
+                          const std::string& to) {
+  std::visit(
+      [&](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          if (node.name == from) node.name = to;
+          for (auto& idx : node.indices) rename_reads_in_expr(*idx, from, to);
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          for (auto& a : node.args) rename_reads_in_expr(*a, from, to);
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          rename_reads_in_expr(*node.operand, from, to);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          rename_reads_in_expr(*node.lhs, from, to);
+          rename_reads_in_expr(*node.rhs, from, to);
+        }
+      },
+      expr.node);
+}
+
+/// Renames every read in a statement subtree (targets untouched).
+void rename_reads_in_stmt(Stmt& stmt, const std::string& from,
+                          const std::string& to) {
+  std::visit(
+      [&](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayAssign>) {
+          for (auto& idx : node.indices) rename_reads_in_expr(*idx, from, to);
+          rename_reads_in_expr(*node.value, from, to);
+        } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+          rename_reads_in_expr(*node.value, from, to);
+        } else if constexpr (std::is_same_v<T, DoLoop>) {
+          rename_reads_in_expr(*node.lower, from, to);
+          rename_reads_in_expr(*node.upper, from, to);
+          if (node.step) rename_reads_in_expr(*node.step, from, to);
+          for (auto& s : node.body) rename_reads_in_stmt(*s, from, to);
+        }
+      },
+      stmt.node);
+}
+
+void rename_accumulator_reads(Expr& expr, const ArrayAssign& assign,
+                              const std::string& from, const std::string& to) {
+  std::visit(
+      [&](auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          if (node.name == from &&
+              node.indices.size() == assign.indices.size()) {
+            bool same = true;
+            for (std::size_t i = 0; i < node.indices.size(); ++i) {
+              if (!equal(*node.indices[i], *assign.indices[i])) same = false;
+            }
+            if (same) node.name = to;
+          }
+          for (auto& idx : node.indices) {
+            rename_accumulator_reads(*idx, assign, from, to);
+          }
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          for (auto& a : node.args) {
+            rename_accumulator_reads(*a, assign, from, to);
+          }
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          rename_accumulator_reads(*node.operand, assign, from, to);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          rename_accumulator_reads(*node.lhs, assign, from, to);
+          rename_accumulator_reads(*node.rhs, assign, from, to);
+        }
+      },
+      expr.node);
+}
+
+/// Renames write targets (and their reduction-accumulator reads).
+void rename_writes_in_stmt(Stmt& stmt, const std::string& from,
+                           const std::string& to) {
+  if (auto* assign = std::get_if<ArrayAssign>(&stmt.node)) {
+    if (assign->array != from) return;
+    if (assign->is_reduction) {
+      rename_accumulator_reads(*assign->value, *assign, from, to);
+    }
+    assign->array = to;
+  } else if (auto* loop = std::get_if<DoLoop>(&stmt.node)) {
+    for (auto& s : loop->body) rename_writes_in_stmt(*s, from, to);
+  } else if (auto* reinit = std::get_if<ReinitStmt>(&stmt.node)) {
+    if (reinit->array == from) reinit->array = to;
+  }
+}
+
+bool writes_array(const Stmt& stmt, const std::string& array) {
+  if (const auto* assign = std::get_if<ArrayAssign>(&stmt.node)) {
+    return assign->array == array;
+  }
+  if (const auto* loop = std::get_if<DoLoop>(&stmt.node)) {
+    for (const auto& s : loop->body) {
+      if (writes_array(*s, array)) return true;
+    }
+  }
+  return false;
+}
+
+void collect_writes(const Stmt& stmt, std::set<std::string>& out) {
+  if (const auto* assign = std::get_if<ArrayAssign>(&stmt.node)) {
+    out.insert(assign->array);
+  } else if (const auto* loop = std::get_if<DoLoop>(&stmt.node)) {
+    for (const auto& s : loop->body) collect_writes(*s, out);
+  }
+}
+
+class Converter {
+ public:
+  explicit Converter(const Program& input) : program_(clone(input)) {}
+
+  ConversionResult run() {
+    SemanticInfo sema = analyze(program_);  // marks reductions
+    for (const auto& site : sema.assign_sites) {
+      if (site.assign->is_reduction) {
+        actions_.push_back({ConversionActionKind::kMarkedReduction,
+                            site.assign->array,
+                            "self-accumulation commits once per element"});
+      }
+    }
+
+    insert_reinits(sema);
+    version_arrays();
+    analyze(program_);  // validate the transformed program
+
+    ConversionResult result;
+    result.program = std::move(program_);
+    result.actions = std::move(actions_);
+    return result;
+  }
+
+ private:
+  /// In-loop rewrites cannot be statically renamed; insert the §5 protocol.
+  void insert_reinits(const SemanticInfo& sema) {
+    std::set<std::pair<const DoLoop*, std::string>> pending;
+    for (const auto& site : sema.assign_sites) {
+      if (site.assign->is_reduction) continue;
+      AffineContext ctx{&program_, &sema, site.loops};
+      const ArrayShape shape(
+          program_.arrays[sema.arrays.at(site.assign->array)].dims);
+      ArrayRefExpr target;
+      target.name = site.assign->array;
+      for (const auto& idx : site.assign->indices) {
+        target.indices.push_back(clone(*idx));
+      }
+      const AffineIndex aff = element_affine(target, shape, ctx);
+      if (!aff.affine) continue;
+      for (const auto* loop : site.loops) {
+        const auto stride = stride_per_trip(aff, *loop, ctx);
+        const auto trips = const_trip_count(*loop, ctx);
+        if (stride && *stride == 0 && (!trips || *trips > 1)) {
+          pending.insert({loop, site.assign->array});
+        }
+      }
+    }
+    if (pending.empty()) return;
+    for (auto& stmt : program_.body) apply_reinits(*stmt, pending);
+  }
+
+  void apply_reinits(
+      Stmt& stmt,
+      const std::set<std::pair<const DoLoop*, std::string>>& pending) {
+    auto* loop = std::get_if<DoLoop>(&stmt.node);
+    if (!loop) return;
+    for (const auto& [target_loop, array] : pending) {
+      if (target_loop != loop) continue;
+      for (std::size_t i = 0; i < loop->body.size(); ++i) {
+        if (writes_array(*loop->body[i], array)) {
+          auto reinit = std::make_unique<Stmt>();
+          reinit->node = ReinitStmt{array};
+          loop->body.insert(
+              loop->body.begin() + static_cast<std::ptrdiff_t>(i),
+              std::move(reinit));
+          actions_.push_back(
+              {ConversionActionKind::kInsertedReinit, array,
+               "array is reproduced every iteration of loop '" + loop->var +
+                   "'; host-processor re-init inserted"});
+          reinit_arrays_.insert(array);
+          break;
+        }
+      }
+    }
+    for (auto& child : loop->body) apply_reinits(*child, pending);
+  }
+
+  /// Sequential overwrites at top level: give the second producer a fresh
+  /// version name, leaving intermediate reads on the old one.
+  void version_arrays() {
+    std::map<std::string, std::string> live;  // base -> current version name
+    std::map<std::string, int> version_count;
+    std::set<std::string> produced;  // version names already written
+
+    for (const auto& decl : program_.arrays) {
+      live[decl.name] = decl.name;
+      // INIT ALL arrays cannot be written at all (sema enforces this) and
+      // INIT PREFIX arrays seed recurrences whose writes land beyond the
+      // prefix — neither warrants a fresh version on first write.  A
+      // write *into* a prefix is a violation sa_check/runtime reports.
+    }
+
+    std::vector<ArrayDecl> new_decls;
+    for (auto& stmt : program_.body) {
+      std::set<std::string> writes;
+      collect_writes(*stmt, writes);
+
+      // 1. Version decisions: a write to an already-produced array gets a
+      //    fresh name.  Targets in the source always carry base names.
+      std::map<std::string, std::string> fresh_names;
+      for (const auto& base : writes) {
+        // Arrays flagged for REINIT reuse their storage legally.
+        if (reinit_arrays_.count(base)) continue;
+        if (!produced.count(live[base])) continue;
+        const int v = ++version_count[base] + 1;
+        const std::string fresh = base + "__" + std::to_string(v);
+        fresh_names[base] = fresh;
+
+        const auto old_it =
+            std::find_if(program_.arrays.begin(), program_.arrays.end(),
+                         [&](const ArrayDecl& d) { return d.name == base; });
+        SAP_CHECK(old_it != program_.arrays.end(), "missing base declaration");
+        ArrayDecl decl;
+        decl.name = fresh;
+        decl.dims = old_it->dims;
+        decl.init = InitMode::kNone;
+        new_decls.push_back(decl);
+        actions_.push_back(
+            {ConversionActionKind::kRenamedVersion, base,
+             "sequential overwrite expanded to new version '" + fresh + "'"});
+      }
+
+      // 2. Rename the writes (and reduction accumulators) to fresh names.
+      for (const auto& [base, fresh] : fresh_names) {
+        rename_writes_in_stmt(*stmt, base, fresh);
+      }
+
+      // 3. Redirect remaining reads to the pre-statement live versions.
+      for (const auto& [base, name] : live) {
+        if (name != base) rename_reads_in_stmt(*stmt, base, name);
+      }
+
+      // 4. Commit state.
+      for (const auto& [base, fresh] : fresh_names) live[base] = fresh;
+      for (const auto& base : writes) produced.insert(live[base]);
+    }
+
+    for (auto& decl : new_decls) program_.arrays.push_back(std::move(decl));
+  }
+
+  Program program_;
+  std::vector<ConversionAction> actions_;
+  std::set<std::string> reinit_arrays_;
+};
+
+}  // namespace
+
+ConversionResult convert_to_single_assignment(const Program& input) {
+  return Converter(input).run();
+}
+
+}  // namespace sap

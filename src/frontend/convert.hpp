@@ -1,0 +1,55 @@
+// Automatic conversion of conventional loop programs to single-assignment
+// form — the translator §5 sketches:
+//
+//   "Use an automatic conversion tool. For many conventional loops, this
+//    conversion will be straight-forward and can be done by a translator
+//    program. These translators will tend to increase the amount of memory
+//    used for array storage…"
+//
+// Three rewrites, reported per action:
+//   1. *Reduction marking* — W(i) = W(i) + e accumulates in an owner-local
+//      register and commits once (keeps element-wise SA).
+//   2. *Array versioning* — a second top-level statement overwriting an
+//      already-produced array gets a fresh version A__2 (the memory-cost
+//      trade §5 mentions); reads between the writes keep referring to the
+//      old version.
+//   3. *Re-init insertion* — an array rewritten on every iteration of an
+//      enclosing loop cannot be statically renamed; a REINIT statement
+//      (the §5 host-processor protocol) is inserted before the producing
+//      statement inside that loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace sap {
+
+enum class ConversionActionKind {
+  kMarkedReduction,
+  kRenamedVersion,
+  kInsertedReinit,
+};
+
+std::string to_string(ConversionActionKind kind);
+
+struct ConversionAction {
+  ConversionActionKind kind = ConversionActionKind::kMarkedReduction;
+  std::string array;
+  std::string detail;
+};
+
+struct ConversionResult {
+  Program program;  // single-assignment form
+  std::vector<ConversionAction> actions;
+
+  bool changed() const noexcept { return !actions.empty(); }
+  std::string report() const;
+};
+
+/// Converts `input` (not modified) to single-assignment form.
+/// Throws SemanticError when the input is not analyzable.
+ConversionResult convert_to_single_assignment(const Program& input);
+
+}  // namespace sap

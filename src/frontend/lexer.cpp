@@ -1,0 +1,149 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace sap {
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string, TokenKind> table = {
+      {"PROGRAM", TokenKind::kKwProgram}, {"END", TokenKind::kKwEnd},
+      {"ARRAY", TokenKind::kKwArray},     {"SCALAR", TokenKind::kKwScalar},
+      {"INIT", TokenKind::kKwInit},       {"ALL", TokenKind::kKwAll},
+      {"NONE", TokenKind::kKwNone},       {"PREFIX", TokenKind::kKwPrefix},
+      {"DO", TokenKind::kKwDo},
+      {"REINIT", TokenKind::kKwReinit},
+  };
+  return table;
+}
+
+char to_upper(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+bool Lexer::at_end() const noexcept { return pos_ >= source_.size(); }
+
+char Lexer::peek() const noexcept { return at_end() ? '\0' : source_[pos_]; }
+
+char Lexer::advance() noexcept {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+SourceLocation Lexer::here() const noexcept { return {line_, column_}; }
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token token = next_token();
+    const bool done = token.kind == TokenKind::kEndOfFile;
+    // Collapse consecutive newlines; drop a leading newline.
+    if (token.kind == TokenKind::kNewline &&
+        (tokens.empty() || tokens.back().kind == TokenKind::kNewline)) {
+      continue;
+    }
+    tokens.push_back(std::move(token));
+    if (done) return tokens;
+  }
+}
+
+Token Lexer::next_token() {
+  // Skip horizontal whitespace and comments.
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+    } else if (c == '!' || c == '#') {
+      while (!at_end() && peek() != '\n') advance();
+    } else {
+      break;
+    }
+  }
+
+  const SourceLocation loc = here();
+  if (at_end()) return {TokenKind::kEndOfFile, "", 0.0, loc};
+
+  const char c = advance();
+  switch (c) {
+    case '\n': return {TokenKind::kNewline, "\n", 0.0, loc};
+    case ';': return {TokenKind::kNewline, ";", 0.0, loc};
+    case '(': return {TokenKind::kLParen, "(", 0.0, loc};
+    case ')': return {TokenKind::kRParen, ")", 0.0, loc};
+    case ',': return {TokenKind::kComma, ",", 0.0, loc};
+    case ':': return {TokenKind::kColon, ":", 0.0, loc};
+    case '+': return {TokenKind::kPlus, "+", 0.0, loc};
+    case '-': return {TokenKind::kMinus, "-", 0.0, loc};
+    case '*': return {TokenKind::kStar, "*", 0.0, loc};
+    case '/': return {TokenKind::kSlash, "/", 0.0, loc};
+    case '=': return {TokenKind::kEquals, "=", 0.0, loc};
+    default: break;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+    std::string text(1, c);
+    bool seen_dot = c == '.';
+    bool seen_exp = false;
+    while (!at_end()) {
+      const char n = peek();
+      if (std::isdigit(static_cast<unsigned char>(n))) {
+        text += advance();
+      } else if (n == '.' && !seen_dot && !seen_exp) {
+        seen_dot = true;
+        text += advance();
+      } else if ((n == 'e' || n == 'E') && !seen_exp) {
+        seen_exp = true;
+        text += advance();
+        if (peek() == '+' || peek() == '-') text += advance();
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    const auto* begin = text.data();
+    const auto* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+      throw ParseError("malformed number '" + text + "'", loc.line,
+                       loc.column);
+    }
+    return {TokenKind::kNumber, std::move(text), value, loc};
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text(1, to_upper(c));
+    while (!at_end()) {
+      const char n = peek();
+      if (std::isalnum(static_cast<unsigned char>(n)) || n == '_') {
+        text += to_upper(advance());
+      } else {
+        break;
+      }
+    }
+    const auto& table = keyword_table();
+    if (auto it = table.find(text); it != table.end()) {
+      return {it->second, std::move(text), 0.0, loc};
+    }
+    return {TokenKind::kIdentifier, std::move(text), 0.0, loc};
+  }
+
+  throw ParseError(std::string("unexpected character '") + c + "'", loc.line,
+                   loc.column);
+}
+
+}  // namespace sap

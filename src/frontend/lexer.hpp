@@ -1,0 +1,33 @@
+// Hand-written lexer for the loop DSL.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace sap {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Tokenizes the whole input; the final token is kEndOfFile.
+  /// Throws ParseError on malformed input.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next_token();
+  char peek() const noexcept;
+  char advance() noexcept;
+  bool at_end() const noexcept;
+  SourceLocation here() const noexcept;
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace sap

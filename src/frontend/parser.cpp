@@ -1,0 +1,305 @@
+#include "frontend/parser.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "frontend/lexer.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+namespace {
+
+std::optional<IntrinsicKind> intrinsic_by_name(const std::string& name) {
+  if (name == "IDIV") return IntrinsicKind::kIDiv;
+  if (name == "MOD") return IntrinsicKind::kMod;
+  if (name == "MIN") return IntrinsicKind::kMin;
+  if (name == "MAX") return IntrinsicKind::kMax;
+  if (name == "ABS") return IntrinsicKind::kAbs;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+  SAP_CHECK(!tokens_.empty() && tokens_.back().kind == TokenKind::kEndOfFile,
+            "token stream must end with EOF");
+}
+
+Program Parser::parse(std::string_view source) {
+  Lexer lexer(source);
+  Parser parser(lexer.tokenize());
+  return parser.parse_program();
+}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::check(TokenKind kind) const { return peek().kind == kind; }
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const std::string& context) {
+  if (!check(kind)) {
+    fail("expected " + to_string(kind) + " " + context + ", found " +
+         to_string(peek().kind) +
+         (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return advance();
+}
+
+void Parser::expect_newline(const std::string& context) {
+  if (check(TokenKind::kEndOfFile)) return;
+  expect(TokenKind::kNewline, context);
+}
+
+void Parser::fail(const std::string& message) const {
+  const auto& loc = peek().loc;
+  throw ParseError(message, loc.line, loc.column);
+}
+
+Program Parser::parse_program() {
+  Program program;
+  match(TokenKind::kNewline);
+  expect(TokenKind::kKwProgram, "at start of program");
+  program.name = expect(TokenKind::kIdentifier, "after PROGRAM").text;
+  expect_newline("after program name");
+
+  while (check(TokenKind::kKwArray) || check(TokenKind::kKwScalar)) {
+    if (check(TokenKind::kKwArray)) {
+      program.arrays.push_back(parse_array_decl());
+    } else {
+      program.scalars.push_back(parse_scalar_decl());
+    }
+  }
+
+  while (!check(TokenKind::kKwEnd)) {
+    if (check(TokenKind::kEndOfFile)) fail("missing END PROGRAM");
+    program.body.push_back(parse_stmt());
+  }
+  expect(TokenKind::kKwEnd, "to close program");
+  expect(TokenKind::kKwProgram, "after END");
+  match(TokenKind::kNewline);
+  if (!check(TokenKind::kEndOfFile)) fail("trailing input after END PROGRAM");
+  return program;
+}
+
+std::int64_t Parser::parse_signed_int(const std::string& context) {
+  const bool negative = match(TokenKind::kMinus);
+  if (!negative) match(TokenKind::kPlus);
+  const Token& num = expect(TokenKind::kNumber, context);
+  const double v = num.number;
+  if (v != std::floor(v)) {
+    throw ParseError("expected integer " + context, num.loc.line,
+                     num.loc.column);
+  }
+  const auto magnitude = static_cast<std::int64_t>(v);
+  return negative ? -magnitude : magnitude;
+}
+
+ArrayDecl Parser::parse_array_decl() {
+  ArrayDecl decl;
+  decl.loc = peek().loc;
+  expect(TokenKind::kKwArray, "");
+  decl.name = expect(TokenKind::kIdentifier, "after ARRAY").text;
+  expect(TokenKind::kLParen, "after array name");
+  do {
+    const std::int64_t first = parse_signed_int("in array dimension");
+    DimBound dim;
+    if (match(TokenKind::kColon)) {
+      dim.lower = first;
+      dim.upper = parse_signed_int("after ':' in array dimension");
+    } else {
+      dim.lower = 1;
+      dim.upper = first;
+    }
+    if (dim.upper < dim.lower) {
+      throw ParseError("empty dimension in array '" + decl.name + "'",
+                       decl.loc.line, decl.loc.column);
+    }
+    decl.dims.push_back(dim);
+  } while (match(TokenKind::kComma));
+  expect(TokenKind::kRParen, "to close array dimensions");
+
+  if (match(TokenKind::kKwInit)) {
+    if (match(TokenKind::kKwAll)) {
+      decl.init = InitMode::kAll;
+    } else if (match(TokenKind::kKwNone)) {
+      decl.init = InitMode::kNone;
+    } else if (match(TokenKind::kKwPrefix)) {
+      decl.init = InitMode::kPrefix;
+      decl.init_prefix = parse_signed_int("after INIT PREFIX");
+      if (decl.init_prefix < 0) {
+        throw ParseError("INIT PREFIX must be non-negative", decl.loc.line,
+                         decl.loc.column);
+      }
+    } else {
+      fail("expected ALL, NONE or PREFIX after INIT");
+    }
+  }
+  expect_newline("after array declaration");
+  return decl;
+}
+
+ScalarDecl Parser::parse_scalar_decl() {
+  ScalarDecl decl;
+  decl.loc = peek().loc;
+  expect(TokenKind::kKwScalar, "");
+  decl.name = expect(TokenKind::kIdentifier, "after SCALAR").text;
+  if (match(TokenKind::kEquals)) {
+    const bool negative = match(TokenKind::kMinus);
+    const Token& num = expect(TokenKind::kNumber, "after '=' in SCALAR");
+    decl.init = negative ? -num.number : num.number;
+  }
+  expect_newline("after scalar declaration");
+  return decl;
+}
+
+StmtPtr Parser::parse_stmt() {
+  // Skip blank statement separators.
+  while (match(TokenKind::kNewline)) {
+  }
+  if (check(TokenKind::kKwDo)) return parse_do_loop();
+  if (check(TokenKind::kKwReinit)) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->loc = peek().loc;
+    advance();
+    ReinitStmt reinit;
+    reinit.array = expect(TokenKind::kIdentifier, "after REINIT").text;
+    expect_newline("after REINIT statement");
+    stmt->node = std::move(reinit);
+    return stmt;
+  }
+  if (check(TokenKind::kIdentifier)) return parse_assignment();
+  fail("expected a statement (DO loop, assignment or REINIT)");
+}
+
+StmtPtr Parser::parse_do_loop() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->loc = peek().loc;
+  expect(TokenKind::kKwDo, "");
+  DoLoop loop;
+  loop.var = expect(TokenKind::kIdentifier, "after DO").text;
+  expect(TokenKind::kEquals, "after loop variable");
+  loop.lower = parse_expr();
+  expect(TokenKind::kComma, "between loop bounds");
+  loop.upper = parse_expr();
+  if (match(TokenKind::kComma)) loop.step = parse_expr();
+  expect_newline("after DO header");
+
+  while (!check(TokenKind::kKwEnd)) {
+    if (check(TokenKind::kEndOfFile)) fail("missing END DO");
+    loop.body.push_back(parse_stmt());
+  }
+  expect(TokenKind::kKwEnd, "to close DO loop");
+  expect(TokenKind::kKwDo, "after END");
+  expect_newline("after END DO");
+  stmt->node = std::move(loop);
+  return stmt;
+}
+
+StmtPtr Parser::parse_assignment() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->loc = peek().loc;
+  const std::string name = expect(TokenKind::kIdentifier, "").text;
+
+  if (check(TokenKind::kLParen)) {
+    ArrayAssign assign;
+    assign.array = name;
+    advance();  // '('
+    do {
+      assign.indices.push_back(parse_expr());
+    } while (match(TokenKind::kComma));
+    expect(TokenKind::kRParen, "to close assignment target indices");
+    expect(TokenKind::kEquals, "in array assignment");
+    assign.value = parse_expr();
+    expect_newline("after assignment");
+    stmt->node = std::move(assign);
+    return stmt;
+  }
+
+  expect(TokenKind::kEquals, "in scalar assignment");
+  ScalarAssign assign;
+  assign.name = name;
+  assign.value = parse_expr();
+  expect_newline("after assignment");
+  stmt->node = std::move(assign);
+  return stmt;
+}
+
+ExprPtr Parser::parse_expr() {
+  ExprPtr lhs = parse_term();
+  for (;;) {
+    const SourceLocation loc = peek().loc;
+    if (match(TokenKind::kPlus)) {
+      lhs = make_binary(BinaryOp::kAdd, std::move(lhs), parse_term(), loc);
+    } else if (match(TokenKind::kMinus)) {
+      lhs = make_binary(BinaryOp::kSub, std::move(lhs), parse_term(), loc);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+ExprPtr Parser::parse_term() {
+  ExprPtr lhs = parse_factor();
+  for (;;) {
+    const SourceLocation loc = peek().loc;
+    if (match(TokenKind::kStar)) {
+      lhs = make_binary(BinaryOp::kMul, std::move(lhs), parse_factor(), loc);
+    } else if (match(TokenKind::kSlash)) {
+      lhs = make_binary(BinaryOp::kDiv, std::move(lhs), parse_factor(), loc);
+    } else {
+      return lhs;
+    }
+  }
+}
+
+ExprPtr Parser::parse_factor() {
+  const SourceLocation loc = peek().loc;
+  if (match(TokenKind::kMinus)) return make_neg(parse_factor(), loc);
+  match(TokenKind::kPlus);  // unary plus is a no-op
+  return parse_primary();
+}
+
+ExprPtr Parser::parse_primary() {
+  const SourceLocation loc = peek().loc;
+  if (check(TokenKind::kNumber)) {
+    return make_number(advance().number, loc);
+  }
+  if (match(TokenKind::kLParen)) {
+    ExprPtr inner = parse_expr();
+    expect(TokenKind::kRParen, "to close parenthesized expression");
+    return inner;
+  }
+  if (check(TokenKind::kIdentifier)) {
+    const std::string name = advance().text;
+    if (!check(TokenKind::kLParen)) return make_var(name, loc);
+    advance();  // '('
+    std::vector<ExprPtr> args;
+    do {
+      args.push_back(parse_expr());
+    } while (match(TokenKind::kComma));
+    expect(TokenKind::kRParen, "to close argument list");
+    if (auto kind = intrinsic_by_name(name)) {
+      return make_intrinsic(*kind, std::move(args), loc);
+    }
+    return make_array_ref(name, std::move(args), loc);
+  }
+  fail("expected an expression");
+}
+
+}  // namespace sap

@@ -1,0 +1,62 @@
+// Recursive-descent parser for the loop DSL.
+//
+// Grammar (newline-separated statements, case-insensitive keywords):
+//
+//   program  := PROGRAM ident NL { decl } { stmt } END PROGRAM
+//   decl     := ARRAY ident '(' dim {',' dim} ')' [INIT init] NL
+//             | SCALAR ident ['=' signed-number] NL
+//   dim      := signed-int [':' signed-int]          (default lower = 1)
+//   init     := ALL | NONE | PREFIX signed-int
+//   stmt     := DO ident '=' expr ',' expr [',' expr] NL {stmt} END DO NL
+//             | ident '(' expr {',' expr} ')' '=' expr NL    (array assign)
+//             | ident '=' expr NL                            (scalar assign)
+//   expr     := term {('+'|'-') term}
+//   term     := factor {('*'|'/') factor}
+//   factor   := ['+'|'-'] primary
+//   primary  := number | '(' expr ')'
+//             | ident ['(' expr {',' expr} ')']   (array ref or intrinsic)
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+
+namespace sap {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  /// Parses a full program; throws ParseError on malformed input.
+  Program parse_program();
+
+  /// Convenience: lex + parse in one step.
+  static Program parse(std::string_view source);
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const;
+  bool match(TokenKind kind);
+  const Token& expect(TokenKind kind, const std::string& context);
+  void expect_newline(const std::string& context);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  ArrayDecl parse_array_decl();
+  ScalarDecl parse_scalar_decl();
+  std::int64_t parse_signed_int(const std::string& context);
+  StmtPtr parse_stmt();
+  StmtPtr parse_do_loop();
+  StmtPtr parse_assignment();
+  ExprPtr parse_expr();
+  ExprPtr parse_term();
+  ExprPtr parse_factor();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sap

@@ -1,0 +1,158 @@
+#include "frontend/printer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sap {
+
+namespace {
+
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 1;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 2;
+  }
+  return 0;
+}
+
+std::string print_number(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string print_with_parens(const Expr& expr, int parent_prec,
+                              bool rhs_of_nonassoc);
+
+std::string print_raw(const Expr& expr) {
+  return std::visit(
+      [&](const auto& node) -> std::string {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          return print_number(node.value);
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          return node.name;
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          std::string out = node.name + "(";
+          for (std::size_t i = 0; i < node.indices.size(); ++i) {
+            if (i) out += ", ";
+            out += print_expr(*node.indices[i]);
+          }
+          return out + ")";
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          std::string out = to_string(node.kind) + "(";
+          for (std::size_t i = 0; i < node.args.size(); ++i) {
+            if (i) out += ", ";
+            out += print_expr(*node.args[i]);
+          }
+          return out + ")";
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          return "-" + print_with_parens(*node.operand, 3, false);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          const int prec = precedence(node.op);
+          const bool nonassoc =
+              node.op == BinaryOp::kSub || node.op == BinaryOp::kDiv;
+          return print_with_parens(*node.lhs, prec, false) + " " +
+                 to_string(node.op) + " " +
+                 print_with_parens(*node.rhs, prec, nonassoc);
+        }
+      },
+      expr.node);
+}
+
+std::string print_with_parens(const Expr& expr, int parent_prec,
+                              bool rhs_of_nonassoc) {
+  const auto* bin = std::get_if<BinaryExpr>(&expr.node);
+  if (!bin) return print_raw(expr);
+  const int prec = precedence(bin->op);
+  if (prec < parent_prec || (prec == parent_prec && rhs_of_nonassoc)) {
+    return "(" + print_raw(expr) + ")";
+  }
+  return print_raw(expr);
+}
+
+std::string indent_str(int indent) {
+  return std::string(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) { return print_raw(expr); }
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayAssign>) {
+          os << indent_str(indent) << node.array << "(";
+          for (std::size_t i = 0; i < node.indices.size(); ++i) {
+            if (i) os << ", ";
+            os << print_expr(*node.indices[i]);
+          }
+          os << ") = " << print_expr(*node.value);
+          if (node.is_reduction) os << "  ! reduction";
+          os << '\n';
+        } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+          os << indent_str(indent) << node.name << " = "
+             << print_expr(*node.value) << '\n';
+        } else if constexpr (std::is_same_v<T, DoLoop>) {
+          os << indent_str(indent) << "DO " << node.var << " = "
+             << print_expr(*node.lower) << ", " << print_expr(*node.upper);
+          if (node.step) os << ", " << print_expr(*node.step);
+          os << '\n';
+          for (const auto& s : node.body) os << print_stmt(*s, indent + 1);
+          os << indent_str(indent) << "END DO\n";
+        } else if constexpr (std::is_same_v<T, ReinitStmt>) {
+          os << indent_str(indent) << "REINIT " << node.array << '\n';
+        }
+      },
+      stmt.node);
+  return os.str();
+}
+
+std::string print_program(const Program& program) {
+  std::ostringstream os;
+  os << "PROGRAM " << program.name << '\n';
+  for (const auto& decl : program.arrays) {
+    os << "ARRAY " << decl.name << "(";
+    for (std::size_t d = 0; d < decl.dims.size(); ++d) {
+      if (d) os << ", ";
+      if (decl.dims[d].lower == 1) {
+        os << decl.dims[d].upper;
+      } else {
+        os << decl.dims[d].lower << ":" << decl.dims[d].upper;
+      }
+    }
+    os << ")";
+    switch (decl.init) {
+      case InitMode::kNone:
+        os << " INIT NONE";
+        break;
+      case InitMode::kAll:
+        os << " INIT ALL";
+        break;
+      case InitMode::kPrefix:
+        os << " INIT PREFIX " << decl.init_prefix;
+        break;
+    }
+    os << '\n';
+  }
+  for (const auto& decl : program.scalars) {
+    os << "SCALAR " << decl.name;
+    if (decl.init != 0.0) os << " = " << print_number(decl.init);
+    os << '\n';
+  }
+  for (const auto& stmt : program.body) os << print_stmt(*stmt, 0);
+  os << "END PROGRAM\n";
+  return os.str();
+}
+
+}  // namespace sap

@@ -1,0 +1,18 @@
+// AST pretty-printer: renders a Program back to DSL source text.
+//
+// Round-trip property (parse(print(p)) structurally equals p up to
+// formatting) is exercised by the frontend tests; the conversion tool uses
+// the printer for its before/after reports.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace sap {
+
+std::string print_expr(const Expr& expr);
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+std::string print_program(const Program& program);
+
+}  // namespace sap

@@ -1,0 +1,179 @@
+#include "frontend/sa_check.hpp"
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "frontend/affine.hpp"
+
+namespace sap {
+
+std::string to_string(SaFindingKind kind) {
+  switch (kind) {
+    case SaFindingKind::kProvenViolation: return "violation";
+    case SaFindingKind::kPossibleViolation: return "possible-violation";
+    case SaFindingKind::kReductionRewrite: return "reduction";
+  }
+  return "?";
+}
+
+bool SaCheckResult::has_proven_violation() const noexcept {
+  for (const auto& f : findings) {
+    if (f.kind == SaFindingKind::kProvenViolation) return true;
+  }
+  return false;
+}
+
+std::string SaCheckResult::report() const {
+  if (findings.empty()) return "single-assignment: OK (no findings)\n";
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << to_string(f.kind) << " [" << f.array << "]: " << f.message << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Linear range [lo, hi] an affine write can reach, when bounds are
+/// compile-time constants.  nullopt when any trip count is unknown.
+std::optional<std::pair<std::int64_t, std::int64_t>> write_range(
+    const AssignSite& site, const AffineIndex& aff, const AffineContext& ctx) {
+  if (!aff.affine || !aff.constant_known) return std::nullopt;
+  std::int64_t lo = aff.constant;
+  std::int64_t hi = aff.constant;
+  for (const auto* loop : site.loops) {
+    const auto stride = stride_per_trip(aff, *loop, ctx);
+    const auto trips = const_trip_count(*loop, ctx);
+    if (!stride || !trips) return std::nullopt;
+    // The loop-entry value of the loop variable contributes to the affine
+    // constant only when the lower bound is constant — which const_trip_count
+    // already requires; stride*(trips-1) is the total travel.
+    const std::int64_t lower_bound_contrib = [&]() -> std::int64_t {
+      const auto it = aff.coeffs.find(loop->var);
+      if (it == aff.coeffs.end()) return 0;
+      const auto lo_v = eval_const_expr(*loop->lower, ctx);
+      return it->second * static_cast<std::int64_t>(std::llround(*lo_v));
+    }();
+    const std::int64_t travel = *stride * (*trips - 1);
+    lo += lower_bound_contrib + std::min<std::int64_t>(0, travel);
+    hi += lower_bound_contrib + std::max<std::int64_t>(0, travel);
+  }
+  return std::make_pair(lo, hi);
+}
+
+}  // namespace
+
+SaCheckResult check_single_assignment(const Program& program,
+                                      const SemanticInfo& sema) {
+  SaCheckResult result;
+
+  struct SiteFacts {
+    const AssignSite* site;
+    AffineIndex aff;
+    std::optional<std::pair<std::int64_t, std::int64_t>> range;
+  };
+  std::map<std::string, std::vector<SiteFacts>> by_array;
+
+  for (const auto& site : sema.assign_sites) {
+    const ArrayAssign& assign = *site.assign;
+    AffineContext ctx{&program, &sema, site.loops};
+    const ArrayShape shape(program.arrays[sema.arrays.at(assign.array)].dims);
+
+    ArrayRefExpr target;
+    target.name = assign.array;
+    for (const auto& idx : assign.indices) target.indices.push_back(clone(*idx));
+    const AffineIndex aff = element_affine(target, shape, ctx);
+
+    if (assign.is_reduction) {
+      result.findings.push_back(
+          {SaFindingKind::kReductionRewrite, assign.array,
+           "self-accumulation rewritten as owner-local reduction (single "
+           "commit per element)"});
+    }
+
+    if (!aff.affine) {
+      result.findings.push_back(
+          {SaFindingKind::kPossibleViolation, assign.array,
+           "write index is not affine; write-once property cannot be "
+           "proven statically"});
+      by_array[assign.array].push_back({&site, aff, std::nullopt});
+      continue;
+    }
+
+    // Within-site check: a loop whose trips exceed 1 while the written
+    // element stands still rewrites the same cell — unless the statement
+    // is a reduction (hoisted commit).  Skipped when the affine constant
+    // is unknown (induction resets like ICCG's advance the element in a
+    // way per-loop strides cannot see).
+    if (!assign.is_reduction && aff.constant_known) {
+      for (const auto* loop : site.loops) {
+        const auto stride = stride_per_trip(aff, *loop, ctx);
+        if (!stride) continue;
+        if (*stride != 0) continue;
+        const auto trips = const_trip_count(*loop, ctx);
+        if (trips && *trips <= 1) continue;
+        const bool proven = trips.has_value();
+        result.findings.push_back(
+            {proven ? SaFindingKind::kProvenViolation
+                    : SaFindingKind::kPossibleViolation,
+             assign.array,
+             "write target is invariant in loop '" + loop->var +
+                 "' which iterates" +
+                 (proven ? " " + std::to_string(*trips) + " times"
+                         : " an unknown number of times")});
+      }
+    }
+
+    AffineContext range_ctx{&program, &sema, site.loops};
+    by_array[assign.array].push_back(
+        {&site, aff, write_range(site, aff, range_ctx)});
+  }
+
+  // Cross-site overlap: two distinct statements writing intersecting
+  // element ranges of one array.
+  for (const auto& [array, sites] : by_array) {
+    for (std::size_t a = 0; a < sites.size(); ++a) {
+      for (std::size_t b = a + 1; b < sites.size(); ++b) {
+        const auto& ra = sites[a].range;
+        const auto& rb = sites[b].range;
+        if (!ra || !rb) {
+          result.findings.push_back(
+              {SaFindingKind::kPossibleViolation, array,
+               "two statements write '" + array +
+                   "' and their ranges cannot be bounded statically"});
+          continue;
+        }
+        const bool disjoint = ra->second < rb->first || rb->second < ra->first;
+        if (!disjoint) {
+          result.findings.push_back(
+              {SaFindingKind::kPossibleViolation, array,
+               "two statements write overlapping ranges [" +
+                   std::to_string(ra->first) + "," +
+                   std::to_string(ra->second) + "] and [" +
+                   std::to_string(rb->first) + "," +
+                   std::to_string(rb->second) + "]"});
+        }
+      }
+    }
+
+    // Writes into an initialized prefix are double writes.
+    const auto& decl = program.arrays[sema.arrays.at(array)];
+    if (decl.init == InitMode::kPrefix) {
+      for (const auto& facts : sites) {
+        if (facts.range && facts.range->first < decl.init_prefix) {
+          result.findings.push_back(
+              {SaFindingKind::kProvenViolation, array,
+               "write range starts at " + std::to_string(facts.range->first) +
+                   " inside the initialized prefix of " +
+                   std::to_string(decl.init_prefix) + " elements"});
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace sap

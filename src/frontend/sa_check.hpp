@@ -1,0 +1,43 @@
+// Static single-assignment checking.
+//
+// §5 suggests "conventional compilers can be modified to perform data path
+// analysis to help programmers adhere to single assignment rules" — this is
+// that analysis.  For affine writes it proves or refutes the element-wise
+// write-once property; where bounds are runtime values it reports a
+// *possible* violation instead of a proof.  The dataflow machine still
+// traps any actual double write at runtime (DoubleWriteError).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+
+namespace sap {
+
+enum class SaFindingKind {
+  kProvenViolation,    // statically certain double write
+  kPossibleViolation,  // overlap cannot be excluded
+  kReductionRewrite,   // self-accumulation handled as owner-local reduction
+};
+
+std::string to_string(SaFindingKind kind);
+
+struct SaFinding {
+  SaFindingKind kind = SaFindingKind::kPossibleViolation;
+  std::string array;
+  std::string message;
+};
+
+struct SaCheckResult {
+  std::vector<SaFinding> findings;
+
+  bool has_proven_violation() const noexcept;
+  std::string report() const;
+};
+
+SaCheckResult check_single_assignment(const Program& program,
+                                      const SemanticInfo& sema);
+
+}  // namespace sap

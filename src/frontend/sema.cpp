@@ -1,0 +1,307 @@
+#include "frontend/sema.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sap {
+
+const ArrayDecl& SemanticInfo::array_decl(const Program& program,
+                                          const std::string& name) const {
+  auto it = arrays.find(name);
+  if (it == arrays.end()) {
+    throw SemanticError("unknown array '" + name + "'");
+  }
+  return program.arrays[it->second];
+}
+
+namespace {
+
+bool is_intrinsic_name(const std::string& name) {
+  return name == "IDIV" || name == "MOD" || name == "MIN" || name == "MAX" ||
+         name == "ABS";
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(Program& program) : program_(program) {}
+
+  SemanticInfo run() {
+    collect_declarations();
+    for (auto& stmt : program_.body) visit_stmt(*stmt);
+    detect_inductions();
+    emit_warnings();
+    return std::move(info_);
+  }
+
+ private:
+  [[noreturn]] void error(const SourceLocation& loc,
+                          const std::string& message) {
+    throw SemanticError(message + " (at " + loc.to_string() + ")");
+  }
+
+  void collect_declarations() {
+    for (std::size_t i = 0; i < program_.arrays.size(); ++i) {
+      const auto& decl = program_.arrays[i];
+      if (is_intrinsic_name(decl.name)) {
+        error(decl.loc, "'" + decl.name + "' is a reserved intrinsic name");
+      }
+      if (!info_.arrays.emplace(decl.name, i).second) {
+        error(decl.loc, "array '" + decl.name + "' declared twice");
+      }
+      if (decl.init == InitMode::kPrefix) {
+        const ArrayShape shape(decl.dims);
+        if (decl.init_prefix > shape.element_count()) {
+          error(decl.loc, "INIT PREFIX exceeds array size of '" + decl.name +
+                              "'");
+        }
+      }
+    }
+    for (std::size_t i = 0; i < program_.scalars.size(); ++i) {
+      const auto& decl = program_.scalars[i];
+      if (is_intrinsic_name(decl.name)) {
+        error(decl.loc, "'" + decl.name + "' is a reserved intrinsic name");
+      }
+      if (info_.arrays.count(decl.name)) {
+        error(decl.loc,
+              "'" + decl.name + "' declared as both array and scalar");
+      }
+      ScalarInfo si;
+      si.decl_index = i;
+      if (!info_.scalars.emplace(decl.name, si).second) {
+        error(decl.loc, "scalar '" + decl.name + "' declared twice");
+      }
+    }
+  }
+
+  bool is_loop_var(const std::string& name) const {
+    return std::any_of(loop_stack_.begin(), loop_stack_.end(),
+                       [&](const DoLoop* l) { return l->var == name; });
+  }
+
+  void visit_stmt(Stmt& stmt) {
+    std::visit(
+        [&](auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, ArrayAssign>) {
+            visit_array_assign(stmt, node);
+          } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+            visit_scalar_assign(stmt, node);
+          } else if constexpr (std::is_same_v<T, DoLoop>) {
+            visit_loop(stmt, node);
+          } else if constexpr (std::is_same_v<T, ReinitStmt>) {
+            if (!info_.arrays.count(node.array)) {
+              error(stmt.loc, "REINIT of undeclared array '" + node.array +
+                                  "'");
+            }
+            const auto& decl =
+                program_.arrays[info_.arrays.at(node.array)];
+            if (decl.init == InitMode::kAll) {
+              error(stmt.loc, "REINIT of INIT ALL input array '" +
+                                  node.array + "' would lose its data");
+            }
+          }
+        },
+        stmt.node);
+  }
+
+  void visit_array_assign(Stmt& stmt, ArrayAssign& assign) {
+    auto it = info_.arrays.find(assign.array);
+    if (it == info_.arrays.end()) {
+      error(stmt.loc, "assignment to undeclared array '" + assign.array + "'");
+    }
+    const auto& decl = program_.arrays[it->second];
+    if (assign.indices.size() != decl.dims.size()) {
+      error(stmt.loc, "array '" + assign.array + "' has rank " +
+                          std::to_string(decl.dims.size()) + " but " +
+                          std::to_string(assign.indices.size()) +
+                          " indices were given");
+    }
+    if (decl.init == InitMode::kAll) {
+      error(stmt.loc, "array '" + assign.array +
+                          "' is INIT ALL input data and may not be written "
+                          "(single assignment)");
+    }
+    for (const auto& idx : assign.indices) visit_expr(*idx);
+    visit_expr(*assign.value);
+    info_.written_arrays.insert(assign.array);
+
+    // Reduction detection: the value references the identical element.
+    const Expr target_probe{stmt.loc,
+                            ArrayRefExpr{assign.array, clone_indices(assign)}};
+    bool self_ref = false;
+    for_each_array_ref(*assign.value, [&](const ArrayRefExpr& ref) {
+      if (ref.name != assign.array ||
+          ref.indices.size() != assign.indices.size()) {
+        return;
+      }
+      bool same = true;
+      for (std::size_t i = 0; i < ref.indices.size(); ++i) {
+        if (!equal(*ref.indices[i], *assign.indices[i])) same = false;
+      }
+      if (same) self_ref = true;
+    });
+    assign.is_reduction = self_ref;
+
+    AssignSite site;
+    site.stmt = &stmt;
+    site.assign = &assign;
+    site.loops = loop_stack_;
+    info_.assign_sites.push_back(std::move(site));
+  }
+
+  static std::vector<ExprPtr> clone_indices(const ArrayAssign& assign) {
+    std::vector<ExprPtr> out;
+    for (const auto& idx : assign.indices) out.push_back(clone(*idx));
+    return out;
+  }
+
+  void visit_scalar_assign(Stmt& stmt, ScalarAssign& assign) {
+    if (is_loop_var(assign.name)) {
+      error(stmt.loc, "loop variable '" + assign.name +
+                          "' may not be assigned inside its loop");
+    }
+    auto it = info_.scalars.find(assign.name);
+    if (it == info_.scalars.end()) {
+      error(stmt.loc,
+            "assignment to undeclared scalar '" + assign.name + "'");
+    }
+    visit_expr(*assign.value);
+    ++it->second.assign_count;
+    scalar_updates_.push_back({&assign, loop_stack_});
+  }
+
+  void visit_loop(Stmt& stmt, DoLoop& loop) {
+    if (is_loop_var(loop.var)) {
+      error(stmt.loc, "nested loops reuse variable '" + loop.var + "'");
+    }
+    if (info_.arrays.count(loop.var) || info_.scalars.count(loop.var)) {
+      error(stmt.loc, "loop variable '" + loop.var +
+                          "' shadows a declared array or scalar");
+    }
+    visit_expr(*loop.lower);
+    visit_expr(*loop.upper);
+    if (loop.step) visit_expr(*loop.step);
+    loop_stack_.push_back(&loop);
+    for (auto& s : loop.body) visit_stmt(*s);
+    loop_stack_.pop_back();
+  }
+
+  void visit_expr(const Expr& expr) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarRef>) {
+            if (!is_loop_var(node.name) && !info_.scalars.count(node.name)) {
+              if (info_.arrays.count(node.name)) {
+                error(expr.loc, "array '" + node.name +
+                                    "' used without indices");
+              }
+              error(expr.loc, "undeclared identifier '" + node.name + "'");
+            }
+          } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+            auto it = info_.arrays.find(node.name);
+            if (it == info_.arrays.end()) {
+              error(expr.loc, "read of undeclared array '" + node.name + "'");
+            }
+            const auto& decl = program_.arrays[it->second];
+            if (node.indices.size() != decl.dims.size()) {
+              error(expr.loc, "array '" + node.name + "' has rank " +
+                                  std::to_string(decl.dims.size()) + " but " +
+                                  std::to_string(node.indices.size()) +
+                                  " indices were given");
+            }
+            info_.read_arrays.insert(node.name);
+            for (const auto& idx : node.indices) visit_expr(*idx);
+          } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+            const std::size_t want =
+                node.kind == IntrinsicKind::kAbs ? 1u : 2u;
+            if (node.args.size() != want) {
+              error(expr.loc, to_string(node.kind) + " expects " +
+                                  std::to_string(want) + " argument(s)");
+            }
+            for (const auto& a : node.args) visit_expr(*a);
+          } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+            visit_expr(*node.operand);
+          } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+            visit_expr(*node.lhs);
+            visit_expr(*node.rhs);
+          }
+        },
+        expr.node);
+  }
+
+  void detect_inductions() {
+    // A basic induction variable has exactly one *self-increment* update
+    // (s = s + c / s = c + s / s = s - c, c a literal) inside a loop; any
+    // other assignments (resets like ICCG's `i = ipntp`) must sit outside
+    // that loop, so within one trip sequence the stride is exactly c.
+    for (const auto& [assign, loops] : scalar_updates_) {
+      auto& si = info_.scalars.at(assign->name);
+      if (loops.empty()) continue;
+      const auto* bin = std::get_if<BinaryExpr>(&assign->value->node);
+      if (!bin) continue;
+      const auto step_of = [&](const Expr& self,
+                               const Expr& amount) -> std::optional<double> {
+        const auto* var = std::get_if<VarRef>(&self.node);
+        const auto* lit = std::get_if<NumberLit>(&amount.node);
+        if (!var || var->name != assign->name || !lit) return std::nullopt;
+        return lit->value;
+      };
+      std::optional<double> step;
+      if (bin->op == BinaryOp::kAdd) {
+        step = step_of(*bin->lhs, *bin->rhs);
+        if (!step) step = step_of(*bin->rhs, *bin->lhs);
+      } else if (bin->op == BinaryOp::kSub) {
+        step = step_of(*bin->lhs, *bin->rhs);
+        if (step) step = -*step;
+      }
+      if (!step) continue;
+
+      const DoLoop* increment_loop = loops.back();
+      bool conflicting = false;
+      for (const auto& [other, other_loops] : scalar_updates_) {
+        if (other == assign || other->name != assign->name) continue;
+        // Another update inside the increment's loop breaks the stride.
+        if (std::find(other_loops.begin(), other_loops.end(),
+                      increment_loop) != other_loops.end()) {
+          conflicting = true;
+        }
+      }
+      if (conflicting || si.induction_step.has_value()) {
+        // Two self-increments of the same scalar: not a basic induction.
+        si.induction_step.reset();
+        si.induction_loop = nullptr;
+        continue;
+      }
+      si.induction_step = step;
+      si.induction_loop = increment_loop;
+    }
+  }
+
+  void emit_warnings() {
+    for (const auto& decl : program_.arrays) {
+      const bool written = info_.written_arrays.count(decl.name) != 0;
+      const bool read = info_.read_arrays.count(decl.name) != 0;
+      if (!written && !read) {
+        info_.warnings.push_back("array '" + decl.name + "' is never used");
+      } else if (!written && decl.init == InitMode::kNone) {
+        info_.warnings.push_back("array '" + decl.name +
+                                 "' is read but never written nor "
+                                 "initialized (INIT NONE)");
+      }
+    }
+  }
+
+  Program& program_;
+  SemanticInfo info_;
+  std::vector<const DoLoop*> loop_stack_;
+  std::vector<std::pair<const ScalarAssign*, std::vector<const DoLoop*>>>
+      scalar_updates_;
+};
+
+}  // namespace
+
+SemanticInfo analyze(Program& program) { return Analyzer(program).run(); }
+
+}  // namespace sap

@@ -1,0 +1,58 @@
+// Semantic analysis: name resolution, rank checking, reduction detection
+// and the bookkeeping later passes build on (assignment sites with their
+// enclosing loop nests, scalar constancy / induction-variable facts).
+//
+// `analyze` mutates the Program only by setting ArrayAssign::is_reduction
+// where the value expression references the *identical* target element —
+// Fortran's `W(i) = W(i) + ...` accumulation idiom, which the paper's
+// single-assignment rule would otherwise trap (see DESIGN.md).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace sap {
+
+/// One array assignment and the DO loops that enclose it, outermost first.
+struct AssignSite {
+  const Stmt* stmt = nullptr;
+  const ArrayAssign* assign = nullptr;
+  std::vector<const DoLoop*> loops;
+};
+
+/// Facts about one declared scalar.
+struct ScalarInfo {
+  std::size_t decl_index = 0;
+  int assign_count = 0;
+
+  /// Constant: never assigned in the body; its declared init is its value.
+  bool is_constant() const noexcept { return assign_count == 0; }
+
+  /// Set when the scalar is a *basic induction variable*: exactly one
+  /// assignment, of the form s = s + c (c literal), inside a loop.
+  std::optional<double> induction_step;
+  /// The innermost loop containing the induction update.
+  const DoLoop* induction_loop = nullptr;
+};
+
+struct SemanticInfo {
+  std::map<std::string, std::size_t> arrays;  // name -> Program::arrays index
+  std::map<std::string, ScalarInfo> scalars;
+  std::vector<AssignSite> assign_sites;
+  std::set<std::string> written_arrays;
+  std::set<std::string> read_arrays;
+  std::vector<std::string> warnings;
+
+  const ArrayDecl& array_decl(const Program& program,
+                              const std::string& name) const;
+};
+
+/// Full semantic check; throws SemanticError on the first hard error.
+SemanticInfo analyze(Program& program);
+
+}  // namespace sap

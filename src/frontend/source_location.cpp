@@ -1,0 +1,10 @@
+#include "frontend/source_location.hpp"
+
+namespace sap {
+
+std::string SourceLocation::to_string() const {
+  if (is_synthesized()) return "<builder>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+}  // namespace sap

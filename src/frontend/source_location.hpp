@@ -1,0 +1,16 @@
+// Source positions for diagnostics.
+#pragma once
+
+#include <string>
+
+namespace sap {
+
+struct SourceLocation {
+  int line = 0;    // 1-based; 0 = synthesized (e.g. by ProgramBuilder)
+  int column = 0;  // 1-based
+
+  bool is_synthesized() const noexcept { return line == 0; }
+  std::string to_string() const;
+};
+
+}  // namespace sap

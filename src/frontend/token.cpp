@@ -1,0 +1,34 @@
+#include "frontend/token.hpp"
+
+namespace sap {
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kKwProgram: return "PROGRAM";
+    case TokenKind::kKwEnd: return "END";
+    case TokenKind::kKwArray: return "ARRAY";
+    case TokenKind::kKwScalar: return "SCALAR";
+    case TokenKind::kKwInit: return "INIT";
+    case TokenKind::kKwAll: return "ALL";
+    case TokenKind::kKwNone: return "NONE";
+    case TokenKind::kKwPrefix: return "PREFIX";
+    case TokenKind::kKwDo: return "DO";
+    case TokenKind::kKwReinit: return "REINIT";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+}  // namespace sap

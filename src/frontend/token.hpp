@@ -1,0 +1,62 @@
+// Tokens of the loop DSL.
+//
+// The DSL is a small Fortran-flavoured loop language sufficient to express
+// the Livermore Loops in single-assignment form:
+//
+//   PROGRAM hydro
+//   ARRAY  X(1001) INIT NONE
+//   ARRAY  ZX(1012) INIT ALL
+//   SCALAR Q = 0.5
+//   DO k = 1, 400
+//     X(k) = Q + ZX(k+10)
+//   END DO
+//   END PROGRAM
+//
+// Keywords and identifiers are case-insensitive (normalized to upper case);
+// '!' starts a comment; newlines separate statements.
+#pragma once
+
+#include <string>
+
+#include "frontend/source_location.hpp"
+
+namespace sap {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  // Keywords.
+  kKwProgram,
+  kKwEnd,
+  kKwArray,
+  kKwScalar,
+  kKwInit,
+  kKwAll,
+  kKwNone,
+  kKwPrefix,
+  kKwDo,
+  kKwReinit,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEquals,
+  kNewline,
+  kEndOfFile,
+};
+
+std::string to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;     // normalized (upper case) for identifiers/keywords
+  double number = 0.0;  // valid when kind == kNumber
+  SourceLocation loc;
+};
+
+}  // namespace sap

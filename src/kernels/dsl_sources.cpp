@@ -1,0 +1,246 @@
+#include "kernels/dsl_sources.hpp"
+
+#include "support/error.hpp"
+
+namespace sap {
+
+namespace {
+
+constexpr std::string_view kHydroSource = R"(
+PROGRAM k01_hydro
+ARRAY X(1001) INIT NONE
+ARRAY Y(1001) INIT ALL
+ARRAY ZX(1012) INIT ALL
+SCALAR Q = 0.5
+SCALAR R = 0.25
+SCALAR T = 0.125
+DO k = 1, 400
+  X(k) = Q + Y(k) * (R * ZX(k+10) + T * ZX(k+11))
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kIccgSource = R"(
+PROGRAM k02_iccg
+ARRAY X(1022) INIT PREFIX 512
+ARRAY V(1022) INIT ALL
+SCALAR II = 512
+SCALAR IPNT = 0
+SCALAR IPNTP = 0
+SCALAR I = 0
+DO L = 1, 8
+  IPNT = IPNTP
+  IPNTP = IPNTP + II
+  II = IDIV(II, 2)
+  I = IPNTP
+  DO K = IPNT + 2, IPNTP, 2
+    I = I + 1
+    X(I) = X(K) - V(K) * X(K-1) - V(K+1) * X(K+1)
+  END DO
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kTridiagSource = R"(
+PROGRAM k05_tridiag
+ARRAY X(1000) INIT PREFIX 1
+ARRAY Y(1000) INIT ALL
+ARRAY Z(1000) INIT ALL
+DO I = 2, 1000
+  X(I) = Z(I) * (Y(I) - X(I-1))
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kGlrSource = R"(
+PROGRAM k06_glr
+ARRAY W(100) INIT PREFIX 1
+ARRAY B(100, 100) INIT ALL
+DO I = 2, 100
+  DO K = 1, I - 1
+    W(I) = W(I) + B(K, I) * W(I-K)
+  END DO
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kEosSource = R"(
+PROGRAM k07_eos
+ARRAY X(994) INIT NONE
+ARRAY U(1001) INIT ALL
+ARRAY Y(1001) INIT ALL
+ARRAY Z(1001) INIT ALL
+SCALAR Q = 0.5
+SCALAR R = 0.25
+SCALAR T = 0.125
+DO K = 1, 994
+  X(K) = U(K) + R * (Z(K) + R * Y(K)) + T * (U(K+3) + R * (U(K+2) + R * U(K+1)) + T * (U(K+6) + Q * (U(K+5) + Q * U(K+4))))
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kFirstSumSource = R"(
+PROGRAM k11_first_sum
+ARRAY X(1000) INIT PREFIX 1
+ARRAY Y(1000) INIT ALL
+DO K = 2, 1000
+  X(K) = X(K-1) + Y(K)
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kFirstDiffSource = R"(
+PROGRAM k12_first_diff
+ARRAY X(999) INIT NONE
+ARRAY Y(1000) INIT ALL
+DO K = 1, 999
+  X(K) = Y(K+1) - Y(K)
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kPic1dSource = R"(
+PROGRAM k14_pic1d
+ARRAY RX(1000) INIT NONE
+ARRAY XX(1000) INIT ALL
+ARRAY IR(1000) INIT ALL
+DO K = 1, 1000
+  RX(K) = XX(K) - IR(K)
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kAdiSource = R"(
+PROGRAM k08_adi
+ARRAY U1(4, 502) INIT ALL
+ARRAY U2(4, 502) INIT ALL
+ARRAY U3(4, 502) INIT ALL
+ARRAY U1N(4, 502) INIT NONE
+ARRAY U2N(4, 502) INIT NONE
+ARRAY U3N(4, 502) INIT NONE
+ARRAY DU1(2, 502) INIT NONE
+ARRAY DU2(2, 502) INIT NONE
+ARRAY DU3(2, 502) INIT NONE
+SCALAR A11 = 0.5
+SCALAR A12 = 0.33
+SCALAR A13 = 0.25
+SCALAR A21 = 0.2
+SCALAR A22 = 0.16
+SCALAR A23 = 0.14
+SCALAR A31 = 0.12
+SCALAR A32 = 0.11
+SCALAR A33 = 0.1
+SCALAR SIG = 0.05
+DO KX = 2, 3
+  DO KY = 2, 500
+    DU1(KX - 1, KY) = U1(KX, KY + 1) - U1(KX, KY - 1)
+    DU2(KX - 1, KY) = U2(KX, KY + 1) - U2(KX, KY - 1)
+    DU3(KX - 1, KY) = U3(KX, KY + 1) - U3(KX, KY - 1)
+    U1N(KX, KY) = U1(KX, KY) + A11 * DU1(KX - 1, KY) + A12 * DU2(KX - 1, KY) + A13 * DU3(KX - 1, KY) + SIG * (U1(KX + 1, KY) - 2 * U1(KX, KY) + U1(KX - 1, KY))
+    U2N(KX, KY) = U2(KX, KY) + A21 * DU1(KX - 1, KY) + A22 * DU2(KX - 1, KY) + A23 * DU3(KX - 1, KY) + SIG * (U2(KX + 1, KY) - 2 * U2(KX, KY) + U2(KX - 1, KY))
+    U3N(KX, KY) = U3(KX, KY) + A31 * DU1(KX - 1, KY) + A32 * DU2(KX - 1, KY) + A33 * DU3(KX - 1, KY) + SIG * (U3(KX + 1, KY) - 2 * U3(KX, KY) + U3(KX - 1, KY))
+  END DO
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kHydro2dSource = R"(
+PROGRAM k18_hydro2d
+ARRAY ZP(101, 7) INIT ALL
+ARRAY ZQ(101, 7) INIT ALL
+ARRAY ZR(101, 7) INIT ALL
+ARRAY ZM(101, 7) INIT ALL
+ARRAY ZZ(101, 7) INIT ALL
+ARRAY ZU0(101, 7) INIT ALL
+ARRAY ZV0(101, 7) INIT ALL
+ARRAY ZA(101, 7) INIT NONE
+ARRAY ZB(101, 7) INIT NONE
+ARRAY ZU(101, 7) INIT NONE
+ARRAY ZV(101, 7) INIT NONE
+ARRAY ZROUT(101, 7) INIT NONE
+ARRAY ZZOUT(101, 7) INIT NONE
+SCALAR S = 0.5
+SCALAR T = 0.25
+DO K = 2, 6
+  DO J = 2, 100
+    ZA(J, K) = (ZP(J - 1, K + 1) + ZQ(J - 1, K) - ZP(J - 1, K) - ZQ(J - 1, K)) * (ZR(J, K) + ZR(J - 1, K)) / (ZM(J - 1, K) + ZM(J - 1, K + 1))
+    ZB(J, K) = (ZP(J - 1, K) + ZQ(J - 1, K) - ZP(J, K) - ZQ(J, K)) * (ZR(J, K) + ZR(J, K - 1)) / (ZM(J, K) + ZM(J - 1, K))
+  END DO
+END DO
+DO K = 2, 5
+  DO J = 3, 99
+    ZU(J, K) = ZU0(J, K) + S * (ZA(J, K) * (ZZ(J, K) - ZZ(J + 1, K)) - ZA(J - 1, K) * (ZZ(J, K) - ZZ(J - 1, K)) - ZB(J, K) * (ZZ(J, K) - ZZ(J, K - 1)) + ZB(J, K + 1) * (ZZ(J, K) - ZZ(J, K + 1)))
+    ZV(J, K) = ZV0(J, K) + S * (ZA(J, K) * (ZR(J, K) - ZR(J + 1, K)) - ZA(J - 1, K) * (ZR(J, K) - ZR(J - 1, K)) - ZB(J, K) * (ZR(J, K) - ZR(J, K - 1)) + ZB(J, K + 1) * (ZR(J, K) - ZR(J, K + 1)))
+  END DO
+END DO
+DO K = 2, 5
+  DO J = 3, 99
+    ZROUT(J, K) = ZR(J, K) + T * ZU(J, K)
+    ZZOUT(J, K) = ZZ(J, K) + T * ZV(J, K)
+  END DO
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kMatmulSource = R"(
+PROGRAM k21_matmul
+ARRAY PX(32, 32) INIT NONE
+ARRAY VY(32, 32) INIT ALL
+ARRAY CX(32, 32) INIT ALL
+DO J = 1, 32
+  DO I = 1, 32
+    DO K = 1, 32
+      PX(I, J) = PX(I, J) + VY(I, K) * CX(K, J)
+    END DO
+  END DO
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kImplicitHydroSource = R"(
+PROGRAM k23_implicit_hydro2d
+ARRAY ZA(401, 7) INIT ALL
+ARRAY ZR(401, 7) INIT ALL
+ARRAY ZB(401, 7) INIT ALL
+ARRAY ZU(401, 7) INIT ALL
+ARRAY ZV(401, 7) INIT ALL
+ARRAY ZZ(401, 7) INIT ALL
+ARRAY ZAOUT(401, 7) INIT NONE
+DO J = 2, 6
+  DO K = 2, 400
+    ZAOUT(K, J) = ZA(K, J) + 0.175 * (ZA(K, J + 1) * ZR(K, J) + ZA(K, J - 1) * ZB(K, J) + ZA(K + 1, J) * ZU(K, J) + ZA(K - 1, J) * ZV(K, J) + ZZ(K, J) - ZA(K, J))
+  END DO
+END DO
+END PROGRAM
+)";
+
+const std::vector<DslKernelSource>& sources() {
+  static const std::vector<DslKernelSource> list = {
+      {"k01_hydro", kHydroSource},
+      {"k02_iccg", kIccgSource},
+      {"k05_tridiag", kTridiagSource},
+      {"k06_glr", kGlrSource},
+      {"k07_eos", kEosSource},
+      {"k08_adi", kAdiSource},
+      {"k11_first_sum", kFirstSumSource},
+      {"k12_first_diff", kFirstDiffSource},
+      {"k14_pic1d", kPic1dSource},
+      {"k18_hydro2d", kHydro2dSource},
+      {"k21_matmul", kMatmulSource},
+      {"k23_implicit_hydro2d", kImplicitHydroSource},
+  };
+  return list;
+}
+
+}  // namespace
+
+const std::vector<DslKernelSource>& dsl_kernel_sources() { return sources(); }
+
+std::string_view dsl_source_for(std::string_view id) {
+  for (const auto& s : sources()) {
+    if (s.id == id) return s.source;
+  }
+  throw Error("kernel '" + std::string(id) + "' has no DSL source");
+}
+
+}  // namespace sap

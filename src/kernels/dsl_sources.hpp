@@ -1,0 +1,25 @@
+// DSL source text for a subset of the kernels.
+//
+// The same kernels exist twice — as ProgramBuilder code (livermore.hpp)
+// and as DSL text here — so the integration tests can prove the whole
+// front end (lexer through lowering) produces byte-identical access
+// distributions to the builder path.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace sap {
+
+struct DslKernelSource {
+  std::string_view id;       // matches KernelSpec::id
+  std::string_view source;   // full DSL program text
+};
+
+/// Kernels available in DSL form.
+const std::vector<DslKernelSource>& dsl_kernel_sources();
+
+/// Source by kernel id; throws Error when the kernel has no DSL form.
+std::string_view dsl_source_for(std::string_view id);
+
+}  // namespace sap

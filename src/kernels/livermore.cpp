@@ -1,0 +1,510 @@
+#include "kernels/livermore.hpp"
+
+#include "support/check.hpp"
+
+#include "core/program_builder.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+
+// --------------------------------------------------------------------------
+// K1 — Hydro Fragment (paper §7.1.2, Figure 1).  Skewed: ZX is read 10 and
+// 11 elements ahead of the X element being produced.
+CompiledProgram build_k1_hydro() {
+  ProgramBuilder b("k01_hydro");
+  b.array("X", {1001});
+  b.input_array("Y", {1001});
+  b.input_array("ZX", {1012});
+  b.scalar("Q", 0.5).scalar("R", 0.25).scalar("T", 0.125);
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 400);
+  b.assign("X", {k},
+           b.var("Q") + b.at("Y", {k}) * (b.var("R") * b.at("ZX", {k + 10}) +
+                                          b.var("T") * b.at("ZX", {k + 11})));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K2 — Incomplete Cholesky Conjugate Gradient (paper §7.1.3, Figure 2).
+// Cyclic: the write index advances half as fast as the read index.  The
+// log-halving recursion runs 8 levels on n = 512 (the classic code's final
+// length-2 level is omitted: its single iteration reads the element it is
+// about to write, which the element-wise SA rule cannot express).
+CompiledProgram build_k2_iccg(std::int64_t n) {
+  SAP_CHECK(n >= 8 && (n & (n - 1)) == 0, "ICCG needs a power-of-two n");
+  // Levels of length n, n/2, ..., 4 (the classic length-2 tail is omitted,
+  // see the comment above): floor(log2 n) - 1 levels.
+  std::int64_t levels = -2;  // floor(log2 n) - 1: lengths n down to 4
+  for (std::int64_t v = n; v > 0; v >>= 1) ++levels;
+  const std::int64_t total = 2 * n - 2;
+  ProgramBuilder b("k02_iccg");
+  b.prefix_array("X", {total}, n);  // X(1..n) is input data
+  b.input_array("V", {total});
+  b.scalar("II", static_cast<double>(n))
+      .scalar("IPNT", 0)
+      .scalar("IPNTP", 0)
+      .scalar("I", 0);
+  b.begin_loop("L", 1, ex_num(static_cast<double>(levels)));
+  b.scalar_assign("IPNT", b.var("IPNTP"));
+  b.scalar_assign("IPNTP", b.var("IPNTP") + b.var("II"));
+  b.scalar_assign("II", ex_idiv(b.var("II"), 2));
+  b.scalar_assign("I", b.var("IPNTP"));
+  b.begin_loop_step("K", b.var("IPNT") + 2, b.var("IPNTP"), 2);
+  b.scalar_assign("I", b.var("I") + 1);
+  const Ex k = b.var("K");
+  b.assign("X", {b.var("I")},
+           b.at("X", {k}) - b.at("V", {k}) * b.at("X", {k - 1}) -
+               b.at("V", {k + 1}) * b.at("X", {k + 1}));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K3 — Inner Product.  A reduction into a single cell: one PE owns the
+// result and streams both vectors through its cache.  Not named in the
+// paper; under owner-computes it is inherently sequential.  Cyclic-class
+// behaviour: nearly every read is off-owner, and the cache collapses each
+// remote page to a single fetch.
+CompiledProgram build_k3_inner_product() {
+  ProgramBuilder b("k03_inner_product");
+  b.array("Q", {1});
+  b.input_array("Z", {1001});
+  b.input_array("X", {1001});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 1001);
+  b.assign("Q", {1}, b.at("Q", {1}) + b.at("Z", {k}) * b.at("X", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K5 — Tri-Diagonal Elimination (named SD in §7.1.2).  First-order linear
+// recurrence: X(i) depends on X(i-1), a skew of one element.
+CompiledProgram build_k5_tridiag() {
+  ProgramBuilder b("k05_tridiag");
+  b.prefix_array("X", {1000}, 1);  // X(1) seeds the recurrence
+  b.input_array("Y", {1000});
+  b.input_array("Z", {1000});
+  const Ex i = b.var("I");
+  b.begin_loop("I", 2, 1000);
+  b.assign("X", {i}, b.at("Z", {i}) * (b.at("Y", {i}) - b.at("X", {i - 1})));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K6 — General Linear Recurrence Equations (paper §7.1.4, Figure 4).
+// Random: the B(k,i) column walk strides a full row per iteration and the
+// per-element read window grows with i — far beyond the 256-element cache.
+CompiledProgram build_k6_general_linear_recurrence(std::int64_t n) {
+  SAP_CHECK(n >= 2, "GLR needs n >= 2");
+  ProgramBuilder b("k06_glr");
+  b.prefix_array("W", {n}, 1);  // W(1) seeds the recurrence
+  b.input_array("B", {n, n});
+  const Ex i = b.var("I");
+  const Ex k = b.var("K");
+  b.begin_loop("I", 2, ex_num(static_cast<double>(n)));
+  b.begin_loop("K", 1, i - 1);
+  b.assign("W", {i}, b.at("W", {i}) + b.at("B", {k, i}) * b.at("W", {i - k}));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K7 — Equation of State Fragment (named SD in §7.1.2).  Skews 1..6 on U.
+CompiledProgram build_k7_equation_of_state() {
+  ProgramBuilder b("k07_eos");
+  b.array("X", {994});
+  b.input_array("U", {1001});
+  b.input_array("Y", {1001});
+  b.input_array("Z", {1001});
+  b.scalar("Q", 0.5).scalar("R", 0.25).scalar("T", 0.125);
+  const Ex k = b.var("K");
+  const Ex r = b.var("R");
+  const Ex q = b.var("Q");
+  const Ex t = b.var("T");
+  b.begin_loop("K", 1, 994);
+  b.assign(
+      "X", {k},
+      b.at("U", {k}) + r * (b.at("Z", {k}) + r * b.at("Y", {k})) +
+          t * (b.at("U", {k + 3}) +
+               r * (b.at("U", {k + 2}) + r * b.at("U", {k + 1})) +
+               t * (b.at("U", {k + 6}) +
+                    q * (b.at("U", {k + 5}) + q * b.at("U", {k + 4})))));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K8 — A.D.I. Integration (paper §7.1.4).  Random: a dozen concurrent
+// read streams (three solution arrays with +/- one-row offsets plus three
+// difference arrays) overflow the 8-frame cache.  Deviation from the
+// classic source: the double-buffer third index (nl1/nl2) is split into
+// input arrays U1..U3 and output arrays U1N..U3N, and the per-sweep
+// scratch arrays DU1..DU3 gain the sweep index kx so every element is
+// written exactly once (single assignment).
+CompiledProgram build_k8_adi(std::int64_t n) {
+  SAP_CHECK(n >= 3, "ADI needs n >= 3");
+  const std::int64_t kN = n;
+  ProgramBuilder b("k08_adi");
+  for (const char* name : {"U1", "U2", "U3"}) {
+    b.input_array(name, {4, kN + 2});
+  }
+  for (const char* name : {"U1N", "U2N", "U3N"}) {
+    b.array(name, {4, kN + 2});
+  }
+  for (const char* name : {"DU1", "DU2", "DU3"}) {
+    b.array(name, {2, kN + 2});
+  }
+  b.scalar("A11", 0.50).scalar("A12", 0.33).scalar("A13", 0.25);
+  b.scalar("A21", 0.20).scalar("A22", 0.16).scalar("A23", 0.14);
+  b.scalar("A31", 0.12).scalar("A32", 0.11).scalar("A33", 0.10);
+  b.scalar("SIG", 0.05);
+  const Ex kx = b.var("KX");
+  const Ex ky = b.var("KY");
+  b.begin_loop("KX", 2, 3);
+  b.begin_loop("KY", 2, ex_num(static_cast<double>(kN)));
+  b.assign("DU1", {kx - 1, ky},
+           b.at("U1", {kx, ky + 1}) - b.at("U1", {kx, ky - 1}));
+  b.assign("DU2", {kx - 1, ky},
+           b.at("U2", {kx, ky + 1}) - b.at("U2", {kx, ky - 1}));
+  b.assign("DU3", {kx - 1, ky},
+           b.at("U3", {kx, ky + 1}) - b.at("U3", {kx, ky - 1}));
+  b.assign("U1N", {kx, ky},
+           b.at("U1", {kx, ky}) + b.var("A11") * b.at("DU1", {kx - 1, ky}) +
+               b.var("A12") * b.at("DU2", {kx - 1, ky}) +
+               b.var("A13") * b.at("DU3", {kx - 1, ky}) +
+               b.var("SIG") * (b.at("U1", {kx + 1, ky}) -
+                               2.0 * b.at("U1", {kx, ky}) +
+                               b.at("U1", {kx - 1, ky})));
+  b.assign("U2N", {kx, ky},
+           b.at("U2", {kx, ky}) + b.var("A21") * b.at("DU1", {kx - 1, ky}) +
+               b.var("A22") * b.at("DU2", {kx - 1, ky}) +
+               b.var("A23") * b.at("DU3", {kx - 1, ky}) +
+               b.var("SIG") * (b.at("U2", {kx + 1, ky}) -
+                               2.0 * b.at("U2", {kx, ky}) +
+                               b.at("U2", {kx - 1, ky})));
+  b.assign("U3N", {kx, ky},
+           b.at("U3", {kx, ky}) + b.var("A31") * b.at("DU1", {kx - 1, ky}) +
+               b.var("A32") * b.at("DU2", {kx - 1, ky}) +
+               b.var("A33") * b.at("DU3", {kx - 1, ky}) +
+               b.var("SIG") * (b.at("U3", {kx + 1, ky}) -
+                               2.0 * b.at("U3", {kx, ky}) +
+                               b.at("U3", {kx - 1, ky})));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K9 — Integrate Predictors.  SA deviation: the prediction is written to a
+// separate vector PX1 instead of column 1 of PX, so the read stride (13
+// elements per row) differs from the write stride (1) — a cyclic pattern.
+CompiledProgram build_k9_integrate_predictors() {
+  constexpr int kN = 500;
+  ProgramBuilder b("k09_integrate_predictors");
+  b.array("PX1", {kN});
+  b.input_array("PX", {kN, 13});
+  b.scalar("DM22", 0.1).scalar("DM23", 0.2).scalar("DM24", 0.3);
+  b.scalar("DM25", 0.4).scalar("DM26", 0.5).scalar("DM27", 0.6);
+  b.scalar("DM28", 0.7).scalar("C0", 1.1);
+  const Ex i = b.var("I");
+  b.begin_loop("I", 1, kN);
+  b.assign("PX1", {i},
+           b.var("DM28") * b.at("PX", {i, 13}) +
+               b.var("DM27") * b.at("PX", {i, 12}) +
+               b.var("DM26") * b.at("PX", {i, 11}) +
+               b.var("DM25") * b.at("PX", {i, 10}) +
+               b.var("DM24") * b.at("PX", {i, 9}) +
+               b.var("DM23") * b.at("PX", {i, 8}) +
+               b.var("DM22") * b.at("PX", {i, 7}) +
+               b.var("C0") * (b.at("PX", {i, 5}) + b.at("PX", {i, 6})) +
+               b.at("PX", {i, 3}));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K10 — Difference Predictors.  The classic kernel chains scalar temps
+// through columns 5..14 of PX in place; the SA form expands the chain so
+// each output column is one write of partial sums over the *old* PX
+// columns (input) — per-row skewed reads within a 14-element row.
+CompiledProgram build_k10_difference_predictors() {
+  constexpr int kN = 500;
+  ProgramBuilder b("k10_diff_predictors");
+  b.array("PXN", {kN, 14});
+  b.input_array("PX", {kN, 14});
+  b.input_array("CX", {kN, 14});
+  const Ex i = b.var("I");
+  b.begin_loop("I", 1, kN);
+  Ex chain = b.at("CX", {i, 5});
+  for (int j = 5; j <= 14; ++j) {
+    b.assign("PXN", {i, j}, chain);
+    if (j < 14) chain = std::move(chain) - b.at("PX", {i, j});
+  }
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K11 — First Sum (named SD in §7.1.2).  Prefix sum: skew of one element.
+CompiledProgram build_k11_first_sum() {
+  ProgramBuilder b("k11_first_sum");
+  b.prefix_array("X", {1000}, 1);
+  b.input_array("Y", {1000});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 2, 1000);
+  b.assign("X", {k}, b.at("X", {k - 1}) + b.at("Y", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K12 — First Difference (named SD in §7.1.2).  Skew of one element.
+CompiledProgram build_k12_first_diff() {
+  ProgramBuilder b("k12_first_diff");
+  b.array("X", {999});
+  b.input_array("Y", {1000});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 999);
+  b.assign("X", {k}, b.at("Y", {k + 1}) - b.at("Y", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K13 — 2-D Particle in Cell (gather fragment).  Particle coordinates are
+// permutation-like lookups into the field grids: the paper's "permutation
+// lookups" Random case (§7.1.4).
+CompiledProgram build_k13_pic_2d() {
+  constexpr int kParticles = 1000;
+  constexpr int kGrid = 64;
+  ProgramBuilder b("k13_pic2d");
+  b.array("VX", {kParticles});
+  b.array("VY", {kParticles});
+  b.input_array("IX", {kParticles});
+  b.input_array("IY", {kParticles});
+  b.input_array("EX", {kGrid, kGrid});
+  b.input_array("EY", {kGrid, kGrid});
+  // Deterministic pseudo-random cell coordinates in [1, kGrid].
+  b.custom_init("IX", [](std::int64_t p) {
+    SplitMix64 rng(0xA11CEull ^ static_cast<std::uint64_t>(p));
+    return static_cast<double>(1 + static_cast<std::int64_t>(
+                                       rng.next_below(kGrid)));
+  });
+  b.custom_init("IY", [](std::int64_t p) {
+    SplitMix64 rng(0xB0B5ull ^ static_cast<std::uint64_t>(p));
+    return static_cast<double>(1 + static_cast<std::int64_t>(
+                                       rng.next_below(kGrid)));
+  });
+  const Ex p = b.var("P");
+  b.begin_loop("P", 1, kParticles);
+  b.assign("VX", {p}, b.at("EX", {b.at("IX", {p}), b.at("IY", {p})}));
+  b.assign("VY", {p}, b.at("EY", {b.at("IX", {p}), b.at("IY", {p})}));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K14 — 1-D Particle in Cell (the paper's Matched example, §7.1.1:
+// "RX(k) = XX(k) - IR(k)").  Every index equals every other index.
+CompiledProgram build_k14_pic_1d() {
+  ProgramBuilder b("k14_pic1d");
+  b.array("RX", {1000});
+  b.input_array("XX", {1000});
+  b.input_array("IR", {1000});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 1000);
+  b.assign("RX", {k}, b.at("XX", {k}) - b.at("IR", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K18 — 2-D Explicit Hydrodynamics Fragment (paper §7.1.3 Figure 3 and
+// §7.2 Figure 5).  Cyclic + skewed: row-major (j,k) arrays are walked with
+// j inner (stride 7) while the k sweep revisits the same page set.
+// SA deviations: the in-place zr/zz update of the third loop writes fresh
+// output arrays ZROUT/ZZOUT, and the second/third loops shrink the
+// interior by one cell (k 2..5, j 3..n-1) because the classic driver
+// pre-initializes the whole ZA/ZB arrays while SA only defines the cells
+// loop 1 produces.
+CompiledProgram build_k18_explicit_hydro_2d(std::int64_t n) {
+  SAP_CHECK(n >= 8, "2-D hydro needs n >= 8");
+  const std::int64_t kN = n;  // j extent; k spans 7 columns as in the paper
+  ProgramBuilder b("k18_hydro2d");
+  for (const char* name : {"ZP", "ZQ", "ZR", "ZM", "ZZ", "ZU0", "ZV0"}) {
+    b.input_array(name, {kN + 1, 7});
+  }
+  for (const char* name : {"ZA", "ZB", "ZU", "ZV", "ZROUT", "ZZOUT"}) {
+    b.array(name, {kN + 1, 7});
+  }
+  b.scalar("S", 0.5).scalar("T", 0.25);
+  const Ex j = b.var("J");
+  const Ex k = b.var("K");
+
+  b.begin_loop("K", 2, 6);
+  b.begin_loop("J", 2, ex_num(static_cast<double>(kN)));
+  b.assign("ZA", {j, k},
+           (b.at("ZP", {j - 1, k + 1}) + b.at("ZQ", {j - 1, k}) -
+            b.at("ZP", {j - 1, k}) - b.at("ZQ", {j - 1, k})) *
+               (b.at("ZR", {j, k}) + b.at("ZR", {j - 1, k})) /
+               (b.at("ZM", {j - 1, k}) + b.at("ZM", {j - 1, k + 1})));
+  b.assign("ZB", {j, k},
+           (b.at("ZP", {j - 1, k}) + b.at("ZQ", {j - 1, k}) -
+            b.at("ZP", {j, k}) - b.at("ZQ", {j, k})) *
+               (b.at("ZR", {j, k}) + b.at("ZR", {j, k - 1})) /
+               (b.at("ZM", {j, k}) + b.at("ZM", {j - 1, k})));
+  b.end_loop();
+  b.end_loop();
+
+  b.begin_loop("K", 2, 5);
+  b.begin_loop("J", 3, ex_num(static_cast<double>(kN - 1)));
+  b.assign("ZU", {j, k},
+           b.at("ZU0", {j, k}) +
+               b.var("S") * (b.at("ZA", {j, k}) *
+                                 (b.at("ZZ", {j, k}) - b.at("ZZ", {j + 1, k})) -
+                             b.at("ZA", {j - 1, k}) *
+                                 (b.at("ZZ", {j, k}) - b.at("ZZ", {j - 1, k})) -
+                             b.at("ZB", {j, k}) *
+                                 (b.at("ZZ", {j, k}) - b.at("ZZ", {j, k - 1})) +
+                             b.at("ZB", {j, k + 1}) *
+                                 (b.at("ZZ", {j, k}) - b.at("ZZ", {j, k + 1}))));
+  b.assign("ZV", {j, k},
+           b.at("ZV0", {j, k}) +
+               b.var("S") * (b.at("ZA", {j, k}) *
+                                 (b.at("ZR", {j, k}) - b.at("ZR", {j + 1, k})) -
+                             b.at("ZA", {j - 1, k}) *
+                                 (b.at("ZR", {j, k}) - b.at("ZR", {j - 1, k})) -
+                             b.at("ZB", {j, k}) *
+                                 (b.at("ZR", {j, k}) - b.at("ZR", {j, k - 1})) +
+                             b.at("ZB", {j, k + 1}) *
+                                 (b.at("ZR", {j, k}) - b.at("ZR", {j, k + 1}))));
+  b.end_loop();
+  b.end_loop();
+
+  b.begin_loop("K", 2, 5);
+  b.begin_loop("J", 3, ex_num(static_cast<double>(kN - 1)));
+  b.assign("ZROUT", {j, k},
+           b.at("ZR", {j, k}) + b.var("T") * b.at("ZU", {j, k}));
+  b.assign("ZZOUT", {j, k},
+           b.at("ZZ", {j, k}) + b.var("T") * b.at("ZV", {j, k}));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K21 — Matrix Product.  The CX(k,j) column walk strides a full row per
+// accumulation step; with the paper's 8-frame cache the read window
+// thrashes (random-like), an instructive contrast to blocked multiply.
+CompiledProgram build_k21_matmul(std::int64_t dim) {
+  SAP_CHECK(dim >= 2, "matmul needs dim >= 2");
+  const std::int64_t kDim = dim;
+  ProgramBuilder b("k21_matmul");
+  b.array("PX", {kDim, kDim});
+  b.input_array("VY", {kDim, kDim});
+  b.input_array("CX", {kDim, kDim});
+  const Ex i = b.var("I");
+  const Ex j = b.var("J");
+  const Ex k = b.var("K");
+  b.begin_loop("J", 1, ex_num(static_cast<double>(kDim)));
+  b.begin_loop("I", 1, ex_num(static_cast<double>(kDim)));
+  b.begin_loop("K", 1, ex_num(static_cast<double>(kDim)));
+  b.assign("PX", {i, j},
+           b.at("PX", {i, j}) + b.at("VY", {i, k}) * b.at("CX", {k, j}));
+  b.end_loop();
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K23 — 2-D Implicit Hydrodynamics.  SA deviation: the relaxation update
+// writes ZAOUT instead of updating ZA in place.  A 2-D stencil with +/- 1
+// row/column offsets: cyclic + skewed like K18.
+CompiledProgram build_k23_implicit_hydro_2d(std::int64_t n) {
+  SAP_CHECK(n >= 3, "implicit hydro needs n >= 3");
+  const std::int64_t kN = n;
+  ProgramBuilder b("k23_implicit_hydro2d");
+  for (const char* name : {"ZA", "ZR", "ZB", "ZU", "ZV", "ZZ"}) {
+    b.input_array(name, {kN + 1, 7});
+  }
+  b.array("ZAOUT", {kN + 1, 7});
+  const Ex j = b.var("J");
+  const Ex k = b.var("K");
+  b.begin_loop("J", 2, 6);
+  b.begin_loop("K", 2, ex_num(static_cast<double>(kN)));
+  b.assign("ZAOUT", {k, j},
+           b.at("ZA", {k, j}) +
+               0.175 * (b.at("ZA", {k, j + 1}) * b.at("ZR", {k, j}) +
+                        b.at("ZA", {k, j - 1}) * b.at("ZB", {k, j}) +
+                        b.at("ZA", {k + 1, j}) * b.at("ZU", {k, j}) +
+                        b.at("ZA", {k - 1, j}) * b.at("ZV", {k, j}) +
+                        b.at("ZZ", {k, j}) - b.at("ZA", {k, j})));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+
+const std::vector<KernelSpec>& livermore_kernels() {
+  static const std::vector<KernelSpec> kernels = [] {
+    std::vector<KernelSpec> out;
+    out.push_back({1, "k01_hydro", "Hydro Fragment", AccessClass::kSkewed,
+                   true, build_k1_hydro});
+    out.push_back({2, "k02_iccg", "Incomplete Cholesky-Conjugate Gradient",
+                   AccessClass::kCyclic, true, [] { return build_k2_iccg(); }});
+    out.push_back({3, "k03_inner_product", "Inner Product",
+                   AccessClass::kCyclic, false, build_k3_inner_product});
+    out.push_back({5, "k05_tridiag", "Tri-Diagonal Elimination",
+                   AccessClass::kSkewed, true, build_k5_tridiag});
+    out.push_back({6, "k06_glr", "General Linear Recurrence Equations",
+                   AccessClass::kRandom, true,
+                   [] { return build_k6_general_linear_recurrence(); }});
+    out.push_back({7, "k07_eos", "Equation of State Fragment",
+                   AccessClass::kSkewed, true, build_k7_equation_of_state});
+    out.push_back({8, "k08_adi", "A.D.I. Integration", AccessClass::kRandom,
+                   true, [] { return build_k8_adi(); }});
+    out.push_back({9, "k09_integrate_predictors", "Integrate Predictors",
+                   AccessClass::kCyclic, false,
+                   build_k9_integrate_predictors});
+    out.push_back({10, "k10_diff_predictors", "Difference Predictors",
+                   AccessClass::kSkewed, false,
+                   build_k10_difference_predictors});
+    out.push_back({11, "k11_first_sum", "First Sum", AccessClass::kSkewed,
+                   true, build_k11_first_sum});
+    out.push_back({12, "k12_first_diff", "First Difference",
+                   AccessClass::kSkewed, true, build_k12_first_diff});
+    out.push_back({13, "k13_pic2d", "2-D Particle in Cell (gather)",
+                   AccessClass::kRandom, false, build_k13_pic_2d});
+    out.push_back({14, "k14_pic1d", "1-D Particle in Cell (fragment)",
+                   AccessClass::kMatched, true, build_k14_pic_1d});
+    out.push_back({18, "k18_hydro2d", "2-D Explicit Hydrodynamics Fragment",
+                   AccessClass::kCyclic, true, [] { return build_k18_explicit_hydro_2d(); }});
+    out.push_back({21, "k21_matmul", "Matrix Product", AccessClass::kRandom,
+                   false, [] { return build_k21_matmul(); }});
+    out.push_back({23, "k23_implicit_hydro2d", "2-D Implicit Hydrodynamics",
+                   AccessClass::kCyclic, false, [] { return build_k23_implicit_hydro_2d(); }});
+    return out;
+  }();
+  return kernels;
+}
+
+const KernelSpec& kernel_by_id(std::string_view id) {
+  for (const auto& spec : livermore_kernels()) {
+    if (spec.id == id) return spec;
+  }
+  throw Error("unknown kernel '" + std::string(id) + "'");
+}
+
+CompiledProgram build_kernel(std::string_view id) {
+  return kernel_by_id(id).build();
+}
+
+}  // namespace sap

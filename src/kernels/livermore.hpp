@@ -1,0 +1,64 @@
+// Livermore Loops in single-assignment form.
+//
+// Each kernel is transcribed from the classic Livermore Fortran Kernels
+// with the minimal SA rewrites the paper's model requires (§5):
+//   - accumulations (K6, K21) stay syntactically `W(i) = W(i) + ...` and
+//     are detected as reductions;
+//   - kernels that overwrite an array in place (K18's zr/zz update, K23)
+//     write to fresh output arrays instead;
+//   - K8's per-sweep scratch arrays (DU1..DU3) gain the sweep index as an
+//     extra dimension so every element is written once.
+// Loop bounds are the classic shapes scaled so a full figure sweep runs in
+// milliseconds; access *patterns* (strides, skews, cycles) are preserved.
+// Deviations are noted per kernel in the .cpp.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "frontend/classifier.hpp"
+
+namespace sap {
+
+struct KernelSpec {
+  int lfk_number = 0;        // classic kernel number, 0 = not an LFK
+  std::string id;            // stable identifier, e.g. "k01_hydro"
+  std::string title;         // e.g. "Hydro Fragment"
+  AccessClass paper_class = AccessClass::kMatched;  // §7.1 class
+  bool named_in_paper = false;  // explicitly listed in §7.1
+  std::function<CompiledProgram()> build;
+};
+
+/// All implemented kernels, ascending by LFK number.
+const std::vector<KernelSpec>& livermore_kernels();
+
+/// Lookup by id; throws Error when unknown.
+const KernelSpec& kernel_by_id(std::string_view id);
+
+/// Builds and compiles one kernel by id.
+CompiledProgram build_kernel(std::string_view id);
+
+// Individual builders (used directly by benches and tests).  Sized
+// parameters default to the values the figure benches use; Figure 5's
+// load-balance run passes a larger K18 grid so 64 PEs all own pages.
+CompiledProgram build_k1_hydro();
+CompiledProgram build_k2_iccg(std::int64_t n = 512);  // power of two
+CompiledProgram build_k3_inner_product();
+CompiledProgram build_k5_tridiag();
+CompiledProgram build_k6_general_linear_recurrence(std::int64_t n = 100);
+CompiledProgram build_k7_equation_of_state();
+CompiledProgram build_k8_adi(std::int64_t n = 500);
+CompiledProgram build_k9_integrate_predictors();
+CompiledProgram build_k10_difference_predictors();
+CompiledProgram build_k11_first_sum();
+CompiledProgram build_k12_first_diff();
+CompiledProgram build_k13_pic_2d();
+CompiledProgram build_k14_pic_1d();
+CompiledProgram build_k18_explicit_hydro_2d(std::int64_t n = 100);
+CompiledProgram build_k21_matmul(std::int64_t dim = 32);
+CompiledProgram build_k23_implicit_hydro_2d(std::int64_t n = 400);
+
+}  // namespace sap

@@ -1,0 +1,149 @@
+#include "kernels/synthetic.hpp"
+
+#include "core/program_builder.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+
+CompiledProgram make_matched(std::int64_t n) {
+  SAP_CHECK(n >= 1, "n must be positive");
+  ProgramBuilder b("syn_matched_" + std::to_string(n));
+  b.array("A", {n});
+  b.input_array("B", {n});
+  b.input_array("C", {n});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {k}, b.at("B", {k}) + b.at("C", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram make_skewed(std::int64_t n, std::int64_t skew) {
+  SAP_CHECK(n >= 1, "n must be positive");
+  // For negative skews the loop starts where k + skew is still in range
+  // (extending B's lower bound instead would shift its linear space and
+  // silently cancel the skew).
+  const std::int64_t lo_k = skew < 0 ? 1 - skew : 1;
+  SAP_CHECK(lo_k <= n, "skew leaves an empty iteration range");
+  ProgramBuilder b("syn_skewed_" + std::to_string(n) + "_s" +
+                   std::to_string(skew));
+  b.array("A", {n});
+  b.input_array("B", {n + std::max<std::int64_t>(skew, 0)});
+  b.input_array("C", {n});
+  const Ex k = b.var("K");
+  b.begin_loop("K", ex_num(static_cast<double>(lo_k)),
+               ex_num(static_cast<double>(n)));
+  b.assign("A", {k},
+           b.at("B", {k + ex_num(static_cast<double>(skew))}) +
+               b.at("C", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram make_cyclic(std::int64_t n, std::int64_t rate) {
+  SAP_CHECK(n >= 1 && rate >= 2, "need n >= 1 and rate >= 2");
+  ProgramBuilder b("syn_cyclic_" + std::to_string(n) + "_r" +
+                   std::to_string(rate));
+  b.array("A", {n});
+  b.input_array("B", {n * rate});
+  const Ex k = b.var("K");
+  const Ex r = ex_num(static_cast<double>(rate));
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {k},
+           b.at("B", {r * k}) +
+               b.at("B", {r * k - ex_num(static_cast<double>(rate - 1))}));
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram make_random_permutation(std::int64_t n, std::uint64_t seed) {
+  SAP_CHECK(n >= 1, "n must be positive");
+  ProgramBuilder b("syn_random_" + std::to_string(n));
+  b.array("A", {n});
+  b.input_array("B", {n});
+  b.input_array("P", {n});
+  const auto perm = random_permutation(n, seed);
+  b.custom_init("P", [perm](std::int64_t linear) {
+    return static_cast<double>(perm[static_cast<std::size_t>(linear)] + 1);
+  });
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {k}, b.at("B", {b.at("P", {k})}));
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram make_dot_product(std::int64_t n) {
+  SAP_CHECK(n >= 1, "n must be positive");
+  ProgramBuilder b("syn_dot_" + std::to_string(n));
+  b.array("S", {1});
+  b.input_array("X", {n});
+  b.input_array("Y", {n});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("S", {1}, b.at("S", {1}) + b.at("X", {k}) * b.at("Y", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram make_stencil_2d(std::int64_t rows, std::int64_t cols) {
+  SAP_CHECK(rows >= 3 && cols >= 3, "stencil needs at least a 3x3 grid");
+  ProgramBuilder b("syn_stencil_" + std::to_string(rows) + "x" +
+                   std::to_string(cols));
+  b.array("OUT", {rows, cols});
+  b.input_array("IN", {rows, cols});
+  b.scalar("C", 0.25);
+  const Ex i = b.var("I");
+  const Ex j = b.var("J");
+  b.begin_loop("I", 2, ex_num(static_cast<double>(rows - 1)));
+  b.begin_loop("J", 2, ex_num(static_cast<double>(cols - 1)));
+  b.assign("OUT", {i, j},
+           b.at("IN", {i, j}) +
+               b.var("C") * (b.at("IN", {i - 1, j}) + b.at("IN", {i + 1, j}) +
+                             b.at("IN", {i, j - 1}) + b.at("IN", {i, j + 1}) -
+                             4.0 * b.at("IN", {i, j})));
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+Program make_nonsa_timestep(std::int64_t n, std::int64_t steps) {
+  SAP_CHECK(n >= 1 && steps >= 2, "need n >= 1 and steps >= 2");
+  ProgramBuilder b("nonsa_timestep");
+  b.array("A", {n});
+  b.input_array("B", {n});
+  const Ex t = b.var("T");
+  const Ex i = b.var("I");
+  b.begin_loop("T", 1, ex_num(static_cast<double>(steps)));
+  b.begin_loop("I", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {i}, b.at("B", {i}) * t);
+  b.end_loop();
+  b.end_loop();
+  return b.build();
+}
+
+Program make_nonsa_sequential_overwrite(std::int64_t n) {
+  SAP_CHECK(n >= 1, "n must be positive");
+  ProgramBuilder b("nonsa_sequential");
+  b.array("A", {n});
+  b.array("C", {n});
+  b.input_array("B", {n});
+  const Ex i = b.var("I");
+  const Ex j = b.var("J");
+  const Ex k = b.var("K");
+  b.begin_loop("I", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {i}, b.at("B", {i}) + 1.0);
+  b.end_loop();
+  // Overwrites A (not a self-accumulation): the converter must version it.
+  b.begin_loop("J", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {j}, b.at("B", {j}) * 2.0);
+  b.end_loop();
+  // Reads after the overwrite must resolve to the new version.
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("C", {k}, b.at("A", {k}));
+  b.end_loop();
+  return b.build();
+}
+
+}  // namespace sap

@@ -1,0 +1,45 @@
+// Synthetic workload generators.
+//
+// Parameterized pure-pattern programs, one per access class, used by the
+// property tests ("matched implies 0% remote for any size/skew"), the
+// ablation benches, and the conversion-tool example (a deliberately
+// non-single-assignment time-stepping loop).
+#pragma once
+
+#include <cstdint>
+
+#include "core/simulator.hpp"
+#include "frontend/ast.hpp"
+
+namespace sap {
+
+/// Class 1 — Matched: A(k) = B(k) + C(k).
+CompiledProgram make_matched(std::int64_t n);
+
+/// Class 2 — Skewed: A(k) = B(k + skew) + C(k).  skew may be negative.
+CompiledProgram make_skewed(std::int64_t n, std::int64_t skew);
+
+/// Class 3 — Cyclic: A(k) = B(rate*k) + B(rate*k - rate + 1): the read
+/// index advances `rate` times faster than the write index (rate >= 2).
+CompiledProgram make_cyclic(std::int64_t n, std::int64_t rate);
+
+/// Class 4 — Random: A(k) = B(P(k)) where P is a random permutation of
+/// 1..n (the paper's "permutation lookups").
+CompiledProgram make_random_permutation(std::int64_t n, std::uint64_t seed);
+
+/// Reduction into one cell (owner-computes serializes it on one PE).
+CompiledProgram make_dot_product(std::int64_t n);
+
+/// 5-point 2-D stencil: OUT(i,j) from IN(i +/- 1, j +/- 1 cross).
+CompiledProgram make_stencil_2d(std::int64_t rows, std::int64_t cols);
+
+/// NOT single assignment: rewrites A every time step.  Input for the
+/// conversion tool (REINIT insertion); running it directly traps with
+/// DoubleWriteError on step 2.
+Program make_nonsa_timestep(std::int64_t n, std::int64_t steps);
+
+/// NOT single assignment: two sequential loops both writing A.  Input for
+/// the conversion tool (array versioning).
+Program make_nonsa_sequential_overwrite(std::int64_t n);
+
+}  // namespace sap

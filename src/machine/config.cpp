@@ -1,0 +1,37 @@
+#include "machine/config.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace sap {
+
+void MachineConfig::validate() const {
+  if (num_pes == 0) throw ConfigError("num_pes must be >= 1");
+  if (page_size < 1) throw ConfigError("page_size must be >= 1");
+  if (cache_elements < 0) throw ConfigError("cache_elements must be >= 0");
+  if (cache_elements > 0 && cache_elements < page_size) {
+    throw ConfigError(
+        "cache smaller than one page: cache_elements=" +
+        std::to_string(cache_elements) +
+        " < page_size=" + std::to_string(page_size));
+  }
+  if (partition == PartitionKind::kBlockCyclic && block_cyclic_pages < 1) {
+    throw ConfigError("block_cyclic_pages must be >= 1");
+  }
+  if (topology == TopologyKind::kHypercube && !std::has_single_bit(num_pes)) {
+    throw ConfigError("hypercube topology needs a power-of-two PE count");
+  }
+}
+
+std::string MachineConfig::to_string() const {
+  std::ostringstream os;
+  os << "pes=" << num_pes << " ps=" << page_size
+     << " cache=" << cache_elements << " (" << sap::to_string(replacement)
+     << ") partition=" << sap::to_string(partition)
+     << " topology=" << sap::to_string(topology);
+  return os.str();
+}
+
+}  // namespace sap

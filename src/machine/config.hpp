@@ -1,0 +1,81 @@
+// Machine configuration: the knobs of the paper's simulation (§6) plus the
+// extension knobs called out in §9 (partition scheme, replacement policy,
+// topology, partial-page accounting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/replacement.hpp"
+#include "network/topology.hpp"
+#include "partition/scheme.hpp"
+
+namespace sap {
+
+struct MachineConfig {
+  /// Number of processing elements ("number of processors", §6).
+  std::uint32_t num_pes = 1;
+
+  /// Page size "in units of atomic data elements" (§6). Paper sweeps 32/64.
+  std::int64_t page_size = 32;
+
+  /// Per-PE cache capacity in elements; the paper fixes 256.  0 disables
+  /// the cache (every figure's "No Cache" series).
+  std::int64_t cache_elements = 256;
+
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+
+  PartitionKind partition = PartitionKind::kModulo;
+  /// Pages per block for the block-cyclic scheme (ignored otherwise).
+  std::int64_t block_cyclic_pages = 2;
+
+  TopologyKind topology = TopologyKind::kCrossbar;
+
+  /// §4 footnote: "a single page might have to be fetched more than once if
+  /// that page is only partially filled at the time of the first request."
+  /// The paper ignores this; turning it on makes pages uncacheable until
+  /// they are completely defined.
+  bool count_partial_page_refetch = false;
+
+  /// Seed for random replacement / synthetic workloads.
+  std::uint64_t seed = 0x5eed;
+
+  /// Throws ConfigError when inconsistent.
+  void validate() const;
+
+  std::string to_string() const;
+
+  // Fluent helpers keep sweep code terse.
+  MachineConfig with_pes(std::uint32_t n) const {
+    MachineConfig c = *this;
+    c.num_pes = n;
+    return c;
+  }
+  MachineConfig with_page_size(std::int64_t ps) const {
+    MachineConfig c = *this;
+    c.page_size = ps;
+    return c;
+  }
+  MachineConfig with_cache(std::int64_t elements) const {
+    MachineConfig c = *this;
+    c.cache_elements = elements;
+    return c;
+  }
+  MachineConfig with_partition(PartitionKind kind) const {
+    MachineConfig c = *this;
+    c.partition = kind;
+    return c;
+  }
+  MachineConfig with_replacement(ReplacementPolicy policy) const {
+    MachineConfig c = *this;
+    c.replacement = policy;
+    return c;
+  }
+  MachineConfig with_topology(TopologyKind kind) const {
+    MachineConfig c = *this;
+    c.topology = kind;
+    return c;
+  }
+};
+
+}  // namespace sap

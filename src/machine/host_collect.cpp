@@ -1,0 +1,99 @@
+#include "machine/host_collect.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "machine/host_reinit.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+std::string to_string(CollectOp op) {
+  switch (op) {
+    case CollectOp::kSum: return "sum";
+    case CollectOp::kMin: return "min";
+    case CollectOp::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+double identity_of(CollectOp op) {
+  switch (op) {
+    case CollectOp::kSum:
+      return 0.0;
+    case CollectOp::kMin:
+      return std::numeric_limits<double>::infinity();
+    case CollectOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+double combine(CollectOp op, double a, double b) {
+  switch (op) {
+    case CollectOp::kSum: return a + b;
+    case CollectOp::kMin: return std::min(a, b);
+    case CollectOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+}  // namespace
+
+CollectResult host_collect(Machine& machine, const SaArray& array,
+                           CollectOp op) {
+  const std::uint32_t pes = machine.num_pes();
+  const PeId host = machine.reinit().host_of(array.id());
+
+  CollectResult result;
+  result.per_pe_elements.assign(pes, 0);
+
+  // Phase 1: every PE folds the defined elements of its own pages.
+  // Local reads only — this is the whole point of subrange collection.
+  std::vector<double> partials(pes, identity_of(op));
+  std::vector<bool> contributed(pes, false);
+  for (std::int64_t linear = 0; linear < array.element_count(); ++linear) {
+    if (!array.is_defined(linear)) continue;
+    const PeId owner = machine.owner_of(array, linear);
+    machine.account_read(owner, array, linear);
+    partials[owner] = combine(op, partials[owner], array.read(linear));
+    contributed[owner] = true;
+    ++result.per_pe_elements[owner];
+  }
+
+  // Phase 2: partials gather at the host (the §5 mechanism, reused for
+  // data).  A PE that owns no pages of the array stays silent.
+  double folded = identity_of(op);
+  for (PeId pe = 0; pe < pes; ++pe) {
+    if (!contributed[pe]) continue;
+    if (pe != host) {
+      machine.network().send({pe, host, MessageKind::kPageReply,
+                              /*payload_elements=*/1});
+      ++result.messages;
+    }
+    folded = combine(op, folded, partials[pe]);
+  }
+  result.value = folded;
+  return result;
+}
+
+CollectResult host_collect_into(Machine& machine, const SaArray& array,
+                                CollectOp op, SaArray& target,
+                                std::int64_t target_linear) {
+  const PeId host = machine.reinit().host_of(array.id());
+  if (machine.owner_of(target, target_linear) != host) {
+    throw ConfigError(
+        "host_collect_into: host PE " + std::to_string(host) +
+        " does not own the target element (owner-computes would be "
+        "violated); map the result array so its page lands on the host");
+  }
+  CollectResult result = host_collect(machine, array, op);
+  machine.account_write(host, target, target_linear);
+  target.write(target_linear, result.value);
+  return result;
+}
+
+}  // namespace sap

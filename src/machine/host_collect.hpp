@@ -1,0 +1,55 @@
+// Vector-to-scalar operations via host-processor collection (§9).
+//
+// The paper's first future-research item: "How will vector to scalar
+// operations be implemented? Current ideas include the extension of the
+// host processor mechanism to allow collection of subrange results."
+//
+// This implements that idea: a global reduction over an array is split
+// into per-PE partials — each PE combines the elements of the pages it
+// owns (all local reads) — and the partials travel to the array's host
+// PE, which folds them and writes the scalar result.  Communication is
+// N-1 partial-result messages instead of the owner-computes alternative
+// where one PE performs every read (mostly remote).  The A6/extension
+// tests quantify the win.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "machine/machine.hpp"
+
+namespace sap {
+
+enum class CollectOp {
+  kSum,
+  kMin,
+  kMax,
+};
+
+std::string to_string(CollectOp op);
+
+struct CollectResult {
+  double value = 0.0;
+  /// Partial-result messages sent to the host (N-1 on an N-PE machine,
+  /// minus PEs that own no pages of the array).
+  std::uint64_t messages = 0;
+  /// Elements each PE combined locally (diagnostics / balance checks).
+  std::vector<std::int64_t> per_pe_elements;
+};
+
+/// Reduces every *defined* element of `array` with `op`, using the §9
+/// host-collection protocol.  Reads are accounted on the owning PEs (all
+/// local); the result is both returned and written into `result_array` at
+/// linear index 0 by the host PE (which must own it for the write to be
+/// legal under owner-computes — pass an array whose page 0 maps to the
+/// host, or use the returned value directly).
+CollectResult host_collect(Machine& machine, const SaArray& array,
+                           CollectOp op);
+
+/// As above, and commits the scalar into `target[target_linear]` on the
+/// host PE (throws if the host does not own that element).
+CollectResult host_collect_into(Machine& machine, const SaArray& array,
+                                CollectOp op, SaArray& target,
+                                std::int64_t target_linear);
+
+}  // namespace sap

@@ -1,0 +1,78 @@
+#include "machine/host_reinit.hpp"
+
+#include "machine/machine.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+HostReinitCoordinator::HostReinitCoordinator(Machine& machine)
+    : machine_(machine) {}
+
+PeId HostReinitCoordinator::host_of(ArrayId array) const {
+  // Round-robin over array ids: "the compiler ensures that the host
+  // processors are evenly distributed among the arrays" (§5).
+  return static_cast<PeId>(array % machine_.num_pes());
+}
+
+HostReinitCoordinator::Round& HostReinitCoordinator::round_for(ArrayId array) {
+  if (rounds_.size() <= array) {
+    rounds_.resize(array + 1);
+  }
+  Round& round = rounds_[array];
+  if (round.requested.size() != machine_.num_pes()) {
+    round.requested.assign(machine_.num_pes(), false);
+    round.count = 0;
+  }
+  return round;
+}
+
+bool HostReinitCoordinator::request_reinit(PeId pe, ArrayId array) {
+  SAP_CHECK(pe < machine_.num_pes(), "PE id out of range");
+  SaArray& target = machine_.arrays().at(array);
+  Round& round = round_for(array);
+  if (round.requested[pe]) {
+    throw Error("protocol violation: PE " + std::to_string(pe) +
+                " requested re-init of '" + target.name() +
+                "' twice in one round");
+  }
+  round.requested[pe] = true;
+  ++round.count;
+
+  const PeId host = host_of(array);
+  if (pe != host) {
+    machine_.network().send({pe, host, MessageKind::kReinitRequest, 0});
+    ++messages_;
+  }
+
+  if (round.count < machine_.num_pes()) return false;
+
+  // Last request arrived: the host performs the re-initialization and
+  // broadcasts the grant to every other PE (§5).
+  target.reinitialize();
+  machine_.invalidate_caches(array);
+  for (PeId other = 0; other < machine_.num_pes(); ++other) {
+    if (other == host) continue;
+    machine_.network().send({host, other, MessageKind::kReinitGrant, 0});
+    ++messages_;
+  }
+  round.requested.assign(machine_.num_pes(), false);
+  round.count = 0;
+  ++round.completed;
+  return true;
+}
+
+std::uint32_t HostReinitCoordinator::pending_requests(ArrayId array) const {
+  if (array >= rounds_.size() ||
+      rounds_[array].requested.size() != machine_.num_pes()) {
+    return machine_.num_pes();
+  }
+  return machine_.num_pes() - rounds_[array].count;
+}
+
+std::uint64_t HostReinitCoordinator::rounds_completed(ArrayId array) const {
+  if (array >= rounds_.size()) return 0;
+  return rounds_[array].completed;
+}
+
+}  // namespace sap

@@ -1,0 +1,63 @@
+// Host-processor re-initialization protocol (§5).
+//
+// "Each array in a computation has a specific PE assigned to it as an
+// administrative center called the host processor … For the
+// re-initialization of some array A, each PE sends a re-initialization
+// message to A's host processor. These messages are collected until the
+// last PE has requested re-initialization. Once this happens, the host
+// processor for A broadcasts a message to the other PEs informing them
+// that A can now be reused."
+//
+// Host PEs are dealt round-robin over array ids, mirroring "the compiler
+// ensures that the host processors are evenly distributed among the
+// arrays."  Completion bumps the array generation (all cells undefined)
+// and invalidates the array's pages in every PE cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/page.hpp"
+#include "partition/scheme.hpp"
+
+namespace sap {
+
+class Machine;
+
+class HostReinitCoordinator {
+ public:
+  explicit HostReinitCoordinator(Machine& machine);
+
+  /// The administrative host PE for an array.
+  PeId host_of(ArrayId array) const;
+
+  /// PE `pe` requests that `array` be re-initialized.  Returns true when
+  /// this was the last outstanding request and the re-init was performed
+  /// (generation bumped, caches invalidated, grant broadcast counted).
+  /// A PE asking twice within one round is a protocol violation.
+  bool request_reinit(PeId pe, ArrayId array);
+
+  /// Number of PEs still to ask before `array` is re-initialized.
+  std::uint32_t pending_requests(ArrayId array) const;
+
+  /// Total protocol messages (requests + grants) issued so far.
+  std::uint64_t protocol_messages() const noexcept { return messages_; }
+
+  /// Completed re-initialization rounds per array (diagnostics).
+  std::uint64_t rounds_completed(ArrayId array) const;
+
+ private:
+  struct Round {
+    std::vector<bool> requested;  // indexed by PE
+    std::uint32_t count = 0;
+    std::uint64_t completed = 0;
+  };
+
+  Round& round_for(ArrayId array);
+
+  Machine& machine_;
+  std::vector<Round> rounds_;  // indexed by ArrayId
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace sap

@@ -1,0 +1,118 @@
+#include "machine/machine.hpp"
+
+#include "machine/host_reinit.hpp"
+#include "support/check.hpp"
+
+namespace sap {
+
+Machine::Machine(MachineConfig config) : config_(config) {
+  config_.validate();
+  partitioner_ = std::make_unique<Partitioner>(
+      make_partition_scheme(config_.partition, config_.block_cyclic_pages),
+      config_.page_size, config_.num_pes);
+  network_ = std::make_unique<Network>(
+      make_topology(config_.topology, config_.num_pes));
+  pes_.reserve(config_.num_pes);
+  for (std::uint32_t i = 0; i < config_.num_pes; ++i) {
+    pes_.emplace_back(i, config_.cache_elements, config_.page_size,
+                      config_.replacement, config_.seed);
+  }
+  reinit_ = std::make_unique<HostReinitCoordinator>(*this);
+}
+
+Machine::~Machine() = default;
+
+ProcessingElement& Machine::pe(PeId id) {
+  SAP_CHECK(id < pes_.size(), "PE id out of range");
+  return pes_[id];
+}
+
+const ProcessingElement& Machine::pe(PeId id) const {
+  SAP_CHECK(id < pes_.size(), "PE id out of range");
+  return pes_[id];
+}
+
+bool Machine::page_fully_defined(const SaArray& array, PageIndex page) const {
+  const std::int64_t first = page_first_element(page, config_.page_size);
+  const std::int64_t valid =
+      page_valid_elements(page, array.element_count(), config_.page_size);
+  for (std::int64_t i = 0; i < valid; ++i) {
+    if (!array.is_defined(first + i)) return false;
+  }
+  return true;
+}
+
+AccessKind Machine::account_read(PeId reader, const SaArray& array,
+                                 std::int64_t linear) {
+  ProcessingElement& p = pe(reader);
+  const PeId owner = partitioner_->owner_of_element(array, linear);
+  if (owner == reader) {
+    p.counters().record(AccessKind::kLocalRead);
+    return AccessKind::kLocalRead;
+  }
+
+  const PageIndex page = partitioner_->page_of_element(linear);
+  const PageId page_id{array.id(), page};
+  if (p.cache().lookup(page_id, array.generation())) {
+    p.counters().record(AccessKind::kCachedRead);
+    return AccessKind::kCachedRead;
+  }
+
+  // Remote read: request/reply pair; the whole page travels back (§4).
+  p.counters().record(AccessKind::kRemoteRead);
+  const std::int64_t payload =
+      page_valid_elements(page, array.element_count(), config_.page_size);
+  network_->send({reader, owner, MessageKind::kPageRequest, 0});
+  network_->send({owner, reader, MessageKind::kPageReply, payload});
+
+  // §4: the paper caches unconditionally, "ignoring for now the possibility
+  // of partially filled pages."  With the extension switch on, a partially
+  // defined page is not cached, so later touches re-fetch it.
+  if (!config_.count_partial_page_refetch || page_fully_defined(array, page)) {
+    p.cache().insert(page_id, array.generation());
+  }
+  return AccessKind::kRemoteRead;
+}
+
+void Machine::account_write(PeId writer, [[maybe_unused]] const SaArray& array,
+                            [[maybe_unused]] std::int64_t linear) {
+  SAP_DCHECK(partitioner_->owner_of_element(array, linear) == writer,
+             "owner-computes violation: write executed off-owner");
+  pe(writer).counters().record(AccessKind::kWrite);
+}
+
+void Machine::invalidate_caches(ArrayId array) {
+  for (auto& p : pes_) p.cache().invalidate_array(array);
+}
+
+SimulationResult Machine::snapshot(std::string program_name) const {
+  SimulationResult result;
+  result.program_name = std::move(program_name);
+  result.num_pes = config_.num_pes;
+  result.page_size = config_.page_size;
+  result.cache_elements = config_.cache_elements;
+  result.per_pe.reserve(pes_.size());
+  for (const auto& p : pes_) {
+    result.per_pe.push_back(p.counters());
+    result.totals += p.counters();
+    result.cache_totals.hits += p.cache().stats().hits;
+    result.cache_totals.misses += p.cache().stats().misses;
+    result.cache_totals.evictions += p.cache().stats().evictions;
+    result.cache_totals.invalidations += p.cache().stats().invalidations;
+  }
+  result.network = network_->stats();
+  result.max_link_load = network_->max_link_load();
+  result.contention_factor = network_->contention_factor();
+  result.reinit_messages = reinit_->protocol_messages();
+  return result;
+}
+
+void Machine::reset_stats() {
+  for (auto& p : pes_) {
+    p.counters() = AccessCounters{};
+    p.cache().clear();
+  }
+  network_->reset();
+}
+
+}  // namespace sap

@@ -1,0 +1,86 @@
+// The abstract loosely-coupled MIMD machine.
+//
+// Owns the arrays, the partitioner, the PEs (each with its private cache)
+// and the network, and implements the access-classification rules of §4/§7:
+//
+//   write        -> always local (owner-computes: the writer owns the page)
+//   read, owner == reader          -> local read
+//   read, page in reader's cache   -> cached read
+//   read, otherwise                -> remote read: PAGE_REQ + PAGE_REPLY
+//                                     messages, page inserted in the cache
+//
+// Both interpreters (core/) drive all their accesses through this class, so
+// the accounting is defined in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "machine/pe.hpp"
+#include "memory/array_registry.hpp"
+#include "network/network.hpp"
+#include "partition/partitioner.hpp"
+#include "stats/sim_result.hpp"
+
+namespace sap {
+
+class HostReinitCoordinator;
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& config() const noexcept { return config_; }
+  ArrayRegistry& arrays() noexcept { return arrays_; }
+  const ArrayRegistry& arrays() const noexcept { return arrays_; }
+  const Partitioner& partitioner() const noexcept { return *partitioner_; }
+  Network& network() noexcept { return *network_; }
+  HostReinitCoordinator& reinit() noexcept { return *reinit_; }
+
+  std::uint32_t num_pes() const noexcept { return config_.num_pes; }
+  ProcessingElement& pe(PeId id);
+  const ProcessingElement& pe(PeId id) const;
+
+  /// Owner PE of `array[linear]` — the PE that executes statements
+  /// writing that element (owner-computes, §2).
+  PeId owner_of(const SaArray& array, std::int64_t linear) const {
+    return partitioner_->owner_of_element(array, linear);
+  }
+
+  /// Classifies and accounts one read performed by `reader` of
+  /// `array[linear]`, updating the reader's cache and the network.
+  AccessKind account_read(PeId reader, const SaArray& array,
+                          std::int64_t linear);
+
+  /// Accounts one write by `writer` (always local; the caller must have
+  /// screened ownership already — checked in debug builds).
+  void account_write(PeId writer, const SaArray& array, std::int64_t linear);
+
+  /// Drops `array`'s pages from every PE cache (§5 re-init support).
+  void invalidate_caches(ArrayId array);
+
+  /// Gathers every counter into a result snapshot.
+  SimulationResult snapshot(std::string program_name) const;
+
+  /// Clears counters, caches and network tallies (arrays untouched).
+  void reset_stats();
+
+ private:
+  bool page_fully_defined(const SaArray& array, PageIndex page) const;
+
+  MachineConfig config_;
+  ArrayRegistry arrays_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::unique_ptr<Network> network_;
+  std::vector<ProcessingElement> pes_;
+  std::unique_ptr<HostReinitCoordinator> reinit_;
+};
+
+}  // namespace sap

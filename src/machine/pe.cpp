@@ -1,0 +1,15 @@
+#include "machine/pe.hpp"
+
+namespace sap {
+
+ProcessingElement::ProcessingElement(std::uint32_t id,
+                                     std::int64_t cache_elements,
+                                     std::int64_t page_size,
+                                     ReplacementPolicy policy,
+                                     std::uint64_t seed)
+    : id_(id),
+      // Distinct, deterministic per-PE seeds so random replacement does not
+      // correlate across PEs.
+      cache_(cache_elements, page_size, policy, seed ^ (0x9e37u + id * 2654435761u)) {}
+
+}  // namespace sap

@@ -1,0 +1,32 @@
+// One processing element of the abstract machine: an id, a private page
+// cache for remotely fetched pages, and its access counters.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/page_cache.hpp"
+#include "stats/counters.hpp"
+
+namespace sap {
+
+class ProcessingElement {
+ public:
+  ProcessingElement(std::uint32_t id, std::int64_t cache_elements,
+                    std::int64_t page_size, ReplacementPolicy policy,
+                    std::uint64_t seed);
+
+  std::uint32_t id() const noexcept { return id_; }
+
+  PageCache& cache() noexcept { return cache_; }
+  const PageCache& cache() const noexcept { return cache_; }
+
+  AccessCounters& counters() noexcept { return counters_; }
+  const AccessCounters& counters() const noexcept { return counters_; }
+
+ private:
+  std::uint32_t id_;
+  PageCache cache_;
+  AccessCounters counters_;
+};
+
+}  // namespace sap

@@ -1,0 +1,60 @@
+#include "memory/array_registry.hpp"
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+ArrayId ArrayRegistry::declare(std::string name, ArrayShape shape) {
+  SAP_CHECK(!name.empty(), "array name must be non-empty");
+  if (contains(name)) {
+    throw SemanticError("array '" + name + "' declared twice");
+  }
+  const auto id = static_cast<ArrayId>(arrays_.size());
+  arrays_.push_back(
+      std::make_unique<SaArray>(id, std::move(name), std::move(shape)));
+  return id;
+}
+
+SaArray& ArrayRegistry::at(ArrayId id) {
+  SAP_CHECK(id < arrays_.size(), "array id out of range");
+  return *arrays_[id];
+}
+
+const SaArray& ArrayRegistry::at(ArrayId id) const {
+  SAP_CHECK(id < arrays_.size(), "array id out of range");
+  return *arrays_[id];
+}
+
+SaArray& ArrayRegistry::by_name(std::string_view name) {
+  for (auto& a : arrays_) {
+    if (a->name() == name) return *a;
+  }
+  throw SemanticError("unknown array '" + std::string(name) + "'");
+}
+
+const SaArray& ArrayRegistry::by_name(std::string_view name) const {
+  for (const auto& a : arrays_) {
+    if (a->name() == name) return *a;
+  }
+  throw SemanticError("unknown array '" + std::string(name) + "'");
+}
+
+bool ArrayRegistry::contains(std::string_view name) const noexcept {
+  for (const auto& a : arrays_) {
+    if (a->name() == name) return true;
+  }
+  return false;
+}
+
+std::int64_t ArrayRegistry::total_elements() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& a : arrays_) total += a->element_count();
+  return total;
+}
+
+void ArrayRegistry::reinitialize_all() {
+  for (auto& a : arrays_) a->reinitialize();
+}
+
+}  // namespace sap

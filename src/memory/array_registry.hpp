@@ -1,0 +1,48 @@
+// Registry of all arrays in a simulated program.
+//
+// The simulator stores arrays centrally; *ownership* of their pages is a
+// pure function of the partition scheme (see src/partition).  This is the
+// paper's abstract machine: what is measured is the categorical access
+// distribution, which depends only on the ownership map and cache contents.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memory/array_shape.hpp"
+#include "memory/page.hpp"
+#include "memory/sa_array.hpp"
+
+namespace sap {
+
+class ArrayRegistry {
+ public:
+  /// Declares a new array; names must be unique. Returns its id.
+  ArrayId declare(std::string name, ArrayShape shape);
+
+  std::size_t size() const noexcept { return arrays_.size(); }
+
+  SaArray& at(ArrayId id);
+  const SaArray& at(ArrayId id) const;
+
+  /// Lookup by name; throws SemanticError when absent.
+  SaArray& by_name(std::string_view name);
+  const SaArray& by_name(std::string_view name) const;
+  bool contains(std::string_view name) const noexcept;
+
+  /// Sum of element counts over all arrays (memory footprint metric).
+  std::int64_t total_elements() const noexcept;
+
+  /// Resets every array to fully undefined, generation bumps included.
+  void reinitialize_all();
+
+  auto begin() const { return arrays_.begin(); }
+  auto end() const { return arrays_.end(); }
+
+ private:
+  std::vector<std::unique_ptr<SaArray>> arrays_;
+};
+
+}  // namespace sap

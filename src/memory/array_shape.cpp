@@ -1,0 +1,99 @@
+#include "memory/array_shape.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+ArrayShape ArrayShape::vector_1based(std::int64_t size) {
+  SAP_CHECK(size >= 1, "vector size must be positive");
+  return ArrayShape({DimBound{1, size}});
+}
+
+ArrayShape ArrayShape::of_extents(std::initializer_list<std::int64_t> extents) {
+  std::vector<DimBound> dims;
+  dims.reserve(extents.size());
+  for (std::int64_t e : extents) {
+    SAP_CHECK(e >= 1, "extent must be positive");
+    dims.push_back(DimBound{1, e});
+  }
+  return ArrayShape(std::move(dims));
+}
+
+ArrayShape::ArrayShape(std::vector<DimBound> dims) : dims_(std::move(dims)) {
+  SAP_CHECK(!dims_.empty(), "array rank must be >= 1");
+  for (const auto& d : dims_) {
+    SAP_CHECK(d.upper >= d.lower, "dimension upper bound below lower bound");
+  }
+  // Row-major: last dimension has stride 1.
+  strides_.assign(dims_.size(), 1);
+  for (std::size_t d = dims_.size() - 1; d-- > 0;) {
+    strides_[d] = strides_[d + 1] * dims_[d + 1].extent();
+  }
+  element_count_ = strides_[0] * dims_[0].extent();
+}
+
+std::int64_t ArrayShape::linearize(
+    const std::vector<std::int64_t>& indices) const {
+  if (indices.size() != dims_.size()) {
+    throw BoundsError("rank mismatch: got " + std::to_string(indices.size()) +
+                      " indices for " + to_string());
+  }
+  if (!contains(indices)) {
+    std::ostringstream os;
+    os << "index (";
+    for (std::size_t d = 0; d < indices.size(); ++d) {
+      if (d) os << ", ";
+      os << indices[d];
+    }
+    os << ") out of bounds for " << to_string();
+    throw BoundsError(os.str());
+  }
+  return linearize_unchecked(indices);
+}
+
+std::int64_t ArrayShape::linearize_unchecked(
+    const std::vector<std::int64_t>& indices) const noexcept {
+  std::int64_t linear = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    linear += (indices[d] - dims_[d].lower) * strides_[d];
+  }
+  return linear;
+}
+
+std::vector<std::int64_t> ArrayShape::delinearize(std::int64_t linear) const {
+  SAP_CHECK(linear >= 0 && linear < element_count_,
+            "linear index out of range");
+  std::vector<std::int64_t> indices(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    indices[d] = dims_[d].lower + linear / strides_[d];
+    linear %= strides_[d];
+  }
+  return indices;
+}
+
+bool ArrayShape::contains(
+    const std::vector<std::int64_t>& indices) const noexcept {
+  if (indices.size() != dims_.size()) return false;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (indices[d] < dims_[d].lower || indices[d] > dims_[d].upper) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ArrayShape::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (d) os << ", ";
+    os << dims_[d].lower << ':' << dims_[d].upper;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace sap

@@ -1,0 +1,72 @@
+// Multi-dimensional array shapes with Fortran-style inclusive bounds and
+// row-major linearization.
+//
+// The paper maps multidimensional arrays "to a linear address space through
+// row-major ordering" (§7); the *last* index varies fastest.  Bounds default
+// to 1-based like the Livermore Fortran sources, but any lower bound is
+// allowed so kernels can be transcribed verbatim.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sap {
+
+/// One dimension: inclusive [lower, upper].
+struct DimBound {
+  std::int64_t lower = 1;
+  std::int64_t upper = 1;
+
+  std::int64_t extent() const noexcept { return upper - lower + 1; }
+  friend bool operator==(const DimBound&, const DimBound&) = default;
+};
+
+/// Shape of an N-dimensional array (N >= 1).
+class ArrayShape {
+ public:
+  /// 1-D, 1-based shape of the given size: bounds [1, size].
+  static ArrayShape vector_1based(std::int64_t size);
+
+  /// N-D, 1-based shape with the given extents.
+  static ArrayShape of_extents(std::initializer_list<std::int64_t> extents);
+
+  /// Fully general constructor.
+  explicit ArrayShape(std::vector<DimBound> dims);
+
+  std::size_t rank() const noexcept { return dims_.size(); }
+  const std::vector<DimBound>& dims() const noexcept { return dims_; }
+
+  /// Total number of elements.
+  std::int64_t element_count() const noexcept { return element_count_; }
+
+  /// Row-major linearization (last index fastest). Throws BoundsError if
+  /// any index is out of range.
+  std::int64_t linearize(const std::vector<std::int64_t>& indices) const;
+
+  /// Linearization without bounds checks (hot path; caller has validated).
+  std::int64_t linearize_unchecked(
+      const std::vector<std::int64_t>& indices) const noexcept;
+
+  /// Inverse of linearize: recovers per-dimension indices.
+  std::vector<std::int64_t> delinearize(std::int64_t linear) const;
+
+  /// True when each index lies within its dimension bound.
+  bool contains(const std::vector<std::int64_t>& indices) const noexcept;
+
+  /// Row-major stride of dimension d (elements skipped per unit step).
+  std::int64_t stride(std::size_t d) const noexcept { return strides_[d]; }
+
+  /// "A(1:10, 0:6)" style description for diagnostics.
+  std::string to_string() const;
+
+  friend bool operator==(const ArrayShape&, const ArrayShape&) = default;
+
+ private:
+  std::vector<DimBound> dims_;
+  std::vector<std::int64_t> strides_;
+  std::int64_t element_count_ = 0;
+};
+
+}  // namespace sap

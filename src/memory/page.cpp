@@ -1,0 +1,9 @@
+#include "memory/page.hpp"
+
+namespace sap {
+
+std::string PageId::to_string() const {
+  return "page(" + std::to_string(array) + ", " + std::to_string(page) + ")";
+}
+
+}  // namespace sap

@@ -1,0 +1,71 @@
+// Page arithmetic.
+//
+// §2: "Data partitioning is accomplished by segmenting each array into
+// pages of some fixed (perhaps parameterized) size."  Pages are numbered
+// per-array starting at 0; a (array, page) pair is the unit of ownership,
+// of remote fetches and of caching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sap {
+
+/// Index of an array in the registry.
+using ArrayId = std::uint32_t;
+
+/// Index of a page within one array's linear address space.
+using PageIndex = std::int64_t;
+
+/// Globally unique page handle: (which array, which page of it).
+struct PageId {
+  ArrayId array = 0;
+  PageIndex page = 0;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+  friend auto operator<=>(const PageId&, const PageId&) = default;
+
+  std::string to_string() const;
+};
+
+/// Page of linear element index `linear` given `page_size` elements/page.
+constexpr PageIndex page_of(std::int64_t linear,
+                            std::int64_t page_size) noexcept {
+  return linear / page_size;
+}
+
+/// Number of pages needed to hold `element_count` elements
+/// (the final page may be partial, §4).
+constexpr std::int64_t page_count_for(std::int64_t element_count,
+                                      std::int64_t page_size) noexcept {
+  return (element_count + page_size - 1) / page_size;
+}
+
+/// First linear element of a page.
+constexpr std::int64_t page_first_element(PageIndex page,
+                                          std::int64_t page_size) noexcept {
+  return page * page_size;
+}
+
+/// Number of valid elements on `page` for an array of `element_count`
+/// elements (page_size except possibly the last page).
+constexpr std::int64_t page_valid_elements(PageIndex page,
+                                           std::int64_t element_count,
+                                           std::int64_t page_size) noexcept {
+  const std::int64_t first = page_first_element(page, page_size);
+  const std::int64_t remaining = element_count - first;
+  return remaining < page_size ? remaining : page_size;
+}
+
+}  // namespace sap
+
+template <>
+struct std::hash<sap::PageId> {
+  std::size_t operator()(const sap::PageId& id) const noexcept {
+    // Page counts are < 2^32 in practice; fold array id into the top bits.
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.array) << 40) ^
+        static_cast<std::uint64_t>(id.page));
+  }
+};

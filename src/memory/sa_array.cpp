@@ -1,0 +1,100 @@
+#include "memory/sa_array.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+SaArray::SaArray(ArrayId id, std::string name, ArrayShape shape)
+    : id_(id),
+      name_(std::move(name)),
+      shape_(std::move(shape)),
+      values_(static_cast<std::size_t>(shape_.element_count()), 0.0),
+      defined_(static_cast<std::size_t>(shape_.element_count()), 0) {}
+
+void SaArray::bounds_check(std::int64_t linear) const {
+  if (linear < 0 || linear >= shape_.element_count()) {
+    throw BoundsError("linear index " + std::to_string(linear) +
+                      " out of range for " + name_ + shape_.to_string());
+  }
+}
+
+bool SaArray::is_defined(std::int64_t linear) const {
+  bounds_check(linear);
+  return defined_[static_cast<std::size_t>(linear)] != 0;
+}
+
+std::vector<ReaderToken> SaArray::write(std::int64_t linear, double value) {
+  bounds_check(linear);
+  auto& flag = defined_[static_cast<std::size_t>(linear)];
+  if (flag) throw DoubleWriteError(name_, linear);
+  flag = 1;
+  ++defined_count_;
+  values_[static_cast<std::size_t>(linear)] = value;
+
+  std::vector<ReaderToken> woken;
+  auto it = std::find_if(queues_.begin(), queues_.end(),
+                         [&](const auto& q) { return q.first == linear; });
+  if (it != queues_.end()) {
+    woken = std::move(it->second);
+    queues_.erase(it);
+  }
+  return woken;
+}
+
+double SaArray::read(std::int64_t linear) const {
+  bounds_check(linear);
+  if (!defined_[static_cast<std::size_t>(linear)]) {
+    throw UndefinedReadError(name_, linear);
+  }
+  return values_[static_cast<std::size_t>(linear)];
+}
+
+std::optional<double> SaArray::read_or_defer(std::int64_t linear,
+                                             ReaderToken reader) {
+  bounds_check(linear);
+  if (defined_[static_cast<std::size_t>(linear)]) {
+    return values_[static_cast<std::size_t>(linear)];
+  }
+  auto it = std::find_if(queues_.begin(), queues_.end(),
+                         [&](const auto& q) { return q.first == linear; });
+  if (it == queues_.end()) {
+    queues_.emplace_back(linear, std::vector<ReaderToken>{reader});
+  } else if (std::find(it->second.begin(), it->second.end(), reader) ==
+             it->second.end()) {
+    it->second.push_back(reader);
+  }
+  return std::nullopt;
+}
+
+void SaArray::initialize(std::int64_t linear, double value) {
+  bounds_check(linear);
+  auto& flag = defined_[static_cast<std::size_t>(linear)];
+  SAP_CHECK(!flag, "initialize() may only target undefined cells");
+  flag = 1;
+  ++defined_count_;
+  values_[static_cast<std::size_t>(linear)] = value;
+}
+
+void SaArray::initialize_all(double value) {
+  for (std::int64_t i = 0; i < shape_.element_count(); ++i) {
+    auto& flag = defined_[static_cast<std::size_t>(i)];
+    if (!flag) {
+      flag = 1;
+      ++defined_count_;
+    }
+    values_[static_cast<std::size_t>(i)] = value;
+  }
+}
+
+void SaArray::reinitialize() {
+  std::fill(defined_.begin(), defined_.end(), std::uint8_t{0});
+  std::fill(values_.begin(), values_.end(), 0.0);
+  queues_.clear();
+  defined_count_ = 0;
+  ++generation_;
+}
+
+}  // namespace sap

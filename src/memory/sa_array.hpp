@@ -1,0 +1,86 @@
+// Single-assignment (I-structure style) array storage.
+//
+// §3: "Each memory cell has two states — undefined or defined. If a cell is
+// undefined, it may also have a queue of read requests associated with it.
+// Hardware enforces the write-before-read requirement."  Writing a defined
+// cell is a trap (DoubleWriteError).
+//
+// §5 adds controlled reuse: a *generation* counter models the host-processor
+// re-initialization protocol.  Bumping the generation resets every cell to
+// undefined; stale cached copies are invalidated by the machine layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memory/array_shape.hpp"
+#include "memory/page.hpp"
+
+namespace sap {
+
+/// Identifier of a suspended reader, queued on an undefined cell.
+/// The machine layer interprets it (PE id in the dataflow interpreter).
+using ReaderToken = std::uint32_t;
+
+/// Tagged write-once array of doubles.
+class SaArray {
+ public:
+  SaArray(ArrayId id, std::string name, ArrayShape shape);
+
+  ArrayId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  const ArrayShape& shape() const noexcept { return shape_; }
+  std::int64_t element_count() const noexcept {
+    return shape_.element_count();
+  }
+
+  /// Current re-initialization generation (starts at 0).
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  bool is_defined(std::int64_t linear) const;
+
+  /// Write-once store. Throws DoubleWriteError on a second write.
+  /// Returns the queue of readers that were suspended on this cell
+  /// (the caller re-arms them); the queue is cleared.
+  std::vector<ReaderToken> write(std::int64_t linear, double value);
+
+  /// Strict read: throws UndefinedReadError when the cell is undefined.
+  double read(std::int64_t linear) const;
+
+  /// Split-phase read: value if defined; otherwise queues `reader` on the
+  /// cell and returns nullopt (I-structure deferred read).
+  std::optional<double> read_or_defer(std::int64_t linear, ReaderToken reader);
+
+  /// Pre-execution initialization (§3: "an array is either undefined or
+  /// filled with initialization data").  Not a single-assignment write:
+  /// it may only target undefined cells of a freshly (re)initialized array.
+  void initialize(std::int64_t linear, double value);
+
+  /// Fills the whole array with `value` as initialization data.
+  void initialize_all(double value);
+
+  /// §5 re-initialization: every cell back to undefined, generation bump.
+  /// Any queued readers are dropped (the protocol guarantees quiescence).
+  void reinitialize();
+
+  /// Number of defined cells (diagnostics/tests).
+  std::int64_t defined_count() const noexcept { return defined_count_; }
+
+ private:
+  void bounds_check(std::int64_t linear) const;
+
+  ArrayId id_;
+  std::string name_;
+  ArrayShape shape_;
+  std::vector<double> values_;
+  std::vector<std::uint8_t> defined_;
+  // Deferred-read queues are rare; keep them out of the hot arrays.
+  // Index: linear cell -> waiting readers.
+  std::vector<std::pair<std::int64_t, std::vector<ReaderToken>>> queues_;
+  std::uint64_t generation_ = 0;
+  std::int64_t defined_count_ = 0;
+};
+
+}  // namespace sap

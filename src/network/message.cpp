@@ -1,0 +1,19 @@
+#include "network/message.hpp"
+
+namespace sap {
+
+std::string to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPageRequest:
+      return "PAGE_REQ";
+    case MessageKind::kPageReply:
+      return "PAGE_REPLY";
+    case MessageKind::kReinitRequest:
+      return "REINIT_REQ";
+    case MessageKind::kReinitGrant:
+      return "REINIT_GRANT";
+  }
+  return "?";
+}
+
+}  // namespace sap

@@ -1,0 +1,32 @@
+// Message taxonomy of the abstract machine.
+//
+// §4: a remote read "must request the value from the responsible PE by
+// sending a message … the page containing that item is sent back."
+// §5: re-initialization requests gather at a host PE which then broadcasts.
+// Each kind is counted separately so benches can report protocol cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sap {
+
+enum class MessageKind : std::uint8_t {
+  kPageRequest,    // reader -> owner: "send me page p of array a"
+  kPageReply,      // owner -> reader: the page contents
+  kReinitRequest,  // any PE -> host PE of an array (§5)
+  kReinitGrant,    // host PE -> everyone: array may be reused (§5)
+};
+
+std::string to_string(MessageKind kind);
+
+/// One network message.  `payload_elements` sizes PageReply messages (a
+/// whole page travels); control messages carry zero elements.
+struct Message {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  MessageKind kind = MessageKind::kPageRequest;
+  std::int64_t payload_elements = 0;
+};
+
+}  // namespace sap

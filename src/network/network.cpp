@@ -1,0 +1,57 @@
+#include "network/network.hpp"
+
+#include "support/check.hpp"
+
+namespace sap {
+
+Network::Network(std::unique_ptr<Topology> topology)
+    : topology_(std::move(topology)) {
+  SAP_CHECK(topology_ != nullptr, "network needs a topology");
+}
+
+void Network::send(const Message& message) {
+  SAP_DCHECK(message.src < topology_->num_pes() &&
+                 message.dst < topology_->num_pes(),
+             "message endpoint out of range");
+  ++stats_.messages;
+  if (message.kind == MessageKind::kPageReply) {
+    ++stats_.data_messages;
+    stats_.payload_elements +=
+        static_cast<std::uint64_t>(message.payload_elements);
+  } else {
+    ++stats_.control_messages;
+  }
+  stats_.hop_total += topology_->hops(message.src, message.dst);
+  ++pair_traffic_[{message.src, message.dst}];
+  for (const Link& link : topology_->route(message.src, message.dst)) {
+    ++link_load_[{link.from, link.to}];
+  }
+}
+
+std::uint64_t Network::max_link_load() const noexcept {
+  std::uint64_t max_load = 0;
+  for (const auto& [link, load] : link_load_) {
+    max_load = std::max(max_load, load);
+  }
+  return max_load;
+}
+
+double Network::mean_link_load() const noexcept {
+  if (link_load_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& [link, load] : link_load_) total += load;
+  return static_cast<double>(total) / static_cast<double>(link_load_.size());
+}
+
+double Network::contention_factor() const noexcept {
+  const double mean = mean_link_load();
+  return mean == 0.0 ? 0.0 : static_cast<double>(max_link_load()) / mean;
+}
+
+void Network::reset() {
+  stats_ = NetworkStats{};
+  link_load_.clear();
+  pair_traffic_.clear();
+}
+
+}  // namespace sap

@@ -1,0 +1,68 @@
+// Message accounting over a topology.
+//
+// Tracks, per message kind: counts, payload volume, hop totals, and
+// per-directed-link load — enough to answer the abstract's claim that "the
+// degradation in network performance due to multiprocessing is minimal"
+// and to feed the A5 contention ablation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "network/message.hpp"
+#include "network/topology.hpp"
+
+namespace sap {
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t control_messages = 0;  // requests / protocol traffic
+  std::uint64_t data_messages = 0;     // page replies
+  std::uint64_t payload_elements = 0;  // total elements shipped
+  std::uint64_t hop_total = 0;
+
+  double mean_hops() const noexcept {
+    return messages == 0
+               ? 0.0
+               : static_cast<double>(hop_total) / static_cast<double>(messages);
+  }
+};
+
+class Network {
+ public:
+  explicit Network(std::unique_ptr<Topology> topology);
+
+  const Topology& topology() const noexcept { return *topology_; }
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// Accounts one message: counts, hops and each traversed link's load.
+  void send(const Message& message);
+
+  /// Load (message count) of the most loaded directed link; 0 if none.
+  std::uint64_t max_link_load() const noexcept;
+
+  /// Mean load over links that carried at least one message.
+  double mean_link_load() const noexcept;
+
+  /// Ratio max/mean link load — the contention hot-spot factor.
+  double contention_factor() const noexcept;
+
+  /// Messages exchanged between each (src PE, dst PE) pair (diagnostics).
+  const std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>&
+  pair_traffic() const noexcept {
+    return pair_traffic_;
+  }
+
+  void reset();
+
+ private:
+  std::unique_ptr<Topology> topology_;
+  NetworkStats stats_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> link_load_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      pair_traffic_;
+};
+
+}  // namespace sap

@@ -1,0 +1,184 @@
+#include "network/topology.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kCrossbar:
+      return "crossbar";
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kMesh2D:
+      return "mesh2d";
+    case TopologyKind::kHypercube:
+      return "hypercube";
+  }
+  return "?";
+}
+
+Topology::Topology(std::uint32_t num_pes) : num_pes_(num_pes) {
+  if (num_pes == 0) throw ConfigError("topology needs at least one PE");
+}
+
+namespace {
+
+class Crossbar final : public Topology {
+ public:
+  explicit Crossbar(std::uint32_t n) : Topology(n) {}
+  TopologyKind kind() const noexcept override {
+    return TopologyKind::kCrossbar;
+  }
+  std::string name() const override { return "crossbar"; }
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    return src == dst ? 0u : 1u;
+  }
+  std::vector<Link> route(std::uint32_t src,
+                          std::uint32_t dst) const override {
+    if (src == dst) return {};
+    return {Link{src, dst}};
+  }
+};
+
+class Ring final : public Topology {
+ public:
+  explicit Ring(std::uint32_t n) : Topology(n) {}
+  TopologyKind kind() const noexcept override { return TopologyKind::kRing; }
+  std::string name() const override { return "ring"; }
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    const std::uint32_t n = num_pes();
+    const std::uint32_t fwd = (dst + n - src) % n;
+    const std::uint32_t bwd = n - fwd == n ? 0 : n - fwd;
+    return src == dst ? 0 : std::min(fwd, bwd);
+  }
+  std::vector<Link> route(std::uint32_t src,
+                          std::uint32_t dst) const override {
+    std::vector<Link> links;
+    if (src == dst) return links;
+    const std::uint32_t n = num_pes();
+    const std::uint32_t fwd = (dst + n - src) % n;
+    const bool go_forward = fwd <= n - fwd;
+    std::uint32_t cur = src;
+    while (cur != dst) {
+      const std::uint32_t next = go_forward ? (cur + 1) % n : (cur + n - 1) % n;
+      links.push_back(Link{cur, next});
+      cur = next;
+    }
+    return links;
+  }
+};
+
+class Mesh2D final : public Topology {
+ public:
+  explicit Mesh2D(std::uint32_t n) : Topology(n) {
+    // Most-square factorization n = rows_ * cols_ with rows_ <= cols_.
+    rows_ = 1;
+    for (std::uint32_t r = static_cast<std::uint32_t>(std::sqrt(double(n)));
+         r >= 1; --r) {
+      if (n % r == 0) {
+        rows_ = r;
+        break;
+      }
+    }
+    cols_ = n / rows_;
+  }
+  TopologyKind kind() const noexcept override { return TopologyKind::kMesh2D; }
+  std::string name() const override {
+    return "mesh2d(" + std::to_string(rows_) + "x" + std::to_string(cols_) +
+           ")";
+  }
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    const auto [sr, sc] = coords(src);
+    const auto [dr, dc] = coords(dst);
+    return static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(sr) - static_cast<int>(dr)) +
+        std::abs(static_cast<int>(sc) - static_cast<int>(dc)));
+  }
+  std::vector<Link> route(std::uint32_t src,
+                          std::uint32_t dst) const override {
+    // XY routing: move along the row (column index) first, then the column.
+    std::vector<Link> links;
+    auto [r, c] = coords(src);
+    const auto [dr, dc] = coords(dst);
+    while (c != dc) {
+      const std::uint32_t nc = c < dc ? c + 1 : c - 1;
+      links.push_back(Link{id(r, c), id(r, nc)});
+      c = nc;
+    }
+    while (r != dr) {
+      const std::uint32_t nr = r < dr ? r + 1 : r - 1;
+      links.push_back(Link{id(r, c), id(nr, c)});
+      r = nr;
+    }
+    return links;
+  }
+
+ private:
+  std::pair<std::uint32_t, std::uint32_t> coords(std::uint32_t pe) const {
+    return {pe / cols_, pe % cols_};
+  }
+  std::uint32_t id(std::uint32_t r, std::uint32_t c) const {
+    return r * cols_ + c;
+  }
+  std::uint32_t rows_ = 1;
+  std::uint32_t cols_ = 1;
+};
+
+class Hypercube final : public Topology {
+ public:
+  explicit Hypercube(std::uint32_t n) : Topology(n) {
+    if (!std::has_single_bit(n)) {
+      throw ConfigError("hypercube requires a power-of-two PE count, got " +
+                        std::to_string(n));
+    }
+  }
+  TopologyKind kind() const noexcept override {
+    return TopologyKind::kHypercube;
+  }
+  std::string name() const override { return "hypercube"; }
+  std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const override {
+    return static_cast<std::uint32_t>(std::popcount(src ^ dst));
+  }
+  std::vector<Link> route(std::uint32_t src,
+                          std::uint32_t dst) const override {
+    // E-cube: correct differing dimensions in ascending bit order.
+    std::vector<Link> links;
+    std::uint32_t cur = src;
+    std::uint32_t diff = src ^ dst;
+    for (std::uint32_t bit = 0; diff != 0; ++bit) {
+      const std::uint32_t mask = 1u << bit;
+      if (diff & mask) {
+        const std::uint32_t next = cur ^ mask;
+        links.push_back(Link{cur, next});
+        cur = next;
+        diff &= ~mask;
+      }
+    }
+    return links;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(TopologyKind kind,
+                                        std::uint32_t num_pes) {
+  switch (kind) {
+    case TopologyKind::kCrossbar:
+      return std::make_unique<Crossbar>(num_pes);
+    case TopologyKind::kRing:
+      return std::make_unique<Ring>(num_pes);
+    case TopologyKind::kMesh2D:
+      return std::make_unique<Mesh2D>(num_pes);
+    case TopologyKind::kHypercube:
+      return std::make_unique<Hypercube>(num_pes);
+  }
+  SAP_CHECK(false, "unknown topology kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace sap

@@ -1,0 +1,60 @@
+// Interconnect topologies.
+//
+// The paper's abstract machine does not model the wire (§9 defers "network
+// contention" to a "more sophisticated simulation"); we provide that
+// extension: four classic loosely-coupled topologies (cf. Reed & Fujimoto,
+// "Multicomputer Networks", the paper's [R&F87] reference) with hop counts
+// and deterministic routes so the machine can attribute per-link load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sap {
+
+enum class TopologyKind {
+  kCrossbar,   // ideal: 1 hop between distinct PEs
+  kRing,       // bidirectional ring, shortest way around
+  kMesh2D,     // near-square 2-D mesh, XY (dimension-order) routing
+  kHypercube,  // e-cube routing, dimension ascending
+};
+
+std::string to_string(TopologyKind kind);
+
+/// A directed link (from, to) in PE-id space.
+struct Link {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  std::uint32_t num_pes() const noexcept { return num_pes_; }
+  virtual TopologyKind kind() const noexcept = 0;
+  virtual std::string name() const = 0;
+
+  /// Number of hops a message from src to dst traverses (0 when equal).
+  virtual std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const = 0;
+
+  /// Deterministic route as a sequence of directed links.
+  virtual std::vector<Link> route(std::uint32_t src,
+                                  std::uint32_t dst) const = 0;
+
+ protected:
+  explicit Topology(std::uint32_t num_pes);
+
+ private:
+  std::uint32_t num_pes_;
+};
+
+/// Factory.  Mesh2D picks the most-square factorization of num_pes;
+/// Hypercube requires a power-of-two PE count.
+std::unique_ptr<Topology> make_topology(TopologyKind kind,
+                                        std::uint32_t num_pes);
+
+}  // namespace sap

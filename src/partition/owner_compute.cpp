@@ -1,0 +1,26 @@
+#include "partition/owner_compute.hpp"
+
+#include "support/check.hpp"
+
+namespace sap {
+
+std::vector<std::int64_t> owned_iterations_affine(
+    const Partitioner& part, const SaArray& array, std::int64_t stride,
+    std::int64_t offset, std::int64_t lo, std::int64_t hi, std::int64_t step,
+    PeId pe) {
+  SAP_CHECK(step >= 1, "loop step must be positive");
+  std::vector<std::int64_t> owned;
+  // The write index is affine in k, so ownership changes only at page
+  // boundaries of the written array; still, a direct scan is exact for
+  // every stride (including stride 0 and negative strides) and the
+  // iteration spaces here are small.
+  const auto& shape = array.shape();
+  for (std::int64_t k = lo; k <= hi; k += step) {
+    const std::int64_t linear = stride * k + offset - shape.dims()[0].lower;
+    if (linear < 0 || linear >= array.element_count()) continue;
+    if (part.owner_of_element(array, linear) == pe) owned.push_back(k);
+  }
+  return owned;
+}
+
+}  // namespace sap

@@ -1,0 +1,41 @@
+// Owner-computes index screening.
+//
+// §2: "Control partitioning will be done by assigning to each PE the
+// responsibility for updating the elements in all the array pages it
+// contains in its local memory" and §3: "This is achieved by screening the
+// array indices so that the right hand side of the assignment is evaluated
+// only for a given PE's subranges."
+//
+// The helper here answers, for one statement instance, *which* PE executes
+// it — the owner of the element being written.  Both interpreters use it;
+// the paper's "whether only the correct indices are generated, or if they
+// all are generated and then screened is an implementation detail" is
+// mirrored by the two entry points below.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/sa_array.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sap {
+
+/// Screens a single write target: the executing PE for a statement
+/// instance writing `array[linear]`.
+inline PeId executing_pe(const Partitioner& part, const SaArray& array,
+                         std::int64_t linear) {
+  return part.owner_of_element(array, linear);
+}
+
+/// Enumerates, for a 1-D affine write index  i = stride*k + offset  over
+/// k in [lo, hi] (inclusive, step>=1), the iterations k whose written
+/// element is owned by `pe`.  This is the "generate only the correct
+/// indices" fast path; the generic interpreters use the screen-everything
+/// path instead.  Used by tests to prove both agree.
+std::vector<std::int64_t> owned_iterations_affine(
+    const Partitioner& part, const SaArray& array, std::int64_t stride,
+    std::int64_t offset, std::int64_t lo, std::int64_t hi, std::int64_t step,
+    PeId pe);
+
+}  // namespace sap

@@ -1,0 +1,49 @@
+#include "partition/partitioner.hpp"
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+Partitioner::Partitioner(std::unique_ptr<PartitionScheme> scheme,
+                         std::int64_t page_size, std::uint32_t num_pes)
+    : scheme_(std::move(scheme)), page_size_(page_size), num_pes_(num_pes) {
+  if (!scheme_) throw ConfigError("partitioner needs a scheme");
+  if (page_size_ < 1) throw ConfigError("page size must be >= 1");
+  if (num_pes_ < 1) throw ConfigError("at least one PE required");
+}
+
+PeId Partitioner::owner_of_page(const SaArray& array, PageIndex page) const {
+  const std::int64_t pages = page_count_for(array.element_count(), page_size_);
+  SAP_DCHECK(page >= 0 && page < pages, "page index out of range");
+  return scheme_->owner(page, pages, num_pes_);
+}
+
+PeId Partitioner::owner_of_element(const SaArray& array,
+                                   std::int64_t linear) const {
+  return owner_of_page(array, page_of(linear, page_size_));
+}
+
+std::vector<PageIndex> Partitioner::pages_owned_by(const SaArray& array,
+                                                   PeId pe) const {
+  std::vector<PageIndex> owned;
+  const std::int64_t pages = page_count_for(array.element_count(), page_size_);
+  for (PageIndex p = 0; p < pages; ++p) {
+    if (scheme_->owner(p, pages, num_pes_) == pe) owned.push_back(p);
+  }
+  return owned;
+}
+
+std::int64_t Partitioner::elements_owned_by(const SaArray& array,
+                                            PeId pe) const {
+  std::int64_t count = 0;
+  const std::int64_t pages = page_count_for(array.element_count(), page_size_);
+  for (PageIndex p = 0; p < pages; ++p) {
+    if (scheme_->owner(p, pages, num_pes_) == pe) {
+      count += page_valid_elements(p, array.element_count(), page_size_);
+    }
+  }
+  return count;
+}
+
+}  // namespace sap

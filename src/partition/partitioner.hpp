@@ -1,0 +1,48 @@
+// Binds a partition scheme to a concrete machine (page size + PE count)
+// and answers ownership queries for elements and pages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memory/array_registry.hpp"
+#include "memory/page.hpp"
+#include "partition/scheme.hpp"
+
+namespace sap {
+
+class Partitioner {
+ public:
+  Partitioner(std::unique_ptr<PartitionScheme> scheme, std::int64_t page_size,
+              std::uint32_t num_pes);
+
+  std::int64_t page_size() const noexcept { return page_size_; }
+  std::uint32_t num_pes() const noexcept { return num_pes_; }
+  const PartitionScheme& scheme() const noexcept { return *scheme_; }
+
+  /// Page holding linear element `linear` of any array.
+  PageIndex page_of_element(std::int64_t linear) const noexcept {
+    return page_of(linear, page_size_);
+  }
+
+  /// Owner PE of a page of `array`.
+  PeId owner_of_page(const SaArray& array, PageIndex page) const;
+
+  /// Owner PE of an element of `array`.
+  PeId owner_of_element(const SaArray& array, std::int64_t linear) const;
+
+  /// All pages of `array` owned by `pe`, ascending.
+  std::vector<PageIndex> pages_owned_by(const SaArray& array, PeId pe) const;
+
+  /// Number of elements of `array` that live on `pe` (accounts for the
+  /// partial final page).
+  std::int64_t elements_owned_by(const SaArray& array, PeId pe) const;
+
+ private:
+  std::unique_ptr<PartitionScheme> scheme_;
+  std::int64_t page_size_;
+  std::uint32_t num_pes_;
+};
+
+}  // namespace sap

@@ -1,0 +1,94 @@
+#include "partition/scheme.hpp"
+
+#include "support/check.hpp"
+
+namespace sap {
+
+std::string to_string(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kModulo:
+      return "modulo";
+    case PartitionKind::kBlock:
+      return "block";
+    case PartitionKind::kBlockCyclic:
+      return "block-cyclic";
+  }
+  return "?";
+}
+
+namespace {
+
+class ModuloScheme final : public PartitionScheme {
+ public:
+  PeId owner(PageIndex page, std::int64_t /*page_count*/,
+             std::uint32_t num_pes) const override {
+    return static_cast<PeId>(page % num_pes);
+  }
+  PartitionKind kind() const noexcept override {
+    return PartitionKind::kModulo;
+  }
+  std::string name() const override { return "modulo"; }
+};
+
+class BlockScheme final : public PartitionScheme {
+ public:
+  PeId owner(PageIndex page, std::int64_t page_count,
+             std::uint32_t num_pes) const override {
+    // Contiguous division: the first (page_count mod N) PEs get one page
+    // more, mirroring how a compiler would divide an array evenly.
+    const std::int64_t n = num_pes;
+    const std::int64_t base = page_count / n;
+    const std::int64_t extra = page_count % n;
+    // PEs [0, extra) own (base+1) pages each, the rest own base pages.
+    const std::int64_t pivot = extra * (base + 1);
+    if (page < pivot) {
+      return static_cast<PeId>(page / (base + 1));
+    }
+    if (base == 0) {
+      // Fewer pages than PEs: pages beyond pivot do not exist, but be
+      // total anyway for robustness.
+      return static_cast<PeId>(page % n);
+    }
+    return static_cast<PeId>(extra + (page - pivot) / base);
+  }
+  PartitionKind kind() const noexcept override { return PartitionKind::kBlock; }
+  std::string name() const override { return "block"; }
+};
+
+class BlockCyclicScheme final : public PartitionScheme {
+ public:
+  explicit BlockCyclicScheme(std::int64_t block_size) : block_(block_size) {
+    SAP_CHECK(block_ >= 1, "block-cyclic block size must be >= 1");
+  }
+  PeId owner(PageIndex page, std::int64_t /*page_count*/,
+             std::uint32_t num_pes) const override {
+    return static_cast<PeId>((page / block_) % num_pes);
+  }
+  PartitionKind kind() const noexcept override {
+    return PartitionKind::kBlockCyclic;
+  }
+  std::string name() const override {
+    return "block-cyclic(b=" + std::to_string(block_) + ")";
+  }
+
+ private:
+  std::int64_t block_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionScheme> make_partition_scheme(
+    PartitionKind kind, std::int64_t block_size) {
+  switch (kind) {
+    case PartitionKind::kModulo:
+      return std::make_unique<ModuloScheme>();
+    case PartitionKind::kBlock:
+      return std::make_unique<BlockScheme>();
+    case PartitionKind::kBlockCyclic:
+      return std::make_unique<BlockCyclicScheme>(block_size);
+  }
+  SAP_CHECK(false, "unknown partition kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace sap

@@ -1,0 +1,50 @@
+// Page-to-PE ownership maps.
+//
+// §2: "A page p is allocated to the local memory of PE P if p = P mod N" —
+// the Modulo (cyclic) scheme the paper evaluates.  §9 observes that "our
+// simple modulo partitioning scheme performs worse for certain loops than a
+// division scheme" and calls for selectable schemes; we provide Modulo,
+// Block ("division": contiguous page ranges) and BlockCyclic (a
+// generalization of both) behind one interface, plus the ablation bench
+// that compares them (A1 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "memory/page.hpp"
+
+namespace sap {
+
+/// PE identifier.
+using PeId = std::uint32_t;
+
+enum class PartitionKind {
+  kModulo,       // page p -> PE (p mod N)            (the paper's scheme)
+  kBlock,        // contiguous runs of ceil(P/N) pages (the "division" scheme)
+  kBlockCyclic,  // blocks of b pages dealt round-robin
+};
+
+std::string to_string(PartitionKind kind);
+
+/// Maps a page of an array onto its owning PE.  Stateless and cheap; the
+/// partitioner below binds it to a machine's PE count.
+class PartitionScheme {
+ public:
+  virtual ~PartitionScheme() = default;
+
+  /// Owner of page `page` given the array's total `page_count` and `num_pes`.
+  /// Pre: 0 <= page < page_count, num_pes >= 1.
+  virtual PeId owner(PageIndex page, std::int64_t page_count,
+                     std::uint32_t num_pes) const = 0;
+
+  virtual PartitionKind kind() const noexcept = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Factory. `block_size` only matters for kBlockCyclic.
+std::unique_ptr<PartitionScheme> make_partition_scheme(
+    PartitionKind kind, std::int64_t block_size = 2);
+
+}  // namespace sap

@@ -1,0 +1,19 @@
+#include "stats/counters.hpp"
+
+namespace sap {
+
+std::string to_string(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kLocalRead:
+      return "local";
+    case AccessKind::kCachedRead:
+      return "cached";
+    case AccessKind::kRemoteRead:
+      return "remote";
+  }
+  return "?";
+}
+
+}  // namespace sap

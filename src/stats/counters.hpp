@@ -1,0 +1,61 @@
+// Access accounting.
+//
+// §7: "Accesses to array elements were categorized as follows: write
+// (always local), local read, cached read, remote read. The totals of each
+// access type were accumulated for the execution of each program."
+// The headline metric, "% of Reads Remote", is remote / (local+cached+remote).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sap {
+
+enum class AccessKind : std::uint8_t {
+  kWrite,       // always local under owner-computes
+  kLocalRead,   // page owned by the executing PE
+  kCachedRead,  // page previously fetched and still resident
+  kRemoteRead,  // page fetched from its owner now
+};
+
+std::string to_string(AccessKind kind);
+
+struct AccessCounters {
+  std::uint64_t writes = 0;
+  std::uint64_t local_reads = 0;
+  std::uint64_t cached_reads = 0;
+  std::uint64_t remote_reads = 0;
+
+  void record(AccessKind kind) noexcept {
+    switch (kind) {
+      case AccessKind::kWrite: ++writes; break;
+      case AccessKind::kLocalRead: ++local_reads; break;
+      case AccessKind::kCachedRead: ++cached_reads; break;
+      case AccessKind::kRemoteRead: ++remote_reads; break;
+    }
+  }
+
+  std::uint64_t total_reads() const noexcept {
+    return local_reads + cached_reads + remote_reads;
+  }
+
+  /// The paper's "% of Reads Remote" as a fraction in [0, 1].
+  double remote_read_fraction() const noexcept {
+    const std::uint64_t reads = total_reads();
+    return reads == 0 ? 0.0 : static_cast<double>(remote_reads) /
+                                  static_cast<double>(reads);
+  }
+
+  AccessCounters& operator+=(const AccessCounters& other) noexcept {
+    writes += other.writes;
+    local_reads += other.local_reads;
+    cached_reads += other.cached_reads;
+    remote_reads += other.remote_reads;
+    return *this;
+  }
+
+  friend bool operator==(const AccessCounters&,
+                         const AccessCounters&) = default;
+};
+
+}  // namespace sap

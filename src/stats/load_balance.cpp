@@ -1,0 +1,33 @@
+#include "stats/load_balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sap {
+
+LoadBalance summarize_load(const std::vector<std::uint64_t>& per_pe) {
+  LoadBalance lb;
+  if (per_pe.empty()) return lb;
+  double sum = 0.0;
+  double min_v = static_cast<double>(per_pe.front());
+  double max_v = min_v;
+  for (std::uint64_t v : per_pe) {
+    const double d = static_cast<double>(v);
+    sum += d;
+    min_v = std::min(min_v, d);
+    max_v = std::max(max_v, d);
+  }
+  const double n = static_cast<double>(per_pe.size());
+  lb.mean = sum / n;
+  lb.min = min_v;
+  lb.max = max_v;
+  double var = 0.0;
+  for (std::uint64_t v : per_pe) {
+    const double d = static_cast<double>(v) - lb.mean;
+    var += d * d;
+  }
+  lb.stddev = std::sqrt(var / n);
+  return lb;
+}
+
+}  // namespace sap

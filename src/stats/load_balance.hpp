@@ -1,0 +1,33 @@
+// Load-balance metrics over per-PE quantities.
+//
+// §7.2 measures balance as "the number of remote and local reads per PE";
+// Figure 5 shows both are nearly flat across 64 PEs.  We summarize a
+// per-PE vector with mean / min / max / stddev, the coefficient of
+// variation and the imbalance factor max/mean (1.0 = perfectly balanced).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sap {
+
+struct LoadBalance {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+
+  /// stddev / mean; 0 when mean == 0.
+  double coefficient_of_variation() const noexcept {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+
+  /// max / mean; 1.0 means perfectly even. 0 when mean == 0.
+  double imbalance() const noexcept {
+    return mean == 0.0 ? 0.0 : max / mean;
+  }
+};
+
+LoadBalance summarize_load(const std::vector<std::uint64_t>& per_pe);
+
+}  // namespace sap

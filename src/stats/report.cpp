@@ -1,0 +1,103 @@
+#include "stats/report.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/ascii_chart.hpp"
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/text_table.hpp"
+
+namespace sap {
+
+namespace {
+
+std::set<double> all_x(const std::vector<SweepSeries>& series) {
+  std::set<double> xs;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) xs.insert(p.x);
+  }
+  return xs;
+}
+
+std::string format_x(double x) {
+  // PE counts and page sizes are integers; print them as such.
+  if (x == static_cast<double>(static_cast<long long>(x))) {
+    return std::to_string(static_cast<long long>(x));
+  }
+  return TextTable::num(x, 2);
+}
+
+}  // namespace
+
+std::string series_table(const std::vector<SweepSeries>& series,
+                         const std::string& x_header, bool as_percent) {
+  std::vector<std::string> headers{x_header};
+  for (const auto& s : series) headers.push_back(s.label);
+  TextTable table(std::move(headers));
+  for (double x : all_x(series)) {
+    std::vector<std::string> row{format_x(x)};
+    for (const auto& s : series) {
+      std::string cell = "-";
+      for (const auto& p : s.points) {
+        if (p.x == x) {
+          cell = as_percent ? TextTable::pct(p.y) : TextTable::num(p.y, 4);
+          break;
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+std::string series_chart(const std::vector<SweepSeries>& series,
+                         const std::string& title, const std::string& x_label,
+                         const std::string& y_label) {
+  AsciiChart chart(title, x_label, y_label);
+  for (const auto& s : series) {
+    ChartSeries cs;
+    cs.label = s.label;
+    for (const auto& p : s.points) cs.points.emplace_back(p.x, p.y);
+    chart.add_series(std::move(cs));
+  }
+  return chart.render();
+}
+
+void series_csv(std::ostream& out, const std::vector<SweepSeries>& series,
+                const std::string& x_header) {
+  CsvWriter csv(out);
+  std::vector<std::string> header{x_header};
+  for (const auto& s : series) header.push_back(s.label);
+  csv.write_row(header);
+  for (double x : all_x(series)) {
+    std::vector<std::string> row{format_x(x)};
+    for (const auto& s : series) {
+      std::string cell;
+      for (const auto& p : s.points) {
+        if (p.x == x) {
+          cell = TextTable::num(p.y, 6);
+          break;
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    csv.write_row(row);
+  }
+}
+
+std::string per_pe_table(const SimulationResult& result) {
+  TextTable table({"PE", "writes", "local", "cached", "remote", "%remote"});
+  for (std::size_t pe = 0; pe < result.per_pe.size(); ++pe) {
+    const auto& c = result.per_pe[pe];
+    table.add_row({std::to_string(pe), std::to_string(c.writes),
+                   std::to_string(c.local_reads),
+                   std::to_string(c.cached_reads),
+                   std::to_string(c.remote_reads),
+                   TextTable::pct(c.remote_read_fraction())});
+  }
+  return table.to_string();
+}
+
+}  // namespace sap

@@ -1,0 +1,33 @@
+// Rendering of sweep series and results as tables, charts and CSV.
+//
+// Every bench binary funnels its output through these helpers so that the
+// reproduced figures have a uniform, diffable format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/series.hpp"
+#include "stats/sim_result.hpp"
+
+namespace sap {
+
+/// Renders series as a table: one row per x, one column per series
+/// (y as a percentage when `as_percent`).
+std::string series_table(const std::vector<SweepSeries>& series,
+                         const std::string& x_header, bool as_percent);
+
+/// Renders series as an ASCII line chart titled `title`.
+std::string series_chart(const std::vector<SweepSeries>& series,
+                         const std::string& title, const std::string& x_label,
+                         const std::string& y_label);
+
+/// CSV with header "x,<label1>,<label2>,..." to the stream.
+void series_csv(std::ostream& out, const std::vector<SweepSeries>& series,
+                const std::string& x_header);
+
+/// Per-PE access distribution table of one result (Figure 5's data).
+std::string per_pe_table(const SimulationResult& result);
+
+}  // namespace sap

@@ -1,0 +1,30 @@
+#include "stats/series.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace sap {
+
+double SweepSeries::y_at(double x) const {
+  for (const auto& p : points) {
+    if (p.x == x) return p.y;
+  }
+  throw Error("series '" + label + "' has no point at x=" +
+              std::to_string(x));
+}
+
+double SweepSeries::max_y() const noexcept {
+  double m = 0.0;
+  for (const auto& p : points) m = std::max(m, p.y);
+  return m;
+}
+
+double SweepSeries::min_y() const noexcept {
+  if (points.empty()) return 0.0;
+  double m = points.front().y;
+  for (const auto& p : points) m = std::min(m, p.y);
+  return m;
+}
+
+}  // namespace sap

@@ -1,0 +1,30 @@
+// Sweep series: the data behind every figure.
+//
+// Figures 1-4 plot one y value per (x = #PEs) for four configurations;
+// `SweepSeries` is that, plus CSV/ASCII-chart export handled by report.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sap {
+
+struct SweepPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct SweepSeries {
+  std::string label;
+  std::vector<SweepPoint> points;
+
+  void add(double x, double y) { points.push_back({x, y}); }
+
+  /// y at the given x; throws if absent.
+  double y_at(double x) const;
+
+  double max_y() const noexcept;
+  double min_y() const noexcept;
+};
+
+}  // namespace sap

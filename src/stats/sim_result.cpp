@@ -1,0 +1,41 @@
+#include "stats/sim_result.hpp"
+
+#include <sstream>
+
+namespace sap {
+
+std::vector<std::uint64_t> SimulationResult::per_pe_remote_reads() const {
+  std::vector<std::uint64_t> out(per_pe.size());
+  for (std::size_t i = 0; i < per_pe.size(); ++i) {
+    out[i] = per_pe[i].remote_reads;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SimulationResult::per_pe_local_reads() const {
+  std::vector<std::uint64_t> out(per_pe.size());
+  for (std::size_t i = 0; i < per_pe.size(); ++i) {
+    out[i] = per_pe[i].local_reads;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> SimulationResult::per_pe_writes() const {
+  std::vector<std::uint64_t> out(per_pe.size());
+  for (std::size_t i = 0; i < per_pe.size(); ++i) {
+    out[i] = per_pe[i].writes;
+  }
+  return out;
+}
+
+std::string SimulationResult::summary() const {
+  std::ostringstream os;
+  os << program_name << " on " << num_pes << " PEs, page size " << page_size
+     << ", cache " << cache_elements << " elements: " << totals.writes
+     << " writes, " << totals.local_reads << " local / "
+     << totals.cached_reads << " cached / " << totals.remote_reads
+     << " remote reads (" << remote_read_fraction() * 100.0 << "% remote)";
+  return os.str();
+}
+
+}  // namespace sap

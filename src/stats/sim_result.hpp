@@ -1,0 +1,54 @@
+// Result of simulating one program on one machine configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/page_cache.hpp"
+#include "network/network.hpp"
+#include "stats/counters.hpp"
+#include "stats/load_balance.hpp"
+
+namespace sap {
+
+struct SimulationResult {
+  std::string program_name;
+  std::uint32_t num_pes = 1;
+  std::int64_t page_size = 0;
+  std::int64_t cache_elements = 0;
+
+  /// Index = PE id.
+  std::vector<AccessCounters> per_pe;
+  AccessCounters totals;
+
+  CacheStats cache_totals;
+  NetworkStats network;
+  std::uint64_t max_link_load = 0;
+  double contention_factor = 0.0;
+
+  /// Protocol messages issued by the §5 re-init coordinator, if used.
+  std::uint64_t reinit_messages = 0;
+
+  /// The paper's "% of Reads Remote" over all PEs, as a fraction.
+  double remote_read_fraction() const noexcept {
+    return totals.remote_read_fraction();
+  }
+
+  std::vector<std::uint64_t> per_pe_remote_reads() const;
+  std::vector<std::uint64_t> per_pe_local_reads() const;
+  std::vector<std::uint64_t> per_pe_writes() const;
+
+  LoadBalance remote_read_balance() const {
+    return summarize_load(per_pe_remote_reads());
+  }
+  LoadBalance local_read_balance() const {
+    return summarize_load(per_pe_local_reads());
+  }
+  LoadBalance write_balance() const { return summarize_load(per_pe_writes()); }
+
+  /// One-line human summary used by examples and diagnostics.
+  std::string summary() const;
+};
+
+}  // namespace sap

@@ -1,0 +1,93 @@
+#include "support/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace sap {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+constexpr int kGlyphCount = 8;
+}  // namespace
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+void AsciiChart::add_series(ChartSeries series) {
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::render(int height) const {
+  SAP_CHECK(height >= 4, "chart height too small");
+  std::ostringstream os;
+  os << title_ << "  (y: " << y_label_ << ", x: " << x_label_ << ")\n";
+  if (series_.empty()) {
+    os << "  <no data>\n";
+    return os.str();
+  }
+
+  // Collect the distinct x values; columns are rank-spaced.
+  std::map<double, int> x_rank;
+  double y_max = 0.0;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      x_rank.emplace(x, 0);
+      y_max = std::max(y_max, y);
+    }
+  }
+  int rank = 0;
+  for (auto& [x, r] : x_rank) r = rank++;
+  if (y_max <= 0.0) y_max = 1.0;
+
+  const int col_width = 6;
+  const int width = static_cast<int>(x_rank.size()) * col_width;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % kGlyphCount];
+    for (const auto& [x, y] : series_[si].points) {
+      const int col = x_rank.at(x) * col_width + col_width / 2;
+      int row = height - 1 -
+                static_cast<int>(std::lround((y / y_max) * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      auto& cell = grid[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+      // A collision between series is rendered as '=' to flag overlap.
+      cell = (cell == ' ' || cell == glyph) ? glyph : '=';
+    }
+  }
+
+  for (int r = 0; r < height; ++r) {
+    const double y_tick =
+        y_max * static_cast<double>(height - 1 - r) / (height - 1);
+    os << std::setw(8) << std::fixed << std::setprecision(2) << y_tick
+       << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(8, ' ') << " +" << std::string(static_cast<std::size_t>(width), '-')
+     << '\n'
+     << std::string(10, ' ');
+  for (const auto& [x, r] : x_rank) {
+    std::ostringstream xs;
+    xs << x;
+    std::string lbl = xs.str();
+    if (static_cast<int>(lbl.size()) > col_width) lbl.resize(static_cast<std::size_t>(col_width));
+    os << std::left << std::setw(col_width) << lbl;
+  }
+  os << '\n';
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "    " << kGlyphs[si % kGlyphCount] << " = " << series_[si].label
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sap

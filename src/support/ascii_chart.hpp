@@ -1,0 +1,39 @@
+// ASCII line charts.
+//
+// Figures 1-4 of the paper are "% remote reads vs number of PEs" line
+// charts with four series.  Bench binaries render the same shape in the
+// terminal so a reader can eyeball the reproduction without plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sap {
+
+/// One chart series: a label plus (x, y) points sorted by x.
+struct ChartSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders multiple series onto a character grid.  X positions are
+/// mapped by *rank* (the paper's PE axis is logarithmic: 1,2,4,...,64),
+/// so each distinct x value becomes one column group.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(ChartSeries series);
+
+  /// Renders a `height`-row chart; each series uses its own glyph and a
+  /// legend is appended.
+  std::string render(int height = 16) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace sap

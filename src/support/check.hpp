@@ -1,0 +1,36 @@
+// Lightweight precondition / invariant checking.
+//
+// SAP_CHECK is always on (these guard public API boundaries and simulation
+// invariants whose violation would silently corrupt measurements);
+// SAP_DCHECK compiles out in release builds for hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace sap::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace sap::detail
+
+#define SAP_CHECK(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) ::sap::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define SAP_DCHECK(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define SAP_DCHECK(expr, msg) SAP_CHECK(expr, msg)
+#endif

@@ -1,0 +1,27 @@
+// Minimal RFC-4180-ish CSV emission for bench results.
+//
+// Bench binaries print human tables to stdout and, when given a path,
+// also dump machine-readable CSV so figures can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sap {
+
+/// Streams rows to an std::ostream, quoting cells only when required.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes one cell per RFC 4180 (quotes doubled, wrap when needed).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace sap

@@ -1,0 +1,24 @@
+#include "support/error.hpp"
+
+namespace sap {
+
+DoubleWriteError::DoubleWriteError(std::string array, std::int64_t linear_index)
+    : Error("single-assignment violation: second write to " + array + "[" +
+            std::to_string(linear_index) + "]"),
+      array_(std::move(array)),
+      index_(linear_index) {}
+
+UndefinedReadError::UndefinedReadError(std::string array,
+                                       std::int64_t linear_index)
+    : Error("read of undefined cell " + array + "[" +
+            std::to_string(linear_index) + "]"),
+      array_(std::move(array)),
+      index_(linear_index) {}
+
+ParseError::ParseError(std::string message, int line, int column)
+    : Error("parse error at " + std::to_string(line) + ":" +
+            std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+}  // namespace sap

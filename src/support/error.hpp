@@ -1,0 +1,87 @@
+// Error taxonomy for the sapart library.
+//
+// Every failure the library can raise derives from `sap::Error`, so callers
+// may catch the whole family or a specific condition.  Runtime violations of
+// the single-assignment discipline get their own types because the paper
+// treats them as *machine traps* (a second write to a cell "results in a
+// runtime error", §3), and tests assert on them precisely.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sap {
+
+/// Root of the sapart error hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A second write reached a single-assignment cell (§3: hardware trap).
+class DoubleWriteError : public Error {
+ public:
+  DoubleWriteError(std::string array, std::int64_t linear_index);
+
+  const std::string& array_name() const noexcept { return array_; }
+  std::int64_t linear_index() const noexcept { return index_; }
+
+ private:
+  std::string array_;
+  std::int64_t index_;
+};
+
+/// A read of an undefined cell in a context that cannot defer
+/// (e.g. the sequential reference interpreter, or scalar evaluation).
+class UndefinedReadError : public Error {
+ public:
+  UndefinedReadError(std::string array, std::int64_t linear_index);
+
+  const std::string& array_name() const noexcept { return array_; }
+  std::int64_t linear_index() const noexcept { return index_; }
+
+ private:
+  std::string array_;
+  std::int64_t index_;
+};
+
+/// The dataflow machine reached global quiescence with suspended PEs:
+/// the program has a read-before-write in sequential order (not legal SA).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Array index outside its declared bounds.
+class BoundsError : public Error {
+ public:
+  explicit BoundsError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid machine/simulation configuration (zero PEs, page size 0, ...).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Lexical or syntactic error in DSL source; carries line/column.
+class ParseError : public Error {
+ public:
+  ParseError(std::string message, int line, int column);
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Semantic error (undeclared identifier, rank mismatch, ...).
+class SemanticError : public Error {
+ public:
+  explicit SemanticError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace sap

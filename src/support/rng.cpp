@@ -1,0 +1,31 @@
+#include "support/rng.hpp"
+
+#include "support/check.hpp"
+
+namespace sap {
+
+std::uint64_t SplitMix64::next_below(std::uint64_t bound) noexcept {
+  // Rejection sampling to avoid modulo bias; bound is tiny relative to
+  // 2^64 in all our uses, so the loop almost never iterates.
+  const std::uint64_t limit = ~0ull - (~0ull % bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::vector<std::int64_t> random_permutation(std::int64_t n,
+                                             std::uint64_t seed) {
+  SAP_CHECK(n >= 0, "permutation size must be non-negative");
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  SplitMix64 rng(seed);
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace sap

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms (tests
+// and the EXPERIMENTS.md records depend on it), so we carry our own
+// SplitMix64 instead of std::mt19937's unspecified seeding behaviours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sap {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept
+      : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic Fisher–Yates permutation of {0, 1, ..., n-1}.
+std::vector<std::int64_t> random_permutation(std::int64_t n,
+                                             std::uint64_t seed);
+
+}  // namespace sap

@@ -1,0 +1,38 @@
+// Fixed-width text tables for bench/report output.
+//
+// The paper's results are tables and line charts; every bench binary emits
+// its rows through this class so the output is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sap {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` decimal places.
+  static std::string num(double value, int precision = 2);
+
+  /// Convenience: formats a percentage ("12.34%").
+  static std::string pct(double fraction, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table, headers underlined, columns padded to fit.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sap

@@ -1,0 +1,111 @@
+// Oracle test: the production PageCache against a deliberately naive
+// reference implementation, step-for-step, under long random traffic with
+// interleaved generation bumps and invalidations.  Any divergence in
+// hit/miss behaviour or eviction policy shows up immediately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/page_cache.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+namespace {
+
+/// O(n)-per-op reference cache: a plain vector ordered by recency
+/// (LRU) or insertion (FIFO).
+class ReferenceCache {
+ public:
+  ReferenceCache(std::int64_t frames, ReplacementPolicy policy)
+      : frames_(frames), policy_(policy) {}
+
+  bool lookup(PageId page, std::uint64_t generation) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].page == page) {
+        if (entries_[i].generation != generation) {
+          entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+          return false;
+        }
+        if (policy_ == ReplacementPolicy::kLru) {
+          auto e = entries_[i];
+          entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+          entries_.push_back(e);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insert(PageId page, std::uint64_t generation) {
+    for (auto& e : entries_) {
+      if (e.page == page) {
+        e.generation = generation;
+        return;
+      }
+    }
+    if (static_cast<std::int64_t>(entries_.size()) >= frames_) {
+      entries_.erase(entries_.begin());  // front = LRU victim / oldest
+    }
+    entries_.push_back({page, generation});
+  }
+
+  void invalidate_array(ArrayId array) {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const Entry& e) {
+                                    return e.page.array == array;
+                                  }),
+                   entries_.end());
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    PageId page;
+    std::uint64_t generation;
+  };
+  std::int64_t frames_;
+  ReplacementPolicy policy_;
+  std::vector<Entry> entries_;
+};
+
+class CacheOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheOracle, AgreesWithReferenceUnderRandomTraffic) {
+  const auto policy = static_cast<ReplacementPolicy>(GetParam());
+  PageCache cache(8 * 32, 32, policy);
+  ReferenceCache oracle(8, policy);
+
+  SplitMix64 rng(0xFEED);
+  std::vector<std::uint64_t> generations(4, 0);
+  for (int step = 0; step < 20000; ++step) {
+    const auto action = rng.next_below(100);
+    const ArrayId array = static_cast<ArrayId>(rng.next_below(4));
+    if (action < 90) {
+      const PageId page{array, static_cast<PageIndex>(rng.next_below(24))};
+      const std::uint64_t gen = generations[array];
+      const bool got = cache.lookup(page, gen);
+      const bool want = oracle.lookup(page, gen);
+      ASSERT_EQ(got, want) << "step " << step << " " << page.to_string();
+      if (!got) {
+        cache.insert(page, gen);
+        oracle.insert(page, gen);
+      }
+    } else if (action < 95) {
+      ++generations[array];  // §5 re-initialization: stale entries decay
+    } else {
+      cache.invalidate_array(array);
+      oracle.invalidate_array(array);
+    }
+    ASSERT_EQ(static_cast<std::size_t>(cache.size()), oracle.size())
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LruAndFifo, CacheOracle,
+                         ::testing::Values(0, 1));  // LRU, FIFO
+
+}  // namespace
+}  // namespace sap

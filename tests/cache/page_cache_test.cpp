@@ -1,0 +1,153 @@
+#include "cache/page_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+namespace {
+
+TEST(PageCacheTest, FrameCountIsCapacityOverPageSize) {
+  // §6: cache fixed at 256 elements; the number of frames follows the
+  // page size (8 frames at ps 32, 4 at ps 64).
+  EXPECT_EQ(PageCache(256, 32).frame_count(), 8);
+  EXPECT_EQ(PageCache(256, 64).frame_count(), 4);
+  EXPECT_EQ(PageCache(0, 32).frame_count(), 0);
+}
+
+TEST(PageCacheTest, DisabledCacheAlwaysMisses) {
+  PageCache cache(0, 32);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert({0, 0}, 0);
+  EXPECT_FALSE(cache.lookup({0, 0}, 0));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(PageCacheTest, HitAfterInsert) {
+  PageCache cache(256, 32);
+  EXPECT_FALSE(cache.lookup({0, 1}, 0));
+  cache.insert({0, 1}, 0);
+  EXPECT_TRUE(cache.lookup({0, 1}, 0));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PageCacheTest, LruEvictsLeastRecentlyUsed) {
+  PageCache cache(2 * 32, 32, ReplacementPolicy::kLru);  // 2 frames
+  cache.insert({0, 0}, 0);
+  cache.insert({0, 1}, 0);
+  EXPECT_TRUE(cache.lookup({0, 0}, 0));  // 0 now most recent
+  cache.insert({0, 2}, 0);               // evicts page 1
+  EXPECT_TRUE(cache.contains({0, 0}, 0));
+  EXPECT_FALSE(cache.contains({0, 1}, 0));
+  EXPECT_TRUE(cache.contains({0, 2}, 0));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PageCacheTest, FifoIgnoresRecency) {
+  PageCache cache(2 * 32, 32, ReplacementPolicy::kFifo);
+  cache.insert({0, 0}, 0);
+  cache.insert({0, 1}, 0);
+  EXPECT_TRUE(cache.lookup({0, 0}, 0));  // does not refresh under FIFO
+  cache.insert({0, 2}, 0);               // evicts oldest: page 0
+  EXPECT_FALSE(cache.contains({0, 0}, 0));
+  EXPECT_TRUE(cache.contains({0, 1}, 0));
+}
+
+TEST(PageCacheTest, RandomPolicyEvictsSomething) {
+  PageCache cache(2 * 32, 32, ReplacementPolicy::kRandom, /*seed=*/7);
+  cache.insert({0, 0}, 0);
+  cache.insert({0, 1}, 0);
+  cache.insert({0, 2}, 0);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_TRUE(cache.contains({0, 2}, 0) || cache.contains({0, 1}, 0) ||
+              cache.contains({0, 0}, 0));
+}
+
+TEST(PageCacheTest, GenerationMismatchIsMissAndDrop) {
+  // §5: a re-initialized array's cached pages are stale.
+  PageCache cache(256, 32);
+  cache.insert({0, 3}, /*generation=*/0);
+  EXPECT_FALSE(cache.lookup({0, 3}, /*generation=*/1));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_FALSE(cache.contains({0, 3}, 0));
+}
+
+TEST(PageCacheTest, InsertRefreshesGeneration) {
+  PageCache cache(256, 32);
+  cache.insert({0, 3}, 0);
+  cache.insert({0, 3}, 2);
+  EXPECT_TRUE(cache.lookup({0, 3}, 2));
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(PageCacheTest, InvalidateArrayDropsOnlyThatArray) {
+  PageCache cache(256, 32);
+  cache.insert({0, 0}, 0);
+  cache.insert({1, 0}, 0);
+  cache.insert({0, 5}, 0);
+  cache.invalidate_array(0);
+  EXPECT_FALSE(cache.contains({0, 0}, 0));
+  EXPECT_FALSE(cache.contains({0, 5}, 0));
+  EXPECT_TRUE(cache.contains({1, 0}, 0));
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(PageCacheTest, ClearEmptiesEverything) {
+  PageCache cache(256, 32);
+  cache.insert({0, 0}, 0);
+  cache.insert({1, 1}, 0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(PageCacheTest, HitRate) {
+  PageCache cache(256, 32);
+  cache.insert({0, 0}, 0);
+  cache.lookup({0, 0}, 0);
+  cache.lookup({0, 1}, 0);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(PageCacheTest, RejectsBadConfig) {
+  EXPECT_THROW(PageCache(-1, 32), ConfigError);
+  EXPECT_THROW(PageCache(256, 0), ConfigError);
+}
+
+class CacheInvariants
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(CacheInvariants, NeverExceedsFrameCountUnderRandomTraffic) {
+  const auto [policy_idx, capacity] = GetParam();
+  PageCache cache(capacity, 32, static_cast<ReplacementPolicy>(policy_idx),
+                  /*seed=*/11);
+  SplitMix64 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const PageId page{static_cast<ArrayId>(rng.next_below(4)),
+                      static_cast<PageIndex>(rng.next_below(200))};
+    if (!cache.lookup(page, 0)) cache.insert(page, 0);
+    ASSERT_LE(cache.size(), cache.frame_count());
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CacheInvariants,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<std::int64_t>(32, 256, 1024)));
+
+TEST(CacheInvariants, LruRetainsHotPageForever) {
+  // A page touched between every insertion is never evicted.
+  PageCache cache(3 * 32, 32, ReplacementPolicy::kLru);
+  cache.insert({0, 999}, 0);
+  for (PageIndex p = 0; p < 100; ++p) {
+    ASSERT_TRUE(cache.lookup({0, 999}, 0)) << "evicted at p=" << p;
+    cache.insert({0, p}, 0);
+  }
+}
+
+}  // namespace
+}  // namespace sap

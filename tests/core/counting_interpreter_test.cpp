@@ -1,0 +1,103 @@
+#include "core/counting_interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/program_builder.hpp"
+#include "core/simulator.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+SimulationResult run(const CompiledProgram& prog, std::uint32_t pes,
+                     std::int64_t cache = 256, std::int64_t ps = 32) {
+  MachineConfig config;
+  config.num_pes = pes;
+  config.cache_elements = cache;
+  config.page_size = ps;
+  return Simulator(config).run(prog, ExecutionMode::kCounting);
+}
+
+TEST(CountingInterpreterTest, MatchedLoopHasZeroRemote) {
+  // §7.1.1: matched distribution always achieves 0% remote.
+  const auto result = run(make_matched(400), 8);
+  EXPECT_EQ(result.totals.remote_reads, 0u);
+  EXPECT_EQ(result.totals.cached_reads, 0u);
+  EXPECT_EQ(result.totals.local_reads, 800u);
+  EXPECT_EQ(result.totals.writes, 400u);
+}
+
+TEST(CountingInterpreterTest, SinglePeIsAllLocal) {
+  const auto result = run(make_skewed(400, 11), 1);
+  EXPECT_EQ(result.totals.remote_reads, 0u);
+  EXPECT_EQ(result.totals.cached_reads, 0u);
+}
+
+TEST(CountingInterpreterTest, SkewedNoCacheCountsExactly) {
+  // Skew 11, ps 32: the last 11 iterations of each 32-element page read
+  // the next page — remote on every multi-PE machine without a cache.
+  const auto result = run(make_skewed(320, 11), 4, /*cache=*/0);
+  // Reads: B(k+11) and C(k): C is matched (local). B remote for 11/32.
+  EXPECT_EQ(result.totals.total_reads(), 640u);
+  EXPECT_EQ(result.totals.remote_reads, 110u);  // 10 pages x 11
+  EXPECT_DOUBLE_EQ(result.remote_read_fraction(), 110.0 / 640.0);
+}
+
+TEST(CountingInterpreterTest, SkewedWithCacheOneFetchPerPage) {
+  const auto result = run(make_skewed(320, 11), 4, /*cache=*/256);
+  // One remote fetch per foreign page touched; the rest hit the cache.
+  EXPECT_EQ(result.totals.remote_reads, 10u);
+  EXPECT_EQ(result.totals.cached_reads, 100u);
+}
+
+TEST(CountingInterpreterTest, WritesBalancedUnderModulo) {
+  const auto result = run(make_matched(32 * 8 * 4), 8);
+  const auto balance = result.write_balance();
+  EXPECT_DOUBLE_EQ(balance.imbalance(), 1.0);  // every PE writes 4 pages
+}
+
+TEST(CountingInterpreterTest, NetworkTrafficMatchesRemoteReads) {
+  const auto result = run(make_skewed(320, 11), 4, /*cache=*/0);
+  // Each remote read = request + reply.
+  EXPECT_EQ(result.network.messages, 2 * result.totals.remote_reads);
+  EXPECT_EQ(result.network.data_messages, result.totals.remote_reads);
+}
+
+TEST(CountingInterpreterTest, PayloadIsWholePages) {
+  const auto result = run(make_skewed(320, 11), 4, /*cache=*/256);
+  // 10 fetched pages of B(331): 9 full pages of 32 plus the partial final
+  // page holding 331 - 320 = 11 valid elements (§2's partial page).
+  EXPECT_EQ(result.network.payload_elements, 9u * 32u + 11u);
+}
+
+TEST(CountingInterpreterTest, RandomPermutationMostlyRemote) {
+  const auto result = run(make_random_permutation(1024, 7), 8, 256);
+  // Indirect reads of B plus reads of the permutation table P (matched).
+  EXPECT_GT(result.remote_read_fraction(), 0.25);
+}
+
+TEST(CountingInterpreterTest, CacheStatsConsistent) {
+  const auto result = run(make_skewed(320, 11), 4, 256);
+  EXPECT_EQ(result.cache_totals.hits, result.totals.cached_reads);
+  // Every remote read was a cache miss first.
+  EXPECT_EQ(result.cache_totals.misses, result.totals.remote_reads);
+}
+
+TEST(CountingInterpreterTest, DotProductSerializesOnOwner) {
+  const auto result = run(make_dot_product(256), 4);
+  // All reads happen on the PE owning S(1) = page 0 = PE 0.
+  EXPECT_EQ(result.per_pe[0].total_reads(), 512u);
+  EXPECT_EQ(result.per_pe[1].total_reads(), 0u);
+  EXPECT_EQ(result.per_pe[0].writes, 1u);  // single commit
+}
+
+TEST(CountingInterpreterTest, StencilBoundaryCounts) {
+  const auto result = run(make_stencil_2d(20, 20), 4);
+  // (rows-2)*(cols-2) interior writes; IN is read 6 times per point
+  // (4 neighbours + the centre twice).
+  EXPECT_EQ(result.totals.writes, 18u * 18u);
+  EXPECT_EQ(result.totals.total_reads(), 6u * 18u * 18u);
+}
+
+}  // namespace
+}  // namespace sap

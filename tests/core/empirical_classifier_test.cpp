@@ -1,0 +1,50 @@
+#include "core/empirical_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+TEST(EmpiricalClassifierTest, MatchedSynthetic) {
+  const auto result = classify_empirical(make_matched(512), MachineConfig{});
+  EXPECT_EQ(result.cls, AccessClass::kMatched);
+  EXPECT_LT(result.nocache_max_percent, 0.5);
+}
+
+TEST(EmpiricalClassifierTest, SkewedSynthetic) {
+  const auto result =
+      classify_empirical(make_skewed(512, 11), MachineConfig{});
+  EXPECT_EQ(result.cls, AccessClass::kSkewed);
+  EXPECT_LT(result.cached_max_percent, 12.0);
+}
+
+TEST(EmpiricalClassifierTest, RandomSynthetic) {
+  const auto result =
+      classify_empirical(make_random_permutation(1024, 7), MachineConfig{});
+  EXPECT_EQ(result.cls, AccessClass::kRandom);
+  // At 2 PEs half the permuted reads still land on the owner, diluting
+  // the minimum; the max stays high regardless of the cache (§7.1.4).
+  EXPECT_GT(result.cached_min_percent, 10.0);
+  EXPECT_GT(result.cached_max_percent, 20.0);
+}
+
+TEST(EmpiricalClassifierTest, CyclicSyntheticViaCacheRescue) {
+  // Read advances 4x faster than the write: page-jumping without a cache,
+  // one fetch per page with one (§7.1.3's signature).
+  const auto result =
+      classify_empirical(make_cyclic(512, 4), MachineConfig{});
+  EXPECT_EQ(result.cls, AccessClass::kCyclic);
+  EXPECT_GT(result.nocache_max_percent, 25.0);
+  EXPECT_LT(result.cached_max_percent, 12.0);
+}
+
+TEST(EmpiricalClassifierTest, RationaleIsInformative) {
+  const auto result = classify_empirical(make_matched(256), MachineConfig{});
+  EXPECT_FALSE(result.rationale.empty());
+  EXPECT_NE(result.rationale.find("0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,125 @@
+#include "core/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/program_builder.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+/// Reader over a fixed map of (array, first-index) -> value.
+class MapReader final : public ArrayReader {
+ public:
+  void set(const std::string& array, std::int64_t i, double v) {
+    values_[{array, i}] = v;
+  }
+  std::optional<double> read(
+      const std::string& array,
+      const std::vector<std::int64_t>& indices) override {
+    const auto it = values_.find({array, indices.at(0)});
+    if (it == values_.end()) return std::nullopt;  // simulate suspension
+    return it->second;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::int64_t>, double> values_;
+};
+
+TEST(EvalTest, Arithmetic) {
+  EvalEnv env;
+  MapReader reader;
+  const Ex e = (Ex(2.0) + Ex(3.0)) * Ex(4.0) - Ex(10.0) / Ex(5.0);
+  EXPECT_DOUBLE_EQ(*eval_expr(*e.materialize(), env, reader), 18.0);
+}
+
+TEST(EvalTest, VariablesAndNegation) {
+  EvalEnv env;
+  env.set("X", 7.0);
+  MapReader reader;
+  const Ex e = -ex_var("X") + Ex(1.0);
+  EXPECT_DOUBLE_EQ(*eval_expr(*e.materialize(), env, reader), -6.0);
+}
+
+TEST(EvalTest, UnboundVariableThrows) {
+  EvalEnv env;
+  MapReader reader;
+  const Ex e = ex_var("NOPE");
+  EXPECT_THROW(eval_expr(*e.materialize(), env, reader), Error);
+}
+
+TEST(EvalTest, Intrinsics) {
+  EvalEnv env;
+  MapReader reader;
+  EXPECT_DOUBLE_EQ(
+      *eval_expr(*ex_idiv(Ex(7.0), Ex(2.0)).materialize(), env, reader), 3.0);
+  EXPECT_DOUBLE_EQ(
+      *eval_expr(*ex_idiv(Ex(-7.0), Ex(2.0)).materialize(), env, reader),
+      -3.0);  // truncation like Fortran INTEGER division
+  EXPECT_DOUBLE_EQ(
+      *eval_expr(*ex_mod(Ex(7.0), Ex(3.0)).materialize(), env, reader), 1.0);
+  EXPECT_DOUBLE_EQ(
+      *eval_expr(*ex_min(Ex(2.0), Ex(5.0)).materialize(), env, reader), 2.0);
+  EXPECT_DOUBLE_EQ(
+      *eval_expr(*ex_max(Ex(2.0), Ex(5.0)).materialize(), env, reader), 5.0);
+  EXPECT_DOUBLE_EQ(
+      *eval_expr(*ex_abs(Ex(-4.0)).materialize(), env, reader), 4.0);
+}
+
+TEST(EvalTest, DivisionByZeroThrows) {
+  EvalEnv env;
+  MapReader reader;
+  EXPECT_THROW(eval_expr(*(Ex(1.0) / Ex(0.0)).materialize(), env, reader),
+               Error);
+  EXPECT_THROW(
+      eval_expr(*ex_idiv(Ex(1.0), Ex(0.0)).materialize(), env, reader), Error);
+}
+
+TEST(EvalTest, ArrayReadGoesThroughReader) {
+  EvalEnv env;
+  env.set("K", 3.0);
+  MapReader reader;
+  reader.set("B", 3, 42.0);
+  const Ex e = ex_at("B", {ex_var("K")});
+  EXPECT_DOUBLE_EQ(*eval_expr(*e.materialize(), env, reader), 42.0);
+}
+
+TEST(EvalTest, SuspensionPropagates) {
+  EvalEnv env;
+  MapReader reader;  // empty: every read suspends
+  const Ex e = Ex(1.0) + ex_at("B", {Ex(1.0)});
+  EXPECT_EQ(eval_expr(*e.materialize(), env, reader), std::nullopt);
+}
+
+TEST(EvalTest, IndexMustBeIntegral) {
+  EvalEnv env;
+  MapReader reader;
+  EXPECT_EQ(*eval_index(*Ex(3.0).materialize(), env, reader), 3);
+  EXPECT_THROW(eval_index(*Ex(2.5).materialize(), env, reader), Error);
+}
+
+TEST(EvalTest, IndirectIndexReadsInnerArray) {
+  EvalEnv env;
+  env.set("K", 1.0);
+  MapReader reader;
+  reader.set("P", 1, 5.0);
+  reader.set("B", 5, 99.0);
+  const Ex e = ex_at("B", {ex_at("P", {ex_var("K")})});
+  EXPECT_DOUBLE_EQ(*eval_expr(*e.materialize(), env, reader), 99.0);
+}
+
+TEST(EvalTest, EnvSnapshotRestore) {
+  EvalEnv env;
+  env.set("A", 1.0);
+  env.set("B", 2.0);
+  const auto snapshot = env.values();
+  env.set("A", 9.0);
+  env.erase("B");
+  EvalEnv restored;
+  restored.restore(snapshot);
+  EXPECT_DOUBLE_EQ(restored.get("A"), 1.0);
+  EXPECT_DOUBLE_EQ(restored.get("B"), 2.0);
+}
+
+}  // namespace
+}  // namespace sap

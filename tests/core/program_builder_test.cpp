@@ -1,0 +1,125 @@
+#include "core/program_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "frontend/printer.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ProgramBuilderTest, BuildsEquivalentAstToParser) {
+  ProgramBuilder b("T");
+  b.array("A", {10});
+  b.input_array("B", {10});
+  b.scalar("Q", 0.5);
+  b.begin_loop("K", 1, 10);
+  b.assign("A", {b.var("K")}, b.var("Q") + b.at("B", {b.var("K")}));
+  b.end_loop();
+  const Program built = b.build();
+
+  const Program parsed = Parser::parse(
+      "PROGRAM T\nARRAY A(10) INIT NONE\nARRAY B(10) INIT ALL\n"
+      "SCALAR Q = 0.5\nDO K = 1, 10\n  A(K) = Q + B(K)\nEND DO\n"
+      "END PROGRAM\n");
+  EXPECT_EQ(print_program(built), print_program(parsed));
+}
+
+TEST(ProgramBuilderTest, ExpressionHandleCopiesDeeply) {
+  const Ex k = ex_var("K");
+  const Ex a = k + 1;  // consumes copies, not k itself
+  const Ex b = k + 2;
+  EXPECT_TRUE(k.valid());
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+}
+
+TEST(ProgramBuilderTest, TakeConsumesHandle) {
+  Ex e = Ex(1.0) + Ex(2.0);
+  auto ptr = e.take();
+  EXPECT_FALSE(e.valid());
+  EXPECT_THROW(e.take(), Error);
+  EXPECT_NE(ptr, nullptr);
+}
+
+TEST(ProgramBuilderTest, NestedLoopsAndScalarAssign) {
+  ProgramBuilder b("T");
+  b.array("A", {4, 4});
+  b.scalar("S", 0.0);
+  b.begin_loop("I", 1, 4);
+  b.scalar_assign("S", b.var("I") * 2.0);
+  b.begin_loop("J", 1, 4);
+  b.assign("A", {b.var("I"), b.var("J")}, b.var("S"));
+  b.end_loop();
+  b.end_loop();
+  const Program p = b.build();
+  const auto& outer = std::get<DoLoop>(p.body[0]->node);
+  EXPECT_EQ(outer.body.size(), 2u);
+}
+
+TEST(ProgramBuilderTest, UnclosedLoopFailsBuild) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.begin_loop("K", 1, 4);
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(ProgramBuilderTest, EndLoopWithoutBeginFails) {
+  ProgramBuilder b("T");
+  EXPECT_THROW(b.end_loop(), Error);
+}
+
+TEST(ProgramBuilderTest, CompileRunsSemaAndKeepsCustomInits) {
+  ProgramBuilder b("T");
+  b.array("A", {8});
+  b.input_array("P", {8});
+  b.custom_init("P", [](std::int64_t i) { return double(i + 1); });
+  b.begin_loop("K", 1, 8);
+  b.assign("A", {b.var("K")}, b.at("P", {b.var("K")}));
+  b.end_loop();
+  const CompiledProgram compiled = b.compile();
+  EXPECT_EQ(compiled.custom_inits.size(), 1u);
+  EXPECT_TRUE(compiled.sema.arrays.count("A"));
+}
+
+TEST(ProgramBuilderTest, CompileRejectsSemanticErrors) {
+  ProgramBuilder b("T");
+  b.array("A", {8});
+  b.begin_loop("K", 1, 8);
+  b.assign("A", {b.var("K")}, b.at("MISSING", {b.var("K")}));
+  b.end_loop();
+  EXPECT_THROW(b.compile(), SemanticError);
+}
+
+TEST(ProgramBuilderTest, ImplicitNumericConversions) {
+  // int and double literals convert implicitly in expression positions.
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {b.var("K")}, b.var("K") * 2 + 0.5);
+  b.end_loop();
+  EXPECT_NO_THROW(b.compile());
+}
+
+TEST(ProgramBuilderTest, PrefixArrayDeclaration) {
+  ProgramBuilder b("T");
+  b.prefix_array("X", {100}, 10);
+  const Program p = b.build();
+  EXPECT_EQ(p.arrays[0].init, InitMode::kPrefix);
+  EXPECT_EQ(p.arrays[0].init_prefix, 10);
+}
+
+TEST(ProgramBuilderTest, ReinitStatement) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {b.var("K")}, 1.0);
+  b.end_loop();
+  b.reinit("A");
+  const Program p = b.build();
+  EXPECT_TRUE(std::holds_alternative<ReinitStmt>(p.body[1]->node));
+}
+
+}  // namespace
+}  // namespace sap

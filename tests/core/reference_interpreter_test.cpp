@@ -1,0 +1,135 @@
+#include "core/reference_interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/program_builder.hpp"
+#include "kernels/livermore.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ReferenceInterpreterTest, SimpleLoopValues) {
+  ProgramBuilder b("T");
+  b.array("A", {10});
+  b.begin_loop("K", 1, 10);
+  b.assign("A", {b.var("K")}, b.var("K") * 2.0);
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  const SaArray& a = registry->by_name("A");
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.read(i), 2.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(ReferenceInterpreterTest, InputArraysGetSyntheticData) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.input_array("B", {4});
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {b.var("K")}, b.at("B", {b.var("K")}));
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(registry->by_name("A").read(i),
+                     synthetic_init_value("B", i));
+    EXPECT_GE(registry->by_name("B").read(i), 0.5);  // positive init data
+  }
+}
+
+TEST(ReferenceInterpreterTest, RecurrenceUsesEarlierWrites) {
+  // X(i) = X(i-1) + 1 with X(1) = seed: X(i) = seed + i - 1.
+  ProgramBuilder b("T");
+  b.prefix_array("X", {10}, 1);
+  b.begin_loop("I", 2, 10);
+  b.assign("X", {b.var("I")}, b.at("X", {b.var("I") - 1}) + 1.0);
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  const double seed = synthetic_init_value("X", 0);
+  EXPECT_DOUBLE_EQ(registry->by_name("X").read(9), seed + 9.0);
+}
+
+TEST(ReferenceInterpreterTest, ReductionCommitsOnce) {
+  // Dot product of the synthetic init data.
+  ProgramBuilder b("T");
+  b.array("S", {1});
+  b.input_array("X", {50});
+  b.begin_loop("K", 1, 50);
+  b.assign("S", {1}, b.at("S", {1}) + b.at("X", {b.var("K")}));
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  double expected = 0.0;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    expected += synthetic_init_value("X", i);
+  }
+  EXPECT_DOUBLE_EQ(registry->by_name("S").read(0), expected);
+}
+
+TEST(ReferenceInterpreterTest, PerElementReductionCommitsAtTripEnd) {
+  // W(i) accumulates i-1 terms then commits; later iterations read it.
+  ProgramBuilder b("T");
+  b.prefix_array("W", {6}, 1);
+  b.begin_loop("I", 2, 6);
+  b.begin_loop("K", 1, b.var("I") - 1);
+  b.assign("W", {b.var("I")}, b.at("W", {b.var("I")}) + b.at("W", {b.var("K")}));
+  b.end_loop();
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  // W(2) = W(1); W(3) = W(1)+W(2); each is a prefix-sum doubling chain.
+  const double w1 = synthetic_init_value("W", 0);
+  EXPECT_DOUBLE_EQ(registry->by_name("W").read(1), w1);
+  EXPECT_DOUBLE_EQ(registry->by_name("W").read(2), 2.0 * w1);
+  EXPECT_DOUBLE_EQ(registry->by_name("W").read(3), 4.0 * w1);
+}
+
+TEST(ReferenceInterpreterTest, DoubleWriteTraps) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {1}, b.var("K"));
+  b.end_loop();
+  EXPECT_THROW(run_reference(b.compile()), DoubleWriteError);
+}
+
+TEST(ReferenceInterpreterTest, ReadBeforeWriteTraps) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.array("B", {4});
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {b.var("K")}, b.at("B", {b.var("K")}));  // B never written
+  b.end_loop();
+  EXPECT_THROW(run_reference(b.compile()), UndefinedReadError);
+}
+
+TEST(ReferenceInterpreterTest, ZeroTripLoopRunsNothing) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.begin_loop("K", 5, 4);  // empty range
+  b.assign("A", {b.var("K")}, 1.0);
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  EXPECT_EQ(registry->by_name("A").defined_count(), 0);
+}
+
+TEST(ReferenceInterpreterTest, NegativeStepLoop) {
+  ProgramBuilder b("T");
+  b.array("A", {5});
+  b.begin_loop_step("K", 5, 1, Ex(-2));
+  b.assign("A", {b.var("K")}, b.var("K"));
+  b.end_loop();
+  const auto registry = run_reference(b.compile());
+  EXPECT_EQ(registry->by_name("A").defined_count(), 3);  // 5, 3, 1
+  EXPECT_DOUBLE_EQ(registry->by_name("A").read(4), 5.0);
+}
+
+TEST(ReferenceInterpreterTest, AllKernelsExecuteCleanly) {
+  for (const auto& spec : livermore_kernels()) {
+    EXPECT_NO_THROW({
+      const auto registry = run_reference(spec.build());
+      EXPECT_GT(registry->total_elements(), 0) << spec.id;
+    }) << spec.id;
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,124 @@
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/program_builder.hpp"
+#include "kernels/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(SimulatorTest, CompileSourceEndToEnd) {
+  const CompiledProgram prog = compile_source(
+      "PROGRAM demo\nARRAY A(64)\nARRAY B(64) INIT ALL\n"
+      "DO k = 1, 64\n  A(k) = B(k)\nEND DO\nEND PROGRAM\n");
+  EXPECT_EQ(prog.name(), "DEMO");
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  const SimulationResult result = sim.run(prog);
+  EXPECT_EQ(result.totals.writes, 64u);
+  EXPECT_EQ(result.remote_read_fraction(), 0.0);  // matched
+}
+
+TEST(SimulatorTest, CompileRejectsBadSource) {
+  EXPECT_THROW(compile_source("PROGRAM x\nA(1) = 2\nEND PROGRAM\n"),
+               SemanticError);
+  EXPECT_THROW(compile_source("not a program"), ParseError);
+}
+
+TEST(SimulatorTest, SyntheticInitIsDeterministicAndPositive) {
+  EXPECT_DOUBLE_EQ(synthetic_init_value("A", 3),
+                   synthetic_init_value("A", 3));
+  EXPECT_NE(synthetic_init_value("A", 3), synthetic_init_value("A", 4));
+  EXPECT_NE(synthetic_init_value("A", 3), synthetic_init_value("B", 3));
+  for (std::int64_t i = 0; i < 100; ++i) {
+    const double v = synthetic_init_value("X", i);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 1.5);
+  }
+}
+
+TEST(SimulatorTest, MaterializeRespectsInitModes) {
+  ProgramBuilder b("T");
+  b.array("OUT", {8});
+  b.input_array("IN", {8});
+  b.prefix_array("SEED", {8}, 3);
+  b.begin_loop("K", 1, 8);
+  b.assign("OUT", {b.var("K")}, b.at("IN", {b.var("K")}));
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  ArrayRegistry registry;
+  materialize_arrays(prog, registry);
+  EXPECT_EQ(registry.by_name("OUT").defined_count(), 0);
+  EXPECT_EQ(registry.by_name("IN").defined_count(), 8);
+  EXPECT_EQ(registry.by_name("SEED").defined_count(), 3);
+}
+
+TEST(SimulatorTest, CustomInitOverridesSynthetic) {
+  ProgramBuilder b("T");
+  b.array("A", {4});
+  b.input_array("P", {4});
+  b.custom_init("P", [](std::int64_t i) { return double(10 + i); });
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {b.var("K")}, b.at("P", {b.var("K")}));
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  ArrayRegistry registry;
+  materialize_arrays(prog, registry);
+  EXPECT_DOUBLE_EQ(registry.by_name("P").read(0), 10.0);
+  EXPECT_DOUBLE_EQ(registry.by_name("P").read(3), 13.0);
+}
+
+TEST(SimulatorTest, BothModesProduceSameResultObjectShape) {
+  const CompiledProgram prog = make_skewed(128, 3);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  const auto counting = sim.run(prog, ExecutionMode::kCounting);
+  const auto dataflow = sim.run(prog, ExecutionMode::kDataflow);
+  EXPECT_EQ(counting.per_pe.size(), 4u);
+  EXPECT_EQ(dataflow.per_pe.size(), 4u);
+  EXPECT_EQ(counting.totals, dataflow.totals);
+}
+
+TEST(SimulatorTest, RunWithMachineExposesInternals) {
+  const CompiledProgram prog = make_skewed(128, 3);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  std::unique_ptr<Machine> machine;
+  sim.run_with_machine(prog, ExecutionMode::kCounting, machine);
+  ASSERT_NE(machine, nullptr);
+  EXPECT_EQ(machine->arrays().size(), 3u);  // A, B, C
+  EXPECT_TRUE(machine->arrays().by_name("A").is_defined(0));
+}
+
+TEST(SimulatorTest, InvalidConfigRejectedAtConstruction) {
+  EXPECT_THROW(Simulator(MachineConfig{}.with_pes(0)), ConfigError);
+}
+
+TEST(SimulatorTest, CommitPointsPrecomputedForReductions) {
+  const CompiledProgram dot = make_dot_product(32);
+  ASSERT_EQ(dot.commit_loops.size(), 1u);
+  EXPECT_TRUE(dot.commit_loops.begin()->second.at_exit);
+
+  ProgramBuilder b("per_elem");
+  b.array("W", {8});
+  b.input_array("B", {8, 8});
+  b.begin_loop("I", 1, 8);
+  b.begin_loop("K", 1, 8);
+  b.assign("W", {b.var("I")},
+           b.at("W", {b.var("I")}) + b.at("B", {b.var("K"), b.var("I")}));
+  b.end_loop();
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  ASSERT_EQ(prog.commit_loops.size(), 1u);
+  const CommitPoint cp = prog.commit_loops.begin()->second;
+  EXPECT_FALSE(cp.at_exit);
+  ASSERT_NE(cp.loop, nullptr);
+  EXPECT_EQ(cp.loop->var, "I");  // commits at each trip of the I loop
+}
+
+TEST(SimulatorTest, ExecutionModeNames) {
+  EXPECT_EQ(to_string(ExecutionMode::kCounting), "counting");
+  EXPECT_EQ(to_string(ExecutionMode::kDataflow), "dataflow");
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,61 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+TEST(SweepTest, PeSweepProducesOnePointPerCount) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  const auto series = sweep_pes(prog, MachineConfig{}, {1, 2, 4, 8}, "s",
+                                remote_read_percent());
+  ASSERT_EQ(series.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(series.y_at(1), 0.0);  // single PE: everything local
+  EXPECT_GT(series.y_at(2), 0.0);
+}
+
+TEST(SweepTest, PageSizeSweep) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  const auto series =
+      sweep_page_sizes(prog, MachineConfig{}.with_pes(4).with_cache(0),
+                       {16, 32, 64}, "ps", remote_read_percent());
+  ASSERT_EQ(series.points.size(), 3u);
+  // Larger pages -> fewer boundary crossings -> lower remote fraction.
+  EXPECT_GT(series.y_at(16), series.y_at(64));
+}
+
+TEST(SweepTest, CacheSizeSweepMonotoneForRandom) {
+  const CompiledProgram prog = make_random_permutation(512, 3);
+  const auto series = sweep_cache_sizes(
+      prog, MachineConfig{}.with_pes(8), {32, 128, 512, 2048}, "c",
+      remote_read_percent());
+  // §7.1.4: "Increasing the cache size will help."
+  EXPECT_GT(series.y_at(32), series.y_at(2048));
+}
+
+TEST(SweepTest, FigureSeriesLayout) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  const auto series = figure_series(prog, MachineConfig{}, {1, 2, 4}, {32, 64});
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0].label, "Cache, ps 32");
+  EXPECT_EQ(series[1].label, "Cache, ps 64");
+  EXPECT_EQ(series[2].label, "No Cache, ps 32");
+  EXPECT_EQ(series[3].label, "No Cache, ps 64");
+  for (const auto& s : series) EXPECT_EQ(s.points.size(), 3u);
+  // Cache never loses to no-cache at the same page size.
+  EXPECT_LE(series[0].y_at(4), series[2].y_at(4));
+  EXPECT_LE(series[1].y_at(4), series[3].y_at(4));
+}
+
+TEST(SweepTest, MetricIsPercent) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  const auto series = sweep_pes(prog, MachineConfig{}.with_cache(0), {2}, "s",
+                                remote_read_percent());
+  // Fractions would be < 1; percentages are > 1 for this workload.
+  EXPECT_GT(series.y_at(2), 1.0);
+}
+
+}  // namespace
+}  // namespace sap

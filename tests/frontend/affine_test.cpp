@@ -1,0 +1,167 @@
+#include "frontend/affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace sap {
+namespace {
+
+/// Parses a one-loop program and returns the affine form of the first
+/// read of `array` inside it, plus the context to query strides.
+struct Fixture {
+  Program program;
+  SemanticInfo sema;
+  AffineContext ctx;
+
+  explicit Fixture(std::string_view src) : program(Parser::parse(src)) {
+    sema = analyze(program);
+    ctx.program = &program;
+    ctx.sema = &sema;
+    ctx.loops = sema.assign_sites.at(0).loops;
+  }
+
+  const ArrayAssign& assign() const {
+    return *sema.assign_sites.at(0).assign;
+  }
+
+  AffineIndex target_affine() const {
+    ArrayRefExpr target;
+    target.name = assign().array;
+    for (const auto& idx : assign().indices) {
+      target.indices.push_back(clone(*idx));
+    }
+    const ArrayShape shape(
+        program.arrays[sema.arrays.at(assign().array)].dims);
+    return element_affine(target, shape, ctx);
+  }
+};
+
+TEST(AffineTest, SimpleLoopVar) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nDO k = 1, 50\n  A(k + 10) = 1\nEND DO\n"
+      "END PROGRAM\n");
+  const AffineIndex aff = f.target_affine();
+  ASSERT_TRUE(aff.affine);
+  EXPECT_TRUE(aff.constant_known);
+  EXPECT_EQ(aff.coeffs.at("K"), 1);
+  EXPECT_EQ(aff.constant, 9);  // (k + 10) - lower bound 1
+}
+
+TEST(AffineTest, ScaledAndFolded) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nSCALAR c = 3\n"
+      "DO k = 1, 20\n  A(2 * k + c - 1) = 1\nEND DO\nEND PROGRAM\n");
+  const AffineIndex aff = f.target_affine();
+  ASSERT_TRUE(aff.affine);
+  EXPECT_EQ(aff.coeffs.at("K"), 2);
+  EXPECT_EQ(aff.constant, 1);  // 2k + 3 - 1 -> -1 for the lower bound
+}
+
+TEST(AffineTest, RowMajorElementStrides) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(10, 7)\nDO j = 2, 9\n  A(j, 3) = 1\nEND DO\n"
+      "END PROGRAM\n");
+  const AffineIndex aff = f.target_affine();
+  ASSERT_TRUE(aff.affine);
+  EXPECT_EQ(aff.coeffs.at("J"), 7);  // row stride
+  const auto stride = stride_per_trip(aff, *f.ctx.loops[0], f.ctx);
+  ASSERT_TRUE(stride.has_value());
+  EXPECT_EQ(*stride, 7);
+}
+
+TEST(AffineTest, LoopStepScalesStride) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nDO k = 1, 50, 2\n  A(k) = 1\nEND DO\n"
+      "END PROGRAM\n");
+  const auto stride =
+      stride_per_trip(f.target_affine(), *f.ctx.loops[0], f.ctx);
+  EXPECT_EQ(*stride, 2);
+}
+
+TEST(AffineTest, InductionScalarGivesStrideButUnknownConstant) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nSCALAR i = 0\n"
+      "DO k = 1, 50\n  i = i + 1\n  A(i) = k\nEND DO\nEND PROGRAM\n");
+  const AffineIndex aff = f.target_affine();
+  ASSERT_TRUE(aff.affine);
+  EXPECT_FALSE(aff.constant_known);
+  const auto stride = stride_per_trip(aff, *f.ctx.loops[0], f.ctx);
+  EXPECT_EQ(*stride, 1);
+}
+
+TEST(AffineTest, IndirectIndexIsNotAffine) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(10)\nARRAY P(10) INIT ALL\n"
+      "DO k = 1, 10\n  A(k) = 1\nEND DO\nEND PROGRAM\n");
+  // Build B(P(k)) by hand: indirect index.
+  std::vector<ExprPtr> inner;
+  inner.push_back(make_var("K"));
+  std::vector<ExprPtr> outer;
+  outer.push_back(make_array_ref("P", std::move(inner)));
+  const Expr ref{{}, ArrayRefExpr{"A", std::move(outer)}};
+  const AffineIndex aff = affine_of_index(
+      *std::get<ArrayRefExpr>(ref.node).indices[0], f.ctx);
+  EXPECT_FALSE(aff.affine);
+}
+
+TEST(AffineTest, NonConstScalarIsNotAffine) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nSCALAR s = 0\n"
+      "DO k = 1, 10\n  s = s * 2\n  A(k) = s\nEND DO\nEND PROGRAM\n");
+  // s is assigned (not an induction: s = s*2 has no literal step form).
+  AffineContext ctx = f.ctx;
+  const Expr e{{}, VarRef{"S"}};
+  EXPECT_FALSE(affine_of_index(e, ctx).affine);
+}
+
+TEST(AffineTest, ExactDivision) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nDO k = 1, 20\n  A((4 * k) / 2) = 1\n"
+      "END DO\nEND PROGRAM\n");
+  const AffineIndex aff = f.target_affine();
+  ASSERT_TRUE(aff.affine);
+  EXPECT_EQ(aff.coeffs.at("K"), 2);
+}
+
+TEST(AffineTest, InexactDivisionNotAffine) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nDO k = 1, 20\n  A(k / 2 + 50) = 1\n"
+      "END DO\nEND PROGRAM\n");
+  EXPECT_FALSE(f.target_affine().affine);
+}
+
+TEST(AffineTest, ConstExprEvaluation) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(10)\nSCALAR c = 6\n"
+      "DO k = 1, 5\n  A(k) = 1\nEND DO\nEND PROGRAM\n");
+  const Expr e{{}, BinaryExpr{BinaryOp::kMul, make_var("C"), make_number(2)}};
+  EXPECT_DOUBLE_EQ(*eval_const_expr(e, f.ctx), 12.0);
+  const Expr idiv{{}, IntrinsicExpr{IntrinsicKind::kIDiv,
+                                    [] {
+                                      std::vector<ExprPtr> args;
+                                      args.push_back(make_number(7));
+                                      args.push_back(make_number(2));
+                                      return args;
+                                    }()}};
+  EXPECT_DOUBLE_EQ(*eval_const_expr(idiv, f.ctx), 3.0);
+}
+
+TEST(AffineTest, TripCounts) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nDO k = 2, 10, 3\n  A(k) = 1\nEND DO\n"
+      "END PROGRAM\n");
+  EXPECT_EQ(*const_trip_count(*f.ctx.loops[0], f.ctx), 3);  // 2, 5, 8
+}
+
+TEST(AffineTest, RuntimeBoundsHaveNoTripCount) {
+  Fixture f(
+      "PROGRAM t\nARRAY A(100)\nSCALAR n = 0\n"
+      "DO l = 1, 3\n  n = n + 1\n  DO k = 1, n\n    A(k + 10 * l) = 1\n"
+      "  END DO\nEND DO\nEND PROGRAM\n");
+  // Inner loop bound depends on a live scalar.
+  EXPECT_FALSE(const_trip_count(*f.ctx.loops[1], f.ctx).has_value());
+}
+
+}  // namespace
+}  // namespace sap

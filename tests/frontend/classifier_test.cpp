@@ -1,0 +1,170 @@
+#include "frontend/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+AccessClass classify_src(std::string_view src) {
+  Program p = Parser::parse(src);
+  const SemanticInfo sema = analyze(p);
+  return classify_program(p, sema).cls;
+}
+
+TEST(ClassifierTest, MatchedWhenAllIndicesEqual) {
+  // §7.1.1: "all array indices equal to one another."
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+                         "ARRAY C(100) INIT ALL\n"
+                         "DO k = 1, 100\n  A(k) = B(k) - C(k)\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kMatched);
+}
+
+TEST(ClassifierTest, SkewedOnConstantOffset) {
+  // §7.1.2: "indices ... offset from one another by a constant."
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100)\nARRAY B(200) INIT ALL\n"
+                         "DO k = 1, 100\n  A(k) = B(k + 11)\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kSkewed);
+}
+
+TEST(ClassifierTest, CyclicOnStrideMismatch) {
+  // §7.1.3: "the write index is changing twice as slowly as the read."
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100)\nARRAY B(200) INIT ALL\n"
+                         "DO k = 1, 100\n  A(k) = B(2 * k)\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kCyclic);
+}
+
+TEST(ClassifierTest, RandomOnIndirectIndex) {
+  // §7.1.4: "permutation lookups."
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+                         "ARRAY P(100) INIT ALL\n"
+                         "DO k = 1, 100\n  A(k) = B(P(k))\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kRandom);
+}
+
+TEST(ClassifierTest, MultiDimSkewIsCyclic) {
+  // §7.1.3 / Figure 3: skew plus an outer sweep revisiting the pages.
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100, 7)\n"
+                         "ARRAY B(101, 8) INIT ALL\n"
+                         "DO k = 2, 6\n  DO j = 2, 100\n"
+                         "    A(j, k) = B(j - 1, k + 1)\n  END DO\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kCyclic);
+}
+
+TEST(ClassifierTest, ReductionWithHugeRevisitedWindowIsRandom) {
+  // GLR-style: the column walk revisits far more pages than the cache.
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY W(100) INIT PREFIX 1\n"
+                         "ARRAY B(100, 100) INIT ALL\n"
+                         "DO i = 2, 100\n  DO k = 1, i - 1\n"
+                         "    W(i) = W(i) + B(k, i) * W(i - k)\n"
+                         "  END DO\nEND DO\nEND PROGRAM\n"),
+            AccessClass::kRandom);
+}
+
+TEST(ClassifierTest, StreamOverflowEscalatesToRandom) {
+  // Many distinct far-apart streams exceed the 8 frames (ADI-style).
+  std::string src =
+      "PROGRAM t\nARRAY A(2000)\n";
+  for (char c = 'B'; c <= 'M'; ++c) {
+    src += std::string("ARRAY ") + c + "(4000) INIT ALL\n";
+  }
+  src += "DO idx = 1, 1000\n  A(idx) = ";
+  bool first = true;
+  for (char c = 'B'; c <= 'M'; ++c) {
+    if (!first) src += " + ";
+    src += std::string(1, c) + "(idx + 999)";
+    first = false;
+  }
+  src += "\nEND DO\nEND PROGRAM\n";
+  EXPECT_EQ(classify_src(src), AccessClass::kRandom);
+}
+
+TEST(ClassifierTest, LoopInvariantReadIsMatched) {
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100)\nARRAY B(10) INIT ALL\n"
+                         "DO k = 1, 100\n  A(k) = B(3)\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kMatched);
+}
+
+TEST(ClassifierTest, ClassOrderingIsWorstRead) {
+  // One random read poisons an otherwise matched loop.
+  EXPECT_EQ(classify_src("PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+                         "ARRAY P(100) INIT ALL\n"
+                         "DO k = 1, 100\n  A(k) = B(k) + B(P(k))\nEND DO\n"
+                         "END PROGRAM\n"),
+            AccessClass::kRandom);
+}
+
+TEST(ClassifierTest, ReportMentionsLoopAndReads) {
+  Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(200) INIT ALL\n"
+      "DO k = 1, 100\n  A(k) = B(k + 5)\nEND DO\nEND PROGRAM\n");
+  const SemanticInfo sema = analyze(p);
+  const auto result = classify_program(p, sema);
+  const std::string report = result.report();
+  EXPECT_NE(report.find("skewed"), std::string::npos);
+  EXPECT_NE(report.find("B"), std::string::npos);
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_EQ(result.loops[0].reads.size(), 1u);
+  EXPECT_EQ(result.loops[0].reads[0].skew, 5);
+}
+
+TEST(ClassifierTest, SkewMagnitudeDoesNotChangeClass) {
+  // §8: "for an SD loop with large skew, we observed a reduction from 22%
+  // remote reads to 1%" — large skews are still SD.
+  for (const int skew : {1, 11, 100, 500}) {
+    const auto prog = make_skewed(400, skew);
+    EXPECT_EQ(classify_program(prog.program, prog.sema).cls,
+              AccessClass::kSkewed)
+        << "skew=" << skew;
+  }
+}
+
+TEST(ClassifierTest, ClassifierConfigFrames) {
+  ClassifierConfig config;
+  config.page_size = 32;
+  config.cache_elements = 256;
+  EXPECT_EQ(config.cache_frames(), 8);
+  config.page_size = 64;
+  EXPECT_EQ(config.cache_frames(), 4);
+}
+
+struct KernelClassCase {
+  const char* id;
+};
+
+class KernelStaticClass : public ::testing::TestWithParam<KernelClassCase> {};
+
+TEST_P(KernelStaticClass, MatchesPaperClass) {
+  const KernelSpec& spec = kernel_by_id(GetParam().id);
+  const CompiledProgram prog = spec.build();
+  const auto result = classify_program(prog.program, prog.sema);
+  EXPECT_EQ(result.cls, spec.paper_class) << result.report();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelStaticClass,
+    ::testing::Values(KernelClassCase{"k01_hydro"}, KernelClassCase{"k02_iccg"},
+                      KernelClassCase{"k03_inner_product"},
+                      KernelClassCase{"k05_tridiag"}, KernelClassCase{"k06_glr"},
+                      KernelClassCase{"k07_eos"}, KernelClassCase{"k08_adi"},
+                      KernelClassCase{"k09_integrate_predictors"},
+                      KernelClassCase{"k10_diff_predictors"},
+                      KernelClassCase{"k11_first_sum"},
+                      KernelClassCase{"k12_first_diff"},
+                      KernelClassCase{"k13_pic2d"},
+                      KernelClassCase{"k14_pic1d"},
+                      KernelClassCase{"k18_hydro2d"},
+                      KernelClassCase{"k21_matmul"},
+                      KernelClassCase{"k23_implicit_hydro2d"}));
+
+}  // namespace
+}  // namespace sap

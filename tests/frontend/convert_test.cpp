@@ -1,0 +1,106 @@
+#include "frontend/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reference_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sa_check.hpp"
+#include "kernels/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ConvertTest, CleanProgramUnchanged) {
+  const Program input = Parser::parse(
+      "PROGRAM t\nARRAY A(10)\nARRAY B(10) INIT ALL\n"
+      "DO k = 1, 10\n  A(k) = B(k)\nEND DO\nEND PROGRAM\n");
+  const auto result = convert_to_single_assignment(input);
+  EXPECT_FALSE(result.changed());
+  EXPECT_NE(result.report().find("already"), std::string::npos);
+}
+
+TEST(ConvertTest, ReductionMarked) {
+  const Program input = Parser::parse(
+      "PROGRAM t\nARRAY W(10) INIT PREFIX 1\nARRAY B(10) INIT ALL\n"
+      "DO i = 2, 10\n  W(i) = W(i) + B(i)\nEND DO\nEND PROGRAM\n");
+  const auto result = convert_to_single_assignment(input);
+  ASSERT_EQ(result.actions.size(), 1u);
+  EXPECT_EQ(result.actions[0].kind, ConversionActionKind::kMarkedReduction);
+}
+
+TEST(ConvertTest, SequentialOverwriteVersioned) {
+  const Program input = make_nonsa_sequential_overwrite(16);
+  const auto result = convert_to_single_assignment(input);
+
+  bool versioned = false;
+  for (const auto& action : result.actions) {
+    if (action.kind == ConversionActionKind::kRenamedVersion &&
+        action.array == "A") {
+      versioned = true;
+    }
+  }
+  EXPECT_TRUE(versioned);
+
+  // The converted program must now pass the static check cleanly and run
+  // without traps; C must read the *new* version (B*2).
+  Program converted = clone(result.program);
+  const SemanticInfo sema = analyze(converted);
+  EXPECT_FALSE(check_single_assignment(converted, sema)
+                   .has_proven_violation());
+  EXPECT_TRUE(sema.arrays.count("A__2"));
+
+  const auto registry = run_reference(compile(clone(result.program)));
+  const SaArray& c = registry->by_name("C");
+  const SaArray& b = registry->by_name("B");
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(c.read(i), b.read(i) * 2.0) << i;
+  }
+}
+
+TEST(ConvertTest, TimeStepLoopGetsReinit) {
+  const Program input = make_nonsa_timestep(16, 3);
+  const auto result = convert_to_single_assignment(input);
+
+  bool reinit_inserted = false;
+  for (const auto& action : result.actions) {
+    if (action.kind == ConversionActionKind::kInsertedReinit &&
+        action.array == "A") {
+      reinit_inserted = true;
+    }
+  }
+  EXPECT_TRUE(reinit_inserted);
+
+  // Converted program executes cleanly: the final generation holds B*steps.
+  const auto registry = run_reference(compile(clone(result.program)));
+  const SaArray& a = registry->by_name("A");
+  const SaArray& b = registry->by_name("B");
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(a.read(i), b.read(i) * 3.0) << i;
+  }
+  EXPECT_EQ(a.generation(), 3u);  // one re-init per time step
+}
+
+TEST(ConvertTest, OriginalTimeStepTrapsWithoutConversion) {
+  const Program input = make_nonsa_timestep(8, 2);
+  EXPECT_THROW(run_reference(compile(clone(input))), DoubleWriteError);
+}
+
+TEST(ConvertTest, ActionsReportReadable) {
+  const auto result =
+      convert_to_single_assignment(make_nonsa_sequential_overwrite(8));
+  const std::string report = result.report();
+  EXPECT_NE(report.find("version"), std::string::npos);
+  EXPECT_NE(report.find("A__2"), std::string::npos);
+}
+
+TEST(ConvertTest, InputNotMutated) {
+  const Program input = make_nonsa_sequential_overwrite(8);
+  const std::size_t arrays_before = input.arrays.size();
+  (void)convert_to_single_assignment(input);
+  EXPECT_EQ(input.arrays.size(), arrays_before);
+}
+
+}  // namespace
+}  // namespace sap

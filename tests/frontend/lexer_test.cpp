@@ -1,0 +1,86 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  return Lexer(src).tokenize();
+}
+
+TEST(LexerTest, KeywordsAndIdentifiersCaseInsensitive) {
+  const auto tokens = lex("program Foo\narray x(10)\n");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwProgram);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "FOO");  // normalized to upper
+  EXPECT_EQ(tokens[3].kind, TokenKind::kKwArray);
+  EXPECT_EQ(tokens[4].text, "X");
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = lex("1 2.5 1e3 4.2E-2 .5");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.042);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.5);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  const auto tokens = lex("( ) , : + - * / =");
+  const TokenKind expected[] = {
+      TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+      TokenKind::kColon,  TokenKind::kPlus,   TokenKind::kMinus,
+      TokenKind::kStar,   TokenKind::kSlash,  TokenKind::kEquals};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, CommentsIgnoredToEndOfLine) {
+  const auto tokens = lex("x ! this is ignored\ny # so is this\n");
+  EXPECT_EQ(tokens[0].text, "X");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[2].text, "Y");
+}
+
+TEST(LexerTest, NewlinesCollapsedAndSemicolonsCount) {
+  const auto tokens = lex("a\n\n\nb;c");
+  // a NL b NL c EOF
+  EXPECT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNewline);
+}
+
+TEST(LexerTest, SourceLocations) {
+  const auto tokens = lex("a\n  bb");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[2].loc.line, 2);
+  EXPECT_EQ(tokens[2].loc.column, 3);
+}
+
+TEST(LexerTest, ReinitKeyword) {
+  const auto tokens = lex("REINIT A");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwReinit);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_THROW(lex("a @ b"), ParseError);
+}
+
+TEST(LexerTest, RejectsMalformedNumber) {
+  EXPECT_THROW(lex("1e"), ParseError);
+}
+
+TEST(LexerTest, EmptyInputHasOnlyEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
+}
+
+}  // namespace
+}  // namespace sap

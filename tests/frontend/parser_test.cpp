@@ -1,0 +1,144 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ParserTest, MinimalProgram) {
+  const Program p = Parser::parse(
+      "PROGRAM t\n"
+      "ARRAY A(10)\n"
+      "DO k = 1, 10\n"
+      "  A(k) = 1\n"
+      "END DO\n"
+      "END PROGRAM\n");
+  EXPECT_EQ(p.name, "T");
+  ASSERT_EQ(p.arrays.size(), 1u);
+  EXPECT_EQ(p.arrays[0].name, "A");
+  EXPECT_EQ(p.arrays[0].init, InitMode::kNone);
+  ASSERT_EQ(p.body.size(), 1u);
+  const auto& loop = std::get<DoLoop>(p.body[0]->node);
+  EXPECT_EQ(loop.var, "K");
+  ASSERT_EQ(loop.body.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<ArrayAssign>(loop.body[0]->node));
+}
+
+TEST(ParserTest, ArrayDeclVariants) {
+  const Program p = Parser::parse(
+      "PROGRAM t\n"
+      "ARRAY A(10) INIT ALL\n"
+      "ARRAY B(0:5, -2:2) INIT NONE\n"
+      "ARRAY C(100) INIT PREFIX 7\n"
+      "END PROGRAM\n");
+  EXPECT_EQ(p.arrays[0].init, InitMode::kAll);
+  EXPECT_EQ(p.arrays[1].dims[0].lower, 0);
+  EXPECT_EQ(p.arrays[1].dims[1].lower, -2);
+  EXPECT_EQ(p.arrays[1].dims[1].upper, 2);
+  EXPECT_EQ(p.arrays[2].init, InitMode::kPrefix);
+  EXPECT_EQ(p.arrays[2].init_prefix, 7);
+}
+
+TEST(ParserTest, ScalarDeclsWithInit) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nSCALAR q = 0.5\nSCALAR r = -2\nSCALAR s\nEND PROGRAM\n");
+  EXPECT_DOUBLE_EQ(p.scalars[0].init, 0.5);
+  EXPECT_DOUBLE_EQ(p.scalars[1].init, -2.0);
+  EXPECT_DOUBLE_EQ(p.scalars[2].init, 0.0);
+}
+
+TEST(ParserTest, PrecedenceAndAssociativity) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\nA(1) = 1 + 2 * 3 - 4 / 2\nEND PROGRAM\n");
+  const auto& assign = std::get<ArrayAssign>(p.body[0]->node);
+  // ((1 + (2*3)) - (4/2))
+  const auto& top = std::get<BinaryExpr>(assign.value->node);
+  EXPECT_EQ(top.op, BinaryOp::kSub);
+  const auto& lhs = std::get<BinaryExpr>(top.lhs->node);
+  EXPECT_EQ(lhs.op, BinaryOp::kAdd);
+  const auto& mul = std::get<BinaryExpr>(lhs.rhs->node);
+  EXPECT_EQ(mul.op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusAndParens) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\nA(1) = -(2 + 3) * -1\nEND PROGRAM\n");
+  const auto& assign = std::get<ArrayAssign>(p.body[0]->node);
+  EXPECT_TRUE(std::holds_alternative<BinaryExpr>(assign.value->node));
+}
+
+TEST(ParserTest, IntrinsicsParsed) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nSCALAR i\ni = IDIV(7, 2) + MOD(5, 3) + MIN(1, 2) + "
+      "MAX(1, 2) + ABS(-3)\nEND PROGRAM\n");
+  const auto& assign = std::get<ScalarAssign>(p.body[0]->node);
+  int intrinsics = 0;
+  std::function<void(const Expr&)> walk = [&](const Expr& e) {
+    if (std::holds_alternative<IntrinsicExpr>(e.node)) ++intrinsics;
+    if (const auto* bin = std::get_if<BinaryExpr>(&e.node)) {
+      walk(*bin->lhs);
+      walk(*bin->rhs);
+    }
+  };
+  walk(*assign.value);
+  EXPECT_EQ(intrinsics, 5);
+}
+
+TEST(ParserTest, NestedLoopsWithStep) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(10, 10)\n"
+      "DO i = 1, 10\n  DO j = 1, 10, 2\n    A(i, j) = i + j\n  END DO\n"
+      "END DO\nEND PROGRAM\n");
+  const auto& outer = std::get<DoLoop>(p.body[0]->node);
+  const auto& inner = std::get<DoLoop>(outer.body[0]->node);
+  EXPECT_NE(inner.step, nullptr);
+  EXPECT_EQ(outer.step, nullptr);
+}
+
+TEST(ParserTest, ReinitStatement) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(4)\nREINIT A\nEND PROGRAM\n");
+  EXPECT_EQ(std::get<ReinitStmt>(p.body[0]->node).array, "A");
+}
+
+TEST(ParserTest, MultiDimAccess) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(5, 5)\nARRAY B(5, 5) INIT ALL\n"
+      "DO i = 2, 4\n  A(i, 2) = B(i - 1, i + 1)\nEND DO\nEND PROGRAM\n");
+  const auto& loop = std::get<DoLoop>(p.body[0]->node);
+  const auto& assign = std::get<ArrayAssign>(loop.body[0]->node);
+  EXPECT_EQ(assign.indices.size(), 2u);
+}
+
+struct BadSource {
+  const char* what;
+  const char* src;
+};
+
+class ParserRejects : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(ParserRejects, Throws) {
+  EXPECT_THROW(Parser::parse(GetParam().src), ParseError) << GetParam().what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParserRejects,
+    ::testing::Values(
+        BadSource{"missing END PROGRAM", "PROGRAM t\nARRAY A(2)\n"},
+        BadSource{"missing END DO",
+                  "PROGRAM t\nARRAY A(2)\nDO k = 1, 2\nA(k) = 1\nEND PROGRAM\n"},
+        BadSource{"empty dimension", "PROGRAM t\nARRAY A(5:2)\nEND PROGRAM\n"},
+        BadSource{"decl after stmt",
+                  "PROGRAM t\nARRAY A(2)\nA(1) = 1\nARRAY B(2)\nEND PROGRAM\n"},
+        BadSource{"garbage after end",
+                  "PROGRAM t\nEND PROGRAM\nextra\n"},
+        BadSource{"non-integer dim", "PROGRAM t\nARRAY A(2.5)\nEND PROGRAM\n"},
+        BadSource{"negative prefix",
+                  "PROGRAM t\nARRAY A(4) INIT PREFIX -1\nEND PROGRAM\n"},
+        BadSource{"missing assign rhs",
+                  "PROGRAM t\nARRAY A(2)\nA(1) =\nEND PROGRAM\n"}));
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,79 @@
+#include "frontend/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "kernels/dsl_sources.hpp"
+
+namespace sap {
+namespace {
+
+/// Structural equality of programs via printing both (printer output is
+/// canonical: fixed spacing, explicit INIT clauses).
+std::string canon(const Program& p) { return print_program(p); }
+
+TEST(PrinterTest, RoundTripSimple) {
+  const char* src =
+      "PROGRAM t\n"
+      "ARRAY A(10) INIT NONE\n"
+      "ARRAY B(0:5, -2:2) INIT ALL\n"
+      "SCALAR Q = 0.5\n"
+      "DO K = 1, 10\n"
+      "  A(K) = Q + B(0, -2)\n"
+      "END DO\n"
+      "END PROGRAM\n";
+  const Program once = Parser::parse(src);
+  const Program twice = Parser::parse(print_program(once));
+  EXPECT_EQ(canon(once), canon(twice));
+}
+
+TEST(PrinterTest, PrecedenceParenthesization) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\nA(1) = (1 + 2) * 3 - 4 / (5 - 3)\n"
+      "END PROGRAM\n");
+  const Program reparsed = Parser::parse(print_program(p));
+  EXPECT_EQ(canon(p), canon(reparsed));
+  // The needed parentheses survive.
+  EXPECT_NE(print_program(p).find("(1 + 2) * 3"), std::string::npos);
+}
+
+TEST(PrinterTest, NonAssociativeRhsParenthesized) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\nA(1) = 8 - (4 - 2)\nEND PROGRAM\n");
+  EXPECT_NE(print_program(p).find("8 - (4 - 2)"), std::string::npos);
+}
+
+TEST(PrinterTest, ReinitAndStepAndIntrinsics) {
+  const char* src =
+      "PROGRAM t\n"
+      "ARRAY A(64) INIT PREFIX 8\n"
+      "SCALAR II = 16\n"
+      "DO K = 2, 16, 2\n"
+      "  II = IDIV(II, 2)\n"
+      "  A(K) = -A(K - 1)\n"
+      "END DO\n"
+      "REINIT A\n"
+      "END PROGRAM\n";
+  const Program once = Parser::parse(src);
+  const std::string printed = print_program(once);
+  EXPECT_NE(printed.find("IDIV(II, 2)"), std::string::npos);
+  EXPECT_NE(printed.find("REINIT A"), std::string::npos);
+  EXPECT_NE(printed.find("DO K = 2, 16, 2"), std::string::npos);
+  EXPECT_EQ(canon(once), canon(Parser::parse(printed)));
+}
+
+class DslRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DslRoundTrip, EveryKernelSourceRoundTrips) {
+  const auto& sources = dsl_kernel_sources();
+  const auto& entry = sources.at(GetParam());
+  const Program once = Parser::parse(entry.source);
+  const Program twice = Parser::parse(print_program(once));
+  EXPECT_EQ(canon(once), canon(twice)) << entry.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDslKernels, DslRoundTrip,
+                         ::testing::Range<std::size_t>(0, 12));
+
+}  // namespace
+}  // namespace sap

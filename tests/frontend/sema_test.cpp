@@ -1,0 +1,139 @@
+#include "frontend/sema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+Program parse(std::string_view src) { return Parser::parse(src); }
+
+TEST(SemaTest, ResolvesAndCollectsSets) {
+  Program p = parse(
+      "PROGRAM t\nARRAY A(10)\nARRAY B(10) INIT ALL\nSCALAR q = 1\n"
+      "DO k = 1, 10\n  A(k) = B(k) + q\nEND DO\nEND PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  EXPECT_TRUE(info.written_arrays.count("A"));
+  EXPECT_TRUE(info.read_arrays.count("B"));
+  EXPECT_FALSE(info.read_arrays.count("A"));
+  ASSERT_EQ(info.assign_sites.size(), 1u);
+  EXPECT_EQ(info.assign_sites[0].loops.size(), 1u);
+  EXPECT_TRUE(info.scalars.at("Q").is_constant());
+}
+
+TEST(SemaTest, MarksReduction) {
+  Program p = parse(
+      "PROGRAM t\nARRAY W(10) INIT PREFIX 1\nARRAY B(10) INIT ALL\n"
+      "DO i = 2, 10\n  W(i) = W(i) + B(i)\nEND DO\nEND PROGRAM\n");
+  analyze(p);
+  const auto& loop = std::get<DoLoop>(p.body[0]->node);
+  EXPECT_TRUE(std::get<ArrayAssign>(loop.body[0]->node).is_reduction);
+}
+
+TEST(SemaTest, DifferentIndexIsNotReduction) {
+  Program p = parse(
+      "PROGRAM t\nARRAY W(10) INIT PREFIX 1\n"
+      "DO i = 2, 10\n  W(i) = W(i - 1) + 1\nEND DO\nEND PROGRAM\n");
+  analyze(p);
+  const auto& loop = std::get<DoLoop>(p.body[0]->node);
+  EXPECT_FALSE(std::get<ArrayAssign>(loop.body[0]->node).is_reduction);
+}
+
+TEST(SemaTest, SimpleInductionVariable) {
+  Program p = parse(
+      "PROGRAM t\nARRAY A(20)\nSCALAR i = 0\n"
+      "DO k = 1, 10\n  i = i + 2\n  A(i) = k\nEND DO\nEND PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  const auto& si = info.scalars.at("I");
+  ASSERT_TRUE(si.induction_step.has_value());
+  EXPECT_DOUBLE_EQ(*si.induction_step, 2.0);
+  EXPECT_NE(si.induction_loop, nullptr);
+}
+
+TEST(SemaTest, InductionWithOuterResetStillDetected) {
+  // The ICCG pattern: reset outside the loop, increment inside.
+  Program p = parse(
+      "PROGRAM t\nARRAY A(100)\nSCALAR i = 0\nSCALAR base = 0\n"
+      "DO l = 1, 5\n  i = base\n  DO k = 1, 4\n    i = i + 1\n"
+      "    A(i + l * 10) = k\n  END DO\nEND DO\nEND PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  const auto& si = info.scalars.at("I");
+  ASSERT_TRUE(si.induction_step.has_value());
+  EXPECT_DOUBLE_EQ(*si.induction_step, 1.0);
+}
+
+TEST(SemaTest, TwoIncrementsInSameLoopNotInduction) {
+  Program p = parse(
+      "PROGRAM t\nARRAY A(100)\nSCALAR i = 0\n"
+      "DO k = 1, 10\n  i = i + 1\n  i = i + 1\n  A(k) = i\nEND DO\n"
+      "END PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  EXPECT_FALSE(info.scalars.at("I").induction_step.has_value());
+}
+
+TEST(SemaTest, WarnsAboutUnusedAndUninitialized) {
+  Program p = parse(
+      "PROGRAM t\nARRAY UNUSED(4)\nARRAY GHOST(4)\nARRAY OUT(4)\n"
+      "DO k = 1, 4\n  OUT(k) = GHOST(k)\nEND DO\nEND PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  ASSERT_EQ(info.warnings.size(), 2u);
+  EXPECT_NE(info.warnings[0].find("UNUSED"), std::string::npos);
+  EXPECT_NE(info.warnings[1].find("GHOST"), std::string::npos);
+}
+
+struct BadProgram {
+  const char* what;
+  const char* src;
+};
+
+class SemaRejects : public ::testing::TestWithParam<BadProgram> {};
+
+TEST_P(SemaRejects, Throws) {
+  Program p = parse(GetParam().src);
+  EXPECT_THROW(analyze(p), SemanticError) << GetParam().what;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SemaRejects,
+    ::testing::Values(
+        BadProgram{"undeclared array",
+                   "PROGRAM t\nDO k = 1, 2\n  A(k) = 1\nEND DO\nEND PROGRAM\n"},
+        BadProgram{"undeclared read",
+                   "PROGRAM t\nARRAY A(2)\nA(1) = B(1)\nEND PROGRAM\n"},
+        BadProgram{"undeclared scalar",
+                   "PROGRAM t\nq = 1\nEND PROGRAM\n"},
+        BadProgram{"rank mismatch",
+                   "PROGRAM t\nARRAY A(2, 2)\nA(1) = 1\nEND PROGRAM\n"},
+        BadProgram{"write to INIT ALL input",
+                   "PROGRAM t\nARRAY A(2) INIT ALL\nA(1) = 1\nEND PROGRAM\n"},
+        BadProgram{"duplicate array",
+                   "PROGRAM t\nARRAY A(2)\nARRAY A(3)\nEND PROGRAM\n"},
+        BadProgram{"array/scalar clash",
+                   "PROGRAM t\nARRAY A(2)\nSCALAR A\nEND PROGRAM\n"},
+        BadProgram{"loop var assigned",
+                   "PROGRAM t\nSCALAR x\nDO k = 1, 2\n  k = 3\nEND DO\n"
+                   "END PROGRAM\n"},
+        BadProgram{"nested loop var reuse",
+                   "PROGRAM t\nARRAY A(9, 9)\nDO k = 1, 3\n  DO k = 1, 3\n"
+                   "    A(k, k) = 1\n  END DO\nEND DO\nEND PROGRAM\n"},
+        BadProgram{"loop var shadows scalar",
+                   "PROGRAM t\nARRAY A(3)\nSCALAR k\nDO k = 1, 3\n"
+                   "  A(k) = 1\nEND DO\nEND PROGRAM\n"},
+        BadProgram{"array used without indices",
+                   "PROGRAM t\nARRAY A(2)\nARRAY B(2)\nB(1) = A\n"
+                   "END PROGRAM\n"},
+        BadProgram{"intrinsic arity",
+                   "PROGRAM t\nSCALAR s\ns = IDIV(4)\nEND PROGRAM\n"},
+        BadProgram{"reserved intrinsic name",
+                   "PROGRAM t\nARRAY MOD(4)\nEND PROGRAM\n"},
+        BadProgram{"reinit of undeclared",
+                   "PROGRAM t\nREINIT Z\nEND PROGRAM\n"},
+        BadProgram{"reinit of input",
+                   "PROGRAM t\nARRAY A(2) INIT ALL\nREINIT A\nEND PROGRAM\n"},
+        BadProgram{"prefix exceeds size",
+                   "PROGRAM t\nARRAY A(4) INIT PREFIX 9\nEND PROGRAM\n"}));
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,71 @@
+// Cross-validation of the three classification views (DESIGN.md §2):
+//   paper class  — §7.1's labels (or our calibrated label for kernels the
+//                  paper does not name),
+//   static class — compile-time affine/stride analysis,
+//   empirical    — derived from simulation sweeps like the paper did.
+// All three must agree on every kernel in the suite.
+#include <gtest/gtest.h>
+
+#include "core/empirical_classifier.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+class ClassCrossValidation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClassCrossValidation, StaticMatchesPaper) {
+  const auto& spec = livermore_kernels().at(GetParam());
+  const CompiledProgram prog = spec.build();
+  const auto result = classify_program(prog.program, prog.sema);
+  EXPECT_EQ(result.cls, spec.paper_class)
+      << spec.id << "\n"
+      << result.report();
+}
+
+TEST_P(ClassCrossValidation, EmpiricalMatchesPaper) {
+  const auto& spec = livermore_kernels().at(GetParam());
+  const CompiledProgram prog = spec.build();
+  const auto result = classify_empirical(prog, MachineConfig{});
+  EXPECT_EQ(result.cls, spec.paper_class)
+      << spec.id << ": " << result.rationale;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ClassCrossValidation,
+                         ::testing::Range<std::size_t>(0, 16));
+
+TEST(ClassCrossValidation, SyntheticsAgreeBothWays) {
+  struct Case {
+    CompiledProgram prog;
+    AccessClass expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({make_matched(512), AccessClass::kMatched});
+  cases.push_back({make_skewed(512, 7), AccessClass::kSkewed});
+  cases.push_back({make_cyclic(512, 4), AccessClass::kCyclic});
+  cases.push_back({make_random_permutation(1024, 1), AccessClass::kRandom});
+  for (const auto& c : cases) {
+    EXPECT_EQ(classify_program(c.prog.program, c.prog.sema).cls, c.expected)
+        << c.prog.name() << " (static)";
+    EXPECT_EQ(classify_empirical(c.prog, MachineConfig{}).cls, c.expected)
+        << c.prog.name() << " (empirical)";
+  }
+}
+
+TEST(ClassCrossValidation, ClassifierFollowsCacheConfiguration) {
+  // §7.1.4: a pattern is Random *relative to the cache*: GLR's window
+  // fits a big enough cache, turning it cyclic.
+  const CompiledProgram glr = build_k6_general_linear_recurrence(100);
+  ClassifierConfig small;
+  small.cache_elements = 256;
+  ClassifierConfig huge;
+  huge.cache_elements = 1 << 20;
+  EXPECT_EQ(classify_program(glr.program, glr.sema, small).cls,
+            AccessClass::kRandom);
+  EXPECT_EQ(classify_program(glr.program, glr.sema, huge).cls,
+            AccessClass::kCyclic);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,117 @@
+// Failure injection: every trap the system promises must actually fire,
+// with the right exception type, from every entry point.
+#include <gtest/gtest.h>
+
+#include "core/program_builder.hpp"
+#include "core/reference_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "frontend/sa_check.hpp"
+#include "frontend/sema.hpp"
+#include "kernels/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+CompiledProgram double_write_program() {
+  ProgramBuilder b("double_write");
+  b.array("A", {8});
+  b.begin_loop("K", 1, 8);
+  b.assign("A", {ex_idiv(b.var("K") + 1, 2)}, b.var("K"));  // 1,1,2,2,...
+  b.end_loop();
+  return b.compile();
+}
+
+TEST(FailureInjectionTest, DoubleWriteTrapsEverywhere) {
+  const CompiledProgram prog = double_write_program();
+  EXPECT_THROW(run_reference(prog), DoubleWriteError);
+  const Simulator sim(MachineConfig{}.with_pes(2).with_page_size(4));
+  EXPECT_THROW(sim.run(prog, ExecutionMode::kCounting), DoubleWriteError);
+  EXPECT_THROW(sim.run(prog, ExecutionMode::kDataflow), DoubleWriteError);
+}
+
+TEST(FailureInjectionTest, SequentialReadBeforeWrite) {
+  ProgramBuilder b("rbw");
+  b.array("A", {8});
+  b.array("OUT", {8});
+  b.begin_loop("K", 1, 8);
+  b.assign("OUT", {b.var("K")}, b.at("A", {b.var("K")}));
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  EXPECT_THROW(run_reference(prog), UndefinedReadError);
+  const Simulator sim(MachineConfig{}.with_pes(2));
+  EXPECT_THROW(sim.run(prog, ExecutionMode::kCounting), UndefinedReadError);
+  // The dataflow machine expresses the same bug as PEs waiting forever.
+  EXPECT_THROW(sim.run(prog, ExecutionMode::kDataflow), DeadlockError);
+}
+
+TEST(FailureInjectionTest, OutOfBoundsIndex) {
+  ProgramBuilder b("oob");
+  b.array("A", {8});
+  b.begin_loop("K", 1, 9);  // one past the end
+  b.assign("A", {b.var("K")}, 1.0);
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  const Simulator sim(MachineConfig{}.with_pes(2));
+  EXPECT_THROW(sim.run(prog), BoundsError);
+}
+
+TEST(FailureInjectionTest, ZeroStepLoop) {
+  ProgramBuilder b("zstep");
+  b.array("A", {8});
+  b.begin_loop_step("K", 1, 8, Ex(0));
+  b.assign("A", {b.var("K")}, 1.0);
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  EXPECT_THROW(run_reference(prog), Error);
+}
+
+TEST(FailureInjectionTest, NonIntegralIndex) {
+  ProgramBuilder b("fracidx");
+  b.array("A", {8});
+  b.begin_loop("K", 1, 8);
+  b.assign("A", {b.var("K") / 3.0}, 1.0);
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  EXPECT_THROW(run_reference(prog), Error);
+}
+
+TEST(FailureInjectionTest, DivisionByZeroValue) {
+  ProgramBuilder b("div0");
+  b.array("A", {4});
+  b.begin_loop("K", 1, 4);
+  b.assign("A", {b.var("K")}, 1.0 / (b.var("K") - 1.0));  // k=1 divides by 0
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  EXPECT_THROW(run_reference(prog), Error);
+}
+
+TEST(FailureInjectionTest, IndirectIndexOutOfRange) {
+  // A permutation table scaled out of range must fault cleanly, not read
+  // arbitrary memory.
+  ProgramBuilder b("badperm");
+  b.array("A", {16});
+  b.input_array("B", {16});
+  b.input_array("P", {16});
+  b.custom_init("P", [](std::int64_t i) { return double(i + 100); });
+  b.begin_loop("K", 1, 16);
+  b.assign("A", {b.var("K")}, b.at("B", {b.at("P", {b.var("K")})}));
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  const Simulator sim(MachineConfig{}.with_pes(2));
+  EXPECT_THROW(sim.run(prog), BoundsError);
+}
+
+TEST(FailureInjectionTest, RuntimeTrapsForUncheckableStatic) {
+  // The static checker cannot bound IDIV targets, but the machine traps.
+  const auto result = [] {
+    Program p = double_write_program().program;
+    const SemanticInfo sema = analyze(p);
+    return check_single_assignment(p, sema);
+  }();
+  EXPECT_FALSE(result.has_proven_violation());  // static: only "possible"
+  EXPECT_FALSE(result.findings.empty());
+}
+
+}  // namespace
+}  // namespace sap

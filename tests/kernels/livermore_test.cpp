@@ -1,0 +1,116 @@
+#include "kernels/livermore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(LivermoreTest, RegistryIsCompleteAndOrdered) {
+  const auto& kernels = livermore_kernels();
+  EXPECT_EQ(kernels.size(), 16u);
+  for (std::size_t i = 1; i < kernels.size(); ++i) {
+    EXPECT_LT(kernels[i - 1].lfk_number, kernels[i].lfk_number);
+  }
+  // The paper's named kernels are all present.
+  int named = 0;
+  for (const auto& spec : kernels) {
+    if (spec.named_in_paper) ++named;
+  }
+  EXPECT_EQ(named, 10);
+}
+
+TEST(LivermoreTest, LookupById) {
+  EXPECT_EQ(kernel_by_id("k01_hydro").lfk_number, 1);
+  EXPECT_EQ(kernel_by_id("k18_hydro2d").title,
+            "2-D Explicit Hydrodynamics Fragment");
+  EXPECT_THROW(kernel_by_id("k99_nope"), Error);
+}
+
+TEST(LivermoreTest, EveryKernelCompilesAndSimulates) {
+  const Simulator sim(MachineConfig{}.with_pes(8));
+  for (const auto& spec : livermore_kernels()) {
+    const CompiledProgram prog = spec.build();
+    const SimulationResult result = sim.run(prog);
+    EXPECT_GT(result.totals.writes, 0u) << spec.id;
+    EXPECT_GT(result.totals.total_reads(), 0u) << spec.id;
+  }
+}
+
+TEST(LivermoreTest, HydroCountsMatchHandAnalysis) {
+  // K1: 400 iterations, 3 reads each; skew 10/11 with ps 32 makes 21 of
+  // every 96 reads remote without a cache (the paper's ~21%), and exactly
+  // one page fetch per crossed boundary with the cache (the paper's 1%).
+  const CompiledProgram prog = build_k1_hydro();
+  const Simulator nocache(MachineConfig{}.with_pes(4).with_cache(0));
+  const auto r0 = nocache.run(prog);
+  EXPECT_EQ(r0.totals.writes, 400u);
+  EXPECT_EQ(r0.totals.total_reads(), 1200u);
+  EXPECT_NEAR(r0.remote_read_fraction(), 0.21, 0.001);
+
+  const Simulator cached(MachineConfig{}.with_pes(4).with_cache(256));
+  const auto r1 = cached.run(prog);
+  EXPECT_NEAR(r1.remote_read_fraction(), 0.01, 0.001);
+}
+
+TEST(LivermoreTest, IccgWriteCountIsGeometricSum) {
+  // Levels of length n/2, n/4, ..., 2 writes: n=512 -> 256+...+2 = 510.
+  const CompiledProgram prog = build_k2_iccg(512);
+  const Simulator sim(MachineConfig{}.with_pes(1));
+  EXPECT_EQ(sim.run(prog).totals.writes, 510u);
+}
+
+TEST(LivermoreTest, IccgParameterized) {
+  const CompiledProgram prog = build_k2_iccg(128);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  EXPECT_EQ(sim.run(prog).totals.writes, 126u);  // 64+32+16+8+4+2
+  EXPECT_THROW(build_k2_iccg(100), Error);  // not a power of two
+}
+
+TEST(LivermoreTest, PicMatchedIsZeroRemoteEverywhere) {
+  // §7.1.1: "Access patterns that fall into this class will always
+  // achieve a 0% remote access ratio."
+  const CompiledProgram prog = build_k14_pic_1d();
+  for (const std::uint32_t pes : {1u, 2u, 7u, 16u, 64u}) {
+    const Simulator sim(MachineConfig{}.with_pes(pes));
+    EXPECT_EQ(sim.run(prog).totals.remote_reads, 0u) << pes;
+  }
+}
+
+TEST(LivermoreTest, GlrReductionCommitsOncePerElement) {
+  const CompiledProgram prog = build_k6_general_linear_recurrence(50);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  // W(2..50) committed once each: 49 writes.
+  EXPECT_EQ(sim.run(prog).totals.writes, 49u);
+}
+
+TEST(LivermoreTest, MatmulWriteCount) {
+  const CompiledProgram prog = build_k21_matmul(16);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  EXPECT_EQ(sim.run(prog).totals.writes, 16u * 16u);
+}
+
+TEST(LivermoreTest, Hydro2dLoadBalanceIsFlat) {
+  // §7.2 / Figure 5: every PE performs a comparable number of local and
+  // remote reads under the area-of-responsibility rule.
+  const CompiledProgram prog = build_k18_explicit_hydro_2d(400);
+  const Simulator sim(MachineConfig{}.with_pes(64).with_page_size(32));
+  const SimulationResult result = sim.run(prog);
+  const LoadBalance local = result.local_read_balance();
+  EXPECT_LT(local.coefficient_of_variation(), 0.35);
+  EXPECT_GT(result.totals.remote_reads, 0u);
+}
+
+TEST(LivermoreTest, AdiStaysRandomAcrossPageSizes) {
+  const CompiledProgram prog = build_k8_adi(200);
+  for (const std::int64_t ps : {32, 64}) {
+    const Simulator sim(
+        MachineConfig{}.with_pes(16).with_page_size(ps).with_cache(256));
+    EXPECT_GT(sim.run(prog).remote_read_fraction(), 0.10) << ps;
+  }
+}
+
+}  // namespace
+}  // namespace sap

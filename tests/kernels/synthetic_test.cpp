@@ -1,0 +1,97 @@
+#include "kernels/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "frontend/classifier.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(SyntheticTest, MatchedAlwaysZeroRemote) {
+  // Property: matched class gives 0% remote for every size and PE count.
+  for (const std::int64_t n : {33, 256, 1000}) {
+    const CompiledProgram prog = make_matched(n);
+    for (const std::uint32_t pes : {2u, 8u, 32u}) {
+      const Simulator sim(MachineConfig{}.with_pes(pes));
+      EXPECT_EQ(sim.run(prog).totals.remote_reads, 0u)
+          << "n=" << n << " pes=" << pes;
+    }
+  }
+}
+
+class SkewSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(SkewSweep, RemoteFractionBoundedBySkew) {
+  // Without a cache, at most min(|skew|, ps)/ps of the skewed stream plus
+  // nothing else is remote.
+  const auto [n, skew] = GetParam();
+  const CompiledProgram prog = make_skewed(n, skew);
+  const Simulator sim(MachineConfig{}.with_pes(4).with_cache(0));
+  const auto result = sim.run(prog);
+  const double ps = 32.0;
+  const double bound =
+      std::min<double>(static_cast<double>(std::llabs(skew)), ps) / ps / 2.0;
+  EXPECT_LE(result.remote_read_fraction(), bound + 1e-9)
+      << "n=" << n << " skew=" << skew;
+  if (skew != 0) EXPECT_GT(result.totals.remote_reads, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SkewSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(128, 512),
+                       ::testing::Values<std::int64_t>(1, 2, 11, 31, 100,
+                                                       -11)));
+
+TEST(SyntheticTest, NegativeSkewWorks) {
+  const CompiledProgram prog = make_skewed(256, -5);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  EXPECT_GT(sim.run(prog).totals.remote_reads, 0u);
+}
+
+TEST(SyntheticTest, CyclicReadsTwoPerIteration) {
+  const CompiledProgram prog = make_cyclic(128, 2);
+  const Simulator sim(MachineConfig{}.with_pes(2));
+  const auto result = sim.run(prog);
+  EXPECT_EQ(result.totals.writes, 128u);
+  EXPECT_EQ(result.totals.total_reads(), 256u);
+}
+
+TEST(SyntheticTest, PermutationUsesEveryElementOnce) {
+  const CompiledProgram prog = make_random_permutation(64, 5);
+  const Simulator sim(MachineConfig{}.with_pes(2));
+  const auto result = sim.run(prog);
+  // Reads: 64 of P + 64 of B (indirect).
+  EXPECT_EQ(result.totals.total_reads(), 128u);
+}
+
+TEST(SyntheticTest, PermutationClassIsRandomStatically) {
+  const CompiledProgram prog = make_random_permutation(64, 5);
+  EXPECT_EQ(classify_program(prog.program, prog.sema).cls,
+            AccessClass::kRandom);
+}
+
+TEST(SyntheticTest, DotProductSingleCommit) {
+  const CompiledProgram prog = make_dot_product(100);
+  const Simulator sim(MachineConfig{}.with_pes(4));
+  EXPECT_EQ(sim.run(prog).totals.writes, 1u);
+}
+
+TEST(SyntheticTest, StencilMatchedUnderAlignedPartitions) {
+  const CompiledProgram prog = make_stencil_2d(12, 12);
+  EXPECT_EQ(classify_program(prog.program, prog.sema).cls,
+            AccessClass::kCyclic);  // multi-dim offsets revisit pages
+}
+
+TEST(SyntheticTest, GeneratorsValidateArguments) {
+  EXPECT_THROW(make_matched(0), Error);
+  EXPECT_THROW(make_cyclic(16, 1), Error);
+  EXPECT_THROW(make_stencil_2d(2, 5), Error);
+  EXPECT_THROW(make_nonsa_timestep(4, 1), Error);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,50 @@
+#include "machine/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(MachineConfigTest, DefaultsAreThePaperSetup) {
+  const MachineConfig c;
+  EXPECT_EQ(c.page_size, 32);
+  EXPECT_EQ(c.cache_elements, 256);  // §6: "small fixed cache size"
+  EXPECT_EQ(c.replacement, ReplacementPolicy::kLru);
+  EXPECT_EQ(c.partition, PartitionKind::kModulo);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(MachineConfigTest, FluentCopies) {
+  const MachineConfig base;
+  const auto c = base.with_pes(16).with_page_size(64).with_cache(0);
+  EXPECT_EQ(c.num_pes, 16u);
+  EXPECT_EQ(c.page_size, 64);
+  EXPECT_EQ(c.cache_elements, 0);
+  EXPECT_EQ(base.num_pes, 1u);  // original untouched
+}
+
+TEST(MachineConfigTest, RejectsInvalid) {
+  EXPECT_THROW(MachineConfig{}.with_pes(0).validate(), ConfigError);
+  EXPECT_THROW(MachineConfig{}.with_page_size(0).validate(), ConfigError);
+  EXPECT_THROW(MachineConfig{}.with_cache(-1).validate(), ConfigError);
+  // Cache smaller than one page cannot hold anything.
+  EXPECT_THROW(MachineConfig{}.with_page_size(64).with_cache(32).validate(),
+               ConfigError);
+  // Hypercube needs power-of-two PEs.
+  EXPECT_THROW(
+      MachineConfig{}.with_pes(6).with_topology(TopologyKind::kHypercube)
+          .validate(),
+      ConfigError);
+}
+
+TEST(MachineConfigTest, ToStringMentionsKeyKnobs) {
+  const auto s = MachineConfig{}.with_pes(8).to_string();
+  EXPECT_NE(s.find("pes=8"), std::string::npos);
+  EXPECT_NE(s.find("cache=256"), std::string::npos);
+  EXPECT_NE(s.find("modulo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sap

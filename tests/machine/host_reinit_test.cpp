@@ -1,0 +1,92 @@
+#include "machine/host_reinit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+Machine make_machine(std::uint32_t pes) {
+  MachineConfig config;
+  config.num_pes = pes;
+  return Machine(config);
+}
+
+TEST(HostReinitTest, HostsDealtRoundRobin) {
+  // §5: "the compiler ensures that the host processors are evenly
+  // distributed among the arrays."
+  Machine m = make_machine(3);
+  EXPECT_EQ(m.reinit().host_of(0), 0u);
+  EXPECT_EQ(m.reinit().host_of(1), 1u);
+  EXPECT_EQ(m.reinit().host_of(2), 2u);
+  EXPECT_EQ(m.reinit().host_of(3), 0u);
+}
+
+TEST(HostReinitTest, CompletesOnLastRequest) {
+  Machine m = make_machine(4);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  m.arrays().at(id).write(0, 1.0);
+
+  EXPECT_FALSE(m.reinit().request_reinit(1, id));
+  EXPECT_FALSE(m.reinit().request_reinit(2, id));
+  EXPECT_EQ(m.reinit().pending_requests(id), 2u);
+  EXPECT_FALSE(m.reinit().request_reinit(3, id));
+  // Host (PE 0) asks last; re-init fires.
+  EXPECT_TRUE(m.reinit().request_reinit(0, id));
+  EXPECT_EQ(m.arrays().at(id).generation(), 1u);
+  EXPECT_EQ(m.arrays().at(id).defined_count(), 0);
+  EXPECT_EQ(m.reinit().rounds_completed(id), 1u);
+}
+
+TEST(HostReinitTest, MessageAccounting) {
+  // N-1 requests travel to the host (its own is local) and N-1 grants
+  // travel back out (§5's gather + broadcast).
+  Machine m = make_machine(4);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  for (PeId pe = 0; pe < 4; ++pe) m.reinit().request_reinit(pe, id);
+  EXPECT_EQ(m.reinit().protocol_messages(), 6u);  // 3 requests + 3 grants
+  EXPECT_EQ(m.network().stats().control_messages, 6u);
+}
+
+TEST(HostReinitTest, DoubleRequestInOneRoundIsProtocolViolation) {
+  Machine m = make_machine(3);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(8));
+  m.reinit().request_reinit(1, id);
+  EXPECT_THROW(m.reinit().request_reinit(1, id), Error);
+}
+
+TEST(HostReinitTest, CachesInvalidatedOnReinit) {
+  Machine m = make_machine(2);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  const SaArray& a = m.arrays().at(id);
+  m.account_read(0, a, 32);  // PE 0 caches page 1 (generation 0)
+  m.reinit().request_reinit(0, id);
+  m.reinit().request_reinit(1, id);
+  // Stale page must not hit, by eager invalidation and generation tag.
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+}
+
+TEST(HostReinitTest, MultipleRoundsSequence) {
+  Machine m = make_machine(2);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(8));
+  for (int round = 1; round <= 3; ++round) {
+    m.arrays().at(id).write(0, round);
+    m.reinit().request_reinit(0, id);
+    m.reinit().request_reinit(1, id);
+    EXPECT_EQ(m.reinit().rounds_completed(id),
+              static_cast<std::uint64_t>(round));
+  }
+  EXPECT_EQ(m.arrays().at(id).generation(), 3u);
+}
+
+TEST(HostReinitTest, SinglePeDegenerateCase) {
+  Machine m = make_machine(1);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(8));
+  EXPECT_TRUE(m.reinit().request_reinit(0, id));
+  EXPECT_EQ(m.reinit().protocol_messages(), 0u);  // host talks to itself
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,133 @@
+#include "machine/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/host_reinit.hpp"
+
+namespace sap {
+namespace {
+
+Machine make_machine(std::uint32_t pes, std::int64_t cache = 256) {
+  MachineConfig config;
+  config.num_pes = pes;
+  config.cache_elements = cache;
+  return Machine(config);
+}
+
+TEST(MachineTest, ReadByOwnerIsLocal) {
+  Machine m = make_machine(4);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(128));
+  const SaArray& a = m.arrays().at(id);
+  EXPECT_EQ(m.account_read(/*reader=*/0, a, /*linear=*/5),
+            AccessKind::kLocalRead);
+  EXPECT_EQ(m.pe(0).counters().local_reads, 1u);
+  EXPECT_EQ(m.network().stats().messages, 0u);
+}
+
+TEST(MachineTest, RemoteThenCached) {
+  // §4: first off-owner touch fetches the page (two messages), later
+  // touches of the same page hit the cache for free.
+  Machine m = make_machine(4);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(128));
+  const SaArray& a = m.arrays().at(id);
+  // Element 32 lives on page 1 -> PE 1; PE 0 reads it.
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+  EXPECT_EQ(m.network().stats().messages, 2u);  // PAGE_REQ + PAGE_REPLY
+  EXPECT_EQ(m.network().stats().payload_elements, 32u);
+  EXPECT_EQ(m.account_read(0, a, 40), AccessKind::kCachedRead);
+  EXPECT_EQ(m.network().stats().messages, 2u);  // no new traffic
+  EXPECT_EQ(m.pe(0).counters().remote_reads, 1u);
+  EXPECT_EQ(m.pe(0).counters().cached_reads, 1u);
+}
+
+TEST(MachineTest, NoCacheMeansEveryOffOwnerReadIsRemote) {
+  Machine m = make_machine(4, /*cache=*/0);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(128));
+  const SaArray& a = m.arrays().at(id);
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+  EXPECT_EQ(m.account_read(0, a, 33), AccessKind::kRemoteRead);
+  EXPECT_EQ(m.pe(0).counters().remote_reads, 2u);
+}
+
+TEST(MachineTest, CachesArePerPe) {
+  Machine m = make_machine(4);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(256));
+  const SaArray& a = m.arrays().at(id);
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+  // PE 2 has its own cache: same page is remote for it too.
+  EXPECT_EQ(m.account_read(2, a, 32), AccessKind::kRemoteRead);
+}
+
+TEST(MachineTest, WriteIsAlwaysLocal) {
+  Machine m = make_machine(4);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(128));
+  const SaArray& a = m.arrays().at(id);
+  m.account_write(m.owner_of(a, 64), a, 64);
+  EXPECT_EQ(m.pe(2).counters().writes, 1u);
+  EXPECT_EQ(m.network().stats().messages, 0u);
+}
+
+TEST(MachineTest, PartialFinalPagePayload) {
+  Machine m = make_machine(2);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(100));
+  const SaArray& a = m.arrays().at(id);
+  // Page 3 holds 4 valid elements (the §2 example); fetching it ships 4.
+  m.account_read(/*reader=*/0, a, 97);
+  EXPECT_EQ(m.network().stats().payload_elements, 4u);
+}
+
+TEST(MachineTest, PartialPageRefetchExtension) {
+  MachineConfig config;
+  config.num_pes = 2;
+  config.count_partial_page_refetch = true;
+  Machine m(config);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  SaArray& a = m.arrays().at(id);
+  // Page 1 (PE 1) is only partially defined: PE 0's reads keep refetching.
+  a.write(32, 1.0);
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+  // Complete the page: now it caches.
+  for (std::int64_t i = 33; i < 64; ++i) a.write(i, 0.0);
+  EXPECT_EQ(m.account_read(0, a, 33), AccessKind::kRemoteRead);
+  EXPECT_EQ(m.account_read(0, a, 34), AccessKind::kCachedRead);
+}
+
+TEST(MachineTest, InvalidateCachesDropsArrayEverywhere) {
+  Machine m = make_machine(2);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  const SaArray& a = m.arrays().at(id);
+  m.account_read(0, a, 32);  // PE 0 caches page 1
+  m.invalidate_caches(id);
+  EXPECT_EQ(m.account_read(0, a, 32), AccessKind::kRemoteRead);
+}
+
+TEST(MachineTest, SnapshotAggregates) {
+  Machine m = make_machine(2);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  const SaArray& a = m.arrays().at(id);
+  m.account_read(0, a, 0);
+  m.account_read(0, a, 32);
+  m.account_write(1, a, 32);
+  const SimulationResult result = m.snapshot("test");
+  EXPECT_EQ(result.totals.local_reads, 1u);
+  EXPECT_EQ(result.totals.remote_reads, 1u);
+  EXPECT_EQ(result.totals.writes, 1u);
+  EXPECT_EQ(result.per_pe.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.remote_read_fraction(), 0.5);
+  EXPECT_EQ(result.program_name, "test");
+}
+
+TEST(MachineTest, ResetStatsKeepsArrayContents) {
+  Machine m = make_machine(2);
+  const ArrayId id = m.arrays().declare("A", ArrayShape::vector_1based(64));
+  SaArray& a = m.arrays().at(id);
+  a.write(0, 5.0);
+  m.account_read(0, a, 32);
+  m.reset_stats();
+  EXPECT_EQ(m.snapshot("x").totals.total_reads(), 0u);
+  EXPECT_DOUBLE_EQ(a.read(0), 5.0);
+}
+
+}  // namespace
+}  // namespace sap

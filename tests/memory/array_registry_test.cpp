@@ -1,0 +1,62 @@
+#include "memory/array_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ArrayRegistryTest, DeclareAndLookup) {
+  ArrayRegistry reg;
+  const ArrayId a = reg.declare("A", ArrayShape::vector_1based(10));
+  const ArrayId b = reg.declare("B", ArrayShape::of_extents({2, 3}));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.at(a).name(), "A");
+  EXPECT_EQ(reg.by_name("B").element_count(), 6);
+  EXPECT_TRUE(reg.contains("A"));
+  EXPECT_FALSE(reg.contains("C"));
+}
+
+TEST(ArrayRegistryTest, DuplicateNameRejected) {
+  ArrayRegistry reg;
+  reg.declare("A", ArrayShape::vector_1based(1));
+  EXPECT_THROW(reg.declare("A", ArrayShape::vector_1based(2)), SemanticError);
+}
+
+TEST(ArrayRegistryTest, UnknownNameThrows) {
+  ArrayRegistry reg;
+  EXPECT_THROW(reg.by_name("nope"), SemanticError);
+}
+
+TEST(ArrayRegistryTest, TotalElements) {
+  ArrayRegistry reg;
+  reg.declare("A", ArrayShape::vector_1based(10));
+  reg.declare("B", ArrayShape::of_extents({4, 5}));
+  EXPECT_EQ(reg.total_elements(), 30);
+}
+
+TEST(ArrayRegistryTest, ReinitializeAll) {
+  ArrayRegistry reg;
+  reg.declare("A", ArrayShape::vector_1based(3));
+  reg.by_name("A").write(0, 1.0);
+  reg.reinitialize_all();
+  EXPECT_EQ(reg.by_name("A").defined_count(), 0);
+  EXPECT_EQ(reg.by_name("A").generation(), 1u);
+}
+
+TEST(ArrayRegistryTest, StableAddressesAcrossDeclarations) {
+  // Interpreters hold SaArray references while declaring more arrays.
+  ArrayRegistry reg;
+  reg.declare("A", ArrayShape::vector_1based(4));
+  const SaArray* a = &reg.by_name("A");
+  for (int i = 0; i < 50; ++i) {
+    reg.declare("X" + std::to_string(i), ArrayShape::vector_1based(1));
+  }
+  EXPECT_EQ(a, &reg.by_name("A"));
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,77 @@
+#include "memory/array_shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(ArrayShapeTest, Vector1Based) {
+  const auto s = ArrayShape::vector_1based(10);
+  EXPECT_EQ(s.rank(), 1u);
+  EXPECT_EQ(s.element_count(), 10);
+  EXPECT_EQ(s.linearize({1}), 0);
+  EXPECT_EQ(s.linearize({10}), 9);
+}
+
+TEST(ArrayShapeTest, RowMajorLastIndexFastest) {
+  // §7: multidimensional arrays map row-major.
+  const auto s = ArrayShape::of_extents({3, 4});
+  EXPECT_EQ(s.linearize({1, 1}), 0);
+  EXPECT_EQ(s.linearize({1, 2}), 1);   // last index fastest
+  EXPECT_EQ(s.linearize({2, 1}), 4);   // first index strides a whole row
+  EXPECT_EQ(s.linearize({3, 4}), 11);
+  EXPECT_EQ(s.stride(0), 4);
+  EXPECT_EQ(s.stride(1), 1);
+}
+
+TEST(ArrayShapeTest, CustomLowerBounds) {
+  const ArrayShape s({DimBound{0, 4}, DimBound{-2, 2}});
+  EXPECT_EQ(s.element_count(), 25);
+  EXPECT_EQ(s.linearize({0, -2}), 0);
+  EXPECT_EQ(s.linearize({4, 2}), 24);
+}
+
+TEST(ArrayShapeTest, DelinearizeInvertsLinearize) {
+  const auto s = ArrayShape::of_extents({5, 7, 3});
+  for (std::int64_t linear = 0; linear < s.element_count(); ++linear) {
+    EXPECT_EQ(s.linearize(s.delinearize(linear)), linear);
+  }
+}
+
+TEST(ArrayShapeTest, BoundsChecking) {
+  const auto s = ArrayShape::of_extents({3, 3});
+  EXPECT_THROW(s.linearize({0, 1}), BoundsError);
+  EXPECT_THROW(s.linearize({1, 4}), BoundsError);
+  EXPECT_THROW(s.linearize({1}), BoundsError);  // rank mismatch
+  EXPECT_FALSE(s.contains({4, 1}));
+  EXPECT_TRUE(s.contains({3, 3}));
+}
+
+TEST(ArrayShapeTest, RejectsInvalidDims) {
+  EXPECT_THROW(ArrayShape({}), Error);
+  EXPECT_THROW(ArrayShape({DimBound{2, 1}}), Error);
+  EXPECT_THROW(ArrayShape::vector_1based(0), Error);
+}
+
+TEST(ArrayShapeTest, ToStringShowsBounds) {
+  const ArrayShape s({DimBound{1, 10}, DimBound{0, 6}});
+  EXPECT_EQ(s.to_string(), "(1:10, 0:6)");
+}
+
+class ShapeRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ShapeRoundTrip, ThreeDimRoundTrip) {
+  const std::int64_t n = GetParam();
+  const ArrayShape s({DimBound{1, n}, DimBound{0, 2}, DimBound{-1, 1}});
+  EXPECT_EQ(s.element_count(), n * 3 * 3);
+  EXPECT_EQ(s.linearize(s.delinearize(s.element_count() - 1)),
+            s.element_count() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShapeRoundTrip,
+                         ::testing::Values(1, 2, 7, 32, 101));
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,53 @@
+#include "memory/page.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sap {
+namespace {
+
+TEST(PageMathTest, PageOf) {
+  EXPECT_EQ(page_of(0, 32), 0);
+  EXPECT_EQ(page_of(31, 32), 0);
+  EXPECT_EQ(page_of(32, 32), 1);
+  EXPECT_EQ(page_of(100, 32), 3);
+}
+
+TEST(PageMathTest, PageCountRoundsUp) {
+  EXPECT_EQ(page_count_for(100, 32), 4);  // paper §2: 3 full + 1 partial
+  EXPECT_EQ(page_count_for(96, 32), 3);
+  EXPECT_EQ(page_count_for(1, 32), 1);
+  EXPECT_EQ(page_count_for(0, 32), 0);
+}
+
+TEST(PageMathTest, PartialFinalPage) {
+  // §2's example: arrays of 100 elements, pages of 32: the last page has 4.
+  EXPECT_EQ(page_valid_elements(3, 100, 32), 4);
+  EXPECT_EQ(page_valid_elements(0, 100, 32), 32);
+  EXPECT_EQ(page_first_element(3, 32), 96);
+}
+
+TEST(PageIdTest, EqualityAndOrdering) {
+  const PageId a{1, 2}, b{1, 2}, c{1, 3}, d{2, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_LT(c, d);
+}
+
+TEST(PageIdTest, HashDistinguishes) {
+  std::unordered_set<PageId> set;
+  for (ArrayId array = 0; array < 8; ++array) {
+    for (PageIndex page = 0; page < 64; ++page) {
+      set.insert(PageId{array, page});
+    }
+  }
+  EXPECT_EQ(set.size(), 8u * 64u);
+}
+
+TEST(PageIdTest, ToString) {
+  EXPECT_EQ((PageId{3, 7}.to_string()), "page(3, 7)");
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,105 @@
+#include "memory/sa_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+SaArray make(std::int64_t n = 8) {
+  return SaArray(0, "A", ArrayShape::vector_1based(n));
+}
+
+TEST(SaArrayTest, WriteOnceThenRead) {
+  SaArray a = make();
+  a.write(3, 2.5);
+  EXPECT_TRUE(a.is_defined(3));
+  EXPECT_DOUBLE_EQ(a.read(3), 2.5);
+}
+
+TEST(SaArrayTest, SecondWriteTraps) {
+  // §3: "writing more than once results in a runtime error."
+  SaArray a = make();
+  a.write(0, 1.0);
+  EXPECT_THROW(a.write(0, 2.0), DoubleWriteError);
+  EXPECT_DOUBLE_EQ(a.read(0), 1.0);  // first value preserved
+}
+
+TEST(SaArrayTest, ReadUndefinedThrows) {
+  SaArray a = make();
+  EXPECT_THROW(a.read(1), UndefinedReadError);
+}
+
+TEST(SaArrayTest, DeferredReadQueuesAndWakes) {
+  // §3: undefined cells hold "a queue of read requests."
+  SaArray a = make();
+  EXPECT_EQ(a.read_or_defer(2, /*reader=*/5), std::nullopt);
+  EXPECT_EQ(a.read_or_defer(2, 7), std::nullopt);
+  EXPECT_EQ(a.read_or_defer(2, 5), std::nullopt);  // dedup
+  const auto woken = a.write(2, 9.0);
+  ASSERT_EQ(woken.size(), 2u);
+  EXPECT_EQ(woken[0], 5u);
+  EXPECT_EQ(woken[1], 7u);
+  EXPECT_EQ(a.read_or_defer(2, 5), 9.0);
+}
+
+TEST(SaArrayTest, WakeListEmptyWhenNoWaiters) {
+  SaArray a = make();
+  EXPECT_TRUE(a.write(0, 1.0).empty());
+}
+
+TEST(SaArrayTest, InitializeOnlyTargetsUndefined) {
+  SaArray a = make();
+  a.initialize(0, 1.5);
+  EXPECT_DOUBLE_EQ(a.read(0), 1.5);
+  EXPECT_THROW(a.initialize(0, 2.0), Error);
+}
+
+TEST(SaArrayTest, InitializeAllDefinesEverything) {
+  SaArray a = make(5);
+  a.initialize_all(3.0);
+  EXPECT_EQ(a.defined_count(), 5);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a.read(i), 3.0);
+}
+
+TEST(SaArrayTest, ReinitializeBumpsGenerationAndClears) {
+  // §5: controlled reuse via the host protocol.
+  SaArray a = make();
+  a.write(1, 4.0);
+  EXPECT_EQ(a.generation(), 0u);
+  a.reinitialize();
+  EXPECT_EQ(a.generation(), 1u);
+  EXPECT_FALSE(a.is_defined(1));
+  EXPECT_EQ(a.defined_count(), 0);
+  // The cell is writable again in the new generation.
+  a.write(1, 6.0);
+  EXPECT_DOUBLE_EQ(a.read(1), 6.0);
+}
+
+TEST(SaArrayTest, ReinitializeDropsWaiters) {
+  SaArray a = make();
+  a.read_or_defer(0, 1);
+  a.reinitialize();
+  EXPECT_TRUE(a.write(0, 1.0).empty());
+}
+
+TEST(SaArrayTest, BoundsChecked) {
+  SaArray a = make(4);
+  EXPECT_THROW(a.write(-1, 0.0), BoundsError);
+  EXPECT_THROW(a.write(4, 0.0), BoundsError);
+  EXPECT_THROW(a.read(99), BoundsError);
+  EXPECT_THROW(a.is_defined(-2), BoundsError);
+}
+
+TEST(SaArrayTest, DefinedCountTracksWrites) {
+  SaArray a = make(10);
+  EXPECT_EQ(a.defined_count(), 0);
+  a.write(0, 1);
+  a.write(5, 2);
+  a.initialize(7, 3);
+  EXPECT_EQ(a.defined_count(), 3);
+}
+
+}  // namespace
+}  // namespace sap

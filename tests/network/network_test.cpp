@@ -1,0 +1,64 @@
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sap {
+namespace {
+
+TEST(NetworkTest, CountsMessagesByKind) {
+  Network net(make_topology(TopologyKind::kCrossbar, 4));
+  net.send({0, 1, MessageKind::kPageRequest, 0});
+  net.send({1, 0, MessageKind::kPageReply, 32});
+  net.send({2, 3, MessageKind::kReinitRequest, 0});
+  EXPECT_EQ(net.stats().messages, 3u);
+  EXPECT_EQ(net.stats().control_messages, 2u);
+  EXPECT_EQ(net.stats().data_messages, 1u);
+  EXPECT_EQ(net.stats().payload_elements, 32u);
+}
+
+TEST(NetworkTest, HopAccounting) {
+  Network net(make_topology(TopologyKind::kRing, 8));
+  net.send({0, 4, MessageKind::kPageRequest, 0});  // 4 hops
+  net.send({0, 1, MessageKind::kPageRequest, 0});  // 1 hop
+  EXPECT_EQ(net.stats().hop_total, 5u);
+  EXPECT_DOUBLE_EQ(net.stats().mean_hops(), 2.5);
+}
+
+TEST(NetworkTest, LinkLoadsFollowRoutes) {
+  Network net(make_topology(TopologyKind::kRing, 4));
+  // 0 -> 2 may go either way (2 hops): both routes load 2 links.
+  net.send({0, 2, MessageKind::kPageRequest, 0});
+  EXPECT_EQ(net.max_link_load(), 1u);
+  net.send({0, 2, MessageKind::kPageRequest, 0});
+  EXPECT_EQ(net.max_link_load(), 2u);
+  EXPECT_GT(net.mean_link_load(), 0.0);
+  EXPECT_GE(net.contention_factor(), 1.0);
+}
+
+TEST(NetworkTest, PairTraffic) {
+  Network net(make_topology(TopologyKind::kCrossbar, 4));
+  net.send({0, 1, MessageKind::kPageRequest, 0});
+  net.send({0, 1, MessageKind::kPageRequest, 0});
+  net.send({1, 0, MessageKind::kPageReply, 8});
+  EXPECT_EQ(net.pair_traffic().at({0, 1}), 2u);
+  EXPECT_EQ(net.pair_traffic().at({1, 0}), 1u);
+}
+
+TEST(NetworkTest, ResetClears) {
+  Network net(make_topology(TopologyKind::kCrossbar, 2));
+  net.send({0, 1, MessageKind::kPageRequest, 0});
+  net.reset();
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.max_link_load(), 0u);
+  EXPECT_TRUE(net.pair_traffic().empty());
+}
+
+TEST(NetworkTest, SelfMessageHasNoHops) {
+  Network net(make_topology(TopologyKind::kMesh2D, 9));
+  net.send({4, 4, MessageKind::kPageReply, 16});
+  EXPECT_EQ(net.stats().hop_total, 0u);
+  EXPECT_EQ(net.max_link_load(), 0u);
+}
+
+}  // namespace
+}  // namespace sap

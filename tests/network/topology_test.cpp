@@ -1,0 +1,107 @@
+#include "network/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(CrossbarTest, SingleHopBetweenDistinct) {
+  const auto t = make_topology(TopologyKind::kCrossbar, 8);
+  EXPECT_EQ(t->hops(0, 0), 0u);
+  EXPECT_EQ(t->hops(0, 7), 1u);
+  EXPECT_EQ(t->route(2, 5).size(), 1u);
+}
+
+TEST(RingTest, ShortestWayAround) {
+  const auto t = make_topology(TopologyKind::kRing, 8);
+  EXPECT_EQ(t->hops(0, 1), 1u);
+  EXPECT_EQ(t->hops(0, 4), 4u);
+  EXPECT_EQ(t->hops(0, 7), 1u);  // wraps backwards
+  EXPECT_EQ(t->hops(6, 2), 4u);
+}
+
+TEST(RingTest, RouteIsConnected) {
+  const auto t = make_topology(TopologyKind::kRing, 6);
+  const auto route = t->route(1, 4);
+  ASSERT_EQ(route.size(), t->hops(1, 4));
+  EXPECT_EQ(route.front().from, 1u);
+  EXPECT_EQ(route.back().to, 4u);
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    EXPECT_EQ(route[i - 1].to, route[i].from);
+  }
+}
+
+TEST(Mesh2DTest, SquareFactorization) {
+  const auto t = make_topology(TopologyKind::kMesh2D, 16);
+  EXPECT_EQ(t->name(), "mesh2d(4x4)");
+  EXPECT_EQ(t->hops(0, 15), 6u);  // (0,0) -> (3,3) Manhattan
+  EXPECT_EQ(t->hops(0, 3), 3u);
+  EXPECT_EQ(t->hops(5, 5), 0u);
+}
+
+TEST(Mesh2DTest, NonSquareCounts) {
+  const auto t = make_topology(TopologyKind::kMesh2D, 12);  // 3x4
+  EXPECT_EQ(t->name(), "mesh2d(3x4)");
+  EXPECT_EQ(t->hops(0, 11), 5u);
+}
+
+TEST(Mesh2DTest, XyRoutingDimensionOrder) {
+  const auto t = make_topology(TopologyKind::kMesh2D, 16);
+  const auto route = t->route(0, 15);
+  ASSERT_EQ(route.size(), 6u);
+  // X (column) first: first three links move within row 0.
+  EXPECT_EQ(route[0].to, 1u);
+  EXPECT_EQ(route[2].to, 3u);
+  EXPECT_EQ(route[3].to, 7u);  // then down the column
+  EXPECT_EQ(route.back().to, 15u);
+}
+
+TEST(HypercubeTest, HammingDistance) {
+  const auto t = make_topology(TopologyKind::kHypercube, 16);
+  EXPECT_EQ(t->hops(0, 15), 4u);
+  EXPECT_EQ(t->hops(5, 6), 2u);  // 0101 vs 0110
+  EXPECT_EQ(t->hops(3, 3), 0u);
+}
+
+TEST(HypercubeTest, EcubeRouteAscendingDimensions) {
+  const auto t = make_topology(TopologyKind::kHypercube, 8);
+  const auto route = t->route(0, 5);  // bits 0 and 2
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0].to, 1u);  // bit 0 first
+  EXPECT_EQ(route[1].to, 5u);
+}
+
+TEST(HypercubeTest, RequiresPowerOfTwo) {
+  EXPECT_THROW(make_topology(TopologyKind::kHypercube, 6), ConfigError);
+  EXPECT_NO_THROW(make_topology(TopologyKind::kHypercube, 1));
+}
+
+TEST(TopologyTest, ZeroPesRejected) {
+  EXPECT_THROW(make_topology(TopologyKind::kRing, 0), ConfigError);
+}
+
+class RouteLengthMatchesHops
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(RouteLengthMatchesHops, Consistent) {
+  const auto [kind_idx, pes] = GetParam();
+  const auto kind = static_cast<TopologyKind>(kind_idx);
+  if (kind == TopologyKind::kHypercube && (pes & (pes - 1)) != 0) GTEST_SKIP();
+  const auto t = make_topology(kind, pes);
+  for (std::uint32_t s = 0; s < pes; ++s) {
+    for (std::uint32_t d = 0; d < pes; ++d) {
+      EXPECT_EQ(t->route(s, d).size(), t->hops(s, d))
+          << t->name() << " " << s << "->" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RouteLengthMatchesHops,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1u, 2u, 8u, 16u)));
+
+}  // namespace
+}  // namespace sap

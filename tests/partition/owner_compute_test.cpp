@@ -1,0 +1,58 @@
+#include "partition/owner_compute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sap {
+namespace {
+
+TEST(OwnerComputeTest, ScreeningMatchesOwnership) {
+  // §3: "screening the array indices so that the right hand side ... is
+  // evaluated only for a given PE's subranges."  The fast enumeration must
+  // agree with per-element screening.
+  const Partitioner part(make_partition_scheme(PartitionKind::kModulo), 32, 4);
+  const SaArray a(0, "X", ArrayShape::vector_1based(200));
+
+  std::int64_t total = 0;
+  for (PeId pe = 0; pe < 4; ++pe) {
+    const auto owned =
+        owned_iterations_affine(part, a, /*stride=*/1, /*offset=*/0,
+                                /*lo=*/1, /*hi=*/200, /*step=*/1, pe);
+    total += static_cast<std::int64_t>(owned.size());
+    for (const std::int64_t k : owned) {
+      EXPECT_EQ(part.owner_of_element(a, k - 1), pe);
+    }
+  }
+  EXPECT_EQ(total, 200);
+}
+
+TEST(OwnerComputeTest, StridedLoop) {
+  const Partitioner part(make_partition_scheme(PartitionKind::kModulo), 8, 2);
+  const SaArray a(0, "X", ArrayShape::vector_1based(64));
+  const auto pe0 =
+      owned_iterations_affine(part, a, 2, 0, 1, 32, 2, /*pe=*/0);
+  for (const std::int64_t k : pe0) {
+    EXPECT_EQ(part.owner_of_element(a, 2 * k - 1), 0u);
+  }
+}
+
+TEST(OwnerComputeTest, OutOfRangeIterationsSkipped) {
+  const Partitioner part(make_partition_scheme(PartitionKind::kModulo), 8, 2);
+  const SaArray a(0, "X", ArrayShape::vector_1based(16));
+  // k + 10 exceeds the array for k > 6: those iterations belong to no PE.
+  std::int64_t total = 0;
+  for (PeId pe = 0; pe < 2; ++pe) {
+    total += static_cast<std::int64_t>(
+        owned_iterations_affine(part, a, 1, 10, 1, 16, 1, pe).size());
+  }
+  EXPECT_EQ(total, 6);
+}
+
+TEST(OwnerComputeTest, ExecutingPeHelper) {
+  const Partitioner part(make_partition_scheme(PartitionKind::kModulo), 32, 4);
+  const SaArray a(0, "X", ArrayShape::vector_1based(128));
+  EXPECT_EQ(executing_pe(part, a, 0), 0u);
+  EXPECT_EQ(executing_pe(part, a, 33), 1u);
+}
+
+}  // namespace
+}  // namespace sap

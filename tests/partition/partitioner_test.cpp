@@ -1,0 +1,84 @@
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+SaArray make_array(std::int64_t n) {
+  return SaArray(0, "A", ArrayShape::vector_1based(n));
+}
+
+Partitioner make_partitioner(std::uint32_t pes, std::int64_t ps = 32,
+                             PartitionKind kind = PartitionKind::kModulo) {
+  return Partitioner(make_partition_scheme(kind), ps, pes);
+}
+
+TEST(PartitionerTest, OwnerOfElementFollowsPage) {
+  const auto part = make_partitioner(4);
+  const auto a = make_array(100);
+  EXPECT_EQ(part.owner_of_element(a, 0), 0u);
+  EXPECT_EQ(part.owner_of_element(a, 31), 0u);
+  EXPECT_EQ(part.owner_of_element(a, 32), 1u);
+  EXPECT_EQ(part.owner_of_element(a, 96), 3u);  // partial page -> PE 3 (§2)
+}
+
+TEST(PartitionerTest, PagesOwnedByCoverDisjointly) {
+  const auto part = make_partitioner(3);
+  const auto a = make_array(300);  // 10 pages
+  std::int64_t total = 0;
+  for (PeId pe = 0; pe < 3; ++pe) {
+    total += static_cast<std::int64_t>(part.pages_owned_by(a, pe).size());
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(PartitionerTest, ElementsOwnedAccountsPartialPage) {
+  // §2 example: 100 elements, ps 32, 4 PEs -> 32/32/32/4.
+  const auto part = make_partitioner(4);
+  const auto a = make_array(100);
+  EXPECT_EQ(part.elements_owned_by(a, 0), 32);
+  EXPECT_EQ(part.elements_owned_by(a, 1), 32);
+  EXPECT_EQ(part.elements_owned_by(a, 2), 32);
+  EXPECT_EQ(part.elements_owned_by(a, 3), 4);
+}
+
+TEST(PartitionerTest, SinglePeOwnsEverything) {
+  const auto part = make_partitioner(1);
+  const auto a = make_array(100);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(part.owner_of_element(a, i), 0u);
+  }
+}
+
+TEST(PartitionerTest, ValidatesConfig) {
+  EXPECT_THROW(Partitioner(nullptr, 32, 4), ConfigError);
+  EXPECT_THROW(make_partitioner(0), ConfigError);
+  EXPECT_THROW(make_partitioner(4, 0), ConfigError);
+}
+
+class ElementCover : public ::testing::TestWithParam<
+                         std::tuple<std::uint32_t, std::int64_t, int>> {};
+
+TEST_P(ElementCover, EveryElementOwnedOnce) {
+  const auto [pes, ps, kind_idx] = GetParam();
+  const auto kind = static_cast<PartitionKind>(kind_idx);
+  const Partitioner part(make_partition_scheme(kind, 2), ps, pes);
+  const auto a = make_array(517);  // prime-ish, forces a partial page
+  std::int64_t total = 0;
+  for (PeId pe = 0; pe < pes; ++pe) {
+    total += part.elements_owned_by(a, pe);
+  }
+  EXPECT_EQ(total, 517);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ElementCover,
+    ::testing::Combine(::testing::Values(1u, 2u, 5u, 16u, 64u),
+                       ::testing::Values<std::int64_t>(8, 32, 64, 256),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace sap

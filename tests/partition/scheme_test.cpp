@@ -1,0 +1,94 @@
+#include "partition/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace sap {
+namespace {
+
+TEST(ModuloSchemeTest, PaperRule) {
+  // §2: "A page p is allocated to the local memory of PE P if p = P mod N."
+  const auto scheme = make_partition_scheme(PartitionKind::kModulo);
+  EXPECT_EQ(scheme->owner(0, 100, 4), 0u);
+  EXPECT_EQ(scheme->owner(1, 100, 4), 1u);
+  EXPECT_EQ(scheme->owner(5, 100, 4), 1u);
+  EXPECT_EQ(scheme->owner(7, 100, 4), 3u);
+}
+
+TEST(ModuloSchemeTest, PaperExample100Elements4Pes) {
+  // §2's worked example: 100-element arrays, page size 32, 4 PEs:
+  // PEs 0..2 hold one full page, PE 3 the 4-element partial page.
+  const auto scheme = make_partition_scheme(PartitionKind::kModulo);
+  for (PageIndex p = 0; p < 4; ++p) {
+    EXPECT_EQ(scheme->owner(p, 4, 4), static_cast<PeId>(p));
+  }
+}
+
+TEST(BlockSchemeTest, ContiguousRuns) {
+  const auto scheme = make_partition_scheme(PartitionKind::kBlock);
+  // 10 pages over 3 PEs: 4 + 3 + 3.
+  std::vector<PeId> owners;
+  for (PageIndex p = 0; p < 10; ++p) owners.push_back(scheme->owner(p, 10, 3));
+  EXPECT_EQ(owners,
+            (std::vector<PeId>{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}));
+}
+
+TEST(BlockCyclicSchemeTest, DealsBlocks) {
+  const auto scheme = make_partition_scheme(PartitionKind::kBlockCyclic, 2);
+  std::vector<PeId> owners;
+  for (PageIndex p = 0; p < 8; ++p) owners.push_back(scheme->owner(p, 8, 2));
+  EXPECT_EQ(owners, (std::vector<PeId>{0, 0, 1, 1, 0, 0, 1, 1}));
+}
+
+TEST(SchemeNamesTest, ToString) {
+  EXPECT_EQ(to_string(PartitionKind::kModulo), "modulo");
+  EXPECT_EQ(to_string(PartitionKind::kBlock), "block");
+  EXPECT_EQ(to_string(PartitionKind::kBlockCyclic), "block-cyclic");
+  EXPECT_EQ(make_partition_scheme(PartitionKind::kBlockCyclic, 4)->name(),
+            "block-cyclic(b=4)");
+}
+
+struct SchemeCase {
+  PartitionKind kind;
+  std::int64_t pages;
+  std::uint32_t pes;
+};
+
+class SchemeProperty : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(SchemeProperty, TotalAndBalanced) {
+  // Every page has exactly one owner in range, and no PE owns more than
+  // ceil(pages/pes) + small slack (block-cyclic rounds by block).
+  const auto [kind, pages, pes] = GetParam();
+  const auto scheme = make_partition_scheme(kind, 2);
+  std::map<PeId, std::int64_t> counts;
+  for (PageIndex p = 0; p < pages; ++p) {
+    const PeId owner = scheme->owner(p, pages, pes);
+    ASSERT_LT(owner, pes);
+    ++counts[owner];
+  }
+  std::int64_t total = 0;
+  const std::int64_t fair = (pages + pes - 1) / pes;
+  for (const auto& [pe, count] : counts) {
+    total += count;
+    EXPECT_LE(count, fair + 2) << to_string(kind) << " pe=" << pe;
+  }
+  EXPECT_EQ(total, pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemeProperty,
+    ::testing::Values(SchemeCase{PartitionKind::kModulo, 100, 4},
+                      SchemeCase{PartitionKind::kModulo, 7, 16},
+                      SchemeCase{PartitionKind::kModulo, 1024, 64},
+                      SchemeCase{PartitionKind::kBlock, 100, 4},
+                      SchemeCase{PartitionKind::kBlock, 7, 16},
+                      SchemeCase{PartitionKind::kBlock, 1024, 64},
+                      SchemeCase{PartitionKind::kBlockCyclic, 100, 4},
+                      SchemeCase{PartitionKind::kBlockCyclic, 7, 16},
+                      SchemeCase{PartitionKind::kBlockCyclic, 1024, 64}));
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,58 @@
+#include "stats/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sap {
+namespace {
+
+TEST(CountersTest, RecordEachKind) {
+  AccessCounters c;
+  c.record(AccessKind::kWrite);
+  c.record(AccessKind::kLocalRead);
+  c.record(AccessKind::kCachedRead);
+  c.record(AccessKind::kRemoteRead);
+  c.record(AccessKind::kRemoteRead);
+  EXPECT_EQ(c.writes, 1u);
+  EXPECT_EQ(c.local_reads, 1u);
+  EXPECT_EQ(c.cached_reads, 1u);
+  EXPECT_EQ(c.remote_reads, 2u);
+  EXPECT_EQ(c.total_reads(), 4u);
+}
+
+TEST(CountersTest, RemoteFractionPerPaperDefinition) {
+  // §7: "% of Reads Remote" — writes are excluded from the denominator.
+  AccessCounters c;
+  c.writes = 100;
+  c.local_reads = 60;
+  c.cached_reads = 20;
+  c.remote_reads = 20;
+  EXPECT_DOUBLE_EQ(c.remote_read_fraction(), 0.2);
+}
+
+TEST(CountersTest, ZeroReadsGiveZeroFraction) {
+  AccessCounters c;
+  c.writes = 10;
+  EXPECT_DOUBLE_EQ(c.remote_read_fraction(), 0.0);
+}
+
+TEST(CountersTest, Merge) {
+  AccessCounters a, b;
+  a.writes = 1;
+  a.remote_reads = 2;
+  b.local_reads = 3;
+  b.remote_reads = 4;
+  a += b;
+  EXPECT_EQ(a.writes, 1u);
+  EXPECT_EQ(a.local_reads, 3u);
+  EXPECT_EQ(a.remote_reads, 6u);
+}
+
+TEST(CountersTest, AccessKindNames) {
+  EXPECT_EQ(to_string(AccessKind::kWrite), "write");
+  EXPECT_EQ(to_string(AccessKind::kLocalRead), "local");
+  EXPECT_EQ(to_string(AccessKind::kCachedRead), "cached");
+  EXPECT_EQ(to_string(AccessKind::kRemoteRead), "remote");
+}
+
+}  // namespace
+}  // namespace sap

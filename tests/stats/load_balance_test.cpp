@@ -1,0 +1,40 @@
+#include "stats/load_balance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sap {
+namespace {
+
+TEST(LoadBalanceTest, PerfectlyEven) {
+  const auto lb = summarize_load({10, 10, 10, 10});
+  EXPECT_DOUBLE_EQ(lb.mean, 10.0);
+  EXPECT_DOUBLE_EQ(lb.min, 10.0);
+  EXPECT_DOUBLE_EQ(lb.max, 10.0);
+  EXPECT_DOUBLE_EQ(lb.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(lb.imbalance(), 1.0);
+  EXPECT_DOUBLE_EQ(lb.coefficient_of_variation(), 0.0);
+}
+
+TEST(LoadBalanceTest, SkewedLoad) {
+  const auto lb = summarize_load({0, 0, 0, 40});
+  EXPECT_DOUBLE_EQ(lb.mean, 10.0);
+  EXPECT_DOUBLE_EQ(lb.max, 40.0);
+  EXPECT_DOUBLE_EQ(lb.imbalance(), 4.0);
+  EXPECT_GT(lb.coefficient_of_variation(), 1.0);
+}
+
+TEST(LoadBalanceTest, EmptyAndZero) {
+  const auto empty = summarize_load({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  const auto zeros = summarize_load({0, 0});
+  EXPECT_DOUBLE_EQ(zeros.imbalance(), 0.0);  // guarded division
+}
+
+TEST(LoadBalanceTest, KnownStddev) {
+  const auto lb = summarize_load({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(lb.mean, 5.0);
+  EXPECT_DOUBLE_EQ(lb.stddev, 2.0);  // classic textbook example
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,74 @@
+#include "stats/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/series.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+std::vector<SweepSeries> sample_series() {
+  SweepSeries cache{"Cache", {{2, 1.0}, {4, 1.0}}};
+  SweepSeries nocache{"No Cache", {{2, 21.0}, {4, 21.0}}};
+  return {cache, nocache};
+}
+
+TEST(SeriesTest, YAtAndExtremes) {
+  const SweepSeries s{"s", {{2, 5.0}, {4, 1.0}}};
+  EXPECT_DOUBLE_EQ(s.y_at(2), 5.0);
+  EXPECT_DOUBLE_EQ(s.max_y(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min_y(), 1.0);
+  EXPECT_THROW(s.y_at(3), Error);
+}
+
+TEST(ReportTest, SeriesTableHasAllColumns) {
+  const std::string out = series_table(sample_series(), "PEs", false);
+  EXPECT_NE(out.find("PEs"), std::string::npos);
+  EXPECT_NE(out.find("Cache"), std::string::npos);
+  EXPECT_NE(out.find("No Cache"), std::string::npos);
+  EXPECT_NE(out.find("21.0000"), std::string::npos);
+}
+
+TEST(ReportTest, PercentMode) {
+  const std::string out = series_table(sample_series(), "PEs", true);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(ReportTest, MissingPointsDashed) {
+  SweepSeries a{"a", {{1, 1.0}}};
+  SweepSeries b{"b", {{2, 2.0}}};
+  const std::string out = series_table({a, b}, "x", false);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(ReportTest, CsvRoundTrip) {
+  std::ostringstream os;
+  series_csv(os, sample_series(), "pes");
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "pes,Cache,No Cache");
+  EXPECT_NE(csv.find("\n2,1.000000,21.000000"), std::string::npos);
+}
+
+TEST(ReportTest, ChartRenders) {
+  const std::string out =
+      series_chart(sample_series(), "Figure 1", "PEs", "% remote");
+  EXPECT_NE(out.find("Figure 1"), std::string::npos);
+  EXPECT_NE(out.find("Cache"), std::string::npos);
+}
+
+TEST(ReportTest, PerPeTable) {
+  SimulationResult result;
+  result.per_pe.resize(2);
+  result.per_pe[0].writes = 3;
+  result.per_pe[0].local_reads = 5;
+  result.per_pe[1].remote_reads = 2;
+  const std::string out = per_pe_table(result);
+  EXPECT_NE(out.find("PE"), std::string::npos);
+  EXPECT_NE(out.find("100.00%"), std::string::npos);  // PE1 all-remote
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,49 @@
+#include "support/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(AsciiChartTest, RendersSeriesGlyphsAndLegend) {
+  AsciiChart chart("Remote reads", "PEs", "%");
+  chart.add_series({"Cache", {{2, 1.0}, {4, 1.0}, {8, 1.0}}});
+  chart.add_series({"No Cache", {{2, 21.0}, {4, 21.0}, {8, 21.0}}});
+  const std::string out = chart.render(10);
+  EXPECT_NE(out.find("Remote reads"), std::string::npos);
+  EXPECT_NE(out.find("* = Cache"), std::string::npos);
+  EXPECT_NE(out.find("o = No Cache"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptyChartHasPlaceholder) {
+  AsciiChart chart("t", "x", "y");
+  EXPECT_NE(chart.render().find("<no data>"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RejectsTinyHeight) {
+  AsciiChart chart("t", "x", "y");
+  chart.add_series({"s", {{1, 1}}});
+  EXPECT_THROW(chart.render(2), Error);
+}
+
+TEST(AsciiChartTest, XAxisLabelsPresent) {
+  AsciiChart chart("t", "PEs", "y");
+  chart.add_series({"s", {{1, 0.5}, {64, 2.0}}});
+  const std::string out = chart.render(8);
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find("64"), std::string::npos);
+}
+
+TEST(AsciiChartTest, CollisionRenderedAsEquals) {
+  AsciiChart chart("t", "x", "y");
+  chart.add_series({"a", {{1, 1.0}}});
+  chart.add_series({"b", {{1, 1.0}}});
+  EXPECT_NE(chart.render(8).find('='), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sap

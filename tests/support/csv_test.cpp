@@ -1,0 +1,37 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sap {
+namespace {
+
+TEST(CsvTest, PlainCellsUnquoted) {
+  EXPECT_EQ(CsvWriter::escape("abc"), "abc");
+  EXPECT_EQ(CsvWriter::escape("1.5"), "1.5");
+}
+
+TEST(CsvTest, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"x", "y"});
+  csv.write_row({"1", "2,3"});
+  EXPECT_EQ(os.str(), "x,y\n1,\"2,3\"\n");
+}
+
+TEST(CsvTest, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,38 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sap {
+namespace {
+
+TEST(ErrorTest, DoubleWriteCarriesContext) {
+  const DoubleWriteError err("X", 42);
+  EXPECT_EQ(err.array_name(), "X");
+  EXPECT_EQ(err.linear_index(), 42);
+  EXPECT_NE(std::string(err.what()).find("X[42]"), std::string::npos);
+}
+
+TEST(ErrorTest, UndefinedReadCarriesContext) {
+  const UndefinedReadError err("V", 7);
+  EXPECT_EQ(err.array_name(), "V");
+  EXPECT_EQ(err.linear_index(), 7);
+  EXPECT_NE(std::string(err.what()).find("undefined"), std::string::npos);
+}
+
+TEST(ErrorTest, ParseErrorCarriesPosition) {
+  const ParseError err("bad token", 3, 14);
+  EXPECT_EQ(err.line(), 3);
+  EXPECT_EQ(err.column(), 14);
+  EXPECT_NE(std::string(err.what()).find("3:14"), std::string::npos);
+}
+
+TEST(ErrorTest, HierarchyCatchableAsBase) {
+  EXPECT_THROW(throw DoubleWriteError("A", 0), Error);
+  EXPECT_THROW(throw DeadlockError("stuck"), Error);
+  EXPECT_THROW(throw ConfigError("bad"), Error);
+  EXPECT_THROW(throw BoundsError("oob"), Error);
+  EXPECT_THROW(throw SemanticError("sem"), Error);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,68 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace sap {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64Test, NextBelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(PermutationTest, IsAPermutation) {
+  const auto perm = random_permutation(257, 42);
+  ASSERT_EQ(perm.size(), 257u);
+  std::set<std::int64_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 256);
+}
+
+TEST(PermutationTest, SeedChangesOrder) {
+  const auto a = random_permutation(100, 1);
+  const auto b = random_permutation(100, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(PermutationTest, DeterministicPerSeed) {
+  EXPECT_EQ(random_permutation(64, 5), random_permutation(64, 5));
+}
+
+TEST(PermutationTest, EmptyAndSingleton) {
+  EXPECT_TRUE(random_permutation(0, 1).empty());
+  const auto single = random_permutation(1, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 0);
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,45 @@
+#include "support/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxxxxx", "1"});
+  const std::string out = t.to_string();
+  // Header row, underline row, one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.21, 2), "21.00%");
+  EXPECT_EQ(TextTable::pct(0.005, 1), "0.5%");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sap
