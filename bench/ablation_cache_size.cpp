@@ -12,12 +12,21 @@ int main() {
 
   const std::vector<std::int64_t> sizes = {0,   64,   128,  256,
                                            512, 1024, 2048, 4096};
-  std::vector<SweepSeries> series;
-  for (const char* id : {"k06_glr", "k08_adi", "k21_matmul", "k01_hydro"}) {
-    series.push_back(sweep_cache_sizes(build_kernel(id),
-                                       bench::paper_config().with_pes(16),
-                                       sizes, id, remote_read_percent()));
+  // One batch over the kernels x sizes cross-product, one series per row.
+  const std::vector<const char*> ids = {"k06_glr", "k08_adi", "k21_matmul",
+                                        "k01_hydro"};
+  std::vector<CompiledProgram> programs;
+  programs.reserve(ids.size());
+  for (const char* id : ids) programs.push_back(build_kernel(id));
+  std::vector<MachineConfig> configs;
+  configs.reserve(sizes.size());
+  for (const std::int64_t size : sizes) {
+    configs.push_back(bench::paper_config().with_pes(16).with_cache(size));
   }
+  const SweepGrid grid = sweep_grid(programs, configs, &bench::pool());
+  const std::vector<SweepSeries> series =
+      grid_series(grid, {ids.begin(), ids.end()},
+                  {sizes.begin(), sizes.end()}, remote_read_percent());
   bench::emit_series("ablation_cache_size", series, "cache elements",
                      "Remote reads vs cache size");
 

@@ -16,32 +16,54 @@ int main() {
 
   const std::vector<std::int64_t> page_sizes = {8, 16, 32, 64, 128, 256};
 
-  std::vector<SweepSeries> series;
-  for (const char* id : {"k01_hydro", "k02_iccg", "k18_hydro2d", "k06_glr"}) {
-    series.push_back(sweep_page_sizes(build_kernel(id),
-                                      bench::paper_config().with_pes(16),
-                                      page_sizes, id,
-                                      remote_read_percent()));
+  // One batch over the kernels x page-sizes cross-product, one series per
+  // row.
+  const std::vector<const char*> series_ids = {"k01_hydro", "k02_iccg",
+                                               "k18_hydro2d", "k06_glr"};
+  std::vector<CompiledProgram> series_programs;
+  series_programs.reserve(series_ids.size());
+  for (const char* id : series_ids) {
+    series_programs.push_back(build_kernel(id));
   }
+  std::vector<MachineConfig> series_configs;
+  series_configs.reserve(page_sizes.size());
+  for (const std::int64_t ps : page_sizes) {
+    series_configs.push_back(
+        bench::paper_config().with_pes(16).with_page_size(ps));
+  }
+  const SweepGrid series_grid =
+      sweep_grid(series_programs, series_configs, &bench::pool());
+  const std::vector<SweepSeries> series =
+      grid_series(series_grid, {series_ids.begin(), series_ids.end()},
+                  {page_sizes.begin(), page_sizes.end()},
+                  remote_read_percent());
   bench::emit_series("ablation_page_size", series, "page size",
                      "Remote reads vs page size");
 
   // Work spread: PEs with at least one write (the §7.1.2 trade-off).
-  TextTable spread({"page size", "hydro PEs active", "iccg PEs active"});
+  // One simulation per (kernel, page size) pair, fanned as a single batch.
+  std::vector<CompiledProgram> programs;
+  programs.push_back(build_kernel("k01_hydro"));
+  programs.push_back(build_kernel("k02_iccg"));
+  std::vector<MachineConfig> configs;
+  configs.reserve(page_sizes.size());
   for (const std::int64_t ps : page_sizes) {
-    const Simulator sim(bench::paper_config().with_pes(16).with_page_size(
-        ps).with_cache(256 >= ps ? 256 : ps));
-    const auto count_active = [&](const char* id) {
-      const auto result = sim.run(build_kernel(id));
-      int active = 0;
-      for (const auto& pe : result.per_pe) {
-        if (pe.writes > 0) ++active;
-      }
-      return active;
-    };
-    spread.add_row({std::to_string(ps),
-                    std::to_string(count_active("k01_hydro")),
-                    std::to_string(count_active("k02_iccg"))});
+    configs.push_back(bench::paper_config().with_pes(16)
+        .with_page_size(ps).with_cache(256 >= ps ? 256 : ps));
+  }
+  const SweepGrid grid = sweep_grid(programs, configs, &bench::pool());
+  const auto count_active = [](const SimulationResult& result) {
+    int active = 0;
+    for (const auto& pe : result.per_pe) {
+      if (pe.writes > 0) ++active;
+    }
+    return active;
+  };
+  TextTable spread({"page size", "hydro PEs active", "iccg PEs active"});
+  for (std::size_t i = 0; i < page_sizes.size(); ++i) {
+    spread.add_row({std::to_string(page_sizes[i]),
+                    std::to_string(count_active(grid.at(0, i))),
+                    std::to_string(count_active(grid.at(1, i)))});
   }
   std::cout << spread.to_string()
             << "\nLarger pages cut boundary crossings (skew cost ~ "

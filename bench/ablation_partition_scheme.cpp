@@ -16,23 +16,34 @@ int main() {
       {"block", PartitionKind::kBlock},
       {"block-cyclic", PartitionKind::kBlockCyclic},
   };
+  // One job per (kernel, scheme) pair, fanned as a single batch.
+  const std::vector<const char*> ids = {"k14_pic1d", "k01_hydro",
+                                        "k05_tridiag", "k02_iccg",
+                                        "k18_hydro2d", "k06_glr", "k08_adi"};
+  std::vector<CompiledProgram> programs;
+  programs.reserve(ids.size());
+  for (const char* id : ids) programs.push_back(kernel_by_id(id).build());
+
+  std::vector<MachineConfig> configs;
+  configs.reserve(schemes.size());
+  for (const auto& [name, kind] : schemes) {
+    configs.push_back(bench::paper_config().with_pes(16).with_partition(kind));
+  }
+  const SweepGrid grid = sweep_grid(programs, configs, &bench::pool());
+
   TextTable table(
       {"kernel", "class", "modulo", "block", "block-cyclic", "best"});
-  for (const char* id : {"k14_pic1d", "k01_hydro", "k05_tridiag", "k02_iccg",
-                         "k18_hydro2d", "k06_glr", "k08_adi"}) {
-    const auto& spec = kernel_by_id(id);
-    const CompiledProgram prog = spec.build();
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const auto& spec = kernel_by_id(ids[k]);
     std::vector<std::string> row{spec.id, to_string(spec.paper_class)};
     double best = 1e9;
     std::string best_name;
-    for (const auto& [name, kind] : schemes) {
-      const Simulator sim(
-          bench::paper_config().with_pes(16).with_partition(kind));
-      const double fraction = sim.run(prog).remote_read_fraction();
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const double fraction = grid.at(k, s).remote_read_fraction();
       row.push_back(TextTable::pct(fraction));
       if (fraction < best) {
         best = fraction;
-        best_name = name;
+        best_name = schemes[s].first;
       }
     }
     row.push_back(best_name);

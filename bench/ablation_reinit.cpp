@@ -32,12 +32,28 @@ int main() {
       "Ablation A6 — Host-Processor Re-initialization Cost (§5)",
       "time-stepped reuse of one array; protocol vs data messages");
 
+  // One job per (PE count, step count) pair, fanned as a single batch.
+  const std::vector<std::uint32_t> pe_counts = {2, 4, 8, 16, 32, 64};
+  const std::vector<std::int64_t> step_counts = {2, 8};
+  std::vector<CompiledProgram> programs;
+  programs.reserve(step_counts.size());
+  for (const std::int64_t steps : step_counts) {
+    programs.push_back(timestep_program(1024, steps));
+  }
+  std::vector<MachineConfig> configs;
+  configs.reserve(pe_counts.size());
+  for (const std::uint32_t pes : pe_counts) {
+    configs.push_back(bench::paper_config().with_pes(pes));
+  }
+  const SweepGrid grid = sweep_grid(programs, configs, &bench::pool());
+
   TextTable table({"PEs", "steps", "reinit msgs", "page msgs",
                    "protocol share", "remote %"});
-  for (const std::uint32_t pes : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    for (const std::int64_t steps : {2, 8}) {
-      const Simulator sim(bench::paper_config().with_pes(pes));
-      const auto result = sim.run(timestep_program(1024, steps));
+  for (std::size_t p = 0; p < pe_counts.size(); ++p) {
+    for (std::size_t s = 0; s < step_counts.size(); ++s) {
+      const std::uint32_t pes = pe_counts[p];
+      const std::int64_t steps = step_counts[s];
+      const auto& result = grid.at(s, p);
       const std::uint64_t data_msgs =
           result.network.messages - result.reinit_messages;
       const double share =

@@ -11,17 +11,30 @@ int main() {
       "Ablation A4 — Cache Replacement Policy",
       "remote read fraction at 16 PEs, ps 32, 256-element cache");
 
+  // One job per (kernel, policy) pair, fanned as a single batch.
+  const std::vector<const char*> ids = {"k01_hydro", "k02_iccg",
+                                        "k18_hydro2d", "k06_glr",
+                                        "k08_adi", "k21_matmul"};
+  const std::vector<ReplacementPolicy> policies = {
+      ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+      ReplacementPolicy::kRandom};
+  std::vector<CompiledProgram> programs;
+  programs.reserve(ids.size());
+  for (const char* id : ids) programs.push_back(kernel_by_id(id).build());
+
+  std::vector<MachineConfig> configs;
+  configs.reserve(policies.size());
+  for (const auto policy : policies) {
+    configs.push_back(bench::paper_config().with_pes(16).with_replacement(policy));
+  }
+  const SweepGrid grid = sweep_grid(programs, configs, &bench::pool());
+
   TextTable table({"kernel", "class", "LRU", "FIFO", "random"});
-  for (const char* id : {"k01_hydro", "k02_iccg", "k18_hydro2d", "k06_glr",
-                         "k08_adi", "k21_matmul"}) {
-    const auto& spec = kernel_by_id(id);
-    const CompiledProgram prog = spec.build();
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const auto& spec = kernel_by_id(ids[k]);
     std::vector<std::string> row{spec.id, to_string(spec.paper_class)};
-    for (const auto policy : {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
-                              ReplacementPolicy::kRandom}) {
-      const Simulator sim(
-          bench::paper_config().with_pes(16).with_replacement(policy));
-      row.push_back(TextTable::pct(sim.run(prog).remote_read_fraction()));
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      row.push_back(TextTable::pct(grid.at(k, p).remote_read_fraction()));
     }
     table.add_row(std::move(row));
   }

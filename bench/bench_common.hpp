@@ -14,8 +14,23 @@
 #include "core/sweep.hpp"
 #include "stats/report.hpp"
 #include "support/text_table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sap::bench {
+
+/// Shared worker pool for every bench driver.  Sized by SAPART_WORKERS
+/// when set (0 or unset: one worker per hardware thread).  Sweeps are
+/// deterministic for any worker count, so the knob only affects speed.
+inline ThreadPool& pool() {
+  static ThreadPool shared([] {
+    if (const char* env = std::getenv("SAPART_WORKERS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<unsigned>(parsed);
+    }
+    return 0u;
+  }());
+  return shared;
+}
 
 inline void print_header(const std::string& artifact,
                          const std::string& description) {

@@ -15,7 +15,8 @@ int main() {
 
   const CompiledProgram prog = build_k1_hydro();
   const auto series = figure_series(prog, bench::paper_config(),
-                                    {1, 2, 4, 8, 16, 32, 64}, {32, 64});
+                                    {1, 2, 4, 8, 16, 32, 64}, {32, 64},
+                                    &bench::pool());
   bench::emit_series("fig1", series, "PEs",
                      "Hydro Fragment: % remote reads vs PEs");
 

@@ -20,7 +20,8 @@ int main() {
 
   const CompiledProgram prog = build_k2_iccg();
   const auto series = figure_series(prog, bench::paper_config(),
-                                    {1, 2, 4, 8, 16, 32}, {32, 64});
+                                    {1, 2, 4, 8, 16, 32}, {32, 64},
+                                    &bench::pool());
   bench::emit_series("fig2", series, "PEs",
                      "ICCG: % remote reads vs PEs");
 

@@ -17,7 +17,8 @@ int main() {
 
   const CompiledProgram prog = build_k18_explicit_hydro_2d();
   const auto series = figure_series(prog, bench::paper_config(),
-                                    {1, 2, 4, 8, 16, 32}, {32, 64});
+                                    {1, 2, 4, 8, 16, 32}, {32, 64},
+                                    &bench::pool());
   bench::emit_series("fig3", series, "PEs",
                      "2-D Explicit Hydro: % remote reads vs PEs");
 

@@ -13,7 +13,8 @@ int main() {
 
   const CompiledProgram prog = build_k6_general_linear_recurrence();
   const auto series = figure_series(prog, bench::paper_config(),
-                                    {1, 2, 4, 8, 16, 32}, {32, 64});
+                                    {1, 2, 4, 8, 16, 32}, {32, 64},
+                                    &bench::pool());
   bench::emit_series("fig4", series, "PEs",
                      "GLR: % remote reads vs PEs");
 

@@ -14,10 +14,12 @@ int main() {
 
   // Figure 5 uses a grid large enough that all 64 PEs own pages.
   const CompiledProgram prog = build_k18_explicit_hydro_2d(400);
-  const Simulator cached(bench::paper_config().with_pes(64));
-  const Simulator nocache(bench::paper_config().with_pes(64).with_cache(0));
-  const SimulationResult with_cache = cached.run(prog);
-  const SimulationResult without_cache = nocache.run(prog);
+  const auto results = parallel_sweep_results(
+      {{&prog, bench::paper_config().with_pes(64)},
+       {&prog, bench::paper_config().with_pes(64).with_cache(0)}},
+      &bench::pool());
+  const SimulationResult& with_cache = results[0];
+  const SimulationResult& without_cache = results[1];
 
   TextTable table({"PE", "local (cache)", "remote (cache)",
                    "local (no cache)", "remote (no cache)"});

@@ -1,5 +1,9 @@
 #include "core/sweep.hpp"
 
+#include <cstddef>
+
+#include "support/check.hpp"
+
 namespace sap {
 
 Metric remote_read_percent() {
@@ -8,59 +12,178 @@ Metric remote_read_percent() {
   };
 }
 
+std::vector<SimulationResult> parallel_sweep_results(
+    const std::vector<SweepJob>& jobs, ThreadPool* pool) {
+  for (const SweepJob& job : jobs) {
+    SAP_CHECK(job.program != nullptr, "SweepJob without a program");
+  }
+  std::vector<SimulationResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i) {
+    const Simulator sim(jobs[i].config);
+    results[i] = sim.run(*jobs[i].program, jobs[i].mode);
+  };
+  if (pool == nullptr || jobs.size() <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    parallel_for_each(*pool, jobs.size(), run_one);
+  }
+  return results;
+}
+
+SweepGrid sweep_grid(const std::vector<CompiledProgram>& programs,
+                     const std::vector<MachineConfig>& configs,
+                     ThreadPool* pool) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(programs.size() * configs.size());
+  for (const CompiledProgram& program : programs) {
+    for (const MachineConfig& config : configs) {
+      jobs.push_back({&program, config, ExecutionMode::kCounting});
+    }
+  }
+  return {configs.size(), parallel_sweep_results(jobs, pool)};
+}
+
+std::vector<double> parallel_sweep(const CompiledProgram& compiled,
+                                   const std::vector<MachineConfig>& configs,
+                                   const Metric& metric, ThreadPool* pool) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(configs.size());
+  for (const MachineConfig& config : configs) {
+    jobs.push_back({&compiled, config, ExecutionMode::kCounting});
+  }
+  const std::vector<SimulationResult> results =
+      parallel_sweep_results(jobs, pool);
+  std::vector<double> values;
+  values.reserve(results.size());
+  for (const SimulationResult& result : results) {
+    values.push_back(metric(result));
+  }
+  return values;
+}
+
+namespace {
+
+/// Zips precomputed x values with the swept metric values into a series.
+SweepSeries make_series(std::string label, const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  SweepSeries series;
+  series.label = std::move(label);
+  for (std::size_t i = 0; i < xs.size(); ++i) series.add(xs[i], ys[i]);
+  return series;
+}
+
+}  // namespace
+
+std::vector<SweepSeries> grid_series(const SweepGrid& grid,
+                                     const std::vector<std::string>& labels,
+                                     const std::vector<double>& xs,
+                                     const Metric& metric) {
+  SAP_CHECK(labels.size() * grid.columns == grid.results.size(),
+            "grid_series: one label per grid row required");
+  SAP_CHECK(xs.size() == grid.columns,
+            "grid_series: one x per grid column required");
+  std::vector<SweepSeries> out;
+  out.reserve(labels.size());
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    std::vector<double> ys;
+    ys.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      ys.push_back(metric(grid.at(k, i)));
+    }
+    out.push_back(make_series(labels[k], xs, ys));
+  }
+  return out;
+}
+
 SweepSeries sweep_pes(const CompiledProgram& compiled,
                       const MachineConfig& base,
                       const std::vector<std::uint32_t>& pe_counts,
-                      std::string label, const Metric& metric) {
-  SweepSeries series;
-  series.label = std::move(label);
+                      std::string label, const Metric& metric,
+                      ThreadPool* pool) {
+  std::vector<MachineConfig> configs;
+  std::vector<double> xs;
+  configs.reserve(pe_counts.size());
+  xs.reserve(pe_counts.size());
   for (const std::uint32_t pes : pe_counts) {
-    const Simulator sim(base.with_pes(pes));
-    series.add(static_cast<double>(pes), metric(sim.run(compiled)));
+    configs.push_back(base.with_pes(pes));
+    xs.push_back(static_cast<double>(pes));
   }
-  return series;
+  return make_series(std::move(label), xs,
+                     parallel_sweep(compiled, configs, metric, pool));
 }
 
 SweepSeries sweep_page_sizes(const CompiledProgram& compiled,
                              const MachineConfig& base,
                              const std::vector<std::int64_t>& page_sizes,
-                             std::string label, const Metric& metric) {
-  SweepSeries series;
-  series.label = std::move(label);
+                             std::string label, const Metric& metric,
+                             ThreadPool* pool) {
+  std::vector<MachineConfig> configs;
+  std::vector<double> xs;
+  configs.reserve(page_sizes.size());
+  xs.reserve(page_sizes.size());
   for (const std::int64_t ps : page_sizes) {
-    const Simulator sim(base.with_page_size(ps));
-    series.add(static_cast<double>(ps), metric(sim.run(compiled)));
+    configs.push_back(base.with_page_size(ps));
+    xs.push_back(static_cast<double>(ps));
   }
-  return series;
+  return make_series(std::move(label), xs,
+                     parallel_sweep(compiled, configs, metric, pool));
 }
 
 SweepSeries sweep_cache_sizes(const CompiledProgram& compiled,
                               const MachineConfig& base,
                               const std::vector<std::int64_t>& cache_sizes,
-                              std::string label, const Metric& metric) {
-  SweepSeries series;
-  series.label = std::move(label);
+                              std::string label, const Metric& metric,
+                              ThreadPool* pool) {
+  std::vector<MachineConfig> configs;
+  std::vector<double> xs;
+  configs.reserve(cache_sizes.size());
+  xs.reserve(cache_sizes.size());
   for (const std::int64_t cache : cache_sizes) {
-    const Simulator sim(base.with_cache(cache));
-    series.add(static_cast<double>(cache), metric(sim.run(compiled)));
+    configs.push_back(base.with_cache(cache));
+    xs.push_back(static_cast<double>(cache));
   }
-  return series;
+  return make_series(std::move(label), xs,
+                     parallel_sweep(compiled, configs, metric, pool));
 }
 
 std::vector<SweepSeries> figure_series(
     const CompiledProgram& compiled, const MachineConfig& base,
     const std::vector<std::uint32_t>& pe_counts,
-    const std::vector<std::int64_t>& page_sizes) {
-  std::vector<SweepSeries> out;
+    const std::vector<std::int64_t>& page_sizes, ThreadPool* pool) {
+  // Flatten all (series, point) pairs into one batch so every simulation
+  // of the figure fans across the pool at once.
+  std::vector<MachineConfig> configs;
+  std::vector<std::string> labels;
+  configs.reserve(2 * page_sizes.size() * pe_counts.size());
   for (const std::int64_t ps : page_sizes) {
-    out.push_back(sweep_pes(compiled, base.with_page_size(ps), pe_counts,
-                            "Cache, ps " + std::to_string(ps),
-                            remote_read_percent()));
+    labels.push_back("Cache, ps " + std::to_string(ps));
+    for (const std::uint32_t pes : pe_counts) {
+      configs.push_back(base.with_page_size(ps).with_pes(pes));
+    }
   }
   for (const std::int64_t ps : page_sizes) {
-    out.push_back(sweep_pes(compiled, base.with_page_size(ps).with_cache(0),
-                            pe_counts, "No Cache, ps " + std::to_string(ps),
-                            remote_read_percent()));
+    labels.push_back("No Cache, ps " + std::to_string(ps));
+    for (const std::uint32_t pes : pe_counts) {
+      configs.push_back(base.with_page_size(ps).with_cache(0).with_pes(pes));
+    }
+  }
+
+  const std::vector<double> values =
+      parallel_sweep(compiled, configs, remote_read_percent(), pool);
+
+  std::vector<double> xs;
+  xs.reserve(pe_counts.size());
+  for (const std::uint32_t pes : pe_counts) {
+    xs.push_back(static_cast<double>(pes));
+  }
+
+  std::vector<SweepSeries> out;
+  out.reserve(labels.size());
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    const std::vector<double> ys(
+        values.begin() + static_cast<std::ptrdiff_t>(s * xs.size()),
+        values.begin() + static_cast<std::ptrdiff_t>((s + 1) * xs.size()));
+    out.push_back(make_series(labels[s], xs, ys));
   }
   return out;
 }

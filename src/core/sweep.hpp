@@ -1,4 +1,11 @@
 // Parameter sweeps: the data series behind every figure and ablation.
+//
+// Every sweep is a set of *independent* Simulator::run invocations — one
+// per machine configuration — so they parallelize trivially.  Each helper
+// takes an optional ThreadPool; pass one to fan the runs across workers.
+// Output is deterministic and order-stable: each run writes its own
+// pre-assigned slot, so the parallel result is identical to the serial one
+// for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +15,7 @@
 
 #include "core/simulator.hpp"
 #include "stats/series.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sap {
 
@@ -17,30 +25,82 @@ using Metric = std::function<double(const SimulationResult&)>;
 /// The paper's headline metric, "% of Reads Remote", in percent.
 Metric remote_read_percent();
 
+/// One simulation of the general parallel-sweep form: a program to run on
+/// a machine configuration under an execution mode.
+struct SweepJob {
+  const CompiledProgram* program = nullptr;
+  MachineConfig config;
+  ExecutionMode mode = ExecutionMode::kCounting;
+};
+
+/// The engine under every sweep helper: runs one independent simulation
+/// per job and returns the full results in input order.  With a pool the
+/// jobs fan across its workers; without one they run serially in the
+/// calling thread.  Both paths produce identical output.
+std::vector<SimulationResult> parallel_sweep_results(
+    const std::vector<SweepJob>& jobs, ThreadPool* pool = nullptr);
+
+/// Row-major results of a programs x configs cross-product sweep.
+struct SweepGrid {
+  std::size_t columns = 0;
+  std::vector<SimulationResult> results;
+
+  const SimulationResult& at(std::size_t program_idx,
+                             std::size_t config_idx) const {
+    return results.at(program_idx * columns + config_idx);
+  }
+};
+
+/// Runs every program under every configuration — one independent
+/// simulation per pair, fanned across the pool as a single batch.  The
+/// shape behind the ablation tables (kernels x schemes/policies/...).
+SweepGrid sweep_grid(const std::vector<CompiledProgram>& programs,
+                     const std::vector<MachineConfig>& configs,
+                     ThreadPool* pool = nullptr);
+
+/// One series per grid row: label from `labels` (one per program), x from
+/// `xs` (one per configuration), y = metric(cell).
+std::vector<SweepSeries> grid_series(const SweepGrid& grid,
+                                     const std::vector<std::string>& labels,
+                                     const std::vector<double>& xs,
+                                     const Metric& metric);
+
+/// As parallel_sweep_results, but reduces each result through `metric`:
+/// one program across many configurations, metric values in input order.
+std::vector<double> parallel_sweep(const CompiledProgram& compiled,
+                                   const std::vector<MachineConfig>& configs,
+                                   const Metric& metric,
+                                   ThreadPool* pool = nullptr);
+
 /// y = metric(result) for each PE count; x = PE count.
 SweepSeries sweep_pes(const CompiledProgram& compiled,
                       const MachineConfig& base,
                       const std::vector<std::uint32_t>& pe_counts,
-                      std::string label, const Metric& metric);
+                      std::string label, const Metric& metric,
+                      ThreadPool* pool = nullptr);
 
 /// y = metric(result) for each page size; x = page size.
 SweepSeries sweep_page_sizes(const CompiledProgram& compiled,
                              const MachineConfig& base,
                              const std::vector<std::int64_t>& page_sizes,
-                             std::string label, const Metric& metric);
+                             std::string label, const Metric& metric,
+                             ThreadPool* pool = nullptr);
 
 /// y = metric(result) for each cache capacity; x = capacity in elements.
 SweepSeries sweep_cache_sizes(const CompiledProgram& compiled,
                               const MachineConfig& base,
                               const std::vector<std::int64_t>& cache_sizes,
-                              std::string label, const Metric& metric);
+                              std::string label, const Metric& metric,
+                              ThreadPool* pool = nullptr);
 
 /// Figures 1-4: four series ({Cache, No Cache} x page sizes) of
 /// "% reads remote" vs number of PEs.  `base.cache_elements` sizes the
-/// cache of the "Cache" series (the paper's 256).
+/// cache of the "Cache" series (the paper's 256).  All points of all four
+/// series fan across the pool as one batch.
 std::vector<SweepSeries> figure_series(
     const CompiledProgram& compiled, const MachineConfig& base,
     const std::vector<std::uint32_t>& pe_counts = {1, 2, 4, 8, 16, 32, 64},
-    const std::vector<std::int64_t>& page_sizes = {32, 64});
+    const std::vector<std::int64_t>& page_sizes = {32, 64},
+    ThreadPool* pool = nullptr);
 
 }  // namespace sap

@@ -1,0 +1,136 @@
+// Fixed-size worker thread pool and the parallel_for_each helper.
+//
+// The pool is the repo's one concurrency primitive: sweeps (core/sweep.hpp)
+// fan independent Simulator::run invocations across it, and every future
+// parallel subsystem is expected to reuse it rather than spawn ad-hoc
+// threads.  Determinism is preserved by construction: parallel_for_each
+// hands each index its own output slot, so results are order-stable no
+// matter how the scheduler interleaves the workers.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sap {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(unsigned workers = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task for execution on some worker.  The returned future
+  /// carries the task's result, or rethrows whatever it threw.
+  template <typename Fn, typename R = std::invoke_result_t<Fn&>>
+  std::future<R> submit(Fn fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Pops and runs one queued task on the calling thread, if any.  Lets a
+  /// thread that is waiting on pool work help instead of blocking — the
+  /// mechanism that makes nested parallel_for_each on one pool safe.
+  bool try_run_one();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, count), fanning across the pool's workers
+/// and blocking until all invocations finish.  The calling thread
+/// participates, and while waiting it keeps running queued pool tasks, so
+/// the call makes progress even when every worker is busy — including when
+/// fn itself calls parallel_for_each on the same pool (nested use).
+/// Indices are handed out dynamically; callers that write into
+/// per-index output slots get results independent of scheduling order.
+/// The first exception thrown by any invocation is rethrown here after the
+/// remaining indices have been drained.
+template <typename Fn>
+void parallel_for_each(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  if (count == 0) return;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const auto drain = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count;
+         i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  // Help instead of blocking: run queued tasks until this drain job is
+  // done.  Every worker blocked here still empties the queue, so nested
+  // parallel_for_each calls on one pool cannot deadlock.  The bounded
+  // wait keeps the tail cheap once the queue is empty (no busy-spin
+  // while the slowest in-flight task finishes).
+  const auto help_until_done = [&pool](std::future<void>& f) {
+    while (f.wait_for(std::chrono::milliseconds(1)) !=
+           std::future_status::ready) {
+      while (pool.try_run_one()) {
+      }
+    }
+  };
+
+  // One drain job per worker (capped at count); the caller runs one too.
+  const std::size_t jobs = std::min<std::size_t>(pool.size(), count - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(jobs);
+  try {
+    for (std::size_t j = 0; j < jobs; ++j) {
+      pending.push_back(pool.submit(drain));
+    }
+  } catch (...) {
+    // Enqueued drain copies reference this stack frame: cancel the
+    // remaining indices and wait them out before unwinding.
+    next.store(count);
+    for (auto& f : pending) help_until_done(f);
+    throw;
+  }
+  drain();
+  for (auto& f : pending) {
+    help_until_done(f);
+    f.get();
+  }
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sap

@@ -1,0 +1,147 @@
+// Determinism guarantee of the parallel sweep layer: for any worker count,
+// the parallel path must produce output byte-identical to the serial path.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+#include "stats/report.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sap {
+namespace {
+
+/// Byte-level rendering of a figure: every x/y of every series.
+std::string render(const std::vector<SweepSeries>& series) {
+  std::ostringstream os;
+  series_csv(os, series, "PEs");
+  return os.str();
+}
+
+TEST(ParallelSweepTest, FigureSeriesByteIdenticalAcrossWorkerCounts) {
+  const CompiledProgram prog = build_k1_hydro();
+  const std::vector<std::uint32_t> pes = {1, 2, 4, 8, 16};
+  const std::vector<std::int64_t> page_sizes = {32, 64};
+
+  const std::string serial =
+      render(figure_series(prog, MachineConfig{}, pes, page_sizes));
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const std::string parallel =
+        render(figure_series(prog, MachineConfig{}, pes, page_sizes, &pool));
+    EXPECT_EQ(parallel, serial) << "workers = " << workers;
+  }
+}
+
+TEST(ParallelSweepTest, SweepHelpersMatchSerialWithPool) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  ThreadPool pool(4);
+
+  const SweepSeries serial_pes = sweep_pes(prog, MachineConfig{}, {1, 2, 4, 8},
+                                           "s", remote_read_percent());
+  const SweepSeries pooled_pes = sweep_pes(prog, MachineConfig{}, {1, 2, 4, 8},
+                                           "s", remote_read_percent(), &pool);
+  ASSERT_EQ(pooled_pes.points.size(), serial_pes.points.size());
+  for (std::size_t i = 0; i < serial_pes.points.size(); ++i) {
+    EXPECT_EQ(pooled_pes.points[i].x, serial_pes.points[i].x);
+    EXPECT_EQ(pooled_pes.points[i].y, serial_pes.points[i].y);
+  }
+
+  const MachineConfig base = MachineConfig{}.with_pes(4).with_cache(0);
+  const SweepSeries serial_ps = sweep_page_sizes(
+      prog, base, {16, 32, 64}, "ps", remote_read_percent());
+  const SweepSeries pooled_ps = sweep_page_sizes(
+      prog, base, {16, 32, 64}, "ps", remote_read_percent(), &pool);
+  for (std::size_t i = 0; i < serial_ps.points.size(); ++i) {
+    EXPECT_EQ(pooled_ps.points[i].y, serial_ps.points[i].y);
+  }
+
+  const SweepSeries serial_cs = sweep_cache_sizes(
+      prog, base.with_pes(8), {0, 64, 256}, "c", remote_read_percent());
+  const SweepSeries pooled_cs = sweep_cache_sizes(
+      prog, base.with_pes(8), {0, 64, 256}, "c", remote_read_percent(), &pool);
+  for (std::size_t i = 0; i < serial_cs.points.size(); ++i) {
+    EXPECT_EQ(pooled_cs.points[i].y, serial_cs.points[i].y);
+  }
+}
+
+TEST(ParallelSweepTest, ResultsComeBackInJobOrder) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  ThreadPool pool(8);
+
+  // Distinguishable jobs: PE counts 1..8 give distinct distributions.
+  std::vector<SweepJob> jobs;
+  for (std::uint32_t pes = 1; pes <= 8; ++pes) {
+    jobs.push_back({&prog, MachineConfig{}.with_pes(pes)});
+  }
+  const auto serial = parallel_sweep_results(jobs);
+  const auto pooled = parallel_sweep_results(jobs, &pool);
+  ASSERT_EQ(pooled.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(pooled[i].totals.local_reads, serial[i].totals.local_reads)
+        << "job " << i;
+    EXPECT_EQ(pooled[i].totals.remote_reads, serial[i].totals.remote_reads)
+        << "job " << i;
+    EXPECT_EQ(pooled[i].per_pe.size(), i + 1);  // num_pes of job i
+  }
+}
+
+TEST(ParallelSweepTest, SweepGridIsRowMajorAndMatchesSerial) {
+  std::vector<CompiledProgram> programs;
+  programs.push_back(make_skewed(256, 11));
+  programs.push_back(make_random_permutation(256, 3));
+  std::vector<MachineConfig> configs;
+  for (const std::uint32_t pes : {2u, 4u, 8u}) {
+    configs.push_back(MachineConfig{}.with_pes(pes));
+  }
+
+  ThreadPool pool(4);
+  const SweepGrid serial = sweep_grid(programs, configs);
+  const SweepGrid pooled = sweep_grid(programs, configs, &pool);
+  ASSERT_EQ(pooled.columns, configs.size());
+  ASSERT_EQ(pooled.results.size(), programs.size() * configs.size());
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      // Row-major addressing: cell (p, c) ran program p on config c.
+      EXPECT_EQ(pooled.at(p, c).per_pe.size(), configs[c].num_pes);
+      EXPECT_EQ(pooled.at(p, c).totals.remote_reads,
+                serial.at(p, c).totals.remote_reads);
+      EXPECT_EQ(pooled.at(p, c).totals.local_reads,
+                serial.at(p, c).totals.local_reads);
+    }
+  }
+  // The two programs produce different distributions, so a transposed or
+  // mis-strided grid would be caught here.
+  EXPECT_NE(pooled.at(0, 2).totals.remote_reads,
+            pooled.at(1, 2).totals.remote_reads);
+
+  // grid_series: one labeled series per program row, xs per column.
+  const auto series = grid_series(pooled, {"skewed", "random"}, {2, 4, 8},
+                                  remote_read_percent());
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, "skewed");
+  ASSERT_EQ(series[1].points.size(), 3u);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    EXPECT_EQ(series[1].points[c].y,
+              remote_read_percent()(pooled.at(1, c)));
+  }
+}
+
+TEST(ParallelSweepTest, RepeatedParallelRunsAreStable) {
+  const CompiledProgram prog = build_k1_hydro();
+  ThreadPool pool(8);
+  const std::string first =
+      render(figure_series(prog, MachineConfig{}, {1, 4, 16}, {32}, &pool));
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(
+        render(figure_series(prog, MachineConfig{}, {1, 4, 16}, {32}, &pool)),
+        first);
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,136 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sap {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&hits, i] { hits[i].fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+  }  // ~ThreadPool joins after the queue is drained
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ParallelForEachTest, PreservesIndexToResultMappingUnderContention) {
+  ThreadPool pool(8);
+  constexpr std::size_t kCount = 500;
+  std::vector<std::size_t> out(kCount, 0);
+  // Uneven per-index work so workers constantly steal across the range.
+  parallel_for_each(pool, kCount, [&out](std::size_t i) {
+    std::size_t sink = 0;
+    for (std::size_t k = 0; k < (i % 17) * 1000; ++k) sink += k;
+    out[i] = i * i + (sink & 0);  // keep the busy loop observable
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(out[i], i * i) << "index " << i;
+  }
+}
+
+TEST(ParallelForEachTest, EachIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for_each(pool, kCount,
+                    [&visits](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForEachTest, RethrowsFirstExceptionAfterDraining) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      parallel_for_each(pool, 100,
+                        [&executed](std::size_t i) {
+                          executed.fetch_add(1);
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Every index still ran: one failure does not abandon the sweep.
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ParallelForEachTest, NestedUseOfOnePoolDoesNotDeadlock) {
+  // Every outer iteration runs an inner parallel_for_each on the SAME
+  // pool; with only 2 workers all of them block-and-help concurrently.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  std::vector<std::vector<int>> out(kOuter,
+                                    std::vector<int>(kInner, 0));
+  parallel_for_each(pool, kOuter, [&pool, &out](std::size_t o) {
+    parallel_for_each(pool, kInner, [&out, o](std::size_t i) {
+      out[o][i] = static_cast<int>(o * kInner + i);
+    });
+  });
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(out[o][i], static_cast<int>(o * kInner + i));
+    }
+  }
+}
+
+TEST(ParallelForEachTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for_each(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelForEachTest, SingleWorkerPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  parallel_for_each(pool, out.size(),
+                    [&out](std::size_t i) { out[i] = static_cast<int>(i); });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 63 * 64 / 2);
+}
+
+}  // namespace
+}  // namespace sap
