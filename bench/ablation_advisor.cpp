@@ -1,0 +1,86 @@
+// Ablation A7 — the partition advisor against the fixed schemes.
+//
+// §9 asks for compiler-selectable partitioning; the advisor automates the
+// choice.  For every kernel (plus a synthetic per class) we report the
+// measured remote-read fraction under the paper's fixed modulo scheme,
+// under a fixed block ("division") scheme, and under whatever the advisor
+// recommends — all at 16 PEs with the paper's 256-element cache.  The
+// advisor must match or beat modulo on every row (it always validates the
+// modulo baseline, so this holds by construction; the integration test
+// enforces it on the fig1–fig5 workloads).
+#include "advisor/advisor.hpp"
+#include "bench_common.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+#include "support/text_table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sap;
+  bench::init(argc, argv);
+  bench::print_header(
+      "Ablation A7 — Partition Advisor vs fixed schemes",
+      "measured remote read fraction at 16 PEs, 256-element cache");
+
+  struct Workload {
+    std::string name;
+    std::string cls;
+    CompiledProgram program;
+  };
+  std::vector<Workload> workloads;
+  for (const char* id : {"k01_hydro", "k02_iccg", "k05_tridiag", "k06_glr",
+                         "k08_adi", "k14_pic1d", "k18_hydro2d", "k21_matmul"}) {
+    const KernelSpec& spec = kernel_by_id(id);
+    workloads.push_back({spec.id, to_string(spec.paper_class), spec.build()});
+  }
+  workloads.push_back({"syn_matched", "matched", make_matched(4096)});
+  workloads.push_back({"syn_skewed11", "skewed", make_skewed(4096, 11)});
+  workloads.push_back({"syn_cyclic2", "cyclic", make_cyclic(4096, 2)});
+  workloads.push_back(
+      {"syn_random", "random", make_random_permutation(4096, 0x5eed)});
+
+  const MachineConfig base = bench::paper_config().with_pes(16);
+  AdvisorOptions options;
+  options.page_sizes = {16, 32, 64};
+
+  // The fixed block reference, measured for every workload in one batch.
+  // The fixed modulo reference needs no extra runs: advise() always
+  // validates exactly that configuration as its baseline.
+  std::vector<SweepJob> jobs;
+  for (const Workload& w : workloads) {
+    jobs.push_back({&w.program, base.with_partition(PartitionKind::kBlock)});
+  }
+  const std::vector<SimulationResult> fixed =
+      parallel_sweep_results(jobs, &bench::pool());
+
+  TextTable table({"workload", "class", "modulo", "block", "advised",
+                   "advised scheme", "vs modulo"});
+  int advised_wins = 0;
+  int advised_ties = 0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    // Candidate validation fans across the same pool inside advise().
+    const AdvisorReport report =
+        advise(w.program, base, options, &bench::pool());
+    const double modulo = report.baseline()->measured_remote_fraction;
+    const double block = fixed[i].remote_read_fraction();
+    const AdvisorCandidate& pick = report.best();
+    const double advised = pick.measured_remote_fraction;
+    std::string verdict;
+    if (advised < modulo) {
+      verdict = "beats";
+      ++advised_wins;
+    } else {
+      verdict = "ties";  // never worse: modulo is always validated
+      ++advised_ties;
+    }
+    table.add_row({w.name, w.cls, TextTable::pct(modulo),
+                   TextTable::pct(block), TextTable::pct(advised),
+                   pick.label(), verdict});
+  }
+  std::cout << table.to_string() << "\nadvised beats modulo on "
+            << advised_wins << "/" << workloads.size() << " workloads, ties "
+            << advised_ties << " (never worse — the modulo baseline is "
+            << "always in the validated set)\n";
+  bench::emit_table("ablation_advisor", table);
+  return 0;
+}

@@ -4,8 +4,9 @@
 #include "bench_common.hpp"
 #include "kernels/livermore.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Ablation A2 — Cache Size for the Random Class",
       "% reads remote vs per-PE cache capacity (elements), 16 PEs, ps 32");

@@ -7,8 +7,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Ablation A5 — Interconnect Topology and Contention",
       "16 PEs, ps 32, 256-element cache; per-topology message statistics");
@@ -48,5 +49,6 @@ int main() {
                "to ring, mesh and hypercube sitting between — the SD "
                "kernels stay minimal on every fabric, backing the "
                "abstract's claim.\n";
+  bench::emit_table("ablation_network", table);
   return 0;
 }

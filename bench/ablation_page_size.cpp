@@ -8,8 +8,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Ablation A3 — Page Size",
       "remote fraction and work spread vs page size, 16 PEs, 256-elt cache");

@@ -5,8 +5,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Ablation A1 — Partition Scheme (modulo vs division vs block-cyclic)",
       "remote read fraction at 16 PEs, ps 32, 256-element cache");
@@ -57,5 +58,6 @@ int main() {
                "(ADI): modulo keeps page p of every array on the same PE, "
                "block does not.  Exactly the compiler-selectable choice "
                "the paper anticipates.\n";
+  bench::emit_table("ablation_partition_scheme", table);
   return 0;
 }

@@ -26,8 +26,9 @@ sap::CompiledProgram timestep_program(std::int64_t n, std::int64_t steps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Ablation A6 — Host-Processor Re-initialization Cost (§5)",
       "time-stepped reuse of one array; protocol vs data messages");
@@ -72,6 +73,7 @@ int main() {
                "step — linear in PEs, independent of array size, and a "
                "small share of total traffic for realistic arrays (§5's "
                "'artificial synchronization point' priced).\n\n";
+  bench::emit_table("ablation_reinit", table);
 
   // §9's other host-processor extension: vector-to-scalar operations by
   // collecting per-PE subrange results, versus owner-computes (one PE

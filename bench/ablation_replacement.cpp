@@ -5,8 +5,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Ablation A4 — Cache Replacement Policy",
       "remote read fraction at 16 PEs, ps 32, 256-element cache");
@@ -43,5 +44,6 @@ int main() {
                "works; only the thrashing RD loops separate the policies "
                "at all — consistent with the paper not dwelling on the "
                "choice.\n";
+  bench::emit_table("ablation_replacement", table);
   return 0;
 }

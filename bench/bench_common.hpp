@@ -1,33 +1,81 @@
 // Shared output helpers for the figure/table bench binaries.
 //
 // Every binary prints: a header naming the reproduced artifact, the series
-// table, an ASCII chart of the same data, and (if SAPART_CSV_DIR is set in
-// the environment) a machine-readable CSV.
+// table, an ASCII chart of the same data, and machine-readable copies —
+// CSV when SAPART_CSV_DIR is set in the environment, JSON when the driver
+// is invoked with `--json <dir>` (one BENCH_<artifact>.json per emitted
+// artifact, for the perf trajectory).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/sweep.hpp"
+#include "stats/json.hpp"
 #include "stats/report.hpp"
+#include "support/error.hpp"
 #include "support/text_table.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sap::bench {
 
+/// Directory for --json output; empty when the flag was not given.
+inline std::string& json_dir() {
+  static std::string dir;
+  return dir;
+}
+
+/// Parses the shared driver arguments.  Call first thing in main:
+///
+///   int main(int argc, char** argv) { sap::bench::init(argc, argv); ... }
+///
+/// Flags: `--json <dir>` — also write BENCH_<artifact>.json files there.
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_dir() = argv[++i];
+      // Fail fast on an unwritable destination, not after the (possibly
+      // expensive) run has already completed.
+      const std::string probe_path = json_dir() + "/.bench_json_probe";
+      std::ofstream probe(probe_path);
+      if (!probe) {
+        std::cerr << "--json: cannot write to directory '" << json_dir()
+                  << "'\n";
+        std::exit(2);
+      }
+      probe.close();
+      std::remove(probe_path.c_str());
+    } else if (arg == "--json") {
+      std::cerr << "usage: " << argv[0] << " [--json <dir>]\n"
+                << "--json is missing its directory operand\n";
+      std::exit(2);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <dir>]\n"
+                << "unrecognized argument: " << arg << '\n';
+      std::exit(2);
+    }
+  }
+}
+
 /// Shared worker pool for every bench driver.  Sized by SAPART_WORKERS
-/// when set (0 or unset: one worker per hardware thread).  Sweeps are
-/// deterministic for any worker count, so the knob only affects speed.
+/// when set (unset: one worker per hardware thread); zero, negative or
+/// malformed values abort with a clear message rather than silently
+/// falling back.  Sweeps are deterministic for any worker count, so the
+/// knob only affects speed.
 inline ThreadPool& pool() {
   static ThreadPool shared([] {
-    if (const char* env = std::getenv("SAPART_WORKERS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed > 0) return static_cast<unsigned>(parsed);
+    try {
+      return parse_worker_count(std::getenv("SAPART_WORKERS"));
+    } catch (const ConfigError& e) {
+      std::cerr << "SAPART_WORKERS: " << e.what() << '\n';
+      std::exit(2);
     }
-    return 0u;
   }());
   return shared;
 }
@@ -38,6 +86,27 @@ inline void print_header(const std::string& artifact,
             << artifact << "\n"
             << description << "\n"
             << "==================================================\n";
+}
+
+/// Writes <dir>/BENCH_<artifact>.json via `write(ostream&)` when --json
+/// was given, reporting the path after the write lands.  The flag is an
+/// explicit request, so a failure anywhere — unwritable directory, disk
+/// full mid-serialization — is fatal (exit 2), never a silently missing
+/// or truncated file a CI step could overlook.
+template <typename WriteFn>
+inline void maybe_emit_json(const std::string& artifact_id, WriteFn&& write) {
+  if (json_dir().empty()) return;
+  const std::string path = json_dir() + "/BENCH_" + artifact_id + ".json";
+  std::ofstream out(path);
+  if (out) {
+    write(out);
+    out.flush();
+  }
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    std::exit(2);
+  }
+  std::cout << "[json written to " << path << "]\n";
 }
 
 inline void emit_series(const std::string& artifact_id,
@@ -55,6 +124,23 @@ inline void emit_series(const std::string& artifact_id,
       std::cout << "[csv written to " << path << "]\n";
     }
   }
+  maybe_emit_json(artifact_id, [&](std::ostream& json) {
+    series_json(json, artifact_id, series, x_header);
+  });
+}
+
+/// JSON twin of a table-shaped artifact (the table/ablation drivers).
+inline void emit_table(const std::string& artifact_id,
+                       const std::vector<std::string>& columns,
+                       const std::vector<std::vector<std::string>>& rows) {
+  maybe_emit_json(artifact_id, [&](std::ostream& json) {
+    table_json(json, artifact_id, columns, rows);
+  });
+}
+
+inline void emit_table(const std::string& artifact_id,
+                       const TextTable& table) {
+  emit_table(artifact_id, table.headers(), table.rows());
 }
 
 /// The paper's machine: page size 32, 256-element LRU cache, modulo

@@ -7,8 +7,9 @@
 #include "bench_common.hpp"
 #include "kernels/livermore.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Figure 1 — Skewed Access Pattern (Hydro Fragment, LFK 1)",
       "X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11)); skew 10/11 elements");

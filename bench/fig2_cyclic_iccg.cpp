@@ -11,8 +11,9 @@
 #include "bench_common.hpp"
 #include "kernels/livermore.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Figure 2 — Cyclic Access Pattern (ICCG, LFK 2)",
       "X(i) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1); i advances at half the "

@@ -9,8 +9,9 @@
 #include "bench_common.hpp"
 #include "kernels/livermore.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Figure 3 — Cyclic + Skewed Pattern (2-D Explicit Hydro, LFK 18)",
       "ZA(j,k) = f(ZP/ZQ/ZR/ZM at (j-1, k+1) offsets); j inner, k = 2..6");

@@ -5,8 +5,9 @@
 #include "bench_common.hpp"
 #include "kernels/livermore.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Figure 4 — Random Access Pattern (General Linear Recurrence, LFK 6)",
       "W(i) = W(i) + B(k,i)*W(i-k); the column walk thrashes the cache");

@@ -6,8 +6,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Figure 5 — Load Balance (2-D Explicit Hydro, 64 PEs, ps 32)",
       "per-PE local and remote reads under the area-of-responsibility rule");
@@ -31,6 +32,7 @@ int main() {
                    std::to_string(without_cache.per_pe[pe].remote_reads)});
   }
   std::cout << table.to_string() << "\n";
+  bench::emit_table("fig5", table);
 
   const auto summarize = [](const char* label, const LoadBalance& lb) {
     std::cout << label << ": mean " << TextTable::num(lb.mean, 1) << ", min "

@@ -7,8 +7,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header(
       "Table 1 — Access-Class Assignments (paper §7.1)",
       "paper class vs static classifier vs empirical classifier; remote% "
@@ -39,5 +40,6 @@ int main() {
   std::cout << table.to_string() << "\n"
             << agreements << "/" << livermore_kernels().size()
             << " kernels: paper = static = empirical\n";
+  bench::emit_table("table1", table);
   return 0;
 }

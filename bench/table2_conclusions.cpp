@@ -4,8 +4,9 @@
 #include "kernels/livermore.hpp"
 #include "support/text_table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sap;
+  bench::init(argc, argv);
   bench::print_header("Table 2 — Conclusions (§8), paper vs measured",
                       "paper machine: ps 32, 256-element LRU cache, modulo");
 
@@ -74,5 +75,6 @@ int main() {
   }
 
   std::cout << table.to_string();
+  bench::emit_table("table2", table);
   return 0;
 }

@@ -1,0 +1,165 @@
+// Partition advisor CLI: DSL program in, recommended partition out.
+//
+//   advise_tool k02_iccg                 # built-in kernel by id
+//   advise_tool my_loop.sap              # DSL source file
+//   advise_tool - < my_loop.sap          # DSL source on stdin
+//
+// Options:
+//   --pes N        machine size (default 16)
+//   --cache N      cache elements per PE (default 256; 0 disables)
+//   --page-sizes a,b,...   candidate page sizes (default 16,32,64)
+//   --top-k K      candidates validated by real simulation (default 3)
+//   --summary      also print the per-read classification verdicts
+//
+// The recommendation table shows every candidate with its predicted cost
+// and, for the validated top-k (plus the paper's modulo default, always),
+// the measured remote-read fraction.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "kernels/livermore.hpp"
+#include "support/error.hpp"
+#include "support/parse.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " [--pes N] [--cache N] [--page-sizes a,b,...] [--top-k K]"
+         " [--summary] <kernel-id | file.sap | ->\n";
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(std::cerr, argv0);
+  std::exit(2);
+}
+
+/// Strict integer option parsing with range checks: garbage or an
+/// out-of-range value is a usage error, not a crash (or a 4-billion-PE
+/// machine from a negative value wrapping through an unsigned cast).
+std::int64_t parse_int_option(const std::string& flag,
+                              const std::string& text, std::int64_t min,
+                              std::int64_t max) {
+  if (const auto value = sap::parse_strict_int(text, min, max)) {
+    return *value;
+  }
+  std::cerr << flag << ": '" << text << "' is not an integer in [" << min
+            << ", " << max << "]\n";
+  std::exit(2);
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& flag,
+                                         const std::string& text,
+                                         std::int64_t min, std::int64_t max) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(parse_int_option(flag, item, min, max));
+  }
+  // Catches "" and "16,32," — a shrunken candidate space must be loud.
+  if (out.empty() || text.empty() || text.back() == ',') {
+    std::cerr << flag << ": '" << text
+              << "' is not a comma-separated integer list\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+sap::CompiledProgram load_program(const std::string& spec) {
+  // A known kernel id wins; otherwise the spec is a file path ("-" for
+  // stdin) holding DSL source.
+  for (const sap::KernelSpec& kernel : sap::livermore_kernels()) {
+    if (kernel.id == spec) return kernel.build();
+  }
+  std::ostringstream source;
+  if (spec == "-") {
+    source << std::cin.rdbuf();
+  } else {
+    std::ifstream in(spec);
+    if (!in) {
+      throw sap::Error("cannot open '" + spec +
+                       "' (and it is not a kernel id)");
+    }
+    source << in.rdbuf();
+  }
+  return sap::compile_source(source.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sap;
+
+  MachineConfig base;
+  base.num_pes = 16;
+  base.page_size = 32;
+  base.cache_elements = 256;
+  AdvisorOptions options;
+  options.page_sizes = {16, 32, 64};
+  bool print_summary = false;
+  std::string spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--pes") {
+      base.num_pes = static_cast<std::uint32_t>(
+          parse_int_option(arg, next(), 1, 1 << 16));
+    } else if (arg == "--cache") {
+      base.cache_elements = parse_int_option(arg, next(), 0, 1 << 30);
+    } else if (arg == "--page-sizes") {
+      options.page_sizes = parse_int_list(arg, next(), 1, 1 << 20);
+    } else if (arg == "--top-k") {
+      options.validate_top_k = static_cast<std::size_t>(
+          parse_int_option(arg, next(), 0, 1 << 20));
+    } else if (arg == "--summary") {
+      print_summary = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);  // help on request is not an error
+      return 0;
+    } else if (!spec.empty()) {
+      usage(argv[0]);
+    } else {
+      spec = arg;
+    }
+  }
+  if (spec.empty()) usage(argv[0]);
+
+  // Honor the SAPART_WORKERS convention like the bench drivers do,
+  // including the exit-2-with-named-variable contract for bad values.
+  unsigned workers = 0;
+  try {
+    workers = parse_worker_count(std::getenv("SAPART_WORKERS"));
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_WORKERS: " << e.what() << '\n';
+    return 2;
+  }
+
+  try {
+    const CompiledProgram compiled = load_program(spec);
+    ThreadPool pool(workers);
+    const AdvisorReport report = advise(compiled, base, options, &pool);
+    if (print_summary) {
+      // The access digest is already part of report(); --summary adds the
+      // per-loop, per-read classification verdicts on top.
+      std::cout << report.summary.classification.report() << '\n';
+    }
+    std::cout << report.report();
+    std::cout << "\nTo verify with a full sweep: run the fig/ablation "
+                 "benches, or sweep_pes() with the recommended config.\n";
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

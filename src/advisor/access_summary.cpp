@@ -1,0 +1,296 @@
+#include "advisor/access_summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+#include "frontend/affine.hpp"
+#include "support/check.hpp"
+
+namespace sap {
+
+namespace {
+
+/// Midpoint of a loop's range when its bounds are compile-time constants.
+std::optional<double> loop_midpoint(const DoLoop& loop,
+                                    const AffineContext& ctx) {
+  const auto lo = eval_const_expr(*loop.lower, ctx);
+  const auto hi = eval_const_expr(*loop.upper, ctx);
+  if (!lo || !hi) return std::nullopt;
+  return (*lo + *hi) / 2.0;
+}
+
+/// Evaluates an affine bound at the midpoints of the enclosing loops
+/// (triangular nests like GLR's K = 1, I-1 average out this way).
+std::optional<double> bound_at_midpoints(const Expr& bound,
+                                         const AffineContext& ctx) {
+  const AffineIndex aff = affine_of_index(bound, ctx);
+  if (!aff.affine || !aff.constant_known) return std::nullopt;
+  double value = static_cast<double>(aff.constant);
+  for (const auto& [var, coeff] : aff.coeffs) {
+    const DoLoop* enclosing = nullptr;
+    for (const DoLoop* loop : ctx.loops) {
+      if (loop->var == var) enclosing = loop;
+    }
+    if (!enclosing) return std::nullopt;  // induction scalar: base unknown
+    const auto mid = loop_midpoint(*enclosing, ctx);
+    if (!mid) return std::nullopt;
+    value += static_cast<double>(coeff) * *mid;
+  }
+  return value;
+}
+
+/// Trip count of `loop`: exact for constant bounds; a midpoint estimate
+/// for bounds affine in outer loop variables; otherwise bounded by how far
+/// the statement's fastest-advancing reference can travel in its array.
+std::int64_t estimate_trips(const DoLoop& loop, const AffineContext& ctx,
+                            std::int64_t travel_fallback, bool& exact) {
+  if (const auto t = const_trip_count(loop, ctx)) {
+    exact = true;
+    return std::max<std::int64_t>(*t, 0);
+  }
+  exact = false;
+  const auto lo = bound_at_midpoints(*loop.lower, ctx);
+  const auto hi = bound_at_midpoints(*loop.upper, ctx);
+  double step = 1.0;
+  if (loop.step) {
+    const auto s = eval_const_expr(*loop.step, ctx);
+    if (s && *s != 0.0) step = *s;
+  }
+  if (lo && hi && step != 0.0) {
+    const double trips = std::floor((*hi - *lo) / step) + 1.0;
+    return trips < 0 ? 0 : static_cast<std::int64_t>(trips);
+  }
+  return std::max<std::int64_t>(travel_fallback, 1);
+}
+
+/// Linear element index of an affine form at the first iteration of the
+/// nest: constant + sum(coeff * loop lower).  Unknown when the form
+/// involves an induction scalar or a non-constant lower bound.
+std::optional<std::int64_t> start_element(const AffineIndex& aff,
+                                          const AffineContext& ctx) {
+  if (!aff.affine || !aff.constant_known) return std::nullopt;
+  std::int64_t start = aff.constant;
+  for (const auto& [var, coeff] : aff.coeffs) {
+    const DoLoop* enclosing = nullptr;
+    for (const DoLoop* loop : ctx.loops) {
+      if (loop->var == var) enclosing = loop;
+    }
+    if (!enclosing) return std::nullopt;
+    const auto lo = eval_const_expr(*enclosing->lower, ctx);
+    if (!lo) return std::nullopt;
+    start += coeff * static_cast<std::int64_t>(std::llround(*lo));
+  }
+  return start;
+}
+
+/// Is `ref` the reduction's read of its own target element?
+bool is_self_accumulation(const ArrayAssign& assign, const ArrayRefExpr& ref) {
+  if (!assign.is_reduction || ref.name != assign.array ||
+      ref.indices.size() != assign.indices.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < ref.indices.size(); ++i) {
+    if (!equal(*ref.indices[i], *assign.indices[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t StatementAccess::memory_reads() const noexcept {
+  std::int64_t refs = 0;
+  for (const auto& read : reads) {
+    if (!read.self_accumulation) ++refs;
+  }
+  return instances * refs;
+}
+
+AccessSummary summarize_access(const CompiledProgram& compiled,
+                               const ClassifierConfig& nominal) {
+  const Program& program = compiled.program;
+  const SemanticInfo& sema = compiled.sema;
+
+  AccessSummary out;
+  out.program = program.name;
+  out.classification = classify_program(program, sema, nominal);
+
+  for_each_stmt(program, [&](const Stmt& stmt) {
+    if (std::holds_alternative<ReinitStmt>(stmt.node)) ++out.reinit_count;
+  });
+
+  // Loop-group ids: statements sharing an innermost loop share a cache.
+  std::vector<const DoLoop*> group_keys;
+  const auto group_of = [&](const DoLoop* innermost) {
+    for (std::size_t i = 0; i < group_keys.size(); ++i) {
+      if (group_keys[i] == innermost) return static_cast<std::int64_t>(i);
+    }
+    group_keys.push_back(innermost);
+    return static_cast<std::int64_t>(group_keys.size() - 1);
+  };
+
+  const auto shape_of = [&](const std::string& array) {
+    return ArrayShape(program.arrays[sema.arrays.at(array)].dims);
+  };
+
+  for (const AssignSite& site : sema.assign_sites) {
+    const ArrayAssign& assign = *site.assign;
+    const AffineContext ctx{&program, &sema, site.loops};
+
+    StatementAccess st;
+    st.array = assign.array;
+    const ArrayShape write_shape = shape_of(assign.array);
+    st.array_elements = write_shape.element_count();
+    st.is_reduction = assign.is_reduction;
+    st.loop_group = group_of(site.loops.empty() ? nullptr : site.loops.back());
+
+    // Write descriptor.
+    ArrayRefExpr target;
+    target.name = assign.array;
+    for (const auto& idx : assign.indices) {
+      target.indices.push_back(clone(*idx));
+    }
+    const AffineIndex write_aff = element_affine(target, write_shape, ctx);
+    st.write_affine = write_aff.affine;
+    st.write_strides_known = write_aff.affine;
+    for (const DoLoop* loop : site.loops) {
+      const auto s = stride_per_trip(write_aff, *loop, ctx);
+      if (!s) st.write_strides_known = false;
+      st.write_strides.push_back(s.value_or(0));
+    }
+    if (const auto s0 = start_element(write_aff, ctx)) {
+      st.write_start = *s0;
+      st.write_start_known = true;
+    }
+
+    // Reads: refs in the value expression plus refs used as write indices
+    // (indirect writes read their index arrays too).
+    const auto add_read = [&](const ArrayRefExpr& ref) {
+      ReadAccess read;
+      read.array = ref.name;
+      const ArrayShape shape = shape_of(ref.name);
+      read.array_elements = shape.element_count();
+      read.self_accumulation = is_self_accumulation(assign, ref);
+      const AffineIndex aff = element_affine(ref, shape, ctx);
+      read.affine = aff.affine;
+      read.strides_known = aff.affine;
+      for (const DoLoop* loop : site.loops) {
+        const auto s = stride_per_trip(aff, *loop, ctx);
+        if (!s) read.strides_known = false;
+        read.strides.push_back(s.value_or(0));
+      }
+      if (const auto r0 = start_element(aff, ctx)) {
+        read.start = *r0;
+        read.start_known = true;
+      }
+      st.reads.push_back(std::move(read));
+    };
+    for (const auto& idx : assign.indices) {
+      for_each_array_ref(*idx, add_read);
+    }
+    for_each_array_ref(*assign.value, add_read);
+
+    // Trip counts, outermost first.  The travel fallback bounds a
+    // scalar-driven loop (ICCG's level walk) by how far the fastest
+    // advancing reference can move inside its array.
+    st.instances = 1;
+    for (std::size_t d = 0; d < site.loops.size(); ++d) {
+      std::int64_t travel = 0;
+      const auto consider = [&](std::int64_t stride,
+                                std::int64_t elements) {
+        if (stride != 0) {
+          travel = std::max(travel, elements / std::max<std::int64_t>(
+                                                   std::llabs(stride), 1));
+        }
+      };
+      if (st.write_strides_known) {
+        consider(st.write_strides[d], st.array_elements);
+      }
+      for (const ReadAccess& read : st.reads) {
+        if (read.strides_known) consider(read.strides[d], read.array_elements);
+      }
+
+      LoopDim dim;
+      dim.var = site.loops[d]->var;
+      dim.trips = estimate_trips(*site.loops[d], ctx, travel, dim.trips_exact);
+      st.instances *= std::max<std::int64_t>(dim.trips, 0);
+      st.loops.push_back(std::move(dim));
+    }
+
+    // Committed writes: every instance for plain assignments; one commit
+    // per distinct target element for reductions (§5).
+    if (!assign.is_reduction) {
+      st.distinct_writes = st.instances;
+    } else if (st.write_strides_known) {
+      std::int64_t distinct = 1;
+      for (std::size_t d = 0; d < st.loops.size(); ++d) {
+        if (st.write_strides[d] != 0) {
+          distinct *= std::max<std::int64_t>(st.loops[d].trips, 1);
+        }
+      }
+      st.distinct_writes = std::min(distinct, st.array_elements);
+    } else {
+      st.distinct_writes = std::min(st.instances, st.array_elements);
+    }
+
+    out.total_reads += st.memory_reads();
+    out.total_writes += st.distinct_writes;
+    out.statements.push_back(std::move(st));
+  }
+
+  return out;
+}
+
+std::string AccessSummary::report() const {
+  std::ostringstream os;
+  os << "access summary for '" << program << "': " << statements.size()
+     << " statement(s), ~" << total_reads << " reads, ~" << total_writes
+     << " writes";
+  if (reinit_count > 0) os << ", " << reinit_count << " REINIT";
+  os << "\n  " << classification.rationale << '\n';
+  for (const StatementAccess& st : statements) {
+    os << "  " << st.array << " :=";
+    if (st.is_reduction) os << " [reduction]";
+    os << " nest(";
+    for (std::size_t d = 0; d < st.loops.size(); ++d) {
+      if (d) os << ", ";
+      os << st.loops[d].var << 'x' << st.loops[d].trips
+         << (st.loops[d].trips_exact ? "" : "~");
+    }
+    os << ") write ";
+    if (!st.write_affine) {
+      os << "non-affine";
+    } else {
+      os << "strides(";
+      for (std::size_t d = 0; d < st.write_strides.size(); ++d) {
+        if (d) os << ',';
+        os << st.write_strides[d];
+      }
+      os << ')';
+      if (st.write_start_known) os << " start " << st.write_start;
+    }
+    os << '\n';
+    for (const ReadAccess& read : st.reads) {
+      os << "    read " << read.array;
+      if (read.self_accumulation) {
+        os << " [register]";
+      } else if (!read.affine) {
+        os << " non-affine";
+      } else {
+        os << " strides(";
+        for (std::size_t d = 0; d < read.strides.size(); ++d) {
+          if (d) os << ',';
+          os << read.strides[d];
+        }
+        os << ')';
+        if (read.start_known) os << " start " << read.start;
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sap

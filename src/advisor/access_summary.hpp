@@ -1,0 +1,114 @@
+// Static access summaries: the advisor's view of a compiled program.
+//
+// Layer 1 of the partition advisor (DESIGN.md §7).  summarize_access walks
+// the semantic facts of a CompiledProgram — no simulation, no array
+// materialization — and extracts, per assignment statement, an affine
+// descriptor of the write and of every read: element-space strides per
+// enclosing loop, start offsets when they are compile-time constants, trip
+// counts (exact where bounds are constant, estimated otherwise), and the
+// reduction/commit structure.  The §7.1 static classification rides along
+// so reports can name the paper's class.
+//
+// Everything here is in *element* space and page-size independent: one
+// summary serves every candidate (PartitionKind, block size, page size)
+// the cost model scores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "frontend/classifier.hpp"
+
+namespace sap {
+
+/// One loop of a statement's enclosing nest, outermost first.
+struct LoopDim {
+  std::string var;
+  /// Iterations; exact when the bounds are compile-time constants,
+  /// otherwise an estimate (triangular bounds use the midpoint of the
+  /// enclosing loops; scalar-driven bounds fall back to how far the
+  /// write can travel inside its array).
+  std::int64_t trips = 1;
+  bool trips_exact = false;
+};
+
+/// One read reference of one statement, as an affine element walk.
+struct ReadAccess {
+  std::string array;
+  std::int64_t array_elements = 0;
+
+  /// False for indirect (permutation-style) indexing: strides/start are
+  /// meaningless and the cost model uses the decorrelated-owner model.
+  bool affine = false;
+  /// Element stride per trip of each enclosing loop (aligned with
+  /// StatementAccess::loops).  Valid when `affine`.
+  std::vector<std::int64_t> strides;
+  /// True when every stride resolved (loop steps compile-time constants).
+  bool strides_known = false;
+  /// Linear element index read at the first iteration of the whole nest,
+  /// when statically known (constant offsets, constant loop lower bounds).
+  std::int64_t start = 0;
+  bool start_known = false;
+
+  /// A reduction's read of its own target element: an owner-local
+  /// register read, not memory traffic (§5) — excluded from totals.
+  bool self_accumulation = false;
+};
+
+/// One array assignment with its loop nest, write descriptor and reads.
+struct StatementAccess {
+  std::string array;  // written array
+  std::int64_t array_elements = 0;
+
+  std::vector<LoopDim> loops;  // outermost first
+
+  bool write_affine = false;
+  std::vector<std::int64_t> write_strides;  // aligned with `loops`
+  bool write_strides_known = false;
+  std::int64_t write_start = 0;
+  bool write_start_known = false;
+
+  bool is_reduction = false;
+
+  /// Statements that share an innermost loop share the executing PE's
+  /// cache; the cost model counts read streams per group (ADI's overflow).
+  std::int64_t loop_group = 0;
+
+  /// Product of trip counts: statement instances executed.
+  std::int64_t instances = 0;
+  /// Committed writes: equals `instances` for plain assignments; for
+  /// reductions, the number of *distinct* target elements (§5: the
+  /// accumulation commits once per element).
+  std::int64_t distinct_writes = 0;
+
+  std::vector<ReadAccess> reads;
+
+  /// Memory reads per full execution (self-accumulation excluded).
+  std::int64_t memory_reads() const noexcept;
+};
+
+/// The advisor's program digest.
+struct AccessSummary {
+  std::string program;
+  std::vector<StatementAccess> statements;
+
+  /// §7.1 static classification under the nominal machine (page size and
+  /// cache the summary was taken with) — for reporting, not costing.
+  ProgramClassification classification;
+
+  std::int64_t reinit_count = 0;
+  std::int64_t total_reads = 0;   // memory reads over all statements
+  std::int64_t total_writes = 0;  // committed writes over all statements
+
+  /// Human-readable multi-line digest.
+  std::string report() const;
+};
+
+/// Extracts the summary.  `nominal` only parameterizes the embedded
+/// classification (the affine descriptors are machine-independent).
+AccessSummary summarize_access(const CompiledProgram& compiled,
+                               const ClassifierConfig& nominal = {});
+
+}  // namespace sap

@@ -1,0 +1,222 @@
+#include "advisor/advisor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+#include "support/text_table.hpp"
+
+namespace sap {
+
+namespace {
+
+bool same_candidate_config(const MachineConfig& a, const MachineConfig& b) {
+  return a.partition == b.partition && a.page_size == b.page_size &&
+         (a.partition != PartitionKind::kBlockCyclic ||
+          a.block_cyclic_pages == b.block_cyclic_pages);
+}
+
+}  // namespace
+
+std::string AdvisorCandidate::label() const {
+  std::ostringstream os;
+  switch (config.partition) {
+    case PartitionKind::kModulo:
+      os << "modulo";
+      break;
+    case PartitionKind::kBlock:
+      os << "block";
+      break;
+    case PartitionKind::kBlockCyclic:
+      os << "block-cyclic(b=" << config.block_cyclic_pages << ")";
+      break;
+  }
+  os << " ps=" << config.page_size;
+  return os.str();
+}
+
+const AdvisorCandidate& AdvisorReport::best() const {
+  SAP_CHECK(!candidates.empty(), "advisor report has no candidates");
+  return candidates.front();
+}
+
+const AdvisorCandidate* AdvisorReport::baseline() const {
+  for (const AdvisorCandidate& c : candidates) {
+    if (c.is_baseline) return &c;
+  }
+  return nullptr;
+}
+
+std::string AdvisorReport::report() const {
+  std::ostringstream os;
+  os << "Partition advisor — " << program << " on " << base.num_pes
+     << " PEs, cache " << base.cache_elements << " elements\n\n"
+     << summary.report() << '\n';
+
+  TextTable table({"rank", "candidate", "predicted", "measured", "score",
+                   "notes"});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const AdvisorCandidate& c = candidates[i];
+    std::string notes;
+    if (i == 0) notes = "<- recommended";
+    if (c.is_baseline) {
+      notes += notes.empty() ? "paper default" : " (paper default)";
+    }
+    table.add_row({std::to_string(i + 1), c.label(),
+                   TextTable::pct(c.predicted.remote_read_fraction()),
+                   c.validated ? TextTable::pct(c.measured_remote_fraction)
+                               : std::string("-"),
+                   TextTable::num(c.predicted.score(), 4), notes});
+  }
+  os << table.to_string() << '\n';
+
+  const AdvisorCandidate& pick = best();
+  const AdvisorCandidate* paper = baseline();
+  os << "recommendation: " << pick.label() << " — measured "
+     << TextTable::pct(pick.measured_remote_fraction) << " reads remote";
+  if (paper && !pick.is_baseline) {
+    os << " vs " << TextTable::pct(paper->measured_remote_fraction)
+       << " under the paper's modulo default";
+  }
+  os << "\nrationale: " << summary.classification.rationale << "; "
+     << pick.predicted.summary() << '\n';
+  return os.str();
+}
+
+AdvisorReport advise(const CompiledProgram& compiled,
+                     const MachineConfig& base, const AdvisorOptions& options,
+                     ThreadPool* pool) {
+  base.validate();
+
+  AdvisorReport report;
+  report.program = compiled.name();
+  report.base = base;
+  report.summary = summarize_access(
+      compiled, ClassifierConfig{base.page_size, base.cache_elements});
+
+  // 1. Enumerate the candidate space in a fixed order: page size major,
+  //    scheme minor, so equal scores resolve the same way everywhere.
+  std::vector<std::int64_t> page_sizes = options.page_sizes;
+  if (page_sizes.empty()) page_sizes = {base.page_size};
+  std::vector<AdvisorCandidate> candidates;
+  for (const std::int64_t ps : page_sizes) {
+    for (const PartitionKind kind : options.kinds) {
+      const std::vector<std::int64_t> blocks =
+          kind == PartitionKind::kBlockCyclic ? options.block_cyclic_pages
+                                              : std::vector<std::int64_t>{0};
+      for (const std::int64_t block : blocks) {
+        AdvisorCandidate c;
+        c.config = base.with_partition(kind).with_page_size(ps);
+        if (kind == PartitionKind::kBlockCyclic) {
+          c.config.block_cyclic_pages = block;
+        }
+        // A candidate the machine cannot run (e.g. a page larger than
+        // the cache) is skipped, not fatal: the rest of the space — the
+        // baseline included — is still worth searching.
+        try {
+          c.config.validate();
+        } catch (const ConfigError&) {
+          continue;
+        }
+        const bool duplicate =
+            std::any_of(candidates.begin(), candidates.end(),
+                        [&](const AdvisorCandidate& other) {
+                          return same_candidate_config(other.config, c.config);
+                        });
+        if (!duplicate) candidates.push_back(std::move(c));
+      }
+    }
+  }
+  // The paper's machine is always a candidate, whatever the options say.
+  MachineConfig paper_config =
+      base.with_partition(PartitionKind::kModulo);
+  if (std::none_of(candidates.begin(), candidates.end(),
+                   [&](const AdvisorCandidate& c) {
+                     return same_candidate_config(c.config, paper_config);
+                   })) {
+    AdvisorCandidate c;
+    c.config = paper_config;
+    candidates.push_back(std::move(c));
+  }
+  for (AdvisorCandidate& c : candidates) {
+    c.is_baseline = same_candidate_config(c.config, paper_config);
+  }
+
+  // 2. Price every candidate with the analytic model (the prune).
+  for (AdvisorCandidate& c : candidates) {
+    c.predicted = estimate_cost(report.summary, c.config);
+  }
+
+  // 3. Pick the validation set: the top-k predicted plus the baseline.
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return candidates[a].predicted.score() <
+                            candidates[b].predicted.score();
+                   });
+  std::vector<std::size_t> to_validate;
+  for (const std::size_t idx : order) {
+    if (to_validate.size() < options.validate_top_k) {
+      to_validate.push_back(idx);
+    }
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].is_baseline &&
+        std::find(to_validate.begin(), to_validate.end(), i) ==
+            to_validate.end()) {
+      to_validate.push_back(i);
+    }
+  }
+  std::sort(to_validate.begin(), to_validate.end());
+
+  // 4. Validate: one independent Simulator::run per candidate, fanned
+  //    across the pool as a single batch (the core sweep engine).
+  std::vector<SweepJob> jobs;
+  jobs.reserve(to_validate.size());
+  for (const std::size_t idx : to_validate) {
+    jobs.push_back({&compiled, candidates[idx].config,
+                    options.validation_mode});
+  }
+  const std::vector<SimulationResult> results =
+      parallel_sweep_results(jobs, pool);
+  for (std::size_t j = 0; j < to_validate.size(); ++j) {
+    AdvisorCandidate& c = candidates[to_validate[j]];
+    const SimulationResult& r = results[j];
+    c.validated = true;
+    c.measured_remote_fraction = r.remote_read_fraction();
+    c.measured_remote_reads = r.totals.remote_reads;
+    c.measured_total_reads = r.totals.total_reads();
+    c.measured_write_imbalance = r.write_balance().imbalance();
+    report.validated_count++;
+  }
+
+  // 5. Final ranking: validated first by measured cost (write imbalance
+  //    and predicted score as tie-breaks), then unvalidated by predicted.
+  std::vector<std::size_t> rank(candidates.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  std::stable_sort(
+      rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+        const AdvisorCandidate& ca = candidates[a];
+        const AdvisorCandidate& cb = candidates[b];
+        if (ca.validated != cb.validated) return ca.validated;
+        if (ca.validated) {
+          if (ca.measured_remote_fraction != cb.measured_remote_fraction) {
+            return ca.measured_remote_fraction < cb.measured_remote_fraction;
+          }
+          if (ca.measured_write_imbalance != cb.measured_write_imbalance) {
+            return ca.measured_write_imbalance < cb.measured_write_imbalance;
+          }
+        }
+        return ca.predicted.score() < cb.predicted.score();
+      });
+  report.candidates.reserve(candidates.size());
+  for (const std::size_t idx : rank) {
+    report.candidates.push_back(std::move(candidates[idx]));
+  }
+  return report;
+}
+
+}  // namespace sap

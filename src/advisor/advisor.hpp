@@ -1,0 +1,98 @@
+// Partition advisor: cost-model-driven automatic partition selection.
+//
+// Layer 3 of the advisor (DESIGN.md §7) and the piece the paper's §9 asks
+// for: "allowing the programmer or compiler to select the [scheme]" turns
+// the fixed modulo machine into a per-program choice.  advise() digests
+// the program once (AccessSummary), prices every candidate
+// (PartitionKind, block-cyclic block, page size) with the analytic cost
+// model, validates the most promising candidates with real
+// Simulator::run calls — independent runs fanned across the ThreadPool
+// exactly like a sweep — and returns a ranked report.
+//
+// The paper's own configuration (modulo partitioning at the base page
+// size) is always part of the validated set, so the advisor's pick is
+// never worse than the paper default *by construction*: the final ranking
+// orders measured candidates by measured remote fraction.
+//
+// Results are deterministic for any worker count: candidate enumeration
+// is a fixed order, validation uses parallel_sweep_results (order-stable
+// slots), and every sort breaks ties by enumeration index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advisor/access_summary.hpp"
+#include "advisor/cost_model.hpp"
+#include "core/sweep.hpp"
+
+namespace sap {
+
+struct AdvisorOptions {
+  /// Schemes to consider.  BlockCyclic expands over `block_cyclic_pages`.
+  std::vector<PartitionKind> kinds = {PartitionKind::kModulo,
+                                      PartitionKind::kBlock,
+                                      PartitionKind::kBlockCyclic};
+  std::vector<std::int64_t> block_cyclic_pages = {2, 4};
+
+  /// Page sizes to consider; empty keeps the base configuration's.
+  std::vector<std::int64_t> page_sizes = {};
+
+  /// Candidates validated with real simulations, best-predicted first.
+  /// The baseline (modulo at the base page size) is always validated on
+  /// top of this budget.
+  std::size_t validate_top_k = 3;
+
+  ExecutionMode validation_mode = ExecutionMode::kCounting;
+};
+
+struct AdvisorCandidate {
+  MachineConfig config;
+  CostEstimate predicted;
+  bool is_baseline = false;  // the paper's modulo default at base page size
+  bool validated = false;
+  double measured_remote_fraction = 0.0;  // meaningful when `validated`
+  std::uint64_t measured_remote_reads = 0;
+  std::uint64_t measured_total_reads = 0;
+  double measured_write_imbalance = 0.0;
+
+  /// "block ps=32" / "block-cyclic(b=2) ps=64" style display name.
+  std::string label() const;
+
+  /// Measured fraction when validated, predicted otherwise.
+  double remote_fraction() const noexcept {
+    return validated ? measured_remote_fraction
+                     : predicted.remote_read_fraction();
+  }
+};
+
+struct AdvisorReport {
+  std::string program;
+  MachineConfig base;
+  AccessSummary summary;
+  /// Final ranking, best first.  Validated candidates precede unvalidated
+  /// ones; within each tier lower (measured, predicted) cost wins.
+  std::vector<AdvisorCandidate> candidates;
+  std::size_t validated_count = 0;
+
+  const AdvisorCandidate& best() const;
+  /// The paper's modulo default (always validated); null never happens
+  /// for reports produced by advise().
+  const AdvisorCandidate* baseline() const;
+
+  /// Human-readable recommendation with the candidate table and the
+  /// access-summary rationale.
+  std::string report() const;
+};
+
+/// Runs the full pipeline.  `base` fixes the machine shape (PE count,
+/// cache, topology); the candidate space varies partition scheme, block
+/// size and (optionally) page size.  Validation simulations fan across
+/// `pool` when given, serially otherwise — output is identical either way.
+AdvisorReport advise(const CompiledProgram& compiled,
+                     const MachineConfig& base,
+                     const AdvisorOptions& options = {},
+                     ThreadPool* pool = nullptr);
+
+}  // namespace sap

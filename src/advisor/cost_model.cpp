@@ -1,0 +1,426 @@
+#include "advisor/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "memory/page.hpp"
+#include "partition/scheme.hpp"
+#include "support/check.hpp"
+
+namespace sap {
+
+namespace {
+
+/// Outer iteration-space cap: nests larger than this are sampled at a
+/// deterministic stride and the tallies rescaled.  Keeps the model cheap
+/// on big grids while staying exact for every kernel in the suite.
+constexpr std::int64_t kMaxOuterSamples = 2048;
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Per-read tallies accumulated by the page-segment walk.
+struct ReadTally {
+  bool analytic = false;       // walked exactly (affine, known start)
+  bool counts_fetches = true;  // false: shares pages with an earlier read
+  double local = 0.0;
+  double remote_touches = 0.0;  // no-cache remote reads
+  double fetches = 0.0;         // cache-on remote reads (page transfers)
+  std::string stream_key;       // identity for cache-frame pressure
+  std::int64_t invariant_repeat = 1;  // exact window revisits (see below)
+  std::int64_t window_pages = 1;      // pages per innermost sweep
+  // Streaming state carried across outer iterations.
+  std::int64_t prev_page = std::numeric_limits<std::int64_t>::min();
+  PeId prev_pe = std::numeric_limits<PeId>::max();
+};
+
+class CostModel {
+ public:
+  CostModel(const AccessSummary& summary, const MachineConfig& config)
+      : summary_(summary),
+        config_(config),
+        scheme_(make_partition_scheme(config.partition,
+                                      config.block_cyclic_pages)),
+        ps_(config.page_size),
+        pes_(config.num_pes),
+        frames_(config.cache_elements > 0 ? config.cache_elements / ps_ : 0),
+        per_pe_writes_(config.num_pes, 0.0) {}
+
+  CostEstimate run() {
+    std::vector<std::vector<ReadTally>> tallies;
+    tallies.reserve(summary_.statements.size());
+    for (std::size_t s = 0; s < summary_.statements.size(); ++s) {
+      tallies.push_back(price_statement(summary_.statements[s], s));
+    }
+    apply_frame_pressure(tallies);
+
+    CostEstimate est;
+    est.total_reads = static_cast<double>(summary_.total_reads);
+    est.writes = static_cast<double>(summary_.total_writes);
+    for (std::size_t s = 0; s < tallies.size(); ++s) {
+      for (ReadTally& t : tallies[s]) {
+        if (frames_ > 0) {
+          est.remote_reads += t.fetches;
+          est.page_fetches += t.fetches;
+        } else {
+          est.remote_reads += t.remote_touches;
+          est.page_fetches += t.remote_touches;
+        }
+      }
+      const StatementAccess& st = summary_.statements[s];
+      if (st.is_reduction && st.distinct_writes == 1 && pes_ > 1) {
+        est.host_collect_messages += static_cast<double>(pes_ - 1);
+      }
+    }
+    est.page_traffic_elements = est.page_fetches * static_cast<double>(ps_);
+
+    std::vector<std::uint64_t> writes_rounded(pes_, 0);
+    for (std::uint32_t pe = 0; pe < pes_; ++pe) {
+      writes_rounded[pe] =
+          static_cast<std::uint64_t>(std::llround(per_pe_writes_[pe]));
+    }
+    est.write_balance = summarize_load(writes_rounded);
+    return est;
+  }
+
+ private:
+  PeId owner_of(std::int64_t elements, std::int64_t linear) const {
+    const std::int64_t clamped =
+        std::clamp<std::int64_t>(linear, 0, std::max<std::int64_t>(
+                                                elements - 1, 0));
+    return scheme_->owner(page_of(clamped, ps_),
+                          page_count_for(elements, ps_), pes_);
+  }
+
+  /// Smallest k' > k where base + stride*k' lands on a different page;
+  /// "never" for stride 0.
+  static std::int64_t next_page_boundary(std::int64_t base,
+                                         std::int64_t stride, std::int64_t k,
+                                         std::int64_t ps) {
+    if (stride == 0) return std::numeric_limits<std::int64_t>::max();
+    const std::int64_t element = base + stride * k;
+    const std::int64_t page = floor_div(element, ps);
+    if (stride > 0) {
+      return k + ceil_div((page + 1) * ps - element, stride);
+    }
+    return k + ceil_div(element - (page * ps - 1), -stride);
+  }
+
+  std::vector<ReadTally> price_statement(const StatementAccess& st,
+                                         std::size_t stmt_index) {
+    std::vector<ReadTally> tallies(st.reads.size());
+    if (st.instances <= 0) return tallies;
+
+    const bool write_analytic =
+        st.write_affine && st.write_strides_known && st.write_start_known;
+
+    // Merge reads that stream the same pages (e.g. ZX(k+10) next to
+    // ZX(k+11)): followers touch pages the representative just fetched.
+    std::int64_t synthetic_key = 0;
+    for (std::size_t r = 0; r < st.reads.size(); ++r) {
+      const ReadAccess& read = st.reads[r];
+      if (read.self_accumulation) continue;
+      tallies[r].analytic = write_analytic && read.affine &&
+                            read.strides_known && read.start_known;
+      if (tallies[r].analytic) {
+        std::ostringstream key;
+        key << read.array << '#';
+        for (const std::int64_t s : read.strides) key << s << ',';
+        key << '#' << floor_div(read.start, ps_);
+        tallies[r].stream_key = key.str();
+        for (std::size_t prev = 0; prev < r; ++prev) {
+          if (!tallies[prev].analytic || !tallies[prev].counts_fetches ||
+              st.reads[prev].array != read.array ||
+              st.reads[prev].strides != read.strides) {
+            continue;
+          }
+          if (std::llabs(st.reads[prev].start - read.start) < ps_) {
+            tallies[r].counts_fetches = false;
+            tallies[r].stream_key = tallies[prev].stream_key;
+            break;
+          }
+        }
+      } else {
+        // Statement index keeps non-affine streams distinct across
+        // statements of one loop group (frame-pressure counting).
+        tallies[r].stream_key = read.array + "#?" +
+                                std::to_string(stmt_index) + "." +
+                                std::to_string(synthetic_key++);
+      }
+    }
+
+    // Outer odometer (all loops but the innermost), sampled when huge.
+    const std::size_t depth = st.loops.size();
+    const std::size_t outer_dims = depth > 0 ? depth - 1 : 0;
+    const std::int64_t inner_trips =
+        depth > 0 ? std::max<std::int64_t>(st.loops[depth - 1].trips, 0) : 1;
+    std::int64_t outer_total = 1;
+    for (std::size_t d = 0; d < outer_dims; ++d) {
+      outer_total *= std::max<std::int64_t>(st.loops[d].trips, 0);
+    }
+    if (outer_total <= 0 || inner_trips <= 0) return tallies;
+
+    const std::int64_t sample_step =
+        outer_total > kMaxOuterSamples ? ceil_div(outer_total, kMaxOuterSamples)
+                                       : 1;
+    const std::int64_t sampled = ceil_div(outer_total, sample_step);
+    const double weight =
+        static_cast<double>(outer_total) / static_cast<double>(sampled);
+
+    double raw_writes_total = 0.0;
+    std::vector<double> raw_writes(pes_, 0.0);
+
+    if (write_analytic) {
+      const std::int64_t sw = depth > 0 ? st.write_strides[depth - 1] : 0;
+      std::vector<std::int64_t> combo(outer_dims, 0);
+      for (std::int64_t o = 0; o < outer_total; o += sample_step) {
+        // Decode the odometer (outermost = most significant digit).
+        std::int64_t rest = o;
+        for (std::size_t d = outer_dims; d-- > 0;) {
+          combo[d] = rest % st.loops[d].trips;
+          rest /= st.loops[d].trips;
+        }
+        std::int64_t wbase = st.write_start;
+        for (std::size_t d = 0; d < outer_dims; ++d) {
+          wbase += st.write_strides[d] * combo[d];
+        }
+
+        for (std::size_t r = 0; r < st.reads.size(); ++r) {
+          const ReadAccess& read = st.reads[r];
+          if (read.self_accumulation || !tallies[r].analytic) continue;
+          std::int64_t rbase = read.start;
+          for (std::size_t d = 0; d < outer_dims; ++d) {
+            rbase += read.strides[d] * combo[d];
+          }
+          walk_one_read(st, read, tallies[r], wbase, sw, rbase,
+                        read.strides.empty() ? 0 : read.strides[depth - 1],
+                        inner_trips, weight);
+        }
+        walk_writes(st, raw_writes, wbase, sw, inner_trips, weight);
+      }
+      for (std::uint32_t pe = 0; pe < pes_; ++pe) {
+        raw_writes_total += raw_writes[pe];
+      }
+    }
+
+    // Fallback pricing for reads the walk could not cover, and for the
+    // whole statement when the write itself is not analyzable.
+    price_fallback_reads(st, tallies);
+
+    // Exact-window revisits: outer loops (a contiguous suffix next to the
+    // innermost one) in which neither the read nor the write advances
+    // replay the identical page sequence on the identical PEs, so a
+    // fitting window is fetched once and then served from cache.
+    for (std::size_t r = 0; r < st.reads.size(); ++r) {
+      const ReadAccess& read = st.reads[r];
+      if (!tallies[r].analytic) continue;
+      const std::int64_t sr = depth > 0 ? read.strides[depth - 1] : 0;
+      tallies[r].window_pages =
+          1 + std::llabs(sr) * std::max<std::int64_t>(inner_trips - 1, 0) /
+                  ps_;
+      for (std::size_t d = outer_dims; d-- > 0;) {
+        if (read.strides[d] != 0 || st.write_strides[d] != 0) break;
+        tallies[r].invariant_repeat *=
+            std::max<std::int64_t>(st.loops[d].trips, 1);
+      }
+    }
+
+    // Distribute the committed writes: proportionally to the walked
+    // tallies when available, else to page ownership of the written array.
+    const double writes = static_cast<double>(st.distinct_writes);
+    if (raw_writes_total > 0.0) {
+      for (std::uint32_t pe = 0; pe < pes_; ++pe) {
+        per_pe_writes_[pe] += writes * raw_writes[pe] / raw_writes_total;
+      }
+    } else {
+      distribute_by_ownership(st.array_elements, writes);
+    }
+    return tallies;
+  }
+
+  /// Page-segment walk of one read against the executing PE through one
+  /// innermost sweep.  Ownership can only flip where the write or the
+  /// read crosses a page boundary, so segments — not elements — are
+  /// visited.  A fetch is tallied when the stream enters a remote page it
+  /// was not already holding (page change), or when the executing PE
+  /// changes (per-PE caches: the new owner's cache is cold).
+  void walk_one_read(const StatementAccess& st, const ReadAccess& read,
+                     ReadTally& tally, std::int64_t wbase, std::int64_t sw,
+                     std::int64_t rbase, std::int64_t sr,
+                     std::int64_t inner_trips, double weight) {
+    std::int64_t k = 0;
+    while (k < inner_trips) {
+      const PeId exec_pe = owner_of(st.array_elements, wbase + sw * k);
+      const std::int64_t element = rbase + sr * k;
+      const PeId read_pe = owner_of(read.array_elements, element);
+      const std::int64_t page = floor_div(element, ps_);
+      const std::int64_t k_next =
+          std::min({next_page_boundary(wbase, sw, k, ps_),
+                    next_page_boundary(rbase, sr, k, ps_), inner_trips});
+      const std::int64_t n = k_next - k;
+      if (read_pe == exec_pe) {
+        tally.local += weight * static_cast<double>(n);
+      } else {
+        tally.remote_touches += weight * static_cast<double>(n);
+        if (tally.counts_fetches &&
+            (page != tally.prev_page || exec_pe != tally.prev_pe)) {
+          tally.fetches += weight;
+        }
+      }
+      tally.prev_page = page;
+      tally.prev_pe = exec_pe;
+      k = k_next;
+    }
+  }
+
+  void walk_writes(const StatementAccess& st, std::vector<double>& raw_writes,
+                   std::int64_t wbase, std::int64_t sw,
+                   std::int64_t inner_trips, double weight) {
+    std::int64_t k = 0;
+    while (k < inner_trips) {
+      const PeId pe = owner_of(st.array_elements, wbase + sw * k);
+      const std::int64_t boundary =
+          next_page_boundary(wbase, sw, k, ps_);
+      const std::int64_t k_next = std::min(boundary, inner_trips);
+      const std::int64_t n = k_next - k;
+      if (st.is_reduction && sw == 0) {
+        raw_writes[pe] += weight;  // one commit per (outer combo, target)
+      } else {
+        raw_writes[pe] += weight * static_cast<double>(n);
+      }
+      k = k_next;
+    }
+  }
+
+  void price_fallback_reads(const StatementAccess& st,
+                            std::vector<ReadTally>& tallies) {
+    const double decorrelated =
+        pes_ > 1 ? static_cast<double>(pes_ - 1) / static_cast<double>(pes_)
+                 : 0.0;
+    const std::size_t depth = st.loops.size();
+    const std::int64_t inner_trips =
+        depth > 0 ? std::max<std::int64_t>(st.loops[depth - 1].trips, 1) : 1;
+    const double outer_total =
+        static_cast<double>(st.instances) / static_cast<double>(inner_trips);
+    for (std::size_t r = 0; r < st.reads.size(); ++r) {
+      const ReadAccess& read = st.reads[r];
+      ReadTally& tally = tallies[r];
+      if (read.self_accumulation || tally.analytic) continue;
+      const double touches = static_cast<double>(st.instances);
+      tally.remote_touches = touches * decorrelated;
+      tally.local = touches - tally.remote_touches;
+      if (read.affine && read.strides_known) {
+        // Strides known, alignment not: one fetch per page the innermost
+        // walk enters, owners decorrelated.
+        const std::int64_t sr = depth > 0 ? read.strides[depth - 1] : 0;
+        const double pages_per_sweep =
+            1.0 + static_cast<double>(std::llabs(sr)) *
+                      static_cast<double>(inner_trips - 1) /
+                      static_cast<double>(ps_);
+        tally.fetches = outer_total * pages_per_sweep * decorrelated;
+      } else {
+        // Indirect addressing: a permutation touch hits the cache only as
+        // often as the cache covers the array (§7.1.4).
+        const double coverage =
+            read.array_elements > 0
+                ? std::min(1.0, static_cast<double>(config_.cache_elements) /
+                                    static_cast<double>(read.array_elements))
+                : 1.0;
+        tally.fetches = tally.remote_touches * (1.0 - coverage);
+      }
+    }
+  }
+
+  void distribute_by_ownership(std::int64_t elements, double writes) {
+    if (elements <= 0 || writes <= 0.0) return;
+    const std::int64_t pages = page_count_for(elements, ps_);
+    std::vector<double> owned(pes_, 0.0);
+    for (std::int64_t p = 0; p < pages; ++p) {
+      owned[scheme_->owner(p, pages, pes_)] +=
+          static_cast<double>(page_valid_elements(p, elements, ps_));
+    }
+    for (std::uint32_t pe = 0; pe < pes_; ++pe) {
+      per_pe_writes_[pe] += writes * owned[pe] / static_cast<double>(elements);
+    }
+  }
+
+  /// §7.1.4's frame-pressure rule: statements sharing an innermost loop
+  /// share the cache; when their concurrent remote streams outnumber the
+  /// frames, the cache thrashes and stops collapsing touches to fetches
+  /// (ADI's 12 streams vs 8 frames).  Also applies the exact-window reuse
+  /// credit where the window fits the per-stream share of the frames.
+  void apply_frame_pressure(std::vector<std::vector<ReadTally>>& tallies) {
+    if (frames_ <= 0) return;
+    std::set<std::pair<std::int64_t, std::string>> streams;
+    for (std::size_t s = 0; s < tallies.size(); ++s) {
+      const std::int64_t group = summary_.statements[s].loop_group;
+      for (const ReadTally& t : tallies[s]) {
+        if (t.remote_touches > 0.0) streams.insert({group, t.stream_key});
+      }
+    }
+    std::vector<std::int64_t> group_streams;
+    for (const auto& [group, key] : streams) {
+      if (group >= static_cast<std::int64_t>(group_streams.size())) {
+        group_streams.resize(group + 1, 0);
+      }
+      ++group_streams[group];
+    }
+    for (std::size_t s = 0; s < tallies.size(); ++s) {
+      const std::int64_t group = summary_.statements[s].loop_group;
+      const std::int64_t in_group =
+          group < static_cast<std::int64_t>(group_streams.size())
+              ? group_streams[group]
+              : 0;
+      for (ReadTally& t : tallies[s]) {
+        if (in_group > frames_) {
+          t.fetches = t.remote_touches;  // thrash: every touch refetches
+          continue;
+        }
+        const std::int64_t share =
+            std::max<std::int64_t>(frames_ / std::max<std::int64_t>(
+                                                 in_group, 1),
+                                   1);
+        if (t.invariant_repeat > 1 && t.window_pages <= share) {
+          t.fetches /= static_cast<double>(t.invariant_repeat);
+        }
+      }
+    }
+  }
+
+  const AccessSummary& summary_;
+  const MachineConfig& config_;
+  std::unique_ptr<PartitionScheme> scheme_;
+  std::int64_t ps_;
+  std::uint32_t pes_;
+  std::int64_t frames_;
+  std::vector<double> per_pe_writes_;
+};
+
+}  // namespace
+
+std::string CostEstimate::summary() const {
+  std::ostringstream os;
+  os << "predicted remote " << remote_reads << '/' << total_reads << " ("
+     << remote_read_fraction() * 100.0 << "%), " << page_fetches
+     << " fetches (" << page_traffic_elements << " elements), write imbalance "
+     << write_balance.imbalance() << ", score " << score();
+  return os.str();
+}
+
+CostEstimate estimate_cost(const AccessSummary& summary,
+                           const MachineConfig& config) {
+  config.validate();
+  return CostModel(summary, config).run();
+}
+
+}  // namespace sap

@@ -1,0 +1,69 @@
+// Analytic partition cost model.
+//
+// Layer 2 of the partition advisor (DESIGN.md §7).  estimate_cost prices a
+// candidate machine configuration — (PartitionKind, block-cyclic block,
+// page size, cache) — against an AccessSummary without running a
+// simulation.  Affine statements are costed exactly at *page* granularity:
+// the write and each read advance linearly through the innermost loop, so
+// ownership can only change at page boundaries, and walking boundary
+// segments is ~page_size times cheaper than walking elements.  Non-affine
+// or statically unknown accesses fall back to a decorrelated-owner model
+// (a random page is remote with probability (N-1)/N).
+//
+// The model predicts the paper's headline metric (remote read fraction),
+// remote-page traffic (fetches x page size), host-collect volume for
+// scalar reductions (§9), and the per-PE write balance under the
+// area-of-responsibility rule.  Predictions rank candidates; the advisor
+// validates the top ranks with real Simulator::run calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "advisor/access_summary.hpp"
+#include "machine/config.hpp"
+#include "stats/load_balance.hpp"
+
+namespace sap {
+
+struct CostEstimate {
+  /// Memory reads priced (mirrors AccessSummary::total_reads).
+  double total_reads = 0.0;
+  /// Reads predicted to go over the network under the candidate's cache.
+  double remote_reads = 0.0;
+  /// Remote page transfers (each moves `page_size` elements).
+  double page_fetches = 0.0;
+  /// page_fetches x page size: the raw interconnect volume.
+  double page_traffic_elements = 0.0;
+  /// §9 host-collection volume: partial-result messages if every scalar
+  /// reduction used the host-collect protocol instead of owner-computes.
+  double host_collect_messages = 0.0;
+  /// Committed writes and their predicted distribution over PEs.
+  double writes = 0.0;
+  LoadBalance write_balance;
+
+  double remote_read_fraction() const noexcept {
+    return total_reads > 0.0 ? remote_reads / total_reads : 0.0;
+  }
+
+  /// Ranking score, lower is better: the remote fraction, plus a small
+  /// penalty for write imbalance (idle PEs) and a tie-break toward less
+  /// raw page traffic.  Weights are documented in DESIGN.md §7.
+  double score() const noexcept {
+    const double imbalance =
+        write_balance.imbalance() > 1.0 ? write_balance.imbalance() - 1.0
+                                        : 0.0;
+    const double traffic =
+        total_reads > 0.0 ? page_traffic_elements / total_reads : 0.0;
+    return remote_read_fraction() + 0.05 * imbalance + 1e-6 * traffic;
+  }
+
+  /// One-line human summary.
+  std::string summary() const;
+};
+
+/// Prices `config` for the program digested in `summary`.
+CostEstimate estimate_cost(const AccessSummary& summary,
+                           const MachineConfig& config);
+
+}  // namespace sap

@@ -1,0 +1,169 @@
+#include "stats/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace sap {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ << '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SAP_CHECK(!needs_comma_.empty() && !after_key_, "unbalanced end_object");
+  needs_comma_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ << '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SAP_CHECK(!needs_comma_.empty() && !after_key_, "unbalanced end_array");
+  needs_comma_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  SAP_CHECK(!after_key_, "key after key");
+  separate();
+  out_ << '"' << json_escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  out_ << '"' << json_escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  separate();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+  SAP_CHECK(ec == std::errc(), "double formatting failed");
+  out_.write(buf, ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  out_ << "null";
+  return *this;
+}
+
+void series_json(std::ostream& out, std::string_view artifact,
+                 const std::vector<SweepSeries>& series,
+                 std::string_view x_header) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("artifact").value(artifact);
+  w.key("x").value(x_header);
+  w.key("series").begin_array();
+  for (const SweepSeries& s : series) {
+    w.begin_object();
+    w.key("label").value(s.label);
+    w.key("points").begin_array();
+    for (const SweepPoint& p : s.points) {
+      w.begin_object();
+      w.key("x").value(p.x);
+      w.key("y").value(p.y);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+void table_json(std::ostream& out, std::string_view artifact,
+                const std::vector<std::string>& columns,
+                const std::vector<std::vector<std::string>>& rows) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("artifact").value(artifact);
+  w.key("columns").begin_array();
+  for (const std::string& c : columns) w.value(c);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : rows) {
+    w.begin_array();
+    for (const std::string& cell : row) w.value(cell);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace sap

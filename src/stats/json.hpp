@@ -1,0 +1,67 @@
+// Minimal JSON emission for machine-readable bench output.
+//
+// Bench binaries already print human tables and (optionally) CSV; the
+// JSON writer gives downstream tooling a structured form —
+// `BENCH_<artifact>.json` files carrying the same series/table data — so
+// a perf trajectory can be assembled without scraping stdout.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/series.hpp"
+
+namespace sap {
+
+/// Escapes `text` per RFC 8259 (quotes, backslash, control characters).
+/// Returns the escaped body, without the surrounding quotes.
+std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer.  Commas and nesting are handled by a state
+/// stack, so any sequence of begin/key/value/end calls that respects
+/// JSON's grammar produces valid output.  Numbers round-trip (shortest
+/// form); non-finite doubles emit null.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member name; must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+ private:
+  void separate();  // comma/space bookkeeping before a value or key
+
+  std::ostream& out_;
+  std::vector<bool> needs_comma_;  // one level per open object/array
+  bool after_key_ = false;
+};
+
+/// {"artifact": ..., "x": <x_header>, "series": [{"label": ...,
+///  "points": [{"x": ..., "y": ...}, ...]}, ...]}
+void series_json(std::ostream& out, std::string_view artifact,
+                 const std::vector<SweepSeries>& series,
+                 std::string_view x_header);
+
+/// {"artifact": ..., "columns": [...], "rows": [[...], ...]} — the JSON
+/// twin of a TextTable (every cell a string).
+void table_json(std::ostream& out, std::string_view artifact,
+                const std::vector<std::string>& columns,
+                const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sap

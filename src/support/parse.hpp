@@ -1,0 +1,29 @@
+// Strict integer parsing shared by CLI flags and environment knobs.
+//
+// One definition of "a plain decimal integer": no leading whitespace, no
+// '+', nothing trailing, and inside the caller's range.  Both the
+// SAPART_WORKERS parser and the advise_tool options build on this so the
+// two contracts cannot drift apart.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sap {
+
+inline std::optional<std::int64_t> parse_strict_int(std::string_view text,
+                                                    std::int64_t min,
+                                                    std::int64_t max) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value < min ||
+      value > max) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace sap

@@ -27,6 +27,13 @@ class TextTable {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Renders the table, headers underlined, columns padded to fit.
   std::string to_string() const;
 

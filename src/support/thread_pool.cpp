@@ -1,8 +1,29 @@
 #include "support/thread_pool.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/parse.hpp"
 
 namespace sap {
+
+unsigned parse_worker_count(const char* value) {
+  if (value == nullptr) return 0;
+  const std::string_view text(value);
+  constexpr std::int64_t kMaxWorkers = 4096;  // far beyond any sane machine
+  if (const auto parsed = parse_strict_int(text, 1, kMaxWorkers)) {
+    return static_cast<unsigned>(*parsed);
+  }
+  if (parse_strict_int(text, INT64_MIN, 0)) {
+    throw ConfigError("worker count must be >= 1, got '" + std::string(text) +
+                      "'");
+  }
+  // Covers garbage and any oversize value, including ones beyond int64.
+  throw ConfigError("worker count '" + std::string(text) +
+                    "' is not a positive integer <= " +
+                    std::to_string(kMaxWorkers));
+}
 
 ThreadPool::ThreadPool(unsigned workers) {
   unsigned n = workers;

@@ -25,6 +25,14 @@
 
 namespace sap {
 
+/// Parses a worker-count override (the SAPART_WORKERS convention).
+/// nullptr — no override — returns 0, which ThreadPool interprets as
+/// "one worker per hardware thread".  Anything else must be a plain
+/// positive decimal; zero, negative, trailing garbage, or out-of-range
+/// values throw ConfigError with a message naming the bad input, so a
+/// typo fails loudly instead of silently picking some fallback size.
+unsigned parse_worker_count(const char* value);
+
 class ThreadPool {
  public:
   /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()

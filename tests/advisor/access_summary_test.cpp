@@ -1,0 +1,143 @@
+#include "advisor/access_summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+TEST(AccessSummaryTest, MatchedKernel) {
+  const AccessSummary s = summarize_access(make_matched(256));
+  ASSERT_EQ(s.statements.size(), 1u);
+  const StatementAccess& st = s.statements[0];
+  EXPECT_EQ(st.array, "A");
+  EXPECT_EQ(st.array_elements, 256);
+  ASSERT_EQ(st.loops.size(), 1u);
+  EXPECT_EQ(st.loops[0].trips, 256);
+  EXPECT_TRUE(st.loops[0].trips_exact);
+  EXPECT_TRUE(st.write_affine);
+  EXPECT_TRUE(st.write_start_known);
+  EXPECT_EQ(st.write_start, 0);
+  ASSERT_EQ(st.write_strides.size(), 1u);
+  EXPECT_EQ(st.write_strides[0], 1);
+  EXPECT_FALSE(st.is_reduction);
+  EXPECT_EQ(st.instances, 256);
+  EXPECT_EQ(st.distinct_writes, 256);
+
+  ASSERT_EQ(st.reads.size(), 2u);
+  for (const ReadAccess& read : st.reads) {
+    EXPECT_TRUE(read.affine);
+    EXPECT_TRUE(read.start_known);
+    EXPECT_EQ(read.start, 0);  // both B(k) and C(k) align with A(k)
+    EXPECT_EQ(read.strides[0], 1);
+    EXPECT_FALSE(read.self_accumulation);
+  }
+  EXPECT_EQ(s.total_reads, 512);
+  EXPECT_EQ(s.total_writes, 256);
+  EXPECT_EQ(s.classification.cls, AccessClass::kMatched);
+}
+
+TEST(AccessSummaryTest, SkewedOffsetIsVisible) {
+  const AccessSummary s = summarize_access(make_skewed(256, 11));
+  ASSERT_EQ(s.statements.size(), 1u);
+  const StatementAccess& st = s.statements[0];
+  // Reads in source order: B(k+11) then C(k).
+  ASSERT_EQ(st.reads.size(), 2u);
+  EXPECT_EQ(st.reads[0].array, "B");
+  EXPECT_EQ(st.reads[0].start, st.write_start + 11);
+  EXPECT_EQ(st.reads[1].array, "C");
+  EXPECT_EQ(st.reads[1].start, st.write_start);
+}
+
+TEST(AccessSummaryTest, CyclicStrideMismatch) {
+  const AccessSummary s = summarize_access(make_cyclic(256, 2));
+  const StatementAccess& st = s.statements.at(0);
+  EXPECT_EQ(st.write_strides.at(0), 1);
+  ASSERT_EQ(st.reads.size(), 2u);
+  EXPECT_EQ(st.reads[0].strides.at(0), 2);  // B(2k) advances twice as fast
+  EXPECT_EQ(st.reads[1].strides.at(0), 2);
+}
+
+TEST(AccessSummaryTest, RandomPermutationIsNonAffine) {
+  const AccessSummary s = summarize_access(make_random_permutation(128, 7));
+  const StatementAccess& st = s.statements.at(0);
+  // B(P(k)) is indirect; P(k) itself is an affine read stream.
+  bool saw_indirect = false;
+  bool saw_affine_p = false;
+  for (const ReadAccess& read : st.reads) {
+    if (read.array == "B") {
+      EXPECT_FALSE(read.affine);
+      saw_indirect = true;
+    }
+    if (read.array == "P") {
+      EXPECT_TRUE(read.affine);
+      saw_affine_p = true;
+    }
+  }
+  EXPECT_TRUE(saw_indirect);
+  EXPECT_TRUE(saw_affine_p);
+  EXPECT_EQ(s.classification.cls, AccessClass::kRandom);
+}
+
+TEST(AccessSummaryTest, ReductionRegisterReadExcluded) {
+  const AccessSummary s = summarize_access(make_dot_product(64));
+  const StatementAccess& st = s.statements.at(0);
+  EXPECT_TRUE(st.is_reduction);
+  EXPECT_EQ(st.distinct_writes, 1);  // one committed scalar
+  std::int64_t self = 0;
+  for (const ReadAccess& read : st.reads) {
+    if (read.self_accumulation) ++self;
+  }
+  EXPECT_EQ(self, 1);
+  // X(k) and Y(k) are memory reads; S(1) is an owner-local register.
+  EXPECT_EQ(st.memory_reads(), 2 * 64);
+  EXPECT_EQ(s.total_writes, 1);
+}
+
+TEST(AccessSummaryTest, TriangularBoundsEstimated) {
+  // GLR's inner loop runs K = 1 .. I-1: not constant, but affine in I —
+  // the midpoint estimate must land near (n-1)/2, not collapse to 1 or
+  // blow up to the array size.
+  const AccessSummary s =
+      summarize_access(build_k6_general_linear_recurrence(100));
+  const StatementAccess& st = s.statements.at(0);
+  ASSERT_EQ(st.loops.size(), 2u);
+  EXPECT_TRUE(st.loops[0].trips_exact);
+  EXPECT_EQ(st.loops[0].trips, 99);
+  EXPECT_FALSE(st.loops[1].trips_exact);
+  EXPECT_GE(st.loops[1].trips, 30);
+  EXPECT_LE(st.loops[1].trips, 70);
+}
+
+TEST(AccessSummaryTest, TwoDimensionalStrides) {
+  // 2-D stencil: OUT(i,j) over a rows x cols grid — the i stride is the
+  // row length, the j stride 1, and neighbour reads carry their offsets.
+  const AccessSummary s = summarize_access(make_stencil_2d(8, 16));
+  const StatementAccess& st = s.statements.at(0);
+  ASSERT_EQ(st.loops.size(), 2u);
+  EXPECT_EQ(st.write_strides[0], 16);
+  EXPECT_EQ(st.write_strides[1], 1);
+  EXPECT_EQ(st.loops[0].trips, 6);
+  EXPECT_EQ(st.loops[1].trips, 14);
+  // IN(i-1, j) sits one row before the write.
+  bool found_north = false;
+  for (const ReadAccess& read : st.reads) {
+    if (read.start_known && read.start == st.write_start - 16) {
+      found_north = true;
+    }
+  }
+  EXPECT_TRUE(found_north);
+}
+
+TEST(AccessSummaryTest, ReportMentionsProgramAndReads) {
+  const AccessSummary s = summarize_access(make_skewed(64, 3));
+  const std::string text = s.report();
+  EXPECT_NE(text.find("syn_skewed_64_s3"), std::string::npos);
+  EXPECT_NE(text.find("read B"), std::string::npos);
+  EXPECT_NE(text.find("skewed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sap

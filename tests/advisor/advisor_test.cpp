@@ -1,0 +1,113 @@
+#include "advisor/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+MachineConfig paper_machine(std::uint32_t pes) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.page_size = 32;
+  c.cache_elements = 256;
+  return c;
+}
+
+TEST(AdvisorTest, BaselineAlwaysValidated) {
+  const CompiledProgram prog = make_skewed(1024, 11);
+  AdvisorOptions options;
+  options.validate_top_k = 1;  // even with the tightest budget
+  const AdvisorReport report = advise(prog, paper_machine(16), options);
+  const AdvisorCandidate* baseline = report.baseline();
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_TRUE(baseline->validated);
+  EXPECT_EQ(baseline->config.partition, PartitionKind::kModulo);
+  EXPECT_EQ(baseline->config.page_size, 32);
+}
+
+TEST(AdvisorTest, BestNeverWorseThanBaseline) {
+  for (const auto& prog :
+       {make_skewed(1024, 11), make_cyclic(1024, 2),
+        make_random_permutation(512, 9), build_k5_tridiag()}) {
+    const AdvisorReport report = advise(prog, paper_machine(16));
+    ASSERT_FALSE(report.candidates.empty());
+    const AdvisorCandidate& best = report.best();
+    const AdvisorCandidate* baseline = report.baseline();
+    ASSERT_NE(baseline, nullptr);
+    EXPECT_TRUE(best.validated);
+    EXPECT_LE(best.measured_remote_fraction,
+              baseline->measured_remote_fraction)
+        << report.program;
+  }
+}
+
+TEST(AdvisorTest, PicksNonModuloForSkewedLoop) {
+  // §9's motivating case: a skewed loop wants the division scheme (or a
+  // coarse block-cyclic) so neighbour pages share a PE.
+  const AdvisorReport report =
+      advise(make_skewed(4096, 11), paper_machine(16));
+  EXPECT_NE(report.best().config.partition, PartitionKind::kModulo);
+  EXPECT_LT(report.best().measured_remote_fraction,
+            report.baseline()->measured_remote_fraction);
+}
+
+TEST(AdvisorTest, CandidateSpaceHasNoDuplicates) {
+  AdvisorOptions options;
+  options.page_sizes = {32, 32, 64};  // deliberate duplicate
+  const AdvisorReport report =
+      advise(make_matched(256), paper_machine(4), options);
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.candidates.size(); ++j) {
+      EXPECT_NE(report.candidates[i].label(), report.candidates[j].label());
+    }
+  }
+}
+
+TEST(AdvisorTest, RankingIsSorted) {
+  const AdvisorReport report =
+      advise(build_k2_iccg(), paper_machine(16));
+  ASSERT_GT(report.validated_count, 0u);
+  // Validated candidates come first, ordered by measured fraction.
+  for (std::size_t i = 1; i < report.candidates.size(); ++i) {
+    const AdvisorCandidate& prev = report.candidates[i - 1];
+    const AdvisorCandidate& cur = report.candidates[i];
+    EXPECT_GE(prev.validated, cur.validated);
+    if (prev.validated && cur.validated) {
+      EXPECT_LE(prev.measured_remote_fraction, cur.measured_remote_fraction);
+    }
+  }
+}
+
+TEST(AdvisorTest, ReportNamesRecommendationAndBaseline) {
+  const AdvisorReport report =
+      advise(make_skewed(1024, 7), paper_machine(8));
+  const std::string text = report.report();
+  EXPECT_NE(text.find("recommendation:"), std::string::npos);
+  EXPECT_NE(text.find("paper default"), std::string::npos);
+  EXPECT_NE(text.find(report.best().label()), std::string::npos);
+}
+
+TEST(AdvisorTest, DeterministicAcrossWorkerCounts) {
+  // Validation fans across the pool; the report must be byte-identical
+  // for any worker count (and for no pool at all).
+  const CompiledProgram prog = build_k18_explicit_hydro_2d();
+  const AdvisorReport serial = advise(prog, paper_machine(16));
+  const std::string expected = serial.report();
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const AdvisorReport parallel =
+        advise(prog, paper_machine(16), {}, &pool);
+    EXPECT_EQ(parallel.report(), expected) << workers << " workers";
+  }
+}
+
+TEST(AdvisorTest, SinglePeRecommendsAnythingWithZeroRemote) {
+  const AdvisorReport report = advise(make_cyclic(512, 2), paper_machine(1));
+  EXPECT_EQ(report.best().measured_remote_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace sap

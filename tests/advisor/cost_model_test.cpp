@@ -1,0 +1,158 @@
+#include "advisor/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "advisor/access_summary.hpp"
+#include "core/simulator.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+
+namespace sap {
+namespace {
+
+MachineConfig config_of(std::uint32_t pes, std::int64_t page_size,
+                        std::int64_t cache, PartitionKind kind) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.page_size = page_size;
+  c.cache_elements = cache;
+  c.partition = kind;
+  return c;
+}
+
+TEST(CostModelTest, MatchedPredictsZeroRemote) {
+  const AccessSummary s = summarize_access(make_matched(4096));
+  for (const PartitionKind kind :
+       {PartitionKind::kModulo, PartitionKind::kBlock,
+        PartitionKind::kBlockCyclic}) {
+    for (const std::uint32_t pes : {1u, 4u, 64u}) {
+      const CostEstimate est =
+          estimate_cost(s, config_of(pes, 32, 256, kind));
+      EXPECT_EQ(est.remote_reads, 0.0)
+          << to_string(kind) << " @" << pes << " PEs";
+      EXPECT_EQ(est.total_reads, 2 * 4096.0);
+    }
+  }
+}
+
+TEST(CostModelTest, SinglePeIsAllLocal) {
+  for (const auto& program :
+       {make_skewed(512, 7), make_cyclic(512, 2),
+        make_random_permutation(256, 3)}) {
+    const AccessSummary s = summarize_access(program);
+    const CostEstimate est =
+        estimate_cost(s, config_of(1, 32, 256, PartitionKind::kModulo));
+    EXPECT_EQ(est.remote_reads, 0.0) << s.program;
+  }
+}
+
+TEST(CostModelTest, SkewedNoCacheMatchesSimulatorExactly) {
+  // The affine page-segment walk is exact for skewed loops without a
+  // cache: every boundary-crossing read of a modulo-partitioned array is
+  // remote.  Cross-check the prediction against the real machine.
+  const CompiledProgram prog = make_skewed(2048, 11);
+  const AccessSummary s = summarize_access(prog);
+  const MachineConfig config =
+      config_of(16, 32, /*cache=*/0, PartitionKind::kModulo);
+  const CostEstimate est = estimate_cost(s, config);
+  const SimulationResult real = Simulator(config).run(prog);
+  EXPECT_EQ(static_cast<std::uint64_t>(est.total_reads),
+            real.totals.total_reads());
+  EXPECT_NEAR(est.remote_reads,
+              static_cast<double>(real.totals.remote_reads), 1.0);
+}
+
+TEST(CostModelTest, BlockBeatsModuloOnSkewed) {
+  // §9's observation: a division scheme keeps neighbour pages on one PE,
+  // so a constant skew stops crossing ownership at almost every page
+  // boundary.  The model must reproduce the preference.
+  const AccessSummary s = summarize_access(make_skewed(4096, 11));
+  const MachineConfig modulo =
+      config_of(16, 32, 0, PartitionKind::kModulo);
+  const MachineConfig block = config_of(16, 32, 0, PartitionKind::kBlock);
+  const CostEstimate est_modulo = estimate_cost(s, modulo);
+  const CostEstimate est_block = estimate_cost(s, block);
+  EXPECT_GT(est_modulo.remote_reads, 0.0);
+  EXPECT_LT(est_block.remote_reads, est_modulo.remote_reads * 0.25);
+}
+
+TEST(CostModelTest, CacheCollapsesTouchesToFetches) {
+  const AccessSummary s = summarize_access(make_cyclic(4096, 2));
+  const CostEstimate nocache =
+      estimate_cost(s, config_of(16, 32, 0, PartitionKind::kModulo));
+  const CostEstimate cached =
+      estimate_cost(s, config_of(16, 32, 256, PartitionKind::kModulo));
+  EXPECT_GT(nocache.remote_reads, 0.0);
+  // A streaming cyclic read costs one fetch per page instead of one
+  // remote read per touch.
+  EXPECT_LT(cached.remote_reads, nocache.remote_reads / 4.0);
+  // With the cache on, predicted remote reads ARE the page fetches.
+  EXPECT_EQ(cached.page_fetches, cached.remote_reads);
+}
+
+TEST(CostModelTest, RandomStaysRemoteDespiteCache) {
+  // §7.1.4: permutation lookups thrash a small cache.  The model's
+  // coverage term must keep the cached prediction close to the uncached
+  // one when the array dwarfs the cache.
+  const AccessSummary s = summarize_access(make_random_permutation(8192, 5));
+  const CostEstimate nocache =
+      estimate_cost(s, config_of(16, 32, 0, PartitionKind::kModulo));
+  const CostEstimate cached =
+      estimate_cost(s, config_of(16, 32, 256, PartitionKind::kModulo));
+  EXPECT_GT(cached.remote_reads, nocache.remote_reads * 0.5);
+}
+
+TEST(CostModelTest, WriteBalanceSeesBlockConcentration) {
+  // Hydro's X is dimensioned 1001 but only 400 elements are written:
+  // block partitioning parks the whole written prefix on the low PEs,
+  // which the imbalance estimate must expose (and modulo must not).
+  const AccessSummary s = summarize_access(build_k1_hydro());
+  const CostEstimate modulo =
+      estimate_cost(s, config_of(16, 32, 256, PartitionKind::kModulo));
+  const CostEstimate block =
+      estimate_cost(s, config_of(16, 32, 256, PartitionKind::kBlock));
+  EXPECT_GT(block.write_balance.imbalance(),
+            modulo.write_balance.imbalance() + 0.5);
+}
+
+TEST(CostModelTest, HostCollectVolumeForScalarReductions) {
+  const AccessSummary s = summarize_access(make_dot_product(512));
+  const CostEstimate est =
+      estimate_cost(s, config_of(16, 32, 256, PartitionKind::kModulo));
+  EXPECT_EQ(est.host_collect_messages, 15.0);
+  EXPECT_EQ(est.writes, 1.0);
+}
+
+TEST(CostModelTest, PageTrafficScalesWithPageSize) {
+  const AccessSummary s = summarize_access(make_cyclic(4096, 2));
+  const CostEstimate ps32 =
+      estimate_cost(s, config_of(16, 32, 256, PartitionKind::kModulo));
+  const CostEstimate ps64 =
+      estimate_cost(s, config_of(16, 64, 256, PartitionKind::kModulo));
+  EXPECT_EQ(ps32.page_traffic_elements, ps32.page_fetches * 32.0);
+  EXPECT_EQ(ps64.page_traffic_elements, ps64.page_fetches * 64.0);
+}
+
+TEST(CostModelTest, ScoreOrdersByRemoteFractionFirst) {
+  CostEstimate cheap;
+  cheap.total_reads = 100;
+  cheap.remote_reads = 1;
+  CostEstimate expensive;
+  expensive.total_reads = 100;
+  expensive.remote_reads = 50;
+  EXPECT_LT(cheap.score(), expensive.score());
+}
+
+TEST(CostModelTest, DeterministicAcrossCalls) {
+  const AccessSummary s = summarize_access(build_k18_explicit_hydro_2d());
+  const MachineConfig config =
+      config_of(16, 32, 256, PartitionKind::kBlockCyclic);
+  const CostEstimate a = estimate_cost(s, config);
+  const CostEstimate b = estimate_cost(s, config);
+  EXPECT_EQ(a.remote_reads, b.remote_reads);
+  EXPECT_EQ(a.page_fetches, b.page_fetches);
+  EXPECT_EQ(a.score(), b.score());
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,80 @@
+// The ISSUE-2 acceptance criterion: on every figure workload of the
+// paper, the advisor's recommended partition must match or beat the
+// paper's fixed modulo scheme on the headline metric (remote-read
+// fraction), and candidate validation must fan across the ThreadPool
+// deterministically (identical reports for 1/2/8 workers).
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.hpp"
+#include "kernels/livermore.hpp"
+
+namespace sap {
+namespace {
+
+struct FigWorkload {
+  const char* figure;
+  CompiledProgram program;
+  std::uint32_t pes;
+};
+
+std::vector<FigWorkload> figure_workloads() {
+  std::vector<FigWorkload> out;
+  // Figure 1 highlights 8 PEs; figures 2-4 sweep to 32; figure 5 is the
+  // 64-PE load-balance run on the enlarged Hydro-2D grid.
+  out.push_back({"fig1", build_k1_hydro(), 8});
+  out.push_back({"fig2", build_k2_iccg(), 16});
+  out.push_back({"fig3", build_k18_explicit_hydro_2d(), 16});
+  out.push_back({"fig4", build_k6_general_linear_recurrence(), 16});
+  out.push_back({"fig5", build_k18_explicit_hydro_2d(400), 64});
+  return out;
+}
+
+MachineConfig paper_machine(std::uint32_t pes) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.page_size = 32;
+  c.cache_elements = 256;
+  return c;
+}
+
+TEST(AdvisorNeverWorseTest, BeatsOrMatchesModuloOnEveryFigureWorkload) {
+  ThreadPool pool;
+  AdvisorOptions options;
+  options.page_sizes = {32, 64};
+  for (const FigWorkload& w : figure_workloads()) {
+    const AdvisorReport report =
+        advise(w.program, paper_machine(w.pes), options, &pool);
+    const AdvisorCandidate& best = report.best();
+    const AdvisorCandidate* baseline = report.baseline();
+    ASSERT_NE(baseline, nullptr) << w.figure;
+    ASSERT_TRUE(baseline->validated) << w.figure;
+    ASSERT_TRUE(best.validated) << w.figure;
+    EXPECT_LE(best.measured_remote_fraction,
+              baseline->measured_remote_fraction)
+        << w.figure << ": advised " << best.label() << " measured "
+        << best.measured_remote_fraction << " vs modulo "
+        << baseline->measured_remote_fraction;
+  }
+}
+
+TEST(AdvisorNeverWorseTest, ValidationDeterministicAcrossWorkerCounts) {
+  // Same program, same options — 1, 2 and 8 pool workers must produce a
+  // byte-identical report (pre-assigned result slots, tie-broken sorts).
+  const CompiledProgram prog = build_k2_iccg();
+  AdvisorOptions options;
+  options.page_sizes = {32, 64};
+  std::string expected;
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const AdvisorReport report =
+        advise(prog, paper_machine(16), options, &pool);
+    if (expected.empty()) {
+      expected = report.report();
+    } else {
+      EXPECT_EQ(report.report(), expected) << workers << " workers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sap

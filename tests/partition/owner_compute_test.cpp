@@ -54,5 +54,102 @@ TEST(OwnerComputeTest, ExecutingPeHelper) {
   EXPECT_EQ(executing_pe(part, a, 33), 1u);
 }
 
+// Edge cases cross-checked against the screen-everything path: the fast
+// enumeration and per-element screening must agree on exactly which
+// in-bounds iterations each PE owns, and together cover each exactly once.
+namespace {
+
+void expect_matches_screening(const Partitioner& part, const SaArray& a,
+                              std::int64_t stride, std::int64_t offset,
+                              std::int64_t lo, std::int64_t hi,
+                              std::int64_t step) {
+  const std::int64_t lower = a.shape().dims()[0].lower;
+  std::int64_t covered = 0;
+  for (PeId pe = 0; pe < part.num_pes(); ++pe) {
+    const auto owned =
+        owned_iterations_affine(part, a, stride, offset, lo, hi, step, pe);
+    covered += static_cast<std::int64_t>(owned.size());
+    for (const std::int64_t k : owned) {
+      const std::int64_t linear = stride * k + offset - lower;
+      ASSERT_GE(linear, 0);
+      ASSERT_LT(linear, a.element_count());
+      EXPECT_EQ(part.owner_of_element(a, linear), pe)
+          << "k=" << k << " stride=" << stride << " offset=" << offset;
+    }
+  }
+  // Screen-everything: count the in-bounds iterations directly.
+  std::int64_t in_bounds = 0;
+  for (std::int64_t k = lo; k <= hi; k += step) {
+    const std::int64_t linear = stride * k + offset - lower;
+    if (linear >= 0 && linear < a.element_count()) ++in_bounds;
+  }
+  EXPECT_EQ(covered, in_bounds);
+}
+
+}  // namespace
+
+TEST(OwnerComputeTest, StrideLargerThanPageSize) {
+  // Stride 40 over 8-element pages: every iteration jumps past at least
+  // four page boundaries, so ownership follows no simple run pattern.
+  for (const PartitionKind kind :
+       {PartitionKind::kModulo, PartitionKind::kBlock,
+        PartitionKind::kBlockCyclic}) {
+    const Partitioner part(make_partition_scheme(kind), 8, 4);
+    const SaArray a(0, "X", ArrayShape::vector_1based(1000));
+    expect_matches_screening(part, a, /*stride=*/40, /*offset=*/0,
+                             /*lo=*/1, /*hi=*/24, /*step=*/1);
+  }
+}
+
+TEST(OwnerComputeTest, NegativeOffsetSkipsUnderflow) {
+  // k - 12 is below the array for small k: those iterations belong to no
+  // PE, exactly like the over-bounds case.
+  const Partitioner part(make_partition_scheme(PartitionKind::kModulo), 8, 3);
+  const SaArray a(0, "X", ArrayShape::vector_1based(64));
+  expect_matches_screening(part, a, /*stride=*/1, /*offset=*/-12,
+                           /*lo=*/1, /*hi=*/64, /*step=*/1);
+  // The first 12 iterations (k=1..12 => linear < 0) are skipped.
+  std::int64_t total = 0;
+  for (PeId pe = 0; pe < 3; ++pe) {
+    total += static_cast<std::int64_t>(
+        owned_iterations_affine(part, a, 1, -12, 1, 64, 1, pe).size());
+  }
+  EXPECT_EQ(total, 52);
+}
+
+TEST(OwnerComputeTest, NegativeStrideWalksBackwards) {
+  const Partitioner part(make_partition_scheme(PartitionKind::kBlock), 8, 4);
+  const SaArray a(0, "X", ArrayShape::vector_1based(100));
+  expect_matches_screening(part, a, /*stride=*/-2, /*offset=*/100,
+                           /*lo=*/1, /*hi=*/60, /*step=*/1);
+}
+
+TEST(OwnerComputeTest, PartialFinalPage) {
+  // 21 elements over 8-element pages: the last page holds 5 elements.
+  // Under block partitioning the page count (3) drives the division, and
+  // the partial page's elements must still screen to its owner.
+  for (const PartitionKind kind :
+       {PartitionKind::kModulo, PartitionKind::kBlock,
+        PartitionKind::kBlockCyclic}) {
+    const Partitioner part(make_partition_scheme(kind), 8, 2);
+    const SaArray a(0, "X", ArrayShape::vector_1based(21));
+    expect_matches_screening(part, a, /*stride=*/1, /*offset=*/0,
+                             /*lo=*/1, /*hi=*/21, /*step=*/1);
+  }
+}
+
+TEST(OwnerComputeTest, SinglePeOwnsEverything) {
+  for (const PartitionKind kind :
+       {PartitionKind::kModulo, PartitionKind::kBlock,
+        PartitionKind::kBlockCyclic}) {
+    const Partitioner part(make_partition_scheme(kind), 32, 1);
+    const SaArray a(0, "X", ArrayShape::vector_1based(77));
+    const auto owned =
+        owned_iterations_affine(part, a, 1, 0, 1, 77, 1, /*pe=*/0);
+    EXPECT_EQ(owned.size(), 77u);
+    expect_matches_screening(part, a, 3, -2, 1, 40, 2);
+  }
+}
+
 }  // namespace
 }  // namespace sap

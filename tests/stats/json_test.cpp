@@ -1,0 +1,67 @@
+#include "stats/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace sap {
+namespace {
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("ctl\x01", 4)), "ctl\\u0001");
+}
+
+TEST(JsonTest, WriterNestsObjectsAndArrays) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("name").value("sap");
+  w.key("tags").begin_array().value("a").value("b").end_array();
+  w.key("nested").begin_object().key("n").value(std::int64_t{3}).end_object();
+  w.key("ok").value(true);
+  w.end_object();
+  EXPECT_EQ(out.str(),
+            R"({"name":"sap","tags":["a","b"],"nested":{"n":3},"ok":true})");
+}
+
+TEST(JsonTest, NumbersRoundTripAndNonFiniteBecomesNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_array();
+  w.value(0.5);
+  w.value(std::int64_t{-7});
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(out.str(), "[0.5,-7,18446744073709551615,null]");
+}
+
+TEST(JsonTest, SeriesJsonShape) {
+  SweepSeries s;
+  s.label = "Cache, ps 32";
+  s.add(1, 0.0);
+  s.add(2, 12.5);
+  std::ostringstream out;
+  series_json(out, "fig1", {s}, "PEs");
+  EXPECT_EQ(out.str(),
+            "{\"artifact\":\"fig1\",\"x\":\"PEs\",\"series\":"
+            "[{\"label\":\"Cache, ps 32\",\"points\":"
+            "[{\"x\":1,\"y\":0},{\"x\":2,\"y\":12.5}]}]}\n");
+}
+
+TEST(JsonTest, TableJsonShape) {
+  std::ostringstream out;
+  table_json(out, "a7", {"kernel", "best"},
+             {{"k01", "block"}, {"k02", "modulo"}});
+  EXPECT_EQ(out.str(),
+            "{\"artifact\":\"a7\",\"columns\":[\"kernel\",\"best\"],"
+            "\"rows\":[[\"k01\",\"block\"],[\"k02\",\"modulo\"]]}\n");
+}
+
+}  // namespace
+}  // namespace sap

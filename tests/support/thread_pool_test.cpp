@@ -6,8 +6,11 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "support/error.hpp"
 
 namespace sap {
 namespace {
@@ -130,6 +133,48 @@ TEST(ParallelForEachTest, SingleWorkerPoolStillCompletes) {
   parallel_for_each(pool, out.size(),
                     [&out](std::size_t i) { out[i] = static_cast<int>(i); });
   EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 63 * 64 / 2);
+}
+
+// The SAPART_WORKERS convention (bench::pool and any other env-sized
+// pool): unset means "hardware concurrency", anything else must be a
+// plain positive integer — no silent fallbacks for typos.
+TEST(ParseWorkerCountTest, UnsetMeansHardwareConcurrency) {
+  EXPECT_EQ(parse_worker_count(nullptr), 0u);
+}
+
+TEST(ParseWorkerCountTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse_worker_count("1"), 1u);
+  EXPECT_EQ(parse_worker_count("4"), 4u);
+  EXPECT_EQ(parse_worker_count("128"), 128u);
+}
+
+TEST(ParseWorkerCountTest, RejectsZeroAndNegative) {
+  EXPECT_THROW(parse_worker_count("0"), ConfigError);
+  EXPECT_THROW(parse_worker_count("-1"), ConfigError);
+  EXPECT_THROW(parse_worker_count("-32"), ConfigError);
+}
+
+TEST(ParseWorkerCountTest, RejectsGarbage) {
+  EXPECT_THROW(parse_worker_count(""), ConfigError);
+  EXPECT_THROW(parse_worker_count("abc"), ConfigError);
+  EXPECT_THROW(parse_worker_count("4x"), ConfigError);
+  EXPECT_THROW(parse_worker_count("4.5"), ConfigError);
+  EXPECT_THROW(parse_worker_count(" 8"), ConfigError);
+  EXPECT_THROW(parse_worker_count("+8"), ConfigError);
+}
+
+TEST(ParseWorkerCountTest, RejectsAbsurdCounts) {
+  EXPECT_THROW(parse_worker_count("99999999999999999999"), ConfigError);
+  EXPECT_THROW(parse_worker_count("1000000"), ConfigError);
+}
+
+TEST(ParseWorkerCountTest, ErrorNamesTheBadValue) {
+  try {
+    parse_worker_count("bogus");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
 }
 
 }  // namespace
