@@ -16,7 +16,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A7: the partition advisor vs the fixed schemes.");
   bench::print_header(
       "Ablation A7 — Partition Advisor vs fixed schemes",
       "measured remote read fraction at 16 PEs, 256-element cache");

@@ -6,7 +6,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A2: cache capacity sweep for the Random class.");
   bench::print_header(
       "Ablation A2 — Cache Size for the Random Class",
       "% reads remote vs per-PE cache capacity (elements), 16 PEs, ps 32");

@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A5: interconnect topology and contention.");
   bench::print_header(
       "Ablation A5 — Interconnect Topology and Contention",
       "16 PEs, ps 32, 256-element cache; per-topology message statistics");

@@ -10,7 +10,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A3: page-size sweep.");
   bench::print_header(
       "Ablation A3 — Page Size",
       "remote fraction and work spread vs page size, 16 PEs, 256-elt cache");

@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A1: modulo vs division vs block-cyclic partitioning.");
   bench::print_header(
       "Ablation A1 — Partition Scheme (modulo vs division vs block-cyclic)",
       "remote read fraction at 16 PEs, ps 32, 256-element cache");

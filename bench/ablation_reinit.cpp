@@ -28,7 +28,8 @@ sap::CompiledProgram timestep_program(std::int64_t n, std::int64_t steps) {
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A6: cost of the §5 re-initialization protocol.");
   bench::print_header(
       "Ablation A6 — Host-Processor Re-initialization Cost (§5)",
       "time-stepped reuse of one array; protocol vs data messages");

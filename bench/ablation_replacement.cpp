@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Ablation A4: cache replacement policy (LRU vs FIFO vs Random).");
   bench::print_header(
       "Ablation A4 — Cache Replacement Policy",
       "remote read fraction at 16 PEs, ps 32, 256-element cache");

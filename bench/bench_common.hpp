@@ -9,12 +9,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/bytecode.hpp"
 #include "core/sweep.hpp"
 #include "stats/json.hpp"
 #include "stats/report.hpp"
@@ -30,18 +32,57 @@ inline std::string& json_dir() {
   return dir;
 }
 
+/// Usage text shared by every driver: flags, environment knobs, and the
+/// exit-code contract (0 = success; 2 = usage/configuration error; any
+/// other nonzero exit is a fatal error inside the run itself).
+inline void print_usage(std::ostream& out, const char* prog,
+                        std::string_view description) {
+  out << "usage: " << prog << " [--json <dir>] [--help]\n";
+  if (!description.empty()) out << description << '\n';
+  out << "\nflags:\n"
+         "  --json <dir>  also write BENCH_<artifact>.json files into <dir>\n"
+         "                (the directory is created if missing)\n"
+         "  --help        print this help and exit\n"
+         "\nenvironment:\n"
+         "  SAPART_WORKERS  sweep worker-pool size (default: one per\n"
+         "                  hardware thread; zero/negative/malformed abort)\n"
+         "  SAPART_EVAL     expression engine: 'bytecode' (default) or\n"
+         "                  'tree' (the reference tree walk)\n"
+         "  SAPART_CSV_DIR  also write <artifact>.csv files there\n"
+         "\nexit codes:\n"
+         "  0  success\n"
+         "  2  usage error, invalid SAPART_WORKERS/SAPART_EVAL, or an\n"
+         "     unwritable --json destination\n"
+         "  other nonzero  fatal error during the run (uncaught exception)\n";
+}
+
 /// Parses the shared driver arguments.  Call first thing in main:
 ///
-///   int main(int argc, char** argv) { sap::bench::init(argc, argv); ... }
+///   int main(int argc, char** argv) {
+///     sap::bench::init(argc, argv, "one-line driver description");
+///     ...
+///   }
 ///
-/// Flags: `--json <dir>` — also write BENCH_<artifact>.json files there.
-inline void init(int argc, char** argv) {
+/// Flags: `--json <dir>` — also write BENCH_<artifact>.json files there
+/// (creating the directory when missing); `--help` — usage + exit codes.
+inline void init(int argc, char** argv, std::string_view description = "") {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0], description);
+      std::exit(0);
+    } else if (arg == "--json" && i + 1 < argc) {
       json_dir() = argv[++i];
-      // Fail fast on an unwritable destination, not after the (possibly
-      // expensive) run has already completed.
+      // Create the destination (every driver, one place) and fail fast on
+      // an unwritable one, not after the (possibly expensive) run has
+      // already completed.
+      std::error_code ec;
+      std::filesystem::create_directories(json_dir(), ec);
+      if (ec) {
+        std::cerr << "--json: cannot create directory '" << json_dir()
+                  << "': " << ec.message() << '\n';
+        std::exit(2);
+      }
       const std::string probe_path = json_dir() + "/.bench_json_probe";
       std::ofstream probe(probe_path);
       if (!probe) {
@@ -52,14 +93,24 @@ inline void init(int argc, char** argv) {
       probe.close();
       std::remove(probe_path.c_str());
     } else if (arg == "--json") {
-      std::cerr << "usage: " << argv[0] << " [--json <dir>]\n"
+      std::cerr << "usage: " << argv[0] << " [--json <dir>] [--help]\n"
                 << "--json is missing its directory operand\n";
       std::exit(2);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json <dir>]\n"
+      std::cerr << "usage: " << argv[0] << " [--json <dir>] [--help]\n"
                 << "unrecognized argument: " << arg << '\n';
       std::exit(2);
     }
+  }
+  // Validate SAPART_EVAL after argument parsing (so --help stays reachable
+  // with a mistyped value), but before the run, so a config typo is the
+  // documented exit 2 and not a ConfigError escaping main mid-run
+  // (SAPART_WORKERS gets the same treatment in pool()).
+  try {
+    eval_engine_from_env();
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_EVAL: " << e.what() << '\n';
+    std::exit(2);
   }
 }
 

@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Figure 1: skewed access (Hydro Fragment, LFK 1) — remote reads vs PEs.");
   bench::print_header(
       "Figure 1 — Skewed Access Pattern (Hydro Fragment, LFK 1)",
       "X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11)); skew 10/11 elements");

@@ -13,7 +13,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Figure 2: cyclic access (ICCG, LFK 2) — remote reads vs PEs.");
   bench::print_header(
       "Figure 2 — Cyclic Access Pattern (ICCG, LFK 2)",
       "X(i) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1); i advances at half the "

@@ -11,7 +11,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Figure 3: cyclic+skewed access (2-D Explicit Hydro, LFK 18) — remote reads vs PEs.");
   bench::print_header(
       "Figure 3 — Cyclic + Skewed Pattern (2-D Explicit Hydro, LFK 18)",
       "ZA(j,k) = f(ZP/ZQ/ZR/ZM at (j-1, k+1) offsets); j inner, k = 2..6");

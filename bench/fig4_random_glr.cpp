@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Figure 4: random access (General Linear Recurrence, LFK 6) — remote reads vs PEs.");
   bench::print_header(
       "Figure 4 — Random Access Pattern (General Linear Recurrence, LFK 6)",
       "W(i) = W(i) + B(k,i)*W(i-k); the column walk thrashes the cache");

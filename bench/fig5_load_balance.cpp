@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Figure 5: per-PE load balance (2-D Explicit Hydro on 64 PEs).");
   bench::print_header(
       "Figure 5 — Load Balance (2-D Explicit Hydro, 64 PEs, ps 32)",
       "per-PE local and remote reads under the area-of-responsibility rule");

@@ -9,7 +9,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Table 1: access-class assignments — paper vs static vs empirical.");
   bench::print_header(
       "Table 1 — Access-Class Assignments (paper §7.1)",
       "paper class vs static classifier vs empirical classifier; remote% "

@@ -6,7 +6,8 @@
 
 int main(int argc, char** argv) {
   using namespace sap;
-  bench::init(argc, argv);
+  bench::init(argc, argv,
+              "Table 2: the paper's §8 conclusions, paper vs measured.");
   bench::print_header("Table 2 — Conclusions (§8), paper vs measured",
                       "paper machine: ps 32, 256-element LRU cache, modulo");
 

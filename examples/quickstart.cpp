@@ -4,19 +4,18 @@
 //   $ ./quickstart
 //
 // covers the whole public API surface in ~40 lines: compile_source,
-// Simulator, SimulationResult, and the static classifier.
+// Simulator, SimulationResult, the static classifier, and the two
+// expression engines (bytecode vs the tree-walk oracle).
 #include <iostream>
 
+#include "core/bytecode.hpp"
 #include "core/simulator.hpp"
 #include "frontend/classifier.hpp"
 #include "stats/report.hpp"
 
-int main() {
-  using namespace sap;
-
-  // The paper's running example (§2): three 100-element arrays, four PEs,
-  // pages of 32 elements — plus its Figure-1 hydro loop.
-  const CompiledProgram program = compile_source(R"(
+// The paper's running example (§2): three 100-element arrays, four PEs,
+// pages of 32 elements — plus its Figure-1 hydro loop.
+constexpr const char* kSource = R"(
 PROGRAM quickstart
 ARRAY A(100) INIT NONE
 ARRAY B(100) INIT ALL
@@ -25,7 +24,12 @@ DO i = 1, 100
   A(i) = B(101 - i) + C(i)
 END DO
 END PROGRAM
-)");
+)";
+
+int main() {
+  using namespace sap;
+
+  const CompiledProgram program = compile_source(kSource);
 
   MachineConfig config;       // defaults = the paper's machine
   config.num_pes = 4;         // §2's example machine
@@ -48,5 +52,17 @@ END PROGRAM
             << "Note B's reversed index (101 - i): its stride runs against "
                "the write,\nso the pages cycle — the cache absorbs most of "
                "the remote traffic.\n";
+
+  // Statements executed through the compile-once bytecode engine above
+  // (the default; see DESIGN.md §8).  The eval.hpp tree walk remains the
+  // oracle — SAPART_EVAL=tree program-wide, or per program like this —
+  // and is byte-identical by construction.
+  CompiledProgram oracle = compile_source(kSource);
+  oracle.bytecode.reset();  // null bytecode = tree-walk execution
+  const SimulationResult tree_result = simulator.run(oracle);
+  std::cout << "\nTree-walk oracle agrees: "
+            << (tree_result.totals == result.totals ? "yes" : "NO")
+            << " (remote reads " << tree_result.totals.remote_reads << " vs "
+            << result.totals.remote_reads << ")\n";
   return 0;
 }

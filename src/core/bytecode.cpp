@@ -1,0 +1,491 @@
+#include "core/bytecode.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <variant>
+
+#include "frontend/affine.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+std::string to_string(EvalEngine engine) {
+  switch (engine) {
+    case EvalEngine::kBytecode:
+      return "bytecode";
+    case EvalEngine::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+EvalEngine eval_engine_from_env() {
+  const char* raw = std::getenv("SAPART_EVAL");
+  if (raw == nullptr) return EvalEngine::kBytecode;
+  const std::string value(raw);
+  if (value.empty() || value == "bytecode") return EvalEngine::kBytecode;
+  if (value == "tree") return EvalEngine::kTree;
+  throw ConfigError("SAPART_EVAL must be 'bytecode' or 'tree', got '" +
+                    value + "'");
+}
+
+namespace {
+
+/// The affine fast path substitutes exact integer arithmetic for the tree
+/// walk's double arithmetic.  That is bit-identical only when every folded
+/// leaf (number literal, constant scalar) is an exact integer — the affine
+/// analysis itself folds anything within 1e-9.  Gate the fast path on
+/// exactness so the generic sequence keeps the tree semantics for the
+/// pathological rest.
+bool exact_integer_leaves(const Expr& expr, const Program& program,
+                          const SemanticInfo& sema) {
+  return std::visit(
+      [&](const auto& node) -> bool {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          return node.value == std::round(node.value);
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          const auto it = sema.scalars.find(node.name);
+          if (it == sema.scalars.end() || !it->second.is_constant()) {
+            return true;  // loop var / induction scalar: runtime value used
+          }
+          const double init = program.scalars[it->second.decl_index].init;
+          return init == std::round(init);
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          return true;  // not affine anyway; the generic path handles it
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          for (const auto& a : node.args) {
+            if (!exact_integer_leaves(*a, program, sema)) return false;
+          }
+          return true;
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          return exact_integer_leaves(*node.operand, program, sema);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          return exact_integer_leaves(*node.lhs, program, sema) &&
+                 exact_integer_leaves(*node.rhs, program, sema);
+        }
+      },
+      expr.node);
+}
+
+constexpr std::size_t kSlotLimit = std::numeric_limits<std::uint16_t>::max();
+
+/// Flattens expression trees into CompiledExpr streams.  Registers are
+/// allocated SSA-style (one per node); variables, constants and read sites
+/// are interned per expression.
+class ExprCompiler {
+ public:
+  ExprCompiler(const Program& program, const SemanticInfo& sema,
+               const std::vector<const DoLoop*>& enclosing)
+      : program_(program), sema_(sema), enclosing_(enclosing) {}
+
+  CompiledExpr compile_value(const Expr& expr) {
+    out_.result_reg = emit_value(expr);
+    return finish();
+  }
+
+  CompiledExpr compile_indices(const std::vector<ExprPtr>& indices) {
+    const std::uint16_t first = alloc_idx_slots(indices.size());
+    for (std::size_t d = 0; d < indices.size(); ++d) {
+      emit_index(*indices[d], static_cast<std::uint16_t>(first + d));
+      out_.out_index_slots.push_back(static_cast<std::uint16_t>(first + d));
+    }
+    return finish();
+  }
+
+ private:
+  CompiledExpr finish() {
+    out_.num_regs = next_reg_;
+    out_.num_idx_slots = next_idx_;
+    return std::move(out_);
+  }
+
+  std::uint16_t alloc_reg() {
+    SAP_CHECK(next_reg_ < kSlotLimit, "expression too large for bytecode");
+    return next_reg_++;
+  }
+
+  std::uint16_t alloc_idx_slots(std::size_t count) {
+    SAP_CHECK(next_idx_ + count < kSlotLimit,
+              "expression has too many index slots for bytecode");
+    const std::uint16_t first = next_idx_;
+    next_idx_ = static_cast<std::uint16_t>(next_idx_ + count);
+    return first;
+  }
+
+  std::uint16_t var_slot(const std::string& name) {
+    for (std::size_t i = 0; i < out_.vars.size(); ++i) {
+      if (out_.vars[i] == name) return static_cast<std::uint16_t>(i);
+    }
+    SAP_CHECK(out_.vars.size() < kSlotLimit, "too many variables in bytecode");
+    out_.vars.push_back(name);
+    return static_cast<std::uint16_t>(out_.vars.size() - 1);
+  }
+
+  std::uint16_t const_slot(double value) {
+    for (std::size_t i = 0; i < out_.consts.size(); ++i) {
+      // Bitwise comparison: -0.0 and 0.0 must not alias, NaN interns fine.
+      if (std::memcmp(&out_.consts[i], &value, sizeof value) == 0) {
+        return static_cast<std::uint16_t>(i);
+      }
+    }
+    SAP_CHECK(out_.consts.size() < kSlotLimit, "too many constants in bytecode");
+    out_.consts.push_back(value);
+    return static_cast<std::uint16_t>(out_.consts.size() - 1);
+  }
+
+  void emit(Op op, std::uint16_t dst, std::uint16_t a = 0,
+            std::uint16_t b = 0) {
+    out_.code.push_back(Instr{op, dst, a, b});
+  }
+
+  /// Emits code computing `expr` as a double; returns the result register.
+  /// Instruction order matches the tree walk's evaluation order exactly
+  /// (operands left to right, indices before the read), so accounting and
+  /// suspension points are identical.
+  std::uint16_t emit_value(const Expr& expr) {
+    return std::visit(
+        [&](const auto& node) -> std::uint16_t {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, NumberLit>) {
+            const std::uint16_t dst = alloc_reg();
+            emit(Op::kConst, dst, const_slot(node.value));
+            return dst;
+          } else if constexpr (std::is_same_v<T, VarRef>) {
+            const std::uint16_t dst = alloc_reg();
+            emit(Op::kLoadVar, dst, var_slot(node.name));
+            return dst;
+          } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+            return emit_read(node);
+          } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+            return emit_intrinsic(node);
+          } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+            const std::uint16_t operand = emit_value(*node.operand);
+            const std::uint16_t dst = alloc_reg();
+            emit(Op::kNeg, dst, operand);
+            return dst;
+          } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+            const std::uint16_t lhs = emit_value(*node.lhs);
+            const std::uint16_t rhs = emit_value(*node.rhs);
+            const std::uint16_t dst = alloc_reg();
+            switch (node.op) {
+              case BinaryOp::kAdd: emit(Op::kAdd, dst, lhs, rhs); break;
+              case BinaryOp::kSub: emit(Op::kSub, dst, lhs, rhs); break;
+              case BinaryOp::kMul: emit(Op::kMul, dst, lhs, rhs); break;
+              case BinaryOp::kDiv: emit(Op::kDiv, dst, lhs, rhs); break;
+            }
+            return dst;
+          }
+        },
+        expr.node);
+  }
+
+  std::uint16_t emit_intrinsic(const IntrinsicExpr& node) {
+    const std::size_t arity = node.kind == IntrinsicKind::kAbs ? 1 : 2;
+    SAP_CHECK(node.args.size() == arity, "intrinsic arity mismatch");
+    std::uint16_t args[2] = {0, 0};
+    for (std::size_t i = 0; i < arity; ++i) {
+      args[i] = emit_value(*node.args[i]);
+    }
+    const std::uint16_t dst = alloc_reg();
+    switch (node.kind) {
+      case IntrinsicKind::kIDiv: emit(Op::kIDiv, dst, args[0], args[1]); break;
+      case IntrinsicKind::kMod: emit(Op::kMod, dst, args[0], args[1]); break;
+      case IntrinsicKind::kMin: emit(Op::kMin, dst, args[0], args[1]); break;
+      case IntrinsicKind::kMax: emit(Op::kMax, dst, args[0], args[1]); break;
+      case IntrinsicKind::kAbs: emit(Op::kAbs, dst, args[0]); break;
+    }
+    return dst;
+  }
+
+  std::uint16_t emit_read(const ArrayRefExpr& ref) {
+    const std::uint16_t first = alloc_idx_slots(ref.indices.size());
+    for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+      emit_index(*ref.indices[d], static_cast<std::uint16_t>(first + d));
+    }
+    SAP_CHECK(out_.reads.size() < kSlotLimit, "too many reads in bytecode");
+    const auto site = static_cast<std::uint16_t>(out_.reads.size());
+    out_.reads.push_back(ReadSite{
+        ref.name, static_cast<std::uint16_t>(ref.indices.size()), first});
+    const std::uint16_t dst = alloc_reg();
+    emit(Op::kRead, dst, site);
+    return dst;
+  }
+
+  /// Emits code leaving the integrality-checked index in idx[slot].  When
+  /// the expression is affine over the enclosing nest, an affine guard is
+  /// emitted first; the generic sequence stays behind it as the fallback
+  /// (and as the semantics oracle for non-integral variables).
+  void emit_index(const Expr& expr, std::uint16_t slot) {
+    std::size_t guard_pos = 0;
+    bool guarded = false;
+    const AffineContext ctx{&program_, &sema_, enclosing_};
+    const AffineIndex aff = affine_of_index(expr, ctx);
+    if (aff.affine && exact_integer_leaves(expr, program_, sema_)) {
+      AffineForm form;
+      form.constant = aff.constant;
+      for (const auto& [var, coeff] : aff.coeffs) {
+        form.terms.push_back(AffineForm::Term{var_slot(var), coeff});
+      }
+      SAP_CHECK(out_.affines.size() < kSlotLimit,
+                "too many affine forms in bytecode");
+      const auto id = static_cast<std::uint16_t>(out_.affines.size());
+      out_.affines.push_back(std::move(form));
+      guard_pos = out_.code.size();
+      emit(Op::kAffineIndex, slot, id, /*patched below*/ 0);
+      guarded = true;
+    }
+    const std::size_t generic_begin = out_.code.size();
+    const std::uint16_t value_reg = emit_value(expr);
+    emit(Op::kCheckIndex, slot, value_reg);
+    if (guarded) {
+      const std::size_t generic_len = out_.code.size() - generic_begin;
+      SAP_CHECK(generic_len <= kSlotLimit, "index program too long");
+      out_.code[guard_pos].b = static_cast<std::uint16_t>(generic_len);
+    }
+  }
+
+  const Program& program_;
+  const SemanticInfo& sema_;
+  const std::vector<const DoLoop*>& enclosing_;
+  CompiledExpr out_;
+  std::uint16_t next_reg_ = 0;
+  std::uint16_t next_idx_ = 0;
+};
+
+}  // namespace
+
+CompiledExpr compile_value_expr(const Expr& expr, const Program& program,
+                                const SemanticInfo& sema,
+                                const std::vector<const DoLoop*>& enclosing) {
+  return ExprCompiler(program, sema, enclosing).compile_value(expr);
+}
+
+CompiledExpr compile_target_indices(
+    const std::vector<ExprPtr>& indices, const Program& program,
+    const SemanticInfo& sema, const std::vector<const DoLoop*>& enclosing) {
+  return ExprCompiler(program, sema, enclosing).compile_indices(indices);
+}
+
+void compile_stmt(const Stmt& stmt, const Program& program,
+                  const SemanticInfo& sema,
+                  std::vector<const DoLoop*>& enclosing,
+                  ProgramBytecode& out) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayAssign>) {
+          CompiledAssign compiled;
+          compiled.target =
+              compile_target_indices(node.indices, program, sema, enclosing);
+          compiled.value =
+              compile_value_expr(*node.value, program, sema, enclosing);
+          out.assigns.emplace(&node, std::move(compiled));
+        } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+          out.scalar_assigns.emplace(
+              &node, compile_value_expr(*node.value, program, sema, enclosing));
+        } else if constexpr (std::is_same_v<T, DoLoop>) {
+          CompiledLoop compiled;
+          compiled.lower =
+              compile_value_expr(*node.lower, program, sema, enclosing);
+          compiled.upper =
+              compile_value_expr(*node.upper, program, sema, enclosing);
+          if (node.step) {
+            compiled.step =
+                compile_value_expr(*node.step, program, sema, enclosing);
+          }
+          out.loops.emplace(&node, std::move(compiled));
+          enclosing.push_back(&node);
+          for (const auto& child : node.body) {
+            compile_stmt(*child, program, sema, enclosing, out);
+          }
+          enclosing.pop_back();
+        } else if constexpr (std::is_same_v<T, ReinitStmt>) {
+          // No expressions to compile.
+        }
+      },
+      stmt.node);
+}
+
+ProgramBytecode compile_bytecode(const Program& program,
+                                 const SemanticInfo& sema) {
+  ProgramBytecode out;
+  std::vector<const DoLoop*> enclosing;
+  for (const auto& stmt : program.body) {
+    compile_stmt(*stmt, program, sema, enclosing, out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+double BytecodeFrame::load_var(const CompiledExpr& expr, const EvalEnv& env,
+                               SlotCache& slots, std::uint16_t slot) {
+  const double* p = slots.ptrs[slot];
+  if (p == nullptr) {
+    p = env.find_slot(expr.vars[slot]);
+    if (p == nullptr) {
+      // The identical trap, at the identical evaluation point, as the
+      // tree walk's EvalEnv::get.
+      throw Error("unbound variable '" + expr.vars[slot] +
+                  "' at evaluation time");
+    }
+    slots.ptrs[slot] = p;
+  }
+  return *p;
+}
+
+BytecodeFrame::SlotHandle BytecodeFrame::intern(const CompiledExpr& expr) {
+  const auto [it, inserted] =
+      handles_.emplace(&expr, static_cast<SlotHandle>(slot_store_.size()));
+  if (inserted) slot_store_.emplace_back();
+  return it->second;
+}
+
+BytecodeFrame::SlotCache& BytecodeFrame::slots_for(const CompiledExpr& expr,
+                                                   SlotHandle handle,
+                                                   const EvalEnv& env) {
+  if (cached_env_ != &env || cached_env_version_ != env.version()) {
+    cached_env_ = &env;
+    cached_env_version_ = env.version();
+    ++epoch_;  // invalidates every expression's slot pointers
+  }
+  SlotCache& slots = slot_store_[handle];
+  if (slots.epoch != epoch_ || slots.ptrs.size() != expr.vars.size()) {
+    slots.ptrs.assign(expr.vars.size(), nullptr);
+    slots.epoch = epoch_;
+  }
+  return slots;
+}
+
+bool BytecodeFrame::execute(const CompiledExpr& expr, const EvalEnv& env,
+                            ArrayReader& reader, SlotCache& slots) {
+  if (regs_.size() < expr.num_regs) regs_.resize(expr.num_regs);
+  if (idx_.size() < expr.num_idx_slots) idx_.resize(expr.num_idx_slots);
+
+  double* const regs = regs_.data();
+  std::int64_t* const idx = idx_.data();
+  const Instr* const code = expr.code.data();
+  const std::size_t size = expr.code.size();
+  for (std::size_t pc = 0; pc < size; ++pc) {
+    const Instr in = code[pc];
+    switch (in.op) {
+      case Op::kConst:
+        regs[in.dst] = expr.consts[in.a];
+        break;
+      case Op::kLoadVar:
+        regs[in.dst] = load_var(expr, env, slots, in.a);
+        break;
+      case Op::kNeg:
+        regs[in.dst] = -regs[in.a];
+        break;
+      case Op::kAdd:
+        regs[in.dst] = regs[in.a] + regs[in.b];
+        break;
+      case Op::kSub:
+        regs[in.dst] = regs[in.a] - regs[in.b];
+        break;
+      case Op::kMul:
+        regs[in.dst] = regs[in.a] * regs[in.b];
+        break;
+      case Op::kDiv:
+        if (regs[in.b] == 0.0) throw Error("division by zero");
+        regs[in.dst] = regs[in.a] / regs[in.b];
+        break;
+      case Op::kIDiv:
+        if (regs[in.b] == 0.0) throw Error("IDIV by zero");
+        regs[in.dst] = std::trunc(regs[in.a] / regs[in.b]);
+        break;
+      case Op::kMod:
+        if (regs[in.b] == 0.0) throw Error("MOD by zero");
+        regs[in.dst] = std::fmod(regs[in.a], regs[in.b]);
+        break;
+      case Op::kMin:
+        regs[in.dst] = std::min(regs[in.a], regs[in.b]);
+        break;
+      case Op::kMax:
+        regs[in.dst] = std::max(regs[in.a], regs[in.b]);
+        break;
+      case Op::kAbs:
+        regs[in.dst] = std::abs(regs[in.a]);
+        break;
+      case Op::kCheckIndex: {
+        const double v = regs[in.a];
+        const double rounded = std::round(v);
+        if (std::abs(v - rounded) > 1e-6) {
+          throw Error("array index evaluated to non-integer " +
+                      std::to_string(v));
+        }
+        idx[in.dst] = static_cast<std::int64_t>(rounded);
+        break;
+      }
+      case Op::kAffineIndex: {
+        const AffineForm& form = expr.affines[in.a];
+        std::int64_t value = form.constant;
+        bool integral = true;
+        for (const AffineForm::Term& term : form.terms) {
+          const double v = load_var(expr, env, slots, term.var_slot);
+          if (v != std::round(v)) {
+            integral = false;
+            break;
+          }
+          value += term.coeff * static_cast<std::int64_t>(v);
+        }
+        if (integral) {
+          idx[in.dst] = value;
+          pc += in.b;  // skip the generic sequence
+        }
+        break;
+      }
+      case Op::kRead: {
+        const ReadSite& site = expr.reads[in.a];
+        read_scratch_.assign(idx + site.first_idx_slot,
+                             idx + site.first_idx_slot + site.rank);
+        const auto v = reader.read(site.array, read_scratch_);
+        if (!v) return false;  // suspended: abort, like the tree walk
+        regs[in.dst] = *v;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<double> BytecodeFrame::run(const CompiledExpr& expr,
+                                         const EvalEnv& env,
+                                         ArrayReader& reader) {
+  return run(expr, intern(expr), env, reader);
+}
+
+std::optional<double> BytecodeFrame::run(const CompiledExpr& expr,
+                                         SlotHandle handle, const EvalEnv& env,
+                                         ArrayReader& reader) {
+  if (!execute(expr, env, reader, slots_for(expr, handle, env))) {
+    return std::nullopt;
+  }
+  return regs_[expr.result_reg];
+}
+
+bool BytecodeFrame::run_indices(const CompiledExpr& expr, const EvalEnv& env,
+                                ArrayReader& reader,
+                                std::vector<std::int64_t>& indices_out) {
+  return run_indices(expr, intern(expr), env, reader, indices_out);
+}
+
+bool BytecodeFrame::run_indices(const CompiledExpr& expr, SlotHandle handle,
+                                const EvalEnv& env, ArrayReader& reader,
+                                std::vector<std::int64_t>& indices_out) {
+  if (!execute(expr, env, reader, slots_for(expr, handle, env))) return false;
+  indices_out.resize(expr.out_index_slots.size());
+  for (std::size_t d = 0; d < expr.out_index_slots.size(); ++d) {
+    indices_out[d] = idx_[expr.out_index_slots[d]];
+  }
+  return true;
+}
+
+}  // namespace sap

@@ -1,0 +1,232 @@
+// Compile-once bytecode twin of the eval.hpp tree walk.
+//
+// Every interpreter used to re-traverse the AST for each statement instance
+// of each loop trip.  Single-assignment programs are fully analyzable before
+// execution, so each statement is flattened ONCE into a compact
+// register-style instruction stream (`CompiledExpr`) and the per-instance
+// cost drops to a linear pass over a few instructions.  The engine is a
+// drop-in twin of `eval_expr`:
+//
+//   - reads go through the identical `ArrayReader` seam, in the identical
+//     order, so page-cache / network / ownership accounting is untouched;
+//   - a read returning nullopt aborts the stream ("suspend"), exactly like
+//     the tree walk's nullopt propagation;
+//   - arithmetic faults throw the same `Error`s with the same messages;
+//   - array indices pass the same integrality check as `eval_index`.
+//
+// Affine index expressions additionally carry a precomputed integer form
+// (sum of coeff * var + constant over the enclosing loop variables): when
+// every participating variable holds an exactly-integral value — the only
+// case that arises in practice — the index is produced by pure integer
+// arithmetic and the generic instruction sequence is skipped.  Otherwise
+// the guard falls through to the generic sequence, which reproduces the
+// tree walk's double arithmetic bit for bit.
+//
+// The tree walk stays available as the oracle: `SAPART_EVAL=tree` disables
+// bytecode compilation (see eval_engine_from_env), and the differential
+// tests run both engines and require byte-identical results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/eval.hpp"
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+
+namespace sap {
+
+/// Which expression engine the executors use.
+enum class EvalEngine {
+  kBytecode,  // compiled instruction streams (default)
+  kTree,      // the eval.hpp recursive walk (oracle / escape hatch)
+};
+
+std::string to_string(EvalEngine engine);
+
+/// Engine selected by the SAPART_EVAL environment variable: unset or
+/// "bytecode" -> kBytecode, "tree" -> kTree; anything else throws
+/// ConfigError (consistent with the SAPART_WORKERS hardening).
+EvalEngine eval_engine_from_env();
+
+// ---------------------------------------------------------------------------
+// Instruction set
+// ---------------------------------------------------------------------------
+
+enum class Op : std::uint8_t {
+  kConst,        // reg[dst] = consts[a]
+  kLoadVar,      // reg[dst] = env value of vars[a] (cached per run)
+  kNeg,          // reg[dst] = -reg[a]
+  kAdd,          // reg[dst] = reg[a] + reg[b]
+  kSub,          // reg[dst] = reg[a] - reg[b]
+  kMul,          // reg[dst] = reg[a] * reg[b]
+  kDiv,          // reg[dst] = reg[a] / reg[b]; reg[b] == 0 throws
+  kIDiv,         // reg[dst] = trunc(reg[a] / reg[b]); reg[b] == 0 throws
+  kMod,          // reg[dst] = fmod(reg[a], reg[b]); reg[b] == 0 throws
+  kMin,          // reg[dst] = min(reg[a], reg[b])
+  kMax,          // reg[dst] = max(reg[a], reg[b])
+  kAbs,          // reg[dst] = abs(reg[a])
+  kCheckIndex,   // idx[dst] = integrality-checked reg[a] (eval_index rules)
+  kAffineIndex,  // idx[dst] = affine[a] if every term var is exactly
+                 // integral, then skip the next b instructions (the generic
+                 // sequence for the same index); falls through otherwise
+  kRead,         // reg[dst] = reader.read(site[a]); suspends on nullopt
+};
+
+struct Instr {
+  Op op = Op::kConst;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+};
+
+/// One array-read site: which array, and where its (contiguous) index
+/// slots live.
+struct ReadSite {
+  std::string array;
+  std::uint16_t rank = 0;
+  std::uint16_t first_idx_slot = 0;
+};
+
+/// Precomputed integer form of an affine index: constant + sum of
+/// coeff * value(var_slot).
+struct AffineForm {
+  struct Term {
+    std::uint16_t var_slot = 0;
+    std::int64_t coeff = 0;
+  };
+  std::int64_t constant = 0;
+  std::vector<Term> terms;
+};
+
+/// A flattened expression: straight-line code over a double register file,
+/// an int64 index-slot file, interned constants/variables and read sites.
+struct CompiledExpr {
+  std::vector<Instr> code;
+  std::vector<double> consts;
+  std::vector<std::string> vars;  // slot -> name, distinct per expression
+  std::vector<ReadSite> reads;
+  std::vector<AffineForm> affines;
+  std::uint16_t num_regs = 0;
+  std::uint16_t num_idx_slots = 0;
+  /// Value programs: register holding the final value.
+  std::uint16_t result_reg = 0;
+  /// Index programs (assignment targets): slots holding the final indices,
+  /// one per target dimension.
+  std::vector<std::uint16_t> out_index_slots;
+};
+
+// ---------------------------------------------------------------------------
+// Per-statement compilation
+// ---------------------------------------------------------------------------
+
+/// Bytecode for one `A(indices) = value` statement.
+struct CompiledAssign {
+  CompiledExpr target;  // produces out_index_slots
+  CompiledExpr value;   // produces result_reg
+};
+
+/// Bytecode for the loop-entry bound expressions of one DO loop.
+struct CompiledLoop {
+  CompiledExpr lower;
+  CompiledExpr upper;
+  std::optional<CompiledExpr> step;
+};
+
+/// Bytecode for a whole program, keyed by the AST nodes the executors
+/// walk.  Node pointers stay valid for the life of the owning Program
+/// (statements live behind unique_ptrs and never move).
+struct ProgramBytecode {
+  std::unordered_map<const ArrayAssign*, CompiledAssign> assigns;
+  std::unordered_map<const ScalarAssign*, CompiledExpr> scalar_assigns;
+  std::unordered_map<const DoLoop*, CompiledLoop> loops;
+};
+
+/// Flattens one expression into a value program.  `enclosing` is the loop
+/// nest around the expression (outermost first) — it scopes the affine
+/// fast path; pass an empty vector for control expressions.
+CompiledExpr compile_value_expr(const Expr& expr, const Program& program,
+                                const SemanticInfo& sema,
+                                const std::vector<const DoLoop*>& enclosing);
+
+/// Flattens the index expressions of an assignment target into an index
+/// program (out_index_slots holds one slot per dimension).
+CompiledExpr compile_target_indices(
+    const std::vector<ExprPtr>& indices, const Program& program,
+    const SemanticInfo& sema, const std::vector<const DoLoop*>& enclosing);
+
+/// Compiles one statement into `out`, recursing into loop bodies.
+/// `enclosing` is the current loop nest (mutated while recursing).
+void compile_stmt(const Stmt& stmt, const Program& program,
+                  const SemanticInfo& sema,
+                  std::vector<const DoLoop*>& enclosing, ProgramBytecode& out);
+
+/// Compiles every statement of an analyzed program.
+ProgramBytecode compile_bytecode(const Program& program,
+                                 const SemanticInfo& sema);
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch state for executing compiled expressions: register and
+/// index files, per-expression variable slot-pointer caches, and the index
+/// vector handed to ArrayReader::read.  Variable slots resolve lazily (an
+/// unbound variable traps at the same evaluation point as the tree walk)
+/// into stable EvalEnv value addresses, and stay resolved across statement
+/// instances until the environment's binding layout changes
+/// (EvalEnv::version).  One frame per executor; never shared across
+/// threads.
+class BytecodeFrame {
+ public:
+  /// Stable handle to one expression's variable slot cache.  Interning
+  /// once and passing the handle to run()/run_indices() removes a hash
+  /// lookup per statement instance; the handle stays valid for the life
+  /// of the frame.
+  using SlotHandle = std::uint32_t;
+  SlotHandle intern(const CompiledExpr& expr);
+
+  /// Value program: the expression's value, or nullopt when a read
+  /// suspended.  Throws exactly like eval_expr.
+  std::optional<double> run(const CompiledExpr& expr, const EvalEnv& env,
+                            ArrayReader& reader);
+  std::optional<double> run(const CompiledExpr& expr, SlotHandle handle,
+                            const EvalEnv& env, ArrayReader& reader);
+
+  /// Index program: fills `indices_out` (resized to the target rank) and
+  /// returns true, or returns false when a read suspended.  Throws exactly
+  /// like eval_indices.
+  bool run_indices(const CompiledExpr& expr, const EvalEnv& env,
+                   ArrayReader& reader, std::vector<std::int64_t>& indices_out);
+  bool run_indices(const CompiledExpr& expr, SlotHandle handle,
+                   const EvalEnv& env, ArrayReader& reader,
+                   std::vector<std::int64_t>& indices_out);
+
+ private:
+  /// Lazily-resolved env slot pointers for one CompiledExpr's variables.
+  struct SlotCache {
+    std::uint64_t epoch = 0;
+    std::vector<const double*> ptrs;
+  };
+
+  bool execute(const CompiledExpr& expr, const EvalEnv& env,
+               ArrayReader& reader, SlotCache& slots);
+  double load_var(const CompiledExpr& expr, const EvalEnv& env,
+                  SlotCache& slots, std::uint16_t slot);
+  SlotCache& slots_for(const CompiledExpr& expr, SlotHandle handle,
+                       const EvalEnv& env);
+
+  std::vector<double> regs_;
+  std::vector<std::int64_t> idx_;
+  std::vector<SlotCache> slot_store_;
+  std::unordered_map<const CompiledExpr*, SlotHandle> handles_;
+  const EvalEnv* cached_env_ = nullptr;
+  std::uint64_t cached_env_version_ = 0;
+  std::uint64_t epoch_ = 0;  // bumps when (env, version) changes
+  std::vector<std::int64_t> read_scratch_;
+};
+
+}  // namespace sap

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/executor_base.hpp"
@@ -90,7 +91,9 @@ class Replay {
   Replay(const CompiledProgram& compiled, Machine& machine,
          std::vector<std::deque<TraceInstance>> streams)
       : compiled_(compiled),
+        bytecode_(compiled.bytecode.get()),
         machine_(machine),
+        arrays_(machine.arrays()),
         streams_(std::move(streams)),
         cursors_(streams_.size(), 0),
         reinit_state_(streams_.size()) {}
@@ -121,12 +124,12 @@ class Replay {
   // undefined cell; performs no accounting.
   class ProbeReader final : public ArrayReader {
    public:
-    ProbeReader(Machine& machine, PeId pe, const TraceInstance& inst)
-        : machine_(machine), pe_(pe), inst_(inst) {}
+    ProbeReader(ArrayNameCache& arrays, PeId pe, const TraceInstance& inst)
+        : arrays_(arrays), pe_(pe), inst_(inst) {}
     std::optional<double> read(
         const std::string& array,
         const std::vector<std::int64_t>& indices) override {
-      SaArray& a = machine_.arrays().by_name(array);
+      SaArray& a = arrays_.resolve(array);
       const std::int64_t linear = a.shape().linearize(indices);
       if (inst_.kind == TraceInstance::Kind::kAccumulate &&
           a.id() == inst_.array && linear == inst_.target_linear) {
@@ -136,7 +139,7 @@ class Replay {
     }
 
    private:
-    Machine& machine_;
+    ArrayNameCache& arrays_;
     PeId pe_;
     const TraceInstance& inst_;
   };
@@ -144,16 +147,17 @@ class Replay {
   // Execute phase: accounted reads, guaranteed defined.
   class AccountingReader final : public ArrayReader {
    public:
-    AccountingReader(Machine& machine, PeId pe, const TraceInstance& inst,
-                     double register_value)
+    AccountingReader(Machine& machine, ArrayNameCache& arrays, PeId pe,
+                     const TraceInstance& inst, double register_value)
         : machine_(machine),
+          arrays_(arrays),
           pe_(pe),
           inst_(inst),
           register_value_(register_value) {}
     std::optional<double> read(
         const std::string& array,
         const std::vector<std::int64_t>& indices) override {
-      SaArray& a = machine_.arrays().by_name(array);
+      SaArray& a = arrays_.resolve(array);
       const std::int64_t linear = a.shape().linearize(indices);
       if (inst_.kind == TraceInstance::Kind::kAccumulate &&
           a.id() == inst_.array && linear == inst_.target_linear) {
@@ -165,6 +169,7 @@ class Replay {
 
    private:
     Machine& machine_;
+    ArrayNameCache& arrays_;
     PeId pe_;
     const TraceInstance& inst_;
     double register_value_;
@@ -181,8 +186,8 @@ class Replay {
       case TraceInstance::Kind::kAccumulate: {
         EvalEnv env;
         env.restore(inst.env);
-        ProbeReader probe(machine_, pe, inst);
-        if (!eval_expr(*inst.stmt->value, env, probe).has_value()) {
+        ProbeReader probe(arrays_, pe, inst);
+        if (!eval_value(*inst.stmt, env, probe).has_value()) {
           ++stats.suspensions;
           return false;  // suspended: queued on the missing cell
         }
@@ -192,8 +197,8 @@ class Replay {
                     registers_.count(key)
                 ? registers_.at(key)
                 : 0.0;
-        AccountingReader reader(machine_, pe, inst, reg);
-        const auto value = eval_expr(*inst.stmt->value, env, reader);
+        AccountingReader reader(machine_, arrays_, pe, inst, reg);
+        const auto value = eval_value(*inst.stmt, env, reader);
         SAP_CHECK(value.has_value(), "execute phase suspended after probe");
         SaArray& array = machine_.arrays().at(inst.array);
         if (inst.kind == TraceInstance::Kind::kAccumulate) {
@@ -239,16 +244,56 @@ class Replay {
     return false;
   }
 
+  /// Value expression of one statement instance, through the engine the
+  /// program was compiled with (bytecode when present, tree walk else).
+  std::optional<double> eval_value(const ArrayAssign& stmt, const EvalEnv& env,
+                                   ArrayReader& reader) {
+    if (bytecode_ != nullptr) {
+      const AssignMemo* memo = nullptr;
+      for (const AssignMemo& entry : assign_memo_) {
+        if (entry.key == &stmt) {
+          memo = &entry;
+          break;
+        }
+      }
+      if (memo == nullptr) {
+        AssignMemo entry;
+        entry.key = &stmt;
+        const auto it = bytecode_->assigns.find(&stmt);
+        if (it != bytecode_->assigns.end()) {
+          entry.ca = &it->second;
+          entry.value_handle = frame_.intern(it->second.value);
+        }
+        assign_memo_.push_back(entry);
+        memo = &assign_memo_.back();
+      }
+      if (memo->ca != nullptr) {
+        return frame_.run(memo->ca->value, memo->value_handle, env, reader);
+      }
+    }
+    return eval_expr(*stmt.value, env, reader);
+  }
+
   struct ReinitState {
     std::map<ArrayId, bool> requested;
     std::map<ArrayId, std::uint64_t> base_round;
   };
 
+  struct AssignMemo {
+    const ArrayAssign* key = nullptr;
+    const CompiledAssign* ca = nullptr;
+    BytecodeFrame::SlotHandle value_handle = 0;
+  };
+
   const CompiledProgram& compiled_;
+  const ProgramBytecode* bytecode_ = nullptr;
+  BytecodeFrame frame_;
+  std::vector<AssignMemo> assign_memo_;
   Machine& machine_;
+  ArrayNameCache arrays_;
   std::vector<std::deque<TraceInstance>> streams_;
   std::vector<std::size_t> cursors_;
-  std::map<std::pair<const ArrayAssign*, std::int64_t>, double> registers_;
+  ReductionRegisters registers_;
   std::vector<ReinitState> reinit_state_;
 };
 

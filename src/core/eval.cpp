@@ -1,10 +1,18 @@
 #include "core/eval.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "support/error.hpp"
 
 namespace sap {
+
+std::uint64_t EvalEnv::next_version() noexcept {
+  // Globally unique (not merely per-env monotonic): a copied env carries
+  // its source's version, so stamps must never collide across objects.
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 double EvalEnv::get(const std::string& name) const {
   const auto it = vars_.find(name);

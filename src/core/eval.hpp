@@ -6,6 +6,11 @@
 //   - the dataflow interpreter (split-phase reads that may suspend).
 // A read returning nullopt aborts the evaluation with nullopt ("suspend");
 // strict readers throw instead, so nullopt never escapes them.
+//
+// This recursive walk is the *oracle*: the hot path executes the
+// compile-once bytecode twin (core/bytecode.hpp) by default, and the tree
+// walk remains behind SAPART_EVAL=tree for cross-checking.  Any semantic
+// change here must be mirrored there (the differential tests enforce it).
 #pragma once
 
 #include <cstdint>
@@ -21,23 +26,73 @@ namespace sap {
 /// Loop variables and scalars live here during execution.  Scalar control
 /// is replicated across PEs (§2: each PE runs a copy of the loop body), so
 /// the environment is never a source of communication.
+///
+/// Bindings have *stable value slots*: updating an existing binding keeps
+/// its address, so the bytecode engine caches slot pointers across
+/// statement instances.  `version()` changes exactly when a cached pointer
+/// could dangle (bind/unbind/restore/copy), never on a pure value update.
 class EvalEnv {
  public:
-  void set(const std::string& name, double value) { vars_[name] = value; }
+  EvalEnv() = default;
+  // Copies get a fresh version stamp: the copy's value slots are new map
+  // nodes, so any pointer cached against the destination's old (address,
+  // version) pair must be invalidated.  Moves keep the source's stamp —
+  // a version is globally unique, so it can never collide with one a
+  // frame cached for the destination address.
+  EvalEnv(const EvalEnv& other)
+      : vars_(other.vars_), version_(next_version()) {}
+  EvalEnv& operator=(const EvalEnv& other) {
+    vars_ = other.vars_;
+    version_ = next_version();
+    return *this;
+  }
+  EvalEnv(EvalEnv&&) = default;
+  EvalEnv& operator=(EvalEnv&&) = default;
+
+  void set(const std::string& name, double value) {
+    const auto [it, inserted] = vars_.insert_or_assign(name, value);
+    if (inserted) version_ = next_version();
+  }
   double get(const std::string& name) const;
   bool contains(const std::string& name) const {
     return vars_.count(name) != 0;
   }
-  void erase(const std::string& name) { vars_.erase(name); }
+  void erase(const std::string& name) {
+    if (vars_.erase(name) != 0) version_ = next_version();
+  }
+
+  /// Stable address of `name`'s value while the binding persists;
+  /// nullptr when unbound.  Invalidated whenever version() changes.
+  const double* find_slot(const std::string& name) const {
+    const auto it = vars_.find(name);
+    return it == vars_.end() ? nullptr : &it->second;
+  }
+
+  /// Mutable slot for repeated value updates of an existing binding (the
+  /// loop-variable hot path).  Writing through it is equivalent to set()
+  /// on a bound name: a pure value update, no version change.  The caller
+  /// must re-fetch after any version() change.
+  double* find_slot_mutable(const std::string& name) {
+    const auto it = vars_.find(name);
+    return it == vars_.end() ? nullptr : &it->second;
+  }
+
+  /// Slot-invalidation stamp: globally unique per structural change, so
+  /// (env address, version) identifies one stable binding layout.
+  std::uint64_t version() const noexcept { return version_; }
 
   /// Snapshot for the dataflow trace (instances re-evaluate later).
   const std::map<std::string, double>& values() const noexcept { return vars_; }
   void restore(std::map<std::string, double> values) {
     vars_ = std::move(values);
+    version_ = next_version();
   }
 
  private:
+  static std::uint64_t next_version() noexcept;
+
   std::map<std::string, double> vars_;
+  std::uint64_t version_ = next_version();
 };
 
 /// Supplies array element values during evaluation.

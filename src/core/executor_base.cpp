@@ -25,7 +25,11 @@ class NoArrayReader final : public ArrayReader {
 void SequentialExecutor::execute(const CompiledProgram& compiled,
                                  ArrayRegistry& registry) {
   compiled_ = &compiled;
+  bytecode_ = compiled.bytecode.get();
   registry_ = &registry;
+  arrays_.reset(registry);
+  assign_memo_.clear();
+  scalar_memo_.clear();
   env_ = EvalEnv{};
   registers_.clear();
   pending_trip_.clear();
@@ -59,7 +63,30 @@ void SequentialExecutor::exec_stmt(const Stmt& stmt) {
           exec_assign(node);
         } else if constexpr (std::is_same_v<T, ScalarAssign>) {
           NoArrayReader reader;
-          const auto v = eval_expr(*node.value, env_, reader);
+          const ScalarMemo* memo = nullptr;
+          for (const ScalarMemo& entry : scalar_memo_) {
+            if (entry.key == &node) {
+              memo = &entry;
+              break;
+            }
+          }
+          if (memo == nullptr) {
+            ScalarMemo entry;
+            entry.key = &node;
+            if (bytecode_ != nullptr) {
+              const auto it = bytecode_->scalar_assigns.find(&node);
+              if (it != bytecode_->scalar_assigns.end()) {
+                entry.ce = &it->second;
+                entry.handle = frame_.intern(it->second);
+              }
+            }
+            scalar_memo_.push_back(entry);
+            memo = &scalar_memo_.back();
+          }
+          const auto v =
+              memo->ce != nullptr
+                  ? frame_.run(*memo->ce, memo->handle, env_, reader)
+                  : eval_expr(*node.value, env_, reader);
           SAP_CHECK(v.has_value(), "scalar evaluation suspended");
           env_.set(node.name, *v);
         } else if constexpr (std::is_same_v<T, DoLoop>) {
@@ -73,19 +100,37 @@ void SequentialExecutor::exec_stmt(const Stmt& stmt) {
 
 void SequentialExecutor::exec_loop(const DoLoop& loop) {
   NoArrayReader reader;
-  const auto lo = eval_expr(*loop.lower, env_, reader);
-  const auto hi = eval_expr(*loop.upper, env_, reader);
+  const CompiledLoop* cl = nullptr;
+  if (bytecode_ != nullptr) {
+    const auto it = bytecode_->loops.find(&loop);
+    if (it != bytecode_->loops.end()) cl = &it->second;
+  }
+  const auto lo = eval_value(*loop.lower, cl ? &cl->lower : nullptr, reader);
+  const auto hi = eval_value(*loop.upper, cl ? &cl->upper : nullptr, reader);
   double step = 1.0;
   if (loop.step) {
-    const auto s = eval_expr(*loop.step, env_, reader);
+    const auto s = eval_value(
+        *loop.step, cl && cl->step ? &*cl->step : nullptr, reader);
     SAP_CHECK(s.has_value(), "loop step suspended");
     step = *s;
   }
   if (step == 0.0) throw Error("loop '" + loop.var + "' has zero step");
   SAP_CHECK(lo && hi, "loop bounds suspended");
 
+  // The loop variable's slot is updated in place between iterations (a
+  // pure value update, exactly like set() on a bound name); the slot is
+  // re-resolved whenever the environment's binding layout changes (e.g. a
+  // nested loop unbinding its own variable).
+  double* slot = nullptr;
+  std::uint64_t env_version = 0;
   for (double v = *lo; step > 0 ? v <= *hi : v >= *hi; v += step) {
-    env_.set(loop.var, v);
+    if (slot != nullptr && env_.version() == env_version) {
+      *slot = v;
+    } else {
+      env_.set(loop.var, v);
+      env_version = env_.version();
+      slot = env_.find_slot_mutable(loop.var);
+    }
     for (const auto& stmt : loop.body) exec_stmt(*stmt);
     flush_commits(pending_trip_, &loop);
   }
@@ -105,7 +150,7 @@ void SequentialExecutor::flush_commits(
     const double value = reg->second;
     registers_.erase(reg);
 
-    SaArray& array = registry_->by_name(pc.stmt->array);
+    SaArray& array = arrays_.resolve(pc.stmt->array);
     const PeId pe = owner_of(array, pc.linear);
     on_instance(*pc.stmt, pe, pc.linear, env_, /*is_commit=*/true);
     on_write(pe, array, pc.linear);
@@ -114,10 +159,35 @@ void SequentialExecutor::flush_commits(
   it->second.clear();
 }
 
+std::optional<double> SequentialExecutor::eval_value(
+    const Expr& expr, const CompiledExpr* compiled_expr, ArrayReader& reader) {
+  if (compiled_expr != nullptr) return frame_.run(*compiled_expr, env_, reader);
+  return eval_expr(expr, env_, reader);
+}
+
+const SequentialExecutor::AssignMemo& SequentialExecutor::assign_memo(
+    const ArrayAssign& assign) {
+  for (const AssignMemo& entry : assign_memo_) {
+    if (entry.key == &assign) return entry;
+  }
+  AssignMemo entry;
+  entry.key = &assign;
+  if (bytecode_ != nullptr) {
+    const auto it = bytecode_->assigns.find(&assign);
+    if (it != bytecode_->assigns.end()) {
+      entry.ca = &it->second;
+      entry.target_handle = frame_.intern(it->second.target);
+      entry.value_handle = frame_.intern(it->second.value);
+    }
+  }
+  assign_memo_.push_back(entry);
+  return assign_memo_.back();
+}
+
 double SequentialExecutor::read_for_value(
     PeId pe, const std::string& name,
     const std::vector<std::int64_t>& indices) {
-  SaArray& array = registry_->by_name(name);
+  SaArray& array = arrays_.resolve(name);
   const std::int64_t linear = array.shape().linearize(indices);
   on_read(pe, array, linear);
   if (tolerate_undefined_reads() && !array.is_defined(linear)) return 0.0;
@@ -130,14 +200,14 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
   std::vector<std::pair<const SaArray*, std::int64_t>> index_reads;
   class CollectingReader final : public ArrayReader {
    public:
-    CollectingReader(ArrayRegistry& registry,
+    CollectingReader(SequentialExecutor& exec,
                      std::vector<std::pair<const SaArray*, std::int64_t>>& out,
                      bool tolerant)
-        : registry_(registry), out_(out), tolerant_(tolerant) {}
+        : exec_(exec), out_(out), tolerant_(tolerant) {}
     std::optional<double> read(
         const std::string& array,
         const std::vector<std::int64_t>& indices) override {
-      SaArray& a = registry_.by_name(array);
+      SaArray& a = exec_.resolve_array(array);
       const std::int64_t linear = a.shape().linearize(indices);
       out_.emplace_back(&a, linear);
       if (tolerant_ && !a.is_defined(linear)) return 0.0;
@@ -145,16 +215,28 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
     }
 
    private:
-    ArrayRegistry& registry_;
+    SequentialExecutor& exec_;
     std::vector<std::pair<const SaArray*, std::int64_t>>& out_;
     bool tolerant_;
   };
-  CollectingReader target_reader(*registry_, index_reads,
+  CollectingReader target_reader(*this, index_reads,
                                  tolerate_undefined_reads());
-  const auto indices = eval_indices(assign.indices, env_, target_reader);
-  SAP_CHECK(indices.has_value(), "target index evaluation suspended");
+  const AssignMemo memo = assign_memo(assign);
+  const std::vector<std::int64_t>* indices = nullptr;
+  std::optional<std::vector<std::int64_t>> tree_indices;
+  if (memo.ca != nullptr) {
+    const bool resolved = frame_.run_indices(
+        memo.ca->target, memo.target_handle, env_, target_reader,
+        target_scratch_);
+    SAP_CHECK(resolved, "target index evaluation suspended");
+    indices = &target_scratch_;
+  } else {
+    tree_indices = eval_indices(assign.indices, env_, target_reader);
+    SAP_CHECK(tree_indices.has_value(), "target index evaluation suspended");
+    indices = &*tree_indices;
+  }
 
-  SaArray& array = registry_->by_name(assign.array);
+  SaArray& array = arrays_.resolve(assign.array);
   const std::int64_t target_linear = array.shape().linearize(*indices);
   const PeId pe = owner_of(array, target_linear);
   if (!index_reads.empty()) on_target_index_reads(pe, index_reads);
@@ -180,7 +262,7 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
       std::optional<double> read(
           const std::string& array,
           const std::vector<std::int64_t>& indices) override {
-        SaArray& a = exec_.registry()->by_name(array);
+        SaArray& a = exec_.resolve_array(array);
         const std::int64_t linear = a.shape().linearize(indices);
         if (array == target_array_ && linear == target_linear_) {
           return register_value_;
@@ -200,7 +282,10 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
       double register_value_;
     };
     ReductionReader reader(*this, pe, assign.array, target_linear, current);
-    const auto value = eval_expr(*assign.value, env_, reader);
+    const auto value =
+        memo.ca != nullptr
+            ? frame_.run(memo.ca->value, memo.value_handle, env_, reader)
+            : eval_expr(*assign.value, env_, reader);
     SAP_CHECK(value.has_value(), "reduction evaluation suspended");
     registers_[key] = *value;
 
@@ -230,7 +315,10 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
     PeId pe_;
   };
   ValueReader reader(*this, pe);
-  const auto value = eval_expr(*assign.value, env_, reader);
+  const auto value =
+      memo.ca != nullptr
+          ? frame_.run(memo.ca->value, memo.value_handle, env_, reader)
+          : eval_expr(*assign.value, env_, reader);
   SAP_CHECK(value.has_value(), "value evaluation suspended");
   on_write(pe, array, target_linear);
   array.write(target_linear, *value);

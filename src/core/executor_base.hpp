@@ -4,7 +4,10 @@
 // The walker executes the program in sequential (Fortran) order against an
 // ArrayRegistry, resolving control (loops, scalar assignments) eagerly, and
 // routes every array touch through virtual hooks so subclasses can account,
-// record, or ignore accesses.  Owner-computes attribution: each array
+// record, or ignore accesses.  Expressions execute through the compiled
+// bytecode (core/bytecode.hpp) when the program carries it, and through the
+// eval.hpp tree walk otherwise — both paths drive the identical ArrayReader
+// seam, so the hooks see the identical access sequence.  Owner-computes attribution: each array
 // assignment instance is executed "by" the PE owning the written element
 // (hook `owner_of`); reductions accumulate in registers and commit at the
 // trip end of their commit loop (§5 / DESIGN.md).
@@ -13,14 +16,31 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "core/bytecode.hpp"
 #include "core/eval.hpp"
 #include "core/simulator.hpp"
 #include "memory/array_registry.hpp"
 #include "partition/scheme.hpp"
 
 namespace sap {
+
+/// Hash for in-flight reduction registers, keyed (statement, element) —
+/// shared by the sequential walker and the dataflow replay.
+struct ReductionKeyHash {
+  std::size_t operator()(
+      const std::pair<const ArrayAssign*, std::int64_t>& key) const noexcept {
+    return std::hash<const void*>()(key.first) ^
+           (static_cast<std::size_t>(key.second) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+/// (stmt, element) -> accumulated value for in-flight reductions.
+using ReductionRegisters =
+    std::unordered_map<std::pair<const ArrayAssign*, std::int64_t>, double,
+                       ReductionKeyHash>;
 
 class SequentialExecutor {
  public:
@@ -79,12 +99,43 @@ class SequentialExecutor {
                      const DoLoop* loop);
   double read_for_value(PeId pe, const std::string& name,
                         const std::vector<std::int64_t>& indices);
+  /// Bytecode when compiled with it, tree walk otherwise.  `compiled_expr`
+  /// may be null (forces the tree walk for this expression).
+  std::optional<double> eval_value(const Expr& expr,
+                                   const CompiledExpr* compiled_expr,
+                                   ArrayReader& reader);
+  /// Memoized registry lookup (same resolution, same errors as by_name).
+  SaArray& resolve_array(const std::string& name) {
+    return arrays_.resolve(name);
+  }
+
+  /// Memoized bytecode + frame handles for one assignment statement.
+  /// `ca` is null when the program carries no bytecode for it.
+  struct AssignMemo {
+    const ArrayAssign* key = nullptr;
+    const CompiledAssign* ca = nullptr;
+    BytecodeFrame::SlotHandle target_handle = 0;
+    BytecodeFrame::SlotHandle value_handle = 0;
+  };
+  const AssignMemo& assign_memo(const ArrayAssign& assign);
 
   const CompiledProgram* compiled_ = nullptr;
+  const ProgramBytecode* bytecode_ = nullptr;
+  BytecodeFrame frame_;
+  std::vector<std::int64_t> target_scratch_;
   ArrayRegistry* registry_ = nullptr;
+  ArrayNameCache arrays_;
+  // Pointer-keyed statement memos: a handful of entries scanned with
+  // pointer compares beats a hash per statement instance.
+  std::vector<AssignMemo> assign_memo_;
+  struct ScalarMemo {
+    const ScalarAssign* key = nullptr;
+    const CompiledExpr* ce = nullptr;
+    BytecodeFrame::SlotHandle handle = 0;
+  };
+  std::vector<ScalarMemo> scalar_memo_;
   EvalEnv env_;
-  // (stmt, element) -> accumulated value for in-flight reductions.
-  std::map<std::pair<const ArrayAssign*, std::int64_t>, double> registers_;
+  ReductionRegisters registers_;
   // commit loop -> pending commits; trip-end commits flush after every
   // iteration, exit commits flush once when the loop finishes.
   std::map<const DoLoop*, std::vector<PendingCommit>> pending_trip_;

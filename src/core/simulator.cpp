@@ -11,6 +11,10 @@
 namespace sap {
 
 CompiledProgram compile(Program program) {
+  return compile(std::move(program), eval_engine_from_env());
+}
+
+CompiledProgram compile(Program program, EvalEngine engine) {
   CompiledProgram compiled;
   compiled.sema = analyze(program);  // annotates reductions in-place
   compiled.program = std::move(program);
@@ -48,6 +52,10 @@ CompiledProgram compile(Program program) {
       commit.at_exit = true;
     }
     compiled.commit_loops[site.assign] = commit;
+  }
+  if (engine == EvalEngine::kBytecode) {
+    compiled.bytecode = std::make_shared<const ProgramBytecode>(
+        compile_bytecode(compiled.program, compiled.sema));
   }
   return compiled;
 }

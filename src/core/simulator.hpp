@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "core/bytecode.hpp"
 #include "frontend/ast.hpp"
 #include "frontend/sema.hpp"
 #include "machine/machine.hpp"
@@ -35,6 +37,12 @@ struct CompiledProgram {
   /// Reduction statement -> its commit point.
   std::map<const ArrayAssign*, CommitPoint> commit_loops;
 
+  /// Per-statement bytecode (core/bytecode.hpp).  Null when compiled with
+  /// EvalEngine::kTree (or SAPART_EVAL=tree): the executors then fall back
+  /// to the eval.hpp tree walk, which stays byte-identical by construction.
+  /// Tests flip a program between engines by resetting this pointer.
+  std::shared_ptr<const ProgramBytecode> bytecode;
+
   /// Optional per-array initial values (linear index -> value); arrays
   /// without an entry use synthetic_init_value.  Needed by workloads whose
   /// *data* are indices (permutation tables for the Random class).
@@ -44,8 +52,12 @@ struct CompiledProgram {
   const std::string& name() const noexcept { return program.name; }
 };
 
-/// Analyzes a built AST (mutates it: reduction marking) and precomputes
-/// commit loops.  Throws SemanticError on invalid programs.
+/// Analyzes a built AST (mutates it: reduction marking), precomputes
+/// commit loops, and flattens every statement to bytecode under the given
+/// engine.  Throws SemanticError on invalid programs.
+CompiledProgram compile(Program program, EvalEngine engine);
+
+/// As above with the engine taken from SAPART_EVAL (default: bytecode).
 CompiledProgram compile(Program program);
 
 /// Lex + parse + compile DSL source.

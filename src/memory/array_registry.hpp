@@ -45,4 +45,38 @@ class ArrayRegistry {
   std::vector<std::unique_ptr<SaArray>> arrays_;
 };
 
+/// Memoized name -> array resolution for executor hot paths, keyed by the
+/// *address* of the name string: AST nodes and bytecode read sites hand the
+/// same string object to every read they issue, so one scan over a handful
+/// of pointer-keyed entries replaces a string comparison per access.
+/// Resolution still goes through ArrayRegistry::by_name on first use (same
+/// SemanticError on unknown names).  Valid while the registry neither grows
+/// nor destroys arrays — true for the span of one program execution, which
+/// is exactly a cache instance's lifetime.
+class ArrayNameCache {
+ public:
+  /// Unbound; call reset() before the first resolve().
+  ArrayNameCache() = default;
+  explicit ArrayNameCache(ArrayRegistry& registry) : registry_(&registry) {}
+
+  /// Rebinds to a registry and forgets every entry (start of a run).
+  void reset(ArrayRegistry& registry) {
+    registry_ = &registry;
+    entries_.clear();
+  }
+
+  SaArray& resolve(const std::string& name) {
+    for (const auto& [key, array] : entries_) {
+      if (key == &name) return *array;
+    }
+    SaArray& array = registry_->by_name(name);
+    entries_.emplace_back(&name, &array);
+    return array;
+  }
+
+ private:
+  ArrayRegistry* registry_ = nullptr;
+  std::vector<std::pair<const std::string*, SaArray*>> entries_;
+};
+
 }  // namespace sap

@@ -1,0 +1,279 @@
+// The bytecode engine's acceptance bar: byte-identical SimulationResults
+// and array values vs the eval.hpp tree walk — across the fig1-fig5
+// kernels, all three partition schemes, both execution modes, randomized
+// programs (seeded), and any sweep worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bytecode.hpp"
+#include "core/program_builder.hpp"
+#include "core/reference_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "core/sweep.hpp"
+#include "kernels/livermore.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sap {
+namespace {
+
+using BuildFn = std::function<CompiledProgram()>;
+
+CompiledProgram build_with_engine(const BuildFn& build, EvalEngine engine) {
+  CompiledProgram prog = build();
+  if (engine == EvalEngine::kTree) {
+    prog.bytecode.reset();
+  } else if (prog.bytecode == nullptr) {
+    prog.bytecode = std::make_shared<const ProgramBytecode>(
+        compile_bytecode(prog.program, prog.sema));
+  }
+  return prog;
+}
+
+void expect_results_equal(const SimulationResult& tree,
+                          const SimulationResult& bytecode,
+                          const std::string& label) {
+  EXPECT_EQ(tree.totals, bytecode.totals) << label;
+  ASSERT_EQ(tree.per_pe.size(), bytecode.per_pe.size()) << label;
+  for (std::size_t pe = 0; pe < tree.per_pe.size(); ++pe) {
+    EXPECT_EQ(tree.per_pe[pe], bytecode.per_pe[pe]) << label << " pe=" << pe;
+  }
+  EXPECT_EQ(tree.cache_totals.hits, bytecode.cache_totals.hits) << label;
+  EXPECT_EQ(tree.cache_totals.misses, bytecode.cache_totals.misses) << label;
+  EXPECT_EQ(tree.cache_totals.evictions, bytecode.cache_totals.evictions)
+      << label;
+  EXPECT_EQ(tree.cache_totals.invalidations,
+            bytecode.cache_totals.invalidations)
+      << label;
+  EXPECT_EQ(tree.network.messages, bytecode.network.messages) << label;
+  EXPECT_EQ(tree.network.control_messages, bytecode.network.control_messages)
+      << label;
+  EXPECT_EQ(tree.network.data_messages, bytecode.network.data_messages)
+      << label;
+  EXPECT_EQ(tree.network.payload_elements, bytecode.network.payload_elements)
+      << label;
+  EXPECT_EQ(tree.network.hop_total, bytecode.network.hop_total) << label;
+  EXPECT_EQ(tree.max_link_load, bytecode.max_link_load) << label;
+  EXPECT_EQ(tree.contention_factor, bytecode.contention_factor) << label;
+  EXPECT_EQ(tree.reinit_messages, bytecode.reinit_messages) << label;
+}
+
+/// Both engines through the full simulator under one configuration/mode,
+/// plus bit-identical reference values.
+void expect_engines_equivalent(const BuildFn& build,
+                               const MachineConfig& config,
+                               ExecutionMode mode, const std::string& label) {
+  const CompiledProgram tree = build_with_engine(build, EvalEngine::kTree);
+  const CompiledProgram bytecode =
+      build_with_engine(build, EvalEngine::kBytecode);
+  ASSERT_EQ(tree.bytecode, nullptr) << label;
+  ASSERT_NE(bytecode.bytecode, nullptr) << label;
+
+  const Simulator sim(config);
+  expect_results_equal(sim.run(tree, mode), sim.run(bytecode, mode), label);
+
+  const auto tree_values = run_reference(tree);
+  const auto bytecode_values = run_reference(bytecode);
+  for (const auto& array : *tree_values) {
+    const SaArray& got = bytecode_values->by_name(array->name());
+    ASSERT_EQ(got.defined_count(), array->defined_count())
+        << label << " " << array->name();
+    for (std::int64_t i = 0; i < array->element_count(); ++i) {
+      if (!array->is_defined(i)) continue;
+      EXPECT_EQ(got.read(i), array->read(i))
+          << label << " " << array->name() << "[" << i << "]";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- kernels
+
+struct FigWorkload {
+  std::string label;
+  BuildFn build;
+};
+
+const std::vector<FigWorkload>& fig_workloads() {
+  static const std::vector<FigWorkload> workloads = {
+      {"fig1/k01_hydro", [] { return build_k1_hydro(); }},
+      {"fig2/k02_iccg", [] { return build_k2_iccg(); }},
+      {"fig3/k18_hydro2d", [] { return build_k18_explicit_hydro_2d(); }},
+      {"fig4/k06_glr", [] { return build_k6_general_linear_recurrence(); }},
+      {"fig5/k18_hydro2d_400",
+       [] { return build_k18_explicit_hydro_2d(400); }},
+  };
+  return workloads;
+}
+
+TEST(BytecodeEquivalenceTest, FigKernelsAllSchemesCounting) {
+  for (const auto& w : fig_workloads()) {
+    for (const PartitionKind kind :
+         {PartitionKind::kModulo, PartitionKind::kBlock,
+          PartitionKind::kBlockCyclic}) {
+      const MachineConfig config =
+          MachineConfig{}.with_pes(8).with_partition(kind);
+      expect_engines_equivalent(w.build, config, ExecutionMode::kCounting,
+                                w.label + "/" + to_string(kind));
+    }
+  }
+}
+
+TEST(BytecodeEquivalenceTest, FigKernelsAllSchemesDataflow) {
+  for (const auto& w : fig_workloads()) {
+    for (const PartitionKind kind :
+         {PartitionKind::kModulo, PartitionKind::kBlock,
+          PartitionKind::kBlockCyclic}) {
+      const MachineConfig config =
+          MachineConfig{}.with_pes(8).with_partition(kind);
+      expect_engines_equivalent(w.build, config, ExecutionMode::kDataflow,
+                                w.label + "/" + to_string(kind) + "/df");
+    }
+  }
+}
+
+// ----------------------------------------------------- randomized programs
+
+/// Seeded random single-assignment programs: every output element written
+/// exactly once (targets walk the full iteration space), reads drawn from
+/// fully-initialized input arrays through affine offsets, MIN/MAX-clamped
+/// (non-affine) indices, indirect permutation lookups, reductions and
+/// induction scalars.
+BuildFn random_program(std::uint64_t seed) {
+  return [seed] {
+    SplitMix64 rng(seed);
+    const std::int64_t n = 8 + static_cast<std::int64_t>(rng.next_below(17));
+    const bool two_dim = rng.next_below(3) == 0;
+    const std::int64_t m =
+        two_dim ? 4 + static_cast<std::int64_t>(rng.next_below(5)) : 1;
+    const std::int64_t margin = 4;
+
+    ProgramBuilder b("rand" + std::to_string(seed));
+    if (two_dim) {
+      b.array("A", {n, m});
+      b.input_array("B", {n + margin, m + margin});
+    } else {
+      b.array("A", {n});
+      b.input_array("B", {n + margin});
+    }
+    b.input_array("P", {n});
+    // Permutation-ish input whose *values* are valid 1-based indices.
+    const std::uint64_t perm_seed = rng.next();
+    b.custom_init("P", [n, perm_seed](std::int64_t linear) {
+      SplitMix64 cell(perm_seed ^ static_cast<std::uint64_t>(linear));
+      return static_cast<double>(1 + cell.next_below(
+                                         static_cast<std::uint64_t>(n)));
+    });
+    b.array("S", {1});
+    const bool with_scalar = rng.next_below(2) == 0;
+    if (with_scalar) b.scalar("s", 0.0);
+
+    const auto read_b1 = [&](Ex index) { return b.at("B", {std::move(index)}); };
+
+    b.begin_loop("i", 1, Ex(static_cast<double>(n)));
+    if (with_scalar) b.scalar_assign("s", b.var("s") + 1);
+    if (two_dim) {
+      b.begin_loop("j", 1, Ex(static_cast<double>(m)));
+      Ex value =
+          b.at("B", {b.var("i") + static_cast<int>(rng.next_below(margin)),
+                     b.var("j")}) *
+          b.at("B", {b.var("i"),
+                     b.var("j") + static_cast<int>(rng.next_below(margin))});
+      if (rng.next_below(2) == 0) {
+        value = value + ex_min(b.var("i") * b.var("j"), 100);
+      }
+      b.assign("A", {b.var("i"), b.var("j")}, std::move(value));
+      b.end_loop();
+    } else {
+      Ex value =
+          read_b1(b.var("i") + static_cast<int>(rng.next_below(margin))) +
+          2.5;
+      switch (rng.next_below(4)) {
+        case 0:  // indirect permutation lookup
+          value = value * read_b1(b.at("P", {b.var("i")}));
+          break;
+        case 1:  // MIN/MAX-clamped (non-affine) index
+          value = value - read_b1(ex_max(ex_min(b.var("i") + 2, Ex(static_cast<double>(n))), 1));
+          break;
+        case 2:  // intrinsic arithmetic on the value side
+          value = value + ex_mod(b.var("i") * 7, 5) - ex_idiv(b.var("i"), 3);
+          break;
+        default:  // induction-scalar or reversed index
+          value = with_scalar
+                      ? value * (b.var("s") + 1)
+                      : value + read_b1(Ex(static_cast<double>(n + 1)) -
+                                        b.var("i"));
+          break;
+      }
+      b.assign("A", {b.var("i")}, std::move(value));
+    }
+    b.end_loop();
+
+    // Reduction over the freshly-written output.
+    b.begin_loop("k", 1, Ex(static_cast<double>(n)));
+    if (two_dim) {
+      b.assign("S", {1}, b.at("S", {1}) + b.at("A", {b.var("k"), 1}));
+    } else {
+      b.assign("S", {1}, b.at("S", {1}) + b.at("A", {b.var("k")}));
+    }
+    b.end_loop();
+    return b.compile();
+  };
+}
+
+TEST(BytecodeEquivalenceTest, RandomizedDifferential) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const BuildFn build = random_program(seed);
+    for (const std::uint32_t pes : {1u, 4u}) {
+      expect_engines_equivalent(
+          build, MachineConfig{}.with_pes(pes), ExecutionMode::kCounting,
+          "rand" + std::to_string(seed) + "/pes" + std::to_string(pes));
+    }
+    if (seed % 4 == 0) {
+      expect_engines_equivalent(build, MachineConfig{}.with_pes(4),
+                                ExecutionMode::kDataflow,
+                                "rand" + std::to_string(seed) + "/df");
+    }
+  }
+}
+
+// --------------------------------------------------------- worker counts
+
+TEST(BytecodeEquivalenceTest, SweepsIdenticalForAnyWorkerCount) {
+  const CompiledProgram tree =
+      build_with_engine([] { return build_k1_hydro(); }, EvalEngine::kTree);
+  const CompiledProgram bytecode =
+      build_with_engine([] { return build_k1_hydro(); },
+                        EvalEngine::kBytecode);
+
+  std::vector<SweepJob> tree_jobs;
+  std::vector<SweepJob> bytecode_jobs;
+  for (const std::uint32_t pes : {1u, 2u, 4u, 8u, 16u}) {
+    tree_jobs.push_back(
+        SweepJob{&tree, MachineConfig{}.with_pes(pes),
+                 ExecutionMode::kCounting});
+    bytecode_jobs.push_back(
+        SweepJob{&bytecode, MachineConfig{}.with_pes(pes),
+                 ExecutionMode::kCounting});
+  }
+
+  const auto serial_tree = parallel_sweep_results(tree_jobs, nullptr);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const auto parallel_bytecode =
+        parallel_sweep_results(bytecode_jobs, &pool);
+    ASSERT_EQ(parallel_bytecode.size(), serial_tree.size());
+    for (std::size_t i = 0; i < serial_tree.size(); ++i) {
+      expect_results_equal(serial_tree[i], parallel_bytecode[i],
+                           "workers" + std::to_string(workers) + "/job" +
+                               std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Fails when a relative markdown link in the docs points at nothing.
+
+Scans README.md, DESIGN.md and docs/*.md for [text](target) links, skips
+absolute URLs (http/https/mailto) and pure in-page anchors, and verifies
+that every remaining target exists relative to the file that links to it.
+Exit code 0 when every link resolves, 1 otherwise (one line per break).
+
+Usage: python3 tools/check_links.py [repo_root]
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    for name in ("README.md", "DESIGN.md"):
+        path = root / name
+        if path.exists():
+            yield path
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    broken = []
+    checked = 0
+    for doc in doc_files(root):
+        for line_no, line in enumerate(doc.read_text().splitlines(), start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                checked += 1
+                if not (doc.parent / relative).exists():
+                    broken.append(f"{doc.relative_to(root)}:{line_no}: "
+                                  f"broken link -> {target}")
+    for entry in broken:
+        print(entry)
+    print(f"{checked} relative links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
