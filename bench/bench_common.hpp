@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "core/bytecode.hpp"
+#include "core/dataflow_interpreter.hpp"
 #include "core/sweep.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "stats/json.hpp"
 #include "stats/report.hpp"
 #include "support/error.hpp"
@@ -48,10 +50,15 @@ inline void print_usage(std::ostream& out, const char* prog,
          "                  hardware thread; zero/negative/malformed abort)\n"
          "  SAPART_EVAL     expression engine: 'bytecode' (default) or\n"
          "                  'tree' (the reference tree walk)\n"
+         "  SAPART_DATAFLOW dataflow scheduler: 'sharded' (default,\n"
+         "                  parallel shard runtime) or 'serial' (the\n"
+         "                  round-robin oracle)\n"
+         "  SAPART_SHARD_WORKERS  shard replay worker count (default: one\n"
+         "                  per hardware thread, capped at the PE count)\n"
          "  SAPART_CSV_DIR  also write <artifact>.csv files there\n"
          "\nexit codes:\n"
          "  0  success\n"
-         "  2  usage error, invalid SAPART_WORKERS/SAPART_EVAL, or an\n"
+         "  2  usage error, an invalid SAPART_* value, or an\n"
          "     unwritable --json destination\n"
          "  other nonzero  fatal error during the run (uncaught exception)\n";
 }
@@ -102,14 +109,26 @@ inline void init(int argc, char** argv, std::string_view description = "") {
       std::exit(2);
     }
   }
-  // Validate SAPART_EVAL after argument parsing (so --help stays reachable
-  // with a mistyped value), but before the run, so a config typo is the
-  // documented exit 2 and not a ConfigError escaping main mid-run
+  // Validate the SAPART_* knobs after argument parsing (so --help stays
+  // reachable with a mistyped value), but before the run, so a config typo
+  // is the documented exit 2 and not a ConfigError escaping main mid-run
   // (SAPART_WORKERS gets the same treatment in pool()).
   try {
     eval_engine_from_env();
   } catch (const ConfigError& e) {
     std::cerr << "SAPART_EVAL: " << e.what() << '\n';
+    std::exit(2);
+  }
+  try {
+    dataflow_scheduler_from_env();
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_DATAFLOW: " << e.what() << '\n';
+    std::exit(2);
+  }
+  try {
+    shard_workers_from_env();
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_SHARD_WORKERS: " << e.what() << '\n';
     std::exit(2);
   }
 }

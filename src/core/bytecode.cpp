@@ -26,8 +26,10 @@ EvalEngine eval_engine_from_env() {
   const char* raw = std::getenv("SAPART_EVAL");
   if (raw == nullptr) return EvalEngine::kBytecode;
   const std::string value(raw);
-  if (value.empty() || value == "bytecode") return EvalEngine::kBytecode;
+  if (value == "bytecode") return EvalEngine::kBytecode;
   if (value == "tree") return EvalEngine::kTree;
+  // Empty included: a typo'd `SAPART_EVAL= ctest` must fail loudly, not
+  // silently pick the default (the SAPART_WORKERS hardening convention).
   throw ConfigError("SAPART_EVAL must be 'bytecode' or 'tree', got '" +
                     value + "'");
 }

@@ -1,115 +1,77 @@
 #include "core/dataflow_interpreter.hpp"
 
-#include <deque>
+#include <cstdlib>
 #include <map>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
-#include "core/executor_base.hpp"
+#include "core/dataflow_replay.hpp"
+#include "core/dataflow_trace.hpp"
 #include "machine/host_reinit.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
 namespace sap {
 
+DataflowScheduler dataflow_scheduler_from_env() {
+  const char* raw = std::getenv("SAPART_DATAFLOW");
+  if (raw == nullptr) return DataflowScheduler::kSharded;
+  const std::string value(raw);
+  if (value == "sharded") return DataflowScheduler::kSharded;
+  if (value == "serial") return DataflowScheduler::kSerial;
+  throw ConfigError("SAPART_DATAFLOW must be 'sharded' or 'serial', got '" +
+                    value + "'");
+}
+
 namespace {
 
-struct TraceInstance {
-  enum class Kind { kStatement, kAccumulate, kCommit, kReinit };
-  Kind kind = Kind::kStatement;
-  const ArrayAssign* stmt = nullptr;  // null for kReinit
-  ArrayId array = 0;                  // target array (all kinds)
-  std::int64_t target_linear = 0;
-  std::map<std::string, double> env;  // kStatement / kAccumulate only
-};
-
-/// Sequential pass that resolves control and screens instances per PE.
-/// Values are computed locally (a private registry) only to resolve
-/// indirect indices; they are discarded afterwards.
-class TraceBuilder final : public SequentialExecutor {
+/// The round-robin oracle: polls the PEs in id order, running each to its
+/// next block; a full pass with no progress means the program has a
+/// read-before-write in sequential order — DeadlockError.
+class SerialScheduler {
  public:
-  TraceBuilder(const CompiledProgram& compiled, const Partitioner& partitioner,
-               std::uint32_t num_pes)
-      : partitioner_(partitioner), streams_(num_pes) {
-    materialize_arrays(compiled, scratch_);
-    execute(compiled, scratch_);
-  }
-
-  std::vector<std::deque<TraceInstance>> take_streams() {
-    return std::move(streams_);
-  }
-
- protected:
-  PeId owner_of(const SaArray& array, std::int64_t linear) override {
-    return partitioner_.owner_of_element(array, linear);
-  }
-
-  void on_instance(const ArrayAssign& assign, PeId pe,
-                   std::int64_t target_linear, const EvalEnv& env,
-                   bool is_commit) override {
-    TraceInstance inst;
-    inst.stmt = &assign;
-    inst.array = scratch_.by_name(assign.array).id();
-    inst.target_linear = target_linear;
-    if (is_commit) {
-      inst.kind = TraceInstance::Kind::kCommit;
-    } else if (assign.is_reduction) {
-      inst.kind = TraceInstance::Kind::kAccumulate;
-      inst.env = env.values();
-    } else {
-      inst.kind = TraceInstance::Kind::kStatement;
-      inst.env = env.values();
+  SerialScheduler(const CompiledProgram& compiled, Machine& machine)
+      : machine_(machine), set_(machine.num_pes()) {
+    StreamingSink sink(set_);
+    TraceBuilder builder(compiled, machine.partitioner(), sink, set_.layouts);
+    builder.build();
+    replays_.reserve(machine.num_pes());
+    for (PeId pe = 0; pe < machine.num_pes(); ++pe) {
+      replays_.push_back(std::make_unique<ShardReplay>(
+          compiled, machine, pe, set_.streams[pe], machine.network()));
     }
-    streams_[pe].push_back(std::move(inst));
+    reinit_state_.resize(machine.num_pes());
   }
-
-  void on_reinit(const SaArray& array) override {
-    TraceInstance inst;
-    inst.kind = TraceInstance::Kind::kReinit;
-    inst.array = array.id();
-    for (auto& stream : streams_) stream.push_back(inst);
-    SequentialExecutor::on_reinit(array);  // keep scratch values coherent
-  }
-
-  bool tolerate_undefined_reads() const override {
-    // The trace pass resolves control and ownership only; values are
-    // recomputed during replay against the real I-structure store, where
-    // a read-before-write manifests as the machine-level deadlock.
-    return true;
-  }
-
- private:
-  const Partitioner& partitioner_;
-  ArrayRegistry scratch_;
-  std::vector<std::deque<TraceInstance>> streams_;
-};
-
-/// Replays per-PE instance streams against the machine with I-structure
-/// semantics.
-class Replay {
- public:
-  Replay(const CompiledProgram& compiled, Machine& machine,
-         std::vector<std::deque<TraceInstance>> streams)
-      : compiled_(compiled),
-        bytecode_(compiled.bytecode.get()),
-        machine_(machine),
-        arrays_(machine.arrays()),
-        streams_(std::move(streams)),
-        cursors_(streams_.size(), 0),
-        reinit_state_(streams_.size()) {}
 
   DataflowStats run() {
     DataflowStats stats;
+    std::vector<ReaderToken> woken;  // round-robin repolls; tokens unused
     for (;;) {
       bool progress = false;
       bool all_done = true;
       ++stats.scheduler_rounds;
-      for (PeId pe = 0; pe < streams_.size(); ++pe) {
+      for (PeId pe = 0; pe < replays_.size(); ++pe) {
         // Run-to-block: a PE keeps going until it suspends or drains.
-        while (step(pe, stats)) progress = true;
-        if (cursors_[pe] < streams_[pe].size()) all_done = false;
+        for (;;) {
+          woken.clear();
+          const ReplayResult r =
+              replays_[pe]->run(set_.streams[pe].published(), woken);
+          if (r.executed > 0) progress = true;
+          if (r.status != ReplayStatus::kReinitBarrier) break;
+          if (!pass_reinit_barrier(pe, r.reinit_array)) break;
+          progress = true;
+        }
+        if (replays_[pe]->cursor() < set_.streams[pe].published()) {
+          all_done = false;
+        }
       }
-      if (all_done) return stats;
+      if (all_done) {
+        for (const auto& replay : replays_) {
+          stats.suspensions += replay->suspensions();
+        }
+        return stats;
+      }
       if (!progress) {
         throw DeadlockError(
             "dataflow machine quiesced with unfinished PEs: the program "
@@ -120,158 +82,24 @@ class Replay {
   }
 
  private:
-  // Probe phase: is every operand defined?  Queues the PE on the first
-  // undefined cell; performs no accounting.
-  class ProbeReader final : public ArrayReader {
-   public:
-    ProbeReader(ArrayNameCache& arrays, PeId pe, const TraceInstance& inst)
-        : arrays_(arrays), pe_(pe), inst_(inst) {}
-    std::optional<double> read(
-        const std::string& array,
-        const std::vector<std::int64_t>& indices) override {
-      SaArray& a = arrays_.resolve(array);
-      const std::int64_t linear = a.shape().linearize(indices);
-      if (inst_.kind == TraceInstance::Kind::kAccumulate &&
-          a.id() == inst_.array && linear == inst_.target_linear) {
-        return 0.0;  // accumulator register: always available
-      }
-      return a.read_or_defer(linear, pe_);
+  /// §5 polling protocol, per PE: request once, then wait for the host's
+  /// grant broadcast (rounds_completed advancing past the base round).
+  bool pass_reinit_barrier(PeId pe, ArrayId array) {
+    auto& state = reinit_state_[pe];
+    auto& requested = state.requested[array];
+    auto& base_round = state.base_round[array];
+    HostReinitCoordinator& coord = machine_.reinit();
+    if (!requested) {
+      base_round = coord.rounds_completed(array);
+      coord.request_reinit(pe, array);
+      requested = true;
     }
-
-   private:
-    ArrayNameCache& arrays_;
-    PeId pe_;
-    const TraceInstance& inst_;
-  };
-
-  // Execute phase: accounted reads, guaranteed defined.
-  class AccountingReader final : public ArrayReader {
-   public:
-    AccountingReader(Machine& machine, ArrayNameCache& arrays, PeId pe,
-                     const TraceInstance& inst, double register_value)
-        : machine_(machine),
-          arrays_(arrays),
-          pe_(pe),
-          inst_(inst),
-          register_value_(register_value) {}
-    std::optional<double> read(
-        const std::string& array,
-        const std::vector<std::int64_t>& indices) override {
-      SaArray& a = arrays_.resolve(array);
-      const std::int64_t linear = a.shape().linearize(indices);
-      if (inst_.kind == TraceInstance::Kind::kAccumulate &&
-          a.id() == inst_.array && linear == inst_.target_linear) {
-        return register_value_;
-      }
-      machine_.account_read(pe_, a, linear);
-      return a.read(linear);
+    if (coord.rounds_completed(array) <= base_round) {
+      return false;  // waiting for the host's grant broadcast
     }
-
-   private:
-    Machine& machine_;
-    ArrayNameCache& arrays_;
-    PeId pe_;
-    const TraceInstance& inst_;
-    double register_value_;
-  };
-
-  bool step(PeId pe, DataflowStats& stats) {
-    auto& stream = streams_[pe];
-    std::size_t& cursor = cursors_[pe];
-    if (cursor >= stream.size()) return false;
-    TraceInstance& inst = stream[cursor];
-
-    switch (inst.kind) {
-      case TraceInstance::Kind::kStatement:
-      case TraceInstance::Kind::kAccumulate: {
-        EvalEnv env;
-        env.restore(inst.env);
-        ProbeReader probe(arrays_, pe, inst);
-        if (!eval_value(*inst.stmt, env, probe).has_value()) {
-          ++stats.suspensions;
-          return false;  // suspended: queued on the missing cell
-        }
-        const auto key = std::make_pair(inst.stmt, inst.target_linear);
-        const double reg =
-            inst.kind == TraceInstance::Kind::kAccumulate &&
-                    registers_.count(key)
-                ? registers_.at(key)
-                : 0.0;
-        AccountingReader reader(machine_, arrays_, pe, inst, reg);
-        const auto value = eval_value(*inst.stmt, env, reader);
-        SAP_CHECK(value.has_value(), "execute phase suspended after probe");
-        SaArray& array = machine_.arrays().at(inst.array);
-        if (inst.kind == TraceInstance::Kind::kAccumulate) {
-          registers_[key] = *value;
-        } else {
-          machine_.account_write(pe, array, inst.target_linear);
-          array.write(inst.target_linear, *value);
-        }
-        ++cursor;
-        return true;
-      }
-      case TraceInstance::Kind::kCommit: {
-        const auto key = std::make_pair(inst.stmt, inst.target_linear);
-        const auto reg = registers_.find(key);
-        SAP_CHECK(reg != registers_.end(),
-                  "commit without prior accumulation");
-        SaArray& array = machine_.arrays().at(inst.array);
-        machine_.account_write(pe, array, inst.target_linear);
-        array.write(inst.target_linear, reg->second);
-        registers_.erase(reg);
-        ++cursor;
-        return true;
-      }
-      case TraceInstance::Kind::kReinit: {
-        auto& state = reinit_state_[pe];
-        auto& requested = state.requested[inst.array];
-        auto& base_round = state.base_round[inst.array];
-        HostReinitCoordinator& coord = machine_.reinit();
-        if (!requested) {
-          base_round = coord.rounds_completed(inst.array);
-          coord.request_reinit(pe, inst.array);
-          requested = true;
-        }
-        if (coord.rounds_completed(inst.array) <= base_round) {
-          return false;  // waiting for the host's grant broadcast
-        }
-        requested = false;
-        ++cursor;
-        return true;
-      }
-    }
-    SAP_CHECK(false, "unknown instance kind");
-    return false;
-  }
-
-  /// Value expression of one statement instance, through the engine the
-  /// program was compiled with (bytecode when present, tree walk else).
-  std::optional<double> eval_value(const ArrayAssign& stmt, const EvalEnv& env,
-                                   ArrayReader& reader) {
-    if (bytecode_ != nullptr) {
-      const AssignMemo* memo = nullptr;
-      for (const AssignMemo& entry : assign_memo_) {
-        if (entry.key == &stmt) {
-          memo = &entry;
-          break;
-        }
-      }
-      if (memo == nullptr) {
-        AssignMemo entry;
-        entry.key = &stmt;
-        const auto it = bytecode_->assigns.find(&stmt);
-        if (it != bytecode_->assigns.end()) {
-          entry.ca = &it->second;
-          entry.value_handle = frame_.intern(it->second.value);
-        }
-        assign_memo_.push_back(entry);
-        memo = &assign_memo_.back();
-      }
-      if (memo->ca != nullptr) {
-        return frame_.run(memo->ca->value, memo->value_handle, env, reader);
-      }
-    }
-    return eval_expr(*stmt.value, env, reader);
+    requested = false;
+    replays_[pe]->advance_past_reinit();
+    return true;
   }
 
   struct ReinitState {
@@ -279,30 +107,32 @@ class Replay {
     std::map<ArrayId, std::uint64_t> base_round;
   };
 
-  struct AssignMemo {
-    const ArrayAssign* key = nullptr;
-    const CompiledAssign* ca = nullptr;
-    BytecodeFrame::SlotHandle value_handle = 0;
-  };
-
-  const CompiledProgram& compiled_;
-  const ProgramBytecode* bytecode_ = nullptr;
-  BytecodeFrame frame_;
-  std::vector<AssignMemo> assign_memo_;
   Machine& machine_;
-  ArrayNameCache arrays_;
-  std::vector<std::deque<TraceInstance>> streams_;
-  std::vector<std::size_t> cursors_;
-  ReductionRegisters registers_;
+  StreamSet set_;
+  std::vector<std::unique_ptr<ShardReplay>> replays_;
   std::vector<ReinitState> reinit_state_;
 };
 
 }  // namespace
 
+DataflowStats run_dataflow_serial(const CompiledProgram& compiled,
+                                  Machine& machine) {
+  SerialScheduler scheduler(compiled, machine);
+  return scheduler.run();
+}
+
 DataflowStats run_dataflow(const CompiledProgram& compiled, Machine& machine) {
-  TraceBuilder builder(compiled, machine.partitioner(), machine.num_pes());
-  Replay replay(compiled, machine, builder.take_streams());
-  return replay.run();
+  // Partial-page refetch accounting is defined by the serial interleaving
+  // (see the header comment); run_dataflow_sharded itself routes such
+  // configs to the serial scheduler.
+  switch (dataflow_scheduler_from_env()) {
+    case DataflowScheduler::kSerial:
+      return run_dataflow_serial(compiled, machine);
+    case DataflowScheduler::kSharded:
+      return run_dataflow_sharded(compiled, machine);
+  }
+  SAP_CHECK(false, "unknown dataflow scheduler");
+  return {};
 }
 
 }  // namespace sap

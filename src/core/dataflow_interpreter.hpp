@@ -1,22 +1,29 @@
 // Dataflow interpreter: faithful execution of the §3 synchronization model.
 //
-// Every PE executes its screened subsequence of statement instances
-// in order.  A read of an undefined cell *suspends* the PE (the request is
-// queued on the cell, §3/§4); the scheduler round-robins the PEs until all
-// streams drain.  A full pass with no progress means the program has a
-// read-before-write in sequential order — DeadlockError.  A second write to
-// any cell traps (DoubleWriteError), exactly the paper's "runtime error".
+// Every PE executes its screened subsequence of statement instances in
+// order.  A read of an undefined cell *suspends* the PE (the request is
+// queued on the cell, §3/§4); a second write to any cell traps
+// (DoubleWriteError), exactly the paper's "runtime error".  A program that
+// reads a value before sequential order produces it deadlocks the machine
+// (DeadlockError).
 //
-// Mechanically: a sequential trace pass first resolves control (loop
-// bounds, scalar arithmetic — replicated on every PE per §2, hence
-// identical and precomputable) into per-PE instance streams; the replay
-// then performs every memory access against the machine in stream order.
-// Statement instances are two-phase: a *probe* checks that every operand
-// is defined (queuing the PE otherwise, with no accounting side effects),
-// and only then the *execute* phase performs the accounted reads and the
-// write.  This guarantees each operand is accounted exactly once, in the
-// same per-PE order as the counting interpreter — the equivalence the
-// tests assert.
+// Mechanically: a sequential trace pass (core/dataflow_trace.hpp) resolves
+// control into per-PE instance streams, and a replay engine
+// (core/dataflow_replay.hpp) performs every memory access against the
+// machine in stream order.  Two schedulers drive the replay:
+//
+//   * serial — the round-robin oracle: one thread polls the PEs in id
+//     order, running each to its next block (SAPART_DATAFLOW=serial);
+//   * sharded — the parallel runtime (runtime/sim_runtime.hpp): per-PE
+//     streams replay concurrently on ThreadPool workers, overlapped with
+//     the trace pass, and per-shard accounting merges in PE-id order.
+//     This is the default; its SimulationResults are byte-identical to
+//     the serial scheduler's for any worker count.
+//
+// The machine-config extension `count_partial_page_refetch` makes cache
+// admission depend on the *interleaving* of cross-PE writes, which only the
+// serial scheduler pins down; run_dataflow therefore always routes such
+// configs to the serial scheduler.
 #pragma once
 
 #include "core/simulator.hpp"
@@ -25,12 +32,34 @@
 namespace sap {
 
 struct DataflowStats {
-  std::uint64_t scheduler_rounds = 0;  // full passes over the PE set
+  // Serial: full passes over the PE set.  Sharded: run-to-block dispatch
+  // episodes (a shard popped from a ready deque and run until it blocks).
+  std::uint64_t scheduler_rounds = 0;
   std::uint64_t suspensions = 0;       // probe failures (deferred reads)
+  std::uint64_t parks = 0;             // sharded: shard park events
+  std::uint64_t steals = 0;            // sharded: cross-worker deque steals
+  unsigned workers = 1;                // sharded: replay worker count
 };
 
-/// Executes the program on the machine (arrays must be materialized).
+/// Scheduler selection for run_dataflow (SAPART_DATAFLOW).
+enum class DataflowScheduler {
+  kSharded,  // parallel shard runtime (default)
+  kSerial,   // single-threaded round-robin oracle
+};
+
+/// Scheduler selected by the SAPART_DATAFLOW environment variable: unset
+/// or "sharded" -> kSharded, "serial" -> kSerial; anything else (including
+/// empty) throws ConfigError naming the valid set.
+DataflowScheduler dataflow_scheduler_from_env();
+
+/// Executes the program on the machine (arrays must be materialized) under
+/// the scheduler selected by SAPART_DATAFLOW.
 /// Throws DeadlockError when the program is not legal single assignment.
 DataflowStats run_dataflow(const CompiledProgram& compiled, Machine& machine);
+
+/// The serial round-robin scheduler (the oracle the sharded runtime is
+/// differentially tested against).
+DataflowStats run_dataflow_serial(const CompiledProgram& compiled,
+                                  Machine& machine);
 
 }  // namespace sap

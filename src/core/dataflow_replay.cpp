@@ -1,0 +1,172 @@
+#include "core/dataflow_replay.hpp"
+
+#include "support/check.hpp"
+
+namespace sap {
+
+namespace {
+
+// Probe phase: is every operand defined?  Queues the PE's token on the
+// first undefined cell; performs no accounting.
+class ProbeReader final : public ArrayReader {
+ public:
+  ProbeReader(ArrayNameCache& arrays, PeId pe, const TraceInstance& inst)
+      : arrays_(arrays), pe_(pe), inst_(inst) {}
+  std::optional<double> read(
+      const std::string& array,
+      const std::vector<std::int64_t>& indices) override {
+    SaArray& a = arrays_.resolve(array);
+    const std::int64_t linear = a.shape().linearize(indices);
+    if (inst_.kind == TraceInstance::Kind::kAccumulate &&
+        a.id() == inst_.array && linear == inst_.target_linear) {
+      return 0.0;  // accumulator register: always available
+    }
+    return a.read_or_defer(linear, pe_);
+  }
+
+ private:
+  ArrayNameCache& arrays_;
+  PeId pe_;
+  const TraceInstance& inst_;
+};
+
+// Execute phase: accounted reads, guaranteed defined.
+class AccountingReader final : public ArrayReader {
+ public:
+  AccountingReader(Machine& machine, NetworkChannel& net,
+                   ArrayNameCache& arrays, PeId pe, const TraceInstance& inst,
+                   double register_value)
+      : machine_(machine),
+        net_(net),
+        arrays_(arrays),
+        pe_(pe),
+        inst_(inst),
+        register_value_(register_value) {}
+  std::optional<double> read(
+      const std::string& array,
+      const std::vector<std::int64_t>& indices) override {
+    SaArray& a = arrays_.resolve(array);
+    const std::int64_t linear = a.shape().linearize(indices);
+    if (inst_.kind == TraceInstance::Kind::kAccumulate &&
+        a.id() == inst_.array && linear == inst_.target_linear) {
+      return register_value_;
+    }
+    machine_.account_read(pe_, a, linear, net_);
+    return a.read(linear);
+  }
+
+ private:
+  Machine& machine_;
+  NetworkChannel& net_;
+  ArrayNameCache& arrays_;
+  PeId pe_;
+  const TraceInstance& inst_;
+  double register_value_;
+};
+
+}  // namespace
+
+ShardReplay::ShardReplay(const CompiledProgram& compiled, Machine& machine,
+                         PeId pe, const InstanceStream& stream,
+                         NetworkChannel& net)
+    : bytecode_(compiled.bytecode.get()),
+      machine_(machine),
+      pe_(pe),
+      reader_(stream),
+      net_(net),
+      arrays_(machine.arrays()) {}
+
+std::optional<double> ShardReplay::eval_value(const ArrayAssign& stmt,
+                                              ArrayReader& reader) {
+  if (bytecode_ != nullptr) {
+    const AssignMemo* memo = nullptr;
+    for (const AssignMemo& entry : assign_memo_) {
+      if (entry.key == &stmt) {
+        memo = &entry;
+        break;
+      }
+    }
+    if (memo == nullptr) {
+      AssignMemo entry;
+      entry.key = &stmt;
+      const auto it = bytecode_->assigns.find(&stmt);
+      if (it != bytecode_->assigns.end()) {
+        entry.ca = &it->second;
+        entry.value_handle = frame_.intern(it->second.value);
+      }
+      assign_memo_.push_back(entry);
+      memo = &assign_memo_.back();
+    }
+    if (memo->ca != nullptr) {
+      return frame_.run(memo->ca->value, memo->value_handle, env_, reader);
+    }
+  }
+  return eval_expr(*stmt.value, env_, reader);
+}
+
+ReplayResult ShardReplay::run(std::size_t limit,
+                              std::vector<ReaderToken>& woken) {
+  ReplayResult result;
+  while (cursor_ < limit) {
+    const TraceInstance& inst = reader_.get(cursor_);
+    switch (inst.kind) {
+      case TraceInstance::Kind::kStatement:
+      case TraceInstance::Kind::kAccumulate: {
+        const EnvLayout* layout = inst.layout;
+        const double* values = inst.env_values();
+        for (std::uint8_t i = 0; i < inst.env_count; ++i) {
+          env_.set(*layout->names[i], values[i]);
+        }
+        ProbeReader probe(arrays_, pe_, inst);
+        if (!eval_value(*inst.stmt, probe).has_value()) {
+          ++suspensions_;
+          result.status = ReplayStatus::kSuspended;
+          return result;
+        }
+        const auto key = std::make_pair(inst.stmt, inst.target_linear);
+        const double reg =
+            inst.kind == TraceInstance::Kind::kAccumulate &&
+                    registers_.count(key)
+                ? registers_.at(key)
+                : 0.0;
+        AccountingReader reader(machine_, net_, arrays_, pe_, inst, reg);
+        const auto value = eval_value(*inst.stmt, reader);
+        SAP_CHECK(value.has_value(), "execute phase suspended after probe");
+        SaArray& array = machine_.arrays().at(inst.array);
+        if (inst.kind == TraceInstance::Kind::kAccumulate) {
+          registers_[key] = *value;
+        } else {
+          machine_.account_write(pe_, array, inst.target_linear);
+          auto released = array.write(inst.target_linear, *value);
+          woken.insert(woken.end(), released.begin(), released.end());
+        }
+        ++cursor_;
+        ++result.executed;
+        break;
+      }
+      case TraceInstance::Kind::kCommit: {
+        const auto key = std::make_pair(inst.stmt, inst.target_linear);
+        const auto reg = registers_.find(key);
+        SAP_CHECK(reg != registers_.end(),
+                  "commit without prior accumulation");
+        SaArray& array = machine_.arrays().at(inst.array);
+        machine_.account_write(pe_, array, inst.target_linear);
+        auto released = array.write(inst.target_linear, reg->second);
+        woken.insert(woken.end(), released.begin(), released.end());
+        registers_.erase(reg);
+        ++cursor_;
+        ++result.executed;
+        break;
+      }
+      case TraceInstance::Kind::kReinit: {
+        result.status = ReplayStatus::kReinitBarrier;
+        result.reinit_array = inst.array;
+        return result;
+      }
+    }
+  }
+  result.status = ReplayStatus::kExhausted;
+  return result;
+}
+
+}  // namespace sap

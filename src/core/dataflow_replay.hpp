@@ -1,0 +1,88 @@
+// Per-PE replay of a dataflow trace stream (§3/§4 semantics).
+//
+// ShardReplay executes one PE's screened instance stream against the
+// machine with I-structure semantics.  Statement instances are two-phase: a
+// *probe* checks that every operand is defined (queuing the PE's token on
+// the first undefined cell, with no accounting side effects), and only then
+// the *execute* phase performs the accounted reads and the write.  This
+// guarantees each operand is accounted exactly once, in the same per-PE
+// order as the counting interpreter — the equivalence the tests assert.
+//
+// The engine is scheduler-agnostic: the serial round-robin driver
+// (core/dataflow_interpreter.cpp) and the sharded runtime
+// (runtime/sim_runtime.cpp) both drive run() and differ only in what they
+// do with a blocked shard.  All accounting flows through the PE's own
+// counters/cache plus the NetworkChannel given at construction, so a shard
+// can account into a private buffer while the serial driver uses the
+// shared network directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataflow_trace.hpp"
+#include "machine/machine.hpp"
+
+namespace sap {
+
+enum class ReplayStatus : std::uint8_t {
+  kExhausted,      // cursor reached the given limit
+  kSuspended,      // probe failed; this PE's token is queued on the cell
+  kReinitBarrier,  // at a kReinit instance; the driver coordinates §5
+};
+
+struct ReplayResult {
+  ReplayStatus status = ReplayStatus::kExhausted;
+  ArrayId reinit_array = 0;     // valid when status == kReinitBarrier
+  std::uint64_t executed = 0;   // instances completed by this run() call
+};
+
+class ShardReplay {
+ public:
+  ShardReplay(const CompiledProgram& compiled, Machine& machine, PeId pe,
+              const InstanceStream& stream, NetworkChannel& net);
+
+  ShardReplay(const ShardReplay&) = delete;
+  ShardReplay& operator=(const ShardReplay&) = delete;
+
+  /// Executes instances until one blocks or `limit` is reached.  Reader
+  /// tokens released by writes are appended to `woken` (the sharded
+  /// scheduler re-arms them; the serial driver ignores them and repolls).
+  ReplayResult run(std::size_t limit, std::vector<ReaderToken>& woken);
+
+  /// The driver passed the §5 barrier for the pending kReinit instance.
+  void advance_past_reinit() noexcept { ++cursor_; }
+
+  PeId pe() const noexcept { return pe_; }
+  std::size_t cursor() const noexcept { return cursor_; }
+  std::uint64_t suspensions() const noexcept { return suspensions_; }
+
+ private:
+  std::optional<double> eval_value(const ArrayAssign& stmt, ArrayReader& reader);
+
+  struct AssignMemo {
+    const ArrayAssign* key = nullptr;
+    const CompiledAssign* ca = nullptr;
+    BytecodeFrame::SlotHandle value_handle = 0;
+  };
+
+  const ProgramBytecode* bytecode_ = nullptr;
+  Machine& machine_;
+  PeId pe_;
+  InstanceStream::Reader reader_;
+  NetworkChannel& net_;
+  ArrayNameCache arrays_;
+  BytecodeFrame frame_;
+  std::vector<AssignMemo> assign_memo_;
+  // Persistent across instances: bindings are updated in place per the
+  // instance's EnvLayout, so bytecode slot pointers stay valid (stale
+  // bindings of out-of-scope names are harmless — sema guarantees an
+  // expression only references in-scope variables, all of which are in its
+  // layout and therefore freshly set).
+  EvalEnv env_;
+  ReductionRegisters registers_;
+  std::size_t cursor_ = 0;
+  std::uint64_t suspensions_ = 0;
+};
+
+}  // namespace sap

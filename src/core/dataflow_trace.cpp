@@ -1,0 +1,192 @@
+#include "core/dataflow_trace.hpp"
+
+#include <variant>
+
+#include "support/check.hpp"
+
+namespace sap {
+
+namespace {
+
+void collect_free_vars(const Expr& expr,
+                       std::vector<const std::string*>& out) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, VarRef>) {
+          for (const std::string* name : out) {
+            if (*name == node.name) return;
+          }
+          out.push_back(&node.name);
+        } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          for (const ExprPtr& idx : node.indices) {
+            collect_free_vars(*idx, out);
+          }
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          for (const ExprPtr& arg : node.args) {
+            collect_free_vars(*arg, out);
+          }
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          collect_free_vars(*node.operand, out);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          collect_free_vars(*node.lhs, out);
+          collect_free_vars(*node.rhs, out);
+        }
+        // NumberLit: nothing.
+      },
+      expr.node);
+}
+
+}  // namespace
+
+const EnvLayout& EnvLayoutCache::layout_for(const ArrayAssign& stmt) {
+  const auto it = layouts_.find(&stmt);
+  if (it != layouts_.end()) return *it->second;
+  auto layout = std::make_unique<EnvLayout>();
+  collect_free_vars(*stmt.value, layout->names);
+  const EnvLayout& ref = *layout;
+  layouts_.emplace(&stmt, std::move(layout));
+  return ref;
+}
+
+TraceInstance& InstanceStream::append() {
+  const std::size_t chunk = size_ / kChunkSize;
+  if (chunk == chunks_.size()) {
+    auto fresh = std::make_unique<Chunk>();
+    const std::lock_guard<std::mutex> lock(chunks_mutex_);
+    chunks_.push_back(std::move(fresh));
+  }
+  TraceInstance& slot = chunks_[chunk]->items[size_ % kChunkSize];
+  ++size_;
+  return slot;
+}
+
+const InstanceStream::Chunk* InstanceStream::chunk_at(std::size_t chunk) const {
+  const std::lock_guard<std::mutex> lock(chunks_mutex_);
+  return chunks_[chunk].get();
+}
+
+// The pulse runs *before* a new slot is appended (and from finalize()),
+// so at publication time every appended slot has been completely filled —
+// the builder fills each emitted slot synchronously before its next call.
+TraceInstance& StreamingSink::emit(PeId pe) {
+  if (unpublished_ >= kPublishBatch) pulse();
+  TraceInstance& slot = set_.streams[pe].append();
+  ++unpublished_;
+  return slot;
+}
+
+void StreamingSink::emit_reinit(ArrayId array) {
+  if (unpublished_ >= kPublishBatch) pulse();
+  for (InstanceStream& stream : set_.streams) {
+    TraceInstance& inst = stream.append();
+    inst.kind = TraceInstance::Kind::kReinit;
+    inst.env_count = 0;
+    inst.array = array;
+    inst.stmt = nullptr;
+    inst.layout = nullptr;
+    inst.target_linear = 0;
+    ++unpublished_;
+  }
+}
+
+void StreamingSink::finalize() { pulse(); }
+
+void StreamingSink::pulse() {
+  for (InstanceStream& stream : set_.streams) {
+    stream.publish();
+  }
+  unpublished_ = 0;
+  if (on_publish_) on_publish_();
+}
+
+TraceBuilder::TraceBuilder(const CompiledProgram& compiled,
+                           const Partitioner& partitioner, TraceSink& sink,
+                           EnvLayoutCache& layouts)
+    : compiled_(compiled),
+      partitioner_(partitioner),
+      sink_(sink),
+      layouts_(layouts) {}
+
+void TraceBuilder::build() {
+  materialize_arrays(compiled_, scratch_);
+  execute(compiled_, scratch_);
+  sink_.finalize();
+}
+
+PeId TraceBuilder::owner_of(const SaArray& array, std::int64_t linear) {
+  return partitioner_.owner_of_element(array, linear);
+}
+
+bool TraceBuilder::tolerate_undefined_reads() const {
+  // The trace pass resolves control and ownership only; values are
+  // recomputed during replay against the real I-structure store, where
+  // a read-before-write manifests as the machine-level deadlock.
+  return true;
+}
+
+void TraceBuilder::capture_env(const ArrayAssign& assign, const EvalEnv& env,
+                               TraceInstance& inst) {
+  LayoutSlots* cached = nullptr;
+  for (LayoutSlots& entry : slot_cache_) {
+    if (entry.key == &assign) {
+      cached = &entry;
+      break;
+    }
+  }
+  if (cached == nullptr) {
+    slot_cache_.push_back(LayoutSlots{});
+    cached = &slot_cache_.back();
+    cached->key = &assign;
+    cached->layout = &layouts_.layout_for(assign);
+    cached->env_version = 0;  // forces slot resolution below
+  }
+  const EnvLayout& layout = *cached->layout;
+  if (cached->env_version != env.version() ||
+      cached->slots.size() != layout.names.size()) {
+    cached->slots.clear();
+    cached->slots.reserve(layout.names.size());
+    for (const std::string* name : layout.names) {
+      const double* slot = env.find_slot(*name);
+      SAP_CHECK(slot != nullptr, "free variable unbound at trace time");
+      cached->slots.push_back(slot);
+    }
+    cached->env_version = env.version();
+  }
+
+  const std::size_t count = layout.names.size();
+  SAP_CHECK(count <= 255, "statement references too many variables");
+  inst.layout = &layout;
+  inst.env_count = static_cast<std::uint8_t>(count);
+  double* out = inst.env.data();
+  if (count > kInlineEnvSlots) {
+    inst.env_spill = std::make_unique<double[]>(count);
+    out = inst.env_spill.get();
+  }
+  for (std::size_t i = 0; i < count; ++i) out[i] = *cached->slots[i];
+}
+
+void TraceBuilder::on_instance(const ArrayAssign& assign, PeId pe,
+                               std::int64_t target_linear, const EvalEnv& env,
+                               bool is_commit) {
+  TraceInstance& inst = sink_.emit(pe);
+  inst.stmt = &assign;
+  inst.array = scratch_.by_name(assign.array).id();
+  inst.target_linear = target_linear;
+  if (is_commit) {
+    inst.kind = TraceInstance::Kind::kCommit;
+    inst.env_count = 0;
+    inst.layout = nullptr;
+  } else {
+    inst.kind = assign.is_reduction ? TraceInstance::Kind::kAccumulate
+                                    : TraceInstance::Kind::kStatement;
+    capture_env(assign, env, inst);
+  }
+}
+
+void TraceBuilder::on_reinit(const SaArray& array) {
+  sink_.emit_reinit(array.id());
+  SequentialExecutor::on_reinit(array);  // keep scratch values coherent
+}
+
+}  // namespace sap

@@ -1,0 +1,231 @@
+// The dataflow trace: per-PE screened instance streams (§3).
+//
+// A sequential pass (TraceBuilder) resolves control — loop bounds, scalar
+// arithmetic, indirect indices — against a private scratch registry and
+// screens every statement instance to its owner PE (§2 owner-computes).
+// The replay (core/dataflow_replay.hpp) then re-executes each instance
+// against the real I-structure store.
+//
+// Two things distinguish this from a plain event log:
+//
+//  * Compact environments.  An instance does not snapshot the whole scalar
+//    environment (the old representation); it stores only the values of the
+//    *free variables* of its statement's value expression, in the fixed
+//    order given by that statement's EnvLayout.  The replay re-binds
+//    exactly those names, so evaluation sees the same values as a full
+//    snapshot would — everything else in the environment is out of scope
+//    for the expression by sema's scoping rules.
+//
+//  * Streaming publication.  InstanceStream is a single-producer,
+//    multi-consumer chunked sequence: the trace pass appends and
+//    periodically *publishes* (a release store of the visible size), and
+//    replay shards may start consuming published prefixes while the trace
+//    is still running.  Chunks are address-stable, so consumers never race
+//    the producer's appends; the serial interpreter uses the same container
+//    uncontended.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/executor_base.hpp"
+#include "core/simulator.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sap {
+
+/// Fixed capture order for one statement's free value-expression variables.
+struct EnvLayout {
+  std::vector<const std::string*> names;  // deduped, point into the AST
+};
+
+/// Lazily built EnvLayout per assignment statement.  Populated only by the
+/// (single-threaded) trace pass; replay shards merely dereference the
+/// stable EnvLayout pointers carried by published instances.
+class EnvLayoutCache {
+ public:
+  const EnvLayout& layout_for(const ArrayAssign& stmt);
+
+ private:
+  std::unordered_map<const ArrayAssign*, std::unique_ptr<EnvLayout>> layouts_;
+};
+
+inline constexpr std::size_t kInlineEnvSlots = 8;
+
+/// One screened statement instance of a PE's stream.
+struct TraceInstance {
+  enum class Kind : std::uint8_t { kStatement, kAccumulate, kCommit, kReinit };
+  Kind kind = Kind::kStatement;
+  std::uint8_t env_count = 0;
+  ArrayId array = 0;                  // target array (all kinds)
+  const ArrayAssign* stmt = nullptr;  // null for kReinit
+  const EnvLayout* layout = nullptr;  // null for kCommit / kReinit
+  std::int64_t target_linear = 0;
+  std::array<double, kInlineEnvSlots> env{};  // values, layout order
+  std::unique_ptr<double[]> env_spill;        // env_count > kInlineEnvSlots
+
+  const double* env_values() const noexcept {
+    return env_count <= kInlineEnvSlots ? env.data() : env_spill.get();
+  }
+};
+
+/// Single-producer / multi-consumer append-only sequence of instances.
+/// The producer appends and publish()es; consumers read indices below
+/// published() through a Reader (which caches the current chunk and takes
+/// the growth mutex only on chunk boundaries).
+class InstanceStream {
+ private:
+  struct Chunk;
+
+ public:
+  static constexpr std::size_t kChunkSize = 256;
+
+  InstanceStream() = default;
+  InstanceStream(const InstanceStream&) = delete;
+  InstanceStream& operator=(const InstanceStream&) = delete;
+
+  /// Producer: slot for the next instance (unpublished until publish()).
+  TraceInstance& append();
+
+  /// Producer: makes every appended instance visible to consumers.
+  void publish() noexcept {
+    published_.store(size_, std::memory_order_release);
+  }
+
+  /// Producer-side count (appended, possibly unpublished).
+  std::size_t size() const noexcept { return size_; }
+
+  /// Consumer: count of visible instances.
+  std::size_t published() const noexcept {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Consumer-side cursor into one stream.  Each consumer owns its Reader.
+  class Reader {
+   public:
+    Reader() = default;
+    explicit Reader(const InstanceStream& stream) : stream_(&stream) {}
+
+    /// `i` must be < stream.published().
+    const TraceInstance& get(std::size_t i) {
+      const std::size_t chunk = i / kChunkSize;
+      if (chunk != cached_chunk_ || cached_ == nullptr) {
+        cached_ = stream_->chunk_at(chunk);
+        cached_chunk_ = chunk;
+      }
+      return cached_->items[i % kChunkSize];
+    }
+
+   private:
+    const InstanceStream* stream_ = nullptr;
+    const Chunk* cached_ = nullptr;
+    std::size_t cached_chunk_ = static_cast<std::size_t>(-1);
+  };
+
+ private:
+  struct Chunk {
+    std::array<TraceInstance, kChunkSize> items;
+  };
+
+  const Chunk* chunk_at(std::size_t chunk) const;
+
+  // Chunk pointers are stable; only the index vector grows (under mutex).
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  mutable std::mutex chunks_mutex_;
+  std::size_t size_ = 0;
+  // Consumers poll published_ while the producer appends at full rate;
+  // keep the line to itself so the polls never stall the appends.
+  alignas(64) std::atomic<std::size_t> published_{0};
+  char pad_[64 - sizeof(std::atomic<std::size_t>)];
+};
+
+/// Where the trace pass delivers instances (sequential program order).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual TraceInstance& emit(PeId pe) = 0;        // slot to fill
+  virtual void emit_reinit(ArrayId array) = 0;     // appended to all streams
+  virtual void finalize() = 0;                     // publish the tail
+};
+
+/// The per-PE streams plus the layout cache the instances point into.
+struct StreamSet {
+  explicit StreamSet(std::uint32_t num_pes) : streams(num_pes) {}
+  std::vector<InstanceStream> streams;
+  EnvLayoutCache layouts;
+};
+
+/// TraceSink writing into a StreamSet, publishing every kPublishBatch
+/// emitted instances; `on_publish` (optional) fires after each publication
+/// pulse — the sharded runtime uses it to wake input-starved shards.
+class StreamingSink final : public TraceSink {
+ public:
+  // Big enough that the producer's publication pulses (and the shard wakes
+  // they trigger) are noise next to the tracing itself; small enough that
+  // consumers keep streaming while the trace runs.
+  static constexpr std::size_t kPublishBatch = 1024;
+
+  explicit StreamingSink(StreamSet& set,
+                         std::function<void()> on_publish = nullptr)
+      : set_(set), on_publish_(std::move(on_publish)) {}
+
+  TraceInstance& emit(PeId pe) override;
+  void emit_reinit(ArrayId array) override;
+  void finalize() override;
+
+ private:
+  void pulse();
+
+  StreamSet& set_;
+  std::function<void()> on_publish_;
+  std::size_t unpublished_ = 0;
+};
+
+/// Sequential pass that resolves control and screens instances per PE.
+/// Values are computed locally (a private registry) only to resolve
+/// indirect indices; they are discarded afterwards.
+class TraceBuilder final : public SequentialExecutor {
+ public:
+  TraceBuilder(const CompiledProgram& compiled, const Partitioner& partitioner,
+               TraceSink& sink, EnvLayoutCache& layouts);
+
+  /// Runs the whole trace pass, finalizing the sink.
+  void build();
+
+ protected:
+  PeId owner_of(const SaArray& array, std::int64_t linear) override;
+  void on_instance(const ArrayAssign& assign, PeId pe,
+                   std::int64_t target_linear, const EvalEnv& env,
+                   bool is_commit) override;
+  void on_reinit(const SaArray& array) override;
+  bool tolerate_undefined_reads() const override;
+
+ private:
+  void capture_env(const ArrayAssign& assign, const EvalEnv& env,
+                   TraceInstance& inst);
+
+  /// Per-statement slot-pointer cache for fast env capture: valid while the
+  /// environment's binding layout (its version) is unchanged.
+  struct LayoutSlots {
+    const ArrayAssign* key = nullptr;
+    const EnvLayout* layout = nullptr;
+    std::uint64_t env_version = 0;
+    std::vector<const double*> slots;
+  };
+
+  const CompiledProgram& compiled_;
+  const Partitioner& partitioner_;
+  TraceSink& sink_;
+  EnvLayoutCache& layouts_;
+  ArrayRegistry scratch_;
+  std::vector<LayoutSlots> slot_cache_;
+};
+
+}  // namespace sap

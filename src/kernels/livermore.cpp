@@ -10,15 +10,18 @@ namespace sap {
 
 // --------------------------------------------------------------------------
 // K1 — Hydro Fragment (paper §7.1.2, Figure 1).  Skewed: ZX is read 10 and
-// 11 elements ahead of the X element being produced.
-CompiledProgram build_k1_hydro() {
+// 11 elements ahead of the X element being produced.  `n` scales the trip
+// count (default 400, the paper's size; array shapes scale along so the
+// skew pattern is preserved).
+CompiledProgram build_k1_hydro(std::int64_t n) {
+  SAP_CHECK(n >= 1, "k1 needs a positive trip count");
   ProgramBuilder b("k01_hydro");
-  b.array("X", {1001});
-  b.input_array("Y", {1001});
-  b.input_array("ZX", {1012});
+  b.array("X", {n + 601});
+  b.input_array("Y", {n + 601});
+  b.input_array("ZX", {n + 612});
   b.scalar("Q", 0.5).scalar("R", 0.25).scalar("T", 0.125);
   const Ex k = b.var("K");
-  b.begin_loop("K", 1, 400);
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
   b.assign("X", {k},
            b.var("Q") + b.at("Y", {k}) * (b.var("R") * b.at("ZX", {k + 10}) +
                                           b.var("T") * b.at("ZX", {k + 11})));
@@ -457,7 +460,7 @@ const std::vector<KernelSpec>& livermore_kernels() {
   static const std::vector<KernelSpec> kernels = [] {
     std::vector<KernelSpec> out;
     out.push_back({1, "k01_hydro", "Hydro Fragment", AccessClass::kSkewed,
-                   true, build_k1_hydro});
+                   true, [] { return build_k1_hydro(); }});
     out.push_back({2, "k02_iccg", "Incomplete Cholesky-Conjugate Gradient",
                    AccessClass::kCyclic, true, [] { return build_k2_iccg(); }});
     out.push_back({3, "k03_inner_product", "Inner Product",

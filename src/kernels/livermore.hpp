@@ -44,7 +44,7 @@ CompiledProgram build_kernel(std::string_view id);
 // Individual builders (used directly by benches and tests).  Sized
 // parameters default to the values the figure benches use; Figure 5's
 // load-balance run passes a larger K18 grid so 64 PEs all own pages.
-CompiledProgram build_k1_hydro();
+CompiledProgram build_k1_hydro(std::int64_t n = 400);
 CompiledProgram build_k2_iccg(std::int64_t n = 512);  // power of two
 CompiledProgram build_k3_inner_product();
 CompiledProgram build_k5_tridiag();

@@ -44,6 +44,11 @@ bool Machine::page_fully_defined(const SaArray& array, PageIndex page) const {
 
 AccessKind Machine::account_read(PeId reader, const SaArray& array,
                                  std::int64_t linear) {
+  return account_read(reader, array, linear, *network_);
+}
+
+AccessKind Machine::account_read(PeId reader, const SaArray& array,
+                                 std::int64_t linear, NetworkChannel& net) {
   ProcessingElement& p = pe(reader);
   const PeId owner = partitioner_->owner_of_element(array, linear);
   if (owner == reader) {
@@ -62,8 +67,8 @@ AccessKind Machine::account_read(PeId reader, const SaArray& array,
   p.counters().record(AccessKind::kRemoteRead);
   const std::int64_t payload =
       page_valid_elements(page, array.element_count(), config_.page_size);
-  network_->send({reader, owner, MessageKind::kPageRequest, 0});
-  network_->send({owner, reader, MessageKind::kPageReply, payload});
+  net.send({reader, owner, MessageKind::kPageRequest, 0});
+  net.send({owner, reader, MessageKind::kPageReply, payload});
 
   // §4: the paper caches unconditionally, "ignoring for now the possibility
   // of partially filled pages."  With the extension switch on, a partially

@@ -59,6 +59,14 @@ class Machine {
   AccessKind account_read(PeId reader, const SaArray& array,
                           std::int64_t linear);
 
+  /// As above, but message accounting goes to `net` instead of the shared
+  /// network — the sharded runtime passes the reader shard's private
+  /// NetworkBuffer here (merged in PE-id order after the run).  The PE's
+  /// counters and cache are only ever touched by the shard executing that
+  /// PE's stream, so they need no indirection.
+  AccessKind account_read(PeId reader, const SaArray& array,
+                          std::int64_t linear, NetworkChannel& net);
+
   /// Accounts one write by `writer` (always local; the caller must have
   /// screened ownership already — checked in debug builds).
   void account_write(PeId writer, const SaArray& array, std::int64_t linear);

@@ -1,11 +1,20 @@
 #include "memory/sa_array.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/check.hpp"
 #include "support/error.hpp"
 
 namespace sap {
+
+namespace {
+
+inline std::atomic_ref<std::uint8_t> flag_ref(const std::uint8_t& flag) {
+  return std::atomic_ref<std::uint8_t>(const_cast<std::uint8_t&>(flag));
+}
+
+}  // namespace
 
 SaArray::SaArray(ArrayId id, std::string name, ArrayShape shape)
     : id_(id),
@@ -21,32 +30,66 @@ void SaArray::bounds_check(std::int64_t linear) const {
   }
 }
 
+bool SaArray::defined_at(std::int64_t linear) const noexcept {
+  return flag_ref(defined_[static_cast<std::size_t>(linear)])
+             .load(std::memory_order_acquire) != 0;
+}
+
 bool SaArray::is_defined(std::int64_t linear) const {
   bounds_check(linear);
-  return defined_[static_cast<std::size_t>(linear)] != 0;
+  return defined_at(linear);
+}
+
+std::int64_t SaArray::defined_count() const noexcept {
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < shape_.element_count(); ++i) {
+    if (defined_at(i)) ++count;
+  }
+  return count;
 }
 
 std::vector<ReaderToken> SaArray::write(std::int64_t linear, double value) {
   bounds_check(linear);
   auto& flag = defined_[static_cast<std::size_t>(linear)];
-  if (flag) throw DoubleWriteError(name_, linear);
-  flag = 1;
-  ++defined_count_;
+  // Owner-computes guarantees a single writing shard per cell, so a relaxed
+  // load suffices for the double-write trap (the racing case is impossible,
+  // not merely unlikely).
+  if (flag_ref(flag).load(std::memory_order_relaxed)) {
+    throw DoubleWriteError(name_, linear);
+  }
   values_[static_cast<std::size_t>(linear)] = value;
+  // Publish: the store orders the value before the flag (seq_cst includes
+  // release), so any reader that acquires the flag sees the value.
+  flag_ref(flag).store(1, std::memory_order_seq_cst);
+
+  // Wake any suspended readers.  The common case — nobody suspended on
+  // this array — must stay lock-free, so the queue check is a racing load
+  // gated by a store-buffering handshake: the writer orders
+  // {flag store -> queued_cells_ load} and a deferring reader orders
+  // {queued_cells_ increment -> flag re-check}, all four seq_cst, so the
+  // single total order forbids both sides reading the old value (the
+  // classic SB litmus): a token is either drained here or its reader saw
+  // the flag and never parked.  The queue contents themselves stay behind
+  // defer_mutex_.
+  if (queued_cells_.load(std::memory_order_seq_cst) == 0) return {};
 
   std::vector<ReaderToken> woken;
-  auto it = std::find_if(queues_.begin(), queues_.end(),
-                         [&](const auto& q) { return q.first == linear; });
-  if (it != queues_.end()) {
-    woken = std::move(it->second);
-    queues_.erase(it);
+  {
+    const std::lock_guard<std::mutex> lock(defer_mutex_);
+    auto it = std::find_if(queues_.begin(), queues_.end(),
+                           [&](const auto& q) { return q.first == linear; });
+    if (it != queues_.end()) {
+      woken = std::move(it->second);
+      queues_.erase(it);
+      queued_cells_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
   return woken;
 }
 
 double SaArray::read(std::int64_t linear) const {
   bounds_check(linear);
-  if (!defined_[static_cast<std::size_t>(linear)]) {
+  if (!defined_at(linear)) {
     throw UndefinedReadError(name_, linear);
   }
   return values_[static_cast<std::size_t>(linear)];
@@ -55,12 +98,24 @@ double SaArray::read(std::int64_t linear) const {
 std::optional<double> SaArray::read_or_defer(std::int64_t linear,
                                              ReaderToken reader) {
   bounds_check(linear);
-  if (defined_[static_cast<std::size_t>(linear)]) {
+  if (defined_at(linear)) {
     return values_[static_cast<std::size_t>(linear)];
   }
+  const std::lock_guard<std::mutex> lock(defer_mutex_);
   auto it = std::find_if(queues_.begin(), queues_.end(),
                          [&](const auto& q) { return q.first == linear; });
-  if (it == queues_.end()) {
+  const bool fresh_cell = it == queues_.end();
+  if (fresh_cell) {
+    // Raise the writer-visible queue count *before* the final flag
+    // re-check (see write() for the pairing seq_cst handshake).
+    queued_cells_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  if (flag_ref(defined_[static_cast<std::size_t>(linear)])
+          .load(std::memory_order_seq_cst) != 0) {
+    if (fresh_cell) queued_cells_.fetch_sub(1, std::memory_order_relaxed);
+    return values_[static_cast<std::size_t>(linear)];
+  }
+  if (fresh_cell) {
     queues_.emplace_back(linear, std::vector<ReaderToken>{reader});
   } else if (std::find(it->second.begin(), it->second.end(), reader) ==
              it->second.end()) {
@@ -72,28 +127,33 @@ std::optional<double> SaArray::read_or_defer(std::int64_t linear,
 void SaArray::initialize(std::int64_t linear, double value) {
   bounds_check(linear);
   auto& flag = defined_[static_cast<std::size_t>(linear)];
-  SAP_CHECK(!flag, "initialize() may only target undefined cells");
-  flag = 1;
-  ++defined_count_;
+  SAP_CHECK(!flag_ref(flag).load(std::memory_order_relaxed),
+            "initialize() may only target undefined cells");
   values_[static_cast<std::size_t>(linear)] = value;
+  flag_ref(flag).store(1, std::memory_order_release);
 }
 
 void SaArray::initialize_all(double value) {
   for (std::int64_t i = 0; i < shape_.element_count(); ++i) {
-    auto& flag = defined_[static_cast<std::size_t>(i)];
-    if (!flag) {
-      flag = 1;
-      ++defined_count_;
-    }
     values_[static_cast<std::size_t>(i)] = value;
+    flag_ref(defined_[static_cast<std::size_t>(i)])
+        .store(1, std::memory_order_release);
   }
 }
 
 void SaArray::reinitialize() {
-  std::fill(defined_.begin(), defined_.end(), std::uint8_t{0});
+  // Quiescent by protocol (§5 barrier); plain fills would be correct, but
+  // the flag stores stay atomic so the happens-before edges the runtime
+  // establishes through its scheduler mutex are visible to TSan as well.
+  for (auto& flag : defined_) {
+    flag_ref(flag).store(0, std::memory_order_relaxed);
+  }
   std::fill(values_.begin(), values_.end(), 0.0);
-  queues_.clear();
-  defined_count_ = 0;
+  {
+    const std::lock_guard<std::mutex> lock(defer_mutex_);
+    queues_.clear();
+    queued_cells_.store(0, std::memory_order_relaxed);
+  }
   ++generation_;
 }
 

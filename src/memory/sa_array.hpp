@@ -8,9 +8,21 @@
 // §5 adds controlled reuse: a *generation* counter models the host-processor
 // re-initialization protocol.  Bumping the generation resets every cell to
 // undefined; stale cached copies are invalidated by the machine layer.
+//
+// Concurrency (the sharded dataflow runtime, DESIGN.md §9): every cell has
+// exactly one writing shard (owner-computes screens writes to the owner PE)
+// but any shard may read it.  The defined flag is a release/acquire
+// publication bit: the value is stored before the flag, so a reader that
+// observes "defined" always reads the final value — the fast path of both
+// probe and read is a single wait-free atomic load.  Only the deferred-read
+// queue (the rare suspension path) takes the per-array mutex, with the
+// classic recheck-under-lock handshake against the writer so no wakeup is
+// ever lost.  The serial interpreters run the same code uncontended.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +40,9 @@ using ReaderToken = std::uint32_t;
 class SaArray {
  public:
   SaArray(ArrayId id, std::string name, ArrayShape shape);
+
+  SaArray(const SaArray&) = delete;
+  SaArray& operator=(const SaArray&) = delete;
 
   ArrayId id() const noexcept { return id_; }
   const std::string& name() const noexcept { return name_; }
@@ -50,7 +65,9 @@ class SaArray {
   double read(std::int64_t linear) const;
 
   /// Split-phase read: value if defined; otherwise queues `reader` on the
-  /// cell and returns nullopt (I-structure deferred read).
+  /// cell and returns nullopt (I-structure deferred read).  Safe against a
+  /// concurrent write of the same cell: either the value is returned, or
+  /// the token is enqueued before the writer drains the queue.
   std::optional<double> read_or_defer(std::int64_t linear, ReaderToken reader);
 
   /// Pre-execution initialization (§3: "an array is either undefined or
@@ -63,24 +80,35 @@ class SaArray {
 
   /// §5 re-initialization: every cell back to undefined, generation bump.
   /// Any queued readers are dropped (the protocol guarantees quiescence).
+  /// Callers must guarantee no concurrent access (the §5 protocol is a
+  /// full barrier: every PE has requested, hence none is executing).
   void reinitialize();
 
-  /// Number of defined cells (diagnostics/tests).
-  std::int64_t defined_count() const noexcept { return defined_count_; }
+  /// Number of defined cells (diagnostics/tests; O(element_count) scan so
+  /// the write path never touches shared state beyond the cell itself).
+  std::int64_t defined_count() const noexcept;
 
  private:
   void bounds_check(std::int64_t linear) const;
+  bool defined_at(std::int64_t linear) const noexcept;
 
   ArrayId id_;
   std::string name_;
   ArrayShape shape_;
   std::vector<double> values_;
+  // One byte per cell, accessed through std::atomic_ref: release-stored by
+  // the (unique) writer after the value, acquire-loaded by readers.
   std::vector<std::uint8_t> defined_;
   // Deferred-read queues are rare; keep them out of the hot arrays.
-  // Index: linear cell -> waiting readers.
+  // Index: linear cell -> waiting readers.  Guarded by defer_mutex_.
+  // queued_cells_ mirrors queues_.size() so the write path can skip the
+  // lock entirely while no reader is suspended anywhere on this array
+  // (incremented before a token is enqueued, decremented after a drain,
+  // so a non-zero queue is never missed).
   std::vector<std::pair<std::int64_t, std::vector<ReaderToken>>> queues_;
+  std::atomic<std::int64_t> queued_cells_{0};
+  mutable std::mutex defer_mutex_;
   std::uint64_t generation_ = 0;
-  std::int64_t defined_count_ = 0;
 };
 
 }  // namespace sap

@@ -4,27 +4,50 @@
 
 namespace sap {
 
+namespace {
+
+/// One message's tallies against stats + link/pair maps — the single
+/// definition both Network and NetworkBuffer account through.
+template <typename LinkMap>
+void account_message(const Message& message, const Topology& topology,
+                     NetworkStats& stats, LinkMap& link_load,
+                     LinkMap& pair_traffic) {
+  SAP_DCHECK(message.src < topology.num_pes() &&
+                 message.dst < topology.num_pes(),
+             "message endpoint out of range");
+  ++stats.messages;
+  if (message.kind == MessageKind::kPageReply) {
+    ++stats.data_messages;
+    stats.payload_elements +=
+        static_cast<std::uint64_t>(message.payload_elements);
+  } else {
+    ++stats.control_messages;
+  }
+  stats.hop_total += topology.hops(message.src, message.dst);
+  ++pair_traffic[{message.src, message.dst}];
+  for (const Link& link : topology.route(message.src, message.dst)) {
+    ++link_load[{link.from, link.to}];
+  }
+}
+
+}  // namespace
+
 Network::Network(std::unique_ptr<Topology> topology)
     : topology_(std::move(topology)) {
   SAP_CHECK(topology_ != nullptr, "network needs a topology");
 }
 
 void Network::send(const Message& message) {
-  SAP_DCHECK(message.src < topology_->num_pes() &&
-                 message.dst < topology_->num_pes(),
-             "message endpoint out of range");
-  ++stats_.messages;
-  if (message.kind == MessageKind::kPageReply) {
-    ++stats_.data_messages;
-    stats_.payload_elements +=
-        static_cast<std::uint64_t>(message.payload_elements);
-  } else {
-    ++stats_.control_messages;
+  account_message(message, *topology_, stats_, link_load_, pair_traffic_);
+}
+
+void Network::absorb(const NetworkBuffer& buffer) {
+  stats_ += buffer.stats();
+  for (const auto& [link, load] : buffer.link_load()) {
+    link_load_[link] += load;
   }
-  stats_.hop_total += topology_->hops(message.src, message.dst);
-  ++pair_traffic_[{message.src, message.dst}];
-  for (const Link& link : topology_->route(message.src, message.dst)) {
-    ++link_load_[{link.from, link.to}];
+  for (const auto& [pair, count] : buffer.pair_traffic()) {
+    pair_traffic_[pair] += count;
   }
 }
 
@@ -49,6 +72,16 @@ double Network::contention_factor() const noexcept {
 }
 
 void Network::reset() {
+  stats_ = NetworkStats{};
+  link_load_.clear();
+  pair_traffic_.clear();
+}
+
+void NetworkBuffer::send(const Message& message) {
+  account_message(message, *topology_, stats_, link_load_, pair_traffic_);
+}
+
+void NetworkBuffer::reset() {
   stats_ = NetworkStats{};
   link_load_.clear();
   pair_traffic_.clear();

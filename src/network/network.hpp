@@ -4,6 +4,14 @@
 // per-directed-link load — enough to answer the abstract's claim that "the
 // degradation in network performance due to multiprocessing is minimal"
 // and to feed the A5 contention ablation.
+//
+// NetworkChannel is the accounting seam of the sharded dataflow runtime
+// (DESIGN.md §9): the serial interpreters send straight into the shared
+// Network, while each shard of the parallel runtime accounts into a private
+// NetworkBuffer that is merged into the Network in PE-id order after the
+// run.  Because every tally is a per-key sum of non-negative integers, the
+// merged totals are identical to what the same message multiset sent
+// directly would have produced — the determinism-by-ordered-merge argument.
 #pragma once
 
 #include <cstdint>
@@ -28,17 +36,43 @@ struct NetworkStats {
                ? 0.0
                : static_cast<double>(hop_total) / static_cast<double>(messages);
   }
+
+  NetworkStats& operator+=(const NetworkStats& other) noexcept {
+    messages += other.messages;
+    control_messages += other.control_messages;
+    data_messages += other.data_messages;
+    payload_elements += other.payload_elements;
+    hop_total += other.hop_total;
+    return *this;
+  }
+
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
 };
 
-class Network {
+/// Anything that can account a message: the shared Network, or a shard's
+/// private NetworkBuffer.
+class NetworkChannel {
+ public:
+  virtual ~NetworkChannel() = default;
+
+  /// Accounts one message: counts, hops and each traversed link's load.
+  virtual void send(const Message& message) = 0;
+};
+
+class NetworkBuffer;
+
+class Network final : public NetworkChannel {
  public:
   explicit Network(std::unique_ptr<Topology> topology);
 
   const Topology& topology() const noexcept { return *topology_; }
   const NetworkStats& stats() const noexcept { return stats_; }
 
-  /// Accounts one message: counts, hops and each traversed link's load.
-  void send(const Message& message);
+  void send(const Message& message) override;
+
+  /// Adds a shard buffer's tallies.  Merging buffers in PE-id order yields
+  /// a state byte-identical to sending the same messages directly.
+  void absorb(const NetworkBuffer& buffer);
 
   /// Load (message count) of the most loaded directed link; 0 if none.
   std::uint64_t max_link_load() const noexcept;
@@ -59,6 +93,34 @@ class Network {
 
  private:
   std::unique_ptr<Topology> topology_;
+  NetworkStats stats_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> link_load_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      pair_traffic_;
+};
+
+/// Per-shard message accounting: same tallies as Network, accumulated
+/// privately (no synchronization) and merged with Network::absorb.
+class NetworkBuffer final : public NetworkChannel {
+ public:
+  explicit NetworkBuffer(const Topology& topology) : topology_(&topology) {}
+
+  void send(const Message& message) override;
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+  const std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>&
+  link_load() const noexcept {
+    return link_load_;
+  }
+  const std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>&
+  pair_traffic() const noexcept {
+    return pair_traffic_;
+  }
+
+  void reset();
+
+ private:
+  const Topology* topology_;
   NetworkStats stats_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> link_load_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>

@@ -1,0 +1,420 @@
+#include "runtime/sim_runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/dataflow_replay.hpp"
+#include "core/dataflow_trace.hpp"
+#include "machine/host_reinit.hpp"
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+unsigned shard_workers_from_env() {
+  return parse_worker_count(std::getenv("SAPART_SHARD_WORKERS"));
+}
+
+ThreadPool& shard_runtime_pool() {
+  static ThreadPool pool(0);  // one worker per hardware thread
+  return pool;
+}
+
+namespace {
+
+/// All scheduler bookkeeping lives under one mutex: shard states, the
+/// per-worker ready deques, park/wake transitions, the §5 barrier, and the
+/// deadlock detector.  The replay hot path (instance execution) never
+/// touches it — a shard runs to its next block between two lock episodes.
+class SimRuntime {
+ public:
+  SimRuntime(const CompiledProgram& compiled, Machine& machine,
+             unsigned workers, ThreadPool& pool)
+      : compiled_(compiled),
+        machine_(machine),
+        workers_(workers),
+        pool_(pool),
+        set_(machine.num_pes()),
+        queues_(workers) {
+    const Topology& topology = machine_.network().topology();
+    shards_.reserve(machine.num_pes());
+    for (PeId pe = 0; pe < machine.num_pes(); ++pe) {
+      shards_.push_back(std::make_unique<Shard>());
+      Shard& s = *shards_.back();
+      s.pe = pe;
+      s.net = std::make_unique<NetworkBuffer>(topology);
+      s.replay = std::make_unique<ShardReplay>(compiled, machine, pe,
+                                               set_.streams[pe], *s.net);
+      s.last_worker = pe % workers_;
+      queues_[s.last_worker].push_back(&s);
+    }
+  }
+
+  DataflowStats run() {
+    DataflowStats stats;
+    stats.workers = workers_;
+
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(workers_ - 1);
+    for (unsigned w = 1; w < workers_; ++w) {
+      helpers.push_back(pool_.submit([this, w] { worker_loop(w); }));
+    }
+
+    // The calling thread is the trace producer; replay shards consume
+    // published stream prefixes concurrently.
+    try {
+      StreamingSink sink(set_, [this] { on_publish(); });
+      TraceBuilder builder(compiled_, machine_.partitioner(), sink,
+                           set_.layouts);
+      builder.build();
+    } catch (...) {
+      record_error(std::current_exception());
+    }
+    producer_done_.store(true, std::memory_order_release);
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      wake_input_parked_locked();
+      check_deadlock_locked();
+    }
+    idle_cv_.notify_all();
+
+    // ... then it becomes replay worker 0 until the run drains.
+    worker_loop(0);
+    for (auto& f : helpers) f.get();  // workers record errors, never throw
+
+    if (first_error_) std::rethrow_exception(first_error_);
+
+    // Deterministic merge: shard tallies absorb in PE-id order.
+    for (const auto& s : shards_) {
+      machine_.network().absorb(*s->net);
+      stats.suspensions += s->replay->suspensions();
+    }
+    stats.parks = parks_;
+    stats.steals = steals_;
+    stats.scheduler_rounds = dispatches_;
+    return stats;
+  }
+
+ private:
+  enum class State : std::uint8_t { kReady, kRunning, kParked, kDone };
+
+  struct Shard {
+    PeId pe = 0;
+    std::unique_ptr<NetworkBuffer> net;
+    std::unique_ptr<ShardReplay> replay;
+    // --- guarded by state_mutex_ ---
+    State state = State::kReady;
+    bool wake_pending = false;       // wake raced a park attempt
+    bool parked_for_input = false;   // waiting on the trace producer
+    bool reinit_requested = false;   // §5 request issued, grant pending
+    bool pending_grant = false;      // §5 grant delivered while not parked
+    ArrayId reinit_array = 0;
+    unsigned last_worker = 0;
+  };
+
+  const InstanceStream& stream(const Shard& s) const {
+    return set_.streams[s.pe];
+  }
+
+  void worker_loop(unsigned w) {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    for (;;) {
+      if (abort_ || done_ == shards_.size()) return;
+      Shard* s = pop_ready_locked(w);
+      if (s == nullptr) {
+        check_deadlock_locked();
+        if (abort_) return;
+        // Timed wait: robust against any missed notify, cheap when idle.
+        idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+      s->state = State::kRunning;
+      s->last_worker = w;
+      ++dispatches_;
+      lock.unlock();
+      run_shard(*s, w);
+      lock.lock();
+    }
+  }
+
+  /// Own deque back first (LIFO, cache-warm), then steal from the other
+  /// workers' fronts (FIFO, oldest work first).
+  Shard* pop_ready_locked(unsigned w) {
+    if (!queues_[w].empty()) {
+      Shard* s = queues_[w].back();
+      queues_[w].pop_back();
+      return s;
+    }
+    for (unsigned i = 1; i < workers_; ++i) {
+      auto& victim = queues_[(w + i) % workers_];
+      if (!victim.empty()) {
+        Shard* s = victim.front();
+        victim.pop_front();
+        ++steals_;
+        return s;
+      }
+    }
+    return nullptr;
+  }
+
+  void run_shard(Shard& s, unsigned w) {
+    std::vector<ReaderToken> woken;
+    for (;;) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      const std::size_t limit = stream(s).published();
+      woken.clear();
+      ReplayResult r;
+      try {
+        r = s.replay->run(limit, woken);
+      } catch (...) {
+        record_error(std::current_exception());
+        return;
+      }
+      for (const ReaderToken token : woken) wake(token, w);
+      switch (r.status) {
+        case ReplayStatus::kExhausted: {
+          if (stream(s).published() > limit) continue;  // tail raced in
+          if (producer_done_.load(std::memory_order_acquire)) {
+            if (stream(s).published() > limit) continue;
+            mark_done(s);
+            return;
+          }
+          if (spin_for_input(s, limit)) continue;
+          if (!park(s, /*for_input=*/true, limit)) continue;
+          return;
+        }
+        case ReplayStatus::kSuspended: {
+          if (!park(s, /*for_input=*/false, 0)) continue;
+          return;
+        }
+        case ReplayStatus::kReinitBarrier: {
+          if (pass_reinit_barrier(s, r.reinit_array, w)) continue;
+          return;  // parked awaiting the grant broadcast
+        }
+      }
+    }
+  }
+
+  /// A short grace spin before parking: if the producer's next publication
+  /// pulse is imminent the park/unpark round-trip is skipped.  Kept brief —
+  /// consumers outpace the trace, so most of the wait belongs in a park,
+  /// where the polling cannot steal memory bandwidth from the producer.
+  bool spin_for_input(const Shard& s, std::size_t limit) {
+    for (int i = 0; i < 64; ++i) {
+      if (stream(s).published() > limit ||
+          producer_done_.load(std::memory_order_acquire) ||
+          abort_.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+  /// Parks the shard.  Returns false (shard stays runnable) when a wake
+  /// raced in, or when new input already arrived for an input park — the
+  /// re-check happens under the lock, so against writers (who set the cell
+  /// flag, then take this lock to deliver the wake) and the producer (who
+  /// publishes, then takes this lock in on_publish) no wakeup is lost.
+  bool park(Shard& s, bool for_input, std::size_t observed_limit) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (s.wake_pending) {
+      s.wake_pending = false;
+      return false;
+    }
+    if (for_input && (stream(s).published() > observed_limit ||
+                      producer_done_.load(std::memory_order_relaxed))) {
+      return false;
+    }
+    s.state = State::kParked;
+    s.parked_for_input = for_input;
+    if (for_input) input_waiters_.store(true, std::memory_order_relaxed);
+    ++parked_;
+    ++parks_;
+    check_deadlock_locked();
+    return true;
+  }
+
+  /// Re-arms a shard whose awaited cell was just written.
+  void wake(PeId pe, unsigned w) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    Shard& t = *shards_[pe];
+    switch (t.state) {
+      case State::kParked:
+        unpark_locked(t, w);
+        idle_cv_.notify_one();
+        break;
+      case State::kRunning:
+      case State::kReady:
+        t.wake_pending = true;
+        break;
+      case State::kDone:
+        break;  // stale token: the shard advanced past the cell already
+    }
+  }
+
+  void unpark_locked(Shard& t, unsigned w) {
+    t.state = State::kReady;
+    t.parked_for_input = false;
+    --parked_;
+    queues_[w].push_back(&t);
+  }
+
+  void mark_done(Shard& s) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    s.state = State::kDone;
+    ++done_;
+    if (done_ == shards_.size()) idle_cv_.notify_all();
+  }
+
+  /// §5 barrier.  The request, the completion side effects (generation
+  /// bump, cache invalidation, protocol messages on the shared network)
+  /// and the grant delivery all happen under the scheduler lock; the
+  /// protocol guarantees every other PE is parked right here when the last
+  /// request arrives, so the cross-shard effects are quiescent — and the
+  /// lock hand-off makes them visible to the woken shards.
+  bool pass_reinit_barrier(Shard& s, ArrayId array, unsigned w) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (s.reinit_requested) {
+      if (!s.pending_grant) {
+        park_for_reinit_locked(s);
+        return false;
+      }
+      s.pending_grant = false;
+      s.reinit_requested = false;
+      s.replay->advance_past_reinit();
+      return true;
+    }
+    s.reinit_requested = true;
+    s.reinit_array = array;
+    const bool completed = machine_.reinit().request_reinit(s.pe, array);
+    if (!completed) {
+      park_for_reinit_locked(s);
+      return false;
+    }
+    s.reinit_requested = false;
+    s.replay->advance_past_reinit();
+    // Broadcast the grant: every waiting requester advances.
+    for (const auto& other : shards_) {
+      Shard& t = *other;
+      if (t.pe == s.pe || !t.reinit_requested || t.reinit_array != array) {
+        continue;
+      }
+      t.pending_grant = true;
+      if (t.state == State::kParked) unpark_locked(t, w);
+    }
+    idle_cv_.notify_all();
+    return true;
+  }
+
+  void park_for_reinit_locked(Shard& s) {
+    // A stale cell wake must not release a §5 barrier; the only legal
+    // unblock is the grant (pending_grant).
+    s.wake_pending = false;
+    s.state = State::kParked;
+    s.parked_for_input = false;
+    ++parked_;
+    ++parks_;
+    check_deadlock_locked();
+  }
+
+  void on_publish() {
+    if (!input_waiters_.load(std::memory_order_relaxed)) return;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      wake_input_parked_locked();
+    }
+    idle_cv_.notify_all();
+  }
+
+  void wake_input_parked_locked() {
+    for (const auto& s : shards_) {
+      if (s->state == State::kParked && s->parked_for_input) {
+        unpark_locked(*s, s->last_worker);
+      }
+    }
+    input_waiters_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Every shard is in exactly one state, so parked + done == all means
+  /// nothing is ready or running: with the producer finished, that
+  /// quiescence is the machine-level read-before-write deadlock.
+  void check_deadlock_locked() {
+    if (first_error_ || abort_) return;
+    if (!producer_done_.load(std::memory_order_relaxed)) return;
+    if (done_ == shards_.size()) return;
+    if (parked_ + done_ < shards_.size()) return;
+    first_error_ = std::make_exception_ptr(DeadlockError(
+        "dataflow machine quiesced with unfinished PEs: the program "
+        "reads a value before sequential order produces it (not legal "
+        "single assignment)"));
+    abort_.store(true, std::memory_order_relaxed);
+    idle_cv_.notify_all();
+  }
+
+  void record_error(std::exception_ptr error) {
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      if (!first_error_) first_error_ = std::move(error);
+      abort_.store(true, std::memory_order_relaxed);
+    }
+    idle_cv_.notify_all();
+  }
+
+  const CompiledProgram& compiled_;
+  Machine& machine_;
+  unsigned workers_;
+  ThreadPool& pool_;
+  StreamSet set_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex state_mutex_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<Shard*>> queues_;  // guarded by state_mutex_
+  std::uint32_t parked_ = 0;                // guarded by state_mutex_
+  std::uint32_t done_ = 0;                  // guarded by state_mutex_
+  std::exception_ptr first_error_;          // guarded by state_mutex_
+  std::atomic<bool> producer_done_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> input_waiters_{false};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> dispatches_{0};
+};
+
+}  // namespace
+
+DataflowStats run_dataflow_sharded(const CompiledProgram& compiled,
+                                   Machine& machine,
+                                   const ShardRuntimeOptions& options) {
+  if (machine.config().count_partial_page_refetch) {
+    // The §4-footnote extension makes cache admission depend on the write
+    // interleaving itself, which only the serial order pins down; routing
+    // here (not just in run_dataflow) keeps the byte-identical contract
+    // enforceable for direct callers too.
+    return run_dataflow_serial(compiled, machine);
+  }
+  unsigned workers = options.workers;
+  if (workers == 0) workers = shard_workers_from_env();
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  if (workers > machine.num_pes()) workers = machine.num_pes();
+  if (workers == 0) workers = 1;
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : shard_runtime_pool();
+  SimRuntime runtime(compiled, machine, workers, pool);
+  return runtime.run();
+}
+
+}  // namespace sap

@@ -1,0 +1,63 @@
+// SimRuntime — the sharded parallel dataflow runtime (DESIGN.md §9).
+//
+// The §3 synchronization model is inherently parallel: PEs run independent
+// screened instance streams and synchronize only through I-structure cells.
+// This layer makes the simulated PEs real concurrency shards: each PE's
+// stream replays on ThreadPool workers while the sequential trace pass is
+// still producing it (a streaming producer/consumer pipeline), with a
+// work-stealing scheduler that parks suspended shards and re-arms them on
+// the defining write.
+//
+// Determinism is by construction, not by luck:
+//  * each shard's accounting (its PE counters, cache, and a private
+//    NetworkBuffer) depends only on that shard's own fixed stream order —
+//    cells are write-once, ownership is a pure function, and §5 re-init is
+//    a full barrier — so no tally depends on cross-shard timing;
+//  * after the run, shard buffers merge into the shared Network in PE-id
+//    order, giving a SimulationResult byte-identical to the serial
+//    scheduler's for any worker count (the differential tests enforce it).
+//
+// An illegal program (read before sequential order produces the value)
+// quiesces the shard set with unfinished streams; the scheduler detects
+// the quiescence and throws the same DeadlockError as the serial oracle.
+#pragma once
+
+#include "core/dataflow_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sap {
+
+struct ShardRuntimeOptions {
+  /// Replay worker count (the caller participates as one of them after the
+  /// trace pass finishes).  0 = SAPART_SHARD_WORKERS, else one per
+  /// hardware thread; always clamped to [1, num_pes].
+  unsigned workers = 0;
+
+  /// Pool the helper workers are borrowed from; nullptr = the process-wide
+  /// shard_runtime_pool().  The runtime never blocks on pool capacity: the
+  /// calling thread alone can finish any run, so a saturated pool degrades
+  /// to (near-)serial execution instead of deadlocking.
+  ThreadPool* pool = nullptr;
+};
+
+/// Worker-count override from SAPART_SHARD_WORKERS (0 when unset; throws
+/// ConfigError on invalid values, same contract as SAPART_WORKERS).
+unsigned shard_workers_from_env();
+
+/// Process-wide helper pool for shard replay (lazily constructed, sized to
+/// the hardware).  Distinct from bench::pool(): sweeps may fan Simulator
+/// runs across their own pool while each run's shards fan out here.
+ThreadPool& shard_runtime_pool();
+
+/// Executes the program on the machine (arrays must be materialized) with
+/// the sharded runtime.  Byte-identical SimulationResult to
+/// run_dataflow_serial for any worker count.  Configs with
+/// `count_partial_page_refetch` are routed to the serial scheduler here
+/// (not just in run_dataflow): that extension's cache admission depends on
+/// the write interleaving itself, which only the serial order pins down.
+DataflowStats run_dataflow_sharded(const CompiledProgram& compiled,
+                                   Machine& machine,
+                                   const ShardRuntimeOptions& options = {});
+
+}  // namespace sap

@@ -276,6 +276,19 @@ TEST(BytecodeTest, EvalEngineFromEnv) {
   EXPECT_EQ(eval_engine_from_env(), EvalEngine::kTree);
   setenv("SAPART_EVAL", "jit", 1);
   EXPECT_THROW(eval_engine_from_env(), ConfigError);
+  // Unknown values name the valid set so the fix is obvious from the error.
+  setenv("SAPART_EVAL", "treewalk", 1);
+  try {
+    eval_engine_from_env();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("'bytecode' or 'tree'"), std::string::npos);
+    EXPECT_NE(message.find("treewalk"), std::string::npos);
+  }
+  // Empty is invalid too, not a silent bytecode fallback.
+  setenv("SAPART_EVAL", "", 1);
+  EXPECT_THROW(eval_engine_from_env(), ConfigError);
 
   if (saved) {
     setenv("SAPART_EVAL", saved_value.c_str(), 1);

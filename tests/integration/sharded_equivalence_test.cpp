@@ -1,0 +1,121 @@
+// Acceptance differential for the sharded dataflow runtime (DESIGN.md §9,
+// consistency claim 7): across the fig1–fig5 workloads, all three partition
+// schemes, and 1/2/8 replay workers, the sharded runtime's
+// SimulationResult — every counter, cache tally, network field — and every
+// array value are byte-identical to the serial round-robin oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataflow_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "kernels/livermore.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace sap {
+namespace {
+
+struct FigWorkload {
+  std::string label;
+  CompiledProgram program;
+};
+
+const std::vector<FigWorkload>& fig_workloads() {
+  static const std::vector<FigWorkload> workloads = [] {
+    std::vector<FigWorkload> out;
+    out.push_back({"fig1/k01_hydro", build_k1_hydro()});
+    out.push_back({"fig2/k02_iccg", build_k2_iccg()});
+    out.push_back({"fig3/k18_hydro2d", build_k18_explicit_hydro_2d()});
+    out.push_back({"fig4/k06_glr", build_k6_general_linear_recurrence()});
+    out.push_back(
+        {"fig5/k18_hydro2d_400", build_k18_explicit_hydro_2d(400)});
+    return out;
+  }();
+  return workloads;
+}
+
+SimulationResult snapshot_run(const CompiledProgram& prog,
+                              const MachineConfig& config, unsigned workers,
+                              std::unique_ptr<Machine>& machine_out) {
+  machine_out = std::make_unique<Machine>(config);
+  materialize_arrays(prog, *machine_out);
+  if (workers == 0) {
+    run_dataflow_serial(prog, *machine_out);
+  } else {
+    run_dataflow_sharded(prog, *machine_out, ShardRuntimeOptions{workers});
+  }
+  return machine_out->snapshot(prog.name());
+}
+
+void expect_byte_identical(const SimulationResult& got,
+                           const SimulationResult& want, const Machine& got_m,
+                           const Machine& want_m, const std::string& label) {
+  EXPECT_EQ(got.totals, want.totals) << label;
+  ASSERT_EQ(got.per_pe.size(), want.per_pe.size()) << label;
+  for (std::size_t pe = 0; pe < got.per_pe.size(); ++pe) {
+    EXPECT_EQ(got.per_pe[pe], want.per_pe[pe]) << label << " pe=" << pe;
+  }
+  EXPECT_EQ(got.network, want.network) << label;
+  EXPECT_EQ(got.cache_totals.hits, want.cache_totals.hits) << label;
+  EXPECT_EQ(got.cache_totals.misses, want.cache_totals.misses) << label;
+  EXPECT_EQ(got.cache_totals.evictions, want.cache_totals.evictions) << label;
+  EXPECT_EQ(got.cache_totals.invalidations, want.cache_totals.invalidations)
+      << label;
+  EXPECT_EQ(got.max_link_load, want.max_link_load) << label;
+  EXPECT_EQ(got.contention_factor, want.contention_factor) << label;
+  EXPECT_EQ(got.reinit_messages, want.reinit_messages) << label;
+
+  // Array values, bit for bit.
+  for (const auto& want_array : want_m.arrays()) {
+    const SaArray& got_array = got_m.arrays().by_name(want_array->name());
+    ASSERT_EQ(got_array.defined_count(), want_array->defined_count())
+        << label << " " << want_array->name();
+    for (std::int64_t i = 0; i < want_array->element_count(); ++i) {
+      if (!want_array->is_defined(i)) continue;
+      EXPECT_EQ(got_array.read(i), want_array->read(i))
+          << label << " " << want_array->name() << "[" << i << "]";
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, FigWorkloadsAllSchemesAllWorkerCounts) {
+  for (const auto& w : fig_workloads()) {
+    for (const PartitionKind kind :
+         {PartitionKind::kModulo, PartitionKind::kBlock,
+          PartitionKind::kBlockCyclic}) {
+      const MachineConfig config =
+          MachineConfig{}.with_pes(16).with_partition(kind);
+      std::unique_ptr<Machine> serial_machine;
+      const SimulationResult serial =
+          snapshot_run(w.program, config, 0, serial_machine);
+      for (const unsigned workers : {1u, 2u, 8u}) {
+        std::unique_ptr<Machine> sharded_machine;
+        const SimulationResult sharded =
+            snapshot_run(w.program, config, workers, sharded_machine);
+        expect_byte_identical(
+            sharded, serial, *sharded_machine, *serial_machine,
+            w.label + "/" + to_string(kind) + "/w" + std::to_string(workers));
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, NoCacheConfigsMatchToo) {
+  const MachineConfig config =
+      MachineConfig{}.with_pes(16).with_cache(0);
+  for (const auto& w : fig_workloads()) {
+    std::unique_ptr<Machine> serial_machine;
+    const SimulationResult serial =
+        snapshot_run(w.program, config, 0, serial_machine);
+    std::unique_ptr<Machine> sharded_machine;
+    const SimulationResult sharded =
+        snapshot_run(w.program, config, 8, sharded_machine);
+    expect_byte_identical(sharded, serial, *sharded_machine, *serial_machine,
+                          w.label + "/nocache");
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,262 @@
+// Unit tests for the sharded runtime's building blocks: env knobs,
+// the streaming instance container, per-shard network buffers, and the
+// scheduler's equivalence on small programs.
+#include "runtime/sim_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/dataflow_trace.hpp"
+#include "core/program_builder.hpp"
+#include "kernels/synthetic.hpp"
+#include "network/topology.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* current = std::getenv(name);
+    if (current != nullptr) saved_ = current;
+    had_ = current != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_) {
+      setenv(name_, saved_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(DataflowSchedulerEnvTest, DefaultsToSharded) {
+  const EnvGuard guard("SAPART_DATAFLOW");
+  unsetenv("SAPART_DATAFLOW");
+  EXPECT_EQ(dataflow_scheduler_from_env(), DataflowScheduler::kSharded);
+  setenv("SAPART_DATAFLOW", "sharded", 1);
+  EXPECT_EQ(dataflow_scheduler_from_env(), DataflowScheduler::kSharded);
+  setenv("SAPART_DATAFLOW", "serial", 1);
+  EXPECT_EQ(dataflow_scheduler_from_env(), DataflowScheduler::kSerial);
+}
+
+TEST(DataflowSchedulerEnvTest, RejectsUnknownValuesNamingTheValidSet) {
+  const EnvGuard guard("SAPART_DATAFLOW");
+  setenv("SAPART_DATAFLOW", "parallel", 1);
+  try {
+    dataflow_scheduler_from_env();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("'sharded' or 'serial'"), std::string::npos);
+    EXPECT_NE(message.find("parallel"), std::string::npos);
+  }
+  setenv("SAPART_DATAFLOW", "", 1);
+  EXPECT_THROW(dataflow_scheduler_from_env(), ConfigError);
+}
+
+TEST(ShardWorkersEnvTest, ParsesLikeSapartWorkers) {
+  const EnvGuard guard("SAPART_SHARD_WORKERS");
+  unsetenv("SAPART_SHARD_WORKERS");
+  EXPECT_EQ(shard_workers_from_env(), 0u);  // 0 = no override
+  setenv("SAPART_SHARD_WORKERS", "6", 1);
+  EXPECT_EQ(shard_workers_from_env(), 6u);
+  setenv("SAPART_SHARD_WORKERS", "0", 1);
+  EXPECT_THROW(shard_workers_from_env(), ConfigError);
+  setenv("SAPART_SHARD_WORKERS", "-2", 1);
+  EXPECT_THROW(shard_workers_from_env(), ConfigError);
+  setenv("SAPART_SHARD_WORKERS", "many", 1);
+  EXPECT_THROW(shard_workers_from_env(), ConfigError);
+}
+
+TEST(InstanceStreamTest, PublishGatesVisibilityAcrossChunks) {
+  InstanceStream stream;
+  const std::size_t total = InstanceStream::kChunkSize * 3 + 17;
+  for (std::size_t i = 0; i < total; ++i) {
+    TraceInstance& inst = stream.append();
+    inst.kind = TraceInstance::Kind::kStatement;
+    inst.target_linear = static_cast<std::int64_t>(i);
+    if (i == InstanceStream::kChunkSize) stream.publish();
+  }
+  // Only the prefix published mid-way is visible...
+  EXPECT_EQ(stream.published(), InstanceStream::kChunkSize + 1);
+  EXPECT_EQ(stream.size(), total);
+  stream.publish();
+  EXPECT_EQ(stream.published(), total);
+
+  InstanceStream::Reader reader(stream);
+  for (std::size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(reader.get(i).target_linear, static_cast<std::int64_t>(i));
+  }
+  // Readers may revisit earlier chunks (another consumer's view).
+  InstanceStream::Reader second(stream);
+  EXPECT_EQ(second.get(total - 1).target_linear,
+            static_cast<std::int64_t>(total - 1));
+  EXPECT_EQ(second.get(0).target_linear, 0);
+}
+
+TEST(NetworkBufferTest, AbsorbMatchesDirectSends) {
+  const auto messages = [] {
+    std::vector<Message> out;
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      out.push_back({i % 4, (i + 1) % 4,
+                     i % 3 == 0 ? MessageKind::kPageRequest
+                                : MessageKind::kPageReply,
+                     static_cast<std::int64_t>(i * 5)});
+    }
+    return out;
+  }();
+
+  Network direct(make_topology(TopologyKind::kMesh2D, 4));
+  for (const Message& m : messages) direct.send(m);
+
+  // Same messages split across two per-shard buffers, merged in order.
+  Network merged(make_topology(TopologyKind::kMesh2D, 4));
+  NetworkBuffer shard0(merged.topology());
+  NetworkBuffer shard1(merged.topology());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    (i % 2 == 0 ? shard0 : shard1).send(messages[i]);
+  }
+  merged.absorb(shard0);
+  merged.absorb(shard1);
+
+  EXPECT_EQ(merged.stats(), direct.stats());
+  EXPECT_EQ(merged.max_link_load(), direct.max_link_load());
+  EXPECT_EQ(merged.mean_link_load(), direct.mean_link_load());
+  EXPECT_EQ(merged.pair_traffic(), direct.pair_traffic());
+}
+
+SimulationResult run_serial(const CompiledProgram& prog,
+                            const MachineConfig& config) {
+  Machine machine(config);
+  materialize_arrays(prog, machine);
+  run_dataflow_serial(prog, machine);
+  return machine.snapshot(prog.name());
+}
+
+SimulationResult run_sharded(const CompiledProgram& prog,
+                             const MachineConfig& config, unsigned workers) {
+  Machine machine(config);
+  materialize_arrays(prog, machine);
+  const DataflowStats stats =
+      run_dataflow_sharded(prog, machine, ShardRuntimeOptions{workers});
+  EXPECT_EQ(stats.workers, std::min(workers, config.num_pes));
+  return machine.snapshot(prog.name());
+}
+
+void expect_identical(const SimulationResult& a, const SimulationResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.totals, b.totals) << label;
+  ASSERT_EQ(a.per_pe.size(), b.per_pe.size()) << label;
+  for (std::size_t pe = 0; pe < a.per_pe.size(); ++pe) {
+    EXPECT_EQ(a.per_pe[pe], b.per_pe[pe]) << label << " pe=" << pe;
+  }
+  EXPECT_EQ(a.network, b.network) << label;
+  EXPECT_EQ(a.cache_totals.hits, b.cache_totals.hits) << label;
+  EXPECT_EQ(a.cache_totals.misses, b.cache_totals.misses) << label;
+  EXPECT_EQ(a.cache_totals.evictions, b.cache_totals.evictions) << label;
+  EXPECT_EQ(a.cache_totals.invalidations, b.cache_totals.invalidations)
+      << label;
+  EXPECT_EQ(a.max_link_load, b.max_link_load) << label;
+  EXPECT_EQ(a.contention_factor, b.contention_factor) << label;
+  EXPECT_EQ(a.reinit_messages, b.reinit_messages) << label;
+}
+
+TEST(SimRuntimeTest, MatchesSerialOnSmallPrograms) {
+  const MachineConfig config =
+      MachineConfig{}.with_pes(4).with_page_size(8);
+  const std::vector<std::pair<std::string, CompiledProgram>> programs = [] {
+    std::vector<std::pair<std::string, CompiledProgram>> out;
+    out.emplace_back("matched", make_matched(100));
+    out.emplace_back("dot", make_dot_product(64));
+    out.emplace_back("stencil", make_stencil_2d(8, 8));
+    return out;
+  }();
+  for (const auto& [label, prog] : programs) {
+    const SimulationResult serial = run_serial(prog, config);
+    for (const unsigned workers : {1u, 2u, 8u}) {
+      expect_identical(run_sharded(prog, config, workers), serial,
+                       label + "/w" + std::to_string(workers));
+    }
+  }
+}
+
+TEST(SimRuntimeTest, WorkerCountClampsToPeCount) {
+  const CompiledProgram prog = make_matched(32);
+  Machine machine(MachineConfig{}.with_pes(2));
+  materialize_arrays(prog, machine);
+  const DataflowStats stats =
+      run_dataflow_sharded(prog, machine, ShardRuntimeOptions{16});
+  EXPECT_EQ(stats.workers, 2u);
+}
+
+TEST(SimRuntimeTest, ExternalPoolIsUsable) {
+  ThreadPool pool(3);
+  const CompiledProgram prog = make_skewed(120, 7);
+  const MachineConfig config = MachineConfig{}.with_pes(4);
+  const SimulationResult serial = run_serial(prog, config);
+  Machine machine(config);
+  materialize_arrays(prog, machine);
+  run_dataflow_sharded(prog, machine, ShardRuntimeOptions{4, &pool});
+  expect_identical(machine.snapshot(prog.name()), serial, "external-pool");
+}
+
+TEST(SimRuntimeTest, RunDataflowDispatchesOnEnv) {
+  const EnvGuard guard("SAPART_DATAFLOW");
+  const CompiledProgram prog = make_matched(64);
+  const MachineConfig config = MachineConfig{}.with_pes(4);
+
+  setenv("SAPART_DATAFLOW", "serial", 1);
+  Machine serial_machine(config);
+  materialize_arrays(prog, serial_machine);
+  run_dataflow(prog, serial_machine);
+
+  setenv("SAPART_DATAFLOW", "sharded", 1);
+  Machine sharded_machine(config);
+  materialize_arrays(prog, sharded_machine);
+  run_dataflow(prog, sharded_machine);
+
+  expect_identical(sharded_machine.snapshot(prog.name()),
+                   serial_machine.snapshot(prog.name()), "env-dispatch");
+}
+
+TEST(SimRuntimeTest, PartialPageRefetchRoutesToSerialScheduler) {
+  // The §4-footnote extension's cache admission depends on the serial
+  // interleaving; run_dataflow must stay on the oracle for such configs.
+  MachineConfig config = MachineConfig{}.with_pes(4).with_page_size(8);
+  config.count_partial_page_refetch = true;
+  const CompiledProgram prog = make_skewed(96, 5);
+
+  Machine via_dispatch(config);
+  materialize_arrays(prog, via_dispatch);
+  const DataflowStats stats = run_dataflow(prog, via_dispatch);
+  EXPECT_GE(stats.scheduler_rounds, 1u);
+  EXPECT_EQ(stats.parks, 0u);  // serial scheduler: no shard parks
+
+  // Direct calls hit the same guard: the byte-identical contract must be
+  // enforced, not merely advised, for this config.
+  Machine direct(config);
+  materialize_arrays(prog, direct);
+  const DataflowStats direct_stats =
+      run_dataflow_sharded(prog, direct, ShardRuntimeOptions{8});
+  EXPECT_EQ(direct_stats.parks, 0u);
+
+  Machine serial(config);
+  materialize_arrays(prog, serial);
+  run_dataflow_serial(prog, serial);
+  expect_identical(via_dispatch.snapshot(prog.name()),
+                   serial.snapshot(prog.name()), "partial-page-fallback");
+  expect_identical(direct.snapshot(prog.name()), serial.snapshot(prog.name()),
+                   "partial-page-direct");
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,259 @@
+// Cross-shard suspension storms: adversarial programs whose dataflow
+// replay suspends constantly across PE boundaries — deep read-before-write
+// chains, reduction commits feeding later reads, §5 re-init barriers —
+// run under the sharded runtime at 1/2/8 workers and checked byte-identical
+// against the serial oracle, plus DeadlockError/DoubleWriteError parity.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataflow_interpreter.hpp"
+#include "core/program_builder.hpp"
+#include "core/simulator.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace sap {
+namespace {
+
+SimulationResult run_mode(const CompiledProgram& prog,
+                          const MachineConfig& config, unsigned workers,
+                          std::unique_ptr<Machine>& machine_out,
+                          DataflowStats* stats_out = nullptr) {
+  machine_out = std::make_unique<Machine>(config);
+  materialize_arrays(prog, *machine_out);
+  DataflowStats stats;
+  if (workers == 0) {
+    stats = run_dataflow_serial(prog, *machine_out);
+  } else {
+    stats = run_dataflow_sharded(prog, *machine_out,
+                                 ShardRuntimeOptions{workers});
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return machine_out->snapshot(prog.name());
+}
+
+void expect_identical_runs(const CompiledProgram& prog,
+                           const MachineConfig& config,
+                           const std::string& label) {
+  std::unique_ptr<Machine> serial_machine;
+  const SimulationResult serial = run_mode(prog, config, 0, serial_machine);
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    std::unique_ptr<Machine> machine;
+    const SimulationResult sharded = run_mode(prog, config, workers, machine);
+    const std::string tag = label + "/w" + std::to_string(workers);
+    EXPECT_EQ(sharded.totals, serial.totals) << tag;
+    ASSERT_EQ(sharded.per_pe.size(), serial.per_pe.size()) << tag;
+    for (std::size_t pe = 0; pe < serial.per_pe.size(); ++pe) {
+      EXPECT_EQ(sharded.per_pe[pe], serial.per_pe[pe]) << tag << " pe=" << pe;
+    }
+    EXPECT_EQ(sharded.network, serial.network) << tag;
+    EXPECT_EQ(sharded.cache_totals.hits, serial.cache_totals.hits) << tag;
+    EXPECT_EQ(sharded.cache_totals.misses, serial.cache_totals.misses) << tag;
+    EXPECT_EQ(sharded.cache_totals.evictions, serial.cache_totals.evictions)
+        << tag;
+    EXPECT_EQ(sharded.max_link_load, serial.max_link_load) << tag;
+    EXPECT_EQ(sharded.contention_factor, serial.contention_factor) << tag;
+    EXPECT_EQ(sharded.reinit_messages, serial.reinit_messages) << tag;
+    for (const auto& want : serial_machine->arrays()) {
+      const SaArray& got = machine->arrays().by_name(want->name());
+      ASSERT_EQ(got.defined_count(), want->defined_count())
+          << tag << " " << want->name();
+      for (std::int64_t i = 0; i < want->element_count(); ++i) {
+        if (!want->is_defined(i)) continue;
+        EXPECT_EQ(got.read(i), want->read(i))
+            << tag << " " << want->name() << "[" << i << "]";
+      }
+    }
+  }
+}
+
+/// X(i) = X(i-1) + 1 with one element per page: every instance depends on
+/// the previous PE's write — a maximal cross-shard dependence chain.
+CompiledProgram chain_program(std::int64_t n) {
+  ProgramBuilder b("chain");
+  b.prefix_array("X", {n}, 1);
+  b.begin_loop("I", 2, Ex(static_cast<double>(n)));
+  b.assign("X", {b.var("I")}, b.at("X", {b.var("I") - 1}) + 1.0);
+  b.end_loop();
+  return b.compile();
+}
+
+TEST(SuspensionStormTest, DeepCrossPeChain) {
+  const CompiledProgram prog = chain_program(512);
+  MachineConfig config;
+  config.num_pes = 16;
+  config.page_size = 1;  // every element its own page: owner hops each step
+  config.cache_elements = 8;
+
+  // Prove it is a storm: the serial oracle suspends on most instances.
+  std::unique_ptr<Machine> machine;
+  DataflowStats stats;
+  run_mode(prog, config, 0, machine, &stats);
+  EXPECT_GT(stats.suspensions, 200u);
+
+  expect_identical_runs(prog, config, "chain512");
+}
+
+/// Interleaved chains + trip-end reduction commits + a final pass reading
+/// the committed values: commits feed cross-PE reads, so shards park on
+/// cells whose defining write is a commit on another shard.
+CompiledProgram chains_and_reductions(std::int64_t n, std::int64_t rows) {
+  ProgramBuilder b("storm_mix");
+  b.prefix_array("X", {n}, 1);
+  b.array("ROWSUM", {rows});
+  b.input_array("W", {n});
+  b.array("OUT", {n});
+  b.begin_loop("I", 2, Ex(static_cast<double>(n)));
+  b.assign("X", {b.var("I")}, b.at("X", {b.var("I") - 1}) + 1.0);
+  b.end_loop();
+  b.begin_loop("R", 1, Ex(static_cast<double>(rows)));
+  b.begin_loop("K", 1, Ex(static_cast<double>(n / rows)));
+  b.assign("ROWSUM", {b.var("R")},
+           b.at("ROWSUM", {b.var("R")}) +
+               b.at("X", {(b.var("R") - 1) * static_cast<int>(n / rows) +
+                          b.var("K")}) *
+                   b.at("W", {b.var("K")}));
+  b.end_loop();
+  b.end_loop();
+  b.begin_loop("J", 1, Ex(static_cast<double>(n)));
+  b.assign("OUT", {b.var("J")},
+           b.at("X", {b.var("J")}) +
+               b.at("ROWSUM", {ex_min(ex_idiv(b.var("J") - 1,
+                                              static_cast<int>(n / rows)) +
+                                          1,
+                                      Ex(static_cast<double>(rows)))}));
+  b.end_loop();
+  return b.compile();
+}
+
+TEST(SuspensionStormTest, ChainsReductionsAndCommitConsumers) {
+  const CompiledProgram prog = chains_and_reductions(240, 8);
+  MachineConfig config;
+  config.num_pes = 12;
+  config.page_size = 2;
+  config.cache_elements = 16;
+  expect_identical_runs(prog, config, "storm_mix");
+}
+
+/// §5 barriers under the storm: a timestep loop re-initializing the chain
+/// array each trip, so every shard parks at the barrier between chains.
+CompiledProgram reinit_storm(std::int64_t n, std::int64_t steps) {
+  ProgramBuilder b("reinit_storm");
+  b.array("A", {n});
+  b.input_array("B", {n});
+  b.array("LAST", {static_cast<std::int64_t>(1)});
+  b.begin_loop("T", 1, Ex(static_cast<double>(steps)));
+  b.reinit("A");
+  b.begin_loop("I", 1, Ex(static_cast<double>(n)));
+  b.assign("A", {b.var("I")}, b.at("B", {b.var("I")}) * b.var("T"));
+  b.end_loop();
+  b.end_loop();
+  b.assign("LAST", {1}, b.at("A", {1}));
+  return b.compile();
+}
+
+TEST(SuspensionStormTest, ReinitBarriersUnderStorm) {
+  const CompiledProgram prog = reinit_storm(192, 5);
+  MachineConfig config;
+  config.num_pes = 8;
+  config.page_size = 4;
+  expect_identical_runs(prog, config, "reinit_storm");
+}
+
+/// Seeded random chain/reduction mixes — randomized lag patterns create
+/// irregular cross-shard wait graphs.
+CompiledProgram random_storm(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  const std::int64_t n =
+      96 + static_cast<std::int64_t>(rng.next_below(5)) * 32;
+  const std::int64_t lag = 1 + static_cast<std::int64_t>(rng.next_below(7));
+  ProgramBuilder b("rstorm" + std::to_string(seed));
+  b.prefix_array("X", {n}, lag);
+  b.input_array("B", {n});
+  b.array("S", {static_cast<std::int64_t>(1)});
+  b.begin_loop("I", Ex(static_cast<double>(lag + 1)),
+               Ex(static_cast<double>(n)));
+  Ex value = b.at("X", {b.var("I") - static_cast<int>(lag)}) +
+             b.at("B", {b.var("I")});
+  if (rng.next_below(2) == 0) {
+    value = value + b.at("B", {ex_max(b.var("I") - 3, 1)});
+  }
+  b.assign("X", {b.var("I")}, std::move(value));
+  b.end_loop();
+  b.begin_loop("K", 1, Ex(static_cast<double>(n)));
+  b.assign("S", {1}, b.at("S", {1}) + b.at("X", {b.var("K")}));
+  b.end_loop();
+  return b.compile();
+}
+
+TEST(SuspensionStormTest, SeededRandomStorms) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const CompiledProgram prog = random_storm(seed);
+    MachineConfig config;
+    config.num_pes = 1 + static_cast<std::uint32_t>(seed % 3) * 7;  // 1/8/15
+    config.page_size = 1 + static_cast<std::int64_t>(seed % 4);
+    expect_identical_runs(prog, config, "rstorm" + std::to_string(seed));
+  }
+}
+
+// ------------------------------------------------------------ error parity
+
+TEST(SuspensionStormTest, DeadlockErrorParity) {
+  // OUT(K) = A(K) with A never written: sequential read-before-write.  The
+  // serial oracle deadlocks; so must the sharded runtime, at every worker
+  // count, with the scheduler-level quiescence detector.
+  ProgramBuilder b("rbw");
+  b.array("A", {64});
+  b.array("OUT", {64});
+  b.begin_loop("K", 1, 64);
+  b.assign("OUT", {b.var("K")}, b.at("A", {b.var("K")}));
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  const MachineConfig config = MachineConfig{}.with_pes(8);
+
+  {
+    Machine machine(config);
+    materialize_arrays(prog, machine);
+    EXPECT_THROW(run_dataflow_serial(prog, machine), DeadlockError);
+  }
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    Machine machine(config);
+    materialize_arrays(prog, machine);
+    EXPECT_THROW(
+        run_dataflow_sharded(prog, machine, ShardRuntimeOptions{workers}),
+        DeadlockError)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SuspensionStormTest, DoubleWriteErrorParity) {
+  // A(IDIV(K+1, 2)) hits each cell twice — the paper's runtime trap.
+  ProgramBuilder b("dw");
+  b.array("A", {32});
+  b.begin_loop("K", 1, 64);
+  b.assign("A", {ex_idiv(b.var("K") + 1, 2)}, b.var("K"));
+  b.end_loop();
+  const CompiledProgram prog = b.compile();
+  const MachineConfig config = MachineConfig{}.with_pes(8);
+
+  {
+    Machine machine(config);
+    materialize_arrays(prog, machine);
+    EXPECT_THROW(run_dataflow_serial(prog, machine), DoubleWriteError);
+  }
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    Machine machine(config);
+    materialize_arrays(prog, machine);
+    EXPECT_THROW(
+        run_dataflow_sharded(prog, machine, ShardRuntimeOptions{workers}),
+        DoubleWriteError)
+        << "workers=" << workers;
+  }
+}
+
+}  // namespace
+}  // namespace sap

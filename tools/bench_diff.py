@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare a freshly emitted BENCH_perf_simulator.json against a baseline.
+
+Rows are joined on (workload, kernel, phase); the timing cells ("tree ms"
+and "bytecode ms", plus the ns/op value of micro rows) are compared and any
+slowdown beyond the threshold is reported.
+
+Exit code is 0 by default — the perf-smoke CI job runs this as a
+*non-fatal report step*, because shared-runner timing noise must not gate
+merges (docs/BENCH_FORMAT.md).  Pass --fail-on-regression to make
+regressions fatal for local use.
+
+Usage:
+  tools/bench_diff.py FRESH.json [BASELINE.json] [--threshold 0.15]
+                      [--fail-on-regression]
+
+BASELINE.json defaults to the committed repo-root BENCH_perf_simulator.json.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf_simulator.json"
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    columns = artifact["columns"]
+    rows = {}
+    for cells in artifact["rows"]:
+        row = dict(zip(columns, cells))
+        key = (row.get("workload"), row.get("kernel"), row.get("phase"))
+        rows[key] = row
+    return rows
+
+
+def parse_ms(cell):
+    """'12.34' -> 12.34; '-' or unparseable -> None."""
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def timing_cells(row):
+    """(label, value) pairs of the comparable timings in one row."""
+    out = []
+    if row.get("phase") == "ns/op":
+        out.append(("ns/op", parse_ms(row.get("instances"))))
+    for column in ("tree ms", "bytecode ms"):
+        out.append((column, parse_ms(row.get(column))))
+    return [(label, value) for label, value in out if value is not None]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly emitted BENCH json")
+    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    fresh = load_rows(args.fresh)
+    baseline = load_rows(args.baseline)
+
+    # Timings are only comparable between similar hosts; the artifact
+    # records its host's thread count (docs/BENCH_FORMAT.md).
+    env_key = ("env", "hardware_threads", "count")
+    fresh_threads = fresh.get(env_key, {}).get("instances")
+    base_threads = baseline.get(env_key, {}).get("instances")
+    if fresh_threads != base_threads:
+        print("bench_diff: WARNING — hardware_threads differ "
+              "(baseline %s vs fresh %s); absolute timings and the "
+              "dataflow scheduler-scaling rows are cross-machine noise"
+              % (base_threads, fresh_threads))
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for key, base_row in baseline.items():
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            continue
+        base_cells = dict(timing_cells(base_row))
+        for label, fresh_value in timing_cells(fresh_row):
+            base_value = base_cells.get(label)
+            if base_value is None or base_value == 0.0:
+                continue
+            compared += 1
+            ratio = fresh_value / base_value
+            line = "%-40s %-12s %8.2f -> %8.2f  (%+5.1f%%)" % (
+                "/".join(str(part) for part in key), label,
+                base_value, fresh_value, (ratio - 1.0) * 100.0)
+            if ratio > 1.0 + args.threshold:
+                regressions.append(line)
+            elif ratio < 1.0 - args.threshold:
+                improvements.append(line)
+
+    print("bench_diff: compared %d timing cells (threshold %.0f%%)"
+          % (compared, args.threshold * 100.0))
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        print("  %d baseline row(s) missing from the fresh run:" % len(missing))
+        for key in missing:
+            print("    " + "/".join(str(part) for part in key))
+    if improvements:
+        print("improvements (> %.0f%% faster):" % (args.threshold * 100.0))
+        for line in improvements:
+            print("  " + line)
+    if regressions:
+        print("REGRESSIONS (> %.0f%% slower):" % (args.threshold * 100.0))
+        for line in regressions:
+            print("  " + line)
+    else:
+        print("no regressions beyond the threshold")
+
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
