@@ -217,6 +217,14 @@ int main(int argc, char** argv) {
        false},
       {"fig5", "k18_hydro2d(400)",
        [] { return build_k18_explicit_hydro_2d(400); }, false},
+      // Conditional kernels: guard evaluation + branch dispatch on the
+      // statement path, lazy SELECT on the expression path.
+      {"fig6", "k15_flow_limiter", [] { return build_k15_flow_limiter(); },
+       false},
+      {"fig6", "k16_min_search(20k)",
+       [] { return build_k16_min_search(20000); }, false},
+      {"fig6", "k24_first_min(20k)", [] { return build_k24_first_min(20000); },
+       false},
   };
   const MachineConfig config = bench::paper_config().with_pes(16);
 
@@ -336,10 +344,20 @@ int main(int argc, char** argv) {
                  TextTable::num(dataflow_geomean, 2) + "x", "-", "-"});
   // The parallel speedup is bounded by the host: on a single-CPU machine
   // the sharded runtime can at best break even with the serial scheduler.
-  // Recording the thread count makes every artifact self-interpreting.
+  // Recording the thread count and the compiler makes every artifact
+  // self-interpreting — tools/bench_diff.py treats the pair as a machine
+  // fingerprint and skips cross-machine ratio checks on a mismatch.
   table.add_row({"env", "hardware_threads", "count",
                  std::to_string(std::thread::hardware_concurrency()), "-",
                  "-", "-", "-", "-"});
+#if defined(__clang__)
+  const std::string compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+  table.add_row({"env", "compiler", "id", compiler, "-", "-", "-", "-", "-"});
 
   // Substrate micro-benchmarks: engine-independent, ns per operation.
   const double partition_ns = time_partition_lookup() * 1e9;

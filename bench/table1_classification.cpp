@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       "paper class vs static classifier vs empirical classifier; remote% "
       "at 8/32 PEs, ps 32, 256-element cache");
 
-  TextTable table({"kernel", "title", "paper", "static", "empirical",
+  TextTable table({"kernel", "title", "paper", "static", "cond", "empirical",
                    "%rem@8 (cache)", "%rem@8 (none)", "%rem@32 (cache)"});
   int agreements = 0;
   for (const auto& spec : livermore_kernels()) {
@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
     const Simulator cached32(bench::paper_config().with_pes(32));
 
     table.add_row({spec.id, spec.title, to_string(spec.paper_class),
-                   to_string(static_class.cls), to_string(empirical.cls),
+                   to_string(static_class.cls),
+                   static_class.conditional() ? "yes" : "-",
+                   to_string(empirical.cls),
                    TextTable::pct(cached8.run(prog).remote_read_fraction()),
                    TextTable::pct(nocache8.run(prog).remote_read_fraction()),
                    TextTable::pct(cached32.run(prog).remote_read_fraction())});

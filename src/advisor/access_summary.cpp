@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <optional>
 #include <sstream>
 
@@ -144,6 +145,11 @@ AccessSummary summarize_access(const CompiledProgram& compiled,
     const ArrayShape write_shape = shape_of(assign.array);
     st.array_elements = write_shape.element_count();
     st.is_reduction = assign.is_reduction;
+    // Balanced-branch prior: each enclosing IF arm executes half the time.
+    st.exec_probability = 1.0;
+    for (std::size_t c = 0; c < site.conditionals.size(); ++c) {
+      st.exec_probability *= 0.5;
+    }
     st.loop_group = group_of(site.loops.empty() ? nullptr : site.loops.back());
 
     // Write descriptor.
@@ -166,13 +172,16 @@ AccessSummary summarize_access(const CompiledProgram& compiled,
     }
 
     // Reads: refs in the value expression plus refs used as write indices
-    // (indirect writes read their index arrays too).
-    const auto add_read = [&](const ArrayRefExpr& ref) {
+    // (indirect writes read their index arrays too).  The walk carries a
+    // probability: a SELECT evaluates its condition always but only the
+    // chosen arm, so arm reads execute half the time (balanced prior).
+    const auto add_read = [&](const ArrayRefExpr& ref, double probability) {
       ReadAccess read;
       read.array = ref.name;
       const ArrayShape shape = shape_of(ref.name);
       read.array_elements = shape.element_count();
       read.self_accumulation = is_self_accumulation(assign, ref);
+      read.probability = probability;
       const AffineIndex aff = element_affine(ref, shape, ctx);
       read.affine = aff.affine;
       read.strides_known = aff.affine;
@@ -187,10 +196,42 @@ AccessSummary summarize_access(const CompiledProgram& compiled,
       }
       st.reads.push_back(std::move(read));
     };
+    const std::function<void(const Expr&, double)> walk_reads =
+        [&](const Expr& expr, double probability) {
+          std::visit(
+              [&](const auto& node) {
+                using T = std::decay_t<decltype(node)>;
+                if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+                  add_read(node, probability);
+                  for (const auto& idx : node.indices) {
+                    walk_reads(*idx, probability);
+                  }
+                } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+                  if (node.kind == IntrinsicKind::kSelect) {
+                    walk_reads(*node.args[0], probability);
+                    walk_reads(*node.args[1], probability * 0.5);
+                    walk_reads(*node.args[2], probability * 0.5);
+                  } else {
+                    for (const auto& a : node.args) {
+                      walk_reads(*a, probability);
+                    }
+                  }
+                } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+                  walk_reads(*node.operand, probability);
+                } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+                  walk_reads(*node.lhs, probability);
+                  walk_reads(*node.rhs, probability);
+                } else if constexpr (std::is_same_v<T, CompareExpr>) {
+                  walk_reads(*node.lhs, probability);
+                  walk_reads(*node.rhs, probability);
+                }
+              },
+              expr.node);
+        };
     for (const auto& idx : assign.indices) {
-      for_each_array_ref(*idx, add_read);
+      walk_reads(*idx, 1.0);
     }
-    for_each_array_ref(*assign.value, add_read);
+    walk_reads(*assign.value, 1.0);
 
     // Trip counts, outermost first.  The travel fallback bounds a
     // scalar-driven loop (ICCG's level walk) by how far the fastest
@@ -237,6 +278,14 @@ AccessSummary summarize_access(const CompiledProgram& compiled,
 
     out.total_reads += st.memory_reads();
     out.total_writes += st.distinct_writes;
+    double read_probability_sum = 0.0;
+    for (const ReadAccess& read : st.reads) {
+      if (!read.self_accumulation) read_probability_sum += read.probability;
+    }
+    out.expected_reads += static_cast<double>(st.instances) *
+                          read_probability_sum * st.exec_probability;
+    out.expected_writes +=
+        static_cast<double>(st.distinct_writes) * st.exec_probability;
     out.statements.push_back(std::move(st));
   }
 
@@ -253,6 +302,7 @@ std::string AccessSummary::report() const {
   for (const StatementAccess& st : statements) {
     os << "  " << st.array << " :=";
     if (st.is_reduction) os << " [reduction]";
+    if (st.exec_probability < 1.0) os << " [p=" << st.exec_probability << "]";
     os << " nest(";
     for (std::size_t d = 0; d < st.loops.size(); ++d) {
       if (d) os << ", ";
@@ -287,6 +337,7 @@ std::string AccessSummary::report() const {
         os << ')';
         if (read.start_known) os << " start " << read.start;
       }
+      if (read.probability < 1.0) os << " [p=" << read.probability << "]";
       os << '\n';
     }
   }

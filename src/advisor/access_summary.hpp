@@ -55,6 +55,12 @@ struct ReadAccess {
   /// A reduction's read of its own target element: an owner-local
   /// register read, not memory traffic (§5) — excluded from totals.
   bool self_accumulation = false;
+
+  /// Probability this read executes *given* the statement instance runs:
+  /// 0.5 per enclosing SELECT arm (the untaken arm's reads never happen),
+  /// 1.0 for unconditional reads.  Multiplies with the statement's
+  /// exec_probability in the cost model.
+  double probability = 1.0;
 };
 
 /// One array assignment with its loop nest, write descriptor and reads.
@@ -71,6 +77,13 @@ struct StatementAccess {
   bool write_start_known = false;
 
   bool is_reduction = false;
+
+  /// Probability that one structural instance actually executes: 0.5 per
+  /// enclosing IF arm (the balanced-branch prior of probabilistic alias
+  /// analysis), 1.0 for unguarded statements.  The cost model weights the
+  /// statement's page traffic and writes by it — structural counts
+  /// (instances, distinct_writes) stay unweighted.
+  double exec_probability = 1.0;
 
   /// Statements that share an innermost loop share the executing PE's
   /// cache; the cost model counts read streams per group (ADI's overflow).
@@ -101,6 +114,10 @@ struct AccessSummary {
   std::int64_t reinit_count = 0;
   std::int64_t total_reads = 0;   // memory reads over all statements
   std::int64_t total_writes = 0;  // committed writes over all statements
+  /// Probability-weighted totals (== the structural totals when the
+  /// program has no conditionals).
+  double expected_reads = 0.0;
+  double expected_writes = 0.0;
 
   /// Human-readable multi-line digest.
   std::string report() const;

@@ -64,9 +64,13 @@ class CostModel {
     }
     apply_frame_pressure(tallies);
 
+    // Probability-weighted totals: a statement inside an IF arm only
+    // contributes its traffic in the fraction of instances its guard
+    // admits (AccessSummary::exec_probability — the per-tally weights are
+    // already scaled inside price_statement).
     CostEstimate est;
-    est.total_reads = static_cast<double>(summary_.total_reads);
-    est.writes = static_cast<double>(summary_.total_writes);
+    est.total_reads = summary_.expected_reads;
+    est.writes = summary_.expected_writes;
     for (std::size_t s = 0; s < tallies.size(); ++s) {
       for (ReadTally& t : tallies[s]) {
         if (frames_ > 0) {
@@ -79,7 +83,8 @@ class CostModel {
       }
       const StatementAccess& st = summary_.statements[s];
       if (st.is_reduction && st.distinct_writes == 1 && pes_ > 1) {
-        est.host_collect_messages += static_cast<double>(pes_ - 1);
+        est.host_collect_messages +=
+            static_cast<double>(pes_ - 1) * st.exec_probability;
       }
     }
     est.page_traffic_elements = est.page_fetches * static_cast<double>(ps_);
@@ -174,8 +179,12 @@ class CostModel {
         outer_total > kMaxOuterSamples ? ceil_div(outer_total, kMaxOuterSamples)
                                        : 1;
     const std::int64_t sampled = ceil_div(outer_total, sample_step);
-    const double weight =
-        static_cast<double>(outer_total) / static_cast<double>(sampled);
+    // exec_probability folds the guard into the walk: every touch, fetch
+    // and write this statement contributes is scaled by how often its
+    // enclosing IF arms admit it.
+    const double weight = st.exec_probability *
+                          static_cast<double>(outer_total) /
+                          static_cast<double>(sampled);
 
     double raw_writes_total = 0.0;
     std::vector<double> raw_writes(pes_, 0.0);
@@ -217,6 +226,17 @@ class CostModel {
     // whole statement when the write itself is not analyzable.
     price_fallback_reads(st, tallies);
 
+    // Per-read probability (reads inside SELECT arms execute only when
+    // their arm is taken): scale each read's tallies by it, on top of the
+    // statement-level exec_probability already folded into the weights.
+    for (std::size_t r = 0; r < st.reads.size(); ++r) {
+      const double p = st.reads[r].probability;
+      if (p >= 1.0) continue;
+      tallies[r].local *= p;
+      tallies[r].remote_touches *= p;
+      tallies[r].fetches *= p;
+    }
+
     // Exact-window revisits: outer loops (a contiguous suffix next to the
     // innermost one) in which neither the read nor the write advances
     // replay the identical page sequence on the identical PEs, so a
@@ -237,7 +257,8 @@ class CostModel {
 
     // Distribute the committed writes: proportionally to the walked
     // tallies when available, else to page ownership of the written array.
-    const double writes = static_cast<double>(st.distinct_writes);
+    const double writes =
+        static_cast<double>(st.distinct_writes) * st.exec_probability;
     if (raw_writes_total > 0.0) {
       for (std::uint32_t pe = 0; pe < pes_; ++pe) {
         per_pe_writes_[pe] += writes * raw_writes[pe] / raw_writes_total;
@@ -310,13 +331,15 @@ class CostModel {
     const std::size_t depth = st.loops.size();
     const std::int64_t inner_trips =
         depth > 0 ? std::max<std::int64_t>(st.loops[depth - 1].trips, 1) : 1;
-    const double outer_total =
-        static_cast<double>(st.instances) / static_cast<double>(inner_trips);
+    const double outer_total = st.exec_probability *
+                               static_cast<double>(st.instances) /
+                               static_cast<double>(inner_trips);
     for (std::size_t r = 0; r < st.reads.size(); ++r) {
       const ReadAccess& read = st.reads[r];
       ReadTally& tally = tallies[r];
       if (read.self_accumulation || tally.analytic) continue;
-      const double touches = static_cast<double>(st.instances);
+      const double touches =
+          static_cast<double>(st.instances) * st.exec_probability;
       tally.remote_touches = touches * decorrelated;
       tally.local = touches - tally.remote_touches;
       if (read.affine && read.strides_known) {

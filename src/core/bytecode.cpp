@@ -68,6 +68,9 @@ bool exact_integer_leaves(const Expr& expr, const Program& program,
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           return exact_integer_leaves(*node.lhs, program, sema) &&
                  exact_integer_leaves(*node.rhs, program, sema);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          return exact_integer_leaves(*node.lhs, program, sema) &&
+                 exact_integer_leaves(*node.rhs, program, sema);
         }
       },
       expr.node);
@@ -180,14 +183,28 @@ class ExprCompiler {
               case BinaryOp::kDiv: emit(Op::kDiv, dst, lhs, rhs); break;
             }
             return dst;
+          } else if constexpr (std::is_same_v<T, CompareExpr>) {
+            const std::uint16_t lhs = emit_value(*node.lhs);
+            const std::uint16_t rhs = emit_value(*node.rhs);
+            const std::uint16_t dst = alloc_reg();
+            switch (node.op) {
+              case CompareOp::kLt: emit(Op::kCmpLt, dst, lhs, rhs); break;
+              case CompareOp::kLe: emit(Op::kCmpLe, dst, lhs, rhs); break;
+              case CompareOp::kGt: emit(Op::kCmpGt, dst, lhs, rhs); break;
+              case CompareOp::kGe: emit(Op::kCmpGe, dst, lhs, rhs); break;
+              case CompareOp::kEq: emit(Op::kCmpEq, dst, lhs, rhs); break;
+              case CompareOp::kNe: emit(Op::kCmpNe, dst, lhs, rhs); break;
+            }
+            return dst;
           }
         },
         expr.node);
   }
 
   std::uint16_t emit_intrinsic(const IntrinsicExpr& node) {
-    const std::size_t arity = node.kind == IntrinsicKind::kAbs ? 1 : 2;
+    const std::size_t arity = intrinsic_arity(node.kind);
     SAP_CHECK(node.args.size() == arity, "intrinsic arity mismatch");
+    if (node.kind == IntrinsicKind::kSelect) return emit_select(node);
     std::uint16_t args[2] = {0, 0};
     for (std::size_t i = 0; i < arity; ++i) {
       args[i] = emit_value(*node.args[i]);
@@ -199,7 +216,34 @@ class ExprCompiler {
       case IntrinsicKind::kMin: emit(Op::kMin, dst, args[0], args[1]); break;
       case IntrinsicKind::kMax: emit(Op::kMax, dst, args[0], args[1]); break;
       case IntrinsicKind::kAbs: emit(Op::kAbs, dst, args[0]); break;
+      case IntrinsicKind::kAnd: emit(Op::kAnd, dst, args[0], args[1]); break;
+      case IntrinsicKind::kOr: emit(Op::kOr, dst, args[0], args[1]); break;
+      case IntrinsicKind::kNot: emit(Op::kNot, dst, args[0]); break;
+      case IntrinsicKind::kSelect: break;  // handled above
     }
+    return dst;
+  }
+
+  /// SELECT(cond, a, b) with lazily evaluated arms, exactly like the tree
+  /// walk: the condition runs first, then a branch skips the untaken arm —
+  /// its instructions (reads included) never execute.
+  std::uint16_t emit_select(const IntrinsicExpr& node) {
+    const std::uint16_t cond = emit_value(*node.args[0]);
+    const std::uint16_t dst = alloc_reg();
+    const std::size_t jz_pos = out_.code.size();
+    emit(Op::kJumpIfZero, 0, cond, /*patched below*/ 0);
+    const std::uint16_t then_reg = emit_value(*node.args[1]);
+    emit(Op::kMove, dst, then_reg);
+    const std::size_t jump_pos = out_.code.size();
+    emit(Op::kJump, 0, /*patched below*/ 0);
+    const std::size_t then_len = out_.code.size() - jz_pos - 1;
+    SAP_CHECK(then_len <= kSlotLimit, "SELECT arm too long for bytecode");
+    out_.code[jz_pos].b = static_cast<std::uint16_t>(then_len);
+    const std::uint16_t else_reg = emit_value(*node.args[2]);
+    emit(Op::kMove, dst, else_reg);
+    const std::size_t else_len = out_.code.size() - jump_pos - 1;
+    SAP_CHECK(else_len <= kSlotLimit, "SELECT arm too long for bytecode");
+    out_.code[jump_pos].a = static_cast<std::uint16_t>(else_len);
     return dst;
   }
 
@@ -305,6 +349,15 @@ void compile_stmt(const Stmt& stmt, const Program& program,
             compile_stmt(*child, program, sema, enclosing, out);
           }
           enclosing.pop_back();
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          out.guards.emplace(
+              &node, compile_value_expr(*node.cond, program, sema, enclosing));
+          for (const auto& child : node.then_body) {
+            compile_stmt(*child, program, sema, enclosing, out);
+          }
+          for (const auto& child : node.else_body) {
+            compile_stmt(*child, program, sema, enclosing, out);
+          }
         } else if constexpr (std::is_same_v<T, ReinitStmt>) {
           // No expressions to compile.
         }
@@ -415,6 +468,42 @@ bool BytecodeFrame::execute(const CompiledExpr& expr, const EvalEnv& env,
         break;
       case Op::kAbs:
         regs[in.dst] = std::abs(regs[in.a]);
+        break;
+      case Op::kCmpLt:
+        regs[in.dst] = regs[in.a] < regs[in.b] ? 1.0 : 0.0;
+        break;
+      case Op::kCmpLe:
+        regs[in.dst] = regs[in.a] <= regs[in.b] ? 1.0 : 0.0;
+        break;
+      case Op::kCmpGt:
+        regs[in.dst] = regs[in.a] > regs[in.b] ? 1.0 : 0.0;
+        break;
+      case Op::kCmpGe:
+        regs[in.dst] = regs[in.a] >= regs[in.b] ? 1.0 : 0.0;
+        break;
+      case Op::kCmpEq:
+        regs[in.dst] = regs[in.a] == regs[in.b] ? 1.0 : 0.0;
+        break;
+      case Op::kCmpNe:
+        regs[in.dst] = regs[in.a] != regs[in.b] ? 1.0 : 0.0;
+        break;
+      case Op::kAnd:
+        regs[in.dst] = regs[in.a] != 0.0 && regs[in.b] != 0.0 ? 1.0 : 0.0;
+        break;
+      case Op::kOr:
+        regs[in.dst] = regs[in.a] != 0.0 || regs[in.b] != 0.0 ? 1.0 : 0.0;
+        break;
+      case Op::kNot:
+        regs[in.dst] = regs[in.a] == 0.0 ? 1.0 : 0.0;
+        break;
+      case Op::kMove:
+        regs[in.dst] = regs[in.a];
+        break;
+      case Op::kJump:
+        pc += in.a;
+        break;
+      case Op::kJumpIfZero:
+        if (regs[in.a] == 0.0) pc += in.b;
         break;
       case Op::kCheckIndex: {
         const double v = regs[in.a];

@@ -69,6 +69,20 @@ enum class Op : std::uint8_t {
   kMin,          // reg[dst] = min(reg[a], reg[b])
   kMax,          // reg[dst] = max(reg[a], reg[b])
   kAbs,          // reg[dst] = abs(reg[a])
+  // Boolean ops (1.0 / 0.0 results, mirroring the tree walk exactly).
+  kCmpLt,        // reg[dst] = reg[a] <  reg[b]
+  kCmpLe,        // reg[dst] = reg[a] <= reg[b]
+  kCmpGt,        // reg[dst] = reg[a] >  reg[b]
+  kCmpGe,        // reg[dst] = reg[a] >= reg[b]
+  kCmpEq,        // reg[dst] = reg[a] == reg[b]
+  kCmpNe,        // reg[dst] = reg[a] != reg[b]
+  kAnd,          // reg[dst] = reg[a] != 0 && reg[b] != 0
+  kOr,           // reg[dst] = reg[a] != 0 || reg[b] != 0
+  kNot,          // reg[dst] = reg[a] == 0
+  // Branching (SELECT's lazily evaluated arms).
+  kMove,         // reg[dst] = reg[a]
+  kJump,         // skip the next a instructions
+  kJumpIfZero,   // skip the next b instructions when reg[a] == 0.0
   kCheckIndex,   // idx[dst] = integrality-checked reg[a] (eval_index rules)
   kAffineIndex,  // idx[dst] = affine[a] if every term var is exactly
                  // integral, then skip the next b instructions (the generic
@@ -143,6 +157,9 @@ struct ProgramBytecode {
   std::unordered_map<const ArrayAssign*, CompiledAssign> assigns;
   std::unordered_map<const ScalarAssign*, CompiledExpr> scalar_assigns;
   std::unordered_map<const DoLoop*, CompiledLoop> loops;
+  /// IF guards: the statement-level branch lives in the executor; the
+  /// guard expression itself runs as a compiled value program.
+  std::unordered_map<const IfStmt*, CompiledExpr> guards;
 };
 
 /// Flattens one expression into a value program.  `enclosing` is the loop

@@ -14,14 +14,18 @@
 
 namespace sap {
 
-DataflowScheduler dataflow_scheduler_from_env() {
+DataflowSchedulerSelection dataflow_scheduler_selection_from_env() {
   const char* raw = std::getenv("SAPART_DATAFLOW");
-  if (raw == nullptr) return DataflowScheduler::kSharded;
+  if (raw == nullptr) return {DataflowScheduler::kSharded, false};
   const std::string value(raw);
-  if (value == "sharded") return DataflowScheduler::kSharded;
-  if (value == "serial") return DataflowScheduler::kSerial;
+  if (value == "sharded") return {DataflowScheduler::kSharded, true};
+  if (value == "serial") return {DataflowScheduler::kSerial, true};
   throw ConfigError("SAPART_DATAFLOW must be 'sharded' or 'serial', got '" +
                     value + "'");
+}
+
+DataflowScheduler dataflow_scheduler_from_env() {
+  return dataflow_scheduler_selection_from_env().scheduler;
 }
 
 namespace {
@@ -123,9 +127,22 @@ DataflowStats run_dataflow_serial(const CompiledProgram& compiled,
 
 DataflowStats run_dataflow(const CompiledProgram& compiled, Machine& machine) {
   // Partial-page refetch accounting is defined by the serial interleaving
-  // (see the header comment); run_dataflow_sharded itself routes such
-  // configs to the serial scheduler.
-  switch (dataflow_scheduler_from_env()) {
+  // (see the header comment); the *default* sharded choice silently routes
+  // such configs to the serial scheduler (run_dataflow_sharded does the
+  // same for direct callers), but an explicit SAPART_DATAFLOW=sharded
+  // request cannot be honored and must fail loudly instead of quietly
+  // running a different scheduler than asked.
+  const DataflowSchedulerSelection sel =
+      dataflow_scheduler_selection_from_env();
+  if (sel.scheduler == DataflowScheduler::kSharded && sel.explicit_env &&
+      machine.config().count_partial_page_refetch) {
+    throw ConfigError(
+        "SAPART_DATAFLOW=sharded is incompatible with "
+        "count_partial_page_refetch configs: that extension's cache "
+        "accounting is defined by the serial write interleaving; unset "
+        "SAPART_DATAFLOW or set it to 'serial'");
+  }
+  switch (sel.scheduler) {
     case DataflowScheduler::kSerial:
       return run_dataflow_serial(compiled, machine);
     case DataflowScheduler::kSharded:

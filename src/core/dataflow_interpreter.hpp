@@ -47,9 +47,24 @@ enum class DataflowScheduler {
   kSerial,   // single-threaded round-robin oracle
 };
 
-/// Scheduler selected by the SAPART_DATAFLOW environment variable: unset
-/// or "sharded" -> kSharded, "serial" -> kSerial; anything else (including
-/// empty) throws ConfigError naming the valid set.
+/// Scheduler choice plus whether the user asked for it explicitly.  The
+/// distinction matters for `count_partial_page_refetch` configs: their
+/// accounting is defined by the serial interleaving, so the *default*
+/// sharded choice silently routes them to the serial scheduler, while an
+/// explicit SAPART_DATAFLOW=sharded on such a config is a ConfigError —
+/// honoring it would change the numbers behind the user's back.
+struct DataflowSchedulerSelection {
+  DataflowScheduler scheduler = DataflowScheduler::kSharded;
+  bool explicit_env = false;  // SAPART_DATAFLOW was set
+};
+
+/// Selection from the SAPART_DATAFLOW environment variable: unset ->
+/// default sharded (explicit_env false), "sharded"/"serial" -> that
+/// scheduler (explicit_env true); anything else (including empty) throws
+/// ConfigError naming the valid set.
+DataflowSchedulerSelection dataflow_scheduler_selection_from_env();
+
+/// Scheduler part of dataflow_scheduler_selection_from_env().
 DataflowScheduler dataflow_scheduler_from_env();
 
 /// Executes the program on the machine (arrays must be materialized) under

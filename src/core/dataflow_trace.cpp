@@ -31,6 +31,9 @@ void collect_free_vars(const Expr& expr,
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           collect_free_vars(*node.lhs, out);
           collect_free_vars(*node.rhs, out);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          collect_free_vars(*node.lhs, out);
+          collect_free_vars(*node.rhs, out);
         }
         // NumberLit: nothing.
       },

@@ -36,6 +36,13 @@ std::optional<double> eval_expr(const Expr& expr, const EvalEnv& env,
           if (!indices) return std::nullopt;
           return reader.read(node.name, *indices);
         } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          if (node.kind == IntrinsicKind::kSelect) {
+            // A real branch: the condition first, then ONLY the selected
+            // operand (its reads are the only ones performed/accounted).
+            const auto cond = eval_expr(*node.args[0], env, reader);
+            if (!cond) return std::nullopt;
+            return eval_expr(*node.args[*cond != 0.0 ? 1 : 2], env, reader);
+          }
           std::vector<double> args;
           args.reserve(node.args.size());
           for (const auto& a : node.args) {
@@ -56,6 +63,16 @@ std::optional<double> eval_expr(const Expr& expr, const EvalEnv& env,
               return std::max(args[0], args[1]);
             case IntrinsicKind::kAbs:
               return std::abs(args[0]);
+            case IntrinsicKind::kAnd:
+              // Strict (both operands evaluate): the operand *reads* must
+              // not depend on the other operand's value.
+              return args[0] != 0.0 && args[1] != 0.0 ? 1.0 : 0.0;
+            case IntrinsicKind::kOr:
+              return args[0] != 0.0 || args[1] != 0.0 ? 1.0 : 0.0;
+            case IntrinsicKind::kNot:
+              return args[0] == 0.0 ? 1.0 : 0.0;
+            case IntrinsicKind::kSelect:
+              break;  // handled above
           }
           throw Error("unknown intrinsic");
         } else if constexpr (std::is_same_v<T, UnaryNeg>) {
@@ -76,6 +93,20 @@ std::optional<double> eval_expr(const Expr& expr, const EvalEnv& env,
               return *lhs / *rhs;
           }
           throw Error("unknown binary operator");
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          const auto lhs = eval_expr(*node.lhs, env, reader);
+          if (!lhs) return std::nullopt;
+          const auto rhs = eval_expr(*node.rhs, env, reader);
+          if (!rhs) return std::nullopt;
+          switch (node.op) {
+            case CompareOp::kLt: return *lhs < *rhs ? 1.0 : 0.0;
+            case CompareOp::kLe: return *lhs <= *rhs ? 1.0 : 0.0;
+            case CompareOp::kGt: return *lhs > *rhs ? 1.0 : 0.0;
+            case CompareOp::kGe: return *lhs >= *rhs ? 1.0 : 0.0;
+            case CompareOp::kEq: return *lhs == *rhs ? 1.0 : 0.0;
+            case CompareOp::kNe: return *lhs != *rhs ? 1.0 : 0.0;
+          }
+          throw Error("unknown comparison operator");
         }
       },
       expr.node);

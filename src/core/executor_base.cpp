@@ -30,6 +30,7 @@ void SequentialExecutor::execute(const CompiledProgram& compiled,
   arrays_.reset(registry);
   assign_memo_.clear();
   scalar_memo_.clear();
+  guard_memo_.clear();
   env_ = EvalEnv{};
   registers_.clear();
   pending_trip_.clear();
@@ -91,11 +92,65 @@ void SequentialExecutor::exec_stmt(const Stmt& stmt) {
           env_.set(node.name, *v);
         } else if constexpr (std::is_same_v<T, DoLoop>) {
           exec_loop(node);
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          exec_if(node);
         } else if constexpr (std::is_same_v<T, ReinitStmt>) {
           on_reinit(registry_->by_name(node.array));
         }
       },
       stmt.node);
+}
+
+void SequentialExecutor::exec_if(const IfStmt& branch) {
+  // Guard reads are replicated control operands (§2: every PE runs a copy
+  // of the control), not modeled memory traffic — the same rule loop
+  // bounds and trace-time index resolution follow.  They read the
+  // registry directly, with the trace builder's undefined-read tolerance.
+  class GuardReader final : public ArrayReader {
+   public:
+    explicit GuardReader(SequentialExecutor& exec) : exec_(exec) {}
+    std::optional<double> read(
+        const std::string& array,
+        const std::vector<std::int64_t>& indices) override {
+      SaArray& a = exec_.resolve_array(array);
+      const std::int64_t linear = a.shape().linearize(indices);
+      if (exec_.tolerate_undefined_reads() && !a.is_defined(linear)) {
+        return 0.0;
+      }
+      return a.read(linear);
+    }
+
+   private:
+    SequentialExecutor& exec_;
+  };
+  GuardReader reader(*this);
+
+  const GuardMemo* memo = nullptr;
+  for (const GuardMemo& entry : guard_memo_) {
+    if (entry.key == &branch) {
+      memo = &entry;
+      break;
+    }
+  }
+  if (memo == nullptr) {
+    GuardMemo entry;
+    entry.key = &branch;
+    if (bytecode_ != nullptr) {
+      const auto it = bytecode_->guards.find(&branch);
+      if (it != bytecode_->guards.end()) {
+        entry.ce = &it->second;
+        entry.handle = frame_.intern(it->second);
+      }
+    }
+    guard_memo_.push_back(entry);
+    memo = &guard_memo_.back();
+  }
+  const auto v = memo->ce != nullptr
+                     ? frame_.run(*memo->ce, memo->handle, env_, reader)
+                     : eval_expr(*branch.cond, env_, reader);
+  SAP_CHECK(v.has_value(), "guard evaluation suspended");
+  const auto& body = *v != 0.0 ? branch.then_body : branch.else_body;
+  for (const auto& stmt : body) exec_stmt(*stmt);
 }
 
 void SequentialExecutor::exec_loop(const DoLoop& loop) {

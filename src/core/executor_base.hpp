@@ -95,6 +95,7 @@ class SequentialExecutor {
   void exec_stmt(const Stmt& stmt);
   void exec_assign(const ArrayAssign& assign);
   void exec_loop(const DoLoop& loop);
+  void exec_if(const IfStmt& branch);
   void flush_commits(std::map<const DoLoop*, std::vector<PendingCommit>>& queue,
                      const DoLoop* loop);
   double read_for_value(PeId pe, const std::string& name,
@@ -134,6 +135,12 @@ class SequentialExecutor {
     BytecodeFrame::SlotHandle handle = 0;
   };
   std::vector<ScalarMemo> scalar_memo_;
+  struct GuardMemo {
+    const IfStmt* key = nullptr;
+    const CompiledExpr* ce = nullptr;
+    BytecodeFrame::SlotHandle handle = 0;
+  };
+  std::vector<GuardMemo> guard_memo_;
   EvalEnv env_;
   ReductionRegisters registers_;
   // commit loop -> pending commits; trip-end commits flush after every

@@ -79,6 +79,35 @@ Ex ex_abs(Ex operand) {
   return Ex(make_intrinsic(IntrinsicKind::kAbs, std::move(args)));
 }
 
+Ex ex_cmp(CompareOp op, Ex lhs, Ex rhs) {
+  return Ex(make_compare(op, lhs.take(), rhs.take()));
+}
+Ex ex_lt(Ex lhs, Ex rhs) { return ex_cmp(CompareOp::kLt, std::move(lhs), std::move(rhs)); }
+Ex ex_le(Ex lhs, Ex rhs) { return ex_cmp(CompareOp::kLe, std::move(lhs), std::move(rhs)); }
+Ex ex_gt(Ex lhs, Ex rhs) { return ex_cmp(CompareOp::kGt, std::move(lhs), std::move(rhs)); }
+Ex ex_ge(Ex lhs, Ex rhs) { return ex_cmp(CompareOp::kGe, std::move(lhs), std::move(rhs)); }
+Ex ex_eq(Ex lhs, Ex rhs) { return ex_cmp(CompareOp::kEq, std::move(lhs), std::move(rhs)); }
+Ex ex_ne(Ex lhs, Ex rhs) { return ex_cmp(CompareOp::kNe, std::move(lhs), std::move(rhs)); }
+
+Ex ex_and(Ex lhs, Ex rhs) {
+  return intrinsic2(IntrinsicKind::kAnd, std::move(lhs), std::move(rhs));
+}
+Ex ex_or(Ex lhs, Ex rhs) {
+  return intrinsic2(IntrinsicKind::kOr, std::move(lhs), std::move(rhs));
+}
+Ex ex_not(Ex operand) {
+  std::vector<ExprPtr> args;
+  args.push_back(operand.take());
+  return Ex(make_intrinsic(IntrinsicKind::kNot, std::move(args)));
+}
+Ex ex_select(Ex cond, Ex a, Ex b) {
+  std::vector<ExprPtr> args;
+  args.push_back(cond.take());
+  args.push_back(a.take());
+  args.push_back(b.take());
+  return Ex(make_intrinsic(IntrinsicKind::kSelect, std::move(args)));
+}
+
 ProgramBuilder::ProgramBuilder(std::string name) {
   program_.name = std::move(name);
 }
@@ -135,7 +164,10 @@ ProgramBuilder& ProgramBuilder::custom_init(
 }
 
 std::vector<StmtPtr>& ProgramBuilder::current_body() {
-  return loop_stack_.empty() ? program_.body : loop_stack_.back()->body;
+  if (block_stack_.empty()) return program_.body;
+  OpenBlock& block = block_stack_.back();
+  if (block.loop != nullptr) return block.loop->body;
+  return block.in_else ? block.branch->else_body : block.branch->then_body;
 }
 
 ProgramBuilder& ProgramBuilder::begin_loop(const std::string& var, Ex lower,
@@ -148,20 +180,49 @@ ProgramBuilder& ProgramBuilder::begin_loop(const std::string& var, Ex lower,
   stmt->node = std::move(loop);
   auto& body = current_body();
   body.push_back(std::move(stmt));
-  loop_stack_.push_back(&std::get<DoLoop>(body.back()->node));
+  block_stack_.push_back(
+      OpenBlock{&std::get<DoLoop>(body.back()->node), nullptr, false});
   return *this;
 }
 
 ProgramBuilder& ProgramBuilder::begin_loop_step(const std::string& var,
                                                 Ex lower, Ex upper, Ex step) {
   begin_loop(var, std::move(lower), std::move(upper));
-  loop_stack_.back()->step = step.take();
+  block_stack_.back().loop->step = step.take();
   return *this;
 }
 
 ProgramBuilder& ProgramBuilder::end_loop() {
-  SAP_CHECK(!loop_stack_.empty(), "end_loop without begin_loop");
-  loop_stack_.pop_back();
+  SAP_CHECK(!block_stack_.empty() && block_stack_.back().loop != nullptr,
+            "end_loop without begin_loop");
+  block_stack_.pop_back();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::begin_if(Ex cond) {
+  auto stmt = std::make_unique<Stmt>();
+  IfStmt branch;
+  branch.cond = cond.take();
+  stmt->node = std::move(branch);
+  auto& body = current_body();
+  body.push_back(std::move(stmt));
+  block_stack_.push_back(
+      OpenBlock{nullptr, &std::get<IfStmt>(body.back()->node), false});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::begin_else() {
+  SAP_CHECK(!block_stack_.empty() && block_stack_.back().branch != nullptr &&
+                !block_stack_.back().in_else,
+            "begin_else without an open begin_if");
+  block_stack_.back().in_else = true;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_if() {
+  SAP_CHECK(!block_stack_.empty() && block_stack_.back().branch != nullptr,
+            "end_if without begin_if");
+  block_stack_.pop_back();
   return *this;
 }
 
@@ -193,7 +254,7 @@ ProgramBuilder& ProgramBuilder::reinit(const std::string& array) {
 }
 
 Program ProgramBuilder::build() {
-  SAP_CHECK(loop_stack_.empty(), "unclosed loop at build()");
+  SAP_CHECK(block_stack_.empty(), "unclosed loop or IF at build()");
   SAP_CHECK(!built_, "build() called twice");
   built_ = true;
   return std::move(program_);

@@ -61,6 +61,18 @@ Ex ex_mod(Ex lhs, Ex rhs);
 Ex ex_min(Ex lhs, Ex rhs);
 Ex ex_max(Ex lhs, Ex rhs);
 Ex ex_abs(Ex operand);
+// Boolean forms (comparisons, logicals, the lazily-evaluated SELECT).
+Ex ex_cmp(CompareOp op, Ex lhs, Ex rhs);
+Ex ex_lt(Ex lhs, Ex rhs);
+Ex ex_le(Ex lhs, Ex rhs);
+Ex ex_gt(Ex lhs, Ex rhs);
+Ex ex_ge(Ex lhs, Ex rhs);
+Ex ex_eq(Ex lhs, Ex rhs);
+Ex ex_ne(Ex lhs, Ex rhs);
+Ex ex_and(Ex lhs, Ex rhs);
+Ex ex_or(Ex lhs, Ex rhs);
+Ex ex_not(Ex operand);
+Ex ex_select(Ex cond, Ex a, Ex b);
 
 class ProgramBuilder {
  public:
@@ -89,6 +101,10 @@ class ProgramBuilder {
   ProgramBuilder& begin_loop_step(const std::string& var, Ex lower, Ex upper,
                                   Ex step);
   ProgramBuilder& end_loop();
+  /// IF (cond) THEN ...; statements go to the THEN arm until begin_else().
+  ProgramBuilder& begin_if(Ex cond);
+  ProgramBuilder& begin_else();
+  ProgramBuilder& end_if();
   ProgramBuilder& assign(const std::string& array, std::vector<Ex> indices,
                          Ex value);
   ProgramBuilder& scalar_assign(const std::string& name, Ex value);
@@ -111,8 +127,13 @@ class ProgramBuilder {
   Program program_;
   std::map<std::string, std::function<double(std::int64_t)>, std::less<>>
       custom_inits_;
-  /// Stack of open loops; statements append to the innermost.
-  std::vector<DoLoop*> loop_stack_;
+  /// One open DO loop or IF arm; statements append to the innermost.
+  struct OpenBlock {
+    DoLoop* loop = nullptr;
+    IfStmt* branch = nullptr;
+    bool in_else = false;
+  };
+  std::vector<OpenBlock> block_stack_;
   std::vector<StmtPtr> pending_root_;
   bool built_ = false;
 };

@@ -130,6 +130,14 @@ AffineIndex affine_of_index(const Expr& expr, const AffineContext& ctx) {
             }
           }
           return non_affine();
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          // Boolean-valued; never a legal index form (sema enforces it),
+          // but const-folding keeps eval_const_expr-style callers exact.
+          const auto v = eval_const_expr(expr, ctx);
+          if (v && is_integral(*v)) {
+            return constant_form(static_cast<std::int64_t>(std::llround(*v)));
+          }
+          return non_affine();
         }
       },
       expr.node);
@@ -191,6 +199,13 @@ std::optional<double> eval_const_expr(const Expr& expr,
         } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
           return std::nullopt;
         } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          if (node.kind == IntrinsicKind::kSelect) {
+            // Lazy like the evaluator: fold the condition, then only the
+            // chosen operand.
+            const auto cond = eval_const_expr(*node.args[0], ctx);
+            if (!cond) return std::nullopt;
+            return eval_const_expr(*node.args[*cond != 0.0 ? 1 : 2], ctx);
+          }
           std::vector<double> args;
           for (const auto& a : node.args) {
             const auto v = eval_const_expr(*a, ctx);
@@ -210,6 +225,14 @@ std::optional<double> eval_const_expr(const Expr& expr,
               return std::max(args[0], args[1]);
             case IntrinsicKind::kAbs:
               return std::abs(args[0]);
+            case IntrinsicKind::kAnd:
+              return args[0] != 0.0 && args[1] != 0.0 ? 1.0 : 0.0;
+            case IntrinsicKind::kOr:
+              return args[0] != 0.0 || args[1] != 0.0 ? 1.0 : 0.0;
+            case IntrinsicKind::kNot:
+              return args[0] == 0.0 ? 1.0 : 0.0;
+            case IntrinsicKind::kSelect:
+              break;  // handled above
           }
           return std::nullopt;
         } else if constexpr (std::is_same_v<T, UnaryNeg>) {
@@ -226,6 +249,19 @@ std::optional<double> eval_const_expr(const Expr& expr,
             case BinaryOp::kDiv:
               if (*r == 0.0) return std::nullopt;
               return *l / *r;
+          }
+          return std::nullopt;
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          const auto l = eval_const_expr(*node.lhs, ctx);
+          const auto r = eval_const_expr(*node.rhs, ctx);
+          if (!l || !r) return std::nullopt;
+          switch (node.op) {
+            case CompareOp::kLt: return *l < *r ? 1.0 : 0.0;
+            case CompareOp::kLe: return *l <= *r ? 1.0 : 0.0;
+            case CompareOp::kGt: return *l > *r ? 1.0 : 0.0;
+            case CompareOp::kGe: return *l >= *r ? 1.0 : 0.0;
+            case CompareOp::kEq: return *l == *r ? 1.0 : 0.0;
+            case CompareOp::kNe: return *l != *r ? 1.0 : 0.0;
           }
           return std::nullopt;
         }

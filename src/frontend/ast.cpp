@@ -14,6 +14,18 @@ std::string to_string(BinaryOp op) {
   return "?";
 }
 
+std::string to_string(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "/=";
+  }
+  return "?";
+}
+
 std::string to_string(IntrinsicKind kind) {
   switch (kind) {
     case IntrinsicKind::kIDiv: return "IDIV";
@@ -21,8 +33,39 @@ std::string to_string(IntrinsicKind kind) {
     case IntrinsicKind::kMin: return "MIN";
     case IntrinsicKind::kMax: return "MAX";
     case IntrinsicKind::kAbs: return "ABS";
+    case IntrinsicKind::kAnd: return "AND";
+    case IntrinsicKind::kOr: return "OR";
+    case IntrinsicKind::kNot: return "NOT";
+    case IntrinsicKind::kSelect: return "SELECT";
   }
   return "?";
+}
+
+std::size_t intrinsic_arity(IntrinsicKind kind) {
+  switch (kind) {
+    case IntrinsicKind::kAbs:
+    case IntrinsicKind::kNot:
+      return 1;
+    case IntrinsicKind::kSelect:
+      return 3;
+    case IntrinsicKind::kIDiv:
+    case IntrinsicKind::kMod:
+    case IntrinsicKind::kMin:
+    case IntrinsicKind::kMax:
+    case IntrinsicKind::kAnd:
+    case IntrinsicKind::kOr:
+      return 2;
+  }
+  return 2;
+}
+
+bool is_boolean_expr(const Expr& expr) {
+  if (std::holds_alternative<CompareExpr>(expr.node)) return true;
+  const auto* intr = std::get_if<IntrinsicExpr>(&expr.node);
+  return intr != nullptr &&
+         (intr->kind == IntrinsicKind::kAnd ||
+          intr->kind == IntrinsicKind::kOr ||
+          intr->kind == IntrinsicKind::kNot);
 }
 
 ExprPtr make_number(double value, SourceLocation loc) {
@@ -70,6 +113,14 @@ ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
   return e;
 }
 
+ExprPtr make_compare(CompareOp op, ExprPtr lhs, ExprPtr rhs,
+                     SourceLocation loc) {
+  auto e = std::make_unique<Expr>();
+  e->loc = loc;
+  e->node = CompareExpr{op, std::move(lhs), std::move(rhs)};
+  return e;
+}
+
 ExprPtr clone(const Expr& expr) {
   auto out = std::make_unique<Expr>();
   out->loc = expr.loc;
@@ -94,6 +145,8 @@ ExprPtr clone(const Expr& expr) {
           out->node = UnaryNeg{clone(*node.operand)};
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           out->node = BinaryExpr{node.op, clone(*node.lhs), clone(*node.rhs)};
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          out->node = CompareExpr{node.op, clone(*node.lhs), clone(*node.rhs)};
         }
       },
       expr.node);
@@ -122,6 +175,16 @@ StmtPtr clone(const Stmt& stmt) {
           copy.upper = clone(*node.upper);
           copy.step = node.step ? clone(*node.step) : nullptr;
           for (const auto& s : node.body) copy.body.push_back(clone(*s));
+          out->node = std::move(copy);
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          IfStmt copy;
+          copy.cond = clone(*node.cond);
+          for (const auto& s : node.then_body) {
+            copy.then_body.push_back(clone(*s));
+          }
+          for (const auto& s : node.else_body) {
+            copy.else_body.push_back(clone(*s));
+          }
           out->node = std::move(copy);
         } else if constexpr (std::is_same_v<T, ReinitStmt>) {
           out->node = node;
@@ -171,6 +234,9 @@ bool equal(const Expr& a, const Expr& b) {
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           return na.op == nb.op && equal(*na.lhs, *nb.lhs) &&
                  equal(*na.rhs, *nb.rhs);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          return na.op == nb.op && equal(*na.lhs, *nb.lhs) &&
+                 equal(*na.rhs, *nb.rhs);
         }
       },
       a.node);
@@ -191,6 +257,9 @@ void for_each_array_ref(const Expr& expr,
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           for_each_array_ref(*node.lhs, fn);
           for_each_array_ref(*node.rhs, fn);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          for_each_array_ref(*node.lhs, fn);
+          for_each_array_ref(*node.rhs, fn);
         }
       },
       expr.node);
@@ -202,6 +271,9 @@ void walk_stmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
   fn(stmt);
   if (const auto* loop = std::get_if<DoLoop>(&stmt.node)) {
     for (const auto& s : loop->body) walk_stmt(*s, fn);
+  } else if (const auto* branch = std::get_if<IfStmt>(&stmt.node)) {
+    for (const auto& s : branch->then_body) walk_stmt(*s, fn);
+    for (const auto& s : branch->else_body) walk_stmt(*s, fn);
   }
 }
 
@@ -226,6 +298,9 @@ void for_each_var(const Expr& expr,
         } else if constexpr (std::is_same_v<T, UnaryNeg>) {
           for_each_var(*node.operand, fn);
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          for_each_var(*node.lhs, fn);
+          for_each_var(*node.rhs, fn);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
           for_each_var(*node.lhs, fn);
           for_each_var(*node.rhs, fn);
         }

@@ -20,10 +20,40 @@
 namespace sap {
 
 enum class BinaryOp { kAdd, kSub, kMul, kDiv };
-enum class IntrinsicKind { kIDiv, kMod, kMin, kMax, kAbs };
+
+/// Comparison operators.  A comparison is the DSL's only boolean-valued
+/// primitive: it evaluates to 1.0 (true) or 0.0 (false) and may appear
+/// only in boolean contexts (IF guards, SELECT conditions, AND/OR/NOT
+/// operands) — sema rejects booleans used as numeric values and vice
+/// versa.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// kSelect is SELECT(cond, a, b): cond is evaluated first, then ONLY the
+/// chosen operand — a real branch, so the two arms may have different
+/// access densities (the conditional workloads the classifier and the
+/// advisor's probability weights exist for).  kAnd/kOr/kNot are strict
+/// over boolean operands.
+enum class IntrinsicKind {
+  kIDiv,
+  kMod,
+  kMin,
+  kMax,
+  kAbs,
+  kAnd,
+  kOr,
+  kNot,
+  kSelect,
+};
 
 std::string to_string(BinaryOp op);
+std::string to_string(CompareOp op);
 std::string to_string(IntrinsicKind kind);
+
+/// Argument count of an intrinsic (kAbs/kNot: 1, kSelect: 3, rest: 2).
+std::size_t intrinsic_arity(IntrinsicKind kind);
+
+/// True for the boolean-valued expression forms (comparison, AND/OR/NOT).
+bool is_boolean_expr(const struct Expr& expr);
 
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
@@ -62,10 +92,18 @@ struct BinaryExpr {
   ExprPtr rhs;
 };
 
+/// lhs <op> rhs — boolean-valued (see CompareOp).  Both operands are
+/// evaluated (left first), exactly like an arithmetic BinaryExpr.
+struct CompareExpr {
+  CompareOp op = CompareOp::kLt;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
 struct Expr {
   SourceLocation loc;
   std::variant<NumberLit, VarRef, ArrayRefExpr, IntrinsicExpr, UnaryNeg,
-               BinaryExpr>
+               BinaryExpr, CompareExpr>
       node;
 };
 
@@ -104,6 +142,21 @@ struct DoLoop {
   std::vector<StmtPtr> body;
 };
 
+/// IF (cond) THEN ... [ELSE ...] END IF.  The guard is *control*: it is
+/// resolved sequentially (in the dataflow modes, by the trace pass, so the
+/// per-PE instance streams stay deterministic under the sharded runtime),
+/// and its array reads are replicated control operands that are not
+/// modeled as memory traffic — the same rule loop bounds and trace-time
+/// index resolution follow (§2: every PE runs a copy of the control).
+/// Under single assignment the two arms may define the *same* cell: the
+/// arms are mutually exclusive, so the merged definition is still unique
+/// per execution (the DSA translation of conditionals; DESIGN.md).
+struct IfStmt {
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;  // empty when there is no ELSE
+};
+
 /// REINIT A — the §5 host-processor re-initialization protocol: every PE
 /// requests the re-init of A; when the last request reaches A's host PE,
 /// the array's cells become undefined again and caches are invalidated.
@@ -114,7 +167,7 @@ struct ReinitStmt {
 
 struct Stmt {
   SourceLocation loc;
-  std::variant<ArrayAssign, ScalarAssign, DoLoop, ReinitStmt> node;
+  std::variant<ArrayAssign, ScalarAssign, DoLoop, IfStmt, ReinitStmt> node;
 };
 
 // ---------------------------------------------------------------------------
@@ -163,6 +216,8 @@ ExprPtr make_intrinsic(IntrinsicKind kind, std::vector<ExprPtr> args,
 ExprPtr make_neg(ExprPtr operand, SourceLocation loc = {});
 ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
                     SourceLocation loc = {});
+ExprPtr make_compare(CompareOp op, ExprPtr lhs, ExprPtr rhs,
+                     SourceLocation loc = {});
 
 /// Deep copies.
 ExprPtr clone(const Expr& expr);

@@ -26,6 +26,46 @@ AccessClass worse(AccessClass a, AccessClass b) {
   return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
 }
 
+/// Does the expression branch (a SELECT whose arms have different reads)?
+bool contains_select(const Expr& expr) {
+  return std::visit(
+      [&](const auto& node) -> bool {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayRefExpr>) {
+          for (const auto& idx : node.indices) {
+            if (contains_select(*idx)) return true;
+          }
+          return false;
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          if (node.kind == IntrinsicKind::kSelect) return true;
+          for (const auto& a : node.args) {
+            if (contains_select(*a)) return true;
+          }
+          return false;
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          return contains_select(*node.operand);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          return contains_select(*node.lhs) || contains_select(*node.rhs);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          return contains_select(*node.lhs) || contains_select(*node.rhs);
+        } else {
+          return false;
+        }
+      },
+      expr.node);
+}
+
+/// Is the statement's access density data-dependent — under an IF arm, or
+/// reading through a SELECT branch?
+bool site_is_conditional(const AssignSite& site) {
+  if (!site.conditionals.empty()) return true;
+  if (contains_select(*site.assign->value)) return true;
+  for (const auto& idx : site.assign->indices) {
+    if (contains_select(*idx)) return true;
+  }
+  return false;
+}
+
 class Classifier {
  public:
   Classifier(const Program& program, const SemanticInfo& sema,
@@ -47,10 +87,15 @@ class Classifier {
     for (const auto& [loop, sites] : groups) {
       out.loops.push_back(classify_group(loop, sites));
       out.cls = worse(out.cls, out.loops.back().cls);
+      out.guarded_sites += out.loops.back().guarded_sites;
     }
     std::ostringstream why;
     why << "program class = " << to_string(out.cls) << " over "
         << out.loops.size() << " loop group(s)";
+    if (out.guarded_sites > 0) {
+      why << "; " << out.guarded_sites
+          << " conditional statement(s) (IF-guarded or SELECT-branching)";
+    }
     out.rationale = why.str();
     return out;
   }
@@ -81,6 +126,8 @@ class Classifier {
     for (const AssignSite* site : sites) {
       AffineContext ctx{&program_, &sema_, site->loops};
       const ArrayAssign& assign = *site->assign;
+      ++lc.total_sites;
+      if (site_is_conditional(*site)) ++lc.guarded_sites;
 
       // Write side.
       ArrayRefExpr target;
@@ -348,7 +395,12 @@ std::string ProgramClassification::report() const {
   for (const auto& lc : loops) {
     os << "  loop " << (lc.loop ? lc.loop->var : std::string("<top>"))
        << ": " << to_string(lc.cls) << " (" << lc.rationale << "; "
-       << lc.read_stream_count << " stream(s))\n";
+       << lc.read_stream_count << " stream(s)";
+    if (lc.conditional()) {
+      os << "; " << lc.guarded_sites << "/" << lc.total_sites
+         << " guarded site(s)";
+    }
+    os << ")\n";
     for (const auto& rc : lc.reads) {
       os << "    read " << rc.array << ": " << to_string(rc.cls) << " — "
          << rc.rationale << '\n';

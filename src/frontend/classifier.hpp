@@ -65,14 +65,27 @@ struct LoopClassification {
   const DoLoop* loop = nullptr;  // null for straight-line statements
   AccessClass cls = AccessClass::kMatched;
   std::int64_t read_stream_count = 0;
+  /// Statements of this group whose access density is data-dependent —
+  /// inside an IF arm, or branching through a SELECT (Table 1's
+  /// "conditional" column; the advisor weights them by execution
+  /// probability).
+  std::int64_t guarded_sites = 0;
+  std::int64_t total_sites = 0;
   std::vector<ReadClassification> reads;
   std::string rationale;
+
+  bool conditional() const noexcept { return guarded_sites > 0; }
 };
 
 struct ProgramClassification {
   AccessClass cls = AccessClass::kMatched;
   std::vector<LoopClassification> loops;
   std::string rationale;
+  /// Conditional assignment sites (IF-guarded or SELECT-branching),
+  /// program-wide.
+  std::int64_t guarded_sites = 0;
+
+  bool conditional() const noexcept { return guarded_sites > 0; }
 
   /// Human-readable multi-line report.
   std::string report() const;

@@ -48,6 +48,9 @@ void rename_reads_in_expr(Expr& expr, const std::string& from,
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           rename_reads_in_expr(*node.lhs, from, to);
           rename_reads_in_expr(*node.rhs, from, to);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          rename_reads_in_expr(*node.lhs, from, to);
+          rename_reads_in_expr(*node.rhs, from, to);
         }
       },
       expr.node);
@@ -69,6 +72,10 @@ void rename_reads_in_stmt(Stmt& stmt, const std::string& from,
           rename_reads_in_expr(*node.upper, from, to);
           if (node.step) rename_reads_in_expr(*node.step, from, to);
           for (auto& s : node.body) rename_reads_in_stmt(*s, from, to);
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          rename_reads_in_expr(*node.cond, from, to);
+          for (auto& s : node.then_body) rename_reads_in_stmt(*s, from, to);
+          for (auto& s : node.else_body) rename_reads_in_stmt(*s, from, to);
         }
       },
       stmt.node);
@@ -100,6 +107,9 @@ void rename_accumulator_reads(Expr& expr, const ArrayAssign& assign,
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           rename_accumulator_reads(*node.lhs, assign, from, to);
           rename_accumulator_reads(*node.rhs, assign, from, to);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          rename_accumulator_reads(*node.lhs, assign, from, to);
+          rename_accumulator_reads(*node.rhs, assign, from, to);
         }
       },
       expr.node);
@@ -116,6 +126,9 @@ void rename_writes_in_stmt(Stmt& stmt, const std::string& from,
     assign->array = to;
   } else if (auto* loop = std::get_if<DoLoop>(&stmt.node)) {
     for (auto& s : loop->body) rename_writes_in_stmt(*s, from, to);
+  } else if (auto* branch = std::get_if<IfStmt>(&stmt.node)) {
+    for (auto& s : branch->then_body) rename_writes_in_stmt(*s, from, to);
+    for (auto& s : branch->else_body) rename_writes_in_stmt(*s, from, to);
   } else if (auto* reinit = std::get_if<ReinitStmt>(&stmt.node)) {
     if (reinit->array == from) reinit->array = to;
   }
@@ -130,6 +143,14 @@ bool writes_array(const Stmt& stmt, const std::string& array) {
       if (writes_array(*s, array)) return true;
     }
   }
+  if (const auto* branch = std::get_if<IfStmt>(&stmt.node)) {
+    for (const auto& s : branch->then_body) {
+      if (writes_array(*s, array)) return true;
+    }
+    for (const auto& s : branch->else_body) {
+      if (writes_array(*s, array)) return true;
+    }
+  }
   return false;
 }
 
@@ -138,6 +159,9 @@ void collect_writes(const Stmt& stmt, std::set<std::string>& out) {
     out.insert(assign->array);
   } else if (const auto* loop = std::get_if<DoLoop>(&stmt.node)) {
     for (const auto& s : loop->body) collect_writes(*s, out);
+  } else if (const auto* branch = std::get_if<IfStmt>(&stmt.node)) {
+    for (const auto& s : branch->then_body) collect_writes(*s, out);
+    for (const auto& s : branch->else_body) collect_writes(*s, out);
   }
 }
 
@@ -196,6 +220,11 @@ class Converter {
   void apply_reinits(
       Stmt& stmt,
       const std::set<std::pair<const DoLoop*, std::string>>& pending) {
+    if (auto* branch = std::get_if<IfStmt>(&stmt.node)) {
+      for (auto& child : branch->then_body) apply_reinits(*child, pending);
+      for (auto& child : branch->else_body) apply_reinits(*child, pending);
+      return;
+    }
     auto* loop = std::get_if<DoLoop>(&stmt.node);
     if (!loop) return;
     for (const auto& [target_loop, array] : pending) {

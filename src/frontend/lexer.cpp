@@ -18,6 +18,9 @@ const std::unordered_map<std::string, TokenKind>& keyword_table() {
       {"NONE", TokenKind::kKwNone},       {"PREFIX", TokenKind::kKwPrefix},
       {"DO", TokenKind::kKwDo},
       {"REINIT", TokenKind::kKwReinit},
+      {"IF", TokenKind::kKwIf},
+      {"THEN", TokenKind::kKwThen},
+      {"ELSE", TokenKind::kKwElse},
   };
   return table;
 }
@@ -89,8 +92,30 @@ Token Lexer::next_token() {
     case '+': return {TokenKind::kPlus, "+", 0.0, loc};
     case '-': return {TokenKind::kMinus, "-", 0.0, loc};
     case '*': return {TokenKind::kStar, "*", 0.0, loc};
-    case '/': return {TokenKind::kSlash, "/", 0.0, loc};
-    case '=': return {TokenKind::kEquals, "=", 0.0, loc};
+    case '/':
+      if (peek() == '=') {
+        advance();
+        return {TokenKind::kNotEqual, "/=", 0.0, loc};
+      }
+      return {TokenKind::kSlash, "/", 0.0, loc};
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return {TokenKind::kEqualEqual, "==", 0.0, loc};
+      }
+      return {TokenKind::kEquals, "=", 0.0, loc};
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return {TokenKind::kLessEqual, "<=", 0.0, loc};
+      }
+      return {TokenKind::kLess, "<", 0.0, loc};
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return {TokenKind::kGreaterEqual, ">=", 0.0, loc};
+      }
+      return {TokenKind::kGreater, ">", 0.0, loc};
     default: break;
   }
 

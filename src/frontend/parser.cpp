@@ -17,7 +17,23 @@ std::optional<IntrinsicKind> intrinsic_by_name(const std::string& name) {
   if (name == "MIN") return IntrinsicKind::kMin;
   if (name == "MAX") return IntrinsicKind::kMax;
   if (name == "ABS") return IntrinsicKind::kAbs;
+  if (name == "AND") return IntrinsicKind::kAnd;
+  if (name == "OR") return IntrinsicKind::kOr;
+  if (name == "NOT") return IntrinsicKind::kNot;
+  if (name == "SELECT") return IntrinsicKind::kSelect;
   return std::nullopt;
+}
+
+std::optional<CompareOp> compare_op_for(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLess: return CompareOp::kLt;
+    case TokenKind::kLessEqual: return CompareOp::kLe;
+    case TokenKind::kGreater: return CompareOp::kGt;
+    case TokenKind::kGreaterEqual: return CompareOp::kGe;
+    case TokenKind::kEqualEqual: return CompareOp::kEq;
+    case TokenKind::kNotEqual: return CompareOp::kNe;
+    default: return std::nullopt;
+  }
 }
 
 }  // namespace
@@ -173,6 +189,10 @@ StmtPtr Parser::parse_stmt() {
   while (match(TokenKind::kNewline)) {
   }
   if (check(TokenKind::kKwDo)) return parse_do_loop();
+  if (check(TokenKind::kKwIf)) return parse_if();
+  if (check(TokenKind::kKwElse)) {
+    fail("ELSE without a matching IF ... THEN");
+  }
   if (check(TokenKind::kKwReinit)) {
     auto stmt = std::make_unique<Stmt>();
     stmt->loc = peek().loc;
@@ -211,6 +231,38 @@ StmtPtr Parser::parse_do_loop() {
   return stmt;
 }
 
+StmtPtr Parser::parse_if() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->loc = peek().loc;
+  expect(TokenKind::kKwIf, "");
+  IfStmt branch;
+  expect(TokenKind::kLParen, "after IF");
+  branch.cond = parse_expr();
+  expect(TokenKind::kRParen, "to close IF condition");
+  expect(TokenKind::kKwThen, "after IF condition");
+  expect_newline("after THEN");
+
+  while (!check(TokenKind::kKwEnd) && !check(TokenKind::kKwElse)) {
+    if (check(TokenKind::kEndOfFile)) fail("missing END IF");
+    branch.then_body.push_back(parse_stmt());
+  }
+  if (match(TokenKind::kKwElse)) {
+    expect_newline("after ELSE");
+    while (!check(TokenKind::kKwEnd)) {
+      if (check(TokenKind::kEndOfFile)) fail("missing END IF");
+      if (check(TokenKind::kKwElse)) {
+        fail("duplicate ELSE in IF ... END IF");
+      }
+      branch.else_body.push_back(parse_stmt());
+    }
+  }
+  expect(TokenKind::kKwEnd, "to close IF");
+  expect(TokenKind::kKwIf, "after END to close IF");
+  expect_newline("after END IF");
+  stmt->node = std::move(branch);
+  return stmt;
+}
+
 StmtPtr Parser::parse_assignment() {
   auto stmt = std::make_unique<Stmt>();
   stmt->loc = peek().loc;
@@ -241,6 +293,19 @@ StmtPtr Parser::parse_assignment() {
 }
 
 ExprPtr Parser::parse_expr() {
+  ExprPtr lhs = parse_sum();
+  const SourceLocation loc = peek().loc;
+  const auto op = compare_op_for(peek().kind);
+  if (!op) return lhs;
+  advance();
+  ExprPtr cmp = make_compare(*op, std::move(lhs), parse_sum(), loc);
+  if (compare_op_for(peek().kind)) {
+    fail("chained comparisons are not allowed; combine with AND/OR");
+  }
+  return cmp;
+}
+
+ExprPtr Parser::parse_sum() {
   ExprPtr lhs = parse_term();
   for (;;) {
     const SourceLocation loc = peek().loc;

@@ -8,13 +8,19 @@
 //   dim      := signed-int [':' signed-int]          (default lower = 1)
 //   init     := ALL | NONE | PREFIX signed-int
 //   stmt     := DO ident '=' expr ',' expr [',' expr] NL {stmt} END DO NL
+//             | IF '(' expr ')' THEN NL {stmt} [ELSE NL {stmt}] END IF NL
+//             | REINIT ident NL
 //             | ident '(' expr {',' expr} ')' '=' expr NL    (array assign)
 //             | ident '=' expr NL                            (scalar assign)
-//   expr     := term {('+'|'-') term}
+//   expr     := sum [('<'|'<='|'>'|'>='|'=='|'/=') sum]  (non-associative)
+//   sum      := term {('+'|'-') term}
 //   term     := factor {('*'|'/') factor}
 //   factor   := ['+'|'-'] primary
 //   primary  := number | '(' expr ')'
 //             | ident ['(' expr {',' expr} ')']   (array ref or intrinsic)
+//
+// Comparisons are boolean-valued and non-associative (a < b < c is a parse
+// error); sema enforces that booleans appear only in guard positions.
 #pragma once
 
 #include <string_view>
@@ -49,8 +55,10 @@ class Parser {
   std::int64_t parse_signed_int(const std::string& context);
   StmtPtr parse_stmt();
   StmtPtr parse_do_loop();
+  StmtPtr parse_if();
   StmtPtr parse_assignment();
   ExprPtr parse_expr();
+  ExprPtr parse_sum();
   ExprPtr parse_term();
   ExprPtr parse_factor();
   ExprPtr parse_primary();

@@ -7,6 +7,9 @@ namespace sap {
 
 namespace {
 
+// Precedence levels: comparison (0) < additive (1) < multiplicative (2)
+// < unary minus (3).  Comparisons are non-associative and boolean-valued,
+// so they are parenthesized inside any tighter context.
 int precedence(BinaryOp op) {
   switch (op) {
     case BinaryOp::kAdd:
@@ -28,54 +31,79 @@ std::string print_number(double v) {
   return os.str();
 }
 
-std::string print_with_parens(const Expr& expr, int parent_prec,
-                              bool rhs_of_nonassoc);
+// Expression text is appended into a caller-owned buffer.  (Besides being
+// cheaper than building temporaries, this sidesteps GCC 12's -O3
+// -Wrestrict false positive on the `"(" + s + ")"` std::string operator+
+// chains the previous formulation used.)
+void append_with_parens(const Expr& expr, std::string& out, int parent_prec,
+                        bool rhs_of_nonassoc);
 
-std::string print_raw(const Expr& expr) {
-  return std::visit(
-      [&](const auto& node) -> std::string {
+void append_raw(const Expr& expr, std::string& out) {
+  std::visit(
+      [&](const auto& node) {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, NumberLit>) {
-          return print_number(node.value);
+          out += print_number(node.value);
         } else if constexpr (std::is_same_v<T, VarRef>) {
-          return node.name;
+          out += node.name;
         } else if constexpr (std::is_same_v<T, ArrayRefExpr>) {
-          std::string out = node.name + "(";
+          out += node.name;
+          out += '(';
           for (std::size_t i = 0; i < node.indices.size(); ++i) {
             if (i) out += ", ";
-            out += print_expr(*node.indices[i]);
+            append_with_parens(*node.indices[i], out, 0, false);
           }
-          return out + ")";
+          out += ')';
         } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
-          std::string out = to_string(node.kind) + "(";
+          out += to_string(node.kind);
+          out += '(';
           for (std::size_t i = 0; i < node.args.size(); ++i) {
             if (i) out += ", ";
-            out += print_expr(*node.args[i]);
+            append_with_parens(*node.args[i], out, 0, false);
           }
-          return out + ")";
+          out += ')';
         } else if constexpr (std::is_same_v<T, UnaryNeg>) {
-          return "-" + print_with_parens(*node.operand, 3, false);
+          out += '-';
+          append_with_parens(*node.operand, out, 3, false);
         } else if constexpr (std::is_same_v<T, BinaryExpr>) {
           const int prec = precedence(node.op);
           const bool nonassoc =
               node.op == BinaryOp::kSub || node.op == BinaryOp::kDiv;
-          return print_with_parens(*node.lhs, prec, false) + " " +
-                 to_string(node.op) + " " +
-                 print_with_parens(*node.rhs, prec, nonassoc);
+          append_with_parens(*node.lhs, out, prec, false);
+          out += ' ';
+          out += to_string(node.op);
+          out += ' ';
+          append_with_parens(*node.rhs, out, prec, nonassoc);
+        } else if constexpr (std::is_same_v<T, CompareExpr>) {
+          append_with_parens(*node.lhs, out, 1, false);
+          out += ' ';
+          out += to_string(node.op);
+          out += ' ';
+          append_with_parens(*node.rhs, out, 1, false);
         }
       },
       expr.node);
 }
 
-std::string print_with_parens(const Expr& expr, int parent_prec,
-                              bool rhs_of_nonassoc) {
-  const auto* bin = std::get_if<BinaryExpr>(&expr.node);
-  if (!bin) return print_raw(expr);
-  const int prec = precedence(bin->op);
-  if (prec < parent_prec || (prec == parent_prec && rhs_of_nonassoc)) {
-    return "(" + print_raw(expr) + ")";
+void append_with_parens(const Expr& expr, std::string& out, int parent_prec,
+                        bool rhs_of_nonassoc) {
+  int prec = -1;
+  if (const auto* bin = std::get_if<BinaryExpr>(&expr.node)) {
+    prec = precedence(bin->op);
+  } else if (std::holds_alternative<CompareExpr>(expr.node)) {
+    prec = 0;  // weakest: parenthesized inside any arithmetic context
   }
-  return print_raw(expr);
+  if (prec < 0) {
+    append_raw(expr, out);
+    return;
+  }
+  if (prec < parent_prec || (prec == parent_prec && rhs_of_nonassoc)) {
+    out += '(';
+    append_raw(expr, out);
+    out += ')';
+  } else {
+    append_raw(expr, out);
+  }
 }
 
 std::string indent_str(int indent) {
@@ -84,7 +112,11 @@ std::string indent_str(int indent) {
 
 }  // namespace
 
-std::string print_expr(const Expr& expr) { return print_raw(expr); }
+std::string print_expr(const Expr& expr) {
+  std::string out;
+  append_raw(expr, out);
+  return out;
+}
 
 std::string print_stmt(const Stmt& stmt, int indent) {
   std::ostringstream os;
@@ -110,6 +142,19 @@ std::string print_stmt(const Stmt& stmt, int indent) {
           os << '\n';
           for (const auto& s : node.body) os << print_stmt(*s, indent + 1);
           os << indent_str(indent) << "END DO\n";
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          os << indent_str(indent) << "IF (" << print_expr(*node.cond)
+             << ") THEN\n";
+          for (const auto& s : node.then_body) {
+            os << print_stmt(*s, indent + 1);
+          }
+          if (!node.else_body.empty()) {
+            os << indent_str(indent) << "ELSE\n";
+            for (const auto& s : node.else_body) {
+              os << print_stmt(*s, indent + 1);
+            }
+          }
+          os << indent_str(indent) << "END IF\n";
         } else if constexpr (std::is_same_v<T, ReinitStmt>) {
           os << indent_str(indent) << "REINIT " << node.array << '\n';
         }

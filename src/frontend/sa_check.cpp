@@ -106,23 +106,29 @@ SaCheckResult check_single_assignment(const Program& program,
     // element stands still rewrites the same cell — unless the statement
     // is a reduction (hoisted commit).  Skipped when the affine constant
     // is unknown (induction resets like ICCG's advance the element in a
-    // way per-loop strides cannot see).
+    // way per-loop strides cannot see).  A *guarded* write is only a
+    // possible violation: the guard decides how many of the trips
+    // actually write, so the double write is data-dependent (the runtime
+    // still traps it when it happens).
     if (!assign.is_reduction && aff.constant_known) {
+      const bool guarded = !site.conditionals.empty();
       for (const auto* loop : site.loops) {
         const auto stride = stride_per_trip(aff, *loop, ctx);
         if (!stride) continue;
         if (*stride != 0) continue;
         const auto trips = const_trip_count(*loop, ctx);
         if (trips && *trips <= 1) continue;
-        const bool proven = trips.has_value();
+        const bool proven = trips.has_value() && !guarded;
         result.findings.push_back(
             {proven ? SaFindingKind::kProvenViolation
                     : SaFindingKind::kPossibleViolation,
              assign.array,
              "write target is invariant in loop '" + loop->var +
                  "' which iterates" +
-                 (proven ? " " + std::to_string(*trips) + " times"
-                         : " an unknown number of times")});
+                 (trips ? " " + std::to_string(*trips) + " times"
+                        : " an unknown number of times") +
+                 (guarded ? " (guarded: write count is data-dependent)"
+                          : "")});
       }
     }
 
@@ -132,10 +138,14 @@ SaCheckResult check_single_assignment(const Program& program,
   }
 
   // Cross-site overlap: two distinct statements writing intersecting
-  // element ranges of one array.
+  // element ranges of one array.  Statements in *different arms of the
+  // same IF* are exempt: they can never both execute in one control
+  // instance, so their definitions merge into a single write per cell —
+  // the DSA translation of conditionals (DESIGN.md).
   for (const auto& [array, sites] : by_array) {
     for (std::size_t a = 0; a < sites.size(); ++a) {
       for (std::size_t b = a + 1; b < sites.size(); ++b) {
+        if (mutually_exclusive(*sites[a].site, *sites[b].site)) continue;
         const auto& ra = sites[a].range;
         const auto& rb = sites[b].range;
         if (!ra || !rb) {

@@ -15,11 +15,23 @@ const ArrayDecl& SemanticInfo::array_decl(const Program& program,
   return program.arrays[it->second];
 }
 
+bool mutually_exclusive(const AssignSite& a, const AssignSite& b) {
+  for (const ConditionalArm& arm_a : a.conditionals) {
+    for (const ConditionalArm& arm_b : b.conditionals) {
+      if (arm_a.stmt == arm_b.stmt && arm_a.in_else != arm_b.in_else) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 namespace {
 
 bool is_intrinsic_name(const std::string& name) {
   return name == "IDIV" || name == "MOD" || name == "MIN" || name == "MAX" ||
-         name == "ABS";
+         name == "ABS" || name == "AND" || name == "OR" || name == "NOT" ||
+         name == "SELECT";
 }
 
 class Analyzer {
@@ -89,6 +101,8 @@ class Analyzer {
             visit_scalar_assign(stmt, node);
           } else if constexpr (std::is_same_v<T, DoLoop>) {
             visit_loop(stmt, node);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            visit_if(stmt, node);
           } else if constexpr (std::is_same_v<T, ReinitStmt>) {
             if (!info_.arrays.count(node.array)) {
               error(stmt.loc, "REINIT of undeclared array '" + node.array +
@@ -122,8 +136,12 @@ class Analyzer {
                           "' is INIT ALL input data and may not be written "
                           "(single assignment)");
     }
-    for (const auto& idx : assign.indices) visit_expr(*idx);
+    for (const auto& idx : assign.indices) {
+      visit_expr(*idx);
+      require_numeric(*idx, "array index");
+    }
     visit_expr(*assign.value);
+    require_numeric(*assign.value, "assigned value");
     info_.written_arrays.insert(assign.array);
 
     // Reduction detection: the value references the identical element.
@@ -147,6 +165,7 @@ class Analyzer {
     site.stmt = &stmt;
     site.assign = &assign;
     site.loops = loop_stack_;
+    site.conditionals = cond_stack_;
     info_.assign_sites.push_back(std::move(site));
   }
 
@@ -167,8 +186,10 @@ class Analyzer {
             "assignment to undeclared scalar '" + assign.name + "'");
     }
     visit_expr(*assign.value);
+    require_numeric(*assign.value, "assigned value");
     ++it->second.assign_count;
-    scalar_updates_.push_back({&assign, loop_stack_});
+    scalar_updates_.push_back(
+        {&assign, loop_stack_, !cond_stack_.empty()});
   }
 
   void visit_loop(Stmt& stmt, DoLoop& loop) {
@@ -180,11 +201,44 @@ class Analyzer {
                           "' shadows a declared array or scalar");
     }
     visit_expr(*loop.lower);
+    require_numeric(*loop.lower, "loop bound");
     visit_expr(*loop.upper);
-    if (loop.step) visit_expr(*loop.step);
+    require_numeric(*loop.upper, "loop bound");
+    if (loop.step) {
+      visit_expr(*loop.step);
+      require_numeric(*loop.step, "loop step");
+    }
     loop_stack_.push_back(&loop);
     for (auto& s : loop.body) visit_stmt(*s);
     loop_stack_.pop_back();
+  }
+
+  void visit_if(Stmt& stmt, IfStmt& branch) {
+    visit_expr(*branch.cond);
+    if (!is_boolean_expr(*branch.cond)) {
+      error(stmt.loc,
+            "IF condition must be a boolean expression (a comparison or "
+            "AND/OR/NOT), not a numeric value");
+    }
+    cond_stack_.push_back({&branch, /*in_else=*/false});
+    for (auto& s : branch.then_body) visit_stmt(*s);
+    cond_stack_.back().in_else = true;
+    for (auto& s : branch.else_body) visit_stmt(*s);
+    cond_stack_.pop_back();
+  }
+
+  void require_boolean(const Expr& expr, const std::string& what) {
+    if (!is_boolean_expr(expr)) {
+      error(expr.loc, what + " must be a boolean expression (a comparison "
+                          "or AND/OR/NOT)");
+    }
+  }
+
+  void require_numeric(const Expr& expr, const std::string& what) {
+    if (is_boolean_expr(expr)) {
+      error(expr.loc, "boolean expression used as a " + what +
+                          "; use SELECT(cond, a, b) to produce a value");
+    }
   }
 
   void visit_expr(const Expr& expr) {
@@ -212,20 +266,51 @@ class Analyzer {
                                   " indices were given");
             }
             info_.read_arrays.insert(node.name);
-            for (const auto& idx : node.indices) visit_expr(*idx);
+            for (const auto& idx : node.indices) {
+              visit_expr(*idx);
+              require_numeric(*idx, "array index");
+            }
           } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
-            const std::size_t want =
-                node.kind == IntrinsicKind::kAbs ? 1u : 2u;
+            const std::size_t want = intrinsic_arity(node.kind);
             if (node.args.size() != want) {
               error(expr.loc, to_string(node.kind) + " expects " +
                                   std::to_string(want) + " argument(s)");
             }
             for (const auto& a : node.args) visit_expr(*a);
+            switch (node.kind) {
+              case IntrinsicKind::kAnd:
+              case IntrinsicKind::kOr:
+              case IntrinsicKind::kNot:
+                for (const auto& a : node.args) {
+                  require_boolean(*a, to_string(node.kind) + " operand");
+                }
+                break;
+              case IntrinsicKind::kSelect:
+                require_boolean(*node.args[0], "SELECT condition");
+                require_numeric(*node.args[1], "SELECT operand");
+                require_numeric(*node.args[2], "SELECT operand");
+                break;
+              default:
+                for (const auto& a : node.args) {
+                  require_numeric(*a, to_string(node.kind) + " operand");
+                }
+                break;
+            }
           } else if constexpr (std::is_same_v<T, UnaryNeg>) {
             visit_expr(*node.operand);
+            require_numeric(*node.operand, "operand of unary '-'");
           } else if constexpr (std::is_same_v<T, BinaryExpr>) {
             visit_expr(*node.lhs);
             visit_expr(*node.rhs);
+            require_numeric(*node.lhs, "operand of '" + to_string(node.op) +
+                                           "'");
+            require_numeric(*node.rhs, "operand of '" + to_string(node.op) +
+                                           "'");
+          } else if constexpr (std::is_same_v<T, CompareExpr>) {
+            visit_expr(*node.lhs);
+            visit_expr(*node.rhs);
+            require_numeric(*node.lhs, "comparison operand");
+            require_numeric(*node.rhs, "comparison operand");
           }
         },
         expr.node);
@@ -236,9 +321,11 @@ class Analyzer {
     // (s = s + c / s = c + s / s = s - c, c a literal) inside a loop; any
     // other assignments (resets like ICCG's `i = ipntp`) must sit outside
     // that loop, so within one trip sequence the stride is exactly c.
-    for (const auto& [assign, loops] : scalar_updates_) {
+    for (const auto& [assign, loops, guarded] : scalar_updates_) {
       auto& si = info_.scalars.at(assign->name);
       if (loops.empty()) continue;
+      // A guarded update's stride is data-dependent: never an induction.
+      if (guarded) continue;
       const auto* bin = std::get_if<BinaryExpr>(&assign->value->node);
       if (!bin) continue;
       const auto step_of = [&](const Expr& self,
@@ -260,7 +347,8 @@ class Analyzer {
 
       const DoLoop* increment_loop = loops.back();
       bool conflicting = false;
-      for (const auto& [other, other_loops] : scalar_updates_) {
+      for (const auto& [other, other_loops, other_guarded] :
+           scalar_updates_) {
         if (other == assign || other->name != assign->name) continue;
         // Another update inside the increment's loop breaks the stride.
         if (std::find(other_loops.begin(), other_loops.end(),
@@ -293,11 +381,17 @@ class Analyzer {
     }
   }
 
+  struct ScalarUpdate {
+    const ScalarAssign* assign = nullptr;
+    std::vector<const DoLoop*> loops;
+    bool guarded = false;  // inside an IF arm
+  };
+
   Program& program_;
   SemanticInfo info_;
   std::vector<const DoLoop*> loop_stack_;
-  std::vector<std::pair<const ScalarAssign*, std::vector<const DoLoop*>>>
-      scalar_updates_;
+  std::vector<ConditionalArm> cond_stack_;
+  std::vector<ScalarUpdate> scalar_updates_;
 };
 
 }  // namespace

@@ -18,12 +18,27 @@
 
 namespace sap {
 
+/// One arm of an enclosing IF: which statement, and which branch.
+struct ConditionalArm {
+  const IfStmt* stmt = nullptr;
+  bool in_else = false;
+};
+
 /// One array assignment and the DO loops that enclose it, outermost first.
 struct AssignSite {
   const Stmt* stmt = nullptr;
   const ArrayAssign* assign = nullptr;
   std::vector<const DoLoop*> loops;
+  /// Enclosing IF arms, outermost first (empty for unguarded statements).
+  /// Two sites sharing an IfStmt with *different* arms are mutually
+  /// exclusive — the single-assignment checker merges their definitions
+  /// per the DSA translation of conditionals.
+  std::vector<ConditionalArm> conditionals;
 };
+
+/// Do the two sites sit in different arms of one shared IF (and can
+/// therefore never both execute in the same control instance)?
+bool mutually_exclusive(const AssignSite& a, const AssignSite& b);
 
 /// Facts about one declared scalar.
 struct ScalarInfo {

@@ -16,6 +16,9 @@ std::string to_string(TokenKind kind) {
     case TokenKind::kKwPrefix: return "PREFIX";
     case TokenKind::kKwDo: return "DO";
     case TokenKind::kKwReinit: return "REINIT";
+    case TokenKind::kKwIf: return "IF";
+    case TokenKind::kKwThen: return "THEN";
+    case TokenKind::kKwElse: return "ELSE";
     case TokenKind::kLParen: return "'('";
     case TokenKind::kRParen: return "')'";
     case TokenKind::kComma: return "','";
@@ -25,6 +28,12 @@ std::string to_string(TokenKind kind) {
     case TokenKind::kStar: return "'*'";
     case TokenKind::kSlash: return "'/'";
     case TokenKind::kEquals: return "'='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEqual: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEqual: return "'>='";
+    case TokenKind::kEqualEqual: return "'=='";
+    case TokenKind::kNotEqual: return "'/='";
     case TokenKind::kNewline: return "newline";
     case TokenKind::kEndOfFile: return "end of file";
   }

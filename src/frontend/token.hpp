@@ -36,6 +36,9 @@ enum class TokenKind {
   kKwPrefix,
   kKwDo,
   kKwReinit,
+  kKwIf,
+  kKwThen,
+  kKwElse,
   // Punctuation / operators.
   kLParen,
   kRParen,
@@ -46,6 +49,13 @@ enum class TokenKind {
   kStar,
   kSlash,
   kEquals,
+  // Comparison operators (Fortran-flavoured: /= is not-equal).
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kEqualEqual,
+  kNotEqual,
   kNewline,
   kEndOfFile,
 };

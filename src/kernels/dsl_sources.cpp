@@ -197,6 +197,51 @@ END DO
 END PROGRAM
 )";
 
+constexpr std::string_view kFlowLimiterSource = R"(
+PROGRAM k15_flow_limiter
+ARRAY VG(401, 7) INIT ALL
+ARRAY VH(401, 7) INIT ALL
+ARRAY VF(401, 7) INIT ALL
+ARRAY VS(401, 7) INIT NONE
+SCALAR R = 0.125
+DO J = 2, 6
+  DO K = 2, 400
+    IF (AND(VH(K, J) > VG(K, J), VF(K, J) > R)) THEN
+      VS(K, J) = VH(K, J) - R * (VH(K, J + 1) - VH(K, J - 1))
+    ELSE
+      VS(K, J) = VG(K, J) + R * (VG(K + 1, J) - VG(K - 1, J))
+    END IF
+  END DO
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kMinSearchSource = R"(
+PROGRAM k16_min_search
+ARRAY X(1000) INIT ALL
+ARRAY XM(1000) INIT PREFIX 1
+DO K = 2, 1000
+  IF (X(K) < XM(K - 1)) THEN
+    XM(K) = X(K)
+  ELSE
+    XM(K) = XM(K - 1)
+  END IF
+END DO
+END PROGRAM
+)";
+
+constexpr std::string_view kFirstMinSource = R"(
+PROGRAM k24_first_min
+ARRAY X(1000) INIT ALL
+ARRAY XM(1000) INIT PREFIX 1
+ARRAY LOC(1000) INIT PREFIX 1
+DO K = 2, 1000
+  XM(K) = MIN(X(K), XM(K - 1))
+  LOC(K) = SELECT(X(K) < XM(K - 1), K, LOC(K - 1))
+END DO
+END PROGRAM
+)";
+
 constexpr std::string_view kImplicitHydroSource = R"(
 PROGRAM k23_implicit_hydro2d
 ARRAY ZA(401, 7) INIT ALL
@@ -225,9 +270,12 @@ const std::vector<DslKernelSource>& sources() {
       {"k11_first_sum", kFirstSumSource},
       {"k12_first_diff", kFirstDiffSource},
       {"k14_pic1d", kPic1dSource},
+      {"k15_flow_limiter", kFlowLimiterSource},
+      {"k16_min_search", kMinSearchSource},
       {"k18_hydro2d", kHydro2dSource},
       {"k21_matmul", kMatmulSource},
       {"k23_implicit_hydro2d", kImplicitHydroSource},
+      {"k24_first_min", kFirstMinSource},
   };
   return list;
 }

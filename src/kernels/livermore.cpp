@@ -328,6 +328,65 @@ CompiledProgram build_k14_pic_1d() {
 }
 
 // --------------------------------------------------------------------------
+// K15 — Casual Fortran (2-D flow limiter fragment).  The classic LFK 15
+// picks between a damped and an undamped stencil update per cell; in SA
+// form both arms write the same VS cell (legal: the arms are mutually
+// exclusive, the DSA merge).  The guard reads input data — control is
+// replicated, so guard reads are not modeled memory traffic — while the
+// per-arm stencil reads make the access *density* data-dependent.
+// Cyclic class like K18/K23: +/-1 row/column offsets revisited by the
+// outer sweep.
+CompiledProgram build_k15_flow_limiter(std::int64_t n) {
+  SAP_CHECK(n >= 3, "flow limiter needs n >= 3");
+  const std::int64_t kN = n;
+  ProgramBuilder b("k15_flow_limiter");
+  for (const char* name : {"VG", "VH", "VF"}) {
+    b.input_array(name, {kN + 1, 7});
+  }
+  b.array("VS", {kN + 1, 7});
+  b.scalar("R", 0.125);
+  const Ex j = b.var("J");
+  const Ex k = b.var("K");
+  b.begin_loop("J", 2, 6);
+  b.begin_loop("K", 2, ex_num(static_cast<double>(kN)));
+  b.begin_if(ex_and(ex_gt(b.at("VH", {k, j}), b.at("VG", {k, j})),
+                    ex_gt(b.at("VF", {k, j}), b.var("R"))));
+  b.assign("VS", {k, j},
+           b.at("VH", {k, j}) -
+               b.var("R") * (b.at("VH", {k, j + 1}) - b.at("VH", {k, j - 1})));
+  b.begin_else();
+  b.assign("VS", {k, j},
+           b.at("VG", {k, j}) +
+               b.var("R") * (b.at("VG", {k + 1, j}) - b.at("VG", {k - 1, j})));
+  b.end_if();
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
+// K16 — Monte Carlo Minimum Search.  The classic LFK 16 hunts for a
+// minimum with data-dependent branches; the SA transcription carries the
+// running minimum as a recurrence whose two producers sit in opposite IF
+// arms and write the same cell.  Skewed class: the surviving read is
+// XM(K-1), one element behind the write.
+CompiledProgram build_k16_min_search(std::int64_t n) {
+  SAP_CHECK(n >= 2, "min search needs n >= 2");
+  ProgramBuilder b("k16_min_search");
+  b.input_array("X", {n});
+  b.prefix_array("XM", {n}, 1);  // XM(1) seeds the recurrence
+  const Ex k = b.var("K");
+  b.begin_loop("K", 2, ex_num(static_cast<double>(n)));
+  b.begin_if(ex_lt(b.at("X", {k}), b.at("XM", {k - 1})));
+  b.assign("XM", {k}, b.at("X", {k}));
+  b.begin_else();
+  b.assign("XM", {k}, b.at("XM", {k - 1}));
+  b.end_if();
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
 // K18 — 2-D Explicit Hydrodynamics Fragment (paper §7.1.3 Figure 3 and
 // §7.2 Figure 5).  Cyclic + skewed: row-major (j,k) arrays are walked with
 // j inner (stride 7) while the k sweep revisits the same page set.
@@ -455,6 +514,27 @@ CompiledProgram build_k23_implicit_hydro_2d(std::int64_t n) {
 }
 
 // --------------------------------------------------------------------------
+// K24 — Find Location of First Minimum.  The classic LFK 24 computes the
+// index of the smallest element; in SA form the running (value, position)
+// pair is a pair of recurrences, with the position carried by a SELECT
+// whose untaken arm is never read (the evaluator's lazy branch).
+// Skewed class: XM(K-1)/LOC(K-1) trail the writes by one element.
+CompiledProgram build_k24_first_min(std::int64_t n) {
+  SAP_CHECK(n >= 2, "first-min needs n >= 2");
+  ProgramBuilder b("k24_first_min");
+  b.input_array("X", {n});
+  b.prefix_array("XM", {n}, 1);
+  b.prefix_array("LOC", {n}, 1);
+  const Ex k = b.var("K");
+  b.begin_loop("K", 2, ex_num(static_cast<double>(n)));
+  b.assign("XM", {k}, ex_min(b.at("X", {k}), b.at("XM", {k - 1})));
+  b.assign("LOC", {k}, ex_select(ex_lt(b.at("X", {k}), b.at("XM", {k - 1})),
+                                 k, b.at("LOC", {k - 1})));
+  b.end_loop();
+  return b.compile();
+}
+
+// --------------------------------------------------------------------------
 
 const std::vector<KernelSpec>& livermore_kernels() {
   static const std::vector<KernelSpec> kernels = [] {
@@ -488,12 +568,21 @@ const std::vector<KernelSpec>& livermore_kernels() {
                    AccessClass::kRandom, false, build_k13_pic_2d});
     out.push_back({14, "k14_pic1d", "1-D Particle in Cell (fragment)",
                    AccessClass::kMatched, true, build_k14_pic_1d});
+    out.push_back({15, "k15_flow_limiter", "Casual Fortran (2-D flow limiter)",
+                   AccessClass::kCyclic, false,
+                   [] { return build_k15_flow_limiter(); }});
+    out.push_back({16, "k16_min_search", "Monte Carlo Minimum Search",
+                   AccessClass::kSkewed, false,
+                   [] { return build_k16_min_search(); }});
     out.push_back({18, "k18_hydro2d", "2-D Explicit Hydrodynamics Fragment",
                    AccessClass::kCyclic, true, [] { return build_k18_explicit_hydro_2d(); }});
     out.push_back({21, "k21_matmul", "Matrix Product", AccessClass::kRandom,
                    false, [] { return build_k21_matmul(); }});
     out.push_back({23, "k23_implicit_hydro2d", "2-D Implicit Hydrodynamics",
                    AccessClass::kCyclic, false, [] { return build_k23_implicit_hydro_2d(); }});
+    out.push_back({24, "k24_first_min", "First Minimum Location",
+                   AccessClass::kSkewed, false,
+                   [] { return build_k24_first_min(); }});
     return out;
   }();
   return kernels;

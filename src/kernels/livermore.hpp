@@ -57,8 +57,13 @@ CompiledProgram build_k11_first_sum();
 CompiledProgram build_k12_first_diff();
 CompiledProgram build_k13_pic_2d();
 CompiledProgram build_k14_pic_1d();
+// Conditional kernels (guarded assignments / SELECT; Table 1's
+// "conditional" column):
+CompiledProgram build_k15_flow_limiter(std::int64_t n = 400);
+CompiledProgram build_k16_min_search(std::int64_t n = 1000);
 CompiledProgram build_k18_explicit_hydro_2d(std::int64_t n = 100);
 CompiledProgram build_k21_matmul(std::int64_t dim = 32);
 CompiledProgram build_k23_implicit_hydro_2d(std::int64_t n = 400);
+CompiledProgram build_k24_first_min(std::int64_t n = 1000);
 
 }  // namespace sap

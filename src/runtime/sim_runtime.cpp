@@ -400,7 +400,9 @@ DataflowStats run_dataflow_sharded(const CompiledProgram& compiled,
     // The §4-footnote extension makes cache admission depend on the write
     // interleaving itself, which only the serial order pins down; routing
     // here (not just in run_dataflow) keeps the byte-identical contract
-    // enforceable for direct callers too.
+    // enforceable for direct callers too.  An *explicit*
+    // SAPART_DATAFLOW=sharded request on such a config never reaches this
+    // silent route: run_dataflow throws ConfigError first.
     return run_dataflow_serial(compiled, machine);
   }
   unsigned workers = options.workers;

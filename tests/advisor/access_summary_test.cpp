@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/program_builder.hpp"
 #include "kernels/livermore.hpp"
 #include "kernels/synthetic.hpp"
 
@@ -137,6 +138,65 @@ TEST(AccessSummaryTest, ReportMentionsProgramAndReads) {
   EXPECT_NE(text.find("syn_skewed_64_s3"), std::string::npos);
   EXPECT_NE(text.find("read B"), std::string::npos);
   EXPECT_NE(text.find("skewed"), std::string::npos);
+}
+
+TEST(AccessSummaryTest, GuardedStatementsCarryExecutionProbability) {
+  const AccessSummary s = summarize_access(build_k16_min_search(100));
+  ASSERT_EQ(s.statements.size(), 2u);  // one per IF arm
+  EXPECT_DOUBLE_EQ(s.statements[0].exec_probability, 0.5);
+  EXPECT_DOUBLE_EQ(s.statements[1].exec_probability, 0.5);
+  // Expected totals are half the structural ones: exactly one arm runs
+  // per trip.
+  EXPECT_DOUBLE_EQ(s.expected_reads,
+                   static_cast<double>(s.total_reads) * 0.5);
+  EXPECT_DOUBLE_EQ(s.expected_writes,
+                   static_cast<double>(s.total_writes) * 0.5);
+  EXPECT_NE(s.report().find("[p=0.5]"), std::string::npos);
+}
+
+TEST(AccessSummaryTest, NestedGuardsMultiplyProbability) {
+  ProgramBuilder b("nested");
+  b.array("A", {64});
+  b.input_array("B", {64});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 64);
+  b.begin_if(ex_gt(b.at("B", {k}), ex_num(0.5)));
+  b.begin_if(ex_lt(b.at("B", {k}), ex_num(1.5)));
+  b.assign("A", {k}, b.at("B", {k}));
+  b.end_if();
+  b.end_if();
+  b.end_loop();
+  const AccessSummary s = summarize_access(b.compile());
+  ASSERT_EQ(s.statements.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.statements[0].exec_probability, 0.25);
+}
+
+TEST(AccessSummaryTest, SelectArmReadsCarryHalfProbability) {
+  const AccessSummary s = summarize_access(build_k24_first_min(100));
+  ASSERT_EQ(s.statements.size(), 2u);
+  // LOC(K) = SELECT(X(K) < XM(K-1), K, LOC(K-1)): the condition's reads
+  // are unconditional, the else-arm read runs half the time.
+  const StatementAccess& loc = s.statements[1];
+  EXPECT_DOUBLE_EQ(loc.exec_probability, 1.0);
+  ASSERT_EQ(loc.reads.size(), 3u);
+  EXPECT_EQ(loc.reads[0].array, "X");
+  EXPECT_DOUBLE_EQ(loc.reads[0].probability, 1.0);
+  EXPECT_EQ(loc.reads[1].array, "XM");
+  EXPECT_DOUBLE_EQ(loc.reads[1].probability, 1.0);
+  EXPECT_EQ(loc.reads[2].array, "LOC");
+  EXPECT_DOUBLE_EQ(loc.reads[2].probability, 0.5);
+}
+
+TEST(AccessSummaryTest, UnguardedStatementsHaveUnitProbability) {
+  const AccessSummary s = summarize_access(build_k1_hydro());
+  for (const StatementAccess& st : s.statements) {
+    EXPECT_DOUBLE_EQ(st.exec_probability, 1.0);
+    for (const ReadAccess& read : st.reads) {
+      EXPECT_DOUBLE_EQ(read.probability, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(s.expected_reads, static_cast<double>(s.total_reads));
+  EXPECT_DOUBLE_EQ(s.expected_writes, static_cast<double>(s.total_writes));
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "advisor/access_summary.hpp"
+#include "core/program_builder.hpp"
 #include "core/simulator.hpp"
 #include "kernels/livermore.hpp"
 #include "kernels/synthetic.hpp"
@@ -152,6 +153,69 @@ TEST(CostModelTest, DeterministicAcrossCalls) {
   EXPECT_EQ(a.remote_reads, b.remote_reads);
   EXPECT_EQ(a.page_fetches, b.page_fetches);
   EXPECT_EQ(a.score(), b.score());
+}
+
+TEST(CostModelTest, GuardedStatementHalvesPredictedTraffic) {
+  // Twin programs: the same skewed read, unguarded vs under an IF arm.
+  // The probability weight must scale every predicted quantity by 0.5.
+  const auto build = [](bool guarded) {
+    ProgramBuilder b(guarded ? "guarded" : "plain");
+    b.array("A", {512});
+    b.input_array("B", {1024});
+    b.input_array("C", {512});
+    const Ex k = b.var("K");
+    b.begin_loop("K", 1, 512);
+    if (guarded) b.begin_if(ex_gt(b.at("C", {k}), ex_num(1.0)));
+    b.assign("A", {k}, b.at("B", {k + 40}));
+    if (guarded) b.end_if();
+    b.end_loop();
+    return b.compile();
+  };
+  const AccessSummary plain = summarize_access(build(false));
+  const AccessSummary guarded = summarize_access(build(true));
+  const MachineConfig config =
+      config_of(8, 32, 256, PartitionKind::kModulo);
+  const CostEstimate plain_est = estimate_cost(plain, config);
+  const CostEstimate guarded_est = estimate_cost(guarded, config);
+  EXPECT_DOUBLE_EQ(guarded_est.total_reads, plain_est.total_reads * 0.5);
+  EXPECT_DOUBLE_EQ(guarded_est.remote_reads, plain_est.remote_reads * 0.5);
+  EXPECT_DOUBLE_EQ(guarded_est.page_fetches, plain_est.page_fetches * 0.5);
+  EXPECT_DOUBLE_EQ(guarded_est.writes, plain_est.writes * 0.5);
+  // The remote *fraction* — the ranking signal — is probability-invariant
+  // for a uniform guard, so the guarded ranking stays consistent.
+  EXPECT_DOUBLE_EQ(guarded_est.remote_read_fraction(),
+                   plain_est.remote_read_fraction());
+}
+
+TEST(CostModelTest, SelectArmReadWeightedByProbability) {
+  // A(k) = SELECT(C(k) > 1, B(k+40), B(k+296)): each arm's skewed read
+  // contributes half its unconditional traffic.
+  const auto build = [](bool with_select) {
+    ProgramBuilder b(with_select ? "sel" : "flat");
+    b.array("A", {512});
+    b.input_array("B", {1024});
+    b.input_array("C", {512});
+    const Ex k = b.var("K");
+    b.begin_loop("K", 1, 512);
+    if (with_select) {
+      b.assign("A", {k}, ex_select(ex_gt(b.at("C", {k}), ex_num(1.0)),
+                                   b.at("B", {k + 40}),
+                                   b.at("B", {k + 296})));
+    } else {
+      b.assign("A", {k}, b.at("B", {k + 40}) + b.at("B", {k + 296}));
+    }
+    b.end_loop();
+    return b.compile();
+  };
+  const MachineConfig config =
+      config_of(8, 32, 256, PartitionKind::kModulo);
+  const CostEstimate sel = estimate_cost(summarize_access(build(true)), config);
+  const CostEstimate flat =
+      estimate_cost(summarize_access(build(false)), config);
+  // The SELECT version reads C (local, matched) always and each B arm
+  // half the time: its predicted B traffic is half the flat version's.
+  EXPECT_LT(sel.page_fetches, flat.page_fetches);
+  EXPECT_DOUBLE_EQ(sel.page_fetches, flat.page_fetches * 0.5);
 }
 
 }  // namespace

@@ -217,6 +217,109 @@ TEST(BytecodeTest, AffineFastPathProducesIntegerIndices) {
   EXPECT_EQ(reader.log[0].second, (std::vector<std::int64_t>{16}));
 }
 
+TEST(BytecodeTest, ComparisonsAndLogicalsMatchTreeWalk) {
+  Harness h;
+  h.env.set("x", 2.0);
+  LoggingReader reader;
+  reader.cells[{"A", {1}}] = 1.0;
+  reader.cells[{"A", {2}}] = 3.0;
+  const Ex e = ex_and(ex_lt(ex_at("A", {Ex(1)}), ex_var("x")),
+                      ex_or(ex_ge(ex_at("A", {Ex(2)}), Ex(3.0)),
+                            ex_not(ex_ne(ex_var("x"), Ex(2.0)))));
+  const auto v = h.check(e, reader);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 1.0);
+}
+
+TEST(BytecodeTest, SelectBranchesLazilyInBothEngines) {
+  // The untaken arm is skipped by the kJumpIfZero/kJump pair exactly like
+  // the tree walk: the harness requires identical read logs, and that
+  // common log must not contain the untaken arm's read.
+  Harness h;
+  LoggingReader reader;
+  reader.cells[{"A", {1}}] = 10.0;
+  reader.cells[{"B", {1}}] = 20.0;
+  {
+    LoggingReader probe = reader;
+    const Ex e = ex_select(ex_lt(Ex(1.0), Ex(2.0)), ex_at("A", {Ex(1)}),
+                           ex_at("B", {Ex(1)}));
+    const auto v = h.check(e, probe);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(*v, 10.0);
+  }
+  {
+    LoggingReader tree_reader = reader;
+    const Ex e = ex_select(ex_gt(Ex(1.0), Ex(2.0)), ex_at("A", {Ex(1)}),
+                           ex_at("B", {Ex(1)}));
+    const ExprPtr ast = e.materialize();
+    const auto tree = eval_expr(*ast, h.env, tree_reader);
+    ASSERT_TRUE(tree.has_value());
+    EXPECT_DOUBLE_EQ(*tree, 20.0);
+    ASSERT_EQ(tree_reader.log.size(), 1u);
+    EXPECT_EQ(tree_reader.log[0].first, "B");  // A(1) never read
+    LoggingReader bytecode_reader = reader;
+    const CompiledExpr compiled =
+        compile_value_expr(*ast, h.program, h.sema, h.loops);
+    BytecodeFrame frame;
+    const auto bytecode = frame.run(compiled, h.env, bytecode_reader);
+    ASSERT_TRUE(bytecode.has_value());
+    EXPECT_DOUBLE_EQ(*bytecode, 20.0);
+    EXPECT_EQ(bytecode_reader.log, tree_reader.log);
+  }
+}
+
+TEST(BytecodeTest, NestedSelectMatchesTreeWalk) {
+  Harness h;
+  h.env.set("k", 5.0);
+  LoggingReader reader;
+  reader.cells[{"X", {5}}] = 0.75;
+  reader.cells[{"LO", {5}}] = 0.25;
+  reader.cells[{"HI", {5}}] = 0.5;
+  const Ex k = ex_var("k");
+  // clip(X(k)) via nested SELECTs, reads resolved lazily arm by arm.
+  const Ex e = ex_select(
+      ex_lt(ex_at("X", {k}), ex_at("LO", {k})), ex_at("LO", {k}),
+      ex_select(ex_gt(ex_at("X", {k}), ex_at("HI", {k})), ex_at("HI", {k}),
+                ex_at("X", {k})));
+  const auto v = h.check(e, reader);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 0.5);
+}
+
+TEST(BytecodeTest, SelectSuspensionMatchesTreeWalk) {
+  Harness h;
+  LoggingReader reader;
+  reader.cells[{"A", {1}}] = 1.0;
+  reader.suspend_on = {{"B", {1}}};
+  // Taken arm reads the suspending cell: both engines abort identically.
+  const Ex e = ex_select(ex_gt(Ex(1.0), Ex(2.0)), ex_at("A", {Ex(1)}),
+                         ex_at("B", {Ex(1)}));
+  const auto v = h.check(e, reader);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(BytecodeTest, GuardCompiledForIfStatements) {
+  ProgramBuilder b("guards");
+  b.array("A", {8});
+  b.input_array("B", {8});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 8);
+  b.begin_if(ex_gt(b.at("B", {k}), ex_num(0.5)));
+  b.assign("A", {k}, b.at("B", {k}));
+  b.begin_else();
+  b.assign("A", {k}, -b.at("B", {k}));
+  b.end_if();
+  b.end_loop();
+  const CompiledProgram prog = compile(b.build(), EvalEngine::kBytecode);
+  ASSERT_NE(prog.bytecode, nullptr);
+  const auto& branch =
+      std::get<IfStmt>(std::get<DoLoop>(prog.program.body[0]->node)
+                           .body[0]
+                           ->node);
+  EXPECT_EQ(prog.bytecode->guards.count(&branch), 1u);
+  EXPECT_EQ(prog.bytecode->assigns.size(), 2u);  // both arms compiled
+}
+
 TEST(BytecodeTest, CompileBytecodeCoversEveryStatement) {
   ProgramBuilder b("cover");
   b.input_array("B", {32}).array("A", {32}).array("S", {1}).scalar("q", 2.0);

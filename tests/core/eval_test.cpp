@@ -108,6 +108,77 @@ TEST(EvalTest, IndirectIndexReadsInnerArray) {
   EXPECT_DOUBLE_EQ(*eval_expr(*e.materialize(), env, reader), 99.0);
 }
 
+TEST(EvalTest, ComparisonsYieldOneOrZero) {
+  EvalEnv env;
+  MapReader reader;
+  const auto run = [&](Ex e) {
+    return *eval_expr(*e.materialize(), env, reader);
+  };
+  EXPECT_DOUBLE_EQ(run(ex_lt(Ex(1.0), Ex(2.0))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_lt(Ex(2.0), Ex(2.0))), 0.0);
+  EXPECT_DOUBLE_EQ(run(ex_le(Ex(2.0), Ex(2.0))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_gt(Ex(3.0), Ex(2.0))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_ge(Ex(1.0), Ex(2.0))), 0.0);
+  EXPECT_DOUBLE_EQ(run(ex_eq(Ex(2.0), Ex(2.0))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_ne(Ex(2.0), Ex(2.0))), 0.0);
+  EXPECT_DOUBLE_EQ(run(ex_ne(Ex(-0.0), Ex(0.0))), 0.0);  // IEEE equality
+}
+
+TEST(EvalTest, LogicalsAreStrict) {
+  EvalEnv env;
+  MapReader reader;
+  reader.set("A", 1, 0.0);
+  const auto run = [&](Ex e) {
+    return *eval_expr(*e.materialize(), env, reader);
+  };
+  EXPECT_DOUBLE_EQ(run(ex_and(ex_gt(Ex(1.0), Ex(0.0)),
+                              ex_gt(Ex(2.0), Ex(0.0)))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_and(ex_gt(Ex(1.0), Ex(0.0)),
+                              ex_gt(Ex(0.0), Ex(1.0)))), 0.0);
+  EXPECT_DOUBLE_EQ(run(ex_or(ex_gt(Ex(0.0), Ex(1.0)),
+                             ex_gt(Ex(2.0), Ex(0.0)))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_not(ex_gt(Ex(0.0), Ex(1.0)))), 1.0);
+  EXPECT_DOUBLE_EQ(run(ex_not(ex_gt(Ex(1.0), Ex(0.0)))), 0.0);
+}
+
+TEST(EvalTest, SelectPicksByCondition) {
+  EvalEnv env;
+  MapReader reader;
+  reader.set("A", 1, 10.0);
+  reader.set("B", 1, 20.0);
+  const auto run = [&](Ex e) {
+    return *eval_expr(*e.materialize(), env, reader);
+  };
+  EXPECT_DOUBLE_EQ(run(ex_select(ex_lt(Ex(1.0), Ex(2.0)),
+                                 ex_at("A", {Ex(1)}), ex_at("B", {Ex(1)}))),
+                   10.0);
+  EXPECT_DOUBLE_EQ(run(ex_select(ex_gt(Ex(1.0), Ex(2.0)),
+                                 ex_at("A", {Ex(1)}), ex_at("B", {Ex(1)}))),
+                   20.0);
+}
+
+TEST(EvalTest, SelectOnlyReadsTheTakenArm) {
+  // The untaken arm's read must never reach the reader: B(1) is undefined
+  // in the reader (a read would "suspend"), yet the SELECT succeeds.
+  EvalEnv env;
+  MapReader reader;
+  reader.set("A", 1, 10.0);  // B deliberately absent
+  const Ex e = ex_select(ex_lt(Ex(1.0), Ex(2.0)), ex_at("A", {Ex(1)}),
+                         ex_at("B", {Ex(1)}));
+  const auto v = eval_expr(*e.materialize(), env, reader);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 10.0);
+}
+
+TEST(EvalTest, SelectSuspendsWhenTakenArmSuspends) {
+  EvalEnv env;
+  MapReader reader;
+  reader.set("B", 1, 20.0);  // A absent: the taken arm suspends
+  const Ex e = ex_select(ex_lt(Ex(1.0), Ex(2.0)), ex_at("A", {Ex(1)}),
+                         ex_at("B", {Ex(1)}));
+  EXPECT_FALSE(eval_expr(*e.materialize(), env, reader).has_value());
+}
+
 TEST(EvalTest, EnvSnapshotRestore) {
   EvalEnv env;
   env.set("A", 1.0);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/program_builder.hpp"
 #include "kernels/livermore.hpp"
 #include "support/error.hpp"
@@ -120,6 +122,53 @@ TEST(ReferenceInterpreterTest, NegativeStepLoop) {
   const auto registry = run_reference(b.compile());
   EXPECT_EQ(registry->by_name("A").defined_count(), 3);  // 5, 3, 1
   EXPECT_DOUBLE_EQ(registry->by_name("A").read(4), 5.0);
+}
+
+TEST(ReferenceInterpreterTest, GuardedBranchesComputeGroundTruth) {
+  // k16's running minimum must equal the true prefix minimum of the
+  // synthetic input data — guards actually steer the values, not just
+  // the accounting.
+  const CompiledProgram prog = build_k16_min_search(64);
+  const auto registry = run_reference(prog);
+  const SaArray& x = registry->by_name("X");
+  const SaArray& xm = registry->by_name("XM");
+  double running = xm.read(0);  // the seeded prefix cell
+  for (std::int64_t i = 1; i < 64; ++i) {
+    running = std::min(running, x.read(i));
+    EXPECT_DOUBLE_EQ(xm.read(i), running) << "XM[" << i << "]";
+  }
+}
+
+TEST(ReferenceInterpreterTest, SelectRecurrenceComputesArgmin) {
+  // k24's LOC chain: LOC(k) is the 1-based position of the minimum of
+  // {XM(1), X(2..k)} — SELECT picks lazily but must pick correctly.
+  const CompiledProgram prog = build_k24_first_min(64);
+  const auto registry = run_reference(prog);
+  const SaArray& x = registry->by_name("X");
+  const SaArray& xm = registry->by_name("XM");
+  const SaArray& loc = registry->by_name("LOC");
+  double best = xm.read(0);
+  double best_pos = loc.read(0);
+  for (std::int64_t i = 1; i < 64; ++i) {
+    if (x.read(i) < best) {
+      best = x.read(i);
+      best_pos = static_cast<double>(i + 1);  // DSL indices are 1-based
+    }
+    EXPECT_DOUBLE_EQ(loc.read(i), best_pos) << "LOC[" << i << "]";
+    EXPECT_DOUBLE_EQ(xm.read(i), best) << "XM[" << i << "]";
+  }
+}
+
+TEST(ReferenceInterpreterTest, UndefinedGuardReadTraps) {
+  // A guard reading a never-written cell is illegal input and must trap
+  // like any other read-before-write in the strict modes.
+  ProgramBuilder b("bad_guard");
+  b.array("A", {4});
+  b.array("U", {4});  // INIT NONE, never written
+  b.begin_if(ex_gt(b.at("U", {Ex(1)}), ex_num(0.0)));
+  b.assign("A", {Ex(1)}, ex_num(1.0));
+  b.end_if();
+  EXPECT_THROW(run_reference(b.compile()), UndefinedReadError);
 }
 
 TEST(ReferenceInterpreterTest, AllKernelsExecuteCleanly) {

@@ -137,6 +137,47 @@ TEST(ClassifierTest, ClassifierConfigFrames) {
   EXPECT_EQ(config.cache_frames(), 4);
 }
 
+TEST(ClassifierTest, ConditionalColumnFlagsGuardedSites) {
+  Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+      "DO k = 1, 100\n"
+      "  IF (B(k) > 0.5) THEN\n    A(k) = B(k)\n"
+      "  ELSE\n    A(k) = -B(k)\n  END IF\n"
+      "END DO\nEND PROGRAM\n");
+  const SemanticInfo sema = analyze(p);
+  const auto result = classify_program(p, sema);
+  EXPECT_TRUE(result.conditional());
+  EXPECT_EQ(result.guarded_sites, 2);
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_TRUE(result.loops[0].conditional());
+  EXPECT_EQ(result.loops[0].guarded_sites, 2);
+  EXPECT_EQ(result.loops[0].total_sites, 2);
+  EXPECT_NE(result.rationale.find("conditional"), std::string::npos);
+  EXPECT_NE(result.report().find("guarded"), std::string::npos);
+}
+
+TEST(ClassifierTest, UnguardedProgramIsNotConditional) {
+  Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+      "DO k = 1, 100\n  A(k) = B(k)\nEND DO\nEND PROGRAM\n");
+  const SemanticInfo sema = analyze(p);
+  const auto result = classify_program(p, sema);
+  EXPECT_FALSE(result.conditional());
+  EXPECT_EQ(result.guarded_sites, 0);
+}
+
+TEST(ClassifierTest, ConditionalKernelsFlagged) {
+  for (const char* id :
+       {"k15_flow_limiter", "k16_min_search", "k24_first_min"}) {
+    const CompiledProgram prog = build_kernel(id);
+    EXPECT_TRUE(
+        classify_program(prog.program, prog.sema).conditional())
+        << id;
+  }
+  const CompiledProgram hydro = build_kernel("k01_hydro");
+  EXPECT_FALSE(classify_program(hydro.program, hydro.sema).conditional());
+}
+
 struct KernelClassCase {
   const char* id;
 };

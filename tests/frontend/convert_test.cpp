@@ -87,6 +87,43 @@ TEST(ConvertTest, OriginalTimeStepTrapsWithoutConversion) {
   EXPECT_THROW(run_reference(compile(clone(input))), DoubleWriteError);
 }
 
+TEST(ConvertTest, ConditionalArmsAreNotOverwrites) {
+  // Exclusive IF arms writing the same cells are already legal single
+  // assignment: the converter must leave them alone.
+  const Program input = Parser::parse(
+      "PROGRAM t\nARRAY A(10)\nARRAY B(10) INIT ALL\n"
+      "DO k = 1, 10\n"
+      "  IF (B(k) > 0.5) THEN\n    A(k) = B(k)\n"
+      "  ELSE\n    A(k) = -B(k)\n  END IF\n"
+      "END DO\nEND PROGRAM\n");
+  const auto result = convert_to_single_assignment(input);
+  EXPECT_FALSE(result.changed());
+}
+
+TEST(ConvertTest, SequentialOverwriteThroughIfArmVersioned) {
+  // A top-level overwrite where the second producer sits inside an IF:
+  // versioning must rename the guarded write (and redirect later reads).
+  const Program input = Parser::parse(
+      "PROGRAM t\nARRAY A(10)\nARRAY B(10) INIT ALL\nARRAY C(10)\n"
+      "DO k = 1, 10\n  A(k) = B(k)\nEND DO\n"
+      "DO k = 1, 10\n"
+      "  IF (B(k) > 0.5) THEN\n    A(k) = 2 * B(k)\n"
+      "  ELSE\n    A(k) = 3 * B(k)\n  END IF\n"
+      "END DO\n"
+      "DO k = 1, 10\n  C(k) = A(k)\nEND DO\n"
+      "END PROGRAM\n");
+  const auto result = convert_to_single_assignment(input);
+  EXPECT_TRUE(result.changed());
+  // The converted program is legal: it executes without SA traps.
+  EXPECT_NO_THROW(run_reference(compile(clone(result.program))));
+  const auto sema_check = [&] {
+    Program converted = clone(result.program);
+    const SemanticInfo sema = analyze(converted);
+    return check_single_assignment(converted, sema).has_proven_violation();
+  };
+  EXPECT_FALSE(sema_check());
+}
+
 TEST(ConvertTest, ActionsReportReadable) {
   const auto result =
       convert_to_single_assignment(make_nonsa_sequential_overwrite(8));

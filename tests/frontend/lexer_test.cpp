@@ -68,6 +68,29 @@ TEST(LexerTest, ReinitKeyword) {
   EXPECT_EQ(tokens[0].kind, TokenKind::kKwReinit);
 }
 
+TEST(LexerTest, ComparisonOperators) {
+  const auto tokens = lex("< <= > >= == /= / =");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLess);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLessEqual);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kGreater);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kGreaterEqual);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEqualEqual);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kNotEqual);
+  // Separated '/' '=' stay distinct tokens.
+  EXPECT_EQ(tokens[6].kind, TokenKind::kSlash);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kEquals);
+}
+
+TEST(LexerTest, ConditionalKeywords) {
+  const auto tokens = lex("IF then Else endif");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwIf);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKwThen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kKwElse);
+  // "endif" is one identifier, not END + IF.
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[3].text, "ENDIF");
+}
+
 TEST(LexerTest, RejectsUnknownCharacter) {
   EXPECT_THROW(lex("a @ b"), ParseError);
 }

@@ -112,6 +112,99 @@ TEST(ParserTest, MultiDimAccess) {
   EXPECT_EQ(assign.indices.size(), 2u);
 }
 
+TEST(ParserTest, IfThenElseBlocks) {
+  const Program p = Parser::parse(
+      "PROGRAM t\n"
+      "ARRAY A(10)\n"
+      "ARRAY B(10) INIT ALL\n"
+      "DO k = 1, 10\n"
+      "  IF (B(k) > 0.5) THEN\n"
+      "    A(k) = B(k)\n"
+      "  ELSE\n"
+      "    A(k) = -B(k)\n"
+      "  END IF\n"
+      "END DO\n"
+      "END PROGRAM\n");
+  const auto& loop = std::get<DoLoop>(p.body[0]->node);
+  const auto& branch = std::get<IfStmt>(loop.body[0]->node);
+  EXPECT_TRUE(std::holds_alternative<CompareExpr>(branch.cond->node));
+  ASSERT_EQ(branch.then_body.size(), 1u);
+  ASSERT_EQ(branch.else_body.size(), 1u);
+}
+
+TEST(ParserTest, IfWithoutElse) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\nIF (1 < 2) THEN\n  A(1) = 1\nEND IF\n"
+      "END PROGRAM\n");
+  const auto& branch = std::get<IfStmt>(p.body[0]->node);
+  EXPECT_EQ(branch.then_body.size(), 1u);
+  EXPECT_TRUE(branch.else_body.empty());
+}
+
+TEST(ParserTest, NestedIfBindsToInnermost) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\n"
+      "IF (1 < 2) THEN\n"
+      "  IF (2 < 3) THEN\n"
+      "    A(1) = 1\n"
+      "  ELSE\n"
+      "    A(1) = 2\n"
+      "  END IF\n"
+      "END IF\n"
+      "END PROGRAM\n");
+  const auto& outer = std::get<IfStmt>(p.body[0]->node);
+  EXPECT_TRUE(outer.else_body.empty());  // the ELSE bound to the inner IF
+  const auto& inner = std::get<IfStmt>(outer.then_body[0]->node);
+  EXPECT_EQ(inner.else_body.size(), 1u);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(6)\nSCALAR x = 1\n"
+      "IF (x < 1) THEN\nA(1) = 1\nEND IF\n"
+      "IF (x <= 1) THEN\nA(2) = 1\nEND IF\n"
+      "IF (x > 1) THEN\nA(3) = 1\nEND IF\n"
+      "IF (x >= 1) THEN\nA(4) = 1\nEND IF\n"
+      "IF (x == 1) THEN\nA(5) = 1\nEND IF\n"
+      "IF (x /= 1) THEN\nA(6) = 1\nEND IF\n"
+      "END PROGRAM\n");
+  const CompareOp expected[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kGt,
+                                CompareOp::kGe, CompareOp::kEq, CompareOp::kNe};
+  ASSERT_EQ(p.body.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& branch = std::get<IfStmt>(p.body[i]->node);
+    EXPECT_EQ(std::get<CompareExpr>(branch.cond->node).op, expected[i]);
+  }
+}
+
+TEST(ParserTest, SelectAndLogicalIntrinsics) {
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(4)\nARRAY B(4) INIT ALL\n"
+      "DO k = 1, 4\n"
+      "  A(k) = SELECT(AND(B(k) > 0, NOT(B(k) > 1)), B(k), 0)\n"
+      "END DO\n"
+      "END PROGRAM\n");
+  const auto& loop = std::get<DoLoop>(p.body[0]->node);
+  const auto& assign = std::get<ArrayAssign>(loop.body[0]->node);
+  const auto& select = std::get<IntrinsicExpr>(assign.value->node);
+  EXPECT_EQ(select.kind, IntrinsicKind::kSelect);
+  ASSERT_EQ(select.args.size(), 3u);
+  const auto& conj = std::get<IntrinsicExpr>(select.args[0]->node);
+  EXPECT_EQ(conj.kind, IntrinsicKind::kAnd);
+}
+
+TEST(ParserTest, SlashEqualOnlyLexesAsNotEqualNotDivision) {
+  // `a / = b` must still fail, while `a /= b` is a comparison and
+  // `a / b` stays a division.
+  const Program p = Parser::parse(
+      "PROGRAM t\nARRAY A(2)\nARRAY B(2) INIT ALL\n"
+      "IF (B(1) / B(2) /= 1) THEN\n  A(1) = 1\nEND IF\nEND PROGRAM\n");
+  const auto& branch = std::get<IfStmt>(p.body[0]->node);
+  const auto& cmp = std::get<CompareExpr>(branch.cond->node);
+  EXPECT_EQ(cmp.op, CompareOp::kNe);
+  EXPECT_TRUE(std::holds_alternative<BinaryExpr>(cmp.lhs->node));
+}
+
 struct BadSource {
   const char* what;
   const char* src;
@@ -138,7 +231,33 @@ INSTANTIATE_TEST_SUITE_P(
         BadSource{"negative prefix",
                   "PROGRAM t\nARRAY A(4) INIT PREFIX -1\nEND PROGRAM\n"},
         BadSource{"missing assign rhs",
-                  "PROGRAM t\nARRAY A(2)\nA(1) =\nEND PROGRAM\n"}));
+                  "PROGRAM t\nARRAY A(2)\nA(1) =\nEND PROGRAM\n"},
+        BadSource{"dangling ELSE",
+                  "PROGRAM t\nARRAY A(2)\nELSE\nA(1) = 1\nEND PROGRAM\n"},
+        BadSource{"ELSE after END IF",
+                  "PROGRAM t\nARRAY A(2)\nIF (1 < 2) THEN\nA(1) = 1\n"
+                  "END IF\nELSE\nA(2) = 1\nEND PROGRAM\n"},
+        BadSource{"duplicate ELSE",
+                  "PROGRAM t\nARRAY A(2)\nIF (1 < 2) THEN\nA(1) = 1\nELSE\n"
+                  "A(2) = 1\nELSE\nA(2) = 2\nEND IF\nEND PROGRAM\n"},
+        BadSource{"missing THEN",
+                  "PROGRAM t\nARRAY A(2)\nIF (1 < 2)\nA(1) = 1\nEND IF\n"
+                  "END PROGRAM\n"},
+        BadSource{"missing END IF",
+                  "PROGRAM t\nARRAY A(2)\nIF (1 < 2) THEN\nA(1) = 1\n"
+                  "END PROGRAM\n"},
+        BadSource{"unparenthesized guard",
+                  "PROGRAM t\nARRAY A(2)\nIF 1 < 2 THEN\nA(1) = 1\nEND IF\n"
+                  "END PROGRAM\n"},
+        BadSource{"empty guard",
+                  "PROGRAM t\nARRAY A(2)\nIF () THEN\nA(1) = 1\nEND IF\n"
+                  "END PROGRAM\n"},
+        BadSource{"guard with trailing operator",
+                  "PROGRAM t\nARRAY A(2)\nIF (1 + ) THEN\nA(1) = 1\nEND IF\n"
+                  "END PROGRAM\n"},
+        BadSource{"chained comparison",
+                  "PROGRAM t\nARRAY A(2)\nIF (1 < 2 < 3) THEN\nA(1) = 1\n"
+                  "END IF\nEND PROGRAM\n"}));
 
 }  // namespace
 }  // namespace sap

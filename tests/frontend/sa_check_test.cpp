@@ -86,6 +86,51 @@ TEST(SaCheckTest, IccgInductionWriteNotFlagged) {
   EXPECT_FALSE(result.has_proven_violation());
 }
 
+TEST(SaCheckTest, ExclusiveArmsMayWriteTheSameCell) {
+  // Both arms of one IF define A(k): mutually exclusive, so the merged
+  // definition is still single assignment (the DSA conditional merge).
+  const auto result = check_src(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+      "DO k = 1, 100\n"
+      "  IF (B(k) > 0.5) THEN\n    A(k) = B(k)\n"
+      "  ELSE\n    A(k) = -B(k)\n  END IF\n"
+      "END DO\nEND PROGRAM\n");
+  EXPECT_TRUE(result.findings.empty()) << result.report();
+}
+
+TEST(SaCheckTest, SameArmOverlapStillFlagged) {
+  // Two writes in the SAME arm overlap: the guard does not excuse them.
+  const auto result = check_src(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+      "DO k = 1, 100\n"
+      "  IF (B(k) > 0.5) THEN\n    A(k) = B(k)\n    A(k) = 2 * B(k)\n"
+      "  END IF\n"
+      "END DO\nEND PROGRAM\n");
+  EXPECT_FALSE(result.findings.empty());
+}
+
+TEST(SaCheckTest, GuardedWriteOverlappingUnguardedIsFlagged) {
+  const auto result = check_src(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+      "DO k = 1, 100\n"
+      "  IF (B(k) > 0.5) THEN\n    A(k) = B(k)\n  END IF\n"
+      "  A(k) = 0\n"
+      "END DO\nEND PROGRAM\n");
+  EXPECT_FALSE(result.findings.empty());
+}
+
+TEST(SaCheckTest, GuardedInvariantTargetIsPossibleNotProven) {
+  // A(5) written on data-dependent trips only: a possible violation (the
+  // runtime still traps the double write when the guard fires twice).
+  const auto result = check_src(
+      "PROGRAM t\nARRAY A(100)\nARRAY B(100) INIT ALL\n"
+      "DO k = 1, 10\n"
+      "  IF (B(k) > 0.5) THEN\n    A(5) = k\n  END IF\n"
+      "END DO\nEND PROGRAM\n");
+  EXPECT_FALSE(result.has_proven_violation());
+  EXPECT_FALSE(result.findings.empty());
+}
+
 TEST(SaCheckTest, AllLivermoreKernelsAreViolationFree) {
   for (const auto& spec : livermore_kernels()) {
     const CompiledProgram prog = spec.build();

@@ -83,6 +83,42 @@ TEST(SemaTest, WarnsAboutUnusedAndUninitialized) {
   EXPECT_NE(info.warnings[1].find("GHOST"), std::string::npos);
 }
 
+TEST(SemaTest, ConditionalArmsRecordedOnAssignSites) {
+  Program p = parse(
+      "PROGRAM t\nARRAY A(10)\nARRAY B(10) INIT ALL\n"
+      "DO k = 1, 10\n"
+      "  IF (B(k) > 0.5) THEN\n"
+      "    A(k) = B(k)\n"
+      "  ELSE\n"
+      "    A(k) = -B(k)\n"
+      "  END IF\n"
+      "END DO\nEND PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  ASSERT_EQ(info.assign_sites.size(), 2u);
+  const AssignSite& then_site = info.assign_sites[0];
+  const AssignSite& else_site = info.assign_sites[1];
+  ASSERT_EQ(then_site.conditionals.size(), 1u);
+  ASSERT_EQ(else_site.conditionals.size(), 1u);
+  EXPECT_EQ(then_site.conditionals[0].stmt, else_site.conditionals[0].stmt);
+  EXPECT_FALSE(then_site.conditionals[0].in_else);
+  EXPECT_TRUE(else_site.conditionals[0].in_else);
+  EXPECT_TRUE(mutually_exclusive(then_site, else_site));
+  EXPECT_FALSE(mutually_exclusive(then_site, then_site));
+}
+
+TEST(SemaTest, GuardedSelfIncrementIsNotInduction) {
+  Program p = parse(
+      "PROGRAM t\nARRAY A(40)\nARRAY B(20) INIT ALL\nSCALAR i = 0\n"
+      "DO k = 1, 10\n"
+      "  IF (B(k) > 0.5) THEN\n"
+      "    i = i + 2\n"
+      "  END IF\n"
+      "  A(k + 20) = i\n"
+      "END DO\nEND PROGRAM\n");
+  const SemanticInfo info = analyze(p);
+  EXPECT_FALSE(info.scalars.at("I").induction_step.has_value());
+}
+
 struct BadProgram {
   const char* what;
   const char* src;
@@ -133,7 +169,41 @@ INSTANTIATE_TEST_SUITE_P(
         BadProgram{"reinit of input",
                    "PROGRAM t\nARRAY A(2) INIT ALL\nREINIT A\nEND PROGRAM\n"},
         BadProgram{"prefix exceeds size",
-                   "PROGRAM t\nARRAY A(4) INIT PREFIX 9\nEND PROGRAM\n"}));
+                   "PROGRAM t\nARRAY A(4) INIT PREFIX 9\nEND PROGRAM\n"},
+        BadProgram{"non-boolean IF condition",
+                   "PROGRAM t\nARRAY A(2)\nIF (1 + 2) THEN\nA(1) = 1\n"
+                   "END IF\nEND PROGRAM\n"},
+        BadProgram{"non-boolean SELECT condition",
+                   "PROGRAM t\nARRAY A(2)\nA(1) = SELECT(1, 2, 3)\n"
+                   "END PROGRAM\n"},
+        BadProgram{"boolean as assigned value",
+                   "PROGRAM t\nARRAY A(2)\nA(1) = 1 < 2\nEND PROGRAM\n"},
+        BadProgram{"boolean as scalar value",
+                   "PROGRAM t\nSCALAR s\ns = 1 < 2\nEND PROGRAM\n"},
+        BadProgram{"boolean inside arithmetic",
+                   "PROGRAM t\nARRAY A(2)\nA(1) = (1 < 2) + 1\n"
+                   "END PROGRAM\n"},
+        BadProgram{"boolean as array index",
+                   "PROGRAM t\nARRAY A(2)\nA(1 < 2) = 1\nEND PROGRAM\n"},
+        BadProgram{"boolean as loop bound",
+                   "PROGRAM t\nARRAY A(2)\nDO k = 1, 1 < 2\nA(k) = 1\n"
+                   "END DO\nEND PROGRAM\n"},
+        BadProgram{"numeric AND operand",
+                   "PROGRAM t\nARRAY A(2)\nIF (AND(1, 2 < 3)) THEN\n"
+                   "A(1) = 1\nEND IF\nEND PROGRAM\n"},
+        BadProgram{"numeric NOT operand",
+                   "PROGRAM t\nARRAY A(2)\nIF (NOT(1)) THEN\nA(1) = 1\n"
+                   "END IF\nEND PROGRAM\n"},
+        BadProgram{"boolean SELECT arm",
+                   "PROGRAM t\nARRAY A(2)\nA(1) = SELECT(1 < 2, 2 < 3, 4)\n"
+                   "END PROGRAM\n"},
+        BadProgram{"SELECT arity",
+                   "PROGRAM t\nARRAY A(2)\nA(1) = SELECT(1 < 2, 3)\n"
+                   "END PROGRAM\n"},
+        BadProgram{"reserved name SELECT",
+                   "PROGRAM t\nARRAY SELECT(4)\nEND PROGRAM\n"},
+        BadProgram{"reserved name AND",
+                   "PROGRAM t\nSCALAR AND\nEND PROGRAM\n"}));
 
 }  // namespace
 }  // namespace sap

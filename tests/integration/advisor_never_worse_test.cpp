@@ -57,6 +57,38 @@ TEST(AdvisorNeverWorseTest, BeatsOrMatchesModuloOnEveryFigureWorkload) {
   }
 }
 
+TEST(AdvisorNeverWorseTest, ConditionalKernelsNoWorseThanModulo) {
+  // ISSUE-5 acceptance: the advisor must rank a partition for each
+  // conditional kernel no worse than the modulo baseline — the
+  // probability-weighted cost model may only improve the ranking, never
+  // break the never-worse construction.
+  ThreadPool pool;
+  AdvisorOptions options;
+  options.page_sizes = {32, 64};
+  struct CondWorkload {
+    const char* id;
+    CompiledProgram program;
+  };
+  std::vector<CondWorkload> kernels;
+  kernels.push_back({"k15_flow_limiter", build_k15_flow_limiter()});
+  kernels.push_back({"k16_min_search", build_k16_min_search()});
+  kernels.push_back({"k24_first_min", build_k24_first_min()});
+  for (const CondWorkload& w : kernels) {
+    const AdvisorReport report =
+        advise(w.program, paper_machine(16), options, &pool);
+    const AdvisorCandidate& best = report.best();
+    const AdvisorCandidate* baseline = report.baseline();
+    ASSERT_NE(baseline, nullptr) << w.id;
+    ASSERT_TRUE(baseline->validated) << w.id;
+    ASSERT_TRUE(best.validated) << w.id;
+    EXPECT_LE(best.measured_remote_fraction,
+              baseline->measured_remote_fraction)
+        << w.id << ": advised " << best.label() << " measured "
+        << best.measured_remote_fraction << " vs modulo "
+        << baseline->measured_remote_fraction;
+  }
+}
+
 TEST(AdvisorNeverWorseTest, ValidationDeterministicAcrossWorkerCounts) {
   // Same program, same options — 1, 2 and 8 pool workers must produce a
   // byte-identical report (pre-assigned result slots, tie-broken sorts).

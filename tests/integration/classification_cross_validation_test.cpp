@@ -33,7 +33,7 @@ TEST_P(ClassCrossValidation, EmpiricalMatchesPaper) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, ClassCrossValidation,
-                         ::testing::Range<std::size_t>(0, 16));
+                         ::testing::Range<std::size_t>(0, 19));
 
 TEST(ClassCrossValidation, SyntheticsAgreeBothWays) {
   struct Case {

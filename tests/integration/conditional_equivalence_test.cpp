@@ -1,0 +1,194 @@
+// Acceptance differential for conditional control flow (ISSUE 5): every
+// conditional kernel (guarded assignments, DSA-merged arms, lazy SELECT)
+// must produce byte-identical SimulationResults and array values across
+//   - the tree-walk and bytecode expression engines, and
+//   - the counting interpreter, the serial dataflow oracle, and the
+//     sharded dataflow runtime at 1/2/8 replay workers,
+// under all three partition schemes.  Guards are resolved by the trace
+// pass, so the per-PE instance streams — and therefore every tally — are
+// deterministic regardless of scheduler or worker count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bytecode.hpp"
+#include "core/counting_interpreter.hpp"
+#include "core/dataflow_interpreter.hpp"
+#include "core/program_builder.hpp"
+#include "core/simulator.hpp"
+#include "kernels/livermore.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace sap {
+namespace {
+
+struct Workload {
+  std::string label;
+  CompiledProgram program;
+};
+
+CompiledProgram guarded_reduction() {
+  // A reduction whose accumulation is guarded: commits depend on how
+  // often the guard fires per target element.
+  ProgramBuilder b("guarded_reduction");
+  b.array("W", {32});
+  b.input_array("B", {32, 32});
+  const Ex i = b.var("I");
+  const Ex k = b.var("K");
+  b.begin_loop("I", 1, 32);
+  b.begin_loop("K", 1, 32);
+  b.begin_if(ex_gt(b.at("B", {k, i}), ex_num(1.0)));
+  b.assign("W", {i}, b.at("W", {i}) + b.at("B", {k, i}));
+  b.end_if();
+  b.end_loop();
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram guarded_scalar_control() {
+  // A guarded induction-breaking scalar update: control divergence that
+  // the trace pass must resolve identically for every consumer.
+  ProgramBuilder b("guarded_scalar");
+  b.array("A", {128});
+  b.input_array("B", {64});
+  b.scalar("S", 0.0);
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, 64);
+  b.begin_if(ex_gt(b.at("B", {k}), ex_num(1.0)));
+  b.scalar_assign("S", b.var("S") + 1);
+  b.end_if();
+  b.assign("A", {k + 64}, b.var("S") + b.at("B", {k}));
+  b.end_loop();
+  return b.compile();
+}
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload> list = [] {
+    std::vector<Workload> out;
+    out.push_back({"k15_flow_limiter", build_k15_flow_limiter()});
+    out.push_back({"k16_min_search", build_k16_min_search()});
+    out.push_back({"k24_first_min", build_k24_first_min()});
+    out.push_back({"guarded_reduction", guarded_reduction()});
+    out.push_back({"guarded_scalar", guarded_scalar_control()});
+    return out;
+  }();
+  return list;
+}
+
+// Recompile from a cloned AST so node-keyed tables stay coherent.
+CompiledProgram with_engine(const CompiledProgram& prog, EvalEngine engine) {
+  return compile(clone(prog.program), engine);
+}
+
+enum class Mode { kCounting, kSerial, kSharded };
+
+SimulationResult run_mode(const CompiledProgram& prog,
+                          const MachineConfig& config, Mode mode,
+                          unsigned workers,
+                          std::unique_ptr<Machine>& machine_out) {
+  machine_out = std::make_unique<Machine>(config);
+  materialize_arrays(prog, *machine_out);
+  switch (mode) {
+    case Mode::kCounting:
+      run_counting(prog, *machine_out);
+      break;
+    case Mode::kSerial:
+      run_dataflow_serial(prog, *machine_out);
+      break;
+    case Mode::kSharded:
+      run_dataflow_sharded(prog, *machine_out, ShardRuntimeOptions{workers});
+      break;
+  }
+  return machine_out->snapshot(prog.name());
+}
+
+void expect_byte_identical(const SimulationResult& got,
+                           const SimulationResult& want, const Machine& got_m,
+                           const Machine& want_m, const std::string& label) {
+  EXPECT_EQ(got.totals, want.totals) << label;
+  ASSERT_EQ(got.per_pe.size(), want.per_pe.size()) << label;
+  for (std::size_t pe = 0; pe < got.per_pe.size(); ++pe) {
+    EXPECT_EQ(got.per_pe[pe], want.per_pe[pe]) << label << " pe=" << pe;
+  }
+  EXPECT_EQ(got.network, want.network) << label;
+  EXPECT_EQ(got.cache_totals.hits, want.cache_totals.hits) << label;
+  EXPECT_EQ(got.cache_totals.misses, want.cache_totals.misses) << label;
+
+  for (const auto& want_array : want_m.arrays()) {
+    const SaArray& got_array = got_m.arrays().by_name(want_array->name());
+    ASSERT_EQ(got_array.defined_count(), want_array->defined_count())
+        << label << " " << want_array->name();
+    for (std::int64_t i = 0; i < want_array->element_count(); ++i) {
+      if (!want_array->is_defined(i)) continue;
+      EXPECT_EQ(got_array.read(i), want_array->read(i))
+          << label << " " << want_array->name() << "[" << i << "]";
+    }
+  }
+}
+
+TEST(ConditionalEquivalenceTest, EnginesModesSchedulersAllAgree) {
+  for (const auto& w : workloads()) {
+    for (const PartitionKind kind :
+         {PartitionKind::kModulo, PartitionKind::kBlock,
+          PartitionKind::kBlockCyclic}) {
+      const MachineConfig config =
+          MachineConfig{}.with_pes(8).with_partition(kind);
+      const CompiledProgram tree = with_engine(w.program, EvalEngine::kTree);
+      const CompiledProgram bytecode =
+          with_engine(w.program, EvalEngine::kBytecode);
+      ASSERT_EQ(tree.bytecode, nullptr);
+      ASSERT_NE(bytecode.bytecode, nullptr);
+
+      std::unique_ptr<Machine> base_machine;
+      const SimulationResult base =
+          run_mode(tree, config, Mode::kCounting, 0, base_machine);
+
+      struct Variant {
+        const CompiledProgram* prog;
+        Mode mode;
+        unsigned workers;
+        const char* name;
+      };
+      const std::vector<Variant> variants = {
+          {&bytecode, Mode::kCounting, 0, "bytecode/counting"},
+          {&tree, Mode::kSerial, 0, "tree/serial"},
+          {&bytecode, Mode::kSerial, 0, "bytecode/serial"},
+          {&tree, Mode::kSharded, 1, "tree/sharded-w1"},
+          {&bytecode, Mode::kSharded, 1, "bytecode/sharded-w1"},
+          {&tree, Mode::kSharded, 2, "tree/sharded-w2"},
+          {&bytecode, Mode::kSharded, 2, "bytecode/sharded-w2"},
+          {&tree, Mode::kSharded, 8, "tree/sharded-w8"},
+          {&bytecode, Mode::kSharded, 8, "bytecode/sharded-w8"},
+      };
+      for (const Variant& v : variants) {
+        std::unique_ptr<Machine> machine;
+        const SimulationResult got =
+            run_mode(*v.prog, config, v.mode, v.workers, machine);
+        expect_byte_identical(got, base, *machine, *base_machine,
+                              w.label + "/" + to_string(kind) + "/" + v.name);
+      }
+    }
+  }
+}
+
+TEST(ConditionalEquivalenceTest, NoCacheConfigsMatchToo) {
+  const MachineConfig config = MachineConfig{}.with_pes(8).with_cache(0);
+  for (const auto& w : workloads()) {
+    const CompiledProgram tree = with_engine(w.program, EvalEngine::kTree);
+    const CompiledProgram bytecode =
+        with_engine(w.program, EvalEngine::kBytecode);
+    std::unique_ptr<Machine> base_machine;
+    const SimulationResult base =
+        run_mode(tree, config, Mode::kCounting, 0, base_machine);
+    std::unique_ptr<Machine> machine;
+    const SimulationResult got =
+        run_mode(bytecode, config, Mode::kSharded, 8, machine);
+    expect_byte_identical(got, base, *machine, *base_machine,
+                          w.label + "/nocache");
+  }
+}
+
+}  // namespace
+}  // namespace sap

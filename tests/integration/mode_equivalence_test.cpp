@@ -58,7 +58,7 @@ TEST_P(KernelModeEquivalence, CountingEqualsDataflow) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, KernelModeEquivalence,
-                         ::testing::Range<std::size_t>(0, 16));
+                         ::testing::Range<std::size_t>(0, 19));
 
 TEST(ModeEquivalenceTest, SyntheticsAcrossConfigs) {
   const std::vector<std::pair<std::string, CompiledProgram>> programs = [] {

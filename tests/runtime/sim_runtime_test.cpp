@@ -230,7 +230,10 @@ TEST(SimRuntimeTest, RunDataflowDispatchesOnEnv) {
 
 TEST(SimRuntimeTest, PartialPageRefetchRoutesToSerialScheduler) {
   // The §4-footnote extension's cache admission depends on the serial
-  // interleaving; run_dataflow must stay on the oracle for such configs.
+  // interleaving; with the *default* (auto) scheduler choice, run_dataflow
+  // must stay on the oracle for such configs.
+  const EnvGuard guard("SAPART_DATAFLOW");
+  unsetenv("SAPART_DATAFLOW");
   MachineConfig config = MachineConfig{}.with_pes(4).with_page_size(8);
   config.count_partial_page_refetch = true;
   const CompiledProgram prog = make_skewed(96, 5);
@@ -256,6 +259,40 @@ TEST(SimRuntimeTest, PartialPageRefetchRoutesToSerialScheduler) {
                    serial.snapshot(prog.name()), "partial-page-fallback");
   expect_identical(direct.snapshot(prog.name()), serial.snapshot(prog.name()),
                    "partial-page-direct");
+}
+
+TEST(SimRuntimeTest, ExplicitShardedWithRefetchIsConfigError) {
+  // Honoring SAPART_DATAFLOW=sharded on a count_partial_page_refetch
+  // config would silently run a different scheduler than asked (the old
+  // behaviour); it must fail loudly instead.
+  const EnvGuard guard("SAPART_DATAFLOW");
+  MachineConfig config = MachineConfig{}.with_pes(4).with_page_size(8);
+  config.count_partial_page_refetch = true;
+  const CompiledProgram prog = make_skewed(96, 5);
+
+  setenv("SAPART_DATAFLOW", "sharded", 1);
+  Machine machine(config);
+  materialize_arrays(prog, machine);
+  try {
+    run_dataflow(prog, machine);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("count_partial_page_refetch"), std::string::npos);
+    EXPECT_NE(message.find("serial"), std::string::npos);
+  }
+
+  // An explicit 'serial' request on the same config is of course fine.
+  setenv("SAPART_DATAFLOW", "serial", 1);
+  Machine serial_machine(config);
+  materialize_arrays(prog, serial_machine);
+  EXPECT_NO_THROW(run_dataflow(prog, serial_machine));
+
+  // And the selection helper reports explicitness correctly.
+  unsetenv("SAPART_DATAFLOW");
+  EXPECT_FALSE(dataflow_scheduler_selection_from_env().explicit_env);
+  setenv("SAPART_DATAFLOW", "sharded", 1);
+  EXPECT_TRUE(dataflow_scheduler_selection_from_env().explicit_env);
 }
 
 }  // namespace

@@ -69,16 +69,25 @@ def main():
     fresh = load_rows(args.fresh)
     baseline = load_rows(args.baseline)
 
-    # Timings are only comparable between similar hosts; the artifact
-    # records its host's thread count (docs/BENCH_FORMAT.md).
-    env_key = ("env", "hardware_threads", "count")
-    fresh_threads = fresh.get(env_key, {}).get("instances")
-    base_threads = baseline.get(env_key, {}).get("instances")
-    if fresh_threads != base_threads:
-        print("bench_diff: WARNING — hardware_threads differ "
-              "(baseline %s vs fresh %s); absolute timings and the "
-              "dataflow scheduler-scaling rows are cross-machine noise"
-              % (base_threads, fresh_threads))
+    # Timings are only comparable on the same machine; the artifact embeds
+    # a fingerprint (hardware_threads + compiler, docs/BENCH_FORMAT.md).
+    # On a mismatch the ratio checks are SKIPPED, not merely warned about:
+    # cross-machine ratios are noise that would either cry wolf or lull.
+    fingerprint_keys = (("env", "hardware_threads", "count"),
+                       ("env", "compiler", "id"))
+    mismatches = []
+    for key in fingerprint_keys:
+        fresh_value = fresh.get(key, {}).get("instances")
+        base_value = baseline.get(key, {}).get("instances")
+        if fresh_value != base_value:
+            mismatches.append("%s: baseline %s vs fresh %s"
+                              % (key[1], base_value, fresh_value))
+    if mismatches:
+        print("bench_diff: machine fingerprints differ — skipping all "
+              "cross-machine ratio checks")
+        for line in mismatches:
+            print("  " + line)
+        return 0
 
     regressions = []
     improvements = []
