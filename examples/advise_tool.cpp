@@ -9,6 +9,14 @@
 //   --cache N      cache elements per PE (default 256; 0 disables)
 //   --page-sizes a,b,...   candidate page sizes (default 16,32,64)
 //   --top-k K      candidates validated by real simulation (default 3)
+//   --strategy S   'enumerate' (fixed cross product, the default) or
+//                  'beam' (guided search over the widened mapping space:
+//                  scheme x block x page size x cache, DESIGN.md §11)
+//   --beam-width N        beam states kept per search round (default 4)
+//   --budget N            beam measurement budget: total simulations the
+//                         search may spend (default 12)
+//   --cache-sizes a,b,... extra cache capacities the beam may move to
+//                         (0 = no cache; default: the base cache only)
 //   --summary      also print the per-read classification verdicts
 //
 // The recommendation table shows every candidate with its predicted cost
@@ -32,7 +40,8 @@ namespace {
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--pes N] [--cache N] [--page-sizes a,b,...] [--top-k K]"
-         " [--summary] <kernel-id | file.sap | ->\n";
+         " [--strategy enumerate|beam] [--beam-width N] [--budget N]"
+         " [--cache-sizes a,b,...] [--summary] <kernel-id | file.sap | ->\n";
 }
 
 [[noreturn]] void usage(const char* argv0) {
@@ -122,6 +131,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--top-k") {
       options.validate_top_k = static_cast<std::size_t>(
           parse_int_option(arg, next(), 0, 1 << 20));
+    } else if (arg == "--strategy") {
+      const std::string name = next();
+      try {
+        options.strategy = advisor_strategy_from_name(name);
+      } catch (const ConfigError& e) {
+        std::cerr << arg << ": " << e.what() << '\n';
+        std::exit(2);
+      }
+    } else if (arg == "--beam-width") {
+      options.beam_width = static_cast<std::size_t>(
+          parse_int_option(arg, next(), 1, 1 << 20));
+    } else if (arg == "--budget") {
+      options.measurement_budget = static_cast<std::size_t>(
+          parse_int_option(arg, next(), 1, 1 << 20));
+    } else if (arg == "--cache-sizes") {
+      options.cache_sizes = parse_int_list(arg, next(), 0, 1 << 30);
     } else if (arg == "--summary") {
       print_summary = true;
     } else if (arg == "--help" || arg == "-h") {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "advisor/search.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/text_table.hpp"
@@ -14,11 +15,29 @@ namespace {
 
 bool same_candidate_config(const MachineConfig& a, const MachineConfig& b) {
   return a.partition == b.partition && a.page_size == b.page_size &&
+         a.cache_elements == b.cache_elements &&
          (a.partition != PartitionKind::kBlockCyclic ||
           a.block_cyclic_pages == b.block_cyclic_pages);
 }
 
 }  // namespace
+
+std::string to_string(AdvisorStrategy strategy) {
+  switch (strategy) {
+    case AdvisorStrategy::kEnumerate:
+      return "enumerate";
+    case AdvisorStrategy::kBeam:
+      return "beam";
+  }
+  return "unknown";
+}
+
+AdvisorStrategy advisor_strategy_from_name(std::string_view name) {
+  if (name == "enumerate") return AdvisorStrategy::kEnumerate;
+  if (name == "beam") return AdvisorStrategy::kBeam;
+  throw ConfigError("unknown advisor strategy '" + std::string(name) +
+                    "' (expected 'enumerate' or 'beam')");
+}
 
 std::string AdvisorCandidate::label() const {
   std::ostringstream os;
@@ -33,7 +52,7 @@ std::string AdvisorCandidate::label() const {
       os << "block-cyclic(b=" << config.block_cyclic_pages << ")";
       break;
   }
-  os << " ps=" << config.page_size;
+  os << " ps=" << config.page_size << " cache=" << config.cache_elements;
   return os.str();
 }
 
@@ -85,20 +104,25 @@ std::string AdvisorReport::report() const {
   return os.str();
 }
 
-AdvisorReport advise(const CompiledProgram& compiled,
-                     const MachineConfig& base, const AdvisorOptions& options,
-                     ThreadPool* pool) {
-  base.validate();
-
-  AdvisorReport report;
-  report.program = compiled.name();
-  report.base = base;
-  report.summary = summarize_access(
-      compiled, ClassifierConfig{base.page_size, base.cache_elements});
-
-  // 1. Enumerate the candidate space in a fixed order: page size major,
-  //    scheme minor, so equal scores resolve the same way everywhere.
-  std::vector<std::int64_t> page_sizes = options.page_sizes;
+std::vector<AdvisorCandidate> enumerate_candidates(
+    const MachineConfig& base, const AdvisorOptions& options) {
+  // The candidate space in a fixed order: page size major, scheme minor,
+  // so equal scores resolve the same way everywhere.  A malformed page
+  // size is a caller error worth stopping on — silently skipping it (as
+  // an invalid *combination* below is) would shrink the requested space
+  // without a trace.  Repeats are collapsed up front so they cannot eat
+  // the validation budget as duplicate candidates.
+  std::vector<std::int64_t> page_sizes;
+  for (const std::int64_t ps : options.page_sizes) {
+    if (ps < 1) {
+      throw ConfigError("advisor page size must be >= 1, got " +
+                        std::to_string(ps));
+    }
+    if (std::find(page_sizes.begin(), page_sizes.end(), ps) ==
+        page_sizes.end()) {
+      page_sizes.push_back(ps);
+    }
+  }
   if (page_sizes.empty()) page_sizes = {base.page_size};
   std::vector<AdvisorCandidate> candidates;
   for (const std::int64_t ps : page_sizes) {
@@ -143,6 +167,52 @@ AdvisorReport advise(const CompiledProgram& compiled,
   for (AdvisorCandidate& c : candidates) {
     c.is_baseline = same_candidate_config(c.config, paper_config);
   }
+  return candidates;
+}
+
+void rank_candidates(std::vector<AdvisorCandidate>& candidates) {
+  std::vector<std::size_t> rank(candidates.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  std::stable_sort(
+      rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+        const AdvisorCandidate& ca = candidates[a];
+        const AdvisorCandidate& cb = candidates[b];
+        if (ca.validated != cb.validated) return ca.validated;
+        if (ca.validated) {
+          if (ca.measured_remote_fraction != cb.measured_remote_fraction) {
+            return ca.measured_remote_fraction < cb.measured_remote_fraction;
+          }
+          if (ca.measured_write_imbalance != cb.measured_write_imbalance) {
+            return ca.measured_write_imbalance < cb.measured_write_imbalance;
+          }
+        }
+        return ca.predicted.score() < cb.predicted.score();
+      });
+  std::vector<AdvisorCandidate> ranked;
+  ranked.reserve(candidates.size());
+  for (const std::size_t idx : rank) {
+    ranked.push_back(std::move(candidates[idx]));
+  }
+  candidates = std::move(ranked);
+}
+
+AdvisorReport advise(const CompiledProgram& compiled,
+                     const MachineConfig& base, const AdvisorOptions& options,
+                     ThreadPool* pool) {
+  base.validate();
+  if (options.strategy == AdvisorStrategy::kBeam) {
+    return advise_beam(compiled, base, options, pool);
+  }
+
+  AdvisorReport report;
+  report.program = compiled.name();
+  report.base = base;
+  report.summary = summarize_access(
+      compiled, ClassifierConfig{base.page_size, base.cache_elements});
+
+  // 1. Enumerate the candidate space.
+  std::vector<AdvisorCandidate> candidates =
+      enumerate_candidates(base, options);
 
   // 2. Price every candidate with the analytic model (the prune).
   for (AdvisorCandidate& c : candidates) {
@@ -195,27 +265,8 @@ AdvisorReport advise(const CompiledProgram& compiled,
 
   // 5. Final ranking: validated first by measured cost (write imbalance
   //    and predicted score as tie-breaks), then unvalidated by predicted.
-  std::vector<std::size_t> rank(candidates.size());
-  std::iota(rank.begin(), rank.end(), 0);
-  std::stable_sort(
-      rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
-        const AdvisorCandidate& ca = candidates[a];
-        const AdvisorCandidate& cb = candidates[b];
-        if (ca.validated != cb.validated) return ca.validated;
-        if (ca.validated) {
-          if (ca.measured_remote_fraction != cb.measured_remote_fraction) {
-            return ca.measured_remote_fraction < cb.measured_remote_fraction;
-          }
-          if (ca.measured_write_imbalance != cb.measured_write_imbalance) {
-            return ca.measured_write_imbalance < cb.measured_write_imbalance;
-          }
-        }
-        return ca.predicted.score() < cb.predicted.score();
-      });
-  report.candidates.reserve(candidates.size());
-  for (const std::size_t idx : rank) {
-    report.candidates.push_back(std::move(candidates[idx]));
-  }
+  rank_candidates(candidates);
+  report.candidates = std::move(candidates);
   return report;
 }
 

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "advisor/access_summary.hpp"
@@ -28,6 +29,23 @@
 #include "core/sweep.hpp"
 
 namespace sap {
+
+/// How the advisor covers the candidate space.
+enum class AdvisorStrategy {
+  /// Enumerate the full kinds x blocks x page-sizes cross product at the
+  /// base cache, validate the top-k predictions (the PR-2 advisor).
+  kEnumerate,
+  /// Guided search over the widened joint space — scheme x block-cyclic
+  /// block x page size x cache configuration: beam search seeded from
+  /// the enumerator's top candidates plus the modulo baseline, screened
+  /// by the analytic CostModel, steered by measured runs, finished with
+  /// a hill-climb refinement pass (advisor/search.hpp, DESIGN.md §11).
+  kBeam,
+};
+
+std::string to_string(AdvisorStrategy strategy);
+/// "enumerate" / "beam" -> the enum; anything else throws ConfigError.
+AdvisorStrategy advisor_strategy_from_name(std::string_view name);
 
 struct AdvisorOptions {
   /// Schemes to consider.  BlockCyclic expands over `block_cyclic_pages`.
@@ -37,6 +55,7 @@ struct AdvisorOptions {
   std::vector<std::int64_t> block_cyclic_pages = {2, 4};
 
   /// Page sizes to consider; empty keeps the base configuration's.
+  /// Duplicates are collapsed; values < 1 raise ConfigError.
   std::vector<std::int64_t> page_sizes = {};
 
   /// Candidates validated with real simulations, best-predicted first.
@@ -45,6 +64,19 @@ struct AdvisorOptions {
   std::size_t validate_top_k = 3;
 
   ExecutionMode validation_mode = ExecutionMode::kCounting;
+
+  AdvisorStrategy strategy = AdvisorStrategy::kEnumerate;
+
+  /// kBeam: states kept per search round (also the seed count).
+  std::size_t beam_width = 4;
+  /// kBeam: total measured simulations the search may spend.  The modulo
+  /// baseline is always measured, even with a budget of zero or one, so
+  /// the never-worse guarantee survives any setting.
+  std::size_t measurement_budget = 12;
+  /// kBeam: extra cache capacities the search may move to (elements;
+  /// 0 = no cache).  Empty keeps the base configuration's cache as the
+  /// only cache point.  Values < 0 raise ConfigError.
+  std::vector<std::int64_t> cache_sizes = {};
 };
 
 struct AdvisorCandidate {
@@ -88,11 +120,29 @@ struct AdvisorReport {
 
 /// Runs the full pipeline.  `base` fixes the machine shape (PE count,
 /// cache, topology); the candidate space varies partition scheme, block
-/// size and (optionally) page size.  Validation simulations fan across
-/// `pool` when given, serially otherwise — output is identical either way.
+/// size, page size and — under the kBeam strategy — cache configuration.
+/// Validation simulations fan across `pool` when given, serially
+/// otherwise — output is identical either way.
 AdvisorReport advise(const CompiledProgram& compiled,
                      const MachineConfig& base,
                      const AdvisorOptions& options = {},
                      ThreadPool* pool = nullptr);
+
+// --- Shared between the enumerate strategy (advisor.cpp) and the beam
+// --- search (search.cpp); exposed for tests.
+
+/// The kEnumerate candidate space in its fixed order (page size major,
+/// scheme minor), deduplicated, each candidate priced-free (predicted is
+/// filled by the caller).  Always contains the modulo baseline at the
+/// base page size, flagged is_baseline.  Throws ConfigError on page
+/// sizes < 1 in `options.page_sizes`.
+std::vector<AdvisorCandidate> enumerate_candidates(
+    const MachineConfig& base, const AdvisorOptions& options);
+
+/// The final ranking shared by both strategies: validated candidates
+/// first by (measured remote fraction, measured write imbalance), then
+/// everything by predicted score; all ties broken by the candidates'
+/// current order (enumeration / discovery index) via stable sort.
+void rank_candidates(std::vector<AdvisorCandidate>& candidates);
 
 }  // namespace sap

@@ -1,0 +1,351 @@
+#include "advisor/search.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+
+namespace {
+
+// Caps that bound the search, not the space the user asked for: the
+// doubling/halving moves stop at 4x past the configured page-size axis
+// and at kMaxBlockPages block-cyclic pages; rounds and hill steps stop
+// runaway walks long before the measurement budget usually does.
+constexpr std::int64_t kMaxBlockPages = 64;
+constexpr std::size_t kMaxBeamRounds = 6;
+constexpr std::size_t kMaxHillSteps = 8;
+// Beam rounds leave this many measurements for the hill-climb phase.
+constexpr std::size_t kHillClimbReserve = 2;
+
+/// Forces the fields a simulation ignores into one canonical form so the
+/// dedup key (config_identity) cannot split one machine into several
+/// search states.
+MachineConfig canonical(MachineConfig config) {
+  if (config.partition != PartitionKind::kBlockCyclic) {
+    config.block_cyclic_pages = 0;
+  }
+  return config;
+}
+
+/// The beam search state: every discovered point (in discovery order —
+/// the deterministic tie-break), its identity key, and the budgeted
+/// measurement engine.
+class BeamSearch {
+ public:
+  BeamSearch(const CompiledProgram& compiled, const MachineConfig& base,
+             const AccessSummary& summary, const AdvisorOptions& options,
+             ThreadPool* pool)
+      : base_(base),
+        options_(options),
+        summary_(summary),
+        // The baseline must always be measurable: a zero budget still
+        // admits one run.
+        sweeper_(compiled, options.validation_mode,
+                 std::max<std::size_t>(options.measurement_budget, 1), pool) {
+    // The axes the step moves walk along.  Page sizes may extend past
+    // the configured axis by doubling/halving (bounded below); the cache
+    // axis is exactly options.cache_sizes plus the base cache.
+    page_min_ = base.page_size;
+    page_max_ = base.page_size;
+    for (const std::int64_t ps : options.page_sizes) {
+      if (ps < 1) {
+        throw ConfigError("advisor page size must be >= 1, got " +
+                          std::to_string(ps));
+      }
+      page_min_ = std::min(page_min_, ps);
+      page_max_ = std::max(page_max_, ps);
+    }
+    page_min_ = std::max<std::int64_t>(1, page_min_ / 4);
+    page_max_ = page_max_ * 4;
+    cache_axis_ = {base.cache_elements};
+    for (const std::int64_t cache : options.cache_sizes) {
+      if (cache < 0) {
+        throw ConfigError("advisor cache size must be >= 0, got " +
+                          std::to_string(cache));
+      }
+      cache_axis_.push_back(cache);
+    }
+    std::sort(cache_axis_.begin(), cache_axis_.end());
+    cache_axis_.erase(std::unique(cache_axis_.begin(), cache_axis_.end()),
+                      cache_axis_.end());
+  }
+
+  /// Registers a configuration as a search point: canonicalized, machine-
+  /// validated (invalid combinations are skipped, not fatal), priced with
+  /// the cost model, deduplicated against everything already discovered.
+  /// Returns the point's index, or npos for an invalid combination.
+  std::size_t intern(const MachineConfig& raw) {
+    const MachineConfig config = canonical(raw);
+    try {
+      config.validate();
+    } catch (const ConfigError&) {
+      return npos;
+    }
+    const std::string key = config_identity(config);
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) return i;
+    }
+    AdvisorCandidate c;
+    c.config = config;
+    c.is_baseline = config.partition == PartitionKind::kModulo &&
+                    config.page_size == base_.page_size &&
+                    config.cache_elements == base_.cache_elements;
+    c.predicted = estimate_cost(summary_, config);
+    points_.push_back(std::move(c));
+    keys_.push_back(key);
+    return points_.size() - 1;
+  }
+
+  /// One-axis-step moves from `idx`, in a fixed order (scheme flips,
+  /// block down/up, page down/up, cache down/up).  New points are
+  /// interned; the returned list carries no duplicates.
+  std::vector<std::size_t> neighbors(std::size_t idx) {
+    const MachineConfig at = points_[idx].config;  // copy: intern reallocates
+    std::vector<std::size_t> out;
+    const auto add = [&](const MachineConfig& config) {
+      const std::size_t n = intern(config);
+      if (n != npos && n != idx &&
+          std::find(out.begin(), out.end(), n) == out.end()) {
+        out.push_back(n);
+      }
+    };
+
+    for (const PartitionKind kind : options_.kinds) {
+      if (kind == at.partition) continue;
+      MachineConfig next = at.with_partition(kind);
+      if (kind == PartitionKind::kBlockCyclic) {
+        next.block_cyclic_pages =
+            options_.block_cyclic_pages.empty()
+                ? 2
+                : options_.block_cyclic_pages.front();
+      }
+      add(next);
+    }
+    if (at.partition == PartitionKind::kBlockCyclic) {
+      if (at.block_cyclic_pages / 2 >= 1) {
+        MachineConfig next = at;
+        next.block_cyclic_pages = at.block_cyclic_pages / 2;
+        add(next);
+      }
+      if (at.block_cyclic_pages * 2 <= kMaxBlockPages) {
+        MachineConfig next = at;
+        next.block_cyclic_pages = at.block_cyclic_pages * 2;
+        add(next);
+      }
+    }
+    if (at.page_size / 2 >= page_min_) {
+      add(at.with_page_size(at.page_size / 2));
+    }
+    if (at.page_size * 2 <= page_max_) {
+      add(at.with_page_size(at.page_size * 2));
+    }
+    const auto cache_pos =
+        std::find(cache_axis_.begin(), cache_axis_.end(), at.cache_elements);
+    if (cache_pos != cache_axis_.end()) {
+      if (cache_pos != cache_axis_.begin()) {
+        add(at.with_cache(*std::prev(cache_pos)));
+      }
+      if (std::next(cache_pos) != cache_axis_.end()) {
+        add(at.with_cache(*std::next(cache_pos)));
+      }
+    }
+    return out;
+  }
+
+  /// Measures the given points (request order, budget permitting) as one
+  /// batch and folds the results into them.
+  void measure(const std::vector<std::size_t>& idxs) {
+    std::vector<MachineConfig> configs;
+    configs.reserve(idxs.size());
+    for (const std::size_t idx : idxs) configs.push_back(points_[idx].config);
+    const std::vector<const SimulationResult*> results =
+        sweeper_.measure(configs);
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      if (results[j] == nullptr) continue;
+      AdvisorCandidate& c = points_[idxs[j]];
+      const SimulationResult& r = *results[j];
+      c.validated = true;
+      c.measured_remote_fraction = r.remote_read_fraction();
+      c.measured_remote_reads = r.totals.remote_reads;
+      c.measured_total_reads = r.totals.total_reads();
+      c.measured_write_imbalance = r.write_balance().imbalance();
+    }
+  }
+
+  /// Measured points best-first: (remote fraction, write imbalance,
+  /// predicted score), discovery index as the final tie — the same order
+  /// rank_candidates gives the validated tier.
+  std::vector<std::size_t> measured_ranking() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].validated) out.push_back(i);
+    }
+    std::stable_sort(out.begin(), out.end(), [&](std::size_t a,
+                                                 std::size_t b) {
+      const AdvisorCandidate& ca = points_[a];
+      const AdvisorCandidate& cb = points_[b];
+      if (ca.measured_remote_fraction != cb.measured_remote_fraction) {
+        return ca.measured_remote_fraction < cb.measured_remote_fraction;
+      }
+      if (ca.measured_write_imbalance != cb.measured_write_imbalance) {
+        return ca.measured_write_imbalance < cb.measured_write_imbalance;
+      }
+      return ca.predicted.score() < cb.predicted.score();
+    });
+    return out;
+  }
+
+  /// Unmeasured candidates of `idxs` ordered by (predicted score,
+  /// discovery index) — the CostModel screen.
+  std::vector<std::size_t> screen(std::vector<std::size_t> idxs) const {
+    idxs.erase(std::remove_if(idxs.begin(), idxs.end(),
+                              [&](std::size_t i) {
+                                return points_[i].validated;
+                              }),
+               idxs.end());
+    std::stable_sort(idxs.begin(), idxs.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       if (points_[a].predicted.score() !=
+                           points_[b].predicted.score()) {
+                         return points_[a].predicted.score() <
+                                points_[b].predicted.score();
+                       }
+                       return a < b;
+                     });
+    return idxs;
+  }
+
+  std::size_t remaining_budget() const { return sweeper_.remaining(); }
+  const AdvisorCandidate& point(std::size_t idx) const { return points_[idx]; }
+  std::vector<AdvisorCandidate> take_points() { return std::move(points_); }
+
+  static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+ private:
+  MachineConfig base_;
+  const AdvisorOptions& options_;
+  const AccessSummary& summary_;
+  BudgetedSweeper sweeper_;
+  std::int64_t page_min_ = 1;
+  std::int64_t page_max_ = 1;
+  std::vector<std::int64_t> cache_axis_;
+  std::vector<AdvisorCandidate> points_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace
+
+AdvisorReport advise_beam(const CompiledProgram& compiled,
+                          const MachineConfig& base,
+                          const AdvisorOptions& options, ThreadPool* pool) {
+  base.validate();
+
+  AdvisorReport report;
+  report.program = compiled.name();
+  report.base = base;
+  report.summary = summarize_access(
+      compiled, ClassifierConfig{base.page_size, base.cache_elements});
+
+  BeamSearch search(compiled, base, report.summary, options, pool);
+
+  // 1. Seeds: the full enumerate space is registered (so the report
+  //    always covers it), and the measured seed set is the baseline plus
+  //    the best-predicted enumerate candidates — a superset of what the
+  //    enumerate strategy validates whenever the budget allows, which is
+  //    what makes the beam never worse than the enumerator, not just
+  //    never worse than modulo.
+  std::size_t baseline_idx = BeamSearch::npos;
+  std::vector<std::size_t> enumerated;
+  for (const AdvisorCandidate& c : enumerate_candidates(base, options)) {
+    const std::size_t idx = search.intern(c.config);
+    if (idx == BeamSearch::npos) continue;
+    enumerated.push_back(idx);
+    if (search.point(idx).is_baseline) baseline_idx = idx;
+  }
+  SAP_CHECK(baseline_idx != BeamSearch::npos,
+            "beam search lost the modulo baseline");
+
+  std::vector<std::size_t> seeds = {baseline_idx};
+  const std::size_t seed_count =
+      std::max(options.validate_top_k, options.beam_width);
+  for (const std::size_t idx : search.screen(enumerated)) {
+    if (seeds.size() > seed_count) break;
+    if (idx != baseline_idx) seeds.push_back(idx);
+  }
+  search.measure(seeds);
+
+  // 2. Beam rounds: expand the measured beam, screen the frontier with
+  //    the cost model, measure the screened best as one batch.  The
+  //    budget (minus a reserve for the hill climb) is the loop bound
+  //    that matters; the round cap only stops degenerate walks.
+  for (std::size_t round = 0; round < kMaxBeamRounds; ++round) {
+    if (search.remaining_budget() <= kHillClimbReserve) break;
+    const std::vector<std::size_t> ranking = search.measured_ranking();
+    std::vector<std::size_t> frontier;
+    for (std::size_t b = 0;
+         b < std::min(options.beam_width, ranking.size()); ++b) {
+      for (const std::size_t n : search.neighbors(ranking[b])) {
+        if (std::find(frontier.begin(), frontier.end(), n) ==
+            frontier.end()) {
+          frontier.push_back(n);
+        }
+      }
+    }
+    std::vector<std::size_t> batch = search.screen(frontier);
+    const std::size_t batch_cap = std::min(
+        options.beam_width, search.remaining_budget() - kHillClimbReserve);
+    if (batch.size() > batch_cap) batch.resize(batch_cap);
+    if (batch.empty()) break;
+    search.measure(batch);
+  }
+
+  // 3. Hill-climb refinement: steepest descent on the predicted-cost
+  //    surface from the best measured state; the unmeasured states along
+  //    the path get the reserved measurements.
+  const std::vector<std::size_t> ranking = search.measured_ranking();
+  if (!ranking.empty()) {
+    std::size_t cur = ranking.front();
+    std::vector<std::size_t> path;
+    for (std::size_t step = 0; step < kMaxHillSteps; ++step) {
+      const std::vector<std::size_t> ns = search.neighbors(cur);
+      std::size_t best = BeamSearch::npos;
+      for (const std::size_t n : ns) {
+        if (best == BeamSearch::npos ||
+            search.point(n).predicted.score() <
+                search.point(best).predicted.score()) {
+          best = n;
+        }
+      }
+      if (best == BeamSearch::npos ||
+          search.point(best).predicted.score() >=
+              search.point(cur).predicted.score()) {
+        break;
+      }
+      if (!search.point(best).validated &&
+          std::find(path.begin(), path.end(), best) == path.end()) {
+        path.push_back(best);
+      }
+      cur = best;
+    }
+    search.measure(path);
+  }
+
+  // 4. Rank exactly like the enumerate strategy: validated tier by
+  //    measured cost, everything else by predicted score, stable on
+  //    discovery order.  The baseline is measured, so best() can never
+  //    rank behind it.
+  std::vector<AdvisorCandidate> candidates = search.take_points();
+  for (const AdvisorCandidate& c : candidates) {
+    if (c.validated) report.validated_count++;
+  }
+  rank_candidates(candidates);
+  report.candidates = std::move(candidates);
+  return report;
+}
+
+}  // namespace sap

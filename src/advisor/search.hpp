@@ -1,0 +1,43 @@
+// Search-based partition advisor over the widened mapping space.
+//
+// The enumerate strategy (advisor.cpp) covers a fixed cross product —
+// kinds x block sizes x page sizes at the base cache — and validates its
+// top predictions.  The beam strategy here searches the *joint* space of
+// partition scheme x block-cyclic block x page size x cache
+// configuration, most of which the enumerator never visits: block and
+// page sizes extend past the configured axes by doubling/halving moves,
+// and the cache axis (AdvisorOptions::cache_sizes) opens a dimension the
+// enumerator holds fixed.
+//
+// Shape of the search (DESIGN.md §11):
+//   1. Seed the beam with the enumerator's top predicted candidates plus
+//      the paper's modulo baseline — exactly the set the enumerate
+//      strategy validates — and measure them.
+//   2. Beam rounds: keep the `beam_width` best *measured* states, expand
+//      their neighbors (one axis step at a time), screen the frontier
+//      with the analytic CostModel, and measure the most promising
+//      screened states as one parallel_sweep_results batch.
+//   3. Hill-climb refinement: from the best measured state, walk the
+//      predicted-cost surface steepest-descent-first and measure the
+//      unvisited states along the path.
+//
+// Measurements are budgeted (AdvisorOptions::measurement_budget) through
+// core/sweep's BudgetedSweeper; the modulo baseline is always measured
+// first, so the advisor's pick is never worse than the paper default by
+// construction no matter how small the budget.  Every ordering ties off
+// by discovery index, so reports are byte-identical at any worker count.
+#pragma once
+
+#include "advisor/advisor.hpp"
+
+namespace sap {
+
+/// The AdvisorStrategy::kBeam pipeline.  Called by advise(); callable
+/// directly when the caller wants the beam search regardless of
+/// `options.strategy`.
+AdvisorReport advise_beam(const CompiledProgram& compiled,
+                          const MachineConfig& base,
+                          const AdvisorOptions& options = {},
+                          ThreadPool* pool = nullptr);
+
+}  // namespace sap

@@ -1,5 +1,6 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
 #include <cstddef>
 
 #include "support/check.hpp"
@@ -28,6 +29,63 @@ std::vector<SimulationResult> parallel_sweep_results(
     parallel_for_each(*pool, jobs.size(), run_one);
   }
   return results;
+}
+
+std::string config_identity(const MachineConfig& config) {
+  // to_string() is for humans and omits block_cyclic_pages, the
+  // partial-page switch and the seed; the memo needs every field that a
+  // simulation can observe.
+  return config.to_string() + " b=" + std::to_string(config.block_cyclic_pages) +
+         " partial=" + (config.count_partial_page_refetch ? "1" : "0") +
+         " seed=" + std::to_string(config.seed);
+}
+
+BudgetedSweeper::BudgetedSweeper(const CompiledProgram& program,
+                                 ExecutionMode mode, std::size_t budget,
+                                 ThreadPool* pool)
+    : program_(program), mode_(mode), budget_(budget), pool_(pool) {}
+
+const SimulationResult* BudgetedSweeper::find(const std::string& key) const {
+  for (const auto& [memo_key, result] : memo_) {
+    if (memo_key == key) return result.get();
+  }
+  return nullptr;
+}
+
+std::vector<const SimulationResult*> BudgetedSweeper::measure(
+    const std::vector<MachineConfig>& configs) {
+  // Assemble the batch: first occurrence of each unmeasured config, in
+  // request order, until the budget is spent.
+  std::vector<std::string> keys;
+  keys.reserve(configs.size());
+  for (const MachineConfig& config : configs) {
+    keys.push_back(config_identity(config));
+  }
+  std::vector<SweepJob> jobs;
+  std::vector<std::string> job_keys;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (spent_ + jobs.size() >= budget_) break;
+    if (find(keys[i]) != nullptr) continue;
+    if (std::find(job_keys.begin(), job_keys.end(), keys[i]) !=
+        job_keys.end()) {
+      continue;  // duplicate within this very request
+    }
+    jobs.push_back({&program_, configs[i], mode_});
+    job_keys.push_back(keys[i]);
+  }
+
+  const std::vector<SimulationResult> results =
+      parallel_sweep_results(jobs, pool_);
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    memo_.emplace_back(job_keys[j],
+                       std::make_unique<SimulationResult>(results[j]));
+  }
+  spent_ += results.size();
+
+  std::vector<const SimulationResult*> out;
+  out.reserve(configs.size());
+  for (const std::string& key : keys) out.push_back(find(key));
+  return out;
 }
 
 SweepGrid sweep_grid(const std::vector<CompiledProgram>& programs,

@@ -10,7 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -92,6 +94,51 @@ SweepSeries sweep_cache_sizes(const CompiledProgram& compiled,
                               const std::vector<std::int64_t>& cache_sizes,
                               std::string label, const Metric& metric,
                               ThreadPool* pool = nullptr);
+
+/// Budgeted, memoized measurement engine for search strategies (the
+/// beam-search advisor).  Each `measure` call runs the not-yet-measured
+/// configurations — in request order, truncated to the remaining budget —
+/// as ONE parallel_sweep_results batch, then answers every request from
+/// the memo.  Re-requesting a measured configuration is free and does not
+/// touch the budget, so a search loop can ask for whole frontiers without
+/// bookkeeping which points it already paid for.  Determinism: the batch
+/// order is the request order, the engine underneath is order-stable, and
+/// the memo key is the full machine configuration — output is identical
+/// for any worker count.
+class BudgetedSweeper {
+ public:
+  /// `budget` caps the number of *distinct* simulations ever run.
+  BudgetedSweeper(const CompiledProgram& program, ExecutionMode mode,
+                  std::size_t budget, ThreadPool* pool = nullptr);
+
+  /// One entry per requested config: a pointer into the memo when that
+  /// configuration is measured (now or previously), nullptr when the
+  /// budget ran out before its turn.  Pointers stay valid for the
+  /// sweeper's lifetime.
+  std::vector<const SimulationResult*> measure(
+      const std::vector<MachineConfig>& configs);
+
+  std::size_t spent() const noexcept { return spent_; }
+  std::size_t remaining() const noexcept { return budget_ - spent_; }
+
+ private:
+  const CompiledProgram& program_;
+  ExecutionMode mode_;
+  std::size_t budget_;
+  std::size_t spent_ = 0;
+  ThreadPool* pool_;
+  // Memo keyed by the canonical configuration string; deque-like stable
+  // storage via unique_ptr so measure() can hand out raw pointers.
+  std::vector<std::pair<std::string, std::unique_ptr<SimulationResult>>>
+      memo_;
+
+  const SimulationResult* find(const std::string& key) const;
+};
+
+/// Canonical memo key: every MachineConfig field that can change a
+/// simulation result (to_string() omits block_cyclic_pages and the seed,
+/// so it is NOT a safe identity).
+std::string config_identity(const MachineConfig& config);
 
 /// Figures 1-4: four series ({Cache, No Cache} x page sizes) of
 /// "% reads remote" vs number of PEs.  `base.cache_elements` sizes the

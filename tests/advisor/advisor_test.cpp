@@ -4,6 +4,7 @@
 
 #include "kernels/livermore.hpp"
 #include "kernels/synthetic.hpp"
+#include "support/error.hpp"
 
 namespace sap {
 namespace {
@@ -64,6 +65,102 @@ TEST(AdvisorTest, CandidateSpaceHasNoDuplicates) {
       EXPECT_NE(report.candidates[i].label(), report.candidates[j].label());
     }
   }
+}
+
+TEST(AdvisorTest, DuplicatePageSizesDoNotGrowTheSpaceOrSpendBudget) {
+  // {32, 32, 64} and {32, 64} must be the same request: same candidate
+  // count, same validated count — a repeated entry must not burn a
+  // validation run on a duplicate.
+  AdvisorOptions with_dup;
+  with_dup.page_sizes = {32, 32, 64};
+  AdvisorOptions clean;
+  clean.page_sizes = {32, 64};
+  const CompiledProgram prog = make_matched(256);
+  const AdvisorReport a = advise(prog, paper_machine(4), with_dup);
+  const AdvisorReport b = advise(prog, paper_machine(4), clean);
+  EXPECT_EQ(a.candidates.size(), b.candidates.size());
+  EXPECT_EQ(a.validated_count, b.validated_count);
+  EXPECT_EQ(a.report(), b.report());
+}
+
+TEST(AdvisorTest, NonPositivePageSizesRejected) {
+  for (const std::int64_t bad : {std::int64_t{0}, std::int64_t{-1},
+                                 std::int64_t{-32}}) {
+    AdvisorOptions options;
+    options.page_sizes = {32, bad};
+    EXPECT_THROW(advise(make_matched(256), paper_machine(4), options),
+                 ConfigError)
+        << "page size " << bad;
+  }
+}
+
+TEST(AdvisorTest, EnumerateCandidatesContract) {
+  AdvisorOptions options;
+  options.page_sizes = {16, 32};
+  const std::vector<AdvisorCandidate> candidates =
+      enumerate_candidates(paper_machine(8), options);
+  // 2 page sizes x (modulo + block + 2 block-cyclic blocks) = 8, no
+  // injected extra needed: modulo ps=32 is already in the space.
+  EXPECT_EQ(candidates.size(), 8u);
+  std::size_t baselines = 0;
+  for (const AdvisorCandidate& c : candidates) {
+    if (c.is_baseline) {
+      ++baselines;
+      EXPECT_EQ(c.config.partition, PartitionKind::kModulo);
+      EXPECT_EQ(c.config.page_size, 32);
+      EXPECT_EQ(c.config.cache_elements, 256);
+    }
+  }
+  EXPECT_EQ(baselines, 1u);
+}
+
+TEST(AdvisorTest, BestAndBaselineContractsOnHandBuiltReports) {
+  // best() on an empty report is a programming error and must throw.
+  AdvisorReport empty;
+  EXPECT_THROW(empty.best(), Error);
+  // baseline() on a report with no baseline-flagged candidate is a legal
+  // query answered with null (advise() never produces one, but consumers
+  // must be able to rely on the null contract).
+  AdvisorReport no_baseline;
+  no_baseline.candidates.emplace_back();
+  EXPECT_EQ(no_baseline.baseline(), nullptr);
+  // best() is the front candidate; baseline() finds the flagged one
+  // wherever it ranks.
+  AdvisorReport report;
+  AdvisorCandidate first;
+  first.measured_remote_fraction = 0.125;
+  first.validated = true;
+  AdvisorCandidate second;
+  second.is_baseline = true;
+  second.measured_remote_fraction = 0.5;
+  second.validated = true;
+  report.candidates = {first, second};
+  EXPECT_EQ(&report.best(), &report.candidates.front());
+  EXPECT_EQ(report.baseline(), &report.candidates[1]);
+  EXPECT_EQ(report.baseline()->measured_remote_fraction, 0.5);
+}
+
+TEST(AdvisorTest, RankCandidatesOrdersTiersAndBreaksTiesStably) {
+  // Three validated with equal measured cost (stable order must hold),
+  // one unvalidated with a better *predicted* score than the validated
+  // ones (must still rank last: measurement outranks prediction).
+  std::vector<AdvisorCandidate> candidates(4);
+  candidates[0].validated = true;
+  candidates[0].measured_remote_fraction = 0.25;
+  candidates[0].config.page_size = 1;  // markers for order checking
+  candidates[1].validated = true;
+  candidates[1].measured_remote_fraction = 0.25;
+  candidates[1].config.page_size = 2;
+  candidates[2].validated = true;
+  candidates[2].measured_remote_fraction = 0.125;
+  candidates[2].config.page_size = 3;
+  candidates[3].validated = false;
+  candidates[3].config.page_size = 4;
+  rank_candidates(candidates);
+  EXPECT_EQ(candidates[0].config.page_size, 3);  // lowest measured first
+  EXPECT_EQ(candidates[1].config.page_size, 1);  // tie: input order kept
+  EXPECT_EQ(candidates[2].config.page_size, 2);
+  EXPECT_EQ(candidates[3].config.page_size, 4);  // unvalidated last
 }
 
 TEST(AdvisorTest, RankingIsSorted) {

@@ -1,0 +1,165 @@
+#include "advisor/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+#include "support/error.hpp"
+
+namespace sap {
+namespace {
+
+MachineConfig paper_machine(std::uint32_t pes) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.page_size = 32;
+  c.cache_elements = 256;
+  return c;
+}
+
+AdvisorOptions beam_options() {
+  AdvisorOptions options;
+  options.strategy = AdvisorStrategy::kBeam;
+  options.page_sizes = {16, 32, 64};
+  return options;
+}
+
+TEST(AdvisorSearchTest, StrategyNamesRoundTrip) {
+  EXPECT_EQ(to_string(AdvisorStrategy::kEnumerate), "enumerate");
+  EXPECT_EQ(to_string(AdvisorStrategy::kBeam), "beam");
+  EXPECT_EQ(advisor_strategy_from_name("enumerate"),
+            AdvisorStrategy::kEnumerate);
+  EXPECT_EQ(advisor_strategy_from_name("beam"), AdvisorStrategy::kBeam);
+  EXPECT_THROW(advisor_strategy_from_name("genetic"), ConfigError);
+  EXPECT_THROW(advisor_strategy_from_name(""), ConfigError);
+}
+
+TEST(AdvisorSearchTest, AdviseDispatchesOnStrategy) {
+  // advise() with strategy=kBeam must be the advise_beam pipeline:
+  // identical report text.
+  const CompiledProgram prog = make_skewed(1024, 11);
+  const AdvisorOptions options = beam_options();
+  const AdvisorReport via_advise = advise(prog, paper_machine(8), options);
+  const AdvisorReport direct = advise_beam(prog, paper_machine(8), options);
+  EXPECT_EQ(via_advise.report(), direct.report());
+}
+
+TEST(AdvisorSearchTest, BaselineAlwaysMeasuredEvenWithBudgetOne) {
+  AdvisorOptions options = beam_options();
+  options.measurement_budget = 1;
+  const AdvisorReport report =
+      advise(make_cyclic(512, 2), paper_machine(8), options);
+  const AdvisorCandidate* baseline = report.baseline();
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_TRUE(baseline->validated);
+  // The only measured candidate IS the baseline, so it must be the pick.
+  EXPECT_EQ(report.validated_count, 1u);
+  EXPECT_TRUE(report.best().is_baseline);
+}
+
+TEST(AdvisorSearchTest, MeasurementBudgetIsRespected) {
+  for (const std::size_t budget : {1u, 4u, 9u, 16u}) {
+    AdvisorOptions options = beam_options();
+    options.measurement_budget = budget;
+    const AdvisorReport report =
+        advise(build_k2_iccg(), paper_machine(16), options);
+    EXPECT_LE(report.validated_count, budget) << "budget " << budget;
+  }
+}
+
+TEST(AdvisorSearchTest, NeverWorseThanEnumerateWithSameOptions) {
+  // The beam measures the enumerator's validated set first (baseline +
+  // top predicted), so with the default budget its pick can only match
+  // or beat the enumerate strategy's.
+  for (const char* id :
+       {"k01_hydro", "k02_iccg", "k06_glr", "k18_hydro2d", "k21_matmul"}) {
+    const CompiledProgram prog = build_kernel(id);
+    AdvisorOptions enumerate_options;
+    enumerate_options.page_sizes = {16, 32, 64};
+    AdvisorOptions options = beam_options();
+    const AdvisorReport enumerated =
+        advise(prog, paper_machine(16), enumerate_options);
+    const AdvisorReport searched = advise(prog, paper_machine(16), options);
+    EXPECT_LE(searched.best().measured_remote_fraction,
+              enumerated.best().measured_remote_fraction)
+        << id;
+  }
+}
+
+TEST(AdvisorSearchTest, WidensPastTheConfiguredPageAxis) {
+  // k21's matmul row reuse wants far bigger pages than the enumerate
+  // axis offers; the beam's doubling moves must discover (and measure)
+  // a page size outside {16,32,64}.
+  const AdvisorReport report =
+      advise(build_k21_matmul(), paper_machine(16), beam_options());
+  bool saw_widened = false;
+  for (const AdvisorCandidate& c : report.candidates) {
+    if (c.validated &&
+        (c.config.page_size > 64 || c.config.page_size < 16)) {
+      saw_widened = true;
+    }
+  }
+  EXPECT_TRUE(saw_widened);
+  EXPECT_LT(report.best().measured_remote_fraction,
+            report.baseline()->measured_remote_fraction);
+}
+
+TEST(AdvisorSearchTest, CacheAxisIsSearched) {
+  AdvisorOptions options = beam_options();
+  options.cache_sizes = {128, 512};
+  const AdvisorReport report =
+      advise(build_k2_iccg(), paper_machine(16), options);
+  bool saw_other_cache = false;
+  for (const AdvisorCandidate& c : report.candidates) {
+    if (c.config.cache_elements != 256) saw_other_cache = true;
+    EXPECT_TRUE(c.config.cache_elements == 128 ||
+                c.config.cache_elements == 256 ||
+                c.config.cache_elements == 512)
+        << c.label();
+  }
+  EXPECT_TRUE(saw_other_cache);
+  // The baseline stays the paper machine: modulo at the BASE cache.
+  ASSERT_NE(report.baseline(), nullptr);
+  EXPECT_EQ(report.baseline()->config.cache_elements, 256);
+}
+
+TEST(AdvisorSearchTest, NegativeCacheSizeRejected) {
+  AdvisorOptions options = beam_options();
+  options.cache_sizes = {-1};
+  EXPECT_THROW(advise(build_k5_tridiag(), paper_machine(8), options),
+               ConfigError);
+}
+
+TEST(AdvisorSearchTest, NonPositivePageSizeRejected) {
+  AdvisorOptions options = beam_options();
+  options.page_sizes = {0, 32};
+  EXPECT_THROW(advise(build_k5_tridiag(), paper_machine(8), options),
+               ConfigError);
+}
+
+TEST(AdvisorSearchTest, DeterministicAcrossWorkerCountsAndNoPool) {
+  const CompiledProgram prog = build_k18_explicit_hydro_2d();
+  AdvisorOptions options = beam_options();
+  options.cache_sizes = {128, 512};
+  const std::string expected =
+      advise(prog, paper_machine(16), options).report();
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const AdvisorReport report =
+        advise(prog, paper_machine(16), options, &pool);
+    EXPECT_EQ(report.report(), expected) << workers << " workers";
+  }
+}
+
+TEST(AdvisorSearchTest, NoDuplicateCandidates) {
+  const AdvisorReport report =
+      advise(build_k1_hydro(), paper_machine(16), beam_options());
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.candidates.size(); ++j) {
+      EXPECT_NE(report.candidates[i].label(), report.candidates[j].label());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -57,5 +57,81 @@ TEST(SweepTest, MetricIsPercent) {
   EXPECT_GT(series.y_at(2), 1.0);
 }
 
+TEST(SweepTest, ConfigIdentityCoversSimulationVisibleFields) {
+  const MachineConfig base;
+  // to_string() omits the block-cyclic block; the memo key must not.
+  MachineConfig b2 = base.with_partition(PartitionKind::kBlockCyclic);
+  MachineConfig b4 = b2;
+  b2.block_cyclic_pages = 2;
+  b4.block_cyclic_pages = 4;
+  EXPECT_NE(config_identity(b2), config_identity(b4));
+  EXPECT_EQ(config_identity(b2), config_identity(b2));
+  MachineConfig partial = base;
+  partial.count_partial_page_refetch = true;
+  EXPECT_NE(config_identity(base), config_identity(partial));
+  MachineConfig seeded = base;
+  seeded.seed = 7;
+  EXPECT_NE(config_identity(base), config_identity(seeded));
+}
+
+TEST(SweepTest, BudgetedSweeperStopsAtTheBudgetAndMemoizes) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  const MachineConfig base = MachineConfig{}.with_pes(4);
+  BudgetedSweeper sweeper(prog, ExecutionMode::kCounting, 2);
+  const std::vector<MachineConfig> configs = {
+      base.with_page_size(16), base.with_page_size(32),
+      base.with_page_size(64)};
+
+  const auto first = sweeper.measure(configs);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_NE(first[0], nullptr);
+  EXPECT_NE(first[1], nullptr);
+  EXPECT_EQ(first[2], nullptr);  // over budget
+  EXPECT_EQ(sweeper.spent(), 2u);
+  EXPECT_EQ(sweeper.remaining(), 0u);
+
+  // Re-requesting measured configs is free and answered from the memo,
+  // pointer-stable; the unmeasured one stays null.
+  const auto second = sweeper.measure(configs);
+  EXPECT_EQ(second[0], first[0]);
+  EXPECT_EQ(second[1], first[1]);
+  EXPECT_EQ(second[2], nullptr);
+  EXPECT_EQ(sweeper.spent(), 2u);
+}
+
+TEST(SweepTest, BudgetedSweeperDeduplicatesWithinOneRequest) {
+  const CompiledProgram prog = make_skewed(256, 11);
+  const MachineConfig config = MachineConfig{}.with_pes(4);
+  BudgetedSweeper sweeper(prog, ExecutionMode::kCounting, 8);
+  const auto results = sweeper.measure({config, config, config});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(sweeper.spent(), 1u);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+  ASSERT_NE(results[0], nullptr);
+}
+
+TEST(SweepTest, BudgetedSweeperMatchesDirectRunsForAnyWorkerCount) {
+  const CompiledProgram prog = make_cyclic(512, 2);
+  const MachineConfig base = MachineConfig{}.with_pes(8);
+  const std::vector<MachineConfig> configs = {
+      base, base.with_page_size(64), base.with_cache(0)};
+  std::vector<SweepJob> jobs;
+  for (const MachineConfig& c : configs) jobs.push_back({&prog, c});
+  const std::vector<SimulationResult> direct = parallel_sweep_results(jobs);
+  for (const unsigned workers : {0u, 2u, 8u}) {
+    ThreadPool pool(workers == 0 ? 1 : workers);
+    BudgetedSweeper sweeper(prog, ExecutionMode::kCounting, 10,
+                            workers == 0 ? nullptr : &pool);
+    const auto measured = sweeper.measure(configs);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      ASSERT_NE(measured[i], nullptr);
+      EXPECT_EQ(measured[i]->remote_read_fraction(),
+                direct[i].remote_read_fraction())
+          << workers << " workers, config " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sap

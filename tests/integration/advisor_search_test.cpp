@@ -1,0 +1,94 @@
+// The ISSUE-6 acceptance criteria for the search-based advisor: on every
+// kernel of the registry the beam strategy's pick must match or beat BOTH
+// the paper's modulo default and the enumerate strategy's pick (the beam
+// measures the enumerator's validated set first, so this holds by
+// construction), and the whole ablation_search report — all 19 kernels —
+// must be byte-identical across 1/2/8 validation workers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "advisor/advisor.hpp"
+#include "kernels/livermore.hpp"
+
+namespace sap {
+namespace {
+
+MachineConfig paper_machine(std::uint32_t pes) {
+  MachineConfig c;
+  c.num_pes = pes;
+  c.page_size = 32;
+  c.cache_elements = 256;
+  return c;
+}
+
+AdvisorOptions bench_beam_options() {
+  // Mirror bench/ablation_search.cpp so the test pins the bench's claim.
+  AdvisorOptions options;
+  options.strategy = AdvisorStrategy::kBeam;
+  options.page_sizes = {16, 32, 64};
+  options.beam_width = 4;
+  options.measurement_budget = 16;
+  return options;
+}
+
+TEST(AdvisorSearchIntegrationTest, NeverWorseThanModuloOnAllRegistryKernels) {
+  ThreadPool pool(2);
+  const AdvisorOptions options = bench_beam_options();
+  ASSERT_EQ(livermore_kernels().size(), 19u);
+  for (const KernelSpec& spec : livermore_kernels()) {
+    const AdvisorReport report =
+        advise(spec.build(), paper_machine(16), options, &pool);
+    const AdvisorCandidate& best = report.best();
+    const AdvisorCandidate* baseline = report.baseline();
+    ASSERT_NE(baseline, nullptr) << spec.id;
+    ASSERT_TRUE(baseline->validated) << spec.id;
+    ASSERT_TRUE(best.validated) << spec.id;
+    EXPECT_LE(best.measured_remote_fraction,
+              baseline->measured_remote_fraction)
+        << spec.id << ": searched " << best.label() << " measured "
+        << best.measured_remote_fraction << " vs modulo "
+        << baseline->measured_remote_fraction;
+  }
+}
+
+TEST(AdvisorSearchIntegrationTest, NeverWorseThanEnumerateOnAllRegistryKernels) {
+  ThreadPool pool(2);
+  AdvisorOptions enumerate_options;
+  enumerate_options.page_sizes = {16, 32, 64};
+  const AdvisorOptions beam_options = bench_beam_options();
+  for (const KernelSpec& spec : livermore_kernels()) {
+    const CompiledProgram program = spec.build();
+    const AdvisorReport enumerated =
+        advise(program, paper_machine(16), enumerate_options, &pool);
+    const AdvisorReport searched =
+        advise(program, paper_machine(16), beam_options, &pool);
+    EXPECT_LE(searched.best().measured_remote_fraction,
+              enumerated.best().measured_remote_fraction)
+        << spec.id;
+  }
+}
+
+TEST(AdvisorSearchIntegrationTest, ReportsByteIdenticalAcross128Workers) {
+  // The exact shape of the bench artifact: every kernel's beam report,
+  // concatenated, must not change with the worker count (pre-assigned
+  // sweep slots + discovery-index tie-breaks).
+  const AdvisorOptions options = bench_beam_options();
+  std::string expected;
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    std::ostringstream all;
+    for (const KernelSpec& spec : livermore_kernels()) {
+      all << advise(spec.build(), paper_machine(16), options, &pool).report()
+          << '\n';
+    }
+    if (expected.empty()) {
+      expected = all.str();
+    } else {
+      EXPECT_EQ(all.str(), expected) << workers << " workers";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sap

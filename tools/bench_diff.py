@@ -1,45 +1,74 @@
 #!/usr/bin/env python3
-"""Compare a freshly emitted BENCH_perf_simulator.json against a baseline.
+"""Compare freshly emitted BENCH_*.json artifacts against their baselines.
 
-Rows are joined on (workload, kernel, phase); the timing cells ("tree ms"
-and "bytecode ms", plus the ns/op value of micro rows) are compared and any
-slowdown beyond the threshold is reported.
+Two artifact shapes are understood (auto-detected from the "artifact"
+field):
+
+- ``perf_simulator`` — timing rows joined on (workload, kernel, phase);
+  the timing cells ("tree ms" and "bytecode ms", plus the ns/op value of
+  micro rows) are compared as ratios and any slowdown beyond the
+  threshold is reported.  Timings are machine-dependent, so a
+  machine-fingerprint mismatch (env/hardware_threads + env/compiler
+  rows) SKIPS all ratio checks.
+- ``ablation_search`` — advisor-quality rows joined on (kernel); the
+  measured remote-fraction cells (modulo / enumerate / beam) are exact
+  deterministic values, so ANY drift is reported regardless of the
+  machine, and a "WORSE" verdict cell (the beam losing to the
+  enumerator, impossible by construction) is always fatal to report.
+
+Sub-resolution cells — a timing that rounds to "0.00" in either file —
+are skipped rather than divided by: a ratio against (or of) zero is
+noise at best and a ZeroDivisionError at worst.
 
 Exit code is 0 by default — the perf-smoke CI job runs this as a
-*non-fatal report step*, because shared-runner timing noise must not gate
-merges (docs/BENCH_FORMAT.md).  Pass --fail-on-regression to make
+*non-fatal report step*, because shared-runner timing noise must not
+gate merges (docs/BENCH_FORMAT.md).  Pass --fail-on-regression to make
 regressions fatal for local use.
 
 Usage:
   tools/bench_diff.py FRESH.json [BASELINE.json] [--threshold 0.15]
                       [--fail-on-regression]
+  tools/bench_diff.py --self-test
 
-BASELINE.json defaults to the committed repo-root BENCH_perf_simulator.json.
+BASELINE.json defaults to the committed repo-root twin of the fresh
+artifact (BENCH_perf_simulator.json / BENCH_ablation_search.json).
 """
 
 import argparse
 import json
 import pathlib
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO_ROOT / "BENCH_perf_simulator.json"
+
+# Columns holding comparable numbers, per artifact kind.  perf rows are
+# irregular (see timing_cells); search rows are uniform percent cells.
+SEARCH_VALUE_COLUMNS = ("modulo", "enumerate", "beam")
 
 
-def load_rows(path):
+def load_artifact(path):
     with open(path, encoding="utf-8") as handle:
         artifact = json.load(handle)
     columns = artifact["columns"]
-    rows = {}
-    for cells in artifact["rows"]:
-        row = dict(zip(columns, cells))
-        key = (row.get("workload"), row.get("kernel"), row.get("phase"))
-        rows[key] = row
-    return rows
+    rows = [dict(zip(columns, cells)) for cells in artifact["rows"]]
+    return artifact.get("artifact", ""), rows
 
 
-def parse_ms(cell):
-    """'12.34' -> 12.34; '-' or unparseable -> None."""
+def row_key(kind, row):
+    if kind == "ablation_search":
+        return (row.get("kernel"),)
+    return (row.get("workload"), row.get("kernel"), row.get("phase"))
+
+
+def index_rows(kind, rows):
+    return {row_key(kind, row): row for row in rows}
+
+
+def parse_number(cell):
+    """'12.34' or '12.34%' -> 12.34; '-' or unparseable -> None."""
+    if isinstance(cell, str):
+        cell = cell.rstrip("%")
     try:
         return float(cell)
     except (TypeError, ValueError):
@@ -47,88 +76,244 @@ def parse_ms(cell):
 
 
 def timing_cells(row):
-    """(label, value) pairs of the comparable timings in one row."""
+    """(label, value) pairs of the comparable timings in one perf row."""
     out = []
     if row.get("phase") == "ns/op":
-        out.append(("ns/op", parse_ms(row.get("instances"))))
+        out.append(("ns/op", parse_number(row.get("instances"))))
     for column in ("tree ms", "bytecode ms"):
-        out.append((column, parse_ms(row.get(column))))
+        out.append((column, parse_number(row.get(column))))
     return [(label, value) for label, value in out if value is not None]
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly emitted BENCH json")
-    parser.add_argument("baseline", nargs="?", default=str(DEFAULT_BASELINE))
-    parser.add_argument("--threshold", type=float, default=0.15,
-                        help="relative slowdown that counts as a regression "
-                             "(default 0.15 = 15%%)")
-    parser.add_argument("--fail-on-regression", action="store_true")
-    args = parser.parse_args()
+def value_cells(kind, row):
+    if kind == "ablation_search":
+        return [(column, parse_number(row.get(column)))
+                for column in SEARCH_VALUE_COLUMNS
+                if parse_number(row.get(column)) is not None]
+    return timing_cells(row)
 
-    fresh = load_rows(args.fresh)
-    baseline = load_rows(args.baseline)
 
-    # Timings are only comparable on the same machine; the artifact embeds
-    # a fingerprint (hardware_threads + compiler, docs/BENCH_FORMAT.md).
-    # On a mismatch the ratio checks are SKIPPED, not merely warned about:
-    # cross-machine ratios are noise that would either cry wolf or lull.
-    fingerprint_keys = (("env", "hardware_threads", "count"),
-                       ("env", "compiler", "id"))
+def fingerprints_mismatch(fresh, baseline):
+    """Fingerprint lines when the two perf artifacts disagree on the host."""
+    keys = (("env", "hardware_threads", "count"),
+            ("env", "compiler", "id"))
     mismatches = []
-    for key in fingerprint_keys:
+    for key in keys:
         fresh_value = fresh.get(key, {}).get("instances")
         base_value = baseline.get(key, {}).get("instances")
         if fresh_value != base_value:
             mismatches.append("%s: baseline %s vs fresh %s"
                               % (key[1], base_value, fresh_value))
-    if mismatches:
-        print("bench_diff: machine fingerprints differ — skipping all "
-              "cross-machine ratio checks")
-        for line in mismatches:
-            print("  " + line)
-        return 0
+    return mismatches
+
+
+def compare(fresh_path, baseline_path, threshold, out=sys.stdout):
+    """Returns the regression lines (empty = clean).  Prints the report."""
+    fresh_kind, fresh_rows = load_artifact(fresh_path)
+    baseline_kind, baseline_rows = load_artifact(baseline_path)
+    kind = fresh_kind or baseline_kind
+    if fresh_kind != baseline_kind:
+        print("bench_diff: artifact kinds differ (baseline %r vs fresh %r)"
+              " — nothing comparable" % (baseline_kind, fresh_kind), file=out)
+        return []
+    fresh = index_rows(kind, fresh_rows)
+    baseline = index_rows(kind, baseline_rows)
+
+    if kind == "ablation_search":
+        # Deterministic values: compare exactly, on any machine.
+        threshold = 0.0
+    else:
+        # Timings are only comparable on the same machine; the artifact
+        # embeds a fingerprint (docs/BENCH_FORMAT.md).  On a mismatch the
+        # ratio checks are SKIPPED, not merely warned about: cross-machine
+        # ratios are noise that would either cry wolf or lull.
+        mismatches = fingerprints_mismatch(fresh, baseline)
+        if mismatches:
+            print("bench_diff: machine fingerprints differ — skipping all "
+                  "cross-machine ratio checks", file=out)
+            for line in mismatches:
+                print("  " + line, file=out)
+            return []
 
     regressions = []
     improvements = []
     compared = 0
+    sub_resolution = 0
     for key, base_row in baseline.items():
         fresh_row = fresh.get(key)
         if fresh_row is None:
             continue
-        base_cells = dict(timing_cells(base_row))
-        for label, fresh_value in timing_cells(fresh_row):
+        base_cells = dict(value_cells(kind, base_row))
+        for label, fresh_value in value_cells(kind, fresh_row):
             base_value = base_cells.get(label)
-            if base_value is None or base_value == 0.0:
+            if base_value is None:
+                continue
+            # Sub-resolution cells: a value that rounds to zero carries no
+            # magnitude to form a ratio with — skip instead of dividing.
+            if base_value == 0.0 or fresh_value == 0.0:
+                if fresh_value != base_value:
+                    sub_resolution += 1
+                else:
+                    compared += 1
                 continue
             compared += 1
             ratio = fresh_value / base_value
             line = "%-40s %-12s %8.2f -> %8.2f  (%+5.1f%%)" % (
                 "/".join(str(part) for part in key), label,
                 base_value, fresh_value, (ratio - 1.0) * 100.0)
-            if ratio > 1.0 + args.threshold:
+            if ratio > 1.0 + threshold:
                 regressions.append(line)
-            elif ratio < 1.0 - args.threshold:
+            elif ratio < 1.0 - threshold:
                 improvements.append(line)
+        if kind == "ablation_search" and fresh_row.get("vs enumerate") == "WORSE":
+            regressions.append(
+                "%-40s beam ranked WORSE than enumerate — the never-worse "
+                "construction is broken" % "/".join(str(k) for k in key))
 
-    print("bench_diff: compared %d timing cells (threshold %.0f%%)"
-          % (compared, args.threshold * 100.0))
+    print("bench_diff: %s — compared %d cells (threshold %.0f%%)"
+          % (kind or "unknown artifact", compared, threshold * 100.0),
+          file=out)
+    if sub_resolution:
+        print("  %d sub-resolution cell(s) skipped (a side rounds to 0.00)"
+              % sub_resolution, file=out)
     missing = sorted(set(baseline) - set(fresh))
     if missing:
-        print("  %d baseline row(s) missing from the fresh run:" % len(missing))
+        print("  %d baseline row(s) missing from the fresh run:"
+              % len(missing), file=out)
         for key in missing:
-            print("    " + "/".join(str(part) for part in key))
+            print("    " + "/".join(str(part) for part in key), file=out)
     if improvements:
-        print("improvements (> %.0f%% faster):" % (args.threshold * 100.0))
+        print("improvements (> %.0f%% faster):" % (threshold * 100.0),
+              file=out)
         for line in improvements:
-            print("  " + line)
+            print("  " + line, file=out)
     if regressions:
-        print("REGRESSIONS (> %.0f%% slower):" % (args.threshold * 100.0))
+        print("REGRESSIONS (> %.0f%% slower):" % (threshold * 100.0),
+              file=out)
         for line in regressions:
-            print("  " + line)
+            print("  " + line, file=out)
     else:
-        print("no regressions beyond the threshold")
+        print("no regressions beyond the threshold", file=out)
+    return regressions
 
+
+# ---------------------------------------------------------------------------
+# Self-test: invoked from CI (tools/bench_diff.py --self-test) so the
+# comparator cannot silently rot — it has no other test harness.
+# ---------------------------------------------------------------------------
+
+def _write_artifact(directory, name, artifact_id, columns, rows):
+    path = pathlib.Path(directory) / name
+    path.write_text(json.dumps(
+        {"artifact": artifact_id, "columns": columns, "rows": rows}))
+    return str(path)
+
+
+def _perf_artifact(directory, name, tree_ms, threads="4"):
+    columns = ["workload", "kernel", "phase", "instances", "tree ms"]
+    rows = [["fig1", "k01_hydro", "stmt-exec", "1000", tree_ms],
+            ["env", "hardware_threads", "count", threads, "-"],
+            ["env", "compiler", "id", "gcc-12", "-"]]
+    return _write_artifact(directory, name, "perf_simulator", columns, rows)
+
+
+def _search_artifact(directory, name, beam, verdict="beats"):
+    columns = ["kernel", "class", "modulo", "enumerate", "beam",
+               "beam pick", "vs enumerate"]
+    rows = [["k01_hydro", "skewed", "1.00%", "1.00%", beam, "block ps=16",
+             verdict],
+            ["k14_pic1d", "matched", "0.00%", "0.00%", "0.00%",
+             "modulo ps=32", "ties"]]
+    return _write_artifact(directory, name, "ablation_search", columns, rows)
+
+
+def self_test():
+    import io
+    failures = []
+
+    def check(label, condition):
+        print("%s %s" % ("ok  " if condition else "FAIL", label))
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. A baseline timing cell of "0.00" must be skipped, not divided
+        #    by (the ZeroDivisionError regression this test pins down), and
+        #    a fresh "0.00" against a nonzero baseline is equally skipped.
+        base = _perf_artifact(tmp, "base_zero.json", "0.00")
+        fresh = _perf_artifact(tmp, "fresh.json", "12.00")
+        try:
+            regs = compare(fresh, base, 0.15, out=io.StringIO())
+            check("zero baseline cell is skipped without crashing",
+                  regs == [])
+            regs = compare(base, fresh, 0.15, out=io.StringIO())
+            check("zero fresh cell is skipped without crashing", regs == [])
+        except ZeroDivisionError:
+            check("zero timing cell does not raise ZeroDivisionError", False)
+
+        # 2. A real slowdown beyond the threshold is reported.
+        slow = _perf_artifact(tmp, "slow.json", "24.00")
+        ok = _perf_artifact(tmp, "ok.json", "12.00")
+        regs = compare(slow, ok, 0.15, out=io.StringIO())
+        check("2x slowdown is a regression", len(regs) == 1)
+        regs = compare(ok, ok, 0.15, out=io.StringIO())
+        check("identical artifacts are clean", regs == [])
+
+        # 3. A fingerprint mismatch skips ratio checks entirely.
+        other_host = _perf_artifact(tmp, "other.json", "24.00", threads="64")
+        regs = compare(other_host, ok, 0.15, out=io.StringIO())
+        check("fingerprint mismatch skips the 2x slowdown", regs == [])
+
+        # 4. The search artifact is compared exactly on ANY machine (no
+        #    fingerprint rows), including its all-zero matched-kernel row.
+        sbase = _search_artifact(tmp, "sbase.json", "0.25%")
+        same = _search_artifact(tmp, "ssame.json", "0.25%")
+        drift = _search_artifact(tmp, "sdrift.json", "0.26%")
+        regs = compare(same, sbase, 0.15, out=io.StringIO())
+        check("identical search artifacts are clean", regs == [])
+        regs = compare(drift, sbase, 0.15, out=io.StringIO())
+        check("any search drift is a regression", len(regs) == 1)
+
+        # 5. A WORSE verdict is always reported, even with equal numbers.
+        worse = _search_artifact(tmp, "sworse.json", "0.25%",
+                                 verdict="WORSE")
+        regs = compare(worse, sbase, 0.15, out=io.StringIO())
+        check("a WORSE search verdict is a regression", len(regs) == 1)
+
+        # 6. Mixed artifact kinds refuse to compare rather than mis-join.
+        regs = compare(fresh, sbase, 0.15, out=io.StringIO())
+        check("mismatched artifact kinds compare nothing", regs == [])
+
+    print("bench_diff self-test: %d failure(s)" % len(failures))
+    return 1 if failures else 0
+
+
+def default_baseline(fresh_path):
+    kind, _ = load_artifact(fresh_path)
+    name = "BENCH_%s.json" % (kind or "perf_simulator")
+    return str(REPO_ROOT / name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", nargs="?", help="freshly emitted BENCH json")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.15 = 15%%; deterministic artifacts "
+                             "always use 0)")
+    parser.add_argument("--fail-on-regression", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit tests and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.fresh is None:
+        parser.error("FRESH.json required (or --self-test)")
+
+    baseline = args.baseline or default_baseline(args.fresh)
+    regressions = compare(args.fresh, baseline, args.threshold)
     if regressions and args.fail_on_regression:
         return 1
     return 0
