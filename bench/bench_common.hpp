@@ -19,6 +19,7 @@
 #include "core/bytecode.hpp"
 #include "core/dataflow_interpreter.hpp"
 #include "core/sweep.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "stats/json.hpp"
 #include "stats/report.hpp"
@@ -39,11 +40,15 @@ inline std::string& json_dir() {
 /// other nonzero exit is a fatal error inside the run itself).
 inline void print_usage(std::ostream& out, const char* prog,
                         std::string_view description) {
-  out << "usage: " << prog << " [--json <dir>] [--help]\n";
+  out << "usage: " << prog << " [--json <dir>] [--trace <path>] [--help]\n";
   if (!description.empty()) out << description << '\n';
   out << "\nflags:\n"
          "  --json <dir>  also write BENCH_<artifact>.json files into <dir>\n"
          "                (the directory is created if missing)\n"
+         "  --trace <path>  write a Chrome trace-event JSON profile of the\n"
+         "                run to <path> at exit (load in Perfetto or\n"
+         "                chrome://tracing; overrides SAPART_TRACE).\n"
+         "                Instrumentation never changes results.\n"
          "  --help        print this help and exit\n"
          "\nenvironment:\n"
          "  SAPART_WORKERS  sweep worker-pool size (default: one per\n"
@@ -56,6 +61,10 @@ inline void print_usage(std::ostream& out, const char* prog,
          "  SAPART_SHARD_WORKERS  shard replay worker count (default: one\n"
          "                  per hardware thread, capped at the PE count)\n"
          "  SAPART_CSV_DIR  also write <artifact>.csv files there\n"
+         "  SAPART_TRACE    write the Chrome trace-event profile to this\n"
+         "                  path at exit (--trace wins when both are given)\n"
+         "  SAPART_METRICS  write the merged metrics registry (JSON, see\n"
+         "                  docs/TRACE_FORMAT.md) to this path at exit\n"
          "\nexit codes:\n"
          "  0  success\n"
          "  2  usage error, an invalid SAPART_* value, or an\n"
@@ -73,11 +82,19 @@ inline void print_usage(std::ostream& out, const char* prog,
 /// Flags: `--json <dir>` — also write BENCH_<artifact>.json files there
 /// (creating the directory when missing); `--help` — usage + exit codes.
 inline void init(int argc, char** argv, std::string_view description = "") {
+  std::string trace_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       print_usage(std::cout, argv[0], description);
       std::exit(0);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_flag = argv[++i];
+    } else if (arg == "--trace") {
+      std::cerr << "usage: " << argv[0]
+                << " [--json <dir>] [--trace <path>] [--help]\n"
+                << "--trace is missing its path operand\n";
+      std::exit(2);
     } else if (arg == "--json" && i + 1 < argc) {
       json_dir() = argv[++i];
       // Create the destination (every driver, one place) and fail fast on
@@ -100,11 +117,13 @@ inline void init(int argc, char** argv, std::string_view description = "") {
       probe.close();
       std::remove(probe_path.c_str());
     } else if (arg == "--json") {
-      std::cerr << "usage: " << argv[0] << " [--json <dir>] [--help]\n"
+      std::cerr << "usage: " << argv[0]
+                << " [--json <dir>] [--trace <path>] [--help]\n"
                 << "--json is missing its directory operand\n";
       std::exit(2);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json <dir>] [--help]\n"
+      std::cerr << "usage: " << argv[0]
+                << " [--json <dir>] [--trace <path>] [--help]\n"
                 << "unrecognized argument: " << arg << '\n';
       std::exit(2);
     }
@@ -129,6 +148,37 @@ inline void init(int argc, char** argv, std::string_view description = "") {
     shard_workers_from_env();
   } catch (const ConfigError& e) {
     std::cerr << "SAPART_SHARD_WORKERS: " << e.what() << '\n';
+    std::exit(2);
+  }
+  // Observability outputs last: the env knobs are validated (empty or
+  // garbage values exit 2 like every other SAPART_* knob), then the
+  // winning trace destination (--trace beats SAPART_TRACE) and the
+  // metrics destination arm their atexit exporters.
+  std::string trace_dest = trace_flag;
+  const char* trace_knob = "--trace";
+  if (trace_dest.empty()) {
+    trace_knob = "SAPART_TRACE";
+    try {
+      if (const auto env = obs::trace_path_from_env()) trace_dest = *env;
+    } catch (const ConfigError& e) {
+      std::cerr << "SAPART_TRACE: " << e.what() << '\n';
+      std::exit(2);
+    }
+  }
+  if (!trace_dest.empty()) {
+    try {
+      obs::enable_trace_output(trace_dest);
+    } catch (const ConfigError& e) {
+      std::cerr << trace_knob << ": " << e.what() << '\n';
+      std::exit(2);
+    }
+  }
+  try {
+    if (const auto metrics_dest = obs::metrics_path_from_env()) {
+      obs::enable_metrics_output(*metrics_dest);
+    }
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_METRICS: " << e.what() << '\n';
     std::exit(2);
   }
 }

@@ -18,6 +18,9 @@
 //   --cache-sizes a,b,... extra cache capacities the beam may move to
 //                         (0 = no cache; default: the base cache only)
 //   --summary      also print the per-read classification verdicts
+//   --trace PATH   write a Chrome trace-event profile (advisor phase
+//                  spans, sweep batches, metrics counters) to PATH at
+//                  exit; overrides SAPART_TRACE.  Loadable in Perfetto.
 //
 // The recommendation table shows every candidate with its predicted cost
 // and, for the validated top-k (plus the paper's modulo default, always),
@@ -31,6 +34,7 @@
 
 #include "advisor/advisor.hpp"
 #include "kernels/livermore.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/parse.hpp"
 #include "support/thread_pool.hpp"
@@ -41,7 +45,10 @@ void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--pes N] [--cache N] [--page-sizes a,b,...] [--top-k K]"
          " [--strategy enumerate|beam] [--beam-width N] [--budget N]"
-         " [--cache-sizes a,b,...] [--summary] <kernel-id | file.sap | ->\n";
+         " [--cache-sizes a,b,...] [--summary] [--trace <path>]"
+         " <kernel-id | file.sap | ->\n"
+         "--trace writes a Chrome trace-event profile to <path> at exit\n"
+         "(overrides SAPART_TRACE; never changes the recommendation)\n";
 }
 
 [[noreturn]] void usage(const char* argv0) {
@@ -113,6 +120,7 @@ int main(int argc, char** argv) {
   AdvisorOptions options;
   options.page_sizes = {16, 32, 64};
   bool print_summary = false;
+  std::string trace_flag;
   std::string spec;
 
   for (int i = 1; i < argc; ++i) {
@@ -149,6 +157,8 @@ int main(int argc, char** argv) {
       options.cache_sizes = parse_int_list(arg, next(), 0, 1 << 30);
     } else if (arg == "--summary") {
       print_summary = true;
+    } else if (arg == "--trace") {
+      trace_flag = next();
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout, argv[0]);  // help on request is not an error
       return 0;
@@ -167,6 +177,36 @@ int main(int argc, char** argv) {
     workers = parse_worker_count(std::getenv("SAPART_WORKERS"));
   } catch (const ConfigError& e) {
     std::cerr << "SAPART_WORKERS: " << e.what() << '\n';
+    return 2;
+  }
+
+  // Same SAPART_TRACE / SAPART_METRICS contract as the bench drivers:
+  // the flag beats the environment, bad values are exit 2.
+  std::string trace_dest = trace_flag;
+  const char* trace_knob = "--trace";
+  if (trace_dest.empty()) {
+    trace_knob = "SAPART_TRACE";
+    try {
+      if (const auto env = obs::trace_path_from_env()) trace_dest = *env;
+    } catch (const ConfigError& e) {
+      std::cerr << "SAPART_TRACE: " << e.what() << '\n';
+      return 2;
+    }
+  }
+  if (!trace_dest.empty()) {
+    try {
+      obs::enable_trace_output(trace_dest);
+    } catch (const ConfigError& e) {
+      std::cerr << trace_knob << ": " << e.what() << '\n';
+      return 2;
+    }
+  }
+  try {
+    if (const auto metrics_dest = obs::metrics_path_from_env()) {
+      obs::enable_metrics_output(*metrics_dest);
+    }
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_METRICS: " << e.what() << '\n';
     return 2;
   }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "advisor/search.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/text_table.hpp"
@@ -204,46 +206,54 @@ AdvisorReport advise(const CompiledProgram& compiled,
     return advise_beam(compiled, base, options, pool);
   }
 
+  static obs::Counter& reports = obs::counter("advisor/reports");
+  reports.add(1);
+
   AdvisorReport report;
   report.program = compiled.name();
   report.base = base;
   report.summary = summarize_access(
       compiled, ClassifierConfig{base.page_size, base.cache_elements});
 
-  // 1. Enumerate the candidate space.
-  std::vector<AdvisorCandidate> candidates =
-      enumerate_candidates(base, options);
-
-  // 2. Price every candidate with the analytic model (the prune).
-  for (AdvisorCandidate& c : candidates) {
-    c.predicted = estimate_cost(report.summary, c.config);
-  }
-
-  // 3. Pick the validation set: the top-k predicted plus the baseline.
-  std::vector<std::size_t> order(candidates.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return candidates[a].predicted.score() <
-                            candidates[b].predicted.score();
-                   });
+  std::vector<AdvisorCandidate> candidates;
   std::vector<std::size_t> to_validate;
-  for (const std::size_t idx : order) {
-    if (to_validate.size() < options.validate_top_k) {
-      to_validate.push_back(idx);
+  {
+    const obs::Span span("advisor", "enumerate");
+
+    // 1. Enumerate the candidate space.
+    candidates = enumerate_candidates(base, options);
+
+    // 2. Price every candidate with the analytic model (the prune).
+    for (AdvisorCandidate& c : candidates) {
+      c.predicted = estimate_cost(report.summary, c.config);
     }
-  }
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (candidates[i].is_baseline &&
-        std::find(to_validate.begin(), to_validate.end(), i) ==
-            to_validate.end()) {
-      to_validate.push_back(i);
+
+    // 3. Pick the validation set: the top-k predicted plus the baseline.
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return candidates[a].predicted.score() <
+                              candidates[b].predicted.score();
+                     });
+    for (const std::size_t idx : order) {
+      if (to_validate.size() < options.validate_top_k) {
+        to_validate.push_back(idx);
+      }
     }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].is_baseline &&
+          std::find(to_validate.begin(), to_validate.end(), i) ==
+              to_validate.end()) {
+        to_validate.push_back(i);
+      }
+    }
+    std::sort(to_validate.begin(), to_validate.end());
   }
-  std::sort(to_validate.begin(), to_validate.end());
 
   // 4. Validate: one independent Simulator::run per candidate, fanned
   //    across the pool as a single batch (the core sweep engine).
+  const obs::Span validate_span("advisor", "validate");
   std::vector<SweepJob> jobs;
   jobs.reserve(to_validate.size());
   for (const std::size_t idx : to_validate) {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
@@ -244,6 +246,8 @@ AdvisorReport advise_beam(const CompiledProgram& compiled,
                           const MachineConfig& base,
                           const AdvisorOptions& options, ThreadPool* pool) {
   base.validate();
+  static obs::Counter& reports = obs::counter("advisor/reports");
+  reports.add(1);
 
   AdvisorReport report;
   report.program = compiled.name();
@@ -260,48 +264,56 @@ AdvisorReport advise_beam(const CompiledProgram& compiled,
   //    what makes the beam never worse than the enumerator, not just
   //    never worse than modulo.
   std::size_t baseline_idx = BeamSearch::npos;
-  std::vector<std::size_t> enumerated;
-  for (const AdvisorCandidate& c : enumerate_candidates(base, options)) {
-    const std::size_t idx = search.intern(c.config);
-    if (idx == BeamSearch::npos) continue;
-    enumerated.push_back(idx);
-    if (search.point(idx).is_baseline) baseline_idx = idx;
-  }
-  SAP_CHECK(baseline_idx != BeamSearch::npos,
-            "beam search lost the modulo baseline");
+  {
+    const obs::Span span("advisor", "seed");
+    std::vector<std::size_t> enumerated;
+    for (const AdvisorCandidate& c : enumerate_candidates(base, options)) {
+      const std::size_t idx = search.intern(c.config);
+      if (idx == BeamSearch::npos) continue;
+      enumerated.push_back(idx);
+      if (search.point(idx).is_baseline) baseline_idx = idx;
+    }
+    SAP_CHECK(baseline_idx != BeamSearch::npos,
+              "beam search lost the modulo baseline");
 
-  std::vector<std::size_t> seeds = {baseline_idx};
-  const std::size_t seed_count =
-      std::max(options.validate_top_k, options.beam_width);
-  for (const std::size_t idx : search.screen(enumerated)) {
-    if (seeds.size() > seed_count) break;
-    if (idx != baseline_idx) seeds.push_back(idx);
+    std::vector<std::size_t> seeds = {baseline_idx};
+    const std::size_t seed_count =
+        std::max(options.validate_top_k, options.beam_width);
+    for (const std::size_t idx : search.screen(enumerated)) {
+      if (seeds.size() > seed_count) break;
+      if (idx != baseline_idx) seeds.push_back(idx);
+    }
+    search.measure(seeds);
   }
-  search.measure(seeds);
 
   // 2. Beam rounds: expand the measured beam, screen the frontier with
   //    the cost model, measure the screened best as one batch.  The
   //    budget (minus a reserve for the hill climb) is the loop bound
   //    that matters; the round cap only stops degenerate walks.
-  for (std::size_t round = 0; round < kMaxBeamRounds; ++round) {
-    if (search.remaining_budget() <= kHillClimbReserve) break;
-    const std::vector<std::size_t> ranking = search.measured_ranking();
-    std::vector<std::size_t> frontier;
-    for (std::size_t b = 0;
-         b < std::min(options.beam_width, ranking.size()); ++b) {
-      for (const std::size_t n : search.neighbors(ranking[b])) {
-        if (std::find(frontier.begin(), frontier.end(), n) ==
-            frontier.end()) {
-          frontier.push_back(n);
+  {
+    const obs::Span beam_span("advisor", "beam");
+    static obs::Counter& beam_rounds = obs::counter("advisor/beam_rounds");
+    for (std::size_t round = 0; round < kMaxBeamRounds; ++round) {
+      if (search.remaining_budget() <= kHillClimbReserve) break;
+      beam_rounds.add(1);
+      const std::vector<std::size_t> ranking = search.measured_ranking();
+      std::vector<std::size_t> frontier;
+      for (std::size_t b = 0;
+           b < std::min(options.beam_width, ranking.size()); ++b) {
+        for (const std::size_t n : search.neighbors(ranking[b])) {
+          if (std::find(frontier.begin(), frontier.end(), n) ==
+              frontier.end()) {
+            frontier.push_back(n);
+          }
         }
       }
+      std::vector<std::size_t> batch = search.screen(frontier);
+      const std::size_t batch_cap = std::min(
+          options.beam_width, search.remaining_budget() - kHillClimbReserve);
+      if (batch.size() > batch_cap) batch.resize(batch_cap);
+      if (batch.empty()) break;
+      search.measure(batch);
     }
-    std::vector<std::size_t> batch = search.screen(frontier);
-    const std::size_t batch_cap = std::min(
-        options.beam_width, search.remaining_budget() - kHillClimbReserve);
-    if (batch.size() > batch_cap) batch.resize(batch_cap);
-    if (batch.empty()) break;
-    search.measure(batch);
   }
 
   // 3. Hill-climb refinement: steepest descent on the predicted-cost
@@ -309,6 +321,7 @@ AdvisorReport advise_beam(const CompiledProgram& compiled,
   //    the path get the reserved measurements.
   const std::vector<std::size_t> ranking = search.measured_ranking();
   if (!ranking.empty()) {
+    const obs::Span span("advisor", "hill-climb");
     std::size_t cur = ranking.front();
     std::vector<std::size_t> path;
     for (std::size_t step = 0; step < kMaxHillSteps; ++step) {

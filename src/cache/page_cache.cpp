@@ -1,9 +1,36 @@
 #include "cache/page_cache.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
 namespace sap {
+
+namespace {
+
+// Aggregate cache tallies across every PE of every machine in the
+// process.  Deterministic: cache behaviour is a pure function of the
+// access stream, which the runtime reproduces regardless of worker count.
+obs::Counter& agg_hits() {
+  static obs::Counter& c = obs::counter("cache/hits");
+  return c;
+}
+obs::Counter& agg_misses() {
+  static obs::Counter& c = obs::counter("cache/misses");
+  return c;
+}
+obs::Counter& agg_evictions() {
+  static obs::Counter& c = obs::counter("cache/evictions");
+  return c;
+}
+obs::Counter& agg_invalidations() {
+  static obs::Counter& c = obs::counter("cache/invalidations");
+  return c;
+}
+
+}  // namespace
 
 PageCache::PageCache(std::int64_t capacity_elements, std::int64_t page_size,
                      ReplacementPolicy policy, std::uint64_t seed)
@@ -16,11 +43,13 @@ PageCache::PageCache(std::int64_t capacity_elements, std::int64_t page_size,
 bool PageCache::lookup(PageId page, std::uint64_t generation) {
   if (!enabled()) {
     ++stats_.misses;
+    record_miss();
     return false;
   }
   auto it = entries_.find(page);
   if (it == entries_.end()) {
     ++stats_.misses;
+    record_miss();
     return false;
   }
   if (it->second.generation != generation) {
@@ -29,13 +58,22 @@ bool PageCache::lookup(PageId page, std::uint64_t generation) {
     entries_.erase(it);
     ++stats_.invalidations;
     ++stats_.misses;
+    agg_invalidations().add(1);
+    record_miss();
     return false;
   }
   if (policy_ == ReplacementPolicy::kLru) {
     order_.splice(order_.end(), order_, it->second.order_pos);
   }
   ++stats_.hits;
+  agg_hits().add(1);
+  if (pe_hits_ != nullptr && obs::collecting()) pe_hits_->add(1);
   return true;
+}
+
+void PageCache::record_miss() {
+  agg_misses().add(1);
+  if (pe_misses_ != nullptr && obs::collecting()) pe_misses_->add(1);
 }
 
 void PageCache::insert(PageId page, std::uint64_t generation) {
@@ -67,6 +105,8 @@ void PageCache::evict_one() {
   entries_.erase(*victim);
   order_.erase(victim);
   ++stats_.evictions;
+  agg_evictions().add(1);
+  if (pe_evictions_ != nullptr && obs::collecting()) pe_evictions_->add(1);
 }
 
 void PageCache::invalidate_array(ArrayId array) {
@@ -75,6 +115,7 @@ void PageCache::invalidate_array(ArrayId array) {
       entries_.erase(*it);
       it = order_.erase(it);
       ++stats_.invalidations;
+      agg_invalidations().add(1);
     } else {
       ++it;
     }
@@ -83,6 +124,7 @@ void PageCache::invalidate_array(ArrayId array) {
 
 void PageCache::clear() {
   stats_.invalidations += entries_.size();
+  agg_invalidations().add(entries_.size());
   entries_.clear();
   order_.clear();
 }
@@ -90,6 +132,13 @@ void PageCache::clear() {
 bool PageCache::contains(PageId page, std::uint64_t generation) const {
   auto it = entries_.find(page);
   return it != entries_.end() && it->second.generation == generation;
+}
+
+void PageCache::attribute_pe(std::uint32_t pe) {
+  const std::string prefix = "cache/pe" + std::to_string(pe) + "/";
+  pe_hits_ = &obs::counter(prefix + "hits");
+  pe_misses_ = &obs::counter(prefix + "misses");
+  pe_evictions_ = &obs::counter(prefix + "evictions");
 }
 
 }  // namespace sap

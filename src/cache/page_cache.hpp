@@ -21,6 +21,10 @@
 #include "memory/page.hpp"
 #include "support/rng.hpp"
 
+namespace sap::obs {
+class Counter;
+}  // namespace sap::obs
+
 namespace sap {
 
 /// Aggregate statistics a cache accumulates over its lifetime.
@@ -72,6 +76,12 @@ class PageCache {
   /// or recency side effects; for tests).
   bool contains(PageId page, std::uint64_t generation) const;
 
+  /// Attributes this cache to a PE: hits/misses/evictions additionally
+  /// feed per-PE counters in the metrics registry (only while metrics
+  /// collection is enabled — the registry handles are resolved here once
+  /// so the hot path stays a pointer check).
+  void attribute_pe(std::uint32_t pe);
+
  private:
   struct Entry {
     std::uint64_t generation = 0;
@@ -80,6 +90,7 @@ class PageCache {
   };
 
   void evict_one();
+  void record_miss();
 
   std::int64_t frame_count_;
   ReplacementPolicy policy_;
@@ -88,6 +99,9 @@ class PageCache {
   std::list<PageId> order_;
   SplitMix64 rng_;
   CacheStats stats_;
+  obs::Counter* pe_hits_ = nullptr;       // set by attribute_pe
+  obs::Counter* pe_misses_ = nullptr;     // set by attribute_pe
+  obs::Counter* pe_evictions_ = nullptr;  // set by attribute_pe
 };
 
 }  // namespace sap

@@ -7,6 +7,8 @@
 #include <variant>
 
 #include "frontend/affine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
@@ -367,6 +369,9 @@ void compile_stmt(const Stmt& stmt, const Program& program,
 
 ProgramBytecode compile_bytecode(const Program& program,
                                  const SemanticInfo& sema) {
+  const obs::Span span("compile", "bytecode");
+  static obs::Counter& compiles = obs::counter("compile/bytecode_programs");
+  compiles.add(1);
   ProgramBytecode out;
   std::vector<const DoLoop*> enclosing;
   for (const auto& stmt : program.body) {

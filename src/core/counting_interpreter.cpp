@@ -2,6 +2,7 @@
 
 #include "core/executor_base.hpp"
 #include "machine/host_reinit.hpp"
+#include "obs/trace.hpp"
 
 namespace sap {
 
@@ -47,6 +48,7 @@ class CountingExecutor final : public SequentialExecutor {
 }  // namespace
 
 void run_counting(const CompiledProgram& compiled, Machine& machine) {
+  const obs::Span span("runtime", "counting");
   CountingExecutor executor(machine);
   executor.execute(compiled, machine.arrays());
 }

@@ -8,6 +8,7 @@
 #include "core/dataflow_replay.hpp"
 #include "core/dataflow_trace.hpp"
 #include "machine/host_reinit.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sim_runtime.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
@@ -121,6 +122,7 @@ class SerialScheduler {
 
 DataflowStats run_dataflow_serial(const CompiledProgram& compiled,
                                   Machine& machine) {
+  const obs::Span span("runtime", "dataflow-serial");
   SerialScheduler scheduler(compiled, machine);
   return scheduler.run();
 }

@@ -4,6 +4,8 @@
 #include "core/dataflow_interpreter.hpp"
 #include "frontend/affine.hpp"
 #include "frontend/parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -15,6 +17,7 @@ CompiledProgram compile(Program program) {
 }
 
 CompiledProgram compile(Program program, EvalEngine engine) {
+  const obs::Span span("compile", "compile");
   CompiledProgram compiled;
   compiled.sema = analyze(program);  // annotates reductions in-place
   compiled.program = std::move(program);
@@ -130,6 +133,10 @@ SimulationResult Simulator::run(const CompiledProgram& compiled,
 SimulationResult Simulator::run_with_machine(
     const CompiledProgram& compiled, ExecutionMode mode,
     std::unique_ptr<Machine>& machine_out) const {
+  obs::Span span("runtime", "simulate");
+  span.arg("pes", config_.num_pes);
+  static obs::Counter& runs = obs::counter("runtime/simulations");
+  runs.add(1);
   machine_out = std::make_unique<Machine>(config_);
   materialize_arrays(compiled, *machine_out);
   switch (mode) {

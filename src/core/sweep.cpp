@@ -1,8 +1,11 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace sap {
@@ -18,10 +21,26 @@ std::vector<SimulationResult> parallel_sweep_results(
   for (const SweepJob& job : jobs) {
     SAP_CHECK(job.program != nullptr, "SweepJob without a program");
   }
+  obs::Span span("sweep", "batch");
+  span.arg("jobs", static_cast<std::int64_t>(jobs.size()));
+  static obs::Counter& batches = obs::counter("sweep/batches");
+  static obs::Counter& job_count = obs::counter("sweep/jobs");
+  batches.add(1);
+  job_count.add(jobs.size());
   std::vector<SimulationResult> results(jobs.size());
   const auto run_one = [&](std::size_t i) {
     const Simulator sim(jobs[i].config);
-    results[i] = sim.run(*jobs[i].program, jobs[i].mode);
+    if (obs::collecting()) {
+      const auto start = std::chrono::steady_clock::now();
+      results[i] = sim.run(*jobs[i].program, jobs[i].mode);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      obs::histogram("sweep/run_ns")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    } else {
+      results[i] = sim.run(*jobs[i].program, jobs[i].mode);
+    }
   };
   if (pool == nullptr || jobs.size() <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
@@ -61,13 +80,19 @@ std::vector<const SimulationResult*> BudgetedSweeper::measure(
   for (const MachineConfig& config : configs) {
     keys.push_back(config_identity(config));
   }
+  static obs::Counter& memo_hits = obs::counter("advisor/memo_hits");
+  static obs::Counter& measured_runs = obs::counter("advisor/measured_runs");
   std::vector<SweepJob> jobs;
   std::vector<std::string> job_keys;
   for (std::size_t i = 0; i < configs.size(); ++i) {
     if (spent_ + jobs.size() >= budget_) break;
-    if (find(keys[i]) != nullptr) continue;
+    if (find(keys[i]) != nullptr) {
+      memo_hits.add(1);
+      continue;
+    }
     if (std::find(job_keys.begin(), job_keys.end(), keys[i]) !=
         job_keys.end()) {
+      memo_hits.add(1);
       continue;  // duplicate within this very request
     }
     jobs.push_back({&program_, configs[i], mode_});
@@ -76,6 +101,7 @@ std::vector<const SimulationResult*> BudgetedSweeper::measure(
 
   const std::vector<SimulationResult> results =
       parallel_sweep_results(jobs, pool_);
+  measured_runs.add(results.size());
   for (std::size_t j = 0; j < results.size(); ++j) {
     memo_.emplace_back(job_keys[j],
                        std::make_unique<SimulationResult>(results[j]));

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "frontend/lexer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
@@ -44,6 +46,9 @@ Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
 }
 
 Program Parser::parse(std::string_view source) {
+  const obs::Span span("compile", "parse");
+  static obs::Counter& parses = obs::counter("compile/parses");
+  parses.add(1);
   Lexer lexer(source);
   Parser parser(lexer.tokenize());
   return parser.parse_program();

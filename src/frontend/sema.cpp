@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace sap {
@@ -396,6 +398,11 @@ class Analyzer {
 
 }  // namespace
 
-SemanticInfo analyze(Program& program) { return Analyzer(program).run(); }
+SemanticInfo analyze(Program& program) {
+  const obs::Span span("compile", "sema");
+  static obs::Counter& runs = obs::counter("compile/sema_runs");
+  runs.add(1);
+  return Analyzer(program).run();
+}
 
 }  // namespace sap

@@ -10,6 +10,8 @@ ProcessingElement::ProcessingElement(std::uint32_t id,
     : id_(id),
       // Distinct, deterministic per-PE seeds so random replacement does not
       // correlate across PEs.
-      cache_(cache_elements, page_size, policy, seed ^ (0x9e37u + id * 2654435761u)) {}
+      cache_(cache_elements, page_size, policy, seed ^ (0x9e37u + id * 2654435761u)) {
+  cache_.attribute_pe(id);
+}
 
 }  // namespace sap

@@ -1,10 +1,35 @@
 #include "network/network.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace sap {
 
 namespace {
+
+// Aggregate traffic counters (deterministic: the message multiset is a
+// pure function of program + partition).  The per-pair breakdown is only
+// fed while an exporter is active — it costs a registry lookup per send.
+struct NetworkCounters {
+  obs::Counter& messages = obs::counter("network/messages");
+  obs::Counter& data = obs::counter("network/data_messages");
+  obs::Counter& control = obs::counter("network/control_messages");
+  obs::Counter& payload = obs::counter("network/payload_elements");
+  obs::Counter& hops = obs::counter("network/hops");
+};
+
+NetworkCounters& network_counters() {
+  static NetworkCounters counters;
+  return counters;
+}
+
+void record_pair(std::uint32_t src, std::uint32_t dst) {
+  const std::string name = "network/pair/" + std::to_string(src) + "->" +
+                           std::to_string(dst) + "/messages";
+  obs::counter(name).add(1);
+}
 
 /// One message's tallies against stats + link/pair maps — the single
 /// definition both Network and NetworkBuffer account through.
@@ -16,14 +41,23 @@ void account_message(const Message& message, const Topology& topology,
                  message.dst < topology.num_pes(),
              "message endpoint out of range");
   ++stats.messages;
+  NetworkCounters& obs_counters = network_counters();
+  obs_counters.messages.add(1);
   if (message.kind == MessageKind::kPageReply) {
     ++stats.data_messages;
     stats.payload_elements +=
         static_cast<std::uint64_t>(message.payload_elements);
+    obs_counters.data.add(1);
+    obs_counters.payload.add(
+        static_cast<std::uint64_t>(message.payload_elements));
   } else {
     ++stats.control_messages;
+    obs_counters.control.add(1);
   }
-  stats.hop_total += topology.hops(message.src, message.dst);
+  const std::uint64_t hops = topology.hops(message.src, message.dst);
+  stats.hop_total += hops;
+  obs_counters.hops.add(hops);
+  if (obs::collecting()) record_pair(message.src, message.dst);
   ++pair_traffic[{message.src, message.dst}];
   for (const Link& link : topology.route(message.src, message.dst)) {
     ++link_load[{link.from, link.to}];

@@ -1,0 +1,318 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "stats/json.hpp"
+
+namespace sap::obs {
+
+namespace {
+
+// Capacity of one per-thread shard.  Registration past the cap folds into
+// the reserved overflow metric (slot 0) instead of failing: observability
+// must never crash the process it observes.
+constexpr std::size_t kMaxCounters = 4096;
+constexpr std::size_t kMaxHistograms = 128;
+constexpr std::size_t kBuckets = 65;  // bucket b covers [2^(b-1), 2^b - 1]
+
+struct HistShard {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+};
+
+/// One thread's slice of every metric.  Writers touch only their own
+/// shard with relaxed atomics; the merge reads all shards on demand.
+/// Shards are recycled through a free list when threads exit, so the
+/// shard count is bounded by the peak number of concurrent threads.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<HistShard, kMaxHistograms> hists{};
+};
+
+unsigned bucket_of(std::uint64_t value) noexcept {
+  const unsigned width = static_cast<unsigned>(std::bit_width(value));
+  return width < kBuckets ? width : kBuckets - 1;
+}
+
+}  // namespace
+
+class Registry {
+ public:
+  static Registry& instance() {
+    // Leaked singleton: thread_local destructors and atexit hooks may
+    // still release shards / snapshot metrics during teardown.
+    static Registry* registry = new Registry();
+    return *registry;
+  }
+
+  Counter& get_counter(std::string_view name, Determinism det) {
+    const std::lock_guard<std::mutex> lock(meta_mutex_);
+    const auto it = counter_ids_.find(name);
+    if (it != counter_ids_.end()) return counters_[it->second];
+    if (counters_.size() >= kMaxCounters) return counters_[0];  // overflow
+    const auto id = static_cast<std::uint32_t>(counters_.size());
+    counters_.push_back(Counter(id));
+    counter_meta_.push_back({std::string(name), det});
+    counter_ids_.emplace(std::string(name), id);
+    return counters_[id];
+  }
+
+  Histogram& get_histogram(std::string_view name, Determinism det) {
+    const std::lock_guard<std::mutex> lock(meta_mutex_);
+    const auto it = histogram_ids_.find(name);
+    if (it != histogram_ids_.end()) return histograms_[it->second];
+    if (histograms_.size() >= kMaxHistograms) return histograms_[0];
+    const auto id = static_cast<std::uint32_t>(histograms_.size());
+    histograms_.push_back(Histogram(id));
+    histogram_meta_.push_back({std::string(name), det});
+    histogram_ids_.emplace(std::string(name), id);
+    return histograms_[id];
+  }
+
+  Shard& acquire_shard() {
+    const std::lock_guard<std::mutex> lock(shard_mutex_);
+    if (!free_shards_.empty()) {
+      Shard* shard = free_shards_.back();
+      free_shards_.pop_back();
+      return *shard;
+    }
+    shards_.push_back(std::make_unique<Shard>());
+    return *shards_.back();
+  }
+
+  void release_shard(Shard* shard) {
+    // Values stay: the shard keeps counting toward the merged totals and
+    // a future thread continues on top of them (sums commute).
+    const std::lock_guard<std::mutex> lock(shard_mutex_);
+    free_shards_.push_back(shard);
+  }
+
+  MetricsSnapshot snapshot() {
+    const std::lock_guard<std::mutex> meta_lock(meta_mutex_);
+    const std::lock_guard<std::mutex> shard_lock(shard_mutex_);
+    MetricsSnapshot out;
+    // counter_ids_ / histogram_ids_ iterate in name order: the export is
+    // sorted without a separate pass.
+    for (const auto& [name, id] : counter_ids_) {
+      CounterSample sample;
+      sample.name = name;
+      sample.det = counter_meta_[id].second;
+      for (const auto& shard : shards_) {
+        sample.value += shard->counters[id].load(std::memory_order_relaxed);
+      }
+      out.counters.push_back(std::move(sample));
+    }
+    for (const auto& [name, id] : histogram_ids_) {
+      HistogramSample sample;
+      sample.name = name;
+      sample.det = histogram_meta_[id].second;
+      std::array<std::uint64_t, kBuckets> buckets{};
+      std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& shard : shards_) {
+        const HistShard& h = shard->hists[id];
+        sample.count += h.count.load(std::memory_order_relaxed);
+        sample.sum += h.sum.load(std::memory_order_relaxed);
+        min = std::min(min, h.min.load(std::memory_order_relaxed));
+        sample.max = std::max(sample.max,
+                              h.max.load(std::memory_order_relaxed));
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+          buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+        }
+      }
+      if (sample.count > 0) {
+        sample.min = min;
+        sample.p50 = percentile(buckets, sample, 0.50);
+        sample.p90 = percentile(buckets, sample, 0.90);
+        sample.p99 = percentile(buckets, sample, 0.99);
+      }
+      out.histograms.push_back(std::move(sample));
+    }
+    return out;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> meta_lock(meta_mutex_);
+    const std::lock_guard<std::mutex> shard_lock(shard_mutex_);
+    for (const auto& shard : shards_) {
+      for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+      for (auto& h : shard->hists) {
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+        h.min.store(std::numeric_limits<std::uint64_t>::max(),
+                    std::memory_order_relaxed);
+        h.max.store(0, std::memory_order_relaxed);
+        for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  Registry() {
+    // Slot 0 of each kind is the overflow sink for registrations past the
+    // shard capacity (never expected; bounded-cardinality names only).
+    counters_.push_back(Counter(0));
+    counter_meta_.push_back({"obs/counter_overflow", Determinism::kScheduler});
+    counter_ids_.emplace("obs/counter_overflow", 0);
+    histograms_.push_back(Histogram(0));
+    histogram_meta_.push_back(
+        {"obs/histogram_overflow", Determinism::kScheduler});
+    histogram_ids_.emplace("obs/histogram_overflow", 0);
+  }
+
+  /// Upper bound of the bucket holding the q-quantile sample, clamped to
+  /// the observed [min, max] range.
+  static double percentile(const std::array<std::uint64_t, kBuckets>& buckets,
+                           const HistogramSample& sample, double q) {
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(sample.count) + 0.5);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      cumulative += buckets[b];
+      if (cumulative >= target && cumulative > 0) {
+        const double upper =
+            b == 0 ? 0.0 : static_cast<double>((1ull << b) - 1);
+        return std::clamp(upper, static_cast<double>(sample.min),
+                          static_cast<double>(sample.max));
+      }
+    }
+    return static_cast<double>(sample.max);
+  }
+
+  std::mutex meta_mutex_;
+  std::deque<Counter> counters_;  // stable addresses for handed-out refs
+  std::vector<std::pair<std::string, Determinism>> counter_meta_;
+  std::map<std::string, std::uint32_t, std::less<>> counter_ids_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::pair<std::string, Determinism>> histogram_meta_;
+  std::map<std::string, std::uint32_t, std::less<>> histogram_ids_;
+
+  std::mutex shard_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Shard*> free_shards_;
+};
+
+namespace {
+
+/// Thread-local shard handle; the destructor recycles the shard (with its
+/// values — totals are sums, so recycling cannot lose or double counts).
+struct TlsShard {
+  Shard* shard = nullptr;
+  ~TlsShard() {
+    if (shard != nullptr) Registry::instance().release_shard(shard);
+  }
+};
+
+thread_local TlsShard t_shard;
+
+Shard& local_shard() {
+  if (t_shard.shard == nullptr) {
+    t_shard.shard = &Registry::instance().acquire_shard();
+  }
+  return *t_shard.shard;
+}
+
+}  // namespace
+
+void set_metrics_collection(bool enabled) noexcept {
+  if (enabled) {
+    detail::g_collect_flags.fetch_or(detail::kMetricsFlag,
+                                     std::memory_order_relaxed);
+  } else {
+    detail::g_collect_flags.fetch_and(~detail::kMetricsFlag,
+                                      std::memory_order_relaxed);
+  }
+}
+
+bool metrics_collection_enabled() noexcept {
+  return (detail::g_collect_flags.load(std::memory_order_relaxed) &
+          detail::kMetricsFlag) != 0;
+}
+
+std::string_view to_string(Determinism det) noexcept {
+  return det == Determinism::kDeterministic ? "deterministic" : "scheduler";
+}
+
+void Counter::add(std::uint64_t n) noexcept {
+  local_shard().counters[id_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  HistShard& h = local_shard().hists[id_];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t cur = h.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !h.min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = h.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !h.max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  h.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name, Determinism det) {
+  return Registry::instance().get_counter(name, det);
+}
+
+Histogram& histogram(std::string_view name, Determinism det) {
+  return Registry::instance().get_histogram(name, det);
+}
+
+MetricsSnapshot snapshot_metrics() { return Registry::instance().snapshot(); }
+
+void reset_metrics() { Registry::instance().reset(); }
+
+namespace {
+
+void write_section(JsonWriter& json, const MetricsSnapshot& snapshot,
+                   Determinism det) {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const CounterSample& c : snapshot.counters) {
+    if (c.det != det) continue;
+    json.key(c.name).value(c.value);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (h.det != det) continue;
+    json.key(h.name).begin_object();
+    json.key("count").value(h.count);
+    json.key("sum").value(h.sum);
+    json.key("min").value(h.min);
+    json.key("max").value(h.max);
+    json.key("p50").value(h.p50);
+    json.key("p90").value(h.p90);
+    json.key("p99").value(h.p99);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("schema").value("sap-metrics-v1");
+  json.key("deterministic");
+  write_section(json, snapshot, Determinism::kDeterministic);
+  json.key("scheduler");
+  write_section(json, snapshot, Determinism::kScheduler);
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace sap::obs

@@ -1,0 +1,130 @@
+// Process-wide metrics registry: named monotonic counters and value
+// histograms (DESIGN.md §12).
+//
+// Counters are the always-on tier of the instrumentation layer: an
+// increment is one relaxed atomic add into a lock-free per-thread shard,
+// cheap enough to live on hot paths (cache lookups, message sends, steal
+// attempts).  Shards are merged on demand by snapshot_metrics(); nothing
+// is ever locked on the write path.  Histograms share the shard machinery
+// but callers are expected to feed them only when collecting() is true,
+// because producing a value to record usually costs a clock read.
+//
+// Consistency claim 10 ("instrumentation never perturbs results") rests on
+// this layer being write-only from the simulator's point of view: no
+// simulation decision ever reads a metric, so the counters can only
+// observe.  Metrics whose merged value depends on scheduler timing
+// (steals, parks, pool idle waits, every wall-time histogram) are
+// registered with Determinism::kScheduler and land in a separate
+// non-deterministic section of the JSON export, so the deterministic
+// section is byte-comparable across runs and worker counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sap::obs {
+
+namespace detail {
+
+/// Bit 0: metrics collection requested (SAPART_METRICS); bit 1: tracing
+/// enabled (SAPART_TRACE / start_tracing).  One relaxed load answers the
+/// "is anyone watching?" question that gates the expensive extras.
+inline std::atomic<std::uint32_t> g_collect_flags{0};
+
+constexpr std::uint32_t kMetricsFlag = 1u << 0;
+constexpr std::uint32_t kTraceFlag = 1u << 1;
+
+}  // namespace detail
+
+/// True when either exporter (metrics or trace) is active.  Gates
+/// optional detail — per-PE-pair network counters, duration histograms —
+/// that would otherwise tax every un-instrumented run.
+inline bool collecting() noexcept {
+  return detail::g_collect_flags.load(std::memory_order_relaxed) != 0;
+}
+
+/// Flips the metrics-collection bit (SAPART_METRICS / tests).
+void set_metrics_collection(bool enabled) noexcept;
+bool metrics_collection_enabled() noexcept;
+
+/// Whether a metric's merged value is a pure function of (program,
+/// machine config) or depends on scheduler/timing behaviour.
+enum class Determinism { kDeterministic, kScheduler };
+
+std::string_view to_string(Determinism det) noexcept;
+
+/// Monotonic counter handle.  Obtained once (registration takes a lock),
+/// then incremented lock-free; handles stay valid for the process
+/// lifetime, so call sites cache them in function-local statics.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept;
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Value histogram handle: power-of-two buckets plus count/sum/min/max.
+/// Percentiles from the export are bucket-resolution approximations
+/// (within a factor of two), which is all a wall-time profile needs.
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Registers (first call) or finds (subsequent calls) the named metric.
+/// Names are `subsystem/metric` paths; the first segment becomes the
+/// category in the trace export.  A metric's Determinism is fixed by its
+/// first registration.
+Counter& counter(std::string_view name,
+                 Determinism det = Determinism::kDeterministic);
+Histogram& histogram(std::string_view name,
+                     Determinism det = Determinism::kScheduler);
+
+struct CounterSample {
+  std::string name;
+  Determinism det = Determinism::kDeterministic;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Determinism det = Determinism::kScheduler;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Merged view over every per-thread shard, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+};
+
+MetricsSnapshot snapshot_metrics();
+
+/// {"schema": "sap-metrics-v1", "deterministic": {...}, "scheduler":
+///  {...}} — scheduler-dependent metrics are segregated so the
+/// deterministic block is byte-comparable across runs (docs/TRACE_FORMAT.md).
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Zeroes every shard (counters, histograms).  For tests only: callers
+/// must guarantee no concurrent writers.
+void reset_metrics();
+
+}  // namespace sap::obs

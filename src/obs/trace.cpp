@@ -1,0 +1,371 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stats/json.hpp"
+#include "support/error.hpp"
+#include "support/parse.hpp"
+
+namespace sap::obs {
+
+namespace {
+
+// Per-thread event cap: a runaway tracing session degrades to dropped
+// events (counted in obs/dropped_events), never to unbounded memory.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct TraceEvent {
+  const char* cat;
+  const char* name;
+  char phase;  // 'X' complete, 'i' instant
+  std::uint32_t tid;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+  const char* key1;
+  std::int64_t val1;
+  const char* key2;
+  std::int64_t val2;
+};
+
+/// One thread's events.  The mutex is uncontended on the record path (only
+/// the owning thread pushes); the exporter takes it briefly per buffer.
+struct EventBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+  std::string thread_name;
+  std::uint64_t dropped = 0;
+};
+
+class Collector {
+ public:
+  static Collector& instance() {
+    static Collector* collector = new Collector();  // leaked: atexit-safe
+    return *collector;
+  }
+
+  EventBuffer& acquire_buffer() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<EventBuffer>());
+    buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+    return *buffers_.back();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->events.clear();
+      buffer->dropped = 0;
+    }
+  }
+
+  std::size_t event_count() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      total += buffer->events.size();
+    }
+    return total;
+  }
+
+  struct Collected {
+    std::vector<TraceEvent> events;
+    std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  };
+
+  Collected collect() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Collected out;
+    for (const auto& buffer : buffers_) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      out.events.insert(out.events.end(), buffer->events.begin(),
+                        buffer->events.end());
+      if (!buffer->thread_name.empty()) {
+        out.thread_names.emplace_back(buffer->tid, buffer->thread_name);
+      }
+    }
+    std::stable_sort(out.events.begin(), out.events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+    return out;
+  }
+
+  std::uint64_t anchor_ns() const noexcept { return anchor_ns_; }
+  void rebase_anchor() noexcept { anchor_ns_ = steady_ns(); }
+
+  static std::uint64_t steady_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<EventBuffer>> buffers_;
+  std::uint64_t anchor_ns_ = steady_ns();
+};
+
+thread_local EventBuffer* t_buffer = nullptr;
+
+EventBuffer& local_buffer() {
+  if (t_buffer == nullptr) t_buffer = &Collector::instance().acquire_buffer();
+  return *t_buffer;
+}
+
+void push_event(TraceEvent event) {
+  EventBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    counter("obs/dropped_events", Determinism::kScheduler).add(1);
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+// --- exporter configuration (bench drivers / advise_tool) ---------------
+
+std::mutex g_output_mutex;
+std::string g_trace_output_path;
+std::string g_metrics_output_path;
+bool g_atexit_installed = false;
+
+void probe_writable(const std::string& path, const char* what) {
+  // Append mode: creates a missing file without truncating an existing
+  // one, so a failed run does not wipe a previous good artifact.
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw ConfigError(std::string(what) + " destination '" + path +
+                      "' is not writable");
+  }
+}
+
+void install_atexit_flush_locked() {
+  if (g_atexit_installed) return;
+  g_atexit_installed = true;
+  std::atexit([] { flush_configured_outputs(); });
+}
+
+}  // namespace
+
+void start_tracing() {
+  Collector::instance().clear();
+  Collector::instance().rebase_anchor();
+  detail::g_collect_flags.fetch_or(detail::kTraceFlag,
+                                   std::memory_order_relaxed);
+}
+
+void stop_tracing() {
+  detail::g_collect_flags.fetch_and(~detail::kTraceFlag,
+                                    std::memory_order_relaxed);
+}
+
+void clear_trace() { Collector::instance().clear(); }
+
+std::size_t trace_event_count() { return Collector::instance().event_count(); }
+
+void set_thread_name(const char* name) {
+  EventBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.thread_name = name;
+}
+
+void Span::open(const char* cat, const char* name) noexcept {
+  armed_ = true;
+  cat_ = cat;
+  name_ = name;
+  start_ns_ = Collector::steady_ns();
+}
+
+void Span::close() noexcept {
+  // Tracing may have stopped mid-span; the half-open span is dropped so a
+  // stopped trace never grows.
+  if (!tracing_enabled()) return;
+  const std::uint64_t end_ns = Collector::steady_ns();
+  const std::uint64_t anchor = Collector::instance().anchor_ns();
+  TraceEvent event{};
+  event.cat = cat_;
+  event.name = name_;
+  event.phase = 'X';
+  event.ts_ns = start_ns_ > anchor ? start_ns_ - anchor : 0;
+  event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  event.key1 = key1_;
+  event.val1 = val1_;
+  event.key2 = key2_;
+  event.val2 = val2_;
+  push_event(event);
+}
+
+void instant_event(const char* cat, const char* name, const char* arg_key,
+                   std::int64_t arg_value) noexcept {
+  if (!tracing_enabled()) return;
+  const std::uint64_t now = Collector::steady_ns();
+  const std::uint64_t anchor = Collector::instance().anchor_ns();
+  TraceEvent event{};
+  event.cat = cat;
+  event.name = name;
+  event.phase = 'i';
+  event.ts_ns = now > anchor ? now - anchor : 0;
+  event.key1 = arg_key;
+  event.val1 = arg_value;
+  push_event(event);
+}
+
+namespace {
+
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+/// "cache/pe3/hits" -> "cache"; no slash -> the whole name.
+std::string category_of(const std::string& name) {
+  const auto slash = name.find('/');
+  return slash == std::string::npos ? name : name.substr(0, slash);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  auto collected = Collector::instance().collect();
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  for (const auto& [tid, name] : collected.thread_names) {
+    json.begin_object();
+    json.key("ph").value("M");
+    json.key("name").value("thread_name");
+    json.key("pid").value(std::int64_t{0});
+    json.key("tid").value(static_cast<std::int64_t>(tid));
+    json.key("args").begin_object();
+    json.key("name").value(name);
+    json.end_object();
+    json.end_object();
+  }
+  std::uint64_t last_ts_ns = 0;
+  for (const TraceEvent& event : collected.events) {
+    last_ts_ns = std::max(last_ts_ns, event.ts_ns + event.dur_ns);
+    json.begin_object();
+    json.key("ph").value(std::string_view(&event.phase, 1));
+    json.key("name").value(event.name);
+    json.key("cat").value(event.cat);
+    json.key("ts").value(to_us(event.ts_ns));
+    if (event.phase == 'X') json.key("dur").value(to_us(event.dur_ns));
+    json.key("pid").value(std::int64_t{0});
+    json.key("tid").value(static_cast<std::int64_t>(event.tid));
+    if (event.phase == 'i') json.key("s").value("t");  // thread-scoped
+    if (event.key1 != nullptr) {
+      json.key("args").begin_object();
+      json.key(event.key1).value(event.val1);
+      if (event.key2 != nullptr) json.key(event.key2).value(event.val2);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  // Final counter dump: the metrics registry's merged totals as Chrome
+  // counter events, so cache/network/runtime tallies ride in the same
+  // artifact the timeline does.
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  for (const CounterSample& c : snapshot.counters) {
+    json.begin_object();
+    json.key("ph").value("C");
+    json.key("name").value(c.name);
+    json.key("cat").value(category_of(c.name));
+    json.key("ts").value(to_us(last_ts_ns));
+    json.key("pid").value(std::int64_t{0});
+    json.key("tid").value(std::int64_t{0});
+    json.key("args").begin_object();
+    json.key("value").value(c.value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (out) {
+    write_chrome_trace(out);
+    out.flush();
+  }
+  if (!out) {
+    throw Error("cannot write trace output '" + path + "'");
+  }
+}
+
+std::optional<std::string> trace_path_from_env() {
+  return parse_output_path(std::getenv("SAPART_TRACE"), "SAPART_TRACE");
+}
+
+std::optional<std::string> metrics_path_from_env() {
+  return parse_output_path(std::getenv("SAPART_METRICS"), "SAPART_METRICS");
+}
+
+void enable_trace_output(const std::string& path) {
+  probe_writable(path, "trace");
+  {
+    const std::lock_guard<std::mutex> lock(g_output_mutex);
+    g_trace_output_path = path;
+    install_atexit_flush_locked();
+  }
+  start_tracing();
+}
+
+void enable_metrics_output(const std::string& path) {
+  probe_writable(path, "metrics");
+  {
+    const std::lock_guard<std::mutex> lock(g_output_mutex);
+    g_metrics_output_path = path;
+    install_atexit_flush_locked();
+  }
+  set_metrics_collection(true);
+}
+
+void flush_configured_outputs() noexcept {
+  std::string trace_path;
+  std::string metrics_path;
+  {
+    const std::lock_guard<std::mutex> lock(g_output_mutex);
+    trace_path.swap(g_trace_output_path);
+    metrics_path.swap(g_metrics_output_path);
+  }
+  if (!trace_path.empty()) {
+    try {
+      write_chrome_trace_file(trace_path);
+      std::fprintf(stderr, "[trace written to %s]\n", trace_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace flush failed: %s\n", e.what());
+    }
+  }
+  if (!metrics_path.empty()) {
+    try {
+      std::ofstream out(metrics_path, std::ios::trunc);
+      if (out) {
+        write_metrics_json(out, snapshot_metrics());
+        out.flush();
+      }
+      if (!out) {
+        std::fprintf(stderr, "metrics flush failed: cannot write '%s'\n",
+                     metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "[metrics written to %s]\n", metrics_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics flush failed: %s\n", e.what());
+    }
+  }
+}
+
+}  // namespace sap::obs

@@ -1,0 +1,133 @@
+// Phase spans and the Chrome trace-event exporter (DESIGN.md §12).
+//
+// Spans are the opt-in tier of the instrumentation layer: an RAII object
+// that records (category, name, thread, start, duration, up to two
+// integer args) into a lock-free-ish per-thread buffer — but only while
+// tracing is enabled.  Disabled (the default), the constructor is one
+// relaxed atomic load and a branch: no clock read, no allocation, no
+// store.  That inertness is what lets spans sit inside the sharded
+// runtime's scheduler without perturbing anything consistency claim 10
+// promises to keep byte-identical.
+//
+// The export is the Chrome trace-event JSON format (loadable in Perfetto
+// or chrome://tracing; docs/TRACE_FORMAT.md): complete ("X") events for
+// spans, instant ("i") events for park/wake edges, metadata ("M") thread
+// names, and a final counter ("C") dump of the metrics registry so cache,
+// network and runtime totals appear alongside the timeline.
+//
+// Wiring: bench drivers and advise_tool enable the exporter from
+// SAPART_TRACE=<path> or the --trace flag (flag wins) and flush at
+// process exit; tests drive start_tracing()/write_chrome_trace directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace sap::obs {
+
+inline bool tracing_enabled() noexcept {
+  return (detail::g_collect_flags.load(std::memory_order_relaxed) &
+          detail::kTraceFlag) != 0;
+}
+
+/// Clears previously collected events and starts collecting.
+void start_tracing();
+
+/// Stops collecting; already-recorded events stay until clear_trace()
+/// or the next start_tracing().
+void stop_tracing();
+
+void clear_trace();
+
+/// Number of collected events (spans + instants), for tests.
+std::size_t trace_event_count();
+
+/// Names the calling thread in the trace (metadata event on export).
+void set_thread_name(const char* name);
+
+/// RAII timing span.  `cat` and `name` must be string literals (or
+/// otherwise outlive the trace): the disabled path must not copy.
+class Span {
+ public:
+  Span(const char* cat, const char* name) noexcept {
+    if (!tracing_enabled()) return;
+    open(cat, name);
+  }
+  Span(const char* cat, const char* name, const char* arg_key,
+       std::int64_t arg_value) noexcept
+      : Span(cat, name) {
+    arg(arg_key, arg_value);
+  }
+  ~Span() {
+    if (armed_) close();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an integer arg (thread/PE attribution).  At most two;
+  /// further args are dropped.  No-op when the span is disarmed.
+  void arg(const char* key, std::int64_t value) noexcept {
+    if (!armed_) return;
+    if (key1_ == nullptr) {
+      key1_ = key;
+      val1_ = value;
+    } else if (key2_ == nullptr) {
+      key2_ = key;
+      val2_ = value;
+    }
+  }
+
+ private:
+  void open(const char* cat, const char* name) noexcept;
+  void close() noexcept;
+
+  bool armed_ = false;
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  const char* key1_ = nullptr;
+  std::int64_t val1_ = 0;
+  const char* key2_ = nullptr;
+  std::int64_t val2_ = 0;
+};
+
+/// Zero-duration event (park/wake edges).  No-op when tracing is off.
+void instant_event(const char* cat, const char* name,
+                   const char* arg_key = nullptr,
+                   std::int64_t arg_value = 0) noexcept;
+
+/// Writes the collected events (plus thread metadata and a final metrics
+/// counter dump) as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& out);
+
+/// As above into a file.  Throws sap::Error when the file cannot be
+/// written (the exporter was explicitly requested; silence would hide a
+/// missing artifact).
+void write_chrome_trace_file(const std::string& path);
+
+/// SAPART_TRACE / SAPART_METRICS, parsed with the SAPART_WORKERS
+/// contract: unset -> nullopt; empty or whitespace-wrapped values throw
+/// ConfigError (support/parse.hpp).
+std::optional<std::string> trace_path_from_env();
+std::optional<std::string> metrics_path_from_env();
+
+/// Enables the trace exporter: probes that `path` is writable (throws
+/// ConfigError otherwise), starts tracing, and installs a process-exit
+/// flush that writes the file.
+void enable_trace_output(const std::string& path);
+
+/// Enables the metrics exporter likewise: probe, set_metrics_collection,
+/// flush-at-exit of the metrics JSON.
+void enable_metrics_output(const std::string& path);
+
+/// Writes any configured outputs now and clears the configuration
+/// (idempotent; the at-exit hook calls this).  Failures are reported on
+/// stderr, never thrown: this runs during process teardown.
+void flush_configured_outputs() noexcept;
+
+}  // namespace sap::obs

@@ -15,6 +15,8 @@
 #include "core/dataflow_replay.hpp"
 #include "core/dataflow_trace.hpp"
 #include "machine/host_reinit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/error.hpp"
 
@@ -30,6 +32,30 @@ ThreadPool& shard_runtime_pool() {
 }
 
 namespace {
+
+// Scheduler metrics: all of these depend on thread timing (which worker
+// won a race, how often a shard parked), so they live in the kScheduler
+// export section — never compared across runs.
+struct SchedulerMetrics {
+  obs::Counter& steals = obs::counter("runtime/steals",
+                                      obs::Determinism::kScheduler);
+  obs::Counter& steal_attempts =
+      obs::counter("runtime/steal_attempts", obs::Determinism::kScheduler);
+  obs::Counter& parks = obs::counter("runtime/parks",
+                                     obs::Determinism::kScheduler);
+  obs::Counter& wakes = obs::counter("runtime/wakes",
+                                     obs::Determinism::kScheduler);
+  obs::Counter& dispatches =
+      obs::counter("runtime/dispatches", obs::Determinism::kScheduler);
+  obs::Counter& quiescence_checks =
+      obs::counter("runtime/quiescence_checks",
+                   obs::Determinism::kScheduler);
+};
+
+SchedulerMetrics& scheduler_metrics() {
+  static SchedulerMetrics metrics;
+  return metrics;
+}
 
 /// All scheduler bookkeeping lives under one mutex: shard states, the
 /// per-worker ready deques, park/wake transitions, the §5 barrier, and the
@@ -60,6 +86,9 @@ class SimRuntime {
   }
 
   DataflowStats run() {
+    obs::Span run_span("runtime", "sharded-run");
+    run_span.arg("workers", workers_);
+    run_span.arg("pes", static_cast<std::int64_t>(shards_.size()));
     DataflowStats stats;
     stats.workers = workers_;
 
@@ -72,6 +101,7 @@ class SimRuntime {
     // The calling thread is the trace producer; replay shards consume
     // published stream prefixes concurrently.
     try {
+      const obs::Span producer_span("runtime", "trace-pass");
       StreamingSink sink(set_, [this] { on_publish(); });
       TraceBuilder builder(compiled_, machine_.partitioner(), sink,
                            set_.layouts);
@@ -140,6 +170,7 @@ class SimRuntime {
       s->state = State::kRunning;
       s->last_worker = w;
       ++dispatches_;
+      scheduler_metrics().dispatches.add(1);
       lock.unlock();
       run_shard(*s, w);
       lock.lock();
@@ -154,12 +185,14 @@ class SimRuntime {
       queues_[w].pop_back();
       return s;
     }
+    if (workers_ > 1) scheduler_metrics().steal_attempts.add(1);
     for (unsigned i = 1; i < workers_; ++i) {
       auto& victim = queues_[(w + i) % workers_];
       if (!victim.empty()) {
         Shard* s = victim.front();
         victim.pop_front();
         ++steals_;
+        scheduler_metrics().steals.add(1);
         return s;
       }
     }
@@ -167,6 +200,9 @@ class SimRuntime {
   }
 
   void run_shard(Shard& s, unsigned w) {
+    obs::Span span("runtime", "replay");
+    span.arg("pe", s.pe);
+    span.arg("worker", w);
     std::vector<ReaderToken> woken;
     for (;;) {
       if (abort_.load(std::memory_order_relaxed)) return;
@@ -240,6 +276,8 @@ class SimRuntime {
     if (for_input) input_waiters_.store(true, std::memory_order_relaxed);
     ++parked_;
     ++parks_;
+    scheduler_metrics().parks.add(1);
+    obs::instant_event("runtime", "park", "pe", s.pe);
     check_deadlock_locked();
     return true;
   }
@@ -267,6 +305,8 @@ class SimRuntime {
     t.parked_for_input = false;
     --parked_;
     queues_[w].push_back(&t);
+    scheduler_metrics().wakes.add(1);
+    obs::instant_event("runtime", "wake", "pe", t.pe);
   }
 
   void mark_done(Shard& s) {
@@ -324,6 +364,8 @@ class SimRuntime {
     s.parked_for_input = false;
     ++parked_;
     ++parks_;
+    scheduler_metrics().parks.add(1);
+    obs::instant_event("runtime", "park", "pe", s.pe);
     check_deadlock_locked();
   }
 
@@ -349,6 +391,7 @@ class SimRuntime {
   /// nothing is ready or running: with the producer finished, that
   /// quiescence is the machine-level read-before-write deadlock.
   void check_deadlock_locked() {
+    scheduler_metrics().quiescence_checks.add(1);
     if (first_error_ || abort_) return;
     if (!producer_done_.load(std::memory_order_relaxed)) return;
     if (done_ == shards_.size()) return;

@@ -9,7 +9,10 @@
 #include <charconv>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
+
+#include "support/error.hpp"
 
 namespace sap {
 
@@ -24,6 +27,35 @@ inline std::optional<std::int64_t> parse_strict_int(std::string_view text,
     return std::nullopt;
   }
   return value;
+}
+
+/// Parses an output-path knob (the SAPART_TRACE / SAPART_METRICS
+/// convention, mirroring parse_worker_count's contract).  nullptr — knob
+/// unset — returns nullopt.  A set value must look like a deliberate file
+/// path: empty strings, values wrapped in whitespace, and values with
+/// control characters throw ConfigError naming the knob and the problem,
+/// so `SAPART_TRACE= ./run` fails loudly instead of silently writing
+/// nowhere (or to a surprising filename).  Interior spaces are legal.
+inline std::optional<std::string> parse_output_path(const char* value,
+                                                    std::string_view knob) {
+  if (value == nullptr) return std::nullopt;
+  const std::string_view text(value);
+  if (text.empty()) {
+    throw ConfigError(std::string(knob) +
+                      " is set but empty; it must name a file path");
+  }
+  const auto is_space = [](char c) { return c == ' ' || c == '\t'; };
+  if (is_space(text.front()) || is_space(text.back())) {
+    throw ConfigError(std::string(knob) + " value '" + std::string(text) +
+                      "' has leading or trailing whitespace");
+  }
+  for (const char c : text) {
+    if (static_cast<unsigned char>(c) < 0x20) {
+      throw ConfigError(std::string(knob) +
+                        " value contains a control character");
+    }
+  }
+  return std::string(text);
 }
 
 }  // namespace sap

@@ -3,10 +3,42 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/parse.hpp"
 
 namespace sap {
+
+namespace {
+
+// Pool activity is scheduler-dependent by definition (which worker ran a
+// task, how often the queue went empty).
+obs::Counter& submitted_counter() {
+  static obs::Counter& c =
+      obs::counter("pool/submitted", obs::Determinism::kScheduler);
+  return c;
+}
+
+obs::Counter& executed_counter() {
+  static obs::Counter& c =
+      obs::counter("pool/executed", obs::Determinism::kScheduler);
+  return c;
+}
+
+obs::Counter& idle_wait_counter() {
+  static obs::Counter& c =
+      obs::counter("pool/idle_waits", obs::Determinism::kScheduler);
+  return c;
+}
+
+void run_job(std::function<void()>& job) {
+  executed_counter().add(1);
+  const obs::Span span("pool", "task");
+  job();
+}
+
+}  // namespace
 
 unsigned parse_worker_count(const char* value) {
   if (value == nullptr) return 0;
@@ -52,6 +84,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
     }
     queue_.push_back(std::move(job));
   }
+  submitted_counter().add(1);
   ready_.notify_one();
 }
 
@@ -63,21 +96,23 @@ bool ThreadPool::try_run_one() {
     job = std::move(queue_.front());
     queue_.pop_front();
   }
-  job();
+  run_job(job);
   return true;
 }
 
 void ThreadPool::worker_loop() {
+  obs::set_thread_name("pool-worker");
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty() && !stopping_) idle_wait_counter().add(1);
       ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    run_job(job);
   }
 }
 

@@ -1,0 +1,178 @@
+// Consistency claim 10 (DESIGN.md §12): instrumentation never perturbs
+// results.  The same workload run with tracing + metrics collection fully
+// enabled and fully disabled must produce byte-identical SimulationResults
+// and array values at every worker count — the instrumentation layer is
+// write-only observation, and this test is the gate that keeps it so.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "core/counting_interpreter.hpp"
+#include "core/dataflow_interpreter.hpp"
+#include "core/simulator.hpp"
+#include "kernels/livermore.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runtime/sim_runtime.hpp"
+
+namespace sap {
+namespace {
+
+struct Workload {
+  std::string label;
+  CompiledProgram program;
+};
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload> out = [] {
+    std::vector<Workload> w;
+    w.push_back({"fig1/k01_hydro", build_k1_hydro()});
+    w.push_back({"fig5/k18_hydro2d_400", build_k18_explicit_hydro_2d(400)});
+    return w;
+  }();
+  return out;
+}
+
+/// One run: counting mode for workers == npos, else serial (0) or sharded.
+constexpr unsigned kCounting = static_cast<unsigned>(-1);
+
+SimulationResult snapshot_run(const CompiledProgram& prog,
+                              const MachineConfig& config, unsigned workers,
+                              std::unique_ptr<Machine>& machine_out) {
+  machine_out = std::make_unique<Machine>(config);
+  materialize_arrays(prog, *machine_out);
+  if (workers == kCounting) {
+    run_counting(prog, *machine_out);
+  } else if (workers == 0) {
+    run_dataflow_serial(prog, *machine_out);
+  } else {
+    run_dataflow_sharded(prog, *machine_out, ShardRuntimeOptions{workers});
+  }
+  return machine_out->snapshot(prog.name());
+}
+
+void expect_byte_identical(const SimulationResult& got,
+                           const SimulationResult& want, const Machine& got_m,
+                           const Machine& want_m, const std::string& label) {
+  EXPECT_EQ(got.totals, want.totals) << label;
+  ASSERT_EQ(got.per_pe.size(), want.per_pe.size()) << label;
+  for (std::size_t pe = 0; pe < got.per_pe.size(); ++pe) {
+    EXPECT_EQ(got.per_pe[pe], want.per_pe[pe]) << label << " pe=" << pe;
+  }
+  EXPECT_EQ(got.network, want.network) << label;
+  EXPECT_EQ(got.cache_totals.hits, want.cache_totals.hits) << label;
+  EXPECT_EQ(got.cache_totals.misses, want.cache_totals.misses) << label;
+  EXPECT_EQ(got.cache_totals.evictions, want.cache_totals.evictions) << label;
+  EXPECT_EQ(got.cache_totals.invalidations, want.cache_totals.invalidations)
+      << label;
+  EXPECT_EQ(got.max_link_load, want.max_link_load) << label;
+  EXPECT_EQ(got.contention_factor, want.contention_factor) << label;
+  EXPECT_EQ(got.reinit_messages, want.reinit_messages) << label;
+  for (const auto& want_array : want_m.arrays()) {
+    const SaArray& got_array = got_m.arrays().by_name(want_array->name());
+    ASSERT_EQ(got_array.defined_count(), want_array->defined_count())
+        << label << " " << want_array->name();
+    for (std::int64_t i = 0; i < want_array->element_count(); ++i) {
+      if (!want_array->is_defined(i)) continue;
+      EXPECT_EQ(got_array.read(i), want_array->read(i))
+          << label << " " << want_array->name() << "[" << i << "]";
+    }
+  }
+}
+
+/// Runs a workload with all instrumentation off, then again with tracing
+/// and metrics collection on, and demands byte-identical results.
+void check_inert(const CompiledProgram& prog, const MachineConfig& config,
+                 unsigned workers, const std::string& label) {
+  obs::stop_tracing();
+  obs::set_metrics_collection(false);
+  std::unique_ptr<Machine> plain_machine;
+  const SimulationResult plain =
+      snapshot_run(prog, config, workers, plain_machine);
+
+  obs::start_tracing();
+  obs::set_metrics_collection(true);
+  std::unique_ptr<Machine> traced_machine;
+  const SimulationResult traced =
+      snapshot_run(prog, config, workers, traced_machine);
+  obs::stop_tracing();
+  obs::set_metrics_collection(false);
+
+  expect_byte_identical(traced, plain, *traced_machine, *plain_machine,
+                        label);
+}
+
+TEST(TraceInertnessTest, ResultsIdenticalWithTracingOnAndOff) {
+  const MachineConfig config =
+      MachineConfig{}.with_pes(16).with_partition(PartitionKind::kModulo);
+  for (const auto& w : workloads()) {
+    check_inert(w.program, config, kCounting, w.label + "/counting");
+    check_inert(w.program, config, 0, w.label + "/serial");
+    for (const unsigned workers : {1u, 2u, 8u}) {
+      check_inert(w.program, config, workers,
+                  w.label + "/sharded-w" + std::to_string(workers));
+    }
+  }
+  obs::clear_trace();
+}
+
+TEST(TraceInertnessTest, TracedRunIsAlsoIdenticalAcrossWorkerCounts) {
+  // Tracing on, 1 vs 8 workers: the sharded-equivalence guarantee holds
+  // while instrumented, not just when nobody is watching.
+  const MachineConfig config = MachineConfig{}.with_pes(16);
+  const CompiledProgram& prog = workloads()[1].program;
+  obs::start_tracing();
+  obs::set_metrics_collection(true);
+  std::unique_ptr<Machine> one_machine;
+  const SimulationResult one = snapshot_run(prog, config, 1, one_machine);
+  std::unique_ptr<Machine> eight_machine;
+  const SimulationResult eight = snapshot_run(prog, config, 8, eight_machine);
+  obs::stop_tracing();
+  obs::set_metrics_collection(false);
+  expect_byte_identical(eight, one, *eight_machine, *one_machine,
+                        "traced/w1-vs-w8");
+  obs::clear_trace();
+}
+
+TEST(TraceInertnessTest, TraceCoversTheInstrumentedSubsystems) {
+  // A fig5 run under tracing must yield a well-formed trace with spans or
+  // counters from at least four subsystems (acceptance criterion).
+  obs::reset_metrics();
+  obs::start_tracing();
+  obs::set_metrics_collection(true);
+  const CompiledProgram prog = build_k18_explicit_hydro_2d(400);
+  const Simulator sim(MachineConfig{}.with_pes(16));
+  (void)sim.run(prog, ExecutionMode::kDataflow);
+  AdvisorOptions options;
+  options.validate_top_k = 1;
+  (void)advise(prog, MachineConfig{}.with_pes(16), options, nullptr);
+  obs::stop_tracing();
+  obs::set_metrics_collection(false);
+
+  EXPECT_GT(obs::trace_event_count(), 0u);
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  const std::string json = out.str();
+
+  std::set<std::string> cats;
+  for (const char* cat :
+       {"compile", "runtime", "cache", "network", "advisor", "sweep"}) {
+    if (json.find("\"cat\":\"" + std::string(cat) + "\"") !=
+        std::string::npos) {
+      cats.insert(cat);
+    }
+  }
+  EXPECT_GE(cats.size(), 4u) << json.substr(0, 2000);
+  EXPECT_NE(json.find("\"cat\":\"compile\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"runtime\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"cache\""), std::string::npos);
+  obs::clear_trace();
+}
+
+}  // namespace
+}  // namespace sap

@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sap::obs {
+namespace {
+
+const CounterSample* find_counter(const MetricsSnapshot& snapshot,
+                                  const std::string& name) {
+  for (const CounterSample& c : snapshot.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSample* find_histogram(const MetricsSnapshot& snapshot,
+                                      const std::string& name) {
+  for (const HistogramSample& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(MetricsRegistryTest, CounterAccumulates) {
+  reset_metrics();
+  Counter& c = counter("test/metrics/basic");
+  c.add();
+  c.add(41);
+  const auto* sample = find_counter(snapshot_metrics(), "test/metrics/basic");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 42u);
+  EXPECT_EQ(sample->det, Determinism::kDeterministic);
+}
+
+TEST(MetricsRegistryTest, SameNameSameHandle) {
+  Counter& a = counter("test/metrics/same");
+  Counter& b = counter("test/metrics/same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, CrossThreadCounterMerge) {
+  reset_metrics();
+  Counter& c = counter("test/metrics/threads");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto* sample =
+      find_counter(snapshot_metrics(), "test/metrics/threads");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, DeterminismIsFixedByFirstRegistration) {
+  counter("test/metrics/sched", Determinism::kScheduler);
+  // A second registration with a different class does not flip it.
+  counter("test/metrics/sched", Determinism::kDeterministic).add(1);
+  const auto* sample = find_counter(snapshot_metrics(), "test/metrics/sched");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->det, Determinism::kScheduler);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  counter("test/metrics/zz").add(1);
+  counter("test/metrics/aa").add(1);
+  const MetricsSnapshot snapshot = snapshot_metrics();
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.counters.begin(), snapshot.counters.end(),
+      [](const CounterSample& a, const CounterSample& b) {
+        return a.name < b.name;
+      }));
+}
+
+TEST(MetricsRegistryTest, HistogramStatsAndPercentiles) {
+  reset_metrics();
+  Histogram& h = histogram("test/metrics/hist");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto* sample = find_histogram(snapshot_metrics(), "test/metrics/hist");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 1000u);
+  EXPECT_EQ(sample->sum, 500500u);
+  EXPECT_EQ(sample->min, 1u);
+  EXPECT_EQ(sample->max, 1000u);
+  // Percentiles are log2-bucket upper bounds: within a factor of two of
+  // the exact value, monotone, and clamped to the observed range.
+  EXPECT_GE(sample->p50, 500.0 / 2);
+  EXPECT_LE(sample->p50, 500.0 * 2);
+  EXPECT_GE(sample->p90, 900.0 / 2);
+  EXPECT_LE(sample->p99, 1000.0);
+  EXPECT_LE(sample->p50, sample->p90);
+  EXPECT_LE(sample->p90, sample->p99);
+}
+
+TEST(MetricsRegistryTest, HistogramSingleValue) {
+  reset_metrics();
+  Histogram& h = histogram("test/metrics/single");
+  h.record(77);
+  const auto* sample =
+      find_histogram(snapshot_metrics(), "test/metrics/single");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 1u);
+  EXPECT_EQ(sample->min, 77u);
+  EXPECT_EQ(sample->max, 77u);
+  EXPECT_EQ(sample->p50, 77.0);
+  EXPECT_EQ(sample->p99, 77.0);
+}
+
+TEST(MetricsRegistryTest, CollectionFlagRoundTrip) {
+  const bool was = metrics_collection_enabled();
+  set_metrics_collection(true);
+  EXPECT_TRUE(metrics_collection_enabled());
+  EXPECT_TRUE(collecting());
+  set_metrics_collection(false);
+  EXPECT_FALSE(metrics_collection_enabled());
+  set_metrics_collection(was);
+}
+
+TEST(MetricsRegistryTest, JsonExportSegregatesByDeterminism) {
+  reset_metrics();
+  counter("test/metrics/det_section").add(3);
+  counter("test/metrics/sched_section", Determinism::kScheduler).add(5);
+  std::ostringstream out;
+  write_metrics_json(out, snapshot_metrics());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"sap-metrics-v1\""), std::string::npos);
+  const auto det_pos = json.find("\"deterministic\"");
+  const auto sched_pos = json.find("\"scheduler\"");
+  ASSERT_NE(det_pos, std::string::npos);
+  ASSERT_NE(sched_pos, std::string::npos);
+  const auto det_metric = json.find("test/metrics/det_section");
+  const auto sched_metric = json.find("test/metrics/sched_section");
+  ASSERT_NE(det_metric, std::string::npos);
+  ASSERT_NE(sched_metric, std::string::npos);
+  // The deterministic metric lands between the two section keys, the
+  // scheduler one after the scheduler key.
+  EXPECT_GT(det_metric, det_pos);
+  EXPECT_LT(det_metric, sched_pos);
+  EXPECT_GT(sched_metric, sched_pos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverything) {
+  counter("test/metrics/reset_me").add(9);
+  reset_metrics();
+  const auto* sample =
+      find_counter(snapshot_metrics(), "test/metrics/reset_me");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 0u);
+}
+
+}  // namespace
+}  // namespace sap::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace sap::obs {
+namespace {
+
+/// RAII guard: every test leaves tracing off and the buffers empty.
+struct TraceGuard {
+  TraceGuard() {
+    stop_tracing();
+    clear_trace();
+  }
+  ~TraceGuard() {
+    stop_tracing();
+    clear_trace();
+  }
+};
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  const TraceGuard guard;
+  {
+    const Span span("test", "disabled");
+    instant_event("test", "disabled-instant");
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(TraceTest, EnabledSpansAreCaptured) {
+  const TraceGuard guard;
+  start_tracing();
+  {
+    Span span("test", "captured");
+    span.arg("pe", 3);
+  }
+  instant_event("test", "edge", "pe", 5);
+  stop_tracing();
+  EXPECT_EQ(trace_event_count(), 2u);
+}
+
+TEST(TraceTest, StartTracingClearsPreviousSession) {
+  const TraceGuard guard;
+  start_tracing();
+  { const Span span("test", "first"); }
+  stop_tracing();
+  EXPECT_EQ(trace_event_count(), 1u);
+  start_tracing();
+  stop_tracing();
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(TraceTest, SpanOpenWhenTracingStopsIsDropped) {
+  const TraceGuard guard;
+  start_tracing();
+  {
+    const Span span("test", "half-open");
+    stop_tracing();
+  }
+  EXPECT_EQ(trace_event_count(), 0u);
+}
+
+TEST(TraceTest, ExportIsWellFormedChromeTrace) {
+  const TraceGuard guard;
+  start_tracing();
+  set_thread_name("main-test-thread");
+  {
+    Span span("compile", "parse");
+    span.arg("tokens", 42);
+  }
+  instant_event("runtime", "park", "pe", 7);
+  std::thread worker([] {
+    const Span span("runtime", "replay");
+    (void)span;
+  });
+  worker.join();
+  stop_tracing();
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("main-test-thread"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"compile\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"runtime\""), std::string::npos);
+  EXPECT_NE(json.find("\"tokens\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"pe\":7"), std::string::npos);
+}
+
+TEST(TraceTest, ExportIncludesMetricsCounterDump) {
+  const TraceGuard guard;
+  counter("tracetest/dumped").add(11);
+  start_tracing();
+  stop_tracing();
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("tracetest/dumped"), std::string::npos);
+}
+
+TEST(TraceTest, EventsFromDifferentThreadsKeepDistinctTids) {
+  const TraceGuard guard;
+  start_tracing();
+  { const Span span("test", "main-thread"); }
+  std::thread other([] { const Span span("test", "other-thread"); });
+  other.join();
+  stop_tracing();
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string json = out.str();
+  // Two X events with different tids: both names present, and at least
+  // one non-zero tid in an X event.
+  EXPECT_NE(json.find("main-thread"), std::string::npos);
+  EXPECT_NE(json.find("other-thread"), std::string::npos);
+  std::size_t tid_hits = 0;
+  for (std::size_t pos = json.find("\"tid\":"); pos != std::string::npos;
+       pos = json.find("\"tid\":", pos + 1)) {
+    if (json.compare(pos, 8, "\"tid\":0,") != 0 &&
+        json.compare(pos, 8, "\"tid\":0}") != 0) {
+      ++tid_hits;
+    }
+  }
+  EXPECT_GE(tid_hits, 1u);
+}
+
+TEST(TraceTest, PathFromEnvRejectsGarbage) {
+  // Validation is shared with parse_output_path; this only pins the knob
+  // names to the right parser.
+  setenv("SAPART_TRACE", "", 1);
+  EXPECT_THROW(trace_path_from_env(), ConfigError);
+  setenv("SAPART_TRACE", " x", 1);
+  EXPECT_THROW(trace_path_from_env(), ConfigError);
+  setenv("SAPART_TRACE", "ok.json", 1);
+  EXPECT_EQ(trace_path_from_env(), "ok.json");
+  unsetenv("SAPART_TRACE");
+  EXPECT_EQ(trace_path_from_env(), std::nullopt);
+
+  setenv("SAPART_METRICS", "", 1);
+  EXPECT_THROW(metrics_path_from_env(), ConfigError);
+  setenv("SAPART_METRICS", "m.json", 1);
+  EXPECT_EQ(metrics_path_from_env(), "m.json");
+  unsetenv("SAPART_METRICS");
+  EXPECT_EQ(metrics_path_from_env(), std::nullopt);
+}
+
+TEST(TraceTest, EnableTraceOutputRejectsUnwritablePath) {
+  const TraceGuard guard;
+  EXPECT_THROW(enable_trace_output("/nonexistent-dir-xyz/trace.json"),
+               ConfigError);
+  EXPECT_FALSE(tracing_enabled());
+}
+
+}  // namespace
+}  // namespace sap::obs

@@ -49,5 +49,46 @@ TEST(ParseStrictIntTest, LeadingZerosAreStillDecimal) {
   EXPECT_EQ(parse_strict_int("-0", -1, 1), 0);
 }
 
+TEST(ParseOutputPathTest, UnsetKnobIsNullopt) {
+  EXPECT_EQ(parse_output_path(nullptr, "SAPART_TRACE"), std::nullopt);
+}
+
+TEST(ParseOutputPathTest, PlainPathsPassThrough) {
+  EXPECT_EQ(parse_output_path("trace.json", "SAPART_TRACE"), "trace.json");
+  EXPECT_EQ(parse_output_path("/tmp/out/metrics.json", "SAPART_METRICS"),
+            "/tmp/out/metrics.json");
+  // Interior spaces are a legal (if unusual) filename.
+  EXPECT_EQ(parse_output_path("my trace.json", "SAPART_TRACE"),
+            "my trace.json");
+}
+
+TEST(ParseOutputPathTest, EmptyValueThrows) {
+  EXPECT_THROW(parse_output_path("", "SAPART_TRACE"), ConfigError);
+}
+
+TEST(ParseOutputPathTest, WrappingWhitespaceThrows) {
+  for (const char* bad : {" trace.json", "trace.json ", "\ttrace.json",
+                          "trace.json\t", " "}) {
+    EXPECT_THROW(parse_output_path(bad, "SAPART_TRACE"), ConfigError) << bad;
+  }
+}
+
+TEST(ParseOutputPathTest, ControlCharactersThrow) {
+  EXPECT_THROW(parse_output_path("tra\nce.json", "SAPART_TRACE"),
+               ConfigError);
+  EXPECT_THROW(parse_output_path("tra\x01" "ce", "SAPART_METRICS"),
+               ConfigError);
+}
+
+TEST(ParseOutputPathTest, ErrorNamesTheKnob) {
+  try {
+    parse_output_path("", "SAPART_METRICS");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("SAPART_METRICS"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace sap

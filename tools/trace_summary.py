@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Validate and summarize a Chrome trace-event JSON file (SAPART_TRACE).
+
+The trace format is documented in docs/TRACE_FORMAT.md: complete ("X")
+span events with microsecond ts/dur, instant ("i") events, thread-name
+metadata ("M"), and a final counter ("C") dump of the metrics registry.
+This tool:
+
+1. validates the structural contract (a JSON object with a traceEvents
+   array; every event carries ph/name, X events carry cat/ts/dur) — a
+   malformed artifact exits 1 so CI catches exporter rot, and
+2. prints a per-phase wall-time table — total time, call count and mean
+   per (category, name) span — plus the instant-event tallies and the
+   deterministic counter totals, so `trace_summary.py run.trace` answers
+   "where did the time go?" without opening Perfetto.
+
+Exit codes: 0 valid trace, 1 validation failure, 2 usage error (missing
+or unreadable file).
+
+Usage:
+  tools/trace_summary.py TRACE.json [--min-us 0.0]
+  tools/trace_summary.py --self-test
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+VALID_PHASES = {"X", "i", "M", "C"}
+
+
+def validate(trace):
+    """Returns a list of validation error strings (empty = valid)."""
+    errors = []
+    if not isinstance(trace, dict):
+        return ["top level is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array traceEvents"]
+    for i, event in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(event, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            errors.append("%s: unknown phase %r" % (where, phase))
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append("%s: missing name" % where)
+        if phase == "X":
+            if not isinstance(event.get("cat"), str):
+                errors.append("%s: X event without cat" % where)
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append("%s: X event %s is not a non-negative "
+                                  "number" % (where, field))
+        if phase == "i" and not isinstance(event.get("ts"), (int, float)):
+            errors.append("%s: i event without ts" % where)
+        if phase == "C" and not isinstance(event.get("args"), dict):
+            errors.append("%s: C event without args" % where)
+    return errors
+
+
+def span_table(events, min_us=0.0):
+    """Aggregates X events into (cat/name -> total_us, count) rows,
+    sorted by total descending."""
+    totals = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        key = "%s/%s" % (event.get("cat", "?"), event.get("name", "?"))
+        total, count = totals.get(key, (0.0, 0))
+        totals[key] = (total + float(event.get("dur", 0.0)), count + 1)
+    rows = [(key, total, count) for key, (total, count) in totals.items()
+            if total >= min_us]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def instant_tally(events):
+    totals = {}
+    for event in events:
+        if event.get("ph") != "i":
+            continue
+        key = "%s/%s" % (event.get("cat", "?"), event.get("name", "?"))
+        totals[key] = totals.get(key, 0) + 1
+    return sorted(totals.items())
+
+
+def counter_dump(events):
+    """(name, value) rows from the final C events, sorted by name."""
+    rows = []
+    for event in events:
+        if event.get("ph") != "C":
+            continue
+        value = event.get("args", {}).get("value")
+        rows.append((event.get("name", "?"), value))
+    rows.sort()
+    return rows
+
+
+def fmt_us(us):
+    if us >= 1e6:
+        return "%.2f s" % (us / 1e6)
+    if us >= 1e3:
+        return "%.2f ms" % (us / 1e3)
+    return "%.1f us" % us
+
+
+def summarize(trace, min_us=0.0, out=sys.stdout):
+    events = trace["traceEvents"]
+    rows = span_table(events, min_us)
+    print("phase wall-time (X spans, self-inclusive):", file=out)
+    print("  %-36s %12s %8s %12s" % ("phase", "total", "calls", "mean"),
+          file=out)
+    for key, total, count in rows:
+        print("  %-36s %12s %8d %12s"
+              % (key, fmt_us(total), count, fmt_us(total / count)), file=out)
+    if not rows:
+        print("  (no spans above the threshold)", file=out)
+    instants = instant_tally(events)
+    if instants:
+        print("instant events:", file=out)
+        for key, count in instants:
+            print("  %-36s %8d" % (key, count), file=out)
+    counters = counter_dump(events)
+    if counters:
+        print("counters (final metrics dump):", file=out)
+        for name, value in counters:
+            print("  %-36s %12s" % (name, value), file=out)
+
+
+# ---------------------------------------------------------------------------
+# Self-test: invoked from CI (tools/trace_summary.py --self-test) so the
+# validator cannot silently rot — it has no other test harness.
+# ---------------------------------------------------------------------------
+
+def _event(ph, name, cat="test", **extra):
+    event = {"ph": ph, "name": name, "cat": cat, "pid": 0, "tid": 0}
+    event.update(extra)
+    return event
+
+
+def _valid_trace():
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": [
+            _event("M", "thread_name", args={"name": "main"}),
+            _event("X", "parse", cat="compile", ts=0.0, dur=120.0),
+            _event("X", "parse", cat="compile", ts=130.0, dur=80.0),
+            _event("X", "replay", cat="runtime", ts=10.0, dur=5000.0),
+            _event("i", "park", cat="runtime", ts=50.0, s="t"),
+            _event("C", "cache/hits", cat="cache", ts=6000.0,
+                   args={"value": 42}),
+        ],
+    }
+
+
+def self_test():
+    import io
+    failures = []
+
+    def check(label, condition):
+        print("%s %s" % ("ok  " if condition else "FAIL", label))
+        if not condition:
+            failures.append(label)
+
+    # 1. A well-formed trace validates and summarizes.
+    trace = _valid_trace()
+    check("valid trace has no validation errors", validate(trace) == [])
+    out = io.StringIO()
+    summarize(trace, out=out)
+    text = out.getvalue()
+    check("summary aggregates repeated spans",
+          "compile/parse" in text and "       2" in text)
+    check("summary ranks the longest phase first",
+          text.find("runtime/replay") < text.find("compile/parse"))
+    check("summary reports instants", "runtime/park" in text)
+    check("summary reports counters", "cache/hits" in text)
+
+    # 2. Structural breakage is caught.
+    check("non-object top level is invalid", validate([]) != [])
+    check("missing traceEvents is invalid", validate({}) != [])
+    bad_phase = {"traceEvents": [_event("Q", "x")]}
+    check("unknown phase is invalid", validate(bad_phase) != [])
+    no_dur = {"traceEvents": [_event("X", "x", ts=1.0)]}
+    check("X event without dur is invalid", validate(no_dur) != [])
+    negative = {"traceEvents": [_event("X", "x", ts=-1.0, dur=1.0)]}
+    check("negative ts is invalid", validate(negative) != [])
+    no_args = {"traceEvents": [_event("C", "x", ts=0.0)]}
+    check("C event without args is invalid", validate(no_args) != [])
+    unnamed = {"traceEvents": [{"ph": "X", "cat": "c", "ts": 0, "dur": 1}]}
+    check("X event without name is invalid", validate(unnamed) != [])
+
+    # 3. End-to-end through a file, exactly as CI drives it.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "trace.json"
+        path.write_text(json.dumps(_valid_trace()))
+        check("run() accepts a valid trace file", run(str(path), 0.0) == 0)
+        path.write_text("{not json")
+        check("run() rejects unparseable JSON", run(str(path), 0.0) == 1)
+        path.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        check("run() rejects structural breakage", run(str(path), 0.0) == 1)
+        check("run() exits 2 on a missing file",
+              run(str(pathlib.Path(tmp) / "absent.json"), 0.0) == 2)
+
+    print("trace_summary self-test: %d failure(s)" % len(failures))
+    return 1 if failures else 0
+
+
+def run(path, min_us, out=None):
+    out = out or sys.stdout
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        print("trace_summary: cannot read %s: %s" % (path, error),
+              file=sys.stderr)
+        return 2
+    try:
+        trace = json.loads(text)
+    except json.JSONDecodeError as error:
+        print("trace_summary: %s is not JSON: %s" % (path, error),
+              file=sys.stderr)
+        return 1
+    errors = validate(trace)
+    if errors:
+        print("trace_summary: %s failed validation:" % path, file=sys.stderr)
+        for line in errors[:20]:
+            print("  " + line, file=sys.stderr)
+        if len(errors) > 20:
+            print("  ... and %d more" % (len(errors) - 20), file=sys.stderr)
+        return 1
+    events = trace["traceEvents"]
+    print("%s: %d events (%d spans, %d instants, %d counters) — valid"
+          % (path, len(events),
+             sum(1 for e in events if e.get("ph") == "X"),
+             sum(1 for e in events if e.get("ph") == "i"),
+             sum(1 for e in events if e.get("ph") == "C")), file=out)
+    summarize(trace, min_us, out=out)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?",
+                        help="Chrome trace-event JSON (SAPART_TRACE output)")
+    parser.add_argument("--min-us", type=float, default=0.0,
+                        help="hide span rows totalling less than this many "
+                             "microseconds")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit tests and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.trace is None:
+        parser.error("TRACE.json required (or --self-test)")
+    return run(args.trace, args.min_us)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into head/less closes stdout early; that is not an error.
+        sys.exit(0)
