@@ -55,6 +55,10 @@ inline void print_usage(std::ostream& out, const char* prog,
          "                  hardware thread; zero/negative/malformed abort)\n"
          "  SAPART_EVAL     expression engine: 'bytecode' (default) or\n"
          "                  'tree' (the reference tree walk)\n"
+         "  SAPART_BYTECODE_OPT  bytecode optimizer: 'on' (default,\n"
+         "                  superinstruction fusion + index hoisting) or\n"
+         "                  'off' (the straight-line compile, a second\n"
+         "                  oracle)\n"
          "  SAPART_DATAFLOW dataflow scheduler: 'sharded' (default,\n"
          "                  parallel shard runtime) or 'serial' (the\n"
          "                  round-robin oracle)\n"
@@ -136,6 +140,12 @@ inline void init(int argc, char** argv, std::string_view description = "") {
     eval_engine_from_env();
   } catch (const ConfigError& e) {
     std::cerr << "SAPART_EVAL: " << e.what() << '\n';
+    std::exit(2);
+  }
+  try {
+    bytecode_opt_from_env();
+  } catch (const ConfigError& e) {
+    std::cerr << "SAPART_BYTECODE_OPT: " << e.what() << '\n';
     std::exit(2);
   }
   try {

@@ -1,5 +1,6 @@
 #include "core/bytecode.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -7,6 +8,8 @@
 #include <variant>
 
 #include "frontend/affine.hpp"
+#include "memory/array_registry.hpp"
+#include "memory/sa_array.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
@@ -34,6 +37,83 @@ EvalEngine eval_engine_from_env() {
   // silently pick the default (the SAPART_WORKERS hardening convention).
   throw ConfigError("SAPART_EVAL must be 'bytecode' or 'tree', got '" +
                     value + "'");
+}
+
+std::string to_string(BytecodeOpt opt) {
+  switch (opt) {
+    case BytecodeOpt::kOn:
+      return "on";
+    case BytecodeOpt::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+BytecodeOpt bytecode_opt_from_env() {
+  const char* raw = std::getenv("SAPART_BYTECODE_OPT");
+  if (raw == nullptr) return BytecodeOpt::kOn;
+  const std::string value(raw);
+  if (value == "on") return BytecodeOpt::kOn;
+  if (value == "off") return BytecodeOpt::kOff;
+  // Empty included, same as SAPART_EVAL: fail loudly, never silently
+  // fall back to the default tier.
+  throw ConfigError("SAPART_BYTECODE_OPT must be 'on' or 'off', got '" +
+                    value + "'");
+}
+
+const char* bytecode_dispatch_kind() noexcept {
+#if defined(SAP_BYTECODE_COMPUTED_GOTO)
+  return "computed-goto";
+#else
+  return "switch";
+#endif
+}
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kLoadVar: return "load_var";
+    case Op::kNeg: return "neg";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kIDiv: return "idiv";
+    case Op::kMod: return "mod";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kAbs: return "abs";
+    case Op::kCmpLt: return "cmp_lt";
+    case Op::kCmpLe: return "cmp_le";
+    case Op::kCmpGt: return "cmp_gt";
+    case Op::kCmpGe: return "cmp_ge";
+    case Op::kCmpEq: return "cmp_eq";
+    case Op::kCmpNe: return "cmp_ne";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kNot: return "not";
+    case Op::kMove: return "move";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfZero: return "jump_if_zero";
+    case Op::kCheckIndex: return "check_index";
+    case Op::kAffineIndex: return "affine_index";
+    case Op::kRead: return "read";
+    case Op::kAddConst: return "add_const";
+    case Op::kSubConst: return "sub_const";
+    case Op::kConstSub: return "const_sub";
+    case Op::kMulConst: return "mul_const";
+    case Op::kDivConst: return "div_const";
+    case Op::kConstDiv: return "const_div";
+    case Op::kJumpIfNotLt: return "jump_if_not_lt";
+    case Op::kJumpIfNotLe: return "jump_if_not_le";
+    case Op::kJumpIfNotGt: return "jump_if_not_gt";
+    case Op::kJumpIfNotGe: return "jump_if_not_ge";
+    case Op::kJumpIfNotEq: return "jump_if_not_eq";
+    case Op::kJumpIfNotNe: return "jump_if_not_ne";
+    case Op::kAffineRead: return "affine_read";
+    case Op::kHoistIndex: return "hoist_index";
+  }
+  return "?";
 }
 
 namespace {
@@ -268,6 +348,7 @@ class ExprCompiler {
   /// emitted first; the generic sequence stays behind it as the fallback
   /// (and as the semantics oracle for non-integral variables).
   void emit_index(const Expr& expr, std::uint16_t slot) {
+    const std::size_t range_begin = out_.code.size();
     std::size_t guard_pos = 0;
     bool guarded = false;
     const AffineContext ctx{&program_, &sema_, enclosing_};
@@ -294,6 +375,11 @@ class ExprCompiler {
       SAP_CHECK(generic_len <= kSlotLimit, "index program too long");
       out_.code[guard_pos].b = static_cast<std::uint16_t>(generic_len);
     }
+    // Optimizer metadata: the whole index program for this slot, AST
+    // attached, so optimize_bytecode can judge loop invariance.
+    out_.index_ranges.push_back(
+        IndexRange{&expr, slot, static_cast<std::uint32_t>(range_begin),
+                   static_cast<std::uint32_t>(out_.code.size())});
   }
 
   const Program& program_;
@@ -381,6 +467,515 @@ ProgramBytecode compile_bytecode(const Program& program,
 }
 
 // ---------------------------------------------------------------------------
+// Optimization tier
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kNoTarget = static_cast<std::size_t>(-1);
+
+/// Which operand fields of `in` read a register.
+struct RegReads {
+  bool a = false;
+  bool b = false;
+};
+
+RegReads reg_reads(const Instr& in) {
+  switch (in.op) {
+    case Op::kNeg:
+    case Op::kAbs:
+    case Op::kNot:
+    case Op::kMove:
+    case Op::kCheckIndex:
+    case Op::kAddConst:
+    case Op::kSubConst:
+    case Op::kConstSub:
+    case Op::kMulConst:
+    case Op::kDivConst:
+    case Op::kConstDiv:
+      return {true, false};
+    case Op::kJumpIfZero:
+      return {true, false};
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kIDiv:
+    case Op::kMod:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+    case Op::kCmpGt:
+    case Op::kCmpGe:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kJumpIfNotLt:
+    case Op::kJumpIfNotLe:
+    case Op::kJumpIfNotGt:
+    case Op::kJumpIfNotGe:
+    case Op::kJumpIfNotEq:
+    case Op::kJumpIfNotNe:
+      return {true, true};
+    case Op::kConst:
+    case Op::kLoadVar:
+    case Op::kJump:
+    case Op::kAffineIndex:
+    case Op::kRead:
+    case Op::kAffineRead:
+    case Op::kHoistIndex:
+      return {false, false};
+  }
+  return {false, false};
+}
+
+/// Absolute position a skip-carrying instruction at `pc` can land on;
+/// kNoTarget for straight-line instructions.
+std::size_t skip_target(const Instr& in, std::size_t pc) {
+  switch (in.op) {
+    case Op::kJump:
+      return pc + 1 + in.a;
+    case Op::kJumpIfZero:
+    case Op::kAffineIndex:
+    case Op::kAffineRead:
+      return pc + 1 + in.b;
+    case Op::kJumpIfNotLt:
+    case Op::kJumpIfNotLe:
+    case Op::kJumpIfNotGt:
+    case Op::kJumpIfNotGe:
+    case Op::kJumpIfNotEq:
+    case Op::kJumpIfNotNe:
+      return pc + 1 + in.dst;
+    default:
+      return kNoTarget;
+  }
+}
+
+/// Rebuilds expr.code from per-position decisions: `removed[i]` drops old
+/// instruction i, otherwise `repl[i]` is emitted; `target[i]` is the
+/// absolute OLD position its skip field must land on (kNoTarget for
+/// straight-line instructions).  Skips are re-encoded against the new
+/// positions — a removed target maps to the next retained instruction,
+/// which by construction absorbs the removed instruction's effect.
+void rebuild_code(CompiledExpr& expr, const std::vector<Instr>& repl,
+                  const std::vector<char>& removed,
+                  const std::vector<std::size_t>& target) {
+  const std::size_t n = repl.size();
+  std::vector<std::uint32_t> new_pos(n + 1, 0);
+  std::vector<Instr> out;
+  std::vector<std::size_t> out_target;
+  out.reserve(n);
+  out_target.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    new_pos[i] = static_cast<std::uint32_t>(out.size());
+    if (removed[i]) continue;
+    out.push_back(repl[i]);
+    out_target.push_back(target[i]);
+  }
+  new_pos[n] = static_cast<std::uint32_t>(out.size());
+
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    const std::size_t t = out_target[j];
+    if (t == kNoTarget) continue;
+    SAP_CHECK(t <= n, "optimizer: skip target out of range");
+    const std::size_t new_t = new_pos[t];
+    SAP_CHECK(new_t > j, "optimizer: non-forward skip");
+    const std::size_t skip = new_t - j - 1;
+    SAP_CHECK(skip <= kSlotLimit, "optimizer: skip too long");
+    Instr& in = out[j];
+    switch (in.op) {
+      case Op::kJump:
+        in.a = static_cast<std::uint16_t>(skip);
+        break;
+      case Op::kJumpIfZero:
+      case Op::kAffineIndex:
+      case Op::kAffineRead:
+        in.b = static_cast<std::uint16_t>(skip);
+        break;
+      case Op::kJumpIfNotLt:
+      case Op::kJumpIfNotLe:
+      case Op::kJumpIfNotGt:
+      case Op::kJumpIfNotGe:
+      case Op::kJumpIfNotEq:
+      case Op::kJumpIfNotNe:
+        in.dst = static_cast<std::uint16_t>(skip);
+        break;
+      default:
+        SAP_CHECK(false, "optimizer: target on straight-line instruction");
+    }
+  }
+  expr.code = std::move(out);
+}
+
+struct FusionCounts {
+  std::uint64_t const_arith = 0;
+  std::uint64_t cmp_branch = 0;
+  std::uint64_t affine_read = 0;
+};
+
+/// The peephole pass body.  Decisions are made on the original stream
+/// (SSA register discipline: one def, and the use counts below tell us
+/// when that def's only consumer is the instruction being fused), then
+/// the stream is rebuilt once with every skip re-encoded.
+void fuse_expr(CompiledExpr& expr, FusionCounts& counts) {
+  const std::vector<Instr>& old = expr.code;
+  const std::size_t n = old.size();
+  if (n == 0) return;
+
+  // Register use counts: operand reads plus the program result.
+  std::vector<std::uint32_t> uses(expr.num_regs, 0);
+  for (const Instr& in : old) {
+    const RegReads r = reg_reads(in);
+    if (r.a) ++uses[in.a];
+    if (r.b) ++uses[in.b];
+  }
+  if (expr.out_index_slots.empty() && expr.num_regs > 0) {
+    ++uses[expr.result_reg];
+  }
+
+  // Positions some skip can land on (guards the cmp+branch adjacency).
+  std::vector<char> is_target(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = skip_target(old[i], i);
+    if (t != kNoTarget) {
+      SAP_CHECK(t <= n, "bytecode: skip target out of range");
+      is_target[t] = 1;
+    }
+  }
+
+  // kConst definitions: register -> defining position.
+  constexpr std::uint32_t kNoDef = 0xffffffffu;
+  std::vector<std::uint32_t> const_def(expr.num_regs, kNoDef);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (old[i].op == Op::kConst) const_def[old[i].dst] = static_cast<std::uint32_t>(i);
+  }
+  // A const is foldable into its consumer when the consumer is the
+  // register's ONLY use (result_reg counts as a use, so the materialized
+  // program result is never folded away).
+  const auto foldable_const = [&](std::uint16_t reg) -> std::uint32_t {
+    const std::uint32_t d = const_def[reg];
+    return (d != kNoDef && uses[reg] == 1) ? d : kNoDef;
+  };
+
+  std::vector<char> removed(n, 0);
+  std::vector<Instr> repl(old);
+  std::vector<std::size_t> target(n, kNoTarget);
+  for (std::size_t i = 0; i < n; ++i) target[i] = skip_target(old[i], i);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& in = old[i];
+    switch (in.op) {
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv: {
+        const std::uint32_t rb = foldable_const(in.b);
+        if (rb != kNoDef) {
+          Op fused = Op::kAddConst;
+          switch (in.op) {
+            case Op::kAdd: fused = Op::kAddConst; break;
+            case Op::kSub: fused = Op::kSubConst; break;
+            case Op::kMul: fused = Op::kMulConst; break;
+            default: fused = Op::kDivConst; break;
+          }
+          repl[i] = Instr{fused, in.dst, in.a, old[rb].a};
+          removed[rb] = 1;
+          ++counts.const_arith;
+          break;
+        }
+        const std::uint32_t ra = foldable_const(in.a);
+        if (ra != kNoDef) {
+          const double c = expr.consts[old[ra].a];
+          Op fused = Op::kConstSub;
+          switch (in.op) {
+            case Op::kAdd:
+            case Op::kMul:
+              // Commuted to the reg-op-const form.  IEEE add/mul are
+              // bit-commutative except for the payload choice between TWO
+              // NaN operands, so a NaN constant (never produced by the
+              // frontend, but cheap to exclude) is left unfused.
+              if (std::isnan(c)) continue;
+              fused = in.op == Op::kAdd ? Op::kAddConst : Op::kMulConst;
+              break;
+            case Op::kSub: fused = Op::kConstSub; break;
+            default: fused = Op::kConstDiv; break;
+          }
+          repl[i] = Instr{fused, in.dst, in.b, old[ra].a};
+          removed[ra] = 1;
+          ++counts.const_arith;
+        }
+        break;
+      }
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe:
+      case Op::kCmpEq:
+      case Op::kCmpNe: {
+        // Fuse with an adjacent kJumpIfZero consuming this compare's
+        // single-use result: "jump when the comparison is false".
+        if (i + 1 >= n || old[i + 1].op != Op::kJumpIfZero) break;
+        if (old[i + 1].a != in.dst || uses[in.dst] != 1) break;
+        if (is_target[i + 1]) break;  // never the case today; stay safe
+        Op fused = Op::kJumpIfNotLt;
+        switch (in.op) {
+          case Op::kCmpLt: fused = Op::kJumpIfNotLt; break;
+          case Op::kCmpLe: fused = Op::kJumpIfNotLe; break;
+          case Op::kCmpGt: fused = Op::kJumpIfNotGt; break;
+          case Op::kCmpGe: fused = Op::kJumpIfNotGe; break;
+          case Op::kCmpEq: fused = Op::kJumpIfNotEq; break;
+          default: fused = Op::kJumpIfNotNe; break;
+        }
+        repl[i] = Instr{fused, /*skip re-encoded*/ 0, in.a, in.b};
+        target[i] = i + 2 + old[i + 1].b;
+        removed[i + 1] = 1;
+        ++counts.cmp_branch;
+        break;
+      }
+      case Op::kAffineIndex: {
+        // Fuse with the kRead the guard's generic sequence lands on —
+        // only valid when this guard produces the site's LAST index slot
+        // (the read follows immediately on the fast path).  The generic
+        // sequence and the original kRead stay behind the fused op as the
+        // non-integral fallback.
+        const std::size_t t = i + 1 + old[i].b;
+        if (t >= n || old[t].op != Op::kRead) break;
+        const ReadSite& site = expr.reads[old[t].a];
+        if (static_cast<std::uint16_t>(site.first_idx_slot + site.rank - 1) !=
+            old[i].dst) {
+          break;
+        }
+        if (expr.fused_reads.size() >= kSlotLimit) break;
+        const auto fid = static_cast<std::uint16_t>(expr.fused_reads.size());
+        expr.fused_reads.push_back(FusedRead{old[i].a, old[t].a});
+        repl[i] = Instr{Op::kAffineRead, old[t].dst, fid, 0};
+        target[i] = t + 1;  // skip the fallback INCLUDING the kRead
+        ++counts.affine_read;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  rebuild_code(expr, repl, removed, target);
+}
+
+/// Loop-invariance scan for one index expression against the enclosing
+/// nest.  Returns the deepest enclosing-loop index whose variable the
+/// expression references (-1 when none), or kNotHoistable when the
+/// expression is not a total, read-free function of enclosing loop
+/// variables and constant scalars.  Division (can fault), reads (would
+/// reorder accounting) and SELECT/compare/bool forms are all excluded, so
+/// a hoisted program can run at loop entry — even for a zero-trip loop or
+/// a never-taken guard — without any observable difference (claim 11).
+constexpr int kNotHoistable = -2;
+
+int hoist_scan(const Expr& expr, const std::vector<const DoLoop*>& enclosing,
+               const SemanticInfo& sema) {
+  return std::visit(
+      [&](const auto& node) -> int {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, NumberLit>) {
+          return -1;
+        } else if constexpr (std::is_same_v<T, VarRef>) {
+          for (std::size_t k = enclosing.size(); k-- > 0;) {
+            if (enclosing[k]->var == node.name) return static_cast<int>(k);
+          }
+          const auto it = sema.scalars.find(node.name);
+          if (it != sema.scalars.end() && it->second.is_constant()) return -1;
+          return kNotHoistable;  // induction scalar / unknown name
+        } else if constexpr (std::is_same_v<T, UnaryNeg>) {
+          return hoist_scan(*node.operand, enclosing, sema);
+        } else if constexpr (std::is_same_v<T, BinaryExpr>) {
+          if (node.op == BinaryOp::kDiv) return kNotHoistable;
+          const int lhs = hoist_scan(*node.lhs, enclosing, sema);
+          if (lhs == kNotHoistable) return kNotHoistable;
+          const int rhs = hoist_scan(*node.rhs, enclosing, sema);
+          if (rhs == kNotHoistable) return kNotHoistable;
+          return std::max(lhs, rhs);
+        } else if constexpr (std::is_same_v<T, IntrinsicExpr>) {
+          if (node.kind != IntrinsicKind::kMin &&
+              node.kind != IntrinsicKind::kMax &&
+              node.kind != IntrinsicKind::kAbs) {
+            return kNotHoistable;
+          }
+          int deepest = -1;
+          for (const auto& arg : node.args) {
+            const int d = hoist_scan(*arg, enclosing, sema);
+            if (d == kNotHoistable) return kNotHoistable;
+            deepest = std::max(deepest, d);
+          }
+          return deepest;
+        } else {
+          return kNotHoistable;  // ArrayRefExpr, CompareExpr
+        }
+      },
+      expr.node);
+}
+
+/// Hoists this program's loop-invariant index subexpressions into the
+/// preamble of the outermost loop they are invariant in: the replaced
+/// index program becomes a single kHoistIndex (per-instance integrality
+/// check — same timing, same message as kCheckIndex), and the hoisted
+/// value program is recomputed at every entry of the target loop.
+void hoist_expr(CompiledExpr& ce, const std::vector<const DoLoop*>& enclosing,
+                const Program& program, const SemanticInfo& sema,
+                ProgramBytecode& bc, std::uint64_t& hoisted) {
+  if (enclosing.empty() || ce.index_ranges.empty()) {
+    ce.index_ranges.clear();
+    return;
+  }
+  struct Rewrite {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint16_t idx_slot = 0;
+    std::uint32_t hoist_slot = 0;
+  };
+  std::vector<Rewrite> rewrites;
+  for (const IndexRange& r : ce.index_ranges) {
+    const int deepest = hoist_scan(*r.expr, enclosing, sema);
+    if (deepest == kNotHoistable) continue;
+    // Must be invariant in at least the innermost loop, with the preamble
+    // of the next-deeper loop as the recompute point.
+    if (deepest + 1 >= static_cast<int>(enclosing.size())) continue;
+    // Profitability: a constant affine index already executes as one
+    // guarded instruction; everything else shrinks to one kHoistIndex.
+    const Instr& first = ce.code[r.begin];
+    if (first.op == Op::kAffineIndex && ce.affines[first.a].terms.empty()) {
+      continue;
+    }
+    if (bc.hoists.size() >= kSlotLimit) break;
+    const auto slot = static_cast<std::uint32_t>(bc.hoists.size());
+    bc.hoists.push_back(compile_value_expr(*r.expr, program, sema, {}));
+    bc.preambles[enclosing[deepest + 1]].push_back(slot);
+    rewrites.push_back(Rewrite{r.begin, r.end, r.slot, slot});
+    ++hoisted;
+  }
+  ce.index_ranges.clear();
+  if (rewrites.empty()) return;
+
+  const std::size_t n = ce.code.size();
+  std::vector<char> removed(n, 0);
+  std::vector<Instr> repl(ce.code);
+  std::vector<std::size_t> target(n, kNoTarget);
+  for (std::size_t i = 0; i < n; ++i) target[i] = skip_target(ce.code[i], i);
+  for (const Rewrite& rw : rewrites) {
+    repl[rw.begin] = Instr{Op::kHoistIndex, rw.idx_slot,
+                           static_cast<std::uint16_t>(rw.hoist_slot), 0};
+    target[rw.begin] = kNoTarget;
+    for (std::uint32_t i = rw.begin + 1; i < rw.end; ++i) removed[i] = 1;
+  }
+  rebuild_code(ce, repl, removed, target);
+}
+
+void collect_hoist_deps(CompiledExpr& ce) {
+  ce.hoist_deps.clear();
+  for (const Instr& in : ce.code) {
+    if (in.op == Op::kHoistIndex) ce.hoist_deps.push_back(in.a);
+  }
+  std::sort(ce.hoist_deps.begin(), ce.hoist_deps.end());
+  ce.hoist_deps.erase(
+      std::unique(ce.hoist_deps.begin(), ce.hoist_deps.end()),
+      ce.hoist_deps.end());
+}
+
+void optimize_assign_expr(CompiledExpr& ce,
+                          const std::vector<const DoLoop*>& enclosing,
+                          const Program& program, const SemanticInfo& sema,
+                          ProgramBytecode& bc, FusionCounts& counts,
+                          std::uint64_t& hoisted) {
+  hoist_expr(ce, enclosing, program, sema, bc, hoisted);
+  fuse_expr(ce, counts);
+  collect_hoist_deps(ce);
+}
+
+void optimize_stmt(const Stmt& stmt, const Program& program,
+                   const SemanticInfo& sema,
+                   std::vector<const DoLoop*>& enclosing, ProgramBytecode& bc,
+                   FusionCounts& counts, std::uint64_t& hoisted) {
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, ArrayAssign>) {
+          const auto it = bc.assigns.find(&node);
+          if (it == bc.assigns.end()) return;
+          optimize_assign_expr(it->second.target, enclosing, program, sema,
+                               bc, counts, hoisted);
+          optimize_assign_expr(it->second.value, enclosing, program, sema,
+                               bc, counts, hoisted);
+        } else if constexpr (std::is_same_v<T, ScalarAssign>) {
+          const auto it = bc.scalar_assigns.find(&node);
+          if (it != bc.scalar_assigns.end()) fuse_expr(it->second, counts);
+        } else if constexpr (std::is_same_v<T, DoLoop>) {
+          const auto it = bc.loops.find(&node);
+          if (it != bc.loops.end()) {
+            fuse_expr(it->second.lower, counts);
+            fuse_expr(it->second.upper, counts);
+            if (it->second.step) fuse_expr(*it->second.step, counts);
+          }
+          enclosing.push_back(&node);
+          for (const auto& child : node.body) {
+            optimize_stmt(*child, program, sema, enclosing, bc, counts,
+                          hoisted);
+          }
+          enclosing.pop_back();
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          const auto it = bc.guards.find(&node);
+          if (it != bc.guards.end()) fuse_expr(it->second, counts);
+          for (const auto& child : node.then_body) {
+            optimize_stmt(*child, program, sema, enclosing, bc, counts,
+                          hoisted);
+          }
+          for (const auto& child : node.else_body) {
+            optimize_stmt(*child, program, sema, enclosing, bc, counts,
+                          hoisted);
+          }
+        } else if constexpr (std::is_same_v<T, ReinitStmt>) {
+          // No programs to optimize.
+        }
+      },
+      stmt.node);
+}
+
+}  // namespace
+
+void fuse_superinstructions(CompiledExpr& expr) {
+  FusionCounts counts;
+  fuse_expr(expr, counts);
+  collect_hoist_deps(expr);
+}
+
+ProgramBytecode optimize_bytecode(ProgramBytecode bytecode,
+                                  const Program& program,
+                                  const SemanticInfo& sema) {
+  const obs::Span span("compile", "optimize-bytecode");
+  FusionCounts counts;
+  std::uint64_t hoisted = 0;
+  std::vector<const DoLoop*> enclosing;
+  for (const auto& stmt : program.body) {
+    optimize_stmt(*stmt, program, sema, enclosing, bytecode, counts, hoisted);
+  }
+  bytecode.optimized = true;
+  // Fusion-hit (compile-side) counters: how much of the stream the pass
+  // rewrote.  Runtime hit rates come from the per-opcode dispatch tallies.
+  static obs::Counter& const_arith =
+      obs::counter("bytecode/opt/fused_const_arith");
+  static obs::Counter& cmp_branch =
+      obs::counter("bytecode/opt/fused_cmp_branch");
+  static obs::Counter& affine_read =
+      obs::counter("bytecode/opt/fused_affine_read");
+  static obs::Counter& hoists = obs::counter("bytecode/opt/hoisted_indices");
+  const_arith.add(counts.const_arith);
+  cmp_branch.add(counts.cmp_branch);
+  affine_read.add(counts.affine_read);
+  hoists.add(hoisted);
+  return bytecode;
+}
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
@@ -423,134 +1018,353 @@ BytecodeFrame::SlotCache& BytecodeFrame::slots_for(const CompiledExpr& expr,
   return slots;
 }
 
+BytecodeFrame::~BytecodeFrame() {
+  // Cold path: the tallies only accumulate while obs::collecting(), and a
+  // frame lives as long as its executor, so one registry lookup per opcode
+  // at teardown is noise.  kScheduler because replay re-execution counts
+  // (probe retries) vary with worker interleaving.
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    if (tally_[i] == 0) continue;
+    obs::counter(
+        std::string("bytecode/dispatch/") + op_name(static_cast<Op>(i)),
+        obs::Determinism::kScheduler)
+        .add(tally_[i]);
+  }
+}
+
+// The interpreter loop is written ONCE: SAP_CASE/SAP_NEXT expand either to
+// labels-as-values dispatch (SAP_BYTECODE_COMPUTED_GOTO, set by the CMake
+// feature probe — one indirect jump per instruction, per-opcode branch
+// prediction) or to a portable switch.  Both builds share every
+// instruction's semantics body below; bytecode_dispatch_kind() reports
+// which one is live.
+#if defined(SAP_BYTECODE_COMPUTED_GOTO)
+#define SAP_CASE(op) lbl_##op:
+#define SAP_DISPATCH()                                       \
+  do {                                                       \
+    if (pc >= size) return true;                             \
+    in = code[pc];                                           \
+    if (tallying) ++tally_[static_cast<std::size_t>(in.op)]; \
+    goto* kDispatch[static_cast<std::size_t>(in.op)];        \
+  } while (0)
+#define SAP_NEXT() \
+  do {             \
+    ++pc;          \
+    SAP_DISPATCH(); \
+  } while (0)
+#else
+#define SAP_CASE(op) case Op::op:
+#define SAP_NEXT() break
+#endif
+
 bool BytecodeFrame::execute(const CompiledExpr& expr, const EvalEnv& env,
                             ArrayReader& reader, SlotCache& slots) {
   if (regs_.size() < expr.num_regs) regs_.resize(expr.num_regs);
   if (idx_.size() < expr.num_idx_slots) idx_.resize(expr.num_idx_slots);
+  // Direct read path: (re)size this program's site->array cache when the
+  // binder changed.  Pointers resolve lazily inside kRead/kAffineRead so
+  // an unknown-array error keeps its tree-walk evaluation point.
+  if (binder_ != nullptr && slots.bind_epoch != binder_epoch_) {
+    slots.arrays.assign(expr.reads.size(), nullptr);
+    slots.bind_epoch = binder_epoch_;
+  }
 
   double* const regs = regs_.data();
   std::int64_t* const idx = idx_.data();
   const Instr* const code = expr.code.data();
   const std::size_t size = expr.code.size();
-  for (std::size_t pc = 0; pc < size; ++pc) {
-    const Instr in = code[pc];
+  const bool tallying = obs::collecting();
+  std::size_t pc = 0;
+  Instr in{};
+
+  // Shared by kRead / kAffineRead.  With a binder installed the site
+  // resolves once into a cached SaArray*, bounds are checked inline, and
+  // the read skips the name-resolve + checked-linearize work inside the
+  // reader; errors and their evaluation points are identical to the
+  // name-based seam (the bounds failure re-runs the checked linearize for
+  // its exact message).
+  const auto read_site = [&](const ReadSite& site,
+                             std::uint16_t site_id) -> std::optional<double> {
+    const std::int64_t* const ip = idx + site.first_idx_slot;
+    if (binder_ != nullptr) {
+      SaArray*& array = slots.arrays[site_id];
+      if (array == nullptr) array = &binder_->resolve(site.array);
+      const ArrayShape& shape = array->shape();
+      if (!shape.contains_span(ip, site.rank)) {
+        read_scratch_.assign(ip, ip + site.rank);
+        shape.linearize(read_scratch_);  // throws the seam's BoundsError
+      }
+      return reader.read_direct(*array,
+                                shape.linearize_span_unchecked(ip, site.rank),
+                                site.array, ip, site.rank);
+    }
+    read_scratch_.assign(ip, ip + site.rank);
+    return reader.read(site.array, read_scratch_);
+  };
+
+#if defined(SAP_BYTECODE_COMPUTED_GOTO)
+  // One label per opcode, in exact Op declaration order.
+  static const void* const kDispatch[kOpCount] = {
+      &&lbl_kConst,        &&lbl_kLoadVar,      &&lbl_kNeg,
+      &&lbl_kAdd,          &&lbl_kSub,          &&lbl_kMul,
+      &&lbl_kDiv,          &&lbl_kIDiv,         &&lbl_kMod,
+      &&lbl_kMin,          &&lbl_kMax,          &&lbl_kAbs,
+      &&lbl_kCmpLt,        &&lbl_kCmpLe,        &&lbl_kCmpGt,
+      &&lbl_kCmpGe,        &&lbl_kCmpEq,        &&lbl_kCmpNe,
+      &&lbl_kAnd,          &&lbl_kOr,           &&lbl_kNot,
+      &&lbl_kMove,         &&lbl_kJump,         &&lbl_kJumpIfZero,
+      &&lbl_kCheckIndex,   &&lbl_kAffineIndex,  &&lbl_kRead,
+      &&lbl_kAddConst,     &&lbl_kSubConst,     &&lbl_kConstSub,
+      &&lbl_kMulConst,     &&lbl_kDivConst,     &&lbl_kConstDiv,
+      &&lbl_kJumpIfNotLt,  &&lbl_kJumpIfNotLe,  &&lbl_kJumpIfNotGt,
+      &&lbl_kJumpIfNotGe,  &&lbl_kJumpIfNotEq,  &&lbl_kJumpIfNotNe,
+      &&lbl_kAffineRead,   &&lbl_kHoistIndex,
+  };
+  SAP_DISPATCH();
+#else
+  for (; pc < size; ++pc) {
+    in = code[pc];
+    if (tallying) ++tally_[static_cast<std::size_t>(in.op)];
     switch (in.op) {
-      case Op::kConst:
-        regs[in.dst] = expr.consts[in.a];
-        break;
-      case Op::kLoadVar:
-        regs[in.dst] = load_var(expr, env, slots, in.a);
-        break;
-      case Op::kNeg:
-        regs[in.dst] = -regs[in.a];
-        break;
-      case Op::kAdd:
-        regs[in.dst] = regs[in.a] + regs[in.b];
-        break;
-      case Op::kSub:
-        regs[in.dst] = regs[in.a] - regs[in.b];
-        break;
-      case Op::kMul:
-        regs[in.dst] = regs[in.a] * regs[in.b];
-        break;
-      case Op::kDiv:
-        if (regs[in.b] == 0.0) throw Error("division by zero");
-        regs[in.dst] = regs[in.a] / regs[in.b];
-        break;
-      case Op::kIDiv:
-        if (regs[in.b] == 0.0) throw Error("IDIV by zero");
-        regs[in.dst] = std::trunc(regs[in.a] / regs[in.b]);
-        break;
-      case Op::kMod:
-        if (regs[in.b] == 0.0) throw Error("MOD by zero");
-        regs[in.dst] = std::fmod(regs[in.a], regs[in.b]);
-        break;
-      case Op::kMin:
-        regs[in.dst] = std::min(regs[in.a], regs[in.b]);
-        break;
-      case Op::kMax:
-        regs[in.dst] = std::max(regs[in.a], regs[in.b]);
-        break;
-      case Op::kAbs:
-        regs[in.dst] = std::abs(regs[in.a]);
-        break;
-      case Op::kCmpLt:
-        regs[in.dst] = regs[in.a] < regs[in.b] ? 1.0 : 0.0;
-        break;
-      case Op::kCmpLe:
-        regs[in.dst] = regs[in.a] <= regs[in.b] ? 1.0 : 0.0;
-        break;
-      case Op::kCmpGt:
-        regs[in.dst] = regs[in.a] > regs[in.b] ? 1.0 : 0.0;
-        break;
-      case Op::kCmpGe:
-        regs[in.dst] = regs[in.a] >= regs[in.b] ? 1.0 : 0.0;
-        break;
-      case Op::kCmpEq:
-        regs[in.dst] = regs[in.a] == regs[in.b] ? 1.0 : 0.0;
-        break;
-      case Op::kCmpNe:
-        regs[in.dst] = regs[in.a] != regs[in.b] ? 1.0 : 0.0;
-        break;
-      case Op::kAnd:
-        regs[in.dst] = regs[in.a] != 0.0 && regs[in.b] != 0.0 ? 1.0 : 0.0;
-        break;
-      case Op::kOr:
-        regs[in.dst] = regs[in.a] != 0.0 || regs[in.b] != 0.0 ? 1.0 : 0.0;
-        break;
-      case Op::kNot:
-        regs[in.dst] = regs[in.a] == 0.0 ? 1.0 : 0.0;
-        break;
-      case Op::kMove:
-        regs[in.dst] = regs[in.a];
-        break;
-      case Op::kJump:
-        pc += in.a;
-        break;
-      case Op::kJumpIfZero:
-        if (regs[in.a] == 0.0) pc += in.b;
-        break;
-      case Op::kCheckIndex: {
-        const double v = regs[in.a];
-        const double rounded = std::round(v);
-        if (std::abs(v - rounded) > 1e-6) {
-          throw Error("array index evaluated to non-integer " +
-                      std::to_string(v));
-        }
-        idx[in.dst] = static_cast<std::int64_t>(rounded);
+#endif
+
+  SAP_CASE(kConst) {
+    regs[in.dst] = expr.consts[in.a];
+  }
+  SAP_NEXT();
+  SAP_CASE(kLoadVar) {
+    regs[in.dst] = load_var(expr, env, slots, in.a);
+  }
+  SAP_NEXT();
+  SAP_CASE(kNeg) {
+    regs[in.dst] = -regs[in.a];
+  }
+  SAP_NEXT();
+  SAP_CASE(kAdd) {
+    regs[in.dst] = regs[in.a] + regs[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kSub) {
+    regs[in.dst] = regs[in.a] - regs[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kMul) {
+    regs[in.dst] = regs[in.a] * regs[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kDiv) {
+    if (regs[in.b] == 0.0) throw Error("division by zero");
+    regs[in.dst] = regs[in.a] / regs[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kIDiv) {
+    if (regs[in.b] == 0.0) throw Error("IDIV by zero");
+    regs[in.dst] = std::trunc(regs[in.a] / regs[in.b]);
+  }
+  SAP_NEXT();
+  SAP_CASE(kMod) {
+    if (regs[in.b] == 0.0) throw Error("MOD by zero");
+    regs[in.dst] = std::fmod(regs[in.a], regs[in.b]);
+  }
+  SAP_NEXT();
+  SAP_CASE(kMin) {
+    regs[in.dst] = std::min(regs[in.a], regs[in.b]);
+  }
+  SAP_NEXT();
+  SAP_CASE(kMax) {
+    regs[in.dst] = std::max(regs[in.a], regs[in.b]);
+  }
+  SAP_NEXT();
+  SAP_CASE(kAbs) {
+    regs[in.dst] = std::abs(regs[in.a]);
+  }
+  SAP_NEXT();
+  SAP_CASE(kCmpLt) {
+    regs[in.dst] = regs[in.a] < regs[in.b] ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kCmpLe) {
+    regs[in.dst] = regs[in.a] <= regs[in.b] ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kCmpGt) {
+    regs[in.dst] = regs[in.a] > regs[in.b] ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kCmpGe) {
+    regs[in.dst] = regs[in.a] >= regs[in.b] ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kCmpEq) {
+    regs[in.dst] = regs[in.a] == regs[in.b] ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kCmpNe) {
+    regs[in.dst] = regs[in.a] != regs[in.b] ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kAnd) {
+    regs[in.dst] = regs[in.a] != 0.0 && regs[in.b] != 0.0 ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kOr) {
+    regs[in.dst] = regs[in.a] != 0.0 || regs[in.b] != 0.0 ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kNot) {
+    regs[in.dst] = regs[in.a] == 0.0 ? 1.0 : 0.0;
+  }
+  SAP_NEXT();
+  SAP_CASE(kMove) {
+    regs[in.dst] = regs[in.a];
+  }
+  SAP_NEXT();
+  SAP_CASE(kJump) {
+    pc += in.a;
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfZero) {
+    if (regs[in.a] == 0.0) pc += in.b;
+  }
+  SAP_NEXT();
+  SAP_CASE(kCheckIndex) {
+    const double v = regs[in.a];
+    const double rounded = std::round(v);
+    if (std::abs(v - rounded) > 1e-6) {
+      throw Error("array index evaluated to non-integer " +
+                  std::to_string(v));
+    }
+    idx[in.dst] = static_cast<std::int64_t>(rounded);
+  }
+  SAP_NEXT();
+  SAP_CASE(kAffineIndex) {
+    const AffineForm& form = expr.affines[in.a];
+    std::int64_t value = form.constant;
+    bool integral = true;
+    for (const AffineForm::Term& term : form.terms) {
+      const double v = load_var(expr, env, slots, term.var_slot);
+      if (v != std::round(v)) {
+        integral = false;
         break;
       }
-      case Op::kAffineIndex: {
-        const AffineForm& form = expr.affines[in.a];
-        std::int64_t value = form.constant;
-        bool integral = true;
-        for (const AffineForm::Term& term : form.terms) {
-          const double v = load_var(expr, env, slots, term.var_slot);
-          if (v != std::round(v)) {
-            integral = false;
-            break;
-          }
-          value += term.coeff * static_cast<std::int64_t>(v);
-        }
-        if (integral) {
-          idx[in.dst] = value;
-          pc += in.b;  // skip the generic sequence
-        }
-        break;
-      }
-      case Op::kRead: {
-        const ReadSite& site = expr.reads[in.a];
-        read_scratch_.assign(idx + site.first_idx_slot,
-                             idx + site.first_idx_slot + site.rank);
-        const auto v = reader.read(site.array, read_scratch_);
-        if (!v) return false;  // suspended: abort, like the tree walk
-        regs[in.dst] = *v;
-        break;
-      }
+      value += term.coeff * static_cast<std::int64_t>(v);
+    }
+    if (integral) {
+      idx[in.dst] = value;
+      pc += in.b;  // skip the generic sequence
     }
   }
-  return true;
+  SAP_NEXT();
+  SAP_CASE(kRead) {
+    const auto v = read_site(expr.reads[in.a], in.a);
+    if (!v) return false;  // suspended: abort, like the tree walk
+    regs[in.dst] = *v;
+  }
+  SAP_NEXT();
+  // ----- superinstructions (optimize_bytecode output) -----
+  SAP_CASE(kAddConst) {
+    regs[in.dst] = regs[in.a] + expr.consts[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kSubConst) {
+    regs[in.dst] = regs[in.a] - expr.consts[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kConstSub) {
+    regs[in.dst] = expr.consts[in.b] - regs[in.a];
+  }
+  SAP_NEXT();
+  SAP_CASE(kMulConst) {
+    regs[in.dst] = regs[in.a] * expr.consts[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kDivConst) {
+    // Divisor is the constant; a zero constant must throw exactly like
+    // the unfused kDiv it replaced.
+    if (expr.consts[in.b] == 0.0) throw Error("division by zero");
+    regs[in.dst] = regs[in.a] / expr.consts[in.b];
+  }
+  SAP_NEXT();
+  SAP_CASE(kConstDiv) {
+    if (regs[in.a] == 0.0) throw Error("division by zero");
+    regs[in.dst] = expr.consts[in.b] / regs[in.a];
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfNotLt) {
+    if (!(regs[in.a] < regs[in.b])) pc += in.dst;
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfNotLe) {
+    if (!(regs[in.a] <= regs[in.b])) pc += in.dst;
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfNotGt) {
+    if (!(regs[in.a] > regs[in.b])) pc += in.dst;
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfNotGe) {
+    if (!(regs[in.a] >= regs[in.b])) pc += in.dst;
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfNotEq) {
+    if (!(regs[in.a] == regs[in.b])) pc += in.dst;
+  }
+  SAP_NEXT();
+  SAP_CASE(kJumpIfNotNe) {
+    if (!(regs[in.a] != regs[in.b])) pc += in.dst;
+  }
+  SAP_NEXT();
+  SAP_CASE(kAffineRead) {
+    const FusedRead& fr = expr.fused_reads[in.a];
+    const AffineForm& form = expr.affines[fr.affine];
+    std::int64_t value = form.constant;
+    bool integral = true;
+    for (const AffineForm::Term& term : form.terms) {
+      const double v = load_var(expr, env, slots, term.var_slot);
+      if (v != std::round(v)) {
+        integral = false;
+        break;
+      }
+      value += term.coeff * static_cast<std::int64_t>(v);
+    }
+    if (integral) {
+      const ReadSite& site = expr.reads[fr.site];
+      // The guard produced the site's LAST index slot (the fusion
+      // precondition); earlier slots were filled by the preceding index
+      // programs, exactly as for the unfused kRead.
+      idx[site.first_idx_slot + site.rank - 1] = value;
+      const auto v = read_site(site, fr.site);
+      if (!v) return false;  // suspended, same point as the unfused read
+      regs[in.dst] = *v;
+      pc += in.b;  // skip the generic sequence AND the fallback kRead
+    }
+  }
+  SAP_NEXT();
+  SAP_CASE(kHoistIndex) {
+    const double v = hoist_[in.a];
+    const double rounded = std::round(v);
+    if (std::abs(v - rounded) > 1e-6) {
+      // Same per-instance check, same message, as the kCheckIndex this
+      // instruction replaced (DESIGN.md claim 11).
+      throw Error("array index evaluated to non-integer " +
+                  std::to_string(v));
+    }
+    idx[in.dst] = static_cast<std::int64_t>(rounded);
+  }
+  SAP_NEXT();
+
+#if !defined(SAP_BYTECODE_COMPUTED_GOTO)
+    }
+  }
+#endif
+  return true;  // (computed-goto exits via SAP_DISPATCH; this is the switch's)
 }
+
+#undef SAP_CASE
+#undef SAP_NEXT
+#if defined(SAP_BYTECODE_COMPUTED_GOTO)
+#undef SAP_DISPATCH
+#endif
 
 std::optional<double> BytecodeFrame::run(const CompiledExpr& expr,
                                          const EvalEnv& env,

@@ -27,6 +27,7 @@
 // tests run both engines and require byte-identical results.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,6 +39,9 @@
 #include "frontend/sema.hpp"
 
 namespace sap {
+
+class ArrayNameCache;
+class SaArray;
 
 /// Which expression engine the executors use.
 enum class EvalEngine {
@@ -51,6 +55,24 @@ std::string to_string(EvalEngine engine);
 /// "bytecode" -> kBytecode, "tree" -> kTree; anything else throws
 /// ConfigError (consistent with the SAPART_WORKERS hardening).
 EvalEngine eval_engine_from_env();
+
+/// Whether compile() runs the optimize_bytecode tier after compilation.
+enum class BytecodeOpt {
+  kOn,   // superinstruction fusion + loop-invariant index hoisting (default)
+  kOff,  // raw compile_bytecode output (second oracle next to the tree walk)
+};
+
+std::string to_string(BytecodeOpt opt);
+
+/// Tier selected by the SAPART_BYTECODE_OPT environment variable: unset or
+/// "on" -> kOn, "off" -> kOff; anything else (empty included) throws
+/// ConfigError (the SAPART_EVAL/SAPART_DATAFLOW hardening convention).
+BytecodeOpt bytecode_opt_from_env();
+
+/// Dispatch strategy the execute loop was built with: "computed-goto" when
+/// the CMake feature probe found labels-as-values support, "switch"
+/// otherwise.  Both share one instruction-semantics body (see bytecode.cpp).
+const char* bytecode_dispatch_kind() noexcept;
 
 // ---------------------------------------------------------------------------
 // Instruction set
@@ -88,7 +110,39 @@ enum class Op : std::uint8_t {
                  // integral, then skip the next b instructions (the generic
                  // sequence for the same index); falls through otherwise
   kRead,         // reg[dst] = reader.read(site[a]); suspends on nullopt
+  // Superinstructions: emitted only by optimize_bytecode, never by the
+  // base compiler.  Each is bit-identical to the pair it replaces.
+  kAddConst,     // reg[dst] = reg[a] + consts[b]
+  kSubConst,     // reg[dst] = reg[a] - consts[b]
+  kConstSub,     // reg[dst] = consts[b] - reg[a]
+  kMulConst,     // reg[dst] = reg[a] * consts[b]
+  kDivConst,     // reg[dst] = reg[a] / consts[b]; consts[b] == 0 throws
+  kConstDiv,     // reg[dst] = consts[b] / reg[a]; reg[a] == 0 throws
+  // Fused compare + kJumpIfZero (SELECT conditions): skip the next dst
+  // instructions when the comparison is FALSE (== the compare producing
+  // 0.0 and the kJumpIfZero taking its skip).
+  kJumpIfNotLt,  // skip dst when !(reg[a] <  reg[b])
+  kJumpIfNotLe,  // skip dst when !(reg[a] <= reg[b])
+  kJumpIfNotGt,  // skip dst when !(reg[a] >  reg[b])
+  kJumpIfNotGe,  // skip dst when !(reg[a] >= reg[b])
+  kJumpIfNotEq,  // skip dst when !(reg[a] == reg[b])
+  kJumpIfNotNe,  // skip dst when !(reg[a] != reg[b])
+  kAffineRead,   // fused kAffineIndex + kRead (fused_reads[a]): when every
+                 // term var is integral, produce the site's last index
+                 // slot, perform the read into reg[dst] (suspends on
+                 // nullopt) and skip the next b instructions — the generic
+                 // index sequence plus the original kRead, which stay in
+                 // place as the non-integral fallback
+  kHoistIndex,   // idx[dst] = integrality-checked hoist slot a (a loop
+                 // preamble value; kCheckIndex rules and error message)
 };
+
+/// Number of opcodes (dispatch table / per-opcode tally size).
+inline constexpr std::size_t kOpCount =
+    static_cast<std::size_t>(Op::kHoistIndex) + 1;
+
+/// Lower-case opcode name for metrics and diagnostics.
+const char* op_name(Op op) noexcept;
 
 struct Instr {
   Op op = Op::kConst;
@@ -116,6 +170,23 @@ struct AffineForm {
   std::vector<Term> terms;
 };
 
+/// One fused affine-read site (kAffineRead operand): the affine form that
+/// guards the index and the read site it feeds.
+struct FusedRead {
+  std::uint16_t affine = 0;
+  std::uint16_t site = 0;
+};
+
+/// Compile-time record of one emitted index program: [begin, end) in code
+/// computes idx[slot] for `expr`.  Consumed (and cleared) by the optimizer
+/// when deciding loop-invariant hoists; carries no runtime meaning.
+struct IndexRange {
+  const Expr* expr = nullptr;
+  std::uint16_t slot = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
 /// A flattened expression: straight-line code over a double register file,
 /// an int64 index-slot file, interned constants/variables and read sites.
 struct CompiledExpr {
@@ -124,6 +195,7 @@ struct CompiledExpr {
   std::vector<std::string> vars;  // slot -> name, distinct per expression
   std::vector<ReadSite> reads;
   std::vector<AffineForm> affines;
+  std::vector<FusedRead> fused_reads;  // kAffineRead operands (optimizer)
   std::uint16_t num_regs = 0;
   std::uint16_t num_idx_slots = 0;
   /// Value programs: register holding the final value.
@@ -131,6 +203,12 @@ struct CompiledExpr {
   /// Index programs (assignment targets): slots holding the final indices,
   /// one per target dimension.
   std::vector<std::uint16_t> out_index_slots;
+  /// Optimizer metadata: emitted index programs (cleared by the optimizer).
+  std::vector<IndexRange> index_ranges;
+  /// Global hoist slots this program reads via kHoistIndex (sorted,
+  /// unique).  Consumers that never walk loops (ShardReplay) evaluate the
+  /// corresponding ProgramBytecode::hoists programs per instance.
+  std::vector<std::uint32_t> hoist_deps;
 };
 
 // ---------------------------------------------------------------------------
@@ -160,6 +238,18 @@ struct ProgramBytecode {
   /// IF guards: the statement-level branch lives in the executor; the
   /// guard expression itself runs as a compiled value program.
   std::unordered_map<const IfStmt*, CompiledExpr> guards;
+  /// Hoisted loop-invariant index subexpressions (optimizer): slot ->
+  /// value program.  Every program is total — pure +,-,*,MIN,MAX,ABS over
+  /// enclosing-loop variables and constant scalars, no reads, no division
+  /// — so evaluating one early is semantically invisible (claim 11).
+  std::vector<CompiledExpr> hoists;
+  /// Per-loop preamble: hoist slots (re)computed at each loop entry,
+  /// before the first trip.  SequentialExecutor runs these; ShardReplay
+  /// evaluates a statement's hoist_deps per instance instead (the
+  /// instance env carries every variable the programs need).
+  std::unordered_map<const DoLoop*, std::vector<std::uint32_t>> preambles;
+  /// True once optimize_bytecode ran (SAPART_BYTECODE_OPT=on, default).
+  bool optimized = false;
 };
 
 /// Flattens one expression into a value program.  `enclosing` is the loop
@@ -186,6 +276,30 @@ ProgramBytecode compile_bytecode(const Program& program,
                                  const SemanticInfo& sema);
 
 // ---------------------------------------------------------------------------
+// Optimization tier (superinstructions + loop-invariant hoisting)
+// ---------------------------------------------------------------------------
+
+/// Peephole pass over one program's instruction stream: folds single-use
+/// kConst operands into arithmetic (kAddConst-family), fuses compare +
+/// kJumpIfZero pairs (kJumpIfNot*-family) and kAffineIndex + kRead into
+/// kAffineRead.  Every relative skip is re-encoded, the replaced
+/// instructions stay bit-identical in effect, and the generic sequences
+/// remain in place as non-integral fallbacks.  Exposed for unit tests;
+/// optimize_bytecode applies it to every program of a ProgramBytecode.
+void fuse_superinstructions(CompiledExpr& expr);
+
+/// The optimization tier between compile_bytecode and execution: runs
+/// fuse_superinstructions over every compiled program and hoists
+/// loop-invariant index subexpressions out of instance bodies into
+/// per-loop preamble programs (kHoistIndex).  Read order, suspension
+/// points and error semantics are preserved exactly — DESIGN.md claim 11;
+/// SAPART_BYTECODE_OPT=off keeps the unoptimized bytecode as a second
+/// differential oracle.
+ProgramBytecode optimize_bytecode(ProgramBytecode bytecode,
+                                  const Program& program,
+                                  const SemanticInfo& sema);
+
+// ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
@@ -199,6 +313,13 @@ ProgramBytecode compile_bytecode(const Program& program,
 /// threads.
 class BytecodeFrame {
  public:
+  BytecodeFrame() = default;
+  BytecodeFrame(const BytecodeFrame&) = delete;
+  BytecodeFrame& operator=(const BytecodeFrame&) = delete;
+  /// Flushes the per-opcode dispatch tallies (collected only while
+  /// obs::collecting()) into the obs counters.
+  ~BytecodeFrame();
+
   /// Stable handle to one expression's variable slot cache.  Interning
   /// once and passing the handle to run()/run_indices() removes a hash
   /// lookup per statement instance; the handle stays valid for the life
@@ -222,11 +343,34 @@ class BytecodeFrame {
                    const EvalEnv& env, ArrayReader& reader,
                    std::vector<std::int64_t>& indices_out);
 
+  /// Hoist-slot file (kHoistIndex operands).  Executors size it once from
+  /// ProgramBytecode::hoists and write per-loop preamble values before any
+  /// body program runs.
+  void ensure_hoist(std::size_t count) {
+    if (hoist_.size() < count) hoist_.resize(count, 0.0);
+  }
+  void set_hoist(std::uint32_t slot, double value) { hoist_[slot] = value; }
+
+  /// Installs (or clears, with nullptr) the array binder for the direct
+  /// read path: read sites resolve lazily — at the same execution point,
+  /// with the same errors, as the name-based seam — into cached SaArray
+  /// pointers, and reads go through ArrayReader::read_direct with a
+  /// pre-computed linear offset.  Call once per execution run; every call
+  /// invalidates previously bound pointers (the registry may differ).
+  void set_binder(ArrayNameCache* binder) {
+    binder_ = binder;
+    ++binder_epoch_;
+  }
+
  private:
   /// Lazily-resolved env slot pointers for one CompiledExpr's variables.
   struct SlotCache {
     std::uint64_t epoch = 0;
     std::vector<const double*> ptrs;
+    /// Direct read path: per-ReadSite array pointers, resolved lazily
+    /// through binder_ and invalidated whenever the binder changes.
+    std::uint64_t bind_epoch = 0;
+    std::vector<SaArray*> arrays;
   };
 
   bool execute(const CompiledExpr& expr, const EvalEnv& env,
@@ -244,6 +388,12 @@ class BytecodeFrame {
   std::uint64_t cached_env_version_ = 0;
   std::uint64_t epoch_ = 0;  // bumps when (env, version) changes
   std::vector<std::int64_t> read_scratch_;
+  std::vector<double> hoist_;
+  ArrayNameCache* binder_ = nullptr;
+  std::uint64_t binder_epoch_ = 0;
+  /// Per-opcode dispatch counts, bumped only while obs::collecting() and
+  /// flushed to "bytecode/dispatch/<op>" counters on destruction.
+  std::uint64_t tally_[kOpCount] = {};
 };
 
 }  // namespace sap

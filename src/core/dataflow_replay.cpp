@@ -1,6 +1,7 @@
 #include "core/dataflow_replay.hpp"
 
 #include "support/check.hpp"
+#include "support/error.hpp"
 
 namespace sap {
 
@@ -20,6 +21,17 @@ class ProbeReader final : public ArrayReader {
     if (inst_.kind == TraceInstance::Kind::kAccumulate &&
         a.id() == inst_.array && linear == inst_.target_linear) {
       return 0.0;  // accumulator register: always available
+    }
+    return a.read_or_defer(linear, pe_);
+  }
+  // Fast path: the interpreter already resolved + bounds-checked the
+  // site; same accumulator-register screen, same defer protocol.
+  std::optional<double> read_direct(SaArray& a, std::int64_t linear,
+                                    const std::string&, const std::int64_t*,
+                                    std::size_t) override {
+    if (inst_.kind == TraceInstance::Kind::kAccumulate &&
+        a.id() == inst_.array && linear == inst_.target_linear) {
+      return 0.0;
     }
     return a.read_or_defer(linear, pe_);
   }
@@ -54,6 +66,16 @@ class AccountingReader final : public ArrayReader {
     machine_.account_read(pe_, a, linear, net_);
     return a.read(linear);
   }
+  std::optional<double> read_direct(SaArray& a, std::int64_t linear,
+                                    const std::string&, const std::int64_t*,
+                                    std::size_t) override {
+    if (inst_.kind == TraceInstance::Kind::kAccumulate &&
+        a.id() == inst_.array && linear == inst_.target_linear) {
+      return register_value_;
+    }
+    machine_.account_read(pe_, a, linear, net_);
+    return a.read(linear);
+  }
 
  private:
   Machine& machine_;
@@ -62,6 +84,16 @@ class AccountingReader final : public ArrayReader {
   PeId pe_;
   const TraceInstance& inst_;
   double register_value_;
+};
+
+// Hoisted index programs are read-free by construction (claim 11); any
+// read reaching this reader is an optimizer bug, not a data condition.
+class HoistReader final : public ArrayReader {
+ public:
+  std::optional<double> read(const std::string& array,
+                             const std::vector<std::int64_t>&) override {
+    throw Error("array '" + array + "' read in a hoisted index program");
+  }
 };
 
 }  // namespace
@@ -74,32 +106,49 @@ ShardReplay::ShardReplay(const CompiledProgram& compiled, Machine& machine,
       pe_(pe),
       reader_(stream),
       net_(net),
-      arrays_(machine.arrays()) {}
+      arrays_(machine.arrays()) {
+  if (bytecode_ != nullptr) frame_.ensure_hoist(bytecode_->hoists.size());
+  // The machine's registry is fixed for the replay's lifetime, so the
+  // interpreter may pre-bind read sites to SaArray pointers.
+  frame_.set_binder(&arrays_);
+}
 
-std::optional<double> ShardReplay::eval_value(const ArrayAssign& stmt,
-                                              ArrayReader& reader) {
+const ShardReplay::AssignMemo& ShardReplay::assign_memo(
+    const ArrayAssign& stmt) {
+  if (last_assign_ < assign_memo_.size() &&
+      assign_memo_[last_assign_].key == &stmt) {
+    return assign_memo_[last_assign_];
+  }
+  for (std::size_t i = 0; i < assign_memo_.size(); ++i) {
+    if (assign_memo_[i].key == &stmt) {
+      last_assign_ = i;
+      return assign_memo_[i];
+    }
+  }
+  AssignMemo entry;
+  entry.key = &stmt;
   if (bytecode_ != nullptr) {
-    const AssignMemo* memo = nullptr;
-    for (const AssignMemo& entry : assign_memo_) {
-      if (entry.key == &stmt) {
-        memo = &entry;
-        break;
+    const auto it = bytecode_->assigns.find(&stmt);
+    if (it != bytecode_->assigns.end()) {
+      entry.ca = &it->second;
+      entry.value_handle = frame_.intern(it->second.value);
+      for (const std::uint32_t slot : it->second.value.hoist_deps) {
+        const CompiledExpr& program = bytecode_->hoists[slot];
+        entry.hoists.push_back(
+            HoistDep{&program, slot, frame_.intern(program)});
       }
     }
-    if (memo == nullptr) {
-      AssignMemo entry;
-      entry.key = &stmt;
-      const auto it = bytecode_->assigns.find(&stmt);
-      if (it != bytecode_->assigns.end()) {
-        entry.ca = &it->second;
-        entry.value_handle = frame_.intern(it->second.value);
-      }
-      assign_memo_.push_back(entry);
-      memo = &assign_memo_.back();
-    }
-    if (memo->ca != nullptr) {
-      return frame_.run(memo->ca->value, memo->value_handle, env_, reader);
-    }
+  }
+  assign_memo_.push_back(std::move(entry));
+  last_assign_ = assign_memo_.size() - 1;
+  return assign_memo_.back();
+}
+
+std::optional<double> ShardReplay::eval_value(const AssignMemo& memo,
+                                              const ArrayAssign& stmt,
+                                              ArrayReader& reader) {
+  if (memo.ca != nullptr) {
+    return frame_.run(memo.ca->value, memo.value_handle, env_, reader);
   }
   return eval_expr(*stmt.value, env_, reader);
 }
@@ -114,27 +163,62 @@ ReplayResult ShardReplay::run(std::size_t limit,
       case TraceInstance::Kind::kAccumulate: {
         const EnvLayout* layout = inst.layout;
         const double* values = inst.env_values();
-        for (std::uint8_t i = 0; i < inst.env_count; ++i) {
-          env_.set(*layout->names[i], values[i]);
+        if (layout_slots_.layout == layout &&
+            layout_slots_.env_version == env_.version()) {
+          // Batched fast path: consecutive instances of one statement
+          // stream share a layout, so refreshing their variables is a
+          // straight store through the captured slot pointers (identical
+          // to set() on a bound name — a pure value update).
+          for (std::uint8_t i = 0; i < inst.env_count; ++i) {
+            *layout_slots_.ptrs[i] = values[i];
+          }
+        } else {
+          for (std::uint8_t i = 0; i < inst.env_count; ++i) {
+            env_.set(*layout->names[i], values[i]);
+          }
+          layout_slots_.layout = layout;
+          layout_slots_.ptrs.resize(inst.env_count);
+          for (std::uint8_t i = 0; i < inst.env_count; ++i) {
+            layout_slots_.ptrs[i] = env_.find_slot_mutable(*layout->names[i]);
+          }
+          layout_slots_.env_version = env_.version();
+        }
+        const AssignMemo& memo = assign_memo(*inst.stmt);
+        // Hoist dependencies once per instance, before the probe: both
+        // phases then consume identical slot values.
+        if (!memo.hoists.empty()) {
+          HoistReader hoist_reader;
+          for (const HoistDep& h : memo.hoists) {
+            const auto v = frame_.run(*h.program, h.handle, env_, hoist_reader);
+            SAP_CHECK(v.has_value(), "hoisted index evaluation suspended");
+            frame_.set_hoist(h.slot, *v);
+          }
         }
         ProbeReader probe(arrays_, pe_, inst);
-        if (!eval_value(*inst.stmt, probe).has_value()) {
+        if (!eval_value(memo, *inst.stmt, probe).has_value()) {
           ++suspensions_;
           result.status = ReplayStatus::kSuspended;
           return result;
         }
-        const auto key = std::make_pair(inst.stmt, inst.target_linear);
-        const double reg =
-            inst.kind == TraceInstance::Kind::kAccumulate &&
-                    registers_.count(key)
-                ? registers_.at(key)
-                : 0.0;
+        // One hash probe covers both the register fetch and the store
+        // after evaluation (the execute phase never touches the map, so
+        // the iterator stays valid across it).
+        auto reg_it = registers_.end();
+        double reg = 0.0;
+        if (inst.kind == TraceInstance::Kind::kAccumulate) {
+          reg_it = registers_
+                       .try_emplace(std::make_pair(inst.stmt,
+                                                   inst.target_linear),
+                                    0.0)
+                       .first;
+          reg = reg_it->second;
+        }
         AccountingReader reader(machine_, net_, arrays_, pe_, inst, reg);
-        const auto value = eval_value(*inst.stmt, reader);
+        const auto value = eval_value(memo, *inst.stmt, reader);
         SAP_CHECK(value.has_value(), "execute phase suspended after probe");
         SaArray& array = machine_.arrays().at(inst.array);
         if (inst.kind == TraceInstance::Kind::kAccumulate) {
-          registers_[key] = *value;
+          reg_it->second = *value;
         } else {
           machine_.account_write(pe_, array, inst.target_linear);
           auto released = array.write(inst.target_linear, *value);

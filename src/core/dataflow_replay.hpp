@@ -58,13 +58,26 @@ class ShardReplay {
   std::uint64_t suspensions() const noexcept { return suspensions_; }
 
  private:
-  std::optional<double> eval_value(const ArrayAssign& stmt, ArrayReader& reader);
-
+  /// One hoisted index program this statement's value depends on
+  /// (kHoistIndex operand).  Replay never walks loops, so the per-loop
+  /// preamble is re-expressed per instance: the programs are total
+  /// functions of variables in the instance's EnvLayout, evaluated once
+  /// before the probe (probe and execute see identical slot values).
+  struct HoistDep {
+    const CompiledExpr* program = nullptr;
+    std::uint32_t slot = 0;
+    BytecodeFrame::SlotHandle handle = 0;
+  };
   struct AssignMemo {
     const ArrayAssign* key = nullptr;
     const CompiledAssign* ca = nullptr;
     BytecodeFrame::SlotHandle value_handle = 0;
+    std::vector<HoistDep> hoists;
   };
+  const AssignMemo& assign_memo(const ArrayAssign& stmt);
+  std::optional<double> eval_value(const AssignMemo& memo,
+                                   const ArrayAssign& stmt,
+                                   ArrayReader& reader);
 
   const ProgramBytecode* bytecode_ = nullptr;
   Machine& machine_;
@@ -74,12 +87,24 @@ class ShardReplay {
   ArrayNameCache arrays_;
   BytecodeFrame frame_;
   std::vector<AssignMemo> assign_memo_;
+  std::size_t last_assign_ = static_cast<std::size_t>(-1);
   // Persistent across instances: bindings are updated in place per the
   // instance's EnvLayout, so bytecode slot pointers stay valid (stale
   // bindings of out-of-scope names are harmless — sema guarantees an
   // expression only references in-scope variables, all of which are in its
   // layout and therefore freshly set).
   EvalEnv env_;
+  /// Batched env refresh: while consecutive instances share one EnvLayout
+  /// and the environment's binding layout is unchanged, their values are
+  /// written straight through cached mutable slot pointers — pure value
+  /// updates, no map lookups, no version churn.  Any layout switch or
+  /// structural env change falls back to set() and recaptures.
+  struct LayoutSlots {
+    const EnvLayout* layout = nullptr;
+    std::uint64_t env_version = 0;
+    std::vector<double*> ptrs;
+  };
+  LayoutSlots layout_slots_;
   ReductionRegisters registers_;
   std::size_t cursor_ = 0;
   std::uint64_t suspensions_ = 0;

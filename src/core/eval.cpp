@@ -14,6 +14,13 @@ std::uint64_t EvalEnv::next_version() noexcept {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::optional<double> ArrayReader::read_direct(SaArray&, std::int64_t,
+                                               const std::string& name,
+                                               const std::int64_t* indices,
+                                               std::size_t rank) {
+  return read(name, std::vector<std::int64_t>(indices, indices + rank));
+}
+
 double EvalEnv::get(const std::string& name) const {
   const auto it = vars_.find(name);
   if (it == vars_.end()) {

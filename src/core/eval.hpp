@@ -10,7 +10,10 @@
 // This recursive walk is the *oracle*: the hot path executes the
 // compile-once bytecode twin (core/bytecode.hpp) by default, and the tree
 // walk remains behind SAPART_EVAL=tree for cross-checking.  Any semantic
-// change here must be mirrored there (the differential tests enforce it).
+// change here must be mirrored there (the differential tests enforce it)
+// AND in the optimizer tier (optimize_bytecode), whose superinstructions
+// re-encode these semantics a third time; SAPART_BYTECODE_OPT=off keeps
+// the straight-line bytecode as a second oracle next to this walk.
 #pragma once
 
 #include <cstdint>
@@ -95,6 +98,8 @@ class EvalEnv {
   std::uint64_t version_ = next_version();
 };
 
+class SaArray;
+
 /// Supplies array element values during evaluation.
 class ArrayReader {
  public:
@@ -103,6 +108,18 @@ class ArrayReader {
   /// Value of array[indices]; nullopt = suspend (dataflow probe only).
   virtual std::optional<double> read(const std::string& array,
                                      const std::vector<std::int64_t>& indices) = 0;
+
+  /// Fast path for a site the bytecode interpreter pre-resolved and
+  /// bounds-checked: `array` is the object `name` resolves to and `linear`
+  /// its row-major offset for indices[0..rank).  The default forwards to
+  /// read() — bit-exact for readers that don't specialize; an override
+  /// must preserve read()'s accounting, suspension and error behavior
+  /// exactly (the oracle differentials enforce this).
+  virtual std::optional<double> read_direct(SaArray& array,
+                                            std::int64_t linear,
+                                            const std::string& name,
+                                            const std::int64_t* indices,
+                                            std::size_t rank);
 };
 
 /// Evaluates an expression; nullopt propagates a suspended read.

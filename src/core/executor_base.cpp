@@ -28,9 +28,14 @@ void SequentialExecutor::execute(const CompiledProgram& compiled,
   bytecode_ = compiled.bytecode.get();
   registry_ = &registry;
   arrays_.reset(registry);
+  frame_.set_binder(&arrays_);
   assign_memo_.clear();
+  last_assign_ = static_cast<std::size_t>(-1);
+  loop_memo_.clear();
+  last_loop_ = static_cast<std::size_t>(-1);
   scalar_memo_.clear();
   guard_memo_.clear();
+  if (bytecode_ != nullptr) frame_.ensure_hoist(bytecode_->hoists.size());
   env_ = EvalEnv{};
   registers_.clear();
   pending_trip_.clear();
@@ -119,6 +124,15 @@ void SequentialExecutor::exec_if(const IfStmt& branch) {
       }
       return a.read(linear);
     }
+    std::optional<double> read_direct(SaArray& a, std::int64_t linear,
+                                      const std::string&,
+                                      const std::int64_t*,
+                                      std::size_t) override {
+      if (exec_.tolerate_undefined_reads() && !a.is_defined(linear)) {
+        return 0.0;
+      }
+      return a.read(linear);
+    }
 
    private:
     SequentialExecutor& exec_;
@@ -155,22 +169,38 @@ void SequentialExecutor::exec_if(const IfStmt& branch) {
 
 void SequentialExecutor::exec_loop(const DoLoop& loop) {
   NoArrayReader reader;
-  const CompiledLoop* cl = nullptr;
-  if (bytecode_ != nullptr) {
-    const auto it = bytecode_->loops.find(&loop);
-    if (it != bytecode_->loops.end()) cl = &it->second;
-  }
-  const auto lo = eval_value(*loop.lower, cl ? &cl->lower : nullptr, reader);
-  const auto hi = eval_value(*loop.upper, cl ? &cl->upper : nullptr, reader);
+  // One memo resolution per entry replaces a hash find per bound program
+  // plus an intern per evaluation; the memo is consumed fully before the
+  // body recurses (nested loops may grow loop_memo_ and move it).
+  const LoopMemo& memo = loop_memo(loop);
+  const CompiledLoop* cl = memo.cl;
+  const auto lo = cl != nullptr
+                      ? frame_.run(cl->lower, memo.lower_handle, env_, reader)
+                      : eval_expr(*loop.lower, env_, reader);
+  const auto hi = cl != nullptr
+                      ? frame_.run(cl->upper, memo.upper_handle, env_, reader)
+                      : eval_expr(*loop.upper, env_, reader);
   double step = 1.0;
   if (loop.step) {
-    const auto s = eval_value(
-        *loop.step, cl && cl->step ? &*cl->step : nullptr, reader);
+    const auto s = cl != nullptr && cl->step
+                       ? frame_.run(*cl->step, memo.step_handle, env_, reader)
+                       : eval_expr(*loop.step, env_, reader);
     SAP_CHECK(s.has_value(), "loop step suspended");
     step = *s;
   }
   if (step == 0.0) throw Error("loop '" + loop.var + "' has zero step");
   SAP_CHECK(lo && hi, "loop bounds suspended");
+
+  // Preamble: recompute the hoisted loop-invariant index expressions for
+  // this entry.  The programs are total and read-free (claim 11), so
+  // running them before the trip check — even for a zero-trip loop — is
+  // semantically invisible; kHoistIndex re-checks integrality per
+  // instance at the original evaluation point.
+  for (const LoopPreamble& p : memo.preambles) {
+    const auto v = frame_.run(*p.program, p.handle, env_, reader);
+    SAP_CHECK(v.has_value(), "hoisted index evaluation suspended");
+    frame_.set_hoist(p.slot, *v);
+  }
 
   // The loop variable's slot is updated in place between iterations (a
   // pure value update, exactly like set() on a bound name); the slot is
@@ -214,16 +244,52 @@ void SequentialExecutor::flush_commits(
   it->second.clear();
 }
 
-std::optional<double> SequentialExecutor::eval_value(
-    const Expr& expr, const CompiledExpr* compiled_expr, ArrayReader& reader) {
-  if (compiled_expr != nullptr) return frame_.run(*compiled_expr, env_, reader);
-  return eval_expr(expr, env_, reader);
+const SequentialExecutor::LoopMemo& SequentialExecutor::loop_memo(
+    const DoLoop& loop) {
+  if (last_loop_ < loop_memo_.size() && loop_memo_[last_loop_].key == &loop) {
+    return loop_memo_[last_loop_];
+  }
+  for (std::size_t i = 0; i < loop_memo_.size(); ++i) {
+    if (loop_memo_[i].key == &loop) {
+      last_loop_ = i;
+      return loop_memo_[i];
+    }
+  }
+  LoopMemo entry;
+  entry.key = &loop;
+  if (bytecode_ != nullptr) {
+    const auto it = bytecode_->loops.find(&loop);
+    if (it != bytecode_->loops.end()) {
+      entry.cl = &it->second;
+      entry.lower_handle = frame_.intern(it->second.lower);
+      entry.upper_handle = frame_.intern(it->second.upper);
+      if (it->second.step) entry.step_handle = frame_.intern(*it->second.step);
+    }
+    const auto pre = bytecode_->preambles.find(&loop);
+    if (pre != bytecode_->preambles.end()) {
+      for (const std::uint32_t slot : pre->second) {
+        const CompiledExpr& program = bytecode_->hoists[slot];
+        entry.preambles.push_back(
+            LoopPreamble{&program, slot, frame_.intern(program)});
+      }
+    }
+  }
+  loop_memo_.push_back(std::move(entry));
+  last_loop_ = loop_memo_.size() - 1;
+  return loop_memo_.back();
 }
 
 const SequentialExecutor::AssignMemo& SequentialExecutor::assign_memo(
     const ArrayAssign& assign) {
-  for (const AssignMemo& entry : assign_memo_) {
-    if (entry.key == &assign) return entry;
+  if (last_assign_ < assign_memo_.size() &&
+      assign_memo_[last_assign_].key == &assign) {
+    return assign_memo_[last_assign_];
+  }
+  for (std::size_t i = 0; i < assign_memo_.size(); ++i) {
+    if (assign_memo_[i].key == &assign) {
+      last_assign_ = i;
+      return assign_memo_[i];
+    }
   }
   AssignMemo entry;
   entry.key = &assign;
@@ -236,6 +302,7 @@ const SequentialExecutor::AssignMemo& SequentialExecutor::assign_memo(
     }
   }
   assign_memo_.push_back(entry);
+  last_assign_ = assign_memo_.size() - 1;
   return assign_memo_.back();
 }
 
@@ -244,6 +311,13 @@ double SequentialExecutor::read_for_value(
     const std::vector<std::int64_t>& indices) {
   SaArray& array = arrays_.resolve(name);
   const std::int64_t linear = array.shape().linearize(indices);
+  on_read(pe, array, linear);
+  if (tolerate_undefined_reads() && !array.is_defined(linear)) return 0.0;
+  return array.read(linear);
+}
+
+double SequentialExecutor::read_for_value_direct(PeId pe, SaArray& array,
+                                                 std::int64_t linear) {
   on_read(pe, array, linear);
   if (tolerate_undefined_reads() && !array.is_defined(linear)) return 0.0;
   return array.read(linear);
@@ -268,6 +342,14 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
       if (tolerant_ && !a.is_defined(linear)) return 0.0;
       return a.read(linear);
     }
+    std::optional<double> read_direct(SaArray& a, std::int64_t linear,
+                                      const std::string&,
+                                      const std::int64_t*,
+                                      std::size_t) override {
+      out_.emplace_back(&a, linear);
+      if (tolerant_ && !a.is_defined(linear)) return 0.0;
+      return a.read(linear);
+    }
 
    private:
     SequentialExecutor& exec_;
@@ -276,7 +358,8 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
   };
   CollectingReader target_reader(*this, index_reads,
                                  tolerate_undefined_reads());
-  const AssignMemo memo = assign_memo(assign);
+  // By reference: nothing below adds memos, so no reallocation can move it.
+  const AssignMemo& memo = assign_memo(assign);
   const std::vector<std::int64_t>* indices = nullptr;
   std::optional<std::vector<std::int64_t>> tree_indices;
   if (memo.ca != nullptr) {
@@ -291,8 +374,15 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
     indices = &*tree_indices;
   }
 
-  SaArray& array = arrays_.resolve(assign.array);
-  const std::int64_t target_linear = array.shape().linearize(*indices);
+  if (memo.target == nullptr) memo.target = &arrays_.resolve(assign.array);
+  SaArray& array = *memo.target;
+  const ArrayShape& shape = array.shape();
+  // Unchecked linearize behind an inline bounds test; a failure re-runs
+  // the checked path so the error text is byte-identical.
+  const std::int64_t target_linear =
+      shape.contains_span(indices->data(), indices->size())
+          ? shape.linearize_span_unchecked(indices->data(), indices->size())
+          : shape.linearize(*indices);
   const PeId pe = owner_of(array, target_linear);
   if (!index_reads.empty()) on_target_index_reads(pe, index_reads);
   on_instance(assign, pe, target_linear, env_, /*is_commit=*/false);
@@ -300,17 +390,20 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
   if (assign.is_reduction) {
     // Accumulate in an owner-local register; reads of the target element
     // come from the register and are not memory traffic.
-    const auto key = std::make_pair(&assign, target_linear);
-    const bool fresh = registers_.find(key) == registers_.end();
-    const double current = fresh ? 0.0 : registers_.at(key);
+    // One hash probe serves the fetch and the post-evaluation store; the
+    // evaluation below never touches the map, so the iterator holds.
+    const auto [reg_it, fresh] =
+        registers_.try_emplace(std::make_pair(&assign, target_linear), 0.0);
+    const double current = reg_it->second;
 
     class ReductionReader final : public ArrayReader {
      public:
-      ReductionReader(SequentialExecutor& exec, PeId pe,
+      ReductionReader(SequentialExecutor& exec, PeId pe, SaArray& target,
                       const std::string& target_array,
                       std::int64_t target_linear, double register_value)
           : exec_(exec),
             pe_(pe),
+            target_(&target),
             target_array_(target_array),
             target_linear_(target_linear),
             register_value_(register_value) {}
@@ -328,21 +421,38 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
         }
         return a.read(linear);
       }
+      // Pointer identity replaces the name compare: the registry maps
+      // each name to exactly one SaArray, so the checks are equivalent.
+      std::optional<double> read_direct(SaArray& a, std::int64_t linear,
+                                        const std::string&,
+                                        const std::int64_t*,
+                                        std::size_t) override {
+        if (&a == target_ && linear == target_linear_) {
+          return register_value_;
+        }
+        exec_.on_read(pe_, a, linear);
+        if (exec_.tolerate_undefined_reads() && !a.is_defined(linear)) {
+          return 0.0;
+        }
+        return a.read(linear);
+      }
 
      private:
       SequentialExecutor& exec_;
       PeId pe_;
+      const SaArray* target_;
       const std::string& target_array_;
       std::int64_t target_linear_;
       double register_value_;
     };
-    ReductionReader reader(*this, pe, assign.array, target_linear, current);
+    ReductionReader reader(*this, pe, array, assign.array, target_linear,
+                           current);
     const auto value =
         memo.ca != nullptr
             ? frame_.run(memo.ca->value, memo.value_handle, env_, reader)
             : eval_expr(*assign.value, env_, reader);
     SAP_CHECK(value.has_value(), "reduction evaluation suspended");
-    registers_[key] = *value;
+    reg_it->second = *value;
 
     if (fresh) {
       const auto commit_it = compiled_->commit_loops.find(&assign);
@@ -363,6 +473,12 @@ void SequentialExecutor::exec_assign(const ArrayAssign& assign) {
         const std::string& array,
         const std::vector<std::int64_t>& indices) override {
       return exec_.read_for_value(pe_, array, indices);
+    }
+    std::optional<double> read_direct(SaArray& array, std::int64_t linear,
+                                      const std::string&,
+                                      const std::int64_t*,
+                                      std::size_t) override {
+      return exec_.read_for_value_direct(pe_, array, linear);
     }
 
    private:

@@ -100,25 +100,51 @@ class SequentialExecutor {
                      const DoLoop* loop);
   double read_for_value(PeId pe, const std::string& name,
                         const std::vector<std::int64_t>& indices);
-  /// Bytecode when compiled with it, tree walk otherwise.  `compiled_expr`
-  /// may be null (forces the tree walk for this expression).
-  std::optional<double> eval_value(const Expr& expr,
-                                   const CompiledExpr* compiled_expr,
-                                   ArrayReader& reader);
+  /// read_for_value for a site the interpreter pre-resolved and
+  /// bounds-checked (ArrayReader::read_direct fast path) — identical
+  /// accounting, tolerance and errors, minus resolve + linearize.
+  double read_for_value_direct(PeId pe, SaArray& array, std::int64_t linear);
   /// Memoized registry lookup (same resolution, same errors as by_name).
   SaArray& resolve_array(const std::string& name) {
     return arrays_.resolve(name);
   }
 
   /// Memoized bytecode + frame handles for one assignment statement.
-  /// `ca` is null when the program carries no bytecode for it.
+  /// `ca` is null when the program carries no bytecode for it.  The
+  /// returned reference is valid until the next assign_memo call.
   struct AssignMemo {
     const ArrayAssign* key = nullptr;
     const CompiledAssign* ca = nullptr;
     BytecodeFrame::SlotHandle target_handle = 0;
     BytecodeFrame::SlotHandle value_handle = 0;
+    /// Target array, bound lazily at first execution — the same point
+    /// the per-instance resolve ran, so unknown-name errors keep their
+    /// timing.  Valid for one execute() (memos are cleared with the
+    /// registry binding).
+    mutable SaArray* target = nullptr;
   };
   const AssignMemo& assign_memo(const ArrayAssign& assign);
+
+  /// One hoisted index program recomputed at a loop's entry (the
+  /// optimizer's preamble; kHoistIndex consumes the slot per instance).
+  struct LoopPreamble {
+    const CompiledExpr* program = nullptr;
+    std::uint32_t slot = 0;
+    BytecodeFrame::SlotHandle handle = 0;
+  };
+  /// Memoized loop bytecode: bound programs with pre-interned frame
+  /// handles plus the preamble list — resolved once per loop statement,
+  /// not once per loop entry.  Reference valid until the next loop_memo
+  /// call (exec_loop consumes it fully before recursing into the body).
+  struct LoopMemo {
+    const DoLoop* key = nullptr;
+    const CompiledLoop* cl = nullptr;
+    BytecodeFrame::SlotHandle lower_handle = 0;
+    BytecodeFrame::SlotHandle upper_handle = 0;
+    BytecodeFrame::SlotHandle step_handle = 0;
+    std::vector<LoopPreamble> preambles;
+  };
+  const LoopMemo& loop_memo(const DoLoop& loop);
 
   const CompiledProgram* compiled_ = nullptr;
   const ProgramBytecode* bytecode_ = nullptr;
@@ -127,8 +153,13 @@ class SequentialExecutor {
   ArrayRegistry* registry_ = nullptr;
   ArrayNameCache arrays_;
   // Pointer-keyed statement memos: a handful of entries scanned with
-  // pointer compares beats a hash per statement instance.
+  // pointer compares beats a hash per statement instance.  The last-hit
+  // indices short-circuit the scan for the common case (an inner loop
+  // re-executing one statement / re-entering one loop back to back).
   std::vector<AssignMemo> assign_memo_;
+  std::size_t last_assign_ = static_cast<std::size_t>(-1);
+  std::vector<LoopMemo> loop_memo_;
+  std::size_t last_loop_ = static_cast<std::size_t>(-1);
   struct ScalarMemo {
     const ScalarAssign* key = nullptr;
     const CompiledExpr* ce = nullptr;

@@ -17,6 +17,10 @@ CompiledProgram compile(Program program) {
 }
 
 CompiledProgram compile(Program program, EvalEngine engine) {
+  return compile(std::move(program), engine, bytecode_opt_from_env());
+}
+
+CompiledProgram compile(Program program, EvalEngine engine, BytecodeOpt opt) {
   const obs::Span span("compile", "compile");
   CompiledProgram compiled;
   compiled.sema = analyze(program);  // annotates reductions in-place
@@ -57,8 +61,12 @@ CompiledProgram compile(Program program, EvalEngine engine) {
     compiled.commit_loops[site.assign] = commit;
   }
   if (engine == EvalEngine::kBytecode) {
-    compiled.bytecode = std::make_shared<const ProgramBytecode>(
-        compile_bytecode(compiled.program, compiled.sema));
+    ProgramBytecode bc = compile_bytecode(compiled.program, compiled.sema);
+    if (opt == BytecodeOpt::kOn) {
+      bc = optimize_bytecode(std::move(bc), compiled.program, compiled.sema);
+    }
+    compiled.bytecode =
+        std::make_shared<const ProgramBytecode>(std::move(bc));
   }
   return compiled;
 }

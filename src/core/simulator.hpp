@@ -54,7 +54,12 @@ struct CompiledProgram {
 
 /// Analyzes a built AST (mutates it: reduction marking), precomputes
 /// commit loops, and flattens every statement to bytecode under the given
-/// engine.  Throws SemanticError on invalid programs.
+/// engine; `opt` selects whether the optimize_bytecode tier (super-
+/// instruction fusion + loop-invariant index hoisting) runs on the result.
+/// Throws SemanticError on invalid programs.
+CompiledProgram compile(Program program, EvalEngine engine, BytecodeOpt opt);
+
+/// As above with the tier taken from SAPART_BYTECODE_OPT (default: on).
 CompiledProgram compile(Program program, EvalEngine engine);
 
 /// As above with the engine taken from SAPART_EVAL (default: bytecode).

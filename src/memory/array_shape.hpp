@@ -49,6 +49,27 @@ class ArrayShape {
   std::int64_t linearize_unchecked(
       const std::vector<std::int64_t>& indices) const noexcept;
 
+  /// Span variants of contains/linearize_unchecked for the bytecode
+  /// interpreter's pre-bound read path: one pass, no vector, inline.
+  bool contains_span(const std::int64_t* indices, std::size_t n) const
+      noexcept {
+    if (n != dims_.size()) return false;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (indices[d] < dims_[d].lower || indices[d] > dims_[d].upper) {
+        return false;
+      }
+    }
+    return true;
+  }
+  std::int64_t linearize_span_unchecked(const std::int64_t* indices,
+                                        std::size_t n) const noexcept {
+    std::int64_t linear = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      linear += (indices[d] - dims_[d].lower) * strides_[d];
+    }
+    return linear;
+  }
+
   /// Inverse of linearize: recovers per-dimension indices.
   std::vector<std::int64_t> delinearize(std::int64_t linear) const;
 

@@ -50,6 +50,16 @@ struct SchedulerMetrics {
   obs::Counter& quiescence_checks =
       obs::counter("runtime/quiescence_checks",
                    obs::Determinism::kScheduler);
+  // Batching effectiveness of the replay loop: instances completed per
+  // replay->run() call.  A high instances/batches ratio means the
+  // per-instance fast paths (cached env slot pointers, memoized bytecode
+  // handles) amortize as intended; near 1.0 means the shard is
+  // suspend-thrashing.
+  obs::Counter& replayed_instances =
+      obs::counter("runtime/replayed_instances",
+                   obs::Determinism::kScheduler);
+  obs::Counter& replay_batches =
+      obs::counter("runtime/replay_batches", obs::Determinism::kScheduler);
 };
 
 SchedulerMetrics& scheduler_metrics() {
@@ -214,6 +224,10 @@ class SimRuntime {
       } catch (...) {
         record_error(std::current_exception());
         return;
+      }
+      if (r.executed > 0) {
+        scheduler_metrics().replayed_instances.add(r.executed);
+        scheduler_metrics().replay_batches.add(1);
       }
       for (const ReaderToken token : woken) wake(token, w);
       switch (r.status) {

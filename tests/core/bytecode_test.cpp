@@ -3,7 +3,9 @@
 // identical suspension behaviour, expression by expression.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -15,6 +17,7 @@
 #include "core/reference_interpreter.hpp"
 #include "core/simulator.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace sap {
 namespace {
@@ -398,6 +401,318 @@ TEST(BytecodeTest, EvalEngineFromEnv) {
   } else {
     unsetenv("SAPART_EVAL");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Optimization tier (fuse_superinstructions / optimize_bytecode): the
+// optimizer must be inert — identical values (bitwise), identical read
+// sequences, identical suspension points and identical error messages
+// against BOTH oracles (tree walk and unoptimized bytecode).  DESIGN.md
+// claim 11.
+// ---------------------------------------------------------------------------
+
+/// Counts occurrences of one opcode in a compiled program.
+std::size_t count_op(const CompiledExpr& expr, Op op) {
+  std::size_t n = 0;
+  for (const Instr& in : expr.code) {
+    if (in.op == op) ++n;
+  }
+  return n;
+}
+
+/// Three-way differential harness: tree walk vs straight-line bytecode vs
+/// fused bytecode, all against independent readers.
+struct FusionHarness {
+  Program program;
+  SemanticInfo sema;
+  std::vector<const DoLoop*> loops;
+  EvalEnv env;
+  CompiledExpr last_fused;  // inspected by tests for expected opcodes
+
+  std::optional<double> check(const Ex& expr, LoggingReader reader) {
+    const ExprPtr ast = expr.materialize();
+    LoggingReader tree_reader = reader;
+    LoggingReader plain_reader = reader;
+    LoggingReader fused_reader = reader;
+
+    const auto tree = eval_expr(*ast, env, tree_reader);
+    const CompiledExpr plain =
+        compile_value_expr(*ast, program, sema, loops);
+    CompiledExpr fused = plain;
+    fuse_superinstructions(fused);
+    last_fused = fused;
+
+    BytecodeFrame plain_frame;
+    const auto plain_v = plain_frame.run(plain, env, plain_reader);
+    BytecodeFrame fused_frame;
+    const auto fused_v = fused_frame.run(fused, env, fused_reader);
+
+    EXPECT_EQ(tree.has_value(), plain_v.has_value());
+    EXPECT_EQ(tree.has_value(), fused_v.has_value());
+    if (tree && plain_v) EXPECT_EQ(*tree, *plain_v);  // bitwise
+    if (tree && fused_v) EXPECT_EQ(*tree, *fused_v);
+    EXPECT_EQ(tree_reader.log, plain_reader.log);
+    EXPECT_EQ(tree_reader.log, fused_reader.log);
+    return fused_v;
+  }
+};
+
+TEST(BytecodeOptTest, ConstOperandArithmeticFusesAndMatches) {
+  FusionHarness h;
+  h.env.set("x", 3.5);
+  // Const on either side of every fusable operator, including the
+  // commuted add/mul forms.
+  h.check(ex_var("x") + 2.5, {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kAddConst), 1u);
+  h.check(Ex(2.5) + ex_var("x"), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kAddConst), 1u);
+  h.check(ex_var("x") - 2.5, {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kSubConst), 1u);
+  h.check(Ex(2.5) - ex_var("x"), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kConstSub), 1u);
+  h.check(ex_var("x") * 0.25, {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kMulConst), 1u);
+  h.check(Ex(0.25) * ex_var("x"), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kMulConst), 1u);
+  h.check(ex_var("x") / 0.5, {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kDivConst), 1u);
+  h.check(Ex(7.0) / ex_var("x"), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kConstDiv), 1u);
+  // A chain: every kConst feeding a single arithmetic use disappears.
+  h.check((ex_var("x") + 1.0) * 2.0 - 0.5, {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kConst), 0u);
+}
+
+TEST(BytecodeOptTest, DivisionByConstZeroKeepsTheError) {
+  FusionHarness h;
+  h.env.set("x", 1.0);
+  h.env.set("z", 0.0);
+  const auto expect_same_error = [&](const Ex& expr) {
+    const ExprPtr ast = expr.materialize();
+    LoggingReader reader;
+    std::string tree_error = "<none>";
+    std::string fused_error = "<none>";
+    try {
+      eval_expr(*ast, h.env, reader);
+    } catch (const Error& e) {
+      tree_error = e.what();
+    }
+    CompiledExpr fused = compile_value_expr(*ast, h.program, h.sema, h.loops);
+    fuse_superinstructions(fused);
+    try {
+      BytecodeFrame frame;
+      frame.run(fused, h.env, reader);
+    } catch (const Error& e) {
+      fused_error = e.what();
+    }
+    EXPECT_NE(tree_error, "<none>");
+    EXPECT_EQ(tree_error, fused_error);
+  };
+  expect_same_error(ex_var("x") / 0.0);   // kDivConst with a zero const
+  expect_same_error(Ex(1.0) / ex_var("z"));  // kConstDiv with a zero reg
+}
+
+TEST(BytecodeOptTest, CompareBranchFusesAndStaysLazy) {
+  FusionHarness h;
+  h.env.set("x", 1.0);
+  h.env.set("y", 2.0);
+  LoggingReader reader;
+  reader.cells[{"A", {1}}] = 10.0;
+  reader.cells[{"B", {1}}] = 20.0;
+  // Taken arm: only A is read, by all three engines.
+  const auto v = h.check(ex_select(ex_lt(ex_var("x"), ex_var("y")),
+                                   ex_at("A", {Ex(1)}), ex_at("B", {Ex(1)})),
+                         reader);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 10.0);
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfNotLt), 1u);
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfZero), 0u);
+  // Untaken arm, every comparison operator fused.
+  h.check(ex_select(ex_gt(ex_var("x"), ex_var("y")), ex_at("A", {Ex(1)}),
+                    ex_at("B", {Ex(1)})),
+          reader);
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfNotGt), 1u);
+  h.check(ex_select(ex_le(ex_var("x"), ex_var("y")), Ex(1.0), Ex(2.0)), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfNotLe), 1u);
+  h.check(ex_select(ex_ge(ex_var("x"), ex_var("y")), Ex(1.0), Ex(2.0)), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfNotGe), 1u);
+  h.check(ex_select(ex_eq(ex_var("x"), ex_var("y")), Ex(1.0), Ex(2.0)), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfNotEq), 1u);
+  h.check(ex_select(ex_ne(ex_var("x"), ex_var("y")), Ex(1.0), Ex(2.0)), {});
+  EXPECT_EQ(count_op(h.last_fused, Op::kJumpIfNotNe), 1u);
+}
+
+TEST(BytecodeOptTest, AffineReadFusesAndKeepsTheFallback) {
+  DoLoop loop;
+  loop.var = "i";
+  loop.lower = make_number(1);
+  loop.upper = make_number(10);
+  FusionHarness h;
+  h.loops = {&loop};
+
+  LoggingReader reader;
+  reader.cells[{"A", {16}}] = 42.0;
+  reader.cells[{"A", {7}}] = 5.0;
+  h.env.set("i", 6.0);
+  const Ex e = ex_at("A", {ex_var("i") * 3 - 2}) + ex_at("A", {ex_var("i") + 1});
+  const auto v = h.check(e, reader);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 42.0 + 5.0);
+  EXPECT_EQ(count_op(h.last_fused, Op::kAffineRead), 2u);
+  // The generic sequence (and its kRead) must survive as the non-integral
+  // fallback — and still agree with the tree walk when i defeats the
+  // integer fast path.
+  EXPECT_EQ(count_op(h.last_fused, Op::kRead), 2u);
+  h.env.set("i", 0.5);
+  LoggingReader frac;
+  frac.cells[{"A", {1}}] = 3.0;  // i*2 = 1
+  const auto w = h.check(ex_at("A", {ex_var("i") * 2}), frac);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_DOUBLE_EQ(*w, 3.0);
+}
+
+TEST(BytecodeOptTest, SuspensionSurvivesFusion) {
+  FusionHarness h;
+  h.env.set("x", 1.0);
+  LoggingReader reader;
+  reader.cells[{"A", {1}}] = 1.0;
+  reader.suspend_on = {{"B", {2}}};
+  // B(2) suspends after A(1); C(3) must never be read by any engine.
+  const Ex e = ex_at("A", {Ex(1)}) + ex_at("B", {Ex(2)}) * 2.0 +
+               ex_at("C", {Ex(3)});
+  const auto v = h.check(e, reader);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(BytecodeOptTest, RandomizedDifferentialSweep) {
+  // Seeded random expressions over arithmetic, intrinsics, reads and
+  // SELECT: tree walk, straight-line bytecode and fused bytecode must
+  // agree bitwise on value and read order for every seed.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SplitMix64 rng(seed);
+    std::function<Ex(int)> gen = [&](int depth) -> Ex {
+      if (depth <= 0) {
+        switch (rng.next_below(3)) {
+          case 0: return Ex(static_cast<double>(rng.next_below(7)) - 2.0);
+          case 1: return ex_var("i");
+          default:
+            return ex_at("A", {ex_var("i") +
+                               static_cast<double>(rng.next_below(3))});
+        }
+      }
+      switch (rng.next_below(8)) {
+        case 0: return gen(depth - 1) + gen(depth - 1);
+        case 1: return gen(depth - 1) - gen(depth - 1);
+        case 2: return gen(depth - 1) * gen(depth - 1);
+        case 3: return gen(depth - 1) / (ex_abs(gen(depth - 1)) + 1.5);
+        case 4: return ex_min(gen(depth - 1), gen(depth - 1));
+        case 5: return ex_max(gen(depth - 1), gen(depth - 1));
+        case 6:
+          return ex_select(ex_lt(gen(depth - 1), gen(depth - 1)),
+                           gen(depth - 1), gen(depth - 1));
+        default:
+          return gen(depth - 1) + Ex(static_cast<double>(rng.next_below(5)));
+      }
+    };
+    FusionHarness h;
+    h.env.set("i", static_cast<double>(1 + rng.next_below(4)));
+    LoggingReader reader;
+    for (std::int64_t c = 0; c <= 8; ++c) {
+      reader.cells[{"A", {c}}] = 0.25 * static_cast<double>(c * c - 3);
+    }
+    h.check(gen(4), reader);
+  }
+}
+
+TEST(BytecodeOptTest, HoistedIndicesMatchBothOracles) {
+  // B's column index depends only on the outer loop variable (and a
+  // constant scalar), so the optimizer hoists it into the inner loop's
+  // preamble.  All three engines must produce identical arrays.
+  const auto build = [] {
+    ProgramBuilder b("hoist");
+    b.input_array("B", {8, 10}).array("A", {8, 4}).scalar("q", 2.0);
+    b.begin_loop("j", 1, 4);
+    b.begin_loop("i", 1, 8);
+    b.assign("A", {b.var("i"), b.var("j")},
+             b.at("B", {b.var("i"), b.var("j") * 2 + 1}) + b.var("q"));
+    b.end_loop();
+    b.end_loop();
+    return b.build();
+  };
+  const CompiledProgram opt =
+      compile(build(), EvalEngine::kBytecode, BytecodeOpt::kOn);
+  const CompiledProgram unopt =
+      compile(build(), EvalEngine::kBytecode, BytecodeOpt::kOff);
+  const CompiledProgram tree = compile(build(), EvalEngine::kTree);
+
+  ASSERT_NE(opt.bytecode, nullptr);
+  EXPECT_TRUE(opt.bytecode->optimized);
+  EXPECT_FALSE(unopt.bytecode->optimized);
+  // The hoist actually happened: preamble programs exist and some program
+  // consumes a hoist slot.
+  EXPECT_FALSE(opt.bytecode->hoists.empty());
+  EXPECT_FALSE(opt.bytecode->preambles.empty());
+
+  const auto expected = run_reference(tree);
+  for (const CompiledProgram* prog : {&unopt, &opt}) {
+    const auto got = run_reference(*prog);
+    for (const auto& array : *expected) {
+      const SaArray& mine = got->by_name(array->name());
+      ASSERT_EQ(mine.defined_count(), array->defined_count());
+      for (std::int64_t i = 0; i < array->element_count(); ++i) {
+        if (!array->is_defined(i)) continue;
+        EXPECT_EQ(mine.read(i), array->read(i))
+            << array->name() << "[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(BytecodeOptTest, NonIntegerHoistedIndexKeepsTheError) {
+  // q*3 = 1.5: the hoisted index program must report the identical
+  // non-integer index error the tree walk reports, not a different one
+  // and not a silent truncation.
+  const auto build = [] {
+    ProgramBuilder b("hoist_err");
+    b.input_array("B", {8, 4}).array("A", {8}).scalar("q", 0.5);
+    b.begin_loop("i", 1, 8);
+    b.assign("A", {b.var("i")}, b.at("B", {b.var("i"), b.var("q") * 3}));
+    b.end_loop();
+    return b.build();
+  };
+  const auto error_of = [&](const CompiledProgram& prog) -> std::string {
+    try {
+      run_reference(prog);
+      return "<none>";
+    } catch (const Error& e) {
+      return e.what();
+    }
+  };
+  const std::string tree_error =
+      error_of(compile(build(), EvalEngine::kTree));
+  const std::string opt_error =
+      error_of(compile(build(), EvalEngine::kBytecode, BytecodeOpt::kOn));
+  EXPECT_NE(tree_error, "<none>");
+  EXPECT_EQ(tree_error, opt_error);
+}
+
+TEST(BytecodeOptTest, CompileHonorsTheOptKnob) {
+  const auto build = [] {
+    ProgramBuilder b("knob");
+    b.input_array("B", {8}).array("A", {8});
+    b.begin_loop("i", 1, 8);
+    b.assign("A", {b.var("i")}, b.at("B", {b.var("i")}) * 2.0);
+    b.end_loop();
+    return b.build();
+  };
+  const CompiledProgram on =
+      compile(build(), EvalEngine::kBytecode, BytecodeOpt::kOn);
+  const CompiledProgram off =
+      compile(build(), EvalEngine::kBytecode, BytecodeOpt::kOff);
+  ASSERT_NE(on.bytecode, nullptr);
+  ASSERT_NE(off.bytecode, nullptr);
+  EXPECT_TRUE(on.bytecode->optimized);
+  EXPECT_FALSE(off.bytecode->optimized);
 }
 
 TEST(BytecodeTest, CompileEngineControlsBytecodePresence) {

@@ -1,7 +1,9 @@
 // The bytecode engine's acceptance bar: byte-identical SimulationResults
-// and array values vs the eval.hpp tree walk — across the fig1-fig5
-// kernels, all three partition schemes, both execution modes, randomized
-// programs (seeded), and any sweep worker count.
+// and array values across all three engine variants — the eval.hpp tree
+// walk, the straight-line bytecode (SAPART_BYTECODE_OPT=off oracle), and
+// the optimized bytecode (superinstructions + index hoisting) — across
+// the fig1-fig5 kernels, all three partition schemes, both execution
+// modes, randomized programs (seeded), and any sweep worker count.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -24,14 +26,22 @@ namespace {
 
 using BuildFn = std::function<CompiledProgram()>;
 
-CompiledProgram build_with_engine(const BuildFn& build, EvalEngine engine) {
+/// The three engine variants under differential test.
+enum class Variant { kTree, kUnopt, kOpt };
+
+CompiledProgram build_variant(const BuildFn& build, Variant variant) {
   CompiledProgram prog = build();
-  if (engine == EvalEngine::kTree) {
+  if (variant == Variant::kTree) {
     prog.bytecode.reset();
-  } else if (prog.bytecode == nullptr) {
-    prog.bytecode = std::make_shared<const ProgramBytecode>(
-        compile_bytecode(prog.program, prog.sema));
+    return prog;
   }
+  // Rebuild the bytecode explicitly so the test is independent of the
+  // SAPART_BYTECODE_OPT value the kernel builder happened to see.
+  ProgramBytecode bc = compile_bytecode(prog.program, prog.sema);
+  if (variant == Variant::kOpt) {
+    bc = optimize_bytecode(std::move(bc), prog.program, prog.sema);
+  }
+  prog.bytecode = std::make_shared<const ProgramBytecode>(std::move(bc));
   return prog;
 }
 
@@ -63,30 +73,39 @@ void expect_results_equal(const SimulationResult& tree,
   EXPECT_EQ(tree.reinit_messages, bytecode.reinit_messages) << label;
 }
 
-/// Both engines through the full simulator under one configuration/mode,
-/// plus bit-identical reference values.
+/// All three variants through the full simulator under one
+/// configuration/mode, plus bit-identical reference values: the tree walk
+/// is the oracle, the unoptimized bytecode the second oracle, and the
+/// optimized bytecode must match both.
 void expect_engines_equivalent(const BuildFn& build,
                                const MachineConfig& config,
                                ExecutionMode mode, const std::string& label) {
-  const CompiledProgram tree = build_with_engine(build, EvalEngine::kTree);
-  const CompiledProgram bytecode =
-      build_with_engine(build, EvalEngine::kBytecode);
+  const CompiledProgram tree = build_variant(build, Variant::kTree);
+  const CompiledProgram unopt = build_variant(build, Variant::kUnopt);
+  const CompiledProgram opt = build_variant(build, Variant::kOpt);
   ASSERT_EQ(tree.bytecode, nullptr) << label;
-  ASSERT_NE(bytecode.bytecode, nullptr) << label;
+  ASSERT_NE(unopt.bytecode, nullptr) << label;
+  ASSERT_NE(opt.bytecode, nullptr) << label;
+  EXPECT_FALSE(unopt.bytecode->optimized) << label;
+  EXPECT_TRUE(opt.bytecode->optimized) << label;
 
   const Simulator sim(config);
-  expect_results_equal(sim.run(tree, mode), sim.run(bytecode, mode), label);
+  const SimulationResult tree_result = sim.run(tree, mode);
+  expect_results_equal(tree_result, sim.run(unopt, mode), label + "/unopt");
+  expect_results_equal(tree_result, sim.run(opt, mode), label + "/opt");
 
   const auto tree_values = run_reference(tree);
-  const auto bytecode_values = run_reference(bytecode);
-  for (const auto& array : *tree_values) {
-    const SaArray& got = bytecode_values->by_name(array->name());
-    ASSERT_EQ(got.defined_count(), array->defined_count())
-        << label << " " << array->name();
-    for (std::int64_t i = 0; i < array->element_count(); ++i) {
-      if (!array->is_defined(i)) continue;
-      EXPECT_EQ(got.read(i), array->read(i))
-          << label << " " << array->name() << "[" << i << "]";
+  for (const CompiledProgram* prog : {&unopt, &opt}) {
+    const auto values = run_reference(*prog);
+    for (const auto& array : *tree_values) {
+      const SaArray& got = values->by_name(array->name());
+      ASSERT_EQ(got.defined_count(), array->defined_count())
+          << label << " " << array->name();
+      for (std::int64_t i = 0; i < array->element_count(); ++i) {
+        if (!array->is_defined(i)) continue;
+        EXPECT_EQ(got.read(i), array->read(i))
+            << label << " " << array->name() << "[" << i << "]";
+      }
     }
   }
 }
@@ -244,33 +263,34 @@ TEST(BytecodeEquivalenceTest, RandomizedDifferential) {
 // --------------------------------------------------------- worker counts
 
 TEST(BytecodeEquivalenceTest, SweepsIdenticalForAnyWorkerCount) {
-  const CompiledProgram tree =
-      build_with_engine([] { return build_k1_hydro(); }, EvalEngine::kTree);
-  const CompiledProgram bytecode =
-      build_with_engine([] { return build_k1_hydro(); },
-                        EvalEngine::kBytecode);
+  const BuildFn build = [] { return build_k1_hydro(); };
+  const CompiledProgram tree = build_variant(build, Variant::kTree);
+  const CompiledProgram unopt = build_variant(build, Variant::kUnopt);
+  const CompiledProgram opt = build_variant(build, Variant::kOpt);
 
   std::vector<SweepJob> tree_jobs;
-  std::vector<SweepJob> bytecode_jobs;
+  std::vector<SweepJob> unopt_jobs;
+  std::vector<SweepJob> opt_jobs;
   for (const std::uint32_t pes : {1u, 2u, 4u, 8u, 16u}) {
-    tree_jobs.push_back(
-        SweepJob{&tree, MachineConfig{}.with_pes(pes),
-                 ExecutionMode::kCounting});
-    bytecode_jobs.push_back(
-        SweepJob{&bytecode, MachineConfig{}.with_pes(pes),
-                 ExecutionMode::kCounting});
+    const MachineConfig config = MachineConfig{}.with_pes(pes);
+    tree_jobs.push_back(SweepJob{&tree, config, ExecutionMode::kCounting});
+    unopt_jobs.push_back(SweepJob{&unopt, config, ExecutionMode::kCounting});
+    opt_jobs.push_back(SweepJob{&opt, config, ExecutionMode::kCounting});
   }
 
   const auto serial_tree = parallel_sweep_results(tree_jobs, nullptr);
   for (const unsigned workers : {1u, 2u, 8u}) {
     ThreadPool pool(workers);
-    const auto parallel_bytecode =
-        parallel_sweep_results(bytecode_jobs, &pool);
-    ASSERT_EQ(parallel_bytecode.size(), serial_tree.size());
+    const auto parallel_unopt = parallel_sweep_results(unopt_jobs, &pool);
+    const auto parallel_opt = parallel_sweep_results(opt_jobs, &pool);
+    ASSERT_EQ(parallel_unopt.size(), serial_tree.size());
+    ASSERT_EQ(parallel_opt.size(), serial_tree.size());
     for (std::size_t i = 0; i < serial_tree.size(); ++i) {
-      expect_results_equal(serial_tree[i], parallel_bytecode[i],
-                           "workers" + std::to_string(workers) + "/job" +
-                               std::to_string(i));
+      const std::string label =
+          "workers" + std::to_string(workers) + "/job" + std::to_string(i);
+      expect_results_equal(serial_tree[i], parallel_unopt[i],
+                           label + "/unopt");
+      expect_results_equal(serial_tree[i], parallel_opt[i], label + "/opt");
     }
   }
 }

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <string>
+
+#include "core/bytecode.hpp"
 
 namespace sap {
 namespace {
@@ -87,6 +91,41 @@ TEST(ParseOutputPathTest, ErrorNamesTheKnob) {
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("SAPART_METRICS"),
               std::string::npos);
+  }
+}
+
+// SAPART_BYTECODE_OPT follows the same hardening convention as the other
+// SAPART_* knobs: unset defaults, known values parse, empty and unknown
+// values are a ConfigError naming the valid set (bench init turns that
+// into the documented exit 2).
+TEST(BytecodeOptFromEnvTest, KnobParsesAndRejectsLikeTheOthers) {
+  const char* saved = std::getenv("SAPART_BYTECODE_OPT");
+  const std::string saved_value = saved ? saved : "";
+
+  unsetenv("SAPART_BYTECODE_OPT");
+  EXPECT_EQ(bytecode_opt_from_env(), BytecodeOpt::kOn);
+  setenv("SAPART_BYTECODE_OPT", "on", 1);
+  EXPECT_EQ(bytecode_opt_from_env(), BytecodeOpt::kOn);
+  setenv("SAPART_BYTECODE_OPT", "off", 1);
+  EXPECT_EQ(bytecode_opt_from_env(), BytecodeOpt::kOff);
+  // Empty is invalid, not a silent default.
+  setenv("SAPART_BYTECODE_OPT", "", 1);
+  EXPECT_THROW(bytecode_opt_from_env(), ConfigError);
+  // Unknown values name the valid set and echo the offending value.
+  setenv("SAPART_BYTECODE_OPT", "fast", 1);
+  try {
+    bytecode_opt_from_env();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("'on' or 'off'"), std::string::npos);
+    EXPECT_NE(message.find("fast"), std::string::npos);
+  }
+
+  if (saved) {
+    setenv("SAPART_BYTECODE_OPT", saved_value.c_str(), 1);
+  } else {
+    unsetenv("SAPART_BYTECODE_OPT");
   }
 }
 

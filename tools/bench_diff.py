@@ -7,9 +7,12 @@ field):
 - ``perf_simulator`` — timing rows joined on (workload, kernel, phase);
   the timing cells ("tree ms" and "bytecode ms", plus the ns/op value of
   micro rows) are compared as ratios and any slowdown beyond the
-  threshold is reported.  Timings are machine-dependent, so a
-  machine-fingerprint mismatch (env/hardware_threads + env/compiler
-  rows) SKIPS all ratio checks.
+  threshold is reported.  The "stmt-exec geomean" summary row's speedup
+  cell is additionally checked as an engine-level gate: a drop of more
+  than 10% below the baseline geomean is a regression even when every
+  individual timing cell is within threshold.  Timings are
+  machine-dependent, so a machine-fingerprint mismatch
+  (env/hardware_threads + env/compiler rows) SKIPS all ratio checks.
 - ``ablation_search`` — advisor-quality rows joined on (kernel); the
   measured remote-fraction cells (modulo / enumerate / beam) are exact
   deterministic values, so ANY drift is reported regardless of the
@@ -66,9 +69,9 @@ def index_rows(kind, rows):
 
 
 def parse_number(cell):
-    """'12.34' or '12.34%' -> 12.34; '-' or unparseable -> None."""
+    """'12.34', '12.34%' or '3.32x' -> 12.34/3.32; '-'/unparseable -> None."""
     if isinstance(cell, str):
-        cell = cell.rstrip("%")
+        cell = cell.rstrip("%x")
     try:
         return float(cell)
     except (TypeError, ValueError):
@@ -107,6 +110,31 @@ def fingerprints_mismatch(fresh, baseline):
     return mismatches
 
 
+# Summary speedup rows whose "speedup" cell ("3.32x") is a same-machine
+# ratio of ratios: dropping more than GEOMEAN_DROP below the baseline is a
+# regression of the engine itself, not of one noisy timing cell.
+GEOMEAN_KEYS = (("all", "-", "stmt-exec geomean"),)
+GEOMEAN_DROP = 0.10
+
+
+def geomean_regressions(fresh, baseline):
+    """Regression lines for the summary speedup rows (same machine only)."""
+    lines = []
+    for key in GEOMEAN_KEYS:
+        fresh_value = parse_number(fresh.get(key, {}).get("speedup"))
+        base_value = parse_number(baseline.get(key, {}).get("speedup"))
+        if fresh_value is None or base_value is None or base_value <= 0.0:
+            continue
+        ratio = fresh_value / base_value
+        if ratio < 1.0 - GEOMEAN_DROP:
+            lines.append(
+                "%-40s %-12s %8.2fx -> %7.2fx  (%+5.1f%% — geomean dropped "
+                "more than %.0f%%)" % (
+                    "/".join(key), "speedup", base_value, fresh_value,
+                    (ratio - 1.0) * 100.0, GEOMEAN_DROP * 100.0))
+    return lines
+
+
 def compare(fresh_path, baseline_path, threshold, out=sys.stdout):
     """Returns the regression lines (empty = clean).  Prints the report."""
     fresh_kind, fresh_rows = load_artifact(fresh_path)
@@ -137,6 +165,8 @@ def compare(fresh_path, baseline_path, threshold, out=sys.stdout):
 
     regressions = []
     improvements = []
+    if kind != "ablation_search":
+        regressions.extend(geomean_regressions(fresh, baseline))
     compared = 0
     sub_resolution = 0
     for key, base_row in baseline.items():
@@ -209,11 +239,14 @@ def _write_artifact(directory, name, artifact_id, columns, rows):
     return str(path)
 
 
-def _perf_artifact(directory, name, tree_ms, threads="4"):
-    columns = ["workload", "kernel", "phase", "instances", "tree ms"]
-    rows = [["fig1", "k01_hydro", "stmt-exec", "1000", tree_ms],
-            ["env", "hardware_threads", "count", threads, "-"],
-            ["env", "compiler", "id", "gcc-12", "-"]]
+def _perf_artifact(directory, name, tree_ms, threads="4", geomean=None):
+    columns = ["workload", "kernel", "phase", "instances", "tree ms",
+               "speedup"]
+    rows = [["fig1", "k01_hydro", "stmt-exec", "1000", tree_ms, "-"],
+            ["env", "hardware_threads", "count", threads, "-", "-"],
+            ["env", "compiler", "id", "gcc-12", "-", "-"]]
+    if geomean is not None:
+        rows.append(["all", "-", "stmt-exec geomean", "-", "-", geomean])
     return _write_artifact(directory, name, "perf_simulator", columns, rows)
 
 
@@ -263,6 +296,27 @@ def self_test():
         other_host = _perf_artifact(tmp, "other.json", "24.00", threads="64")
         regs = compare(other_host, ok, 0.15, out=io.StringIO())
         check("fingerprint mismatch skips the 2x slowdown", regs == [])
+
+        # 3b. The stmt-exec geomean speedup row: a >10% drop is a
+        #     regression even though every timing cell is within threshold,
+        #     a smaller wobble is clean, and the fingerprint skip applies
+        #     to it like any other same-machine ratio.
+        gbase = _perf_artifact(tmp, "gbase.json", "12.00", geomean="6.40x")
+        gdrop = _perf_artifact(tmp, "gdrop.json", "12.00", geomean="5.00x")
+        gwobble = _perf_artifact(tmp, "gwobble.json", "12.00",
+                                 geomean="6.00x")
+        gother = _perf_artifact(tmp, "gother.json", "12.00",
+                                geomean="5.00x", threads="64")
+        regs = compare(gdrop, gbase, 0.15, out=io.StringIO())
+        check("geomean speedup drop beyond 10% is a regression",
+              len(regs) == 1)
+        regs = compare(gwobble, gbase, 0.15, out=io.StringIO())
+        check("geomean wobble within 10% is clean", regs == [])
+        regs = compare(gother, gbase, 0.15, out=io.StringIO())
+        check("fingerprint mismatch skips the geomean check", regs == [])
+        regs = compare(fresh, gbase, 0.15, out=io.StringIO())
+        check("a fresh artifact without the geomean row is clean",
+              regs == [])
 
         # 4. The search artifact is compared exactly on ANY machine (no
         #    fingerprint rows), including its all-zero matched-kernel row.
