@@ -1,0 +1,125 @@
+// Ablation A9 — the joint per-array assignment advisor against the best
+// uniform (scalar beam) answer.
+//
+// PR 9 widened the machine from one global partition scheme to a per-array
+// assignment (DESIGN.md §14); this ablation measures what the coordinate
+// descent over the array→scheme vector buys on top of the scalar beam.
+// For every kernel in the registry — plus two mixed-shape synthetics
+// designed so that no uniform scheme can win (disjoint array groups with
+// opposing alignment) — we report the measured remote-read fraction under
+// the paper's modulo default, under the scalar beam's uniform pick, and
+// under the joint strategy's per-array pick.  A single advise() call per
+// kernel produces all three tiers: the joint search runs the scalar beam
+// first and carries its measured candidates into the joint ranking, so
+// "beam" here is exactly the uniform tier the joint pick must never lose
+// to (by construction).
+//
+// The emitted BENCH_ablation_joint.json is deterministic — measured
+// remote fractions, not timings — so tools/bench_diff.py compares it
+// exactly, on any machine, against the committed repo-root baseline.
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "bench_common.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+struct JointRow {
+  std::string id;
+  std::string klass;
+  bool mixed = false;  // synthetic designed for a strict heterogeneity win
+  std::function<sap::CompiledProgram()> build;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sap;
+  bench::init(argc, argv,
+              "Ablation A9: the joint per-array assignment advisor vs the "
+              "scalar beam over the kernel registry plus two mixed-shape "
+              "synthetics where no uniform scheme wins.");
+  bench::print_header(
+      "Ablation A9 — Joint per-array assignment vs uniform beam",
+      "measured remote read fraction at 16 PEs, 256-element cache");
+
+  const MachineConfig base = bench::paper_config().with_pes(16);
+  AdvisorOptions joint_options;
+  joint_options.strategy = AdvisorStrategy::kJoint;
+  joint_options.page_sizes = {16, 32, 64};
+  joint_options.beam_width = 4;
+  joint_options.measurement_budget = 16;
+  joint_options.joint_measurement_budget = 24;
+
+  std::vector<JointRow> rows;
+  for (const KernelSpec& spec : livermore_kernels()) {
+    rows.push_back(
+        {spec.id, to_string(spec.paper_class), false, spec.build});
+  }
+  // The synthetics' skew is a multiple of num_pes * max page size
+  // (16 * 256 = 4096) and n a power-of-two multiple of it, so the designed
+  // conflict survives every page-size move the beam can make: the skew
+  // stays modulo-invisible and the rate-k group stays block-aligned at any
+  // power-of-two page size up to the cache limit.
+  const std::int64_t mixed_n = 16384;
+  const std::int64_t mixed_skew = 4096;
+  rows.push_back({"syn_mixed_skew_rate", "mixed", true, [=] {
+                    return make_mixed_skew_vs_rate(mixed_n, mixed_skew);
+                  }});
+  rows.push_back({"syn_mixed_multigroup", "mixed", true, [=] {
+                    return make_mixed_multigroup(mixed_n, mixed_skew);
+                  }});
+
+  TextTable table({"kernel", "class", "modulo", "beam", "joint",
+                   "joint pick", "vs beam"});
+  int joint_wins = 0;
+  int joint_ties = 0;
+  int mixed_strict_wins = 0;
+  bool never_worse = true;
+  for (const JointRow& row : rows) {
+    const CompiledProgram program = row.build();
+    const AdvisorReport report =
+        advise(program, base, joint_options, &bench::pool());
+    const double modulo = report.baseline()->measured_remote_fraction;
+    // The uniform tier: the scalar beam's candidates ride along in the
+    // joint report with their measured numbers, so the best validated
+    // candidate without a per-array assignment IS the beam's pick.
+    double beam = modulo;
+    for (const AdvisorCandidate& c : report.candidates) {
+      if (c.validated && c.config.per_array.empty() &&
+          c.measured_remote_fraction < beam) {
+        beam = c.measured_remote_fraction;
+      }
+    }
+    const AdvisorCandidate& joint_pick = report.best();
+    const double joint = joint_pick.measured_remote_fraction;
+    std::string verdict;
+    if (joint < beam) {
+      verdict = "beats";
+      ++joint_wins;
+      if (row.mixed) ++mixed_strict_wins;
+    } else if (joint == beam) {
+      verdict = "ties";
+      ++joint_ties;
+    } else {
+      verdict = "WORSE";  // must never happen: the joint ranking contains
+                          // the scalar beam's measured candidates
+      never_worse = false;
+    }
+    table.add_row({row.id, row.klass, TextTable::pct(modulo),
+                   TextTable::pct(beam), TextTable::pct(joint),
+                   joint_pick.label(), verdict});
+  }
+  std::cout << table.to_string() << "\njoint beats the uniform beam on "
+            << joint_wins << "/" << rows.size() << " workloads, ties "
+            << joint_ties
+            << "; strictly better on " << mixed_strict_wins
+            << "/2 mixed-shape synthetics (never worse by construction)\n";
+  bench::emit_table("ablation_joint", table);
+  return never_worse && mixed_strict_wins == 2 ? 0 : 1;
+}

@@ -9,12 +9,24 @@
 //   --cache N      cache elements per PE (default 256; 0 disables)
 //   --page-sizes a,b,...   candidate page sizes (default 16,32,64)
 //   --top-k K      candidates validated by real simulation (default 3)
-//   --strategy S   'enumerate' (fixed cross product, the default) or
+//   --strategy S   'enumerate' (fixed cross product, the default),
 //                  'beam' (guided search over the widened mapping space:
-//                  scheme x block x page size x cache, DESIGN.md §11)
+//                  scheme x block x page size x cache, DESIGN.md §11) or
+//                  'joint' (per-array assignment search: scalar beam,
+//                  then coordinate descent over the array->scheme
+//                  vector, DESIGN.md §14)
 //   --beam-width N        beam states kept per search round (default 4)
 //   --budget N            beam measurement budget: total simulations the
 //                         search may spend (default 12)
+//   --joint-budget N      fresh measurement budget for the joint
+//                         coordinate-descent phase (default: --budget)
+//   --assign A=KIND[:b]   pin array A to a partition scheme in the base
+//                         configuration: KIND is modulo, block or
+//                         block-cyclic (an optional :b sets the
+//                         block-cyclic block in pages).  Repeatable.
+//                         Pinned arrays are never moved by the joint
+//                         search; unknown arrays or malformed specs are
+//                         usage errors (exit 2).
 //   --cache-sizes a,b,... extra cache capacities the beam may move to
 //                         (0 = no cache; default: the base cache only)
 //   --summary      also print the per-read classification verdicts
@@ -25,6 +37,7 @@
 // The recommendation table shows every candidate with its predicted cost
 // and, for the validated top-k (plus the paper's modulo default, always),
 // the measured remote-read fraction.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -44,9 +57,13 @@ namespace {
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--pes N] [--cache N] [--page-sizes a,b,...] [--top-k K]"
-         " [--strategy enumerate|beam] [--beam-width N] [--budget N]"
+         " [--strategy enumerate|beam|joint] [--beam-width N] [--budget N]"
+         " [--joint-budget N] [--assign ARRAY=KIND[:block]]..."
          " [--cache-sizes a,b,...] [--summary] [--trace <path>]"
          " <kernel-id | file.sap | ->\n"
+         "--assign pins an array to modulo, block or block-cyclic[:pages]\n"
+         "in the base configuration (unknown arrays are errors; the joint\n"
+         "search never moves a pinned array)\n"
          "--trace writes a Chrome trace-event profile to <path> at exit\n"
          "(overrides SAPART_TRACE; never changes the recommendation)\n";
 }
@@ -88,6 +105,55 @@ std::vector<std::int64_t> parse_int_list(const std::string& flag,
   return out;
 }
 
+/// One --assign ARRAY=KIND[:block] flag, parsed but not yet checked
+/// against the program (the program is compiled after flag parsing).
+struct AssignFlag {
+  std::string array;
+  sap::ArrayPartitionSpec spec;
+};
+
+AssignFlag parse_assign(const std::string& text) {
+  const auto fail = [&](const std::string& why) -> AssignFlag {
+    std::cerr << "--assign: '" << text << "': " << why
+              << " (expected ARRAY=modulo|block|block-cyclic[:pages])\n";
+    std::exit(2);
+  };
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == text.size()) {
+    return fail("missing ARRAY=KIND");
+  }
+  AssignFlag out;
+  out.array = text.substr(0, eq);
+  std::string kind = text.substr(eq + 1);
+  const std::size_t colon = kind.find(':');
+  std::string block;
+  if (colon != std::string::npos) {
+    block = kind.substr(colon + 1);
+    kind = kind.substr(0, colon);
+  }
+  if (kind == "modulo") {
+    out.spec.partition = sap::PartitionKind::kModulo;
+  } else if (kind == "block") {
+    out.spec.partition = sap::PartitionKind::kBlock;
+  } else if (kind == "block-cyclic") {
+    out.spec.partition = sap::PartitionKind::kBlockCyclic;
+  } else {
+    return fail("unknown partition kind '" + kind + "'");
+  }
+  if (colon != std::string::npos) {
+    if (out.spec.partition != sap::PartitionKind::kBlockCyclic) {
+      return fail("a :pages block is only valid for block-cyclic");
+    }
+    if (const auto pages = sap::parse_strict_int(block, 1, 1 << 20)) {
+      out.spec.block_cyclic_pages = *pages;
+    } else {
+      return fail("'" + block + "' is not a block size in [1, " +
+                  std::to_string(1 << 20) + "]");
+    }
+  }
+  return out;
+}
+
 sap::CompiledProgram load_program(const std::string& spec) {
   // A known kernel id wins; otherwise the spec is a file path ("-" for
   // stdin) holding DSL source.
@@ -120,6 +186,7 @@ int main(int argc, char** argv) {
   AdvisorOptions options;
   options.page_sizes = {16, 32, 64};
   bool print_summary = false;
+  std::vector<AssignFlag> assigns;
   std::string trace_flag;
   std::string spec;
 
@@ -153,6 +220,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--budget") {
       options.measurement_budget = static_cast<std::size_t>(
           parse_int_option(arg, next(), 1, 1 << 20));
+    } else if (arg == "--joint-budget") {
+      options.joint_measurement_budget = static_cast<std::size_t>(
+          parse_int_option(arg, next(), 1, 1 << 20));
+    } else if (arg == "--assign") {
+      assigns.push_back(parse_assign(next()));
     } else if (arg == "--cache-sizes") {
       options.cache_sizes = parse_int_list(arg, next(), 0, 1 << 30);
     } else if (arg == "--summary") {
@@ -212,6 +284,21 @@ int main(int argc, char** argv) {
 
   try {
     const CompiledProgram compiled = load_program(spec);
+    // --assign names must exist in the program: a typo that silently
+    // pinned nothing would make the "pinned" recommendation a lie.
+    for (const AssignFlag& assign : assigns) {
+      const auto& arrays = compiled.program.arrays;
+      const bool known =
+          std::any_of(arrays.begin(), arrays.end(),
+                      [&](const auto& decl) { return decl.name == assign.array; });
+      if (!known) {
+        std::cerr << "--assign: program '" << compiled.name()
+                  << "' has no array named '" << assign.array << "'\n";
+        return 2;
+      }
+      base = base.with_array_partition(assign.array, assign.spec);
+      options.pinned_arrays.push_back(assign.array);
+    }
     ThreadPool pool(workers);
     const AdvisorReport report = advise(compiled, base, options, &pool);
     if (print_summary) {

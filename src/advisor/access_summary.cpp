@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 #include <functional>
+#include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 
 #include "frontend/affine.hpp"
@@ -289,7 +291,55 @@ AccessSummary summarize_access(const CompiledProgram& compiled,
     out.statements.push_back(std::move(st));
   }
 
+  // Per-array rollup: traffic totals and shared-statement coupling, in
+  // name order (deterministic regardless of statement order).
+  std::map<std::string, ArrayDigest> digests;
+  std::map<std::string, std::set<std::string>> coupled;
+  const auto touch = [&](const std::string& name, std::int64_t elements) {
+    ArrayDigest& d = digests[name];
+    d.array = name;
+    d.elements = std::max(d.elements, elements);
+    return &d;
+  };
+  for (const StatementAccess& st : out.statements) {
+    std::set<std::string> participants;
+    participants.insert(st.array);
+    ArrayDigest* wd = touch(st.array, st.array_elements);
+    wd->writes += st.distinct_writes;
+    wd->expected_writes +=
+        static_cast<double>(st.distinct_writes) * st.exec_probability;
+    for (const ReadAccess& read : st.reads) {
+      if (read.self_accumulation) continue;
+      participants.insert(read.array);
+      ArrayDigest* rd = touch(read.array, read.array_elements);
+      rd->reads += st.instances;
+      rd->expected_reads += static_cast<double>(st.instances) *
+                            read.probability * st.exec_probability;
+    }
+    for (const std::string& name : participants) {
+      ++digests[name].statements;
+      for (const std::string& other : participants) {
+        if (other != name) coupled[name].insert(other);
+      }
+    }
+  }
+  out.arrays.reserve(digests.size());
+  for (auto& [name, digest] : digests) {
+    const auto it = coupled.find(name);
+    if (it != coupled.end()) {
+      digest.coupled.assign(it->second.begin(), it->second.end());
+    }
+    out.arrays.push_back(std::move(digest));
+  }
+
   return out;
+}
+
+const ArrayDigest* AccessSummary::digest_for(std::string_view array) const {
+  for (const ArrayDigest& digest : arrays) {
+    if (digest.array == array) return &digest;
+  }
+  return nullptr;
 }
 
 std::string AccessSummary::report() const {
@@ -340,6 +390,19 @@ std::string AccessSummary::report() const {
       if (read.probability < 1.0) os << " [p=" << read.probability << "]";
       os << '\n';
     }
+  }
+  for (const ArrayDigest& digest : arrays) {
+    os << "  array " << digest.array << ": " << digest.elements
+       << " elements, ~" << digest.reads << " reads, ~" << digest.writes
+       << " writes";
+    if (!digest.coupled.empty()) {
+      os << ", coupled with ";
+      for (std::size_t i = 0; i < digest.coupled.size(); ++i) {
+        if (i) os << ", ";
+        os << digest.coupled[i];
+      }
+    }
+    os << '\n';
   }
   return os.str();
 }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -102,10 +103,38 @@ struct StatementAccess {
   std::int64_t memory_reads() const noexcept;
 };
 
+/// Per-array rollup across statements: how much traffic one array carries
+/// and which arrays share a statement with it.  The joint advisor
+/// (DESIGN.md §14) orders its coordinate descent by traffic and derives
+/// group moves from the coupling sets — arrays that co-occur in a
+/// statement constrain each other's best scheme (the executing PE follows
+/// the writer's scheme, the read owner the reader's).
+struct ArrayDigest {
+  std::string array;
+  std::int64_t elements = 0;
+  /// Statements the array participates in (as the write target or a read).
+  std::int64_t statements = 0;
+  std::int64_t reads = 0;   // memory reads of this array
+  std::int64_t writes = 0;  // committed writes into this array
+  double expected_reads = 0.0;   // probability-weighted
+  double expected_writes = 0.0;  // probability-weighted
+  /// Arrays co-occurring with this one in at least one statement, sorted,
+  /// self excluded.
+  std::vector<std::string> coupled;
+
+  double traffic() const noexcept { return expected_reads + expected_writes; }
+};
+
 /// The advisor's program digest.
 struct AccessSummary {
   std::string program;
   std::vector<StatementAccess> statements;
+
+  /// Per-array digests, sorted by array name.
+  std::vector<ArrayDigest> arrays;
+
+  /// Digest for `array`; nullptr when the program never touches it.
+  const ArrayDigest* digest_for(std::string_view array) const;
 
   /// §7.1 static classification under the nominal machine (page size and
   /// cache the summary was taken with) — for reporting, not costing.

@@ -15,11 +15,23 @@ namespace sap {
 
 namespace {
 
+bool same_assignment(const MachineConfig& a, const MachineConfig& b) {
+  if (a.per_array.size() != b.per_array.size()) return false;
+  for (std::size_t i = 0; i < a.per_array.size(); ++i) {
+    if (a.per_array[i].array != b.per_array[i].array ||
+        a.per_array[i].spec.canonical() != b.per_array[i].spec.canonical()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool same_candidate_config(const MachineConfig& a, const MachineConfig& b) {
   return a.partition == b.partition && a.page_size == b.page_size &&
          a.cache_elements == b.cache_elements &&
          (a.partition != PartitionKind::kBlockCyclic ||
-          a.block_cyclic_pages == b.block_cyclic_pages);
+          a.block_cyclic_pages == b.block_cyclic_pages) &&
+         same_assignment(a, b);
 }
 
 }  // namespace
@@ -30,6 +42,8 @@ std::string to_string(AdvisorStrategy strategy) {
       return "enumerate";
     case AdvisorStrategy::kBeam:
       return "beam";
+    case AdvisorStrategy::kJoint:
+      return "joint";
   }
   return "unknown";
 }
@@ -37,8 +51,9 @@ std::string to_string(AdvisorStrategy strategy) {
 AdvisorStrategy advisor_strategy_from_name(std::string_view name) {
   if (name == "enumerate") return AdvisorStrategy::kEnumerate;
   if (name == "beam") return AdvisorStrategy::kBeam;
+  if (name == "joint") return AdvisorStrategy::kJoint;
   throw ConfigError("unknown advisor strategy '" + std::string(name) +
-                    "' (expected 'enumerate' or 'beam')");
+                    "' (expected 'enumerate', 'beam' or 'joint')");
 }
 
 std::string AdvisorCandidate::label() const {
@@ -55,6 +70,15 @@ std::string AdvisorCandidate::label() const {
       break;
   }
   os << " ps=" << config.page_size << " cache=" << config.cache_elements;
+  if (!config.per_array.empty()) {
+    os << " [";
+    for (std::size_t i = 0; i < config.per_array.size(); ++i) {
+      if (i > 0) os << ',';
+      os << config.per_array[i].array << '='
+         << sap::to_string(config.per_array[i].spec);
+    }
+    os << ']';
+  }
   return os.str();
 }
 
@@ -204,6 +228,9 @@ AdvisorReport advise(const CompiledProgram& compiled,
   base.validate();
   if (options.strategy == AdvisorStrategy::kBeam) {
     return advise_beam(compiled, base, options, pool);
+  }
+  if (options.strategy == AdvisorStrategy::kJoint) {
+    return advise_joint(compiled, base, options, pool);
   }
 
   static obs::Counter& reports = obs::counter("advisor/reports");

@@ -41,10 +41,19 @@ enum class AdvisorStrategy {
   /// by the analytic CostModel, steered by measured runs, finished with
   /// a hill-climb refinement pass (advisor/search.hpp, DESIGN.md §11).
   kBeam,
+  /// Per-array assignment search (DESIGN.md §14): runs the scalar beam
+  /// first, then coordinate descent over the array→scheme vector —
+  /// per-array single moves and coupled-group moves, CostModel-screened,
+  /// measured through a BudgetedSweeper.  The scalar phase's measured
+  /// candidates (the modulo baseline included) seed the joint tier, so
+  /// the pick is never worse than the best uniform answer by
+  /// construction.
+  kJoint,
 };
 
 std::string to_string(AdvisorStrategy strategy);
-/// "enumerate" / "beam" -> the enum; anything else throws ConfigError.
+/// "enumerate" / "beam" / "joint" -> the enum; anything else throws
+/// ConfigError.
 AdvisorStrategy advisor_strategy_from_name(std::string_view name);
 
 struct AdvisorOptions {
@@ -77,6 +86,14 @@ struct AdvisorOptions {
   /// 0 = no cache).  Empty keeps the base configuration's cache as the
   /// only cache point.  Values < 0 raise ConfigError.
   std::vector<std::int64_t> cache_sizes = {};
+
+  /// kJoint: arrays whose per-array spec the coordinate descent must not
+  /// move (manual --assign overrides in the base config stay as pinned).
+  std::vector<std::string> pinned_arrays = {};
+  /// kJoint: fresh measurement budget for the coordinate-descent phase
+  /// (the scalar phase spends `measurement_budget`); 0 reuses
+  /// `measurement_budget`.
+  std::size_t joint_measurement_budget = 0;
 };
 
 struct AdvisorCandidate {

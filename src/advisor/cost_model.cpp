@@ -49,12 +49,19 @@ class CostModel {
   CostModel(const AccessSummary& summary, const MachineConfig& config)
       : summary_(summary),
         config_(config),
-        scheme_(make_partition_scheme(config.partition,
-                                      config.block_cyclic_pages)),
+        default_scheme_(make_partition_scheme(config.partition,
+                                              config.block_cyclic_pages)),
         ps_(config.page_size),
         pes_(config.num_pes),
         frames_(config.cache_elements > 0 ? config.cache_elements / ps_ : 0),
-        per_pe_writes_(config.num_pes, 0.0) {}
+        per_pe_writes_(config.num_pes, 0.0) {
+    named_schemes_.reserve(config.per_array.size());
+    for (const ArrayPartitionOverride& o : config.per_array) {
+      named_schemes_.emplace_back(
+          o.array, make_partition_scheme(o.spec.partition,
+                                         o.spec.block_cyclic_pages));
+    }
+  }
 
   CostEstimate run() {
     std::vector<std::vector<ReadTally>> tallies;
@@ -99,12 +106,23 @@ class CostModel {
   }
 
  private:
-  PeId owner_of(std::int64_t elements, std::int64_t linear) const {
+  /// The scheme governing `array` under the candidate's assignment (its
+  /// override, else the machine-wide default) — the model's mirror of
+  /// Partitioner::scheme_for.
+  const PartitionScheme& scheme_for(const std::string& array) const {
+    for (const auto& [name, scheme] : named_schemes_) {
+      if (name == array) return *scheme;
+    }
+    return *default_scheme_;
+  }
+
+  PeId owner_of(const PartitionScheme& scheme, std::int64_t elements,
+                std::int64_t linear) const {
     const std::int64_t clamped =
         std::clamp<std::int64_t>(linear, 0, std::max<std::int64_t>(
                                                 elements - 1, 0));
-    return scheme_->owner(page_of(clamped, ps_),
-                          page_count_for(elements, ps_), pes_);
+    return scheme.owner(page_of(clamped, ps_),
+                        page_count_for(elements, ps_), pes_);
   }
 
   /// Smallest k' > k where base + stride*k' lands on a different page;
@@ -189,6 +207,16 @@ class CostModel {
     double raw_writes_total = 0.0;
     std::vector<double> raw_writes(pes_, 0.0);
 
+    // Resolve each array's scheme once per statement: the executing PE
+    // follows the *written* array's scheme (owner-computes), a read's
+    // owner follows the *read* array's scheme — under a heterogeneous
+    // assignment these can differ within one statement.
+    const PartitionScheme& write_scheme = scheme_for(st.array);
+    std::vector<const PartitionScheme*> read_schemes(st.reads.size());
+    for (std::size_t r = 0; r < st.reads.size(); ++r) {
+      read_schemes[r] = &scheme_for(st.reads[r].array);
+    }
+
     if (write_analytic) {
       const std::int64_t sw = depth > 0 ? st.write_strides[depth - 1] : 0;
       std::vector<std::int64_t> combo(outer_dims, 0);
@@ -211,11 +239,13 @@ class CostModel {
           for (std::size_t d = 0; d < outer_dims; ++d) {
             rbase += read.strides[d] * combo[d];
           }
-          walk_one_read(st, read, tallies[r], wbase, sw, rbase,
+          walk_one_read(st, read, tallies[r], write_scheme, *read_schemes[r],
+                        wbase, sw, rbase,
                         read.strides.empty() ? 0 : read.strides[depth - 1],
                         inner_trips, weight);
         }
-        walk_writes(st, raw_writes, wbase, sw, inner_trips, weight);
+        walk_writes(st, raw_writes, write_scheme, wbase, sw, inner_trips,
+                    weight);
       }
       for (std::uint32_t pe = 0; pe < pes_; ++pe) {
         raw_writes_total += raw_writes[pe];
@@ -264,7 +294,7 @@ class CostModel {
         per_pe_writes_[pe] += writes * raw_writes[pe] / raw_writes_total;
       }
     } else {
-      distribute_by_ownership(st.array_elements, writes);
+      distribute_by_ownership(write_scheme, st.array_elements, writes);
     }
     return tallies;
   }
@@ -276,14 +306,16 @@ class CostModel {
   /// was not already holding (page change), or when the executing PE
   /// changes (per-PE caches: the new owner's cache is cold).
   void walk_one_read(const StatementAccess& st, const ReadAccess& read,
-                     ReadTally& tally, std::int64_t wbase, std::int64_t sw,
-                     std::int64_t rbase, std::int64_t sr,
+                     ReadTally& tally, const PartitionScheme& write_scheme,
+                     const PartitionScheme& read_scheme, std::int64_t wbase,
+                     std::int64_t sw, std::int64_t rbase, std::int64_t sr,
                      std::int64_t inner_trips, double weight) {
     std::int64_t k = 0;
     while (k < inner_trips) {
-      const PeId exec_pe = owner_of(st.array_elements, wbase + sw * k);
+      const PeId exec_pe =
+          owner_of(write_scheme, st.array_elements, wbase + sw * k);
       const std::int64_t element = rbase + sr * k;
-      const PeId read_pe = owner_of(read.array_elements, element);
+      const PeId read_pe = owner_of(read_scheme, read.array_elements, element);
       const std::int64_t page = floor_div(element, ps_);
       const std::int64_t k_next =
           std::min({next_page_boundary(wbase, sw, k, ps_),
@@ -305,11 +337,12 @@ class CostModel {
   }
 
   void walk_writes(const StatementAccess& st, std::vector<double>& raw_writes,
-                   std::int64_t wbase, std::int64_t sw,
-                   std::int64_t inner_trips, double weight) {
+                   const PartitionScheme& write_scheme, std::int64_t wbase,
+                   std::int64_t sw, std::int64_t inner_trips, double weight) {
     std::int64_t k = 0;
     while (k < inner_trips) {
-      const PeId pe = owner_of(st.array_elements, wbase + sw * k);
+      const PeId pe =
+          owner_of(write_scheme, st.array_elements, wbase + sw * k);
       const std::int64_t boundary =
           next_page_boundary(wbase, sw, k, ps_);
       const std::int64_t k_next = std::min(boundary, inner_trips);
@@ -364,12 +397,13 @@ class CostModel {
     }
   }
 
-  void distribute_by_ownership(std::int64_t elements, double writes) {
+  void distribute_by_ownership(const PartitionScheme& scheme,
+                               std::int64_t elements, double writes) {
     if (elements <= 0 || writes <= 0.0) return;
     const std::int64_t pages = page_count_for(elements, ps_);
     std::vector<double> owned(pes_, 0.0);
     for (std::int64_t p = 0; p < pages; ++p) {
-      owned[scheme_->owner(p, pages, pes_)] +=
+      owned[scheme.owner(p, pages, pes_)] +=
           static_cast<double>(page_valid_elements(p, elements, ps_));
     }
     for (std::uint32_t pe = 0; pe < pes_; ++pe) {
@@ -422,7 +456,9 @@ class CostModel {
 
   const AccessSummary& summary_;
   const MachineConfig& config_;
-  std::unique_ptr<PartitionScheme> scheme_;
+  std::unique_ptr<PartitionScheme> default_scheme_;
+  std::vector<std::pair<std::string, std::unique_ptr<PartitionScheme>>>
+      named_schemes_;
   std::int64_t ps_;
   std::uint32_t pes_;
   std::int64_t frames_;

@@ -23,14 +23,40 @@ constexpr std::size_t kMaxBeamRounds = 6;
 constexpr std::size_t kMaxHillSteps = 8;
 // Beam rounds leave this many measurements for the hill-climb phase.
 constexpr std::size_t kHillClimbReserve = 2;
+// Coordinate-descent passes over the assignment vector (kJoint); the
+// descent usually converges — or runs out of budget — well before this.
+constexpr std::size_t kMaxJointRounds = 4;
 
-/// Forces the fields a simulation ignores into one canonical form so the
-/// dedup key (config_identity) cannot split one machine into several
-/// search states.
-MachineConfig canonical(MachineConfig config) {
+/// The form search points are *stored* in: the block-cyclic block is
+/// zeroed under non-BC schemes (machine-wide and per-array) and the
+/// override list is name-sorted — but overrides equal to the machine
+/// default are KEPT.  Moves derive new configs from the stored form, and
+/// absorbing an override into the default would silently unpin the array
+/// the moment a later move changes the machine-wide scheme.
+MachineConfig canonical_stored(MachineConfig config) {
   if (config.partition != PartitionKind::kBlockCyclic) {
     config.block_cyclic_pages = 0;
   }
+  for (ArrayPartitionOverride& o : config.per_array) {
+    o.spec = o.spec.canonical();
+  }
+  std::sort(config.per_array.begin(), config.per_array.end(),
+            [](const ArrayPartitionOverride& a,
+               const ArrayPartitionOverride& b) { return a.array < b.array; });
+  return config;
+}
+
+/// The dedup-key form on top: overrides equal to the canonical default
+/// are dropped, so "default bc4 + V=bc4" and plain "default bc4" — the
+/// same machine — cannot split into two search states (or spend the
+/// measurement budget twice through the sweeper's memo).
+MachineConfig canonical(MachineConfig config) {
+  config = canonical_stored(std::move(config));
+  const ArrayPartitionSpec default_spec =
+      config.default_partition_spec().canonical();
+  std::erase_if(config.per_array, [&](const ArrayPartitionOverride& o) {
+    return o.spec == default_spec;
+  });
   return config;
 }
 
@@ -64,6 +90,10 @@ class BeamSearch {
     }
     page_min_ = std::max<std::int64_t>(1, page_min_ / 4);
     page_max_ = page_max_ * 4;
+    // The assignment the modulo baseline carries: the base's own overrides
+    // in the same canonical form intern() compares against.
+    base_assignment_ =
+        canonical(base.with_partition(PartitionKind::kModulo)).per_array;
     cache_axis_ = {base.cache_elements};
     for (const std::int64_t cache : options.cache_sizes) {
       if (cache < 0) {
@@ -82,25 +112,48 @@ class BeamSearch {
   /// the cost model, deduplicated against everything already discovered.
   /// Returns the point's index, or npos for an invalid combination.
   std::size_t intern(const MachineConfig& raw) {
-    const MachineConfig config = canonical(raw);
+    const MachineConfig config = canonical_stored(raw);
     try {
       config.validate();
     } catch (const ConfigError&) {
       return npos;
     }
-    const std::string key = config_identity(config);
+    const std::string key = config_identity(canonical(config));
     for (std::size_t i = 0; i < keys_.size(); ++i) {
       if (keys_[i] == key) return i;
     }
     AdvisorCandidate c;
     c.config = config;
+    // The baseline is the paper's modulo default at the base page size and
+    // cache, carrying exactly the base's own (canonical) assignment — under
+    // manual --assign pins the pins are part of the baseline, since no
+    // candidate may drop them.
     c.is_baseline = config.partition == PartitionKind::kModulo &&
                     config.page_size == base_.page_size &&
-                    config.cache_elements == base_.cache_elements;
+                    config.cache_elements == base_.cache_elements &&
+                    canonical(config).per_array == base_assignment_;
     c.predicted = estimate_cost(summary_, config);
     points_.push_back(std::move(c));
     keys_.push_back(key);
     return points_.size() - 1;
+  }
+
+  /// Interns `candidate`'s config and, when the candidate carries a
+  /// measured result this search has not, copies it over — the joint
+  /// strategy folds the scalar phase's measured uniform tier in without
+  /// spending this search's budget on re-simulation.
+  std::size_t adopt(const AdvisorCandidate& candidate) {
+    const std::size_t idx = intern(candidate.config);
+    if (idx == npos) return npos;
+    AdvisorCandidate& point = points_[idx];
+    if (candidate.validated && !point.validated) {
+      point.validated = true;
+      point.measured_remote_fraction = candidate.measured_remote_fraction;
+      point.measured_remote_reads = candidate.measured_remote_reads;
+      point.measured_total_reads = candidate.measured_total_reads;
+      point.measured_write_imbalance = candidate.measured_write_imbalance;
+    }
+    return idx;
   }
 
   /// One-axis-step moves from `idx`, in a fixed order (scheme flips,
@@ -230,6 +283,7 @@ class BeamSearch {
 
  private:
   MachineConfig base_;
+  std::vector<ArrayPartitionOverride> base_assignment_;
   const AdvisorOptions& options_;
   const AccessSummary& summary_;
   BudgetedSweeper sweeper_;
@@ -239,6 +293,19 @@ class BeamSearch {
   std::vector<AdvisorCandidate> points_;
   std::vector<std::string> keys_;
 };
+
+/// Strict measured-tier comparison (remote fraction, write imbalance,
+/// predicted score) — the coordinate descent only moves on a strict win,
+/// so ties keep the incumbent and the walk terminates deterministically.
+bool measured_better(const AdvisorCandidate& a, const AdvisorCandidate& b) {
+  if (a.measured_remote_fraction != b.measured_remote_fraction) {
+    return a.measured_remote_fraction < b.measured_remote_fraction;
+  }
+  if (a.measured_write_imbalance != b.measured_write_imbalance) {
+    return a.measured_write_imbalance < b.measured_write_imbalance;
+  }
+  return a.predicted.score() < b.predicted.score();
+}
 
 }  // namespace
 
@@ -352,6 +419,141 @@ AdvisorReport advise_beam(const CompiledProgram& compiled,
   //    measured cost, everything else by predicted score, stable on
   //    discovery order.  The baseline is measured, so best() can never
   //    rank behind it.
+  std::vector<AdvisorCandidate> candidates = search.take_points();
+  for (const AdvisorCandidate& c : candidates) {
+    if (c.validated) report.validated_count++;
+  }
+  rank_candidates(candidates);
+  report.candidates = std::move(candidates);
+  return report;
+}
+
+AdvisorReport advise_joint(const CompiledProgram& compiled,
+                           const MachineConfig& base,
+                           const AdvisorOptions& options, ThreadPool* pool) {
+  base.validate();
+
+  // Phase 1: the scalar beam picks the best *uniform* configuration and
+  // measures the uniform tier — the modulo baseline, the enumerator's top
+  // predictions, and whatever the beam discovered.
+  AdvisorReport scalar = advise_beam(compiled, base, options, pool);
+
+  static obs::Counter& reports = obs::counter("advisor/reports");
+  reports.add(1);
+
+  AdvisorReport report;
+  report.program = std::move(scalar.program);
+  report.base = base;
+  report.summary = std::move(scalar.summary);
+
+  // Phase 2: coordinate descent over the per-array assignment vector,
+  // holding the incumbent's page size and cache fixed (only the partition
+  // axis is per-array).
+  const obs::Span span("advisor", "joint");
+  static obs::Counter& joint_rounds = obs::counter("advisor/joint_rounds");
+  static obs::Counter& joint_moves = obs::counter("advisor/joint_moves");
+  static obs::Counter& joint_memo_hits =
+      obs::counter("advisor/joint_memo_hits");
+
+  // The descent gets a fresh budget (the scalar phase spent its own); the
+  // scalar phase's measured points are folded in below without spending
+  // any of it.
+  AdvisorOptions joint_options = options;
+  if (options.joint_measurement_budget > 0) {
+    joint_options.measurement_budget = options.joint_measurement_budget;
+  }
+  BeamSearch search(compiled, base, report.summary, joint_options, pool);
+  for (const AdvisorCandidate& c : scalar.candidates) search.adopt(c);
+
+  // The incumbent: the best measured uniform point.  Every uniform vector
+  // the scalar phase validated is in the point set with its measurement,
+  // so the final ranking can never fall behind the scalar answer.
+  std::vector<std::size_t> ranking = search.measured_ranking();
+  SAP_CHECK(!ranking.empty(), "joint search has no measured uniform seed");
+  std::size_t current = ranking.front();
+
+  const auto is_pinned = [&](const std::string& name) {
+    return std::find(options.pinned_arrays.begin(),
+                     options.pinned_arrays.end(),
+                     name) != options.pinned_arrays.end();
+  };
+
+  // Coordinate order: traffic-major (ties by name — summary.arrays is
+  // name-sorted and the sort is stable), pinned arrays excluded.
+  std::vector<const ArrayDigest*> arrays;
+  for (const ArrayDigest& digest : report.summary.arrays) {
+    if (!is_pinned(digest.array)) arrays.push_back(&digest);
+  }
+  std::stable_sort(arrays.begin(), arrays.end(),
+                   [](const ArrayDigest* a, const ArrayDigest* b) {
+                     return a->traffic() > b->traffic();
+                   });
+
+  // The per-coordinate spec axis: every configured kind, BC expanded over
+  // the block axis.
+  std::vector<ArrayPartitionSpec> specs;
+  for (const PartitionKind kind : options.kinds) {
+    if (kind == PartitionKind::kBlockCyclic) {
+      std::vector<std::int64_t> blocks = options.block_cyclic_pages;
+      if (blocks.empty()) blocks.push_back(2);
+      for (const std::int64_t block : blocks) specs.push_back({kind, block});
+    } else {
+      specs.push_back({kind, 0});
+    }
+  }
+
+  for (std::size_t round = 0; round < kMaxJointRounds; ++round) {
+    bool moved_this_round = false;
+    joint_rounds.add(1);
+    for (const ArrayDigest* digest : arrays) {
+      const MachineConfig cur = search.point(current).config;
+      std::vector<std::size_t> moves;
+      const auto consider = [&](const MachineConfig& config) {
+        const std::size_t idx = search.intern(config);
+        if (idx == BeamSearch::npos || idx == current) return;
+        if (std::find(moves.begin(), moves.end(), idx) != moves.end()) return;
+        if (search.point(idx).validated) joint_memo_hits.add(1);
+        moves.push_back(idx);
+      };
+      // Drop the override, every single-array re-spec, and the coupled
+      // group move (this array plus its statement partners together —
+      // single moves alone stall when the win needs the reader's and the
+      // writer's array to flip in the same step).
+      consider(cur.without_array_partition(digest->array));
+      for (const ArrayPartitionSpec& spec : specs) {
+        consider(cur.with_array_partition(digest->array, spec));
+        MachineConfig group = cur.with_array_partition(digest->array, spec);
+        for (const std::string& partner : digest->coupled) {
+          if (!is_pinned(partner)) {
+            group = group.with_array_partition(partner, spec);
+          }
+        }
+        consider(group);
+      }
+      // CostModel screen, then measure the most promising as one batch.
+      std::vector<std::size_t> batch = search.screen(moves);
+      const std::size_t cap =
+          std::min(options.beam_width, search.remaining_budget());
+      if (batch.size() > cap) batch.resize(cap);
+      search.measure(batch);
+      // Adopt the best measured move on a strict win (discovery order
+      // breaks ties toward the earliest candidate).
+      std::size_t best = current;
+      for (const std::size_t idx : moves) {
+        if (search.point(idx).validated &&
+            measured_better(search.point(idx), search.point(best))) {
+          best = idx;
+        }
+      }
+      if (best != current) {
+        current = best;
+        moved_this_round = true;
+        joint_moves.add(1);
+      }
+    }
+    if (!moved_this_round) break;
+  }
+
   std::vector<AdvisorCandidate> candidates = search.take_points();
   for (const AdvisorCandidate& c : candidates) {
     if (c.validated) report.validated_count++;

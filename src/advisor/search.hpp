@@ -40,4 +40,18 @@ AdvisorReport advise_beam(const CompiledProgram& compiled,
                           const AdvisorOptions& options = {},
                           ThreadPool* pool = nullptr);
 
+/// The AdvisorStrategy::kJoint pipeline (DESIGN.md §14): the scalar beam
+/// above picks the best *uniform* configuration, then coordinate descent
+/// over the per-array assignment vector — for each array (traffic-major
+/// order from the AccessSummary digests) try every (kind, block) spec as
+/// a single move and as a group move together with its statement-coupled
+/// arrays, screen with the CostModel, measure the screened best through a
+/// fresh BudgetedSweeper.  The scalar phase's measured candidates are
+/// carried into the joint ranking, so the result is never worse than the
+/// best uniform answer (and hence never worse than the modulo baseline).
+AdvisorReport advise_joint(const CompiledProgram& compiled,
+                           const MachineConfig& base,
+                           const AdvisorOptions& options = {},
+                           ThreadPool* pool = nullptr);
+
 }  // namespace sap

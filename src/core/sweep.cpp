@@ -51,12 +51,12 @@ std::vector<SimulationResult> parallel_sweep_results(
 }
 
 std::string config_identity(const MachineConfig& config) {
-  // to_string() is for humans and omits block_cyclic_pages, the
-  // partial-page switch and the seed; the memo needs every field that a
-  // simulation can observe.
-  return config.to_string() + " b=" + std::to_string(config.block_cyclic_pages) +
-         " partial=" + (config.count_partial_page_refetch ? "1" : "0") +
-         " seed=" + std::to_string(config.seed);
+  // to_string() covers every simulation-visible field — the block-cyclic
+  // block, partial-page switch, non-default seed and the per-array
+  // assignment — so it IS the memo key.  (It deliberately omits fields a
+  // simulation cannot observe, e.g. the block size under a non-BC default,
+  // which makes the memo slightly more effective, not less sound.)
+  return config.to_string();
 }
 
 BudgetedSweeper::BudgetedSweeper(const CompiledProgram& program,

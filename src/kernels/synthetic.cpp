@@ -108,6 +108,40 @@ CompiledProgram make_stencil_2d(std::int64_t rows, std::int64_t cols) {
   return b.compile();
 }
 
+CompiledProgram make_mixed_skew_vs_rate(std::int64_t n, std::int64_t skew) {
+  SAP_CHECK(n >= 1 && skew >= 1, "mixed workload parameters must be positive");
+  ProgramBuilder b("syn_mixed_skew_rate_" + std::to_string(n));
+  b.array("A", {n});
+  b.input_array("D", {n + skew});
+  b.array("C", {n});
+  b.input_array("B", {2 * n});
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {k}, b.at("D", {k + ex_num(static_cast<double>(skew))}));
+  b.assign("C", {k}, b.at("B", {2.0 * k}));
+  b.end_loop();
+  return b.compile();
+}
+
+CompiledProgram make_mixed_multigroup(std::int64_t n, std::int64_t skew) {
+  SAP_CHECK(n >= 1 && skew >= 1, "mixed workload parameters must be positive");
+  ProgramBuilder b("syn_mixed_multigroup_" + std::to_string(n));
+  b.array("A", {n});
+  b.input_array("D", {n + skew});
+  b.array("C", {n});
+  b.input_array("B", {4 * n});
+  b.array("E", {n});
+  b.input_array("F", {n});
+  b.scalar("C0", 1.0);
+  const Ex k = b.var("K");
+  b.begin_loop("K", 1, ex_num(static_cast<double>(n)));
+  b.assign("A", {k}, b.at("D", {k + ex_num(static_cast<double>(skew))}));
+  b.assign("C", {k}, b.at("B", {4.0 * k}) + b.at("B", {4.0 * k - 3.0}));
+  b.assign("E", {k}, b.at("F", {k}) + b.var("C0"));
+  b.end_loop();
+  return b.compile();
+}
+
 Program make_nonsa_timestep(std::int64_t n, std::int64_t steps) {
   SAP_CHECK(n >= 1 && steps >= 2, "need n >= 1 and steps >= 2");
   ProgramBuilder b("nonsa_timestep");

@@ -33,6 +33,30 @@ CompiledProgram make_dot_product(std::int64_t n);
 /// 5-point 2-D stencil: OUT(i,j) from IN(i +/- 1, j +/- 1 cross).
 CompiledProgram make_stencil_2d(std::int64_t rows, std::int64_t cols);
 
+/// Mixed-shape workload where no uniform partition scheme wins (DESIGN.md
+/// §14): one loop nest with two statements over disjoint array groups of
+/// opposing shape.  {A, D} is a skew — A(k) = D(k + skew) — and {C, B} is
+/// a rate-2 read C(k) = B(2k), aligned under block (B has exactly twice
+/// C's pages) but decorrelated under modulo.  Choose `skew` a whole
+/// multiple of num_pes * page_size so the skew is invisible under modulo
+/// (read owner == exec PE) but shifts owners under block/block-cyclic:
+/// then the heterogeneous assignment {C, B} -> block with {A, D} on
+/// modulo reaches exactly 0% remote while every uniform scheme leaves one
+/// statement remote.  When the advisor may also move the page size (the
+/// beam's doubling walk), pick skew as a multiple of num_pes * max_ps and
+/// n a power-of-two multiple of it so both properties hold at every page
+/// size the search can visit.
+CompiledProgram make_mixed_skew_vs_rate(std::int64_t n, std::int64_t skew);
+
+/// Second mixed-shape workload: three disjoint groups in one nest —
+/// A(k) = D(k + skew) as above, C(k) = B(4k) + B(4k-3) (rate-4, aligned
+/// only under block), and a matched pair E(k) = F(k) that is local under
+/// every scheme (the assignment search must leave it at the default
+/// rather than waste moves).  The same skew/size guidance applies;
+/// heterogeneity ({C, B} on block) again reaches 0% remote while every
+/// uniform scheme pays on some statement.
+CompiledProgram make_mixed_multigroup(std::int64_t n, std::int64_t skew);
+
 /// NOT single assignment: rewrites A every time step.  Input for the
 /// conversion tool (REINIT insertion); running it directly traps with
 /// DoubleWriteError on step 2.

@@ -1,11 +1,69 @@
 #include "machine/config.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
 #include "support/error.hpp"
 
 namespace sap {
+
+std::string to_string(const ArrayPartitionSpec& spec) {
+  if (spec.partition == PartitionKind::kBlockCyclic) {
+    return "block-cyclic(b=" + std::to_string(spec.block_cyclic_pages) + ")";
+  }
+  return to_string(spec.partition);
+}
+
+namespace {
+
+std::vector<ArrayPartitionOverride>::const_iterator find_override(
+    const std::vector<ArrayPartitionOverride>& overrides,
+    std::string_view array) {
+  return std::find_if(
+      overrides.begin(), overrides.end(),
+      [&](const ArrayPartitionOverride& o) { return o.array == array; });
+}
+
+}  // namespace
+
+ArrayPartitionSpec MachineConfig::partition_spec_for(
+    std::string_view array) const {
+  const auto it = find_override(per_array, array);
+  return it == per_array.end() ? default_partition_spec() : it->spec;
+}
+
+bool MachineConfig::has_array_partition(std::string_view array) const {
+  return find_override(per_array, array) != per_array.end();
+}
+
+MachineConfig MachineConfig::with_array_partition(
+    std::string_view array, ArrayPartitionSpec spec) const {
+  MachineConfig c = *this;
+  const auto it = std::find_if(
+      c.per_array.begin(), c.per_array.end(),
+      [&](const ArrayPartitionOverride& o) { return o.array == array; });
+  if (it != c.per_array.end()) {
+    it->spec = spec;
+    return c;
+  }
+  const auto pos = std::lower_bound(
+      c.per_array.begin(), c.per_array.end(), array,
+      [](const ArrayPartitionOverride& o, std::string_view name) {
+        return o.array < name;
+      });
+  c.per_array.insert(pos, ArrayPartitionOverride{std::string(array), spec});
+  return c;
+}
+
+MachineConfig MachineConfig::without_array_partition(
+    std::string_view array) const {
+  MachineConfig c = *this;
+  std::erase_if(c.per_array, [&](const ArrayPartitionOverride& o) {
+    return o.array == array;
+  });
+  return c;
+}
 
 void MachineConfig::validate() const {
   if (num_pes == 0) throw ConfigError("num_pes must be >= 1");
@@ -20,6 +78,24 @@ void MachineConfig::validate() const {
   if (partition == PartitionKind::kBlockCyclic && block_cyclic_pages < 1) {
     throw ConfigError("block_cyclic_pages must be >= 1");
   }
+  for (const ArrayPartitionOverride& o : per_array) {
+    if (o.array.empty()) {
+      throw ConfigError("per_array override with an empty array name");
+    }
+    if (o.spec.partition == PartitionKind::kBlockCyclic &&
+        o.spec.block_cyclic_pages < 1) {
+      throw ConfigError("per_array override for '" + o.array +
+                        "': block_cyclic_pages must be >= 1");
+    }
+  }
+  for (std::size_t i = 0; i < per_array.size(); ++i) {
+    for (std::size_t j = i + 1; j < per_array.size(); ++j) {
+      if (per_array[i].array == per_array[j].array) {
+        throw ConfigError("duplicate per_array override for '" +
+                          per_array[i].array + "'");
+      }
+    }
+  }
   if (topology == TopologyKind::kHypercube && !std::has_single_bit(num_pes)) {
     throw ConfigError("hypercube topology needs a power-of-two PE count");
   }
@@ -29,8 +105,26 @@ std::string MachineConfig::to_string() const {
   std::ostringstream os;
   os << "pes=" << num_pes << " ps=" << page_size
      << " cache=" << cache_elements << " (" << sap::to_string(replacement)
-     << ") partition=" << sap::to_string(partition)
-     << " topology=" << sap::to_string(topology);
+     << ") partition=" << sap::to_string(default_partition_spec());
+  if (!per_array.empty()) {
+    // Print overrides sorted by name so hand-built unsorted vectors still
+    // produce the canonical identity string.
+    std::vector<const ArrayPartitionOverride*> sorted;
+    sorted.reserve(per_array.size());
+    for (const ArrayPartitionOverride& o : per_array) sorted.push_back(&o);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ArrayPartitionOverride* a,
+                 const ArrayPartitionOverride* b) { return a->array < b->array; });
+    os << " arrays=[";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) os << ',';
+      os << sorted[i]->array << '=' << sap::to_string(sorted[i]->spec);
+    }
+    os << ']';
+  }
+  os << " topology=" << sap::to_string(topology);
+  if (count_partial_page_refetch) os << " partial-refetch";
+  if (seed != MachineConfig{}.seed) os << " seed=" << seed;
   return os.str();
 }
 

@@ -1,16 +1,50 @@
 // Machine configuration: the knobs of the paper's simulation (§6) plus the
 // extension knobs called out in §9 (partition scheme, replacement policy,
-// topology, partial-page accounting).
+// topology, partial-page accounting) and the per-array partition assignment
+// (DESIGN.md §14): a joint array→scheme mapping with a machine-wide default
+// for unnamed arrays.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "cache/replacement.hpp"
 #include "network/topology.hpp"
 #include "partition/scheme.hpp"
 
 namespace sap {
+
+/// One array's partition choice: a scheme kind plus the pages-per-block of
+/// the block-cyclic scheme (meaningful only for kBlockCyclic).
+struct ArrayPartitionSpec {
+  PartitionKind partition = PartitionKind::kModulo;
+  std::int64_t block_cyclic_pages = 2;
+
+  /// Canonical form for interning/memo keys: the block is zeroed on non-BC
+  /// schemes, where it is simulation-invisible (mirrors the PR 6 search
+  /// interning rule).
+  ArrayPartitionSpec canonical() const {
+    return {partition,
+            partition == PartitionKind::kBlockCyclic ? block_cyclic_pages : 0};
+  }
+
+  friend bool operator==(const ArrayPartitionSpec&,
+                         const ArrayPartitionSpec&) = default;
+};
+
+/// "modulo", "block", or "block-cyclic(b=N)".
+std::string to_string(const ArrayPartitionSpec& spec);
+
+/// A named array's override of the machine-wide default spec.
+struct ArrayPartitionOverride {
+  std::string array;
+  ArrayPartitionSpec spec;
+
+  friend bool operator==(const ArrayPartitionOverride&,
+                         const ArrayPartitionOverride&) = default;
+};
 
 struct MachineConfig {
   /// Number of processing elements ("number of processors", §6).
@@ -29,6 +63,11 @@ struct MachineConfig {
   /// Pages per block for the block-cyclic scheme (ignored otherwise).
   std::int64_t block_cyclic_pages = 2;
 
+  /// Per-array partition overrides, kept sorted by array name (the fluent
+  /// helper maintains the order); arrays not named here use the
+  /// machine-wide default above.
+  std::vector<ArrayPartitionOverride> per_array;
+
   TopologyKind topology = TopologyKind::kCrossbar;
 
   /// §4 footnote: "a single page might have to be fetched more than once if
@@ -40,9 +79,24 @@ struct MachineConfig {
   /// Seed for random replacement / synthetic workloads.
   std::uint64_t seed = 0x5eed;
 
+  /// The machine-wide default as a spec.
+  ArrayPartitionSpec default_partition_spec() const {
+    return {partition, block_cyclic_pages};
+  }
+
+  /// The spec governing `array`: its override when present, the
+  /// machine-wide default otherwise.
+  ArrayPartitionSpec partition_spec_for(std::string_view array) const;
+
+  /// True when `array` carries an explicit override.
+  bool has_array_partition(std::string_view array) const;
+
   /// Throws ConfigError when inconsistent.
   void validate() const;
 
+  /// Covers every simulation-visible field (the sweep memo key is this
+  /// string), including the block-cyclic block, partial-page switch,
+  /// non-default seed and the per-array assignment.
   std::string to_string() const;
 
   // Fluent helpers keep sweep code terse.
@@ -66,6 +120,11 @@ struct MachineConfig {
     c.partition = kind;
     return c;
   }
+  MachineConfig with_block_cyclic_pages(std::int64_t pages) const {
+    MachineConfig c = *this;
+    c.block_cyclic_pages = pages;
+    return c;
+  }
   MachineConfig with_replacement(ReplacementPolicy policy) const {
     MachineConfig c = *this;
     c.replacement = policy;
@@ -76,6 +135,16 @@ struct MachineConfig {
     c.topology = kind;
     return c;
   }
+  /// Adds or replaces `array`'s override, keeping per_array sorted by name.
+  MachineConfig with_array_partition(std::string_view array,
+                                     ArrayPartitionSpec spec) const;
+  MachineConfig with_array_partition(std::string_view array,
+                                     PartitionKind kind,
+                                     std::int64_t block_pages = 2) const {
+    return with_array_partition(array, ArrayPartitionSpec{kind, block_pages});
+  }
+  /// Drops `array`'s override (no-op when absent).
+  MachineConfig without_array_partition(std::string_view array) const;
 };
 
 }  // namespace sap

@@ -7,9 +7,7 @@ namespace sap {
 
 Machine::Machine(MachineConfig config) : config_(config) {
   config_.validate();
-  partitioner_ = std::make_unique<Partitioner>(
-      make_partition_scheme(config_.partition, config_.block_cyclic_pages),
-      config_.page_size, config_.num_pes);
+  partitioner_ = std::make_unique<Partitioner>(config_);
   network_ = std::make_unique<Network>(
       make_topology(config_.topology, config_.num_pes));
   pes_.reserve(config_.num_pes);

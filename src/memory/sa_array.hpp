@@ -88,6 +88,20 @@ class SaArray {
   /// the write path never touches shared state beyond the cell itself).
   std::int64_t defined_count() const noexcept;
 
+  /// Opaque memo slot for the Partitioner's per-array scheme resolution
+  /// (partition/partitioner.hpp): a pointer into the resolving
+  /// Partitioner's immutable resolution table, stored here so repeated
+  /// ownership queries skip the name lookup.  Atomic because the sharded
+  /// runtime's trace producer and shard workers may race on the first
+  /// touch; resolution is deterministic, so every racer stores the same
+  /// value.  void* keeps memory/ independent of partition/.
+  const void* partition_hint() const noexcept {
+    return partition_hint_.load(std::memory_order_acquire);
+  }
+  void set_partition_hint(const void* hint) const noexcept {
+    partition_hint_.store(hint, std::memory_order_release);
+  }
+
  private:
   void bounds_check(std::int64_t linear) const;
   bool defined_at(std::int64_t linear) const noexcept;
@@ -109,6 +123,7 @@ class SaArray {
   std::atomic<std::int64_t> queued_cells_{0};
   mutable std::mutex defer_mutex_;
   std::uint64_t generation_ = 0;
+  mutable std::atomic<const void*> partition_hint_{nullptr};
 };
 
 }  // namespace sap

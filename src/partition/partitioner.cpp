@@ -7,16 +7,55 @@ namespace sap {
 
 Partitioner::Partitioner(std::unique_ptr<PartitionScheme> scheme,
                          std::int64_t page_size, std::uint32_t num_pes)
-    : scheme_(std::move(scheme)), page_size_(page_size), num_pes_(num_pes) {
-  if (!scheme_) throw ConfigError("partitioner needs a scheme");
+    : default_scheme_(std::move(scheme)),
+      page_size_(page_size),
+      num_pes_(num_pes) {
+  if (!default_scheme_) throw ConfigError("partitioner needs a scheme");
   if (page_size_ < 1) throw ConfigError("page size must be >= 1");
   if (num_pes_ < 1) throw ConfigError("at least one PE required");
+  default_resolution_ = {this, default_scheme_.get()};
+}
+
+Partitioner::Partitioner(const MachineConfig& config)
+    : Partitioner(make_partition_scheme(config.partition,
+                                        config.block_cyclic_pages),
+                  config.page_size, config.num_pes) {
+  named_.reserve(config.per_array.size());
+  for (const ArrayPartitionOverride& o : config.per_array) {
+    if (o.array.empty()) {
+      throw ConfigError("per_array override with an empty array name");
+    }
+    NamedScheme entry;
+    entry.array = o.array;
+    entry.scheme = make_partition_scheme(o.spec.partition,
+                                         o.spec.block_cyclic_pages);
+    named_.push_back(std::move(entry));
+  }
+  // Resolution pointers are taken after the vector reached its final size
+  // (reserve above makes the push_backs non-reallocating, but do not rely
+  // on that silently).
+  for (NamedScheme& entry : named_) {
+    entry.resolution = {this, entry.scheme.get()};
+  }
+}
+
+const Partitioner::Resolution& Partitioner::resolve(
+    const SaArray& array) const {
+  const Resolution* r = &default_resolution_;
+  for (const NamedScheme& entry : named_) {
+    if (entry.array == array.name()) {
+      r = &entry.resolution;
+      break;
+    }
+  }
+  array.set_partition_hint(r);
+  return *r;
 }
 
 PeId Partitioner::owner_of_page(const SaArray& array, PageIndex page) const {
   const std::int64_t pages = page_count_for(array.element_count(), page_size_);
   SAP_DCHECK(page >= 0 && page < pages, "page index out of range");
-  return scheme_->owner(page, pages, num_pes_);
+  return scheme_for(array).owner(page, pages, num_pes_);
 }
 
 PeId Partitioner::owner_of_element(const SaArray& array,
@@ -27,9 +66,10 @@ PeId Partitioner::owner_of_element(const SaArray& array,
 std::vector<PageIndex> Partitioner::pages_owned_by(const SaArray& array,
                                                    PeId pe) const {
   std::vector<PageIndex> owned;
+  const PartitionScheme& scheme = scheme_for(array);
   const std::int64_t pages = page_count_for(array.element_count(), page_size_);
   for (PageIndex p = 0; p < pages; ++p) {
-    if (scheme_->owner(p, pages, num_pes_) == pe) owned.push_back(p);
+    if (scheme.owner(p, pages, num_pes_) == pe) owned.push_back(p);
   }
   return owned;
 }
@@ -37,9 +77,10 @@ std::vector<PageIndex> Partitioner::pages_owned_by(const SaArray& array,
 std::int64_t Partitioner::elements_owned_by(const SaArray& array,
                                             PeId pe) const {
   std::int64_t count = 0;
+  const PartitionScheme& scheme = scheme_for(array);
   const std::int64_t pages = page_count_for(array.element_count(), page_size_);
   for (PageIndex p = 0; p < pages; ++p) {
-    if (scheme_->owner(p, pages, num_pes_) == pe) {
+    if (scheme.owner(p, pages, num_pes_) == pe) {
       count += page_valid_elements(p, array.element_count(), page_size_);
     }
   }

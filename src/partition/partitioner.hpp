@@ -1,11 +1,20 @@
-// Binds a partition scheme to a concrete machine (page size + PE count)
+// Binds a partition assignment to a concrete machine (page size + PE count)
 // and answers ownership queries for elements and pages.
+//
+// Since DESIGN.md §14 the assignment is per-array: a machine-wide default
+// scheme plus named overrides (MachineConfig.per_array).  Every ownership
+// query funnels through scheme_for(), which resolves an array's scheme once
+// and memoizes the resolution on the array itself (SaArray::partition_hint),
+// so the hot path is one atomic load + pointer compare — O(1), no map
+// lookups, and safe under the sharded runtime's concurrent queries (all
+// racers store the same deterministic pointer).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "machine/config.hpp"
 #include "memory/array_registry.hpp"
 #include "memory/page.hpp"
 #include "partition/scheme.hpp"
@@ -14,12 +23,34 @@ namespace sap {
 
 class Partitioner {
  public:
+  /// Uniform assignment: one scheme for every array.
   Partitioner(std::unique_ptr<PartitionScheme> scheme, std::int64_t page_size,
               std::uint32_t num_pes);
 
+  /// Per-array assignment from the config's default + overrides.
+  explicit Partitioner(const MachineConfig& config);
+
+  // Resolution entries hand out pointers into this object; copying or
+  // moving would silently invalidate hints cached on arrays.
+  Partitioner(const Partitioner&) = delete;
+  Partitioner& operator=(const Partitioner&) = delete;
+
   std::int64_t page_size() const noexcept { return page_size_; }
   std::uint32_t num_pes() const noexcept { return num_pes_; }
-  const PartitionScheme& scheme() const noexcept { return *scheme_; }
+
+  /// The machine-wide default scheme (arrays without an override).
+  const PartitionScheme& scheme() const noexcept {
+    return *default_resolution_.scheme;
+  }
+
+  /// The scheme governing `array` under this partitioner's assignment.
+  const PartitionScheme& scheme_for(const SaArray& array) const {
+    if (const void* hint = array.partition_hint()) {
+      const auto* r = static_cast<const Resolution*>(hint);
+      if (r->owner == this) return *r->scheme;
+    }
+    return *resolve(array).scheme;
+  }
 
   /// Page holding linear element `linear` of any array.
   PageIndex page_of_element(std::int64_t linear) const noexcept {
@@ -40,7 +71,26 @@ class Partitioner {
   std::int64_t elements_owned_by(const SaArray& array, PeId pe) const;
 
  private:
-  std::unique_ptr<PartitionScheme> scheme_;
+  /// A resolved (partitioner, scheme) pair; `owner` tags the hint so an
+  /// array touched by two partitioners never reads the wrong table.
+  struct Resolution {
+    const Partitioner* owner;
+    const PartitionScheme* scheme;
+  };
+  struct NamedScheme {
+    std::string array;
+    std::unique_ptr<PartitionScheme> scheme;
+    Resolution resolution;
+  };
+
+  /// Cold path: name lookup in the override table, hint store.
+  const Resolution& resolve(const SaArray& array) const;
+
+  std::unique_ptr<PartitionScheme> default_scheme_;
+  // Built once in the constructor and never mutated after, so the
+  // Resolution addresses handed to arrays stay stable.
+  std::vector<NamedScheme> named_;
+  Resolution default_resolution_;
   std::int64_t page_size_;
   std::uint32_t num_pes_;
 };

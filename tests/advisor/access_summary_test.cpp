@@ -199,5 +199,48 @@ TEST(AccessSummaryTest, UnguardedStatementsHaveUnitProbability) {
   EXPECT_DOUBLE_EQ(s.expected_writes, static_cast<double>(s.total_writes));
 }
 
+TEST(AccessSummaryTest, ArrayDigestsRollUpTrafficAndCoupling) {
+  // make_mixed_skew_vs_rate: A(k) = D(k+skew); C(k) = B(2k) — two disjoint
+  // statement groups over four arrays.
+  const AccessSummary s = summarize_access(make_mixed_skew_vs_rate(1024, 256));
+  ASSERT_EQ(s.arrays.size(), 4u);
+  // Name-sorted.
+  EXPECT_EQ(s.arrays[0].array, "A");
+  EXPECT_EQ(s.arrays[1].array, "B");
+  EXPECT_EQ(s.arrays[2].array, "C");
+  EXPECT_EQ(s.arrays[3].array, "D");
+
+  const ArrayDigest* a = s.digest_for("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->writes, 1024);
+  EXPECT_EQ(a->reads, 0);
+  EXPECT_EQ(a->statements, 1);
+  EXPECT_EQ(a->coupled, std::vector<std::string>{"D"});
+
+  const ArrayDigest* b = s.digest_for("B");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->reads, 1024);
+  EXPECT_EQ(b->writes, 0);
+  EXPECT_EQ(b->coupled, std::vector<std::string>{"C"});
+  // No conditionals: expected traffic equals structural traffic.
+  EXPECT_DOUBLE_EQ(b->traffic(), 1024.0);
+
+  EXPECT_EQ(s.digest_for("NOPE"), nullptr);
+}
+
+TEST(AccessSummaryTest, DigestCouplingSpansSharedStatements) {
+  // make_matched: A(k) = B(k) + C(k) — all three arrays share the one
+  // statement, so each couples with the other two.
+  const AccessSummary s = summarize_access(make_matched(128));
+  const ArrayDigest* a = s.digest_for("A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->coupled, (std::vector<std::string>{"B", "C"}));
+  const ArrayDigest* c = s.digest_for("C");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->coupled, (std::vector<std::string>{"A", "B"}));
+  // The report mentions the per-array rollup.
+  EXPECT_NE(s.report().find("array A:"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sap

@@ -218,5 +218,49 @@ TEST(CostModelTest, SelectArmReadWeightedByProbability) {
   EXPECT_DOUBLE_EQ(sel.page_fetches, flat.page_fetches * 0.5);
 }
 
+TEST(CostModelTest, PerArrayAssignmentPricesEachArrayUnderItsScheme) {
+  // The mixed-shape synthetic: {A, D} local only under modulo, {C, B}
+  // local only under block.  Without a cache the affine walk is exact,
+  // so the model must price the heterogeneous assignment at zero remote
+  // while every uniform scheme pays on one statement — and the
+  // prediction must agree with the real machine.
+  const CompiledProgram prog = make_mixed_skew_vs_rate(1024, 256);
+  const AccessSummary s = summarize_access(prog);
+  const MachineConfig modulo =
+      config_of(8, 32, /*cache=*/0, PartitionKind::kModulo);
+  const MachineConfig mixed =
+      modulo.with_array_partition("C", PartitionKind::kBlock)
+          .with_array_partition("B", PartitionKind::kBlock);
+
+  const CostEstimate uniform_est = estimate_cost(s, modulo);
+  const CostEstimate mixed_est = estimate_cost(s, mixed);
+  EXPECT_GT(uniform_est.remote_reads, 0.0);
+  EXPECT_EQ(mixed_est.remote_reads, 0.0);
+
+  for (const MachineConfig& config : {modulo, mixed}) {
+    const CostEstimate est = estimate_cost(s, config);
+    const SimulationResult real = Simulator(config).run(prog);
+    EXPECT_NEAR(est.remote_reads,
+                static_cast<double>(real.totals.remote_reads), 1.0)
+        << config.to_string();
+  }
+}
+
+TEST(CostModelTest, WriteDistributionFollowsTheWritersScheme) {
+  // One array written with a block override on a modulo machine: the
+  // exec-PE distribution (and so the write imbalance estimate) must
+  // follow the override, identically to pricing a uniform block machine.
+  const CompiledProgram prog = make_matched(1024);
+  const AccessSummary s = summarize_access(prog);
+  const MachineConfig base =
+      config_of(8, 32, /*cache=*/0, PartitionKind::kModulo);
+  const CostEstimate overridden = estimate_cost(
+      s, base.with_array_partition("A", PartitionKind::kBlock));
+  const CostEstimate uniform_block = estimate_cost(
+      s, base.with_partition(PartitionKind::kBlock));
+  EXPECT_DOUBLE_EQ(overridden.write_balance.imbalance(),
+                   uniform_block.write_balance.imbalance());
+}
+
 }  // namespace
 }  // namespace sap

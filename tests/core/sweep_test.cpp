@@ -59,7 +59,7 @@ TEST(SweepTest, MetricIsPercent) {
 
 TEST(SweepTest, ConfigIdentityCoversSimulationVisibleFields) {
   const MachineConfig base;
-  // to_string() omits the block-cyclic block; the memo key must not.
+  // The block-cyclic block changes ownership, so the memo key must see it.
   MachineConfig b2 = base.with_partition(PartitionKind::kBlockCyclic);
   MachineConfig b4 = b2;
   b2.block_cyclic_pages = 2;
@@ -72,6 +72,22 @@ TEST(SweepTest, ConfigIdentityCoversSimulationVisibleFields) {
   MachineConfig seeded = base;
   seeded.seed = 7;
   EXPECT_NE(config_identity(base), config_identity(seeded));
+  // Per-array assignment is simulation-visible: the override itself and a
+  // block-cyclic override's block must both split the key...
+  const MachineConfig with_override =
+      base.with_array_partition("A", PartitionKind::kBlock);
+  EXPECT_NE(config_identity(base), config_identity(with_override));
+  EXPECT_NE(
+      config_identity(
+          base.with_array_partition("A", PartitionKind::kBlockCyclic, 2)),
+      config_identity(
+          base.with_array_partition("A", PartitionKind::kBlockCyclic, 4)));
+  // ...while a block stored on a non-block-cyclic override is invisible to
+  // the machine and must NOT split it.
+  EXPECT_EQ(config_identity(base.with_array_partition(
+                "A", ArrayPartitionSpec{PartitionKind::kBlock, 2})),
+            config_identity(base.with_array_partition(
+                "A", ArrayPartitionSpec{PartitionKind::kBlock, 4})));
 }
 
 TEST(SweepTest, BudgetedSweeperStopsAtTheBudgetAndMemoizes) {

@@ -1,0 +1,277 @@
+// Acceptance differential for per-array partition assignment (ISSUE 10):
+// a heterogeneous array->scheme mapping must be invisible to every
+// execution semantics.  For mixed assignments over the mixed-shape
+// synthetics and a registry kernel, SimulationResults and array values
+// must be byte-identical across
+//   - the tree-walk engine and the bytecode engine with and without the
+//     optimizer tier, and
+//   - the counting interpreter, the serial dataflow oracle, and the
+//     sharded dataflow runtime at 1/2/8 replay workers.
+// Error semantics (BoundsError, DeadlockError) must also be unchanged by
+// per-array overrides, the joint advisor must never rank behind the
+// scalar beam (and must strictly beat it on the designed mixed
+// synthetics), and joint reports must not depend on the worker count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "advisor/search.hpp"
+#include "core/bytecode.hpp"
+#include "core/counting_interpreter.hpp"
+#include "core/dataflow_interpreter.hpp"
+#include "core/program_builder.hpp"
+#include "core/simulator.hpp"
+#include "kernels/livermore.hpp"
+#include "kernels/synthetic.hpp"
+#include "runtime/sim_runtime.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sap {
+namespace {
+
+struct Workload {
+  std::string label;
+  CompiledProgram program;
+};
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload> list = [] {
+    std::vector<Workload> out;
+    // Small instances of the A9 mixed-shape synthetics (skew = a whole
+    // multiple of pages * PEs at the fixed test page size).
+    out.push_back({"mixed_skew_rate", make_mixed_skew_vs_rate(1024, 256)});
+    out.push_back({"mixed_multigroup", make_mixed_multigroup(1024, 256)});
+    out.push_back({"k02_iccg", kernel_by_id("k02_iccg").build()});
+    return out;
+  }();
+  return list;
+}
+
+/// Heterogeneous assignments exercised against every workload: every
+/// scheme appears somewhere, the block-cyclic block varies, and at least
+/// one named array keeps the machine default.
+std::vector<MachineConfig> mixed_configs() {
+  const MachineConfig base = MachineConfig{}.with_pes(8);
+  return {
+      base.with_array_partition("A", PartitionKind::kBlock)
+          .with_array_partition("B", PartitionKind::kBlockCyclic, 4),
+      base.with_partition(PartitionKind::kBlock)
+          .with_array_partition("B", PartitionKind::kModulo)
+          .with_array_partition("C", PartitionKind::kBlockCyclic, 2),
+      base.with_partition(PartitionKind::kBlockCyclic)
+          .with_block_cyclic_pages(2)
+          .with_array_partition("A", PartitionKind::kBlockCyclic, 8)
+          .with_array_partition("C", PartitionKind::kBlock),
+  };
+}
+
+// Recompile from a cloned AST so node-keyed tables stay coherent.
+CompiledProgram with_engine(const CompiledProgram& prog, EvalEngine engine,
+                            BytecodeOpt opt = BytecodeOpt::kOn) {
+  return compile(clone(prog.program), engine, opt);
+}
+
+enum class Mode { kCounting, kSerial, kSharded };
+
+SimulationResult run_mode(const CompiledProgram& prog,
+                          const MachineConfig& config, Mode mode,
+                          unsigned workers,
+                          std::unique_ptr<Machine>& machine_out) {
+  machine_out = std::make_unique<Machine>(config);
+  materialize_arrays(prog, *machine_out);
+  switch (mode) {
+    case Mode::kCounting:
+      run_counting(prog, *machine_out);
+      break;
+    case Mode::kSerial:
+      run_dataflow_serial(prog, *machine_out);
+      break;
+    case Mode::kSharded:
+      run_dataflow_sharded(prog, *machine_out, ShardRuntimeOptions{workers});
+      break;
+  }
+  return machine_out->snapshot(prog.name());
+}
+
+void expect_byte_identical(const SimulationResult& got,
+                           const SimulationResult& want, const Machine& got_m,
+                           const Machine& want_m, const std::string& label) {
+  EXPECT_EQ(got.totals, want.totals) << label;
+  ASSERT_EQ(got.per_pe.size(), want.per_pe.size()) << label;
+  for (std::size_t pe = 0; pe < got.per_pe.size(); ++pe) {
+    EXPECT_EQ(got.per_pe[pe], want.per_pe[pe]) << label << " pe=" << pe;
+  }
+  EXPECT_EQ(got.network, want.network) << label;
+  EXPECT_EQ(got.cache_totals.hits, want.cache_totals.hits) << label;
+  EXPECT_EQ(got.cache_totals.misses, want.cache_totals.misses) << label;
+
+  for (const auto& want_array : want_m.arrays()) {
+    const SaArray& got_array = got_m.arrays().by_name(want_array->name());
+    ASSERT_EQ(got_array.defined_count(), want_array->defined_count())
+        << label << " " << want_array->name();
+    for (std::int64_t i = 0; i < want_array->element_count(); ++i) {
+      if (!want_array->is_defined(i)) continue;
+      EXPECT_EQ(got_array.read(i), want_array->read(i))
+          << label << " " << want_array->name() << "[" << i << "]";
+    }
+  }
+}
+
+TEST(JointAssignmentTest, HeterogeneousAssignmentsAllEnginesModesAgree) {
+  for (const auto& w : workloads()) {
+    for (const MachineConfig& config : mixed_configs()) {
+      const CompiledProgram tree = with_engine(w.program, EvalEngine::kTree);
+      const CompiledProgram bytecode =
+          with_engine(w.program, EvalEngine::kBytecode);
+      const CompiledProgram bytecode_raw =
+          with_engine(w.program, EvalEngine::kBytecode, BytecodeOpt::kOff);
+      ASSERT_EQ(tree.bytecode, nullptr);
+      ASSERT_NE(bytecode.bytecode, nullptr);
+
+      std::unique_ptr<Machine> base_machine;
+      const SimulationResult base =
+          run_mode(tree, config, Mode::kCounting, 0, base_machine);
+
+      struct Variant {
+        const CompiledProgram* prog;
+        Mode mode;
+        unsigned workers;
+        const char* name;
+      };
+      const std::vector<Variant> variants = {
+          {&bytecode, Mode::kCounting, 0, "bytecode/counting"},
+          {&bytecode_raw, Mode::kCounting, 0, "bytecode-raw/counting"},
+          {&tree, Mode::kSerial, 0, "tree/serial"},
+          {&bytecode, Mode::kSerial, 0, "bytecode/serial"},
+          {&bytecode_raw, Mode::kSerial, 0, "bytecode-raw/serial"},
+          {&tree, Mode::kSharded, 1, "tree/sharded-w1"},
+          {&bytecode, Mode::kSharded, 1, "bytecode/sharded-w1"},
+          {&tree, Mode::kSharded, 2, "tree/sharded-w2"},
+          {&bytecode, Mode::kSharded, 2, "bytecode/sharded-w2"},
+          {&tree, Mode::kSharded, 8, "tree/sharded-w8"},
+          {&bytecode, Mode::kSharded, 8, "bytecode/sharded-w8"},
+          {&bytecode_raw, Mode::kSharded, 8, "bytecode-raw/sharded-w8"},
+      };
+      for (const Variant& v : variants) {
+        std::unique_ptr<Machine> machine;
+        const SimulationResult got =
+            run_mode(*v.prog, config, v.mode, v.workers, machine);
+        expect_byte_identical(got, base, *machine, *base_machine,
+                              w.label + "/" + config.to_string() + "/" +
+                                  v.name);
+      }
+    }
+  }
+}
+
+TEST(JointAssignmentTest, ErrorParityUnderMixedAssignment) {
+  // Out of bounds: the trap fires regardless of which scheme owns the
+  // offending array.
+  ProgramBuilder oob("oob_mixed");
+  oob.array("A", {8});
+  oob.begin_loop("K", 1, 9);  // one past the end
+  oob.assign("A", {oob.var("K")}, 1.0);
+  oob.end_loop();
+  const CompiledProgram oob_prog = oob.compile();
+  const MachineConfig mixed =
+      MachineConfig{}.with_pes(4).with_array_partition(
+          "A", PartitionKind::kBlockCyclic, 2);
+  EXPECT_THROW(Simulator(mixed).run(oob_prog), BoundsError);
+
+  // Read before write: counting traps UndefinedReadError, the dataflow
+  // machine expresses the same bug as PEs waiting forever — per-array
+  // overrides must not change either verdict.
+  ProgramBuilder rbw("rbw_mixed");
+  rbw.array("A", {8});
+  rbw.array("OUT", {8});
+  rbw.begin_loop("K", 1, 8);
+  rbw.assign("OUT", {rbw.var("K")}, rbw.at("A", {rbw.var("K")}));
+  rbw.end_loop();
+  const CompiledProgram rbw_prog = rbw.compile();
+  const MachineConfig mixed2 =
+      MachineConfig{}
+          .with_pes(4)
+          .with_array_partition("A", PartitionKind::kBlock)
+          .with_array_partition("OUT", PartitionKind::kBlockCyclic, 2);
+  EXPECT_THROW(Simulator(mixed2).run(rbw_prog, ExecutionMode::kCounting),
+               UndefinedReadError);
+  EXPECT_THROW(Simulator(mixed2).run(rbw_prog, ExecutionMode::kDataflow),
+               DeadlockError);
+}
+
+TEST(JointAssignmentTest, JointNeverWorseAndStrictlyBetterOnMixed) {
+  // The bench gate (A9) in miniature: on the designed mixed-shape
+  // synthetic the joint pick must strictly beat the best uniform answer,
+  // and by construction can never be worse.
+  const MachineConfig base =
+      MachineConfig{}.with_pes(16).with_page_size(32).with_cache(256);
+  const CompiledProgram program = make_mixed_skew_vs_rate(16384, 4096);
+  AdvisorOptions options;
+  options.page_sizes = {16, 32, 64};
+  options.measurement_budget = 16;
+  options.joint_measurement_budget = 24;
+
+  const AdvisorReport scalar = advise_beam(program, base, options);
+  options.strategy = AdvisorStrategy::kJoint;
+  const AdvisorReport joint = advise(program, base, options);
+
+  EXPECT_LE(joint.best().measured_remote_fraction,
+            scalar.best().measured_remote_fraction);
+  EXPECT_LT(joint.best().measured_remote_fraction,
+            scalar.best().measured_remote_fraction);
+  EXPECT_EQ(joint.best().measured_remote_fraction, 0.0);
+  EXPECT_FALSE(joint.best().config.per_array.empty());
+  // The baseline (the paper's modulo default) rides along, measured.
+  ASSERT_NE(joint.baseline(), nullptr);
+  EXPECT_TRUE(joint.baseline()->validated);
+}
+
+TEST(JointAssignmentTest, JointReportIsWorkerCountInvariant) {
+  const MachineConfig base =
+      MachineConfig{}.with_pes(8).with_page_size(32).with_cache(128);
+  const CompiledProgram program = make_mixed_skew_vs_rate(1024, 256);
+  AdvisorOptions options;
+  options.strategy = AdvisorStrategy::kJoint;
+  options.measurement_budget = 8;
+  options.joint_measurement_budget = 8;
+
+  std::string reference;
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    const std::string report =
+        advise(program, base, options, &pool).report();
+    if (reference.empty()) {
+      reference = report;
+    } else {
+      EXPECT_EQ(report, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(JointAssignmentTest, PinnedArraysAreNeverMoved) {
+  // A manual --assign pin must survive into every candidate the search
+  // reports, machine-level scheme moves included.
+  const MachineConfig base =
+      MachineConfig{}.with_pes(8).with_page_size(32).with_cache(128)
+          .with_array_partition("B", PartitionKind::kBlockCyclic, 4);
+  const CompiledProgram program = make_mixed_skew_vs_rate(1024, 256);
+  AdvisorOptions options;
+  options.strategy = AdvisorStrategy::kJoint;
+  options.measurement_budget = 8;
+  options.joint_measurement_budget = 8;
+  options.pinned_arrays = {"B"};
+
+  const AdvisorReport report = advise(program, base, options);
+  for (const AdvisorCandidate& c : report.candidates) {
+    const ArrayPartitionSpec spec = c.config.partition_spec_for("B");
+    EXPECT_EQ(spec.partition, PartitionKind::kBlockCyclic) << c.label();
+    EXPECT_EQ(spec.block_cyclic_pages, 4) << c.label();
+  }
+}
+
+}  // namespace
+}  // namespace sap

@@ -151,6 +151,12 @@ TEST(TraceInertnessTest, TraceCoversTheInstrumentedSubsystems) {
   AdvisorOptions options;
   options.validate_top_k = 1;
   (void)advise(prog, MachineConfig{}.with_pes(16), options, nullptr);
+  // The joint strategy's span and counters must be observable too.
+  AdvisorOptions joint_options;
+  joint_options.strategy = AdvisorStrategy::kJoint;
+  joint_options.measurement_budget = 4;
+  joint_options.joint_measurement_budget = 4;
+  (void)advise(prog, MachineConfig{}.with_pes(16), joint_options, nullptr);
   obs::stop_tracing();
   obs::set_metrics_collection(false);
 
@@ -171,6 +177,10 @@ TEST(TraceInertnessTest, TraceCoversTheInstrumentedSubsystems) {
   EXPECT_NE(json.find("\"cat\":\"compile\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"runtime\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"cache\""), std::string::npos);
+  // The joint descent shows up as its own advisor-phase span, and its
+  // counters land in the deterministic metrics section.
+  EXPECT_NE(json.find("\"name\":\"joint\""), std::string::npos);
+  EXPECT_NE(json.find("advisor/joint_rounds"), std::string::npos);
   obs::clear_trace();
 }
 

@@ -91,6 +91,34 @@ TEST(SyntheticTest, GeneratorsValidateArguments) {
   EXPECT_THROW(make_cyclic(16, 1), Error);
   EXPECT_THROW(make_stencil_2d(2, 5), Error);
   EXPECT_THROW(make_nonsa_timestep(4, 1), Error);
+  EXPECT_THROW(make_mixed_skew_vs_rate(0, 256), Error);
+  EXPECT_THROW(make_mixed_multigroup(1024, 0), Error);
+}
+
+TEST(SyntheticTest, MixedWorkloadsOnlyHeterogeneityIsFullyLocal) {
+  // The design invariant behind ablation A9 (no cache, so the counts are
+  // exact): the skew group {A, D} is local only under modulo (the skew is
+  // a whole multiple of pages * PEs), the rate group {C, B} is local only
+  // under block, so every uniform scheme pays remote reads on one group
+  // and the heterogeneous assignment pays none at all.
+  const MachineConfig base =
+      MachineConfig{}.with_pes(8).with_page_size(32).with_cache(0);
+  for (const auto& prog :
+       {make_mixed_skew_vs_rate(1024, 256), make_mixed_multigroup(1024, 256)}) {
+    const auto remote_under = [&](const MachineConfig& config) {
+      return Simulator(config).run(prog).totals.remote_reads;
+    };
+    EXPECT_GT(remote_under(base), 0u) << prog.name() << " modulo";
+    EXPECT_GT(remote_under(base.with_partition(PartitionKind::kBlock)), 0u)
+        << prog.name() << " block";
+    EXPECT_GT(remote_under(base.with_partition(PartitionKind::kBlockCyclic)),
+              0u)
+        << prog.name() << " block-cyclic";
+    const MachineConfig mixed =
+        base.with_array_partition("C", PartitionKind::kBlock)
+            .with_array_partition("B", PartitionKind::kBlock);
+    EXPECT_EQ(remote_under(mixed), 0u) << prog.name() << " heterogeneous";
+  }
 }
 
 }  // namespace

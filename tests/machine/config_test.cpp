@@ -46,5 +46,83 @@ TEST(MachineConfigTest, ToStringMentionsKeyKnobs) {
   EXPECT_NE(s.find("modulo"), std::string::npos);
 }
 
+TEST(MachineConfigTest, PerArrayFluentHelpers) {
+  const MachineConfig base;
+  const auto c =
+      base.with_block_cyclic_pages(8)
+          .with_array_partition("B", PartitionKind::kBlock)
+          .with_array_partition("A", PartitionKind::kBlockCyclic, 4);
+  EXPECT_EQ(c.block_cyclic_pages, 8);
+  EXPECT_TRUE(c.has_array_partition("A"));
+  EXPECT_TRUE(c.has_array_partition("B"));
+  EXPECT_FALSE(c.has_array_partition("C"));
+  EXPECT_TRUE(base.per_array.empty());  // original untouched
+  // Overrides are kept name-sorted; replacing updates in place.
+  ASSERT_EQ(c.per_array.size(), 2u);
+  EXPECT_EQ(c.per_array[0].array, "A");
+  EXPECT_EQ(c.per_array[1].array, "B");
+  const auto c2 = c.with_array_partition("B", PartitionKind::kModulo);
+  ASSERT_EQ(c2.per_array.size(), 2u);
+  EXPECT_EQ(c2.partition_spec_for("B").partition, PartitionKind::kModulo);
+  const auto c3 = c2.without_array_partition("B");
+  EXPECT_FALSE(c3.has_array_partition("B"));
+  // Lookup falls back to the machine-wide default spec.
+  EXPECT_EQ(c3.partition_spec_for("B").partition, PartitionKind::kModulo);
+  EXPECT_EQ(c3.partition_spec_for("A").partition,
+            PartitionKind::kBlockCyclic);
+  EXPECT_EQ(c3.partition_spec_for("A").block_cyclic_pages, 4);
+}
+
+TEST(MachineConfigTest, PerArrayValidation) {
+  EXPECT_THROW(MachineConfig{}
+                   .with_array_partition("A", PartitionKind::kBlockCyclic, 0)
+                   .validate(),
+               ConfigError);
+  MachineConfig dup;
+  dup.per_array.push_back({"A", {PartitionKind::kBlock, 0}});
+  dup.per_array.push_back({"A", {PartitionKind::kModulo, 0}});
+  EXPECT_THROW(dup.validate(), ConfigError);
+  MachineConfig unnamed;
+  unnamed.per_array.push_back({"", {PartitionKind::kBlock, 0}});
+  EXPECT_THROW(unnamed.validate(), ConfigError);
+}
+
+TEST(MachineConfigTest, ToStringDistinguishesWhatIdentityMustDistinguish) {
+  // config_identity() is MachineConfig::to_string(); any pair of configs
+  // that simulate differently must stringify differently.  The canonical
+  // memo-soundness cases:
+  const MachineConfig base = MachineConfig{}.with_pes(8);
+  const auto bc2 =
+      base.with_partition(PartitionKind::kBlockCyclic).with_block_cyclic_pages(2);
+  const auto bc4 =
+      base.with_partition(PartitionKind::kBlockCyclic).with_block_cyclic_pages(4);
+  EXPECT_NE(bc2.to_string(), bc4.to_string());
+
+  const auto with_override =
+      base.with_array_partition("A", PartitionKind::kBlock);
+  EXPECT_NE(base.to_string(), with_override.to_string());
+  const auto other_block =
+      base.with_array_partition("A", PartitionKind::kBlockCyclic, 2);
+  const auto other_block4 =
+      base.with_array_partition("A", PartitionKind::kBlockCyclic, 4);
+  EXPECT_NE(other_block.to_string(), other_block4.to_string());
+
+  MachineConfig partial = base;
+  partial.count_partial_page_refetch = true;
+  EXPECT_NE(base.to_string(), partial.to_string());
+
+  MachineConfig seeded = base;
+  seeded.seed = MachineConfig{}.seed + 1;
+  EXPECT_NE(base.to_string(), seeded.to_string());
+
+  // And what simulation cannot see must NOT split the memo key: the
+  // block-cyclic block is meaningless under modulo/block.
+  const auto block_a = base.with_array_partition(
+      "A", ArrayPartitionSpec{PartitionKind::kBlock, 2});
+  const auto block_b = base.with_array_partition(
+      "A", ArrayPartitionSpec{PartitionKind::kBlock, 4});
+  EXPECT_EQ(block_a.to_string(), block_b.to_string());
+}
+
 }  // namespace
 }  // namespace sap

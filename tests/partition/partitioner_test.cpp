@@ -59,6 +59,84 @@ TEST(PartitionerTest, ValidatesConfig) {
   EXPECT_THROW(make_partitioner(4, 0), ConfigError);
 }
 
+SaArray make_named_array(const std::string& name, std::int64_t n) {
+  return SaArray(0, name, ArrayShape::vector_1based(n));
+}
+
+TEST(PartitionerTest, PerArrayAssignmentResolvesByName) {
+  MachineConfig config;
+  config.num_pes = 4;
+  config.page_size = 32;
+  config = config.with_array_partition("B", PartitionKind::kBlock);
+  const Partitioner part(config);
+  const auto a = make_named_array("A", 256);  // 8 pages, default modulo
+  const auto b = make_named_array("B", 256);  // 8 pages, block override
+  // Modulo: page p -> p % 4.  Block: 2 pages per PE.
+  EXPECT_EQ(part.owner_of_element(a, 32), 1u);   // page 1, modulo
+  EXPECT_EQ(part.owner_of_element(b, 32), 0u);   // page 1, block
+  EXPECT_EQ(part.owner_of_element(a, 224), 3u);  // page 7, modulo
+  EXPECT_EQ(part.owner_of_element(b, 224), 3u);  // page 7, block
+  // scheme() still reports the machine-wide default.
+  EXPECT_EQ(part.scheme().kind(), PartitionKind::kModulo);
+  EXPECT_EQ(part.scheme_for(a).kind(), PartitionKind::kModulo);
+  EXPECT_EQ(part.scheme_for(b).kind(), PartitionKind::kBlock);
+}
+
+TEST(PartitionerTest, PartialFinalPageOwnershipUnderMixedSchemes) {
+  // §2's partial-page rule per array, per scheme: 100 elements at ps 32
+  // on 4 PEs is pages 0..3 with page 3 partial (4 elements).
+  MachineConfig config;
+  config.num_pes = 4;
+  config.page_size = 32;
+  config = config.with_array_partition("B", PartitionKind::kBlock)
+               .with_array_partition("C", PartitionKind::kBlockCyclic, 2);
+  const Partitioner part(config);
+  const auto a = make_named_array("A", 100);  // modulo: 32/32/32/4
+  EXPECT_EQ(part.elements_owned_by(a, 3), 4);
+  const auto b = make_named_array("B", 100);  // block: one page per PE
+  EXPECT_EQ(part.elements_owned_by(b, 3), 4);
+  const auto c = make_named_array("C", 100);  // BC(2): pages 01/23 -> PE 0/1
+  EXPECT_EQ(part.elements_owned_by(c, 0), 64);
+  EXPECT_EQ(part.elements_owned_by(c, 1), 36);
+  EXPECT_EQ(part.elements_owned_by(c, 2), 0);
+  // Every element is still owned exactly once under every mix.
+  for (const SaArray* arr : {&a, &b, &c}) {
+    std::int64_t total = 0;
+    for (PeId pe = 0; pe < 4; ++pe) total += part.elements_owned_by(*arr, pe);
+    EXPECT_EQ(total, 100) << arr->name();
+  }
+}
+
+TEST(PartitionerTest, ResolutionHintSurvivesPartitionerPingPong) {
+  // The memoized per-array resolution is tagged with its owning
+  // Partitioner: one SaArray queried through two machines alternately
+  // must resolve correctly every time, not reuse the other's cached
+  // scheme.
+  MachineConfig block_config;
+  block_config.num_pes = 4;
+  block_config.page_size = 32;
+  block_config =
+      block_config.with_array_partition("A", PartitionKind::kBlock);
+  const Partitioner modulo_part(
+      make_partition_scheme(PartitionKind::kModulo), 32, 4);
+  const Partitioner block_part(block_config);
+  const auto a = make_named_array("A", 256);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(modulo_part.owner_of_element(a, 32), 1u);  // page 1, modulo
+    EXPECT_EQ(block_part.owner_of_element(a, 32), 0u);   // page 1, block
+  }
+}
+
+TEST(PartitionerTest, ConfigConstructorValidates) {
+  MachineConfig config;
+  config.num_pes = 4;
+  config = config.with_array_partition("A", PartitionKind::kBlockCyclic, 0);
+  // MachineConfig::validate() reports this as ConfigError up front; the
+  // scheme factory's own check is the backstop for direct construction.
+  EXPECT_THROW(config.validate(), ConfigError);
+  EXPECT_THROW(Partitioner{config}, Error);
+}
+
 class ElementCover : public ::testing::TestWithParam<
                          std::tuple<std::uint32_t, std::int64_t, int>> {};
 

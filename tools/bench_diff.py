@@ -18,6 +18,9 @@ field):
   deterministic values, so ANY drift is reported regardless of the
   machine, and a "WORSE" verdict cell (the beam losing to the
   enumerator, impossible by construction) is always fatal to report.
+- ``ablation_joint`` — same exact-compare discipline over the joint
+  per-array assignment rows (modulo / beam / joint cells, "vs beam"
+  verdict column).
 
 Sub-resolution cells — a timing that rounds to "0.00" in either file —
 are skipped rather than divided by: a ratio against (or of) zero is
@@ -34,7 +37,8 @@ Usage:
   tools/bench_diff.py --self-test
 
 BASELINE.json defaults to the committed repo-root twin of the fresh
-artifact (BENCH_perf_simulator.json / BENCH_ablation_search.json).
+artifact (BENCH_perf_simulator.json / BENCH_ablation_search.json /
+BENCH_ablation_joint.json).
 """
 
 import argparse
@@ -46,8 +50,22 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 # Columns holding comparable numbers, per artifact kind.  perf rows are
-# irregular (see timing_cells); search rows are uniform percent cells.
-SEARCH_VALUE_COLUMNS = ("modulo", "enumerate", "beam")
+# irregular (see timing_cells); the deterministic advisor artifacts are
+# uniform percent cells with a never-worse verdict column.
+DETERMINISTIC_KINDS = {
+    "ablation_search": {
+        "values": ("modulo", "enumerate", "beam"),
+        "verdict": "vs enumerate",
+        "message": "beam ranked WORSE than enumerate — the never-worse "
+                   "construction is broken",
+    },
+    "ablation_joint": {
+        "values": ("modulo", "beam", "joint"),
+        "verdict": "vs beam",
+        "message": "joint ranked WORSE than the uniform beam — the "
+                   "never-worse construction is broken",
+    },
+}
 
 
 def load_artifact(path):
@@ -59,7 +77,7 @@ def load_artifact(path):
 
 
 def row_key(kind, row):
-    if kind == "ablation_search":
+    if kind in DETERMINISTIC_KINDS:
         return (row.get("kernel"),)
     return (row.get("workload"), row.get("kernel"), row.get("phase"))
 
@@ -89,9 +107,9 @@ def timing_cells(row):
 
 
 def value_cells(kind, row):
-    if kind == "ablation_search":
+    if kind in DETERMINISTIC_KINDS:
         return [(column, parse_number(row.get(column)))
-                for column in SEARCH_VALUE_COLUMNS
+                for column in DETERMINISTIC_KINDS[kind]["values"]
                 if parse_number(row.get(column)) is not None]
     return timing_cells(row)
 
@@ -147,7 +165,7 @@ def compare(fresh_path, baseline_path, threshold, out=sys.stdout):
     fresh = index_rows(kind, fresh_rows)
     baseline = index_rows(kind, baseline_rows)
 
-    if kind == "ablation_search":
+    if kind in DETERMINISTIC_KINDS:
         # Deterministic values: compare exactly, on any machine.
         threshold = 0.0
     else:
@@ -165,7 +183,7 @@ def compare(fresh_path, baseline_path, threshold, out=sys.stdout):
 
     regressions = []
     improvements = []
-    if kind != "ablation_search":
+    if kind not in DETERMINISTIC_KINDS:
         regressions.extend(geomean_regressions(fresh, baseline))
     compared = 0
     sub_resolution = 0
@@ -195,10 +213,12 @@ def compare(fresh_path, baseline_path, threshold, out=sys.stdout):
                 regressions.append(line)
             elif ratio < 1.0 - threshold:
                 improvements.append(line)
-        if kind == "ablation_search" and fresh_row.get("vs enumerate") == "WORSE":
-            regressions.append(
-                "%-40s beam ranked WORSE than enumerate — the never-worse "
-                "construction is broken" % "/".join(str(k) for k in key))
+        if (kind in DETERMINISTIC_KINDS
+                and fresh_row.get(
+                    DETERMINISTIC_KINDS[kind]["verdict"]) == "WORSE"):
+            regressions.append("%-40s %s" % (
+                "/".join(str(k) for k in key),
+                DETERMINISTIC_KINDS[kind]["message"]))
 
     print("bench_diff: %s — compared %d cells (threshold %.0f%%)"
           % (kind or "unknown artifact", compared, threshold * 100.0),
@@ -258,6 +278,16 @@ def _search_artifact(directory, name, beam, verdict="beats"):
             ["k14_pic1d", "matched", "0.00%", "0.00%", "0.00%",
              "modulo ps=32", "ties"]]
     return _write_artifact(directory, name, "ablation_search", columns, rows)
+
+
+def _joint_artifact(directory, name, joint, verdict="beats"):
+    columns = ["kernel", "class", "modulo", "beam", "joint", "joint pick",
+               "vs beam"]
+    rows = [["syn_mixed_skew_rate", "mixed", "2.93%", "0.16%", joint,
+             "block ps=256 [A=modulo,D=modulo]", verdict],
+            ["k14_pic1d", "matched", "0.00%", "0.00%", "0.00%",
+             "modulo ps=32", "ties"]]
+    return _write_artifact(directory, name, "ablation_joint", columns, rows)
 
 
 def self_test():
@@ -337,6 +367,22 @@ def self_test():
         # 6. Mixed artifact kinds refuse to compare rather than mis-join.
         regs = compare(fresh, sbase, 0.15, out=io.StringIO())
         check("mismatched artifact kinds compare nothing", regs == [])
+
+        # 7. The joint artifact gets the same exact-compare discipline,
+        #    keyed on its own "vs beam" verdict column.
+        jbase = _joint_artifact(tmp, "jbase.json", "0.10%")
+        jsame = _joint_artifact(tmp, "jsame.json", "0.10%")
+        jdrift = _joint_artifact(tmp, "jdrift.json", "0.11%")
+        jworse = _joint_artifact(tmp, "jworse.json", "0.10%",
+                                 verdict="WORSE")
+        regs = compare(jsame, jbase, 0.15, out=io.StringIO())
+        check("identical joint artifacts are clean", regs == [])
+        regs = compare(jdrift, jbase, 0.15, out=io.StringIO())
+        check("any joint drift is a regression", len(regs) == 1)
+        regs = compare(jworse, jbase, 0.15, out=io.StringIO())
+        check("a WORSE joint verdict is a regression", len(regs) == 1)
+        regs = compare(jbase, sbase, 0.15, out=io.StringIO())
+        check("joint vs search artifacts compare nothing", regs == [])
 
     print("bench_diff self-test: %d failure(s)" % len(failures))
     return 1 if failures else 0
